@@ -1,0 +1,83 @@
+//! Ablation benches for the design choices documented in DESIGN.md.
+//!
+//! These benches measure both *runtime* (the Criterion statistic) and print the
+//! resulting *solution quality* once per run, so that the trade-off each design
+//! choice makes is visible in the bench output:
+//!
+//! * **H4 scoring rule** — failure-factor score (exact incremental period)
+//!   versus the literal `w·f` prose reading;
+//! * **binary-search tolerance** — the paper's 1 ms absolute tolerance versus
+//!   a relative 1e-3 stop;
+//! * **exact solver** — combinatorial branch-and-bound versus the simplex-based
+//!   MIP on the same instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mf_bench::standard_instance;
+use mf_exact::{branch_and_bound, solve_specialized_mip, BnbConfig, MipConfig};
+use mf_heuristics::{
+    BinarySearchConfig, GreedyHeuristic, H2BinaryPotential, Heuristic, ScoringRule,
+};
+
+fn scoring_rule_ablation(c: &mut Criterion) {
+    let instance = standard_instance(60, 20, 5, 5);
+    let factor = GreedyHeuristic::new("H4-factor", ScoringRule::BestPerformance);
+    let raw = GreedyHeuristic::new("H4-raw", ScoringRule::RawFailureWeight);
+    println!(
+        "[ablation_scoring] period with failure-factor score: {:.1} ms, with raw w*f score: {:.1} ms",
+        factor.period(&instance).unwrap().value(),
+        raw.period(&instance).unwrap().value()
+    );
+    let mut group = c.benchmark_group("ablation_scoring");
+    group.bench_function("H4_failure_factor", |b| b.iter(|| factor.map(&instance).unwrap()));
+    group.bench_function("H4_raw_weight", |b| b.iter(|| raw.map(&instance).unwrap()));
+    group.finish();
+}
+
+fn binary_search_tolerance_ablation(c: &mut Criterion) {
+    let instance = standard_instance(80, 20, 5, 9);
+    let paper = H2BinaryPotential { config: BinarySearchConfig { tolerance: 1.0, max_iterations: 128 } };
+    let coarse =
+        H2BinaryPotential { config: BinarySearchConfig { tolerance: 100.0, max_iterations: 128 } };
+    let fine =
+        H2BinaryPotential { config: BinarySearchConfig { tolerance: 0.001, max_iterations: 256 } };
+    println!(
+        "[ablation_binsearch] period at 100ms tol: {:.1}, 1ms tol (paper): {:.1}, 0.001ms tol: {:.1}",
+        coarse.period(&instance).unwrap().value(),
+        paper.period(&instance).unwrap().value(),
+        fine.period(&instance).unwrap().value()
+    );
+    let mut group = c.benchmark_group("ablation_binsearch");
+    group.bench_function("tolerance_100ms", |b| b.iter(|| coarse.map(&instance).unwrap()));
+    group.bench_function("tolerance_1ms_paper", |b| b.iter(|| paper.map(&instance).unwrap()));
+    group.bench_function("tolerance_0.001ms", |b| b.iter(|| fine.map(&instance).unwrap()));
+    group.finish();
+}
+
+fn exact_solver_ablation(c: &mut Criterion) {
+    let instance = standard_instance(6, 3, 2, 13);
+    let bnb = branch_and_bound(&instance, BnbConfig::default()).unwrap();
+    let mip = solve_specialized_mip(&instance, MipConfig::default()).unwrap();
+    println!(
+        "[ablation_exact] combinatorial B&B optimum: {:.1} ms ({} nodes), simplex MIP optimum: {:.1} ms ({} nodes)",
+        bnb.period.value(),
+        bnb.nodes,
+        mip.period.unwrap().value(),
+        mip.nodes
+    );
+    let mut group = c.benchmark_group("ablation_exact");
+    group.sample_size(10);
+    group.bench_function("combinatorial_bnb", |b| {
+        b.iter(|| branch_and_bound(&instance, BnbConfig::default()).unwrap())
+    });
+    group.bench_function("simplex_mip", |b| {
+        b.iter(|| solve_specialized_mip(&instance, MipConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = scoring_rule_ablation, binary_search_tolerance_ablation, exact_solver_ablation
+}
+criterion_main!(benches);

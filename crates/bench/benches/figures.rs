@@ -1,0 +1,85 @@
+//! One Criterion group per figure of the paper's evaluation.
+//!
+//! Each bench runs a reduced sweep of the corresponding experiment (fewer
+//! repetitions, a subset of the x values) so that `cargo bench` both exercises
+//! every experiment end-to-end and reports how long a point of each figure
+//! costs to regenerate. The full-protocol numbers are produced by the
+//! `mf-experiments` binaries (`cargo run -p mf-experiments --release --bin fig5 -- --full`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mf_experiments::figures;
+use mf_experiments::ExperimentConfig;
+
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig { repetitions: 3, exact_node_budget: 200_000, ..ExperimentConfig::quick() }
+}
+
+fn fig5(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig5/m50_p5_n60", |b| {
+        b.iter(|| figures::fig5::run_with_tasks(&config, vec![60]))
+    });
+}
+
+fn fig6(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig6/m10_p2_n40", |b| {
+        b.iter(|| figures::fig6::run_with_tasks(&config, vec![40]))
+    });
+}
+
+fn fig7(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig7/m100_p5_n120", |b| {
+        b.iter(|| figures::fig7::run_with_tasks(&config, vec![120]))
+    });
+}
+
+fn fig8(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig8/m10_p5_n40_highfail", |b| {
+        b.iter(|| figures::fig8::run_with_tasks(&config, vec![40]))
+    });
+}
+
+fn fig9(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig9/m100_n100_p40", |b| {
+        b.iter(|| figures::fig9::run_with_types(&config, vec![40]))
+    });
+}
+
+fn fig10(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig10/m5_p2_n8", |b| {
+        b.iter(|| figures::fig10::run_with_tasks(&config, vec![8]))
+    });
+}
+
+fn fig11(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig11/m5_p2_n8_normalised", |b| {
+        b.iter(|| figures::fig11::run_with_tasks(&config, vec![8]))
+    });
+}
+
+fn fig12(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig12/m9_p4_n10", |b| {
+        b.iter(|| figures::fig12::run_with_tasks(&config, vec![10]))
+    });
+}
+
+fn summary(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("summary/ratio_tables", |b| {
+        b.iter(|| figures::summary::run_with(&config, vec![20], vec![6]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, summary
+}
+criterion_main!(benches);

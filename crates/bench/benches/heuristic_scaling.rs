@@ -1,0 +1,46 @@
+//! Runtime scaling of the six heuristics with the problem size.
+//!
+//! The paper argues the heuristics are polynomial-time; this bench quantifies
+//! their cost on the platform sizes of the evaluation (up to 100 machines and
+//! 200 tasks) and shows the gap between the greedy H4 family (linear scans)
+//! and the binary-search heuristics H2/H3 (a full placement round per search
+//! iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mf_bench::standard_instance;
+use mf_heuristics::all_paper_heuristics;
+
+fn heuristic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_scaling");
+    for &(tasks, machines, types) in &[(50usize, 20usize, 5usize), (100, 50, 5), (200, 100, 5)] {
+        let instance = standard_instance(tasks, machines, types, 42);
+        for heuristic in all_paper_heuristics(7) {
+            group.bench_with_input(
+                BenchmarkId::new(heuristic.name().to_string(), format!("n{tasks}_m{machines}")),
+                &instance,
+                |b, instance| b.iter(|| heuristic.map(instance).expect("mapping succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn exact_solver_scaling(c: &mut Criterion) {
+    use mf_exact::{branch_and_bound, BnbConfig};
+    let mut group = c.benchmark_group("exact_scaling");
+    group.sample_size(10);
+    for &tasks in &[6usize, 10, 12] {
+        let instance = standard_instance(tasks, 5, 2, 17);
+        group.bench_with_input(BenchmarkId::new("bnb", tasks), &instance, |b, instance| {
+            b.iter(|| branch_and_bound(instance, BnbConfig::default()).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = heuristic_scaling, exact_solver_scaling
+}
+criterion_main!(benches);

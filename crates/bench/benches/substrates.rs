@@ -1,0 +1,90 @@
+//! Benchmarks of the substrate crates: LP simplex, assignment algorithms and
+//! the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mf_bench::{standard_instance, task_failure_instance};
+use mf_heuristics::{Heuristic, H4wFastestMachine};
+use mf_lp::{ConstraintSense, LpProblem, Objective};
+use mf_matching::{bottleneck_assignment, hungarian, CostMatrix};
+use mf_sim::{FactorySimulation, SimulationConfig};
+
+fn simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    for &size in &[10usize, 25, 50] {
+        // A dense transportation-like LP with `size` variables and constraints.
+        group.bench_with_input(BenchmarkId::new("dense", size), &size, |b, &size| {
+            b.iter(|| {
+                let mut lp = LpProblem::new(Objective::Maximize);
+                let vars: Vec<_> =
+                    (0..size).map(|i| lp.add_bounded_variable(format!("x{i}"), 0.0, 10.0)).collect();
+                for (i, &v) in vars.iter().enumerate() {
+                    lp.set_objective_coefficient(v, 1.0 + (i % 7) as f64);
+                }
+                for i in 0..size {
+                    let terms: Vec<_> = vars
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &v)| (v, 1.0 + ((i + j) % 5) as f64))
+                        .collect();
+                    lp.add_constraint(terms, ConstraintSense::LessEqual, 50.0);
+                }
+                mf_lp::solve(&lp).expect("feasible and bounded")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    for &size in &[20usize, 50, 100] {
+        let costs = CostMatrix::from_fn(size, size, |r, cidx| {
+            (((r * 31 + cidx * 17) % 997) + 1) as f64
+        });
+        group.bench_with_input(BenchmarkId::new("hungarian", size), &costs, |b, costs| {
+            b.iter(|| hungarian(costs).expect("square matrices always match"))
+        });
+        group.bench_with_input(BenchmarkId::new("bottleneck", size), &costs, |b, costs| {
+            b.iter(|| bottleneck_assignment(costs).expect("square matrices always match"))
+        });
+    }
+    group.finish();
+}
+
+fn optimal_one_to_one(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_to_one_reference");
+    for &size in &[50usize, 100] {
+        let instance = task_failure_instance(size, size, 5, 3);
+        group.bench_with_input(BenchmarkId::new("bottleneck_oto", size), &instance, |b, inst| {
+            b.iter(|| mf_exact::optimal_one_to_one_bottleneck(inst).expect("valid setting"))
+        });
+    }
+    group.finish();
+}
+
+fn simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discrete_event_simulation");
+    group.sample_size(10);
+    let instance = standard_instance(30, 10, 3, 11);
+    let mapping = H4wFastestMachine.map(&instance).expect("mapping succeeds");
+    for &products in &[1_000u64, 5_000] {
+        group.bench_with_input(BenchmarkId::new("products", products), &products, |b, &products| {
+            b.iter(|| {
+                let config = SimulationConfig {
+                    target_products: products,
+                    warmup_products: 100,
+                    ..Default::default()
+                };
+                FactorySimulation::new(&instance, &mapping, config).run().expect("simulation runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = simplex, assignment, optimal_one_to_one, simulator
+}
+criterion_main!(benches);

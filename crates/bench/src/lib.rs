@@ -1,0 +1,58 @@
+//! # mf-bench — shared fixtures for the Criterion benchmark harness
+//!
+//! The benches themselves live in `benches/`:
+//!
+//! * `figures` — one Criterion group per paper figure, each running a reduced
+//!   sweep of the corresponding experiment;
+//! * `heuristic_scaling` — runtime of each heuristic as the task count grows;
+//! * `substrates` — simplex, Hungarian, bottleneck assignment and the
+//!   discrete-event simulator;
+//! * `ablations` — the design-choice ablations listed in DESIGN.md
+//!   (H4 scoring rule, binary-search tolerance, exact-solver choice).
+//!
+//! This library crate only provides deterministic instance fixtures shared by
+//! those benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use mf_core::prelude::*;
+use mf_sim::{GeneratorConfig, InstanceGenerator};
+
+/// A deterministic instance drawn from the paper's standard distribution.
+pub fn standard_instance(tasks: usize, machines: usize, types: usize, seed: u64) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::paper_standard(tasks, machines, types))
+        .generate(seed)
+        .expect("the standard generator always produces valid instances")
+}
+
+/// A deterministic instance with failures attached to tasks only (Figure 9
+/// setting).
+pub fn task_failure_instance(tasks: usize, machines: usize, types: usize, seed: u64) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::paper_task_failures(tasks, machines, types))
+        .generate(seed)
+        .expect("the task-failure generator always produces valid instances")
+}
+
+/// A deterministic high-failure instance (Figure 8 setting).
+pub fn high_failure_instance(tasks: usize, machines: usize, types: usize, seed: u64) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::paper_high_failure(tasks, machines, types))
+        .generate(seed)
+        .expect("the high-failure generator always produces valid instances")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_the_requested_shape() {
+        let inst = standard_instance(20, 8, 3, 1);
+        assert_eq!(inst.task_count(), 20);
+        assert_eq!(inst.machine_count(), 8);
+        let inst = task_failure_instance(10, 10, 2, 2);
+        assert!(inst.failures().is_task_dependent_only());
+        let inst = high_failure_instance(10, 5, 2, 3);
+        assert_eq!(inst.machine_count(), 5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Minimal argument parsing for the CLI (no external dependency).
+
+/// Parsed command-line arguments: `--flag value` pairs, bare `--switch`es and
+/// positional arguments, in order.
+#[derive(Debug, Default, Clone)]
+pub struct Arguments {
+    flags: Vec<(String, Option<String>)>,
+    positionals: Vec<String>,
+}
+
+/// Flags that never take a value (everything after them is positional).
+pub const SWITCHES: &[&str] = &["all", "exact", "high-failure", "csv", "full"];
+
+impl Arguments {
+    /// Parses the raw argument list (excluding the subcommand).
+    pub fn parse(raw: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut positionals = Vec::new();
+        let mut index = 0;
+        while index < raw.len() {
+            let token = &raw[index];
+            if let Some(name) = token.strip_prefix("--") {
+                let value = if SWITCHES.contains(&name) {
+                    None
+                } else {
+                    let next = raw.get(index + 1).filter(|v| !v.starts_with("--")).cloned();
+                    if next.is_some() {
+                        index += 1;
+                    }
+                    next
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positionals.push(token.clone());
+            }
+            index += 1;
+        }
+        Arguments { flags, positionals }
+    }
+
+    /// `true` if `--name` was given (with or without a value).
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// The string value of `--name`, if given with a value.
+    pub fn string_flag(&self, name: &str) -> Option<String> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.clone())
+    }
+
+    /// The `usize` value of `--name`.
+    pub fn usize_flag(&self, name: &str) -> Option<usize> {
+        self.string_flag(name).and_then(|v| v.parse().ok())
+    }
+
+    /// The `u64` value of `--name`.
+    pub fn u64_flag(&self, name: &str) -> Option<u64> {
+        self.string_flag(name).and_then(|v| v.parse().ok())
+    }
+
+    /// The `index`-th positional argument.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Arguments {
+        Arguments::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flags_values_and_positionals() {
+        let a = args(&["--tasks", "20", "--exact", "line.mf", "--seed", "7", "map.mf"]);
+        assert_eq!(a.usize_flag("tasks"), Some(20));
+        assert_eq!(a.u64_flag("seed"), Some(7));
+        assert!(a.has_flag("exact"));
+        assert!(!a.has_flag("missing"));
+        assert_eq!(a.positional(0), Some("line.mf"));
+        assert_eq!(a.positional(1), Some("map.mf"));
+        assert_eq!(a.positional(2), None);
+    }
+
+    #[test]
+    fn switches_never_consume_the_next_token() {
+        let a = args(&["--all", "instance.mf", "--heuristic", "h2"]);
+        assert!(a.has_flag("all"));
+        assert_eq!(a.string_flag("all"), None);
+        assert_eq!(a.positional(0), Some("instance.mf"));
+        assert_eq!(a.string_flag("heuristic"), Some("h2".to_string()));
+    }
+
+    #[test]
+    fn numeric_parse_failures_return_none() {
+        let a = args(&["--tasks", "many"]);
+        assert_eq!(a.usize_flag("tasks"), None);
+        assert_eq!(a.string_flag("tasks"), Some("many".to_string()));
+    }
+}

@@ -1,0 +1,200 @@
+//! `microfactory` — command-line front end.
+//!
+//! ```text
+//! microfactory generate --tasks 20 --machines 8 --types 3 --seed 1 > line.mf
+//! microfactory solve --heuristic h4w line.mf > mapping.mf
+//! microfactory solve --exact line.mf
+//! microfactory evaluate line.mf mapping.mf
+//! microfactory simulate --products 5000 line.mf mapping.mf
+//! ```
+//!
+//! Instances and mappings use the plain-text format of `mf_core::textio`.
+
+use mf_core::prelude::*;
+use mf_core::textio;
+use mf_exact::{branch_and_bound, BnbConfig};
+use mf_heuristics::{all_paper_heuristics, Heuristic};
+use mf_sim::{FactorySimulation, GeneratorConfig, InstanceGenerator, SimulationConfig};
+use std::process::ExitCode;
+
+mod args;
+use args::Arguments;
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let command = raw.remove(0);
+    let args = Arguments::parse(&raw);
+    let result = match command.as_str() {
+        "generate" => generate(&args),
+        "solve" => solve(&args),
+        "evaluate" => evaluate(&args),
+        "simulate" => simulate(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+microfactory — throughput optimization for micro-factories subject to failures
+
+USAGE:
+  microfactory generate --tasks N --machines M --types P [--seed S] [--high-failure]
+  microfactory solve    [--heuristic NAME | --exact] [--all] INSTANCE
+  microfactory evaluate INSTANCE MAPPING
+  microfactory simulate [--products N] [--seed S] INSTANCE MAPPING
+
+COMMANDS:
+  generate   print a random instance (paper's experimental distribution)
+  solve      print a mapping computed by a heuristic (default h4w) or the exact solver
+  evaluate   print the period, throughput and per-machine loads of a mapping
+  simulate   run the discrete-event simulation of a mapping
+
+HEURISTICS: h1, h2, h3, h4, h4w, h4f (use --all to compare every heuristic)";
+
+fn generate(args: &Arguments) -> std::result::Result<(), String> {
+    let tasks = args.usize_flag("tasks").ok_or("missing --tasks")?;
+    let machines = args.usize_flag("machines").ok_or("missing --machines")?;
+    let types = args.usize_flag("types").ok_or("missing --types")?;
+    let seed = args.u64_flag("seed").unwrap_or(1);
+    let config = if args.has_flag("high-failure") {
+        GeneratorConfig::paper_high_failure(tasks, machines, types)
+    } else {
+        GeneratorConfig::paper_standard(tasks, machines, types)
+    };
+    let instance = InstanceGenerator::new(config)
+        .generate(seed)
+        .map_err(|e| format!("cannot generate instance: {e}"))?;
+    print!("{}", textio::instance_to_text(&instance));
+    Ok(())
+}
+
+fn load_instance(path: &str) -> std::result::Result<Instance, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    textio::instance_from_text(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+fn load_mapping(path: &str) -> std::result::Result<Mapping, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    textio::mapping_from_text(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+fn heuristic_by_name(name: &str) -> std::result::Result<Box<dyn Heuristic + Send + Sync>, String> {
+    let wanted = name.to_ascii_uppercase();
+    all_paper_heuristics(1)
+        .into_iter()
+        .find(|h| h.name().eq_ignore_ascii_case(&wanted))
+        .ok_or_else(|| format!("unknown heuristic `{name}` (expected one of H1, H2, H3, H4, H4w, H4f)"))
+}
+
+fn solve(args: &Arguments) -> std::result::Result<(), String> {
+    let path = args.positional(0).ok_or("missing INSTANCE file")?;
+    let instance = load_instance(path)?;
+    if args.has_flag("all") {
+        eprintln!("{:<6} {:>12} {:>16}", "name", "period(ms)", "throughput(/s)");
+        for heuristic in all_paper_heuristics(1) {
+            match heuristic.period(&instance) {
+                Ok(period) => eprintln!(
+                    "{:<6} {:>12.1} {:>16.4}",
+                    heuristic.name(),
+                    period.value(),
+                    1000.0 / period.value()
+                ),
+                Err(e) => eprintln!("{:<6} failed: {e}", heuristic.name()),
+            }
+        }
+    }
+    let (label, mapping) = if args.has_flag("exact") {
+        let outcome = branch_and_bound(&instance, BnbConfig::default())
+            .map_err(|e| format!("exact solver failed: {e}"))?;
+        let label = if outcome.proven_optimal { "exact optimum" } else { "best found (budget hit)" };
+        (label.to_string(), outcome.mapping)
+    } else {
+        let name = args.string_flag("heuristic").unwrap_or_else(|| "h4w".to_string());
+        let heuristic = heuristic_by_name(&name)?;
+        let mapping = heuristic
+            .map(&instance)
+            .map_err(|e| format!("{} failed: {e}", heuristic.name()))?;
+        (heuristic.name().to_string(), mapping)
+    };
+    let period = instance.period(&mapping).map_err(|e| e.to_string())?;
+    eprintln!("{label}: period {:.1} ms ({:.4} products/s)", period.value(), 1000.0 / period.value());
+    print!("{}", textio::mapping_to_text(&mapping));
+    Ok(())
+}
+
+fn evaluate(args: &Arguments) -> std::result::Result<(), String> {
+    let instance = load_instance(args.positional(0).ok_or("missing INSTANCE file")?)?;
+    let mapping = load_mapping(args.positional(1).ok_or("missing MAPPING file")?)?;
+    instance
+        .validate_mapping(&mapping, MappingKind::General)
+        .map_err(|e| format!("mapping does not fit the instance: {e}"))?;
+    let breakdown = instance.machine_periods(&mapping).map_err(|e| e.to_string())?;
+    let period = breakdown.system_period();
+    println!("rule:        {}", mapping.kind(instance.application()));
+    println!("period:      {:.1} ms", period.value());
+    println!("throughput:  {:.4} products/s", 1000.0 / period.value());
+    println!("machine loads:");
+    for u in instance.platform().machines() {
+        let load = breakdown.of(u).value();
+        let marker = if breakdown.critical_machines(1e-9).contains(&u) { "  <- critical" } else { "" };
+        println!("  {u}: {load:.1} ms{marker}");
+    }
+    let demands = instance.demands(&mapping).map_err(|e| e.to_string())?;
+    println!("raw products per finished product:");
+    for (task, demand) in demands.source_demands(instance.application()) {
+        println!("  {task}: {demand:.3}");
+    }
+    Ok(())
+}
+
+fn simulate(args: &Arguments) -> std::result::Result<(), String> {
+    let instance = load_instance(args.positional(0).ok_or("missing INSTANCE file")?)?;
+    let mapping = load_mapping(args.positional(1).ok_or("missing MAPPING file")?)?;
+    let products = args.u64_flag("products").unwrap_or(5_000);
+    let seed = args.u64_flag("seed").unwrap_or(0x5EED);
+    let config = SimulationConfig {
+        seed,
+        target_products: products,
+        warmup_products: (products / 20).max(10),
+        ..Default::default()
+    };
+    let report = FactorySimulation::new(&instance, &mapping, config)
+        .run()
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    let analytic = instance.period(&mapping).map_err(|e| e.to_string())?.value();
+    println!("products out:      {}", report.produced);
+    println!("simulated period:  {:.1} ms", report.measured_period);
+    println!("analytic period:   {analytic:.1} ms");
+    println!(
+        "relative error:    {:.2}%",
+        100.0 * (report.measured_period - analytic).abs() / analytic
+    );
+    println!("losses per task:");
+    for task in instance.application().tasks() {
+        if let Some(observed) = report.observed_failure_rate(task.id) {
+            println!(
+                "  {}: {:.2}% observed ({:.2}% modelled)",
+                task.id,
+                100.0 * observed,
+                100.0 * instance.failure(task.id, mapping.machine_of(task.id)).value()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Error types for the model layer.
+
+use std::fmt;
+
+/// Convenient result alias used throughout `mf-core`.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Errors raised when constructing or evaluating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The application graph is empty.
+    EmptyApplication,
+    /// A task references a successor that does not exist.
+    UnknownTask {
+        /// Offending task index.
+        task: usize,
+        /// Number of tasks in the application.
+        task_count: usize,
+    },
+    /// A task references a type outside the declared type range.
+    UnknownType {
+        /// Offending type index.
+        ty: usize,
+        /// Number of declared types.
+        type_count: usize,
+    },
+    /// A machine index is out of range.
+    UnknownMachine {
+        /// Offending machine index.
+        machine: usize,
+        /// Number of machines in the platform.
+        machine_count: usize,
+    },
+    /// The application graph contains a cycle.
+    CyclicApplication,
+    /// A task was given two successors (forks are forbidden: products are
+    /// physical and cannot be duplicated).
+    ForkDetected {
+        /// Task with more than one successor.
+        task: usize,
+    },
+    /// A processing time is not finite and strictly positive.
+    InvalidProcessingTime {
+        /// Type index.
+        ty: usize,
+        /// Machine index.
+        machine: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A failure probability is outside `[0, 1)`.
+    InvalidFailureRate {
+        /// Offending value.
+        value: f64,
+    },
+    /// A matrix has inconsistent dimensions.
+    DimensionMismatch {
+        /// What was being constructed.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// A mapping does not cover every task exactly once.
+    IncompleteMapping {
+        /// Expected number of tasks.
+        expected: usize,
+        /// Number of assignments provided.
+        actual: usize,
+    },
+    /// A mapping violates the requested mapping rule.
+    RuleViolation {
+        /// The rule that is violated.
+        kind: crate::mapping::MappingKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The platform has fewer machines than required for the requested rule
+    /// (e.g. fewer machines than tasks for one-to-one, or fewer machines than
+    /// types for specialized mappings).
+    NotEnoughMachines {
+        /// Machines available.
+        machines: usize,
+        /// Machines required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyApplication => write!(f, "application has no tasks"),
+            ModelError::UnknownTask { task, task_count } => {
+                write!(f, "task index {task} out of range (application has {task_count} tasks)")
+            }
+            ModelError::UnknownType { ty, type_count } => {
+                write!(f, "type index {ty} out of range (application declares {type_count} types)")
+            }
+            ModelError::UnknownMachine { machine, machine_count } => {
+                write!(f, "machine index {machine} out of range (platform has {machine_count} machines)")
+            }
+            ModelError::CyclicApplication => write!(f, "application graph contains a cycle"),
+            ModelError::ForkDetected { task } => {
+                write!(f, "task {task} has more than one successor; forks are not allowed for physical products")
+            }
+            ModelError::InvalidProcessingTime { ty, machine, value } => {
+                write!(f, "processing time for type {ty} on machine {machine} must be finite and > 0, got {value}")
+            }
+            ModelError::InvalidFailureRate { value } => {
+                write!(f, "failure rate must lie in [0, 1), got {value}")
+            }
+            ModelError::DimensionMismatch { context, expected, actual } => {
+                write!(f, "{context}: expected dimension {expected}, got {actual}")
+            }
+            ModelError::IncompleteMapping { expected, actual } => {
+                write!(f, "mapping must assign all {expected} tasks, got {actual} assignments")
+            }
+            ModelError::RuleViolation { kind, detail } => {
+                write!(f, "mapping violates {kind:?} rule: {detail}")
+            }
+            ModelError::NotEnoughMachines { machines, required } => {
+                write!(f, "platform has {machines} machines but {required} are required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_data() {
+        let err = ModelError::UnknownTask { task: 7, task_count: 3 };
+        assert!(err.to_string().contains('7'));
+        assert!(err.to_string().contains('3'));
+
+        let err = ModelError::InvalidFailureRate { value: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+
+        let err = ModelError::NotEnoughMachines { machines: 2, required: 5 };
+        let msg = err.to_string();
+        assert!(msg.contains('2') && msg.contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ModelError>();
+    }
+}

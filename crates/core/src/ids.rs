@@ -1,0 +1,86 @@
+//! Strongly-typed identifiers for tasks, machines and task types.
+//!
+//! The paper indexes tasks `T₁..Tₙ`, machines `M₁..Mₘ` and types `1..p` from 1;
+//! this crate uses 0-based indices throughout, wrapped in newtypes so that a
+//! task index can never be accidentally used where a machine index is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task `Tᵢ` within an [`crate::Application`] (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// Index of a machine `Mᵤ` within a [`crate::Platform`] (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub usize);
+
+/// Index of a task type within an [`crate::Application`] (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskTypeId(pub usize);
+
+macro_rules! impl_id {
+    ($name:ident, $letter:literal) => {
+        impl $name {
+            /// Returns the underlying 0-based index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // Displayed 1-based to match the paper's notation.
+                write!(f, concat!($letter, "{}"), self.0 + 1)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(value: usize) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(value: $name) -> usize {
+                value.0
+            }
+        }
+    };
+}
+
+impl_id!(TaskId, "T");
+impl_id!(MachineId, "M");
+impl_id!(TaskTypeId, "type");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(TaskId(0).to_string(), "T1");
+        assert_eq!(MachineId(4).to_string(), "M5");
+        assert_eq!(TaskTypeId(2).to_string(), "type3");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let t: TaskId = 7usize.into();
+        assert_eq!(t.index(), 7);
+        let back: usize = t.into();
+        assert_eq!(back, 7);
+
+        let m: MachineId = 3usize.into();
+        assert_eq!(m.index(), 3);
+        let ty: TaskTypeId = 1usize.into();
+        assert_eq!(ty.index(), 1);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(MachineId(0) < MachineId(10));
+    }
+}

@@ -1,0 +1,304 @@
+//! Mappings (allocation functions) and the paper's three rule sets.
+//!
+//! A mapping is a total function `a : tasks → machines`. The paper studies
+//! three increasingly permissive rules:
+//!
+//! * **one-to-one** — a machine executes at most one task;
+//! * **specialized** — a machine executes tasks of at most one type;
+//! * **general** — no constraint.
+//!
+//! Every one-to-one mapping is specialized, and every specialized mapping is
+//! general.
+
+use crate::application::Application;
+use crate::error::{ModelError, Result};
+use crate::ids::{MachineId, TaskId, TaskTypeId};
+use serde::{Deserialize, Serialize};
+
+/// The rule a mapping is required to respect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingKind {
+    /// Each machine processes at most one task.
+    OneToOne,
+    /// Each machine processes tasks of at most one type.
+    Specialized,
+    /// No constraint.
+    General,
+}
+
+impl std::fmt::Display for MappingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingKind::OneToOne => write!(f, "one-to-one"),
+            MappingKind::Specialized => write!(f, "specialized"),
+            MappingKind::General => write!(f, "general"),
+        }
+    }
+}
+
+/// A total allocation of tasks to machines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    assignment: Vec<MachineId>,
+    machine_count: usize,
+}
+
+impl Mapping {
+    /// Creates a mapping from the per-task machine assignment.
+    pub fn new(assignment: Vec<MachineId>, machine_count: usize) -> Result<Self> {
+        for &machine in &assignment {
+            if machine.index() >= machine_count {
+                return Err(ModelError::UnknownMachine {
+                    machine: machine.index(),
+                    machine_count,
+                });
+            }
+        }
+        Ok(Mapping { assignment, machine_count })
+    }
+
+    /// Creates a mapping from raw machine indices.
+    pub fn from_indices(assignment: &[usize], machine_count: usize) -> Result<Self> {
+        Self::new(assignment.iter().copied().map(MachineId).collect(), machine_count)
+    }
+
+    /// Number of tasks covered by the mapping.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of machines of the target platform.
+    #[inline]
+    pub fn machine_count(&self) -> usize {
+        self.machine_count
+    }
+
+    /// The machine `a(i)` executing task `i`.
+    #[inline]
+    pub fn machine_of(&self, task: TaskId) -> MachineId {
+        self.assignment[task.index()]
+    }
+
+    /// The underlying assignment slice, indexed by task.
+    #[inline]
+    pub fn as_slice(&self) -> &[MachineId] {
+        &self.assignment
+    }
+
+    /// The tasks assigned to a given machine, in task-index order.
+    pub fn tasks_on(&self, machine: MachineId) -> Vec<TaskId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m == machine)
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
+    /// Tasks grouped by machine: entry `u` lists the tasks executed by `Mᵤ`.
+    pub fn tasks_by_machine(&self) -> Vec<Vec<TaskId>> {
+        let mut groups = vec![Vec::new(); self.machine_count];
+        for (i, &machine) in self.assignment.iter().enumerate() {
+            groups[machine.index()].push(TaskId(i));
+        }
+        groups
+    }
+
+    /// Machines that execute at least one task.
+    pub fn used_machines(&self) -> Vec<MachineId> {
+        let mut used = vec![false; self.machine_count];
+        for &machine in &self.assignment {
+            used[machine.index()] = true;
+        }
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(u, _)| MachineId(u))
+            .collect()
+    }
+
+    /// `true` when no machine executes more than one task.
+    pub fn is_one_to_one(&self) -> bool {
+        let mut seen = vec![false; self.machine_count];
+        for &machine in &self.assignment {
+            if seen[machine.index()] {
+                return false;
+            }
+            seen[machine.index()] = true;
+        }
+        true
+    }
+
+    /// `true` when no machine executes tasks of two different types of `app`.
+    pub fn is_specialized(&self, app: &Application) -> bool {
+        let mut machine_type: Vec<Option<TaskTypeId>> = vec![None; self.machine_count];
+        for (i, &machine) in self.assignment.iter().enumerate() {
+            let ty = app.task_type(TaskId(i));
+            match machine_type[machine.index()] {
+                None => machine_type[machine.index()] = Some(ty),
+                Some(existing) if existing != ty => return false,
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    /// The most restrictive rule this mapping satisfies for `app`.
+    pub fn kind(&self, app: &Application) -> MappingKind {
+        if self.is_one_to_one() {
+            MappingKind::OneToOne
+        } else if self.is_specialized(app) {
+            MappingKind::Specialized
+        } else {
+            MappingKind::General
+        }
+    }
+
+    /// Validates the mapping against an application and a required rule.
+    pub fn validate(&self, app: &Application, kind: MappingKind) -> Result<()> {
+        if self.assignment.len() != app.task_count() {
+            return Err(ModelError::IncompleteMapping {
+                expected: app.task_count(),
+                actual: self.assignment.len(),
+            });
+        }
+        match kind {
+            MappingKind::General => Ok(()),
+            MappingKind::Specialized => {
+                if self.is_specialized(app) {
+                    Ok(())
+                } else {
+                    Err(ModelError::RuleViolation {
+                        kind,
+                        detail: "a machine executes tasks of two different types".to_string(),
+                    })
+                }
+            }
+            MappingKind::OneToOne => {
+                if self.is_one_to_one() {
+                    Ok(())
+                } else {
+                    Err(ModelError::RuleViolation {
+                        kind,
+                        detail: "a machine executes more than one task".to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// The type each machine is specialized to (None for idle machines).
+    ///
+    /// Returns an error if the mapping is not specialized for `app`.
+    pub fn machine_specializations(&self, app: &Application) -> Result<Vec<Option<TaskTypeId>>> {
+        let mut machine_type: Vec<Option<TaskTypeId>> = vec![None; self.machine_count];
+        for (i, &machine) in self.assignment.iter().enumerate() {
+            let ty = app.task_type(TaskId(i));
+            match machine_type[machine.index()] {
+                None => machine_type[machine.index()] = Some(ty),
+                Some(existing) if existing != ty => {
+                    return Err(ModelError::RuleViolation {
+                        kind: MappingKind::Specialized,
+                        detail: format!("machine {machine} executes types {existing} and {ty}"),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(machine_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_app() -> Application {
+        // types: 0 1 0 1 0
+        Application::linear_chain(&[0, 1, 0, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_machine_bounds() {
+        assert!(Mapping::from_indices(&[0, 1, 2], 3).is_ok());
+        let err = Mapping::from_indices(&[0, 5], 3).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownMachine { machine: 5, .. }));
+    }
+
+    #[test]
+    fn one_to_one_detection() {
+        let m = Mapping::from_indices(&[0, 1, 2, 3, 4], 5).unwrap();
+        assert!(m.is_one_to_one());
+        let m = Mapping::from_indices(&[0, 1, 0, 3, 4], 5).unwrap();
+        assert!(!m.is_one_to_one());
+    }
+
+    #[test]
+    fn specialized_detection() {
+        let app = chain_app();
+        // Machine 0 gets all type-0 tasks, machine 1 all type-1 tasks.
+        let m = Mapping::from_indices(&[0, 1, 0, 1, 0], 2).unwrap();
+        assert!(m.is_specialized(&app));
+        assert_eq!(m.kind(&app), MappingKind::Specialized);
+        // Machine 0 mixes types.
+        let m = Mapping::from_indices(&[0, 0, 0, 1, 0], 2).unwrap();
+        assert!(!m.is_specialized(&app));
+        assert_eq!(m.kind(&app), MappingKind::General);
+    }
+
+    #[test]
+    fn one_to_one_is_also_specialized() {
+        let app = chain_app();
+        let m = Mapping::from_indices(&[0, 1, 2, 3, 4], 5).unwrap();
+        assert!(m.is_one_to_one());
+        assert!(m.is_specialized(&app));
+        assert_eq!(m.kind(&app), MappingKind::OneToOne);
+    }
+
+    #[test]
+    fn validate_rules() {
+        let app = chain_app();
+        let spec = Mapping::from_indices(&[0, 1, 0, 1, 0], 2).unwrap();
+        assert!(spec.validate(&app, MappingKind::Specialized).is_ok());
+        assert!(spec.validate(&app, MappingKind::General).is_ok());
+        assert!(spec.validate(&app, MappingKind::OneToOne).is_err());
+
+        let incomplete = Mapping::from_indices(&[0, 1], 2).unwrap();
+        assert!(matches!(
+            incomplete.validate(&app, MappingKind::General).unwrap_err(),
+            ModelError::IncompleteMapping { expected: 5, actual: 2 }
+        ));
+    }
+
+    #[test]
+    fn tasks_by_machine_partition() {
+        let m = Mapping::from_indices(&[0, 1, 0, 1, 0], 3).unwrap();
+        let groups = m.tasks_by_machine();
+        assert_eq!(groups[0], vec![TaskId(0), TaskId(2), TaskId(4)]);
+        assert_eq!(groups[1], vec![TaskId(1), TaskId(3)]);
+        assert!(groups[2].is_empty());
+        assert_eq!(m.tasks_on(MachineId(1)), vec![TaskId(1), TaskId(3)]);
+        assert_eq!(m.used_machines(), vec![MachineId(0), MachineId(1)]);
+    }
+
+    #[test]
+    fn machine_specializations() {
+        let app = chain_app();
+        let m = Mapping::from_indices(&[0, 1, 0, 1, 0], 3).unwrap();
+        let spec = m.machine_specializations(&app).unwrap();
+        assert_eq!(spec[0], Some(TaskTypeId(0)));
+        assert_eq!(spec[1], Some(TaskTypeId(1)));
+        assert_eq!(spec[2], None);
+
+        let bad = Mapping::from_indices(&[0, 0, 0, 0, 0], 1).unwrap();
+        assert!(bad.machine_specializations(&app).is_err());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(MappingKind::OneToOne.to_string(), "one-to-one");
+        assert_eq!(MappingKind::Specialized.to_string(), "specialized");
+        assert_eq!(MappingKind::General.to_string(), "general");
+    }
+}

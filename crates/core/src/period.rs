@@ -1,0 +1,224 @@
+//! Periods, throughput and critical machines.
+//!
+//! The **period of a machine** is the time it needs to execute all the tasks
+//! allocated to it in order to contribute one final product:
+//!
+//! ```text
+//! period(Mᵤ) = Σ_{i | a(i) = u} xᵢ · w_{i,u}
+//! ```
+//!
+//! The slowest machine paces the whole factory, so the **system period** is the
+//! maximum machine period, the machines achieving it are the **critical
+//! machines**, and the throughput is the inverse of the period.
+
+use crate::application::Application;
+use crate::demand::{demands, DemandVector};
+use crate::error::Result;
+use crate::failure::FailureModel;
+use crate::ids::MachineId;
+use crate::mapping::Mapping;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// A system or machine period, in the same time unit as the platform
+/// processing times (milliseconds in the paper's experiments).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Period(f64);
+
+impl Period {
+    /// Wraps a raw period value.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        Period(value)
+    }
+
+    /// The raw period value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The corresponding throughput (products per time unit). A zero period
+    /// (idle machine) maps to infinite throughput.
+    #[inline]
+    pub fn throughput(self) -> Throughput {
+        Throughput(1.0 / self.0)
+    }
+}
+
+impl std::fmt::Display for Period {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ms", self.0)
+    }
+}
+
+/// Throughput: expected number of finished products per time unit.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Throughput(f64);
+
+impl Throughput {
+    /// The raw throughput value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The corresponding period.
+    #[inline]
+    pub fn period(self) -> Period {
+        Period(1.0 / self.0)
+    }
+}
+
+/// The full period breakdown of a mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachinePeriods {
+    periods: Vec<f64>,
+    demands: DemandVector,
+}
+
+impl MachinePeriods {
+    /// Computes the per-machine periods of a mapping.
+    pub fn compute(
+        app: &Application,
+        platform: &Platform,
+        failures: &FailureModel,
+        mapping: &Mapping,
+    ) -> Result<Self> {
+        let x = demands(app, failures, mapping)?;
+        let mut periods = vec![0.0f64; platform.machine_count()];
+        for task in app.tasks() {
+            let machine = mapping.machine_of(task.id);
+            let w = platform.time(task.ty, machine);
+            periods[machine.index()] += x.get(task.id) * w;
+        }
+        Ok(MachinePeriods { periods, demands: x })
+    }
+
+    /// The period of a single machine.
+    #[inline]
+    pub fn of(&self, machine: MachineId) -> Period {
+        Period(self.periods[machine.index()])
+    }
+
+    /// All machine periods, indexed by machine.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.periods
+    }
+
+    /// The demands used to compute the periods.
+    #[inline]
+    pub fn demands(&self) -> &DemandVector {
+        &self.demands
+    }
+
+    /// The system period: the largest machine period.
+    pub fn system_period(&self) -> Period {
+        Period(self.periods.iter().copied().fold(0.0, f64::max))
+    }
+
+    /// The machines whose period equals the system period (within `epsilon`).
+    pub fn critical_machines(&self, epsilon: f64) -> Vec<MachineId> {
+        let max = self.system_period().value();
+        self.periods
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| (max - p).abs() <= epsilon)
+            .map(|(u, _)| MachineId(u))
+            .collect()
+    }
+
+    /// Machine utilisation: period of each machine divided by the system
+    /// period (1.0 for critical machines, 0.0 for idle machines).
+    pub fn utilisations(&self) -> Vec<f64> {
+        let max = self.system_period().value();
+        if max == 0.0 {
+            return vec![0.0; self.periods.len()];
+        }
+        self.periods.iter().map(|&p| p / max).collect()
+    }
+}
+
+/// Convenience: the system period of a mapping.
+pub fn system_period(
+    app: &Application,
+    platform: &Platform,
+    failures: &FailureModel,
+    mapping: &Mapping,
+) -> Result<Period> {
+    Ok(MachinePeriods::compute(app, platform, failures, mapping)?.system_period())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureRate;
+
+    fn setup() -> (Application, Platform, FailureModel) {
+        // 3-task chain, types 0,1,0 on 2 machines.
+        let app = Application::linear_chain(&[0, 1, 0]).unwrap();
+        let platform =
+            Platform::from_type_times(2, vec![vec![100.0, 200.0], vec![300.0, 150.0]]).unwrap();
+        let failures = FailureModel::uniform(3, 2, FailureRate::new(0.5).unwrap());
+        (app, platform, failures)
+    }
+
+    #[test]
+    fn periods_sum_demand_times_work() {
+        let (app, platform, failures) = setup();
+        // T1,T3 -> M0 (type 0, 100ms), T2 -> M1 (type 1, 150ms), all f=0.5.
+        let mapping = Mapping::from_indices(&[0, 1, 0], 2).unwrap();
+        let periods = MachinePeriods::compute(&app, &platform, &failures, &mapping).unwrap();
+        // x3 = 2, x2 = 4, x1 = 8.
+        let x = periods.demands();
+        assert_eq!(x.as_slice(), &[8.0, 4.0, 2.0]);
+        // period(M0) = 8*100 + 2*100 = 1000 ; period(M1) = 4*150 = 600.
+        assert_eq!(periods.of(MachineId(0)).value(), 1000.0);
+        assert_eq!(periods.of(MachineId(1)).value(), 600.0);
+        assert_eq!(periods.system_period().value(), 1000.0);
+        assert_eq!(periods.critical_machines(1e-9), vec![MachineId(0)]);
+        let util = periods.utilisations();
+        assert!((util[0] - 1.0).abs() < 1e-12);
+        assert!((util[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_is_inverse_of_period() {
+        let p = Period::new(500.0);
+        assert!((p.throughput().value() - 0.002).abs() < 1e-12);
+        assert!((p.throughput().period().value() - 500.0).abs() < 1e-12);
+        assert!(p.to_string().contains("500"));
+    }
+
+    #[test]
+    fn idle_machines_have_zero_period() {
+        let (app, platform, failures) = setup();
+        let mapping = Mapping::from_indices(&[0, 0, 0], 2).unwrap();
+        let periods = MachinePeriods::compute(&app, &platform, &failures, &mapping).unwrap();
+        assert_eq!(periods.of(MachineId(1)).value(), 0.0);
+        assert!(periods.of(MachineId(0)).value() > 0.0);
+    }
+
+    #[test]
+    fn system_period_helper_matches_breakdown() {
+        let (app, platform, failures) = setup();
+        let mapping = Mapping::from_indices(&[0, 1, 1], 2).unwrap();
+        let full = MachinePeriods::compute(&app, &platform, &failures, &mapping).unwrap();
+        let quick = system_period(&app, &platform, &failures, &mapping).unwrap();
+        assert_eq!(full.system_period(), quick);
+    }
+
+    #[test]
+    fn better_machine_choice_reduces_period() {
+        let (app, platform, failures) = setup();
+        // Putting the type-1 task on its fast machine (M1: 150) beats M0 (300).
+        let good = Mapping::from_indices(&[0, 1, 0], 2).unwrap();
+        let bad = Mapping::from_indices(&[1, 0, 1], 2).unwrap();
+        let pg = system_period(&app, &platform, &failures, &good).unwrap();
+        let pb = system_period(&app, &platform, &failures, &bad).unwrap();
+        assert!(pg.value() < pb.value());
+    }
+}

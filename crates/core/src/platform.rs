@@ -1,0 +1,223 @@
+//! Target platform: machines and type-consistent processing times.
+//!
+//! The platform is a complete graph of `m` machines. Machine `Mᵤ` performs any
+//! task of type `j` on one product in `w_{j,u}` time units; the paper requires
+//! that two tasks of the same type have the same time on a given machine, which
+//! this crate enforces *by construction* by storing times per (type, machine).
+//! Communication times are neglected (or modelled as a dedicated task).
+
+use crate::error::{ModelError, Result};
+use crate::ids::{MachineId, TaskTypeId};
+use serde::{Deserialize, Serialize};
+
+/// The set of machines and their per-type processing times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    machine_count: usize,
+    type_count: usize,
+    /// Row-major `type_count × machine_count` matrix of processing times
+    /// (milliseconds in the paper's experiments).
+    times: Vec<f64>,
+}
+
+impl Platform {
+    /// Builds a platform from a `type_count × machine_count` matrix:
+    /// `type_times[j][u]` is the time for a task of type `j` on machine `u`.
+    pub fn from_type_times(machine_count: usize, type_times: Vec<Vec<f64>>) -> Result<Self> {
+        if machine_count == 0 {
+            return Err(ModelError::NotEnoughMachines { machines: 0, required: 1 });
+        }
+        let type_count = type_times.len();
+        let mut times = Vec::with_capacity(type_count * machine_count);
+        for (ty, row) in type_times.iter().enumerate() {
+            if row.len() != machine_count {
+                return Err(ModelError::DimensionMismatch {
+                    context: "Platform::from_type_times row",
+                    expected: machine_count,
+                    actual: row.len(),
+                });
+            }
+            for (machine, &value) in row.iter().enumerate() {
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(ModelError::InvalidProcessingTime { ty, machine, value });
+                }
+                times.push(value);
+            }
+        }
+        Ok(Platform { machine_count, type_count, times })
+    }
+
+    /// Builds a fully homogeneous platform: every type takes `time` on every
+    /// machine (the setting of Theorem 1 / Theorem 2, `w_{i,u} = w`).
+    pub fn homogeneous(machine_count: usize, type_count: usize, time: f64) -> Result<Self> {
+        Self::from_type_times(machine_count, vec![vec![time; machine_count]; type_count])
+    }
+
+    /// Number of machines `m`.
+    #[inline]
+    pub fn machine_count(&self) -> usize {
+        self.machine_count
+    }
+
+    /// Number of task types the platform knows processing times for.
+    #[inline]
+    pub fn type_count(&self) -> usize {
+        self.type_count
+    }
+
+    /// Iterator over all machine identifiers.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> {
+        (0..self.machine_count).map(MachineId)
+    }
+
+    /// Processing time `w_{j,u}` of one product of type `j` on machine `u`.
+    #[inline]
+    pub fn time(&self, ty: TaskTypeId, machine: MachineId) -> f64 {
+        debug_assert!(ty.index() < self.type_count);
+        debug_assert!(machine.index() < self.machine_count);
+        self.times[ty.index() * self.machine_count + machine.index()]
+    }
+
+    /// All processing times of a machine, indexed by type.
+    pub fn machine_times(&self, machine: MachineId) -> Vec<f64> {
+        (0..self.type_count)
+            .map(|ty| self.time(TaskTypeId(ty), machine))
+            .collect()
+    }
+
+    /// All processing times for a type, indexed by machine.
+    pub fn type_times(&self, ty: TaskTypeId) -> &[f64] {
+        let start = ty.index() * self.machine_count;
+        &self.times[start..start + self.machine_count]
+    }
+
+    /// `true` if every (type, machine) pair has the same processing time.
+    pub fn is_homogeneous(&self) -> bool {
+        match self.times.first() {
+            None => true,
+            Some(&first) => self.times.iter().all(|&t| t == first),
+        }
+    }
+
+    /// The *heterogeneity level* of a machine — the standard deviation of its
+    /// processing times over all types — used by heuristic H3 to order machines.
+    pub fn heterogeneity(&self, machine: MachineId) -> f64 {
+        let times = self.machine_times(machine);
+        standard_deviation(&times)
+    }
+
+    /// Heterogeneity level of all machines, indexed by machine.
+    pub fn heterogeneity_levels(&self) -> Vec<f64> {
+        self.machines().map(|u| self.heterogeneity(u)).collect()
+    }
+
+    /// The slowest time for a type over all machines — pessimistic bound used
+    /// by the binary-search heuristics to initialise the period upper bound.
+    pub fn slowest_time_for_type(&self, ty: TaskTypeId) -> f64 {
+        self.type_times(ty).iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The fastest time for a type over all machines — optimistic bound used by
+    /// the exact solvers.
+    pub fn fastest_time_for_type(&self, ty: TaskTypeId) -> f64 {
+        self.type_times(ty).iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Population standard deviation of a slice (0 for slices of length < 2).
+pub(crate) fn standard_deviation(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    variance.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::from_type_times(3, vec![vec![100.0, 200.0, 300.0], vec![50.0, 50.0, 50.0]])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let p = platform();
+        assert_eq!(p.machine_count(), 3);
+        assert_eq!(p.type_count(), 2);
+        assert_eq!(p.time(TaskTypeId(0), MachineId(2)), 300.0);
+        assert_eq!(p.time(TaskTypeId(1), MachineId(0)), 50.0);
+        assert_eq!(p.type_times(TaskTypeId(0)), &[100.0, 200.0, 300.0]);
+        assert_eq!(p.machine_times(MachineId(1)), vec![200.0, 50.0]);
+    }
+
+    #[test]
+    fn invalid_platforms_are_rejected() {
+        assert!(matches!(
+            Platform::from_type_times(0, vec![]).unwrap_err(),
+            ModelError::NotEnoughMachines { .. }
+        ));
+        assert!(matches!(
+            Platform::from_type_times(2, vec![vec![1.0]]).unwrap_err(),
+            ModelError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            Platform::from_type_times(1, vec![vec![0.0]]).unwrap_err(),
+            ModelError::InvalidProcessingTime { .. }
+        ));
+        assert!(matches!(
+            Platform::from_type_times(1, vec![vec![-3.0]]).unwrap_err(),
+            ModelError::InvalidProcessingTime { .. }
+        ));
+        assert!(matches!(
+            Platform::from_type_times(1, vec![vec![f64::NAN]]).unwrap_err(),
+            ModelError::InvalidProcessingTime { .. }
+        ));
+    }
+
+    #[test]
+    fn homogeneity_detection() {
+        let p = Platform::homogeneous(4, 3, 250.0).unwrap();
+        assert!(p.is_homogeneous());
+        assert_eq!(p.time(TaskTypeId(2), MachineId(3)), 250.0);
+        assert!(!platform().is_homogeneous());
+        // A platform with no types is trivially homogeneous.
+        let empty_types = Platform::from_type_times(2, vec![]).unwrap();
+        assert!(empty_types.is_homogeneous());
+    }
+
+    #[test]
+    fn heterogeneity_levels() {
+        let p = platform();
+        // Machine 0 times: [100, 50] -> std-dev 25; machine 2: [300, 50] -> 125.
+        assert!((p.heterogeneity(MachineId(0)) - 25.0).abs() < 1e-9);
+        assert!((p.heterogeneity(MachineId(2)) - 125.0).abs() < 1e-9);
+        let levels = p.heterogeneity_levels();
+        assert_eq!(levels.len(), 3);
+        assert!(levels[2] > levels[0]);
+        // Homogeneous machines have zero heterogeneity.
+        let homo = Platform::homogeneous(2, 5, 10.0).unwrap();
+        assert_eq!(homo.heterogeneity(MachineId(0)), 0.0);
+    }
+
+    #[test]
+    fn extreme_times_per_type() {
+        let p = platform();
+        assert_eq!(p.slowest_time_for_type(TaskTypeId(0)), 300.0);
+        assert_eq!(p.fastest_time_for_type(TaskTypeId(0)), 100.0);
+        assert_eq!(p.slowest_time_for_type(TaskTypeId(1)), 50.0);
+        assert_eq!(p.fastest_time_for_type(TaskTypeId(1)), 50.0);
+    }
+
+    #[test]
+    fn standard_deviation_edge_cases() {
+        assert_eq!(standard_deviation(&[]), 0.0);
+        assert_eq!(standard_deviation(&[42.0]), 0.0);
+        assert_eq!(standard_deviation(&[5.0, 5.0, 5.0]), 0.0);
+        assert!((standard_deviation(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

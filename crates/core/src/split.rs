@@ -1,0 +1,277 @@
+//! Split mappings — the paper's future-work extension (§8).
+//!
+//! The conclusion of the paper suggests letting "the instances of a same task
+//! be computed by several machines", dividing a task's workload to improve the
+//! throughput. A [`SplitMapping`] captures exactly that: for every task, a
+//! distribution over machines describing which fraction of the task's output
+//! is produced on which machine.
+//!
+//! The demand algebra generalises naturally: if task `Tᵢ` must deliver `dᵢ`
+//! products downstream and routes a fraction `αᵢᵤ` of them through machine
+//! `Mᵤ`, that machine must start `αᵢᵤ·dᵢ/(1 − f_{i,u})` products, each costing
+//! `w_{i,u}`; `dᵢ` itself is the total number of products its successor must
+//! start, summed over the successor's machines. A classical [`Mapping`]
+//! is the degenerate split where every row of the distribution is a unit
+//! vector.
+
+use crate::application::Application;
+use crate::error::{ModelError, Result};
+use crate::ids::{MachineId, TaskId, TaskTypeId};
+use crate::instance::Instance;
+use crate::mapping::{Mapping, MappingKind};
+use crate::period::Period;
+use serde::{Deserialize, Serialize};
+
+/// A fractional allocation of every task over the machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitMapping {
+    /// `weights[i][u]` = fraction of task `i`'s output produced on machine `u`.
+    weights: Vec<Vec<f64>>,
+    machine_count: usize,
+}
+
+/// Per-(task, machine) load breakdown of a split mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPeriods {
+    /// `started[i][u]`: expected number of products task `i` starts on `u`.
+    pub started: Vec<Vec<f64>>,
+    /// Load of every machine.
+    pub machine_loads: Vec<f64>,
+}
+
+impl SplitPeriods {
+    /// The system period (maximum machine load).
+    pub fn system_period(&self) -> Period {
+        Period::new(self.machine_loads.iter().copied().fold(0.0, f64::max))
+    }
+}
+
+impl SplitMapping {
+    /// Builds a split mapping from explicit weights. Every row must be
+    /// non-negative and sum to 1 (within `1e-9`).
+    pub fn new(weights: Vec<Vec<f64>>, machine_count: usize) -> Result<Self> {
+        for (i, row) in weights.iter().enumerate() {
+            if row.len() != machine_count {
+                return Err(ModelError::DimensionMismatch {
+                    context: "SplitMapping row length",
+                    expected: machine_count,
+                    actual: row.len(),
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if row.iter().any(|&w| !(0.0..=1.0 + 1e-9).contains(&w) || !w.is_finite())
+                || (sum - 1.0).abs() > 1e-9
+            {
+                return Err(ModelError::RuleViolation {
+                    kind: MappingKind::General,
+                    detail: format!("task {i}: split weights must be a distribution (sum {sum})"),
+                });
+            }
+        }
+        Ok(SplitMapping { weights, machine_count })
+    }
+
+    /// The degenerate split equivalent to a classical mapping.
+    pub fn from_mapping(mapping: &Mapping) -> Self {
+        let machine_count = mapping.machine_count();
+        let weights = mapping
+            .as_slice()
+            .iter()
+            .map(|&machine| {
+                let mut row = vec![0.0; machine_count];
+                row[machine.index()] = 1.0;
+                row
+            })
+            .collect();
+        SplitMapping { weights, machine_count }
+    }
+
+    /// Number of tasks covered.
+    pub fn task_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of machines of the platform.
+    pub fn machine_count(&self) -> usize {
+        self.machine_count
+    }
+
+    /// The fraction of task `i`'s output produced on machine `u`.
+    pub fn weight(&self, task: TaskId, machine: MachineId) -> f64 {
+        self.weights[task.index()][machine.index()]
+    }
+
+    /// The machines actually used by a task (weight > 0).
+    pub fn machines_of(&self, task: TaskId) -> Vec<MachineId> {
+        self.weights[task.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(u, _)| MachineId(u))
+            .collect()
+    }
+
+    /// `true` when no machine receives work from two different task types
+    /// (the specialized rule, extended to fractional allocations).
+    pub fn is_specialized(&self, app: &Application) -> bool {
+        let mut machine_type: Vec<Option<TaskTypeId>> = vec![None; self.machine_count];
+        for (i, row) in self.weights.iter().enumerate() {
+            let ty = app.task_type(TaskId(i));
+            for (u, &w) in row.iter().enumerate() {
+                if w > 0.0 {
+                    match machine_type[u] {
+                        None => machine_type[u] = Some(ty),
+                        Some(existing) if existing != ty => return false,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Computes the per-machine loads and the started-product breakdown.
+    pub fn periods(&self, instance: &Instance) -> Result<SplitPeriods> {
+        let app = instance.application();
+        let n = app.task_count();
+        if self.weights.len() != n {
+            return Err(ModelError::IncompleteMapping { expected: n, actual: self.weights.len() });
+        }
+        if self.machine_count != instance.machine_count() {
+            return Err(ModelError::DimensionMismatch {
+                context: "SplitMapping machine count",
+                expected: instance.machine_count(),
+                actual: self.machine_count,
+            });
+        }
+        let m = self.machine_count;
+        let mut started = vec![vec![0.0f64; m]; n];
+        // Total products each task must start (filled in reverse topological order).
+        let mut total_started = vec![0.0f64; n];
+        for &task in app.topological_order().iter().rev() {
+            let output_demand = match app.successor(task) {
+                None => 1.0,
+                Some(succ) => total_started[succ.index()],
+            };
+            let mut total = 0.0;
+            for u in 0..m {
+                let weight = self.weights[task.index()][u];
+                if weight > 0.0 {
+                    let x = weight * output_demand
+                        * instance.factor(task, MachineId(u));
+                    started[task.index()][u] = x;
+                    total += x;
+                }
+            }
+            total_started[task.index()] = total;
+        }
+        let mut machine_loads = vec![0.0f64; m];
+        for task in app.tasks() {
+            for u in 0..m {
+                let x = started[task.id.index()][u];
+                if x > 0.0 {
+                    machine_loads[u] += x * instance.time(task.id, MachineId(u));
+                }
+            }
+        }
+        Ok(SplitPeriods { started, machine_loads })
+    }
+
+    /// Convenience: the system period of the split mapping.
+    pub fn period(&self, instance: &Instance) -> Result<Period> {
+        Ok(self.periods(instance)?.system_period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{FailureModel, FailureRate};
+    use crate::platform::Platform;
+
+    fn instance() -> Instance {
+        // 2-task chain of one type on two machines with different speeds.
+        let app = Application::linear_chain(&[0, 0]).unwrap();
+        let platform = Platform::from_type_times(2, vec![vec![100.0, 200.0]]).unwrap();
+        let failures = FailureModel::uniform(2, 2, FailureRate::new(0.0).unwrap());
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    #[test]
+    fn degenerate_split_matches_the_classical_period() {
+        let inst = instance();
+        let mapping = Mapping::from_indices(&[0, 1], 2).unwrap();
+        let split = SplitMapping::from_mapping(&mapping);
+        assert_eq!(split.task_count(), 2);
+        assert_eq!(split.weight(TaskId(0), MachineId(0)), 1.0);
+        let classical = inst.period(&mapping).unwrap().value();
+        let fractional = split.period(&inst).unwrap().value();
+        assert!((classical - fractional).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splitting_a_task_reduces_the_period() {
+        let inst = instance();
+        // Both tasks entirely on machine 0: period 200.
+        let whole = SplitMapping::from_mapping(&Mapping::from_indices(&[0, 0], 2).unwrap());
+        let whole_period = whole.period(&inst).unwrap().value();
+        assert_eq!(whole_period, 200.0);
+        // Split each task 2:1 between the fast (100 ms) and slow (200 ms)
+        // machine: loads become 2/3*100*2 ≈ 133 and 1/3*200*2 ≈ 133.
+        let split = SplitMapping::new(
+            vec![vec![2.0 / 3.0, 1.0 / 3.0], vec![2.0 / 3.0, 1.0 / 3.0]],
+            2,
+        )
+        .unwrap();
+        let split_period = split.period(&inst).unwrap().value();
+        assert!(split_period < whole_period);
+        assert!((split_period - 400.0 / 3.0).abs() < 1e-9);
+        assert!(split.is_specialized(inst.application()));
+    }
+
+    #[test]
+    fn weights_must_form_a_distribution() {
+        assert!(SplitMapping::new(vec![vec![0.5, 0.4]], 2).is_err());
+        assert!(SplitMapping::new(vec![vec![1.5, -0.5]], 2).is_err());
+        assert!(SplitMapping::new(vec![vec![0.5]], 2).is_err());
+        assert!(SplitMapping::new(vec![vec![0.25, 0.75]], 2).is_ok());
+    }
+
+    #[test]
+    fn failures_inflate_split_demands_per_machine() {
+        // One task, demand 1, split over a reliable and an unreliable machine.
+        let app = Application::linear_chain(&[0]).unwrap();
+        let platform = Platform::from_type_times(2, vec![vec![100.0, 100.0]]).unwrap();
+        let failures = FailureModel::from_matrix(vec![vec![0.0, 0.5]], 2).unwrap();
+        let inst = Instance::new(app, platform, failures).unwrap();
+        let split = SplitMapping::new(vec![vec![0.5, 0.5]], 2).unwrap();
+        let breakdown = split.periods(&inst).unwrap();
+        // Machine 0 starts 0.5 products, machine 1 starts 0.5 / 0.5 = 1.
+        assert!((breakdown.started[0][0] - 0.5).abs() < 1e-12);
+        assert!((breakdown.started[0][1] - 1.0).abs() < 1e-12);
+        assert!((breakdown.machine_loads[1] - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specialization_check_detects_mixing() {
+        let app = Application::linear_chain(&[0, 1]).unwrap();
+        // Machine 0 receives fractions of both types.
+        let split = SplitMapping::new(vec![vec![1.0, 0.0], vec![0.5, 0.5]], 2).unwrap();
+        assert!(!split.is_specialized(&app));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_reported() {
+        let inst = instance();
+        let too_few_tasks = SplitMapping::new(vec![vec![1.0, 0.0]], 2).unwrap();
+        assert!(too_few_tasks.periods(&inst).is_err());
+        let wrong_machines = SplitMapping::new(vec![vec![1.0]; 2], 1).unwrap();
+        assert!(wrong_machines.periods(&inst).is_err());
+    }
+
+    #[test]
+    fn machines_of_lists_positive_weights_only() {
+        let split = SplitMapping::new(vec![vec![0.3, 0.0, 0.7]], 3).unwrap();
+        assert_eq!(split.machines_of(TaskId(0)), vec![MachineId(0), MachineId(2)]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Combinatorial branch-and-bound for the specialized-mapping problem.
+//!
+//! This solver plays the role of ILOG CPLEX in the paper's experiments
+//! (Figures 10–12): it computes the **optimal specialized mapping** of small
+//! instances, and degrades gracefully (reporting a non-proven incumbent) when
+//! its node budget is exhausted — mirroring the paper's observation that the
+//! MIP "is not able to find solutions anymore" beyond ~15 tasks.
+//!
+//! The search walks the application backwards (so every task's product demand
+//! is exact at placement time, just like the heuristics), branches on the
+//! admissible machines of the current task and prunes with two bounds:
+//!
+//! * the current maximum machine load (a valid lower bound on any completion);
+//! * a packing bound: the final total load is at least the current total plus,
+//!   for every remaining task, its smallest possible contribution on any
+//!   machine; dividing by `m` bounds the final makespan from below.
+//!
+//! The incumbent is seeded with the H4w heuristic so that pruning is effective
+//! from the first node.
+
+use mf_core::prelude::*;
+use mf_heuristics::{Heuristic, H4wFastestMachine};
+
+/// Configuration of the branch-and-bound search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BnbConfig {
+    /// Maximum number of search nodes (task placements explored).
+    pub max_nodes: u64,
+    /// Relative optimality tolerance: a node is pruned when its bound is not
+    /// better than `incumbent · (1 − tolerance)`.
+    pub tolerance: f64,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig { max_nodes: 20_000_000, tolerance: 1e-9 }
+    }
+}
+
+impl BnbConfig {
+    /// A configuration with a custom node budget.
+    pub fn with_node_budget(max_nodes: u64) -> Self {
+        BnbConfig { max_nodes, ..Default::default() }
+    }
+}
+
+/// Result of the branch-and-bound search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnbOutcome {
+    /// The best specialized mapping found.
+    pub mapping: Mapping,
+    /// Its period.
+    pub period: Period,
+    /// `true` if the search finished and the mapping is proven optimal.
+    pub proven_optimal: bool,
+    /// Number of nodes explored.
+    pub nodes: u64,
+}
+
+struct SearchContext<'a> {
+    instance: &'a Instance,
+    /// Tasks in placement (reverse topological) order.
+    order: Vec<TaskId>,
+    /// Per task, the smallest possible contribution `d_min · w/(1−f)` over all
+    /// machines, where `d_min` uses the most reliable downstream machines.
+    min_contribution: Vec<f64>,
+    config: BnbConfig,
+    best_period: f64,
+    best_mapping: Option<Vec<MachineId>>,
+    nodes: u64,
+    aborted: bool,
+}
+
+struct PartialState {
+    assignment: Vec<Option<MachineId>>,
+    machine_type: Vec<Option<TaskTypeId>>,
+    load: Vec<f64>,
+    demand: Vec<f64>,
+    free_machines: usize,
+    remaining_per_type: Vec<usize>,
+    seated: Vec<bool>,
+    total_load: f64,
+}
+
+impl PartialState {
+    fn new(instance: &Instance) -> Self {
+        let n = instance.task_count();
+        let m = instance.machine_count();
+        let p = instance.type_count();
+        let mut remaining_per_type = vec![0usize; p];
+        for task in instance.application().tasks() {
+            remaining_per_type[task.ty.index()] += 1;
+        }
+        PartialState {
+            assignment: vec![None; n],
+            machine_type: vec![None; m],
+            load: vec![0.0; m],
+            demand: vec![0.0; n],
+            free_machines: m,
+            remaining_per_type,
+            seated: vec![false; p],
+            total_load: 0.0,
+        }
+    }
+
+    fn output_demand(&self, instance: &Instance, task: TaskId) -> f64 {
+        match instance.application().successor(task) {
+            None => 1.0,
+            Some(succ) => self.demand[succ.index()],
+        }
+    }
+
+    fn unseated_count(&self) -> usize {
+        self.remaining_per_type
+            .iter()
+            .zip(&self.seated)
+            .filter(|(&r, &s)| r > 0 && !s)
+            .count()
+    }
+
+    fn admissible(&self, instance: &Instance, task: TaskId, machine: MachineId) -> bool {
+        let ty = instance.application().task_type(task);
+        match self.machine_type[machine.index()] {
+            Some(existing) => existing == ty,
+            None => {
+                if self.seated[ty.index()] {
+                    self.free_machines > self.unseated_count()
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    fn max_load(&self) -> f64 {
+        self.load.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+impl<'a> SearchContext<'a> {
+    fn search(&mut self, depth: usize, state: &mut PartialState, remaining_min: f64) {
+        if self.aborted {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.config.max_nodes {
+            self.aborted = true;
+            return;
+        }
+
+        if depth == self.order.len() {
+            let period = state.max_load();
+            if period < self.best_period {
+                self.best_period = period;
+                self.best_mapping =
+                    Some(state.assignment.iter().map(|a| a.expect("complete")).collect());
+            }
+            return;
+        }
+
+        // Bounds.
+        let m = self.instance.machine_count() as f64;
+        let packing_bound = (state.total_load + remaining_min) / m;
+        let bound = state.max_load().max(packing_bound);
+        if bound >= self.best_period * (1.0 - self.config.tolerance) {
+            return;
+        }
+
+        let task = self.order[depth];
+        let ty = self.instance.application().task_type(task);
+        let demand = state.output_demand(self.instance, task);
+        let next_remaining_min = remaining_min - self.min_contribution[depth];
+
+        // Candidate machines, cheapest incremental load first so that good
+        // incumbents appear early in the depth-first search.
+        let mut candidates: Vec<(MachineId, f64)> = self
+            .instance
+            .platform()
+            .machines()
+            .filter(|&u| state.admissible(self.instance, task, u))
+            .map(|u| (u, demand * self.instance.effective_time(task, u)))
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        for (machine, increment) in candidates {
+            let u = machine.index();
+            // Apply.
+            let was_free = state.machine_type[u].is_none();
+            if was_free {
+                state.machine_type[u] = Some(ty);
+                state.free_machines -= 1;
+            }
+            let was_seated = state.seated[ty.index()];
+            state.seated[ty.index()] = true;
+            state.remaining_per_type[ty.index()] -= 1;
+            let x = demand * self.instance.factor(task, machine);
+            state.demand[task.index()] = x;
+            state.load[u] += increment;
+            state.total_load += increment;
+            state.assignment[task.index()] = Some(machine);
+
+            self.search(depth + 1, state, next_remaining_min);
+
+            // Undo.
+            state.assignment[task.index()] = None;
+            state.load[u] -= increment;
+            state.total_load -= increment;
+            state.demand[task.index()] = 0.0;
+            state.remaining_per_type[ty.index()] += 1;
+            state.seated[ty.index()] = was_seated;
+            if was_free {
+                state.machine_type[u] = None;
+                state.free_machines += 1;
+            }
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+/// Finds the optimal specialized mapping of an instance by branch-and-bound.
+///
+/// Returns an error if the instance admits no specialized mapping at all
+/// (more task types than machines).
+pub fn branch_and_bound(instance: &Instance, config: BnbConfig) -> Result<BnbOutcome> {
+    // Seed the incumbent with H4w (the paper's best heuristic); fall back to
+    // any greedy placement if it fails, and bail out if nothing is feasible.
+    let seed = H4wFastestMachine
+        .map(instance)
+        .map_err(|_| ModelError::NotEnoughMachines {
+            machines: instance.machine_count(),
+            required: instance.type_count(),
+        })?;
+    let seed_period = instance.period(&seed)?.value();
+
+    // Smallest possible contribution of every task, paired with the placement
+    // order. Demand lower bounds are mapping-independent.
+    let order = instance.application().reverse_topological_order();
+    let lower_demand = instance.demand_lower_bounds()?;
+    let min_contribution: Vec<f64> = order
+        .iter()
+        .map(|&task| {
+            let d = match instance.application().successor(task) {
+                None => 1.0,
+                Some(succ) => lower_demand[succ.index()],
+            };
+            let best_eff = instance
+                .platform()
+                .machines()
+                .map(|u| instance.effective_time(task, u))
+                .fold(f64::INFINITY, f64::min);
+            d * best_eff
+        })
+        .collect();
+    let total_min: f64 = min_contribution.iter().sum();
+
+    let mut context = SearchContext {
+        instance,
+        order,
+        min_contribution,
+        config,
+        best_period: seed_period,
+        best_mapping: Some(seed.as_slice().to_vec()),
+        nodes: 0,
+        aborted: false,
+    };
+    let mut state = PartialState::new(instance);
+    context.search(0, &mut state, total_min);
+
+    let assignment = context.best_mapping.expect("seeded with a feasible mapping");
+    let mapping = Mapping::new(assignment, instance.machine_count())?;
+    let period = instance.period(&mapping)?;
+    Ok(BnbOutcome {
+        mapping,
+        period,
+        proven_optimal: !context.aborted,
+        nodes: context.nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::brute_force_specialized;
+
+    fn random_instance(n: usize, m: usize, p: usize, seed: u64) -> Instance {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let types: Vec<usize> = (0..n).map(|i| i % p).collect();
+        let app = Application::linear_chain(&types).unwrap();
+        let times = (0..p).map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect()).collect();
+        let platform = Platform::from_type_times(m, times).unwrap();
+        let failures = FailureModel::from_matrix(
+            (0..n).map(|_| (0..m).map(|_| 0.005 + 0.015 * next()).collect()).collect(),
+            m,
+        )
+        .unwrap();
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        for seed in 0..8 {
+            let inst = random_instance(6, 3, 2, seed);
+            let exact = brute_force_specialized(&inst).unwrap();
+            let bnb = branch_and_bound(&inst, BnbConfig::default()).unwrap();
+            assert!(bnb.proven_optimal);
+            assert!(
+                (bnb.period.value() - exact.period.value()).abs() < 1e-6,
+                "seed {seed}: bnb {} != brute force {}",
+                bnb.period.value(),
+                exact.period.value()
+            );
+            assert!(inst.is_specialized(&bnb.mapping));
+        }
+    }
+
+    #[test]
+    fn never_worse_than_the_seeding_heuristic() {
+        for seed in 0..5 {
+            let inst = random_instance(12, 5, 3, seed);
+            let h4w = H4wFastestMachine.period(&inst).unwrap().value();
+            let bnb = branch_and_bound(&inst, BnbConfig::default()).unwrap();
+            assert!(bnb.period.value() <= h4w + 1e-9);
+        }
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let inst = random_instance(14, 5, 3, 99);
+        let outcome = branch_and_bound(&inst, BnbConfig::with_node_budget(50)).unwrap();
+        assert!(!outcome.proven_optimal);
+        // The incumbent is still a valid specialized mapping.
+        assert!(inst.is_specialized(&outcome.mapping));
+        assert!(outcome.nodes <= 51);
+    }
+
+    #[test]
+    fn infeasible_instances_are_rejected() {
+        let inst = random_instance(4, 2, 3, 1); // p=3 > m=2
+        assert!(branch_and_bound(&inst, BnbConfig::default()).is_err());
+    }
+
+    #[test]
+    fn handles_in_tree_applications() {
+        // The Figure 1 application (a join) with 3 machines.
+        let app = Application::paper_figure1();
+        let p = app.type_count();
+        let n = app.task_count();
+        let platform = Platform::from_type_times(
+            3,
+            (0..p).map(|t| vec![100.0 + 50.0 * t as f64, 200.0, 150.0]).collect(),
+        )
+        .unwrap();
+        let failures = FailureModel::uniform(n, 3, FailureRate::new(0.02).unwrap());
+        let inst = Instance::new(app, platform, failures).unwrap();
+        let exact = brute_force_specialized(&inst).unwrap();
+        let bnb = branch_and_bound(&inst, BnbConfig::default()).unwrap();
+        assert!((bnb.period.value() - exact.period.value()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Exhaustive enumeration of mappings.
+//!
+//! Only usable on tiny instances (the number of general mappings is `mⁿ`), but
+//! invaluable as the ground truth against which the branch-and-bound, the MIP
+//! and the heuristics are validated.
+
+use mf_core::prelude::*;
+
+/// The best mapping found by exhaustive search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhaustiveOutcome {
+    /// The optimal mapping.
+    pub mapping: Mapping,
+    /// Its period.
+    pub period: Period,
+    /// Number of complete mappings evaluated.
+    pub evaluated: usize,
+}
+
+fn enumerate(
+    instance: &Instance,
+    kind: MappingKind,
+) -> Result<ExhaustiveOutcome> {
+    let n = instance.task_count();
+    let m = instance.machine_count();
+    let mut assignment = vec![0usize; n];
+    let mut best: Option<(f64, Mapping)> = None;
+    let mut evaluated = 0usize;
+
+    loop {
+        let mapping = Mapping::from_indices(&assignment, m)?;
+        let acceptable = match kind {
+            MappingKind::General => true,
+            MappingKind::Specialized => instance.is_specialized(&mapping),
+            MappingKind::OneToOne => mapping.is_one_to_one(),
+        };
+        if acceptable {
+            evaluated += 1;
+            let period = instance.period(&mapping)?.value();
+            if best.as_ref().map_or(true, |(p, _)| period < *p) {
+                best = Some((period, mapping));
+            }
+        }
+        // Next assignment in lexicographic order.
+        let mut i = 0;
+        loop {
+            if i == n {
+                let (period, mapping) = best.ok_or(ModelError::NotEnoughMachines {
+                    machines: m,
+                    required: match kind {
+                        MappingKind::OneToOne => n,
+                        _ => instance.type_count(),
+                    },
+                })?;
+                return Ok(ExhaustiveOutcome { mapping, period: Period::new(period), evaluated });
+            }
+            assignment[i] += 1;
+            if assignment[i] < m {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Optimal **general** mapping by exhaustive search (`mⁿ` candidates).
+pub fn brute_force_general(instance: &Instance) -> Result<ExhaustiveOutcome> {
+    enumerate(instance, MappingKind::General)
+}
+
+/// Optimal **specialized** mapping by exhaustive search.
+pub fn brute_force_specialized(instance: &Instance) -> Result<ExhaustiveOutcome> {
+    enumerate(instance, MappingKind::Specialized)
+}
+
+/// Optimal **one-to-one** mapping by exhaustive search.
+pub fn brute_force_one_to_one(instance: &Instance) -> Result<ExhaustiveOutcome> {
+    enumerate(instance, MappingKind::OneToOne)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_instance() -> Instance {
+        let app = Application::linear_chain(&[0, 1, 0]).unwrap();
+        let platform =
+            Platform::from_type_times(3, vec![vec![100.0, 250.0, 400.0], vec![300.0, 120.0, 200.0]])
+                .unwrap();
+        let failures = FailureModel::from_matrix(
+            vec![
+                vec![0.01, 0.05, 0.02],
+                vec![0.03, 0.01, 0.08],
+                vec![0.02, 0.02, 0.01],
+            ],
+            3,
+        )
+        .unwrap();
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    #[test]
+    fn hierarchy_of_mapping_rules() {
+        // More freedom can only improve (or keep) the optimal period.
+        let inst = small_instance();
+        let general = brute_force_general(&inst).unwrap();
+        let specialized = brute_force_specialized(&inst).unwrap();
+        let one_to_one = brute_force_one_to_one(&inst).unwrap();
+        assert!(general.period.value() <= specialized.period.value() + 1e-9);
+        assert!(specialized.period.value() <= one_to_one.period.value() + 1e-9);
+        assert!(inst.is_specialized(&specialized.mapping));
+        assert!(one_to_one.mapping.is_one_to_one());
+        // 3 tasks on 3 machines: 27 general mappings.
+        assert_eq!(general.evaluated, 27);
+        assert_eq!(one_to_one.evaluated, 6);
+    }
+
+    #[test]
+    fn one_to_one_needs_enough_machines() {
+        let app = Application::linear_chain(&[0, 0, 0]).unwrap();
+        let platform = Platform::homogeneous(2, 1, 100.0).unwrap();
+        let failures = FailureModel::uniform(3, 2, FailureRate::ZERO);
+        let inst = Instance::new(app, platform, failures).unwrap();
+        assert!(brute_force_one_to_one(&inst).is_err());
+        // The specialized problem is still solvable.
+        assert!(brute_force_specialized(&inst).is_ok());
+    }
+
+    #[test]
+    fn failure_free_homogeneous_optimum_is_balanced() {
+        // 4 identical tasks, 2 identical machines: optimum splits 2/2.
+        let app = Application::linear_chain(&[0, 0, 0, 0]).unwrap();
+        let platform = Platform::homogeneous(2, 1, 100.0).unwrap();
+        let failures = FailureModel::uniform(4, 2, FailureRate::ZERO);
+        let inst = Instance::new(app, platform, failures).unwrap();
+        let best = brute_force_specialized(&inst).unwrap();
+        assert!((best.period.value() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Optimal one-to-one mappings (paper §5.1 and §7.2).
+//!
+//! Two polynomial special cases are implemented:
+//!
+//! * **Theorem 1** — linear chain on *homogeneous* machines (`w_{i,u} = w`):
+//!   the period is `w·Π 1/(1 − f_{j,a(j)})`, so minimising it is a minimum
+//!   weight bipartite matching with edge costs `−log(1 − f_{j,u})`, solved by
+//!   the Hungarian algorithm;
+//! * **task-attached failures** (`f_{i,u} = f_i`, the setting of Figure 9): the
+//!   demands `xᵢ` do not depend on the mapping, the period of each machine is
+//!   the cost of its single task, and the optimal one-to-one mapping is a
+//!   bottleneck assignment over the costs `xᵢ·w_{i,u}`.
+
+use mf_core::prelude::*;
+use mf_matching::{bottleneck_assignment, hungarian, CostMatrix};
+
+/// An optimal one-to-one mapping together with its period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneToOneOutcome {
+    /// The optimal one-to-one mapping.
+    pub mapping: Mapping,
+    /// Its period.
+    pub period: Period,
+}
+
+fn require(condition: bool, detail: &str) -> Result<()> {
+    if condition {
+        Ok(())
+    } else {
+        Err(ModelError::RuleViolation {
+            kind: MappingKind::OneToOne,
+            detail: detail.to_string(),
+        })
+    }
+}
+
+/// Optimal one-to-one mapping for a **linear chain on homogeneous machines**
+/// (Theorem 1). Fails if the application is not a linear chain, the platform
+/// is not homogeneous, or there are fewer machines than tasks.
+pub fn optimal_one_to_one_chain_homogeneous(instance: &Instance) -> Result<OneToOneOutcome> {
+    require(
+        instance.application().is_linear_chain(),
+        "Theorem 1 requires a linear chain application",
+    )?;
+    require(
+        instance.platform().is_homogeneous(),
+        "Theorem 1 requires homogeneous machines (w_{i,u} = w)",
+    )?;
+    let n = instance.task_count();
+    let m = instance.machine_count();
+    if n > m {
+        return Err(ModelError::NotEnoughMachines { machines: m, required: n });
+    }
+
+    // Minimise Π F_j  ⇔  minimise Σ −log(1 − f_{j,u}).
+    let costs = CostMatrix::from_fn(n, m, |i, u| {
+        -instance.failure(TaskId(i), MachineId(u)).success().ln()
+    });
+    let assignment = hungarian(&costs).ok_or(ModelError::NotEnoughMachines {
+        machines: m,
+        required: n,
+    })?;
+    let mapping = Mapping::from_indices(&assignment.row_to_col, m)?;
+    let period = instance.period(&mapping)?;
+    Ok(OneToOneOutcome { mapping, period })
+}
+
+/// Optimal one-to-one mapping when failures are attached to tasks only
+/// (`f_{i,u} = f_i`), the reference solution of Figure 9.
+///
+/// Fails if the failure model actually depends on the machine or if there are
+/// fewer machines than tasks.
+pub fn optimal_one_to_one_bottleneck(instance: &Instance) -> Result<OneToOneOutcome> {
+    require(
+        instance.failures().is_task_dependent_only(),
+        "the bottleneck reduction requires f_{i,u} = f_i (task-attached failures)",
+    )?;
+    let n = instance.task_count();
+    let m = instance.machine_count();
+    if n > m {
+        return Err(ModelError::NotEnoughMachines { machines: m, required: n });
+    }
+
+    // Demands are mapping-independent here: x_i = Π_{j ∈ downstream(i) ∪ {i}} F_j.
+    // Computing them with machine 0 is safe because f does not depend on u.
+    let reference = Mapping::from_indices(&vec![0usize; n], m)?;
+    let demands = instance.demands(&reference)?;
+
+    let costs = CostMatrix::from_fn(n, m, |i, u| {
+        demands.get(TaskId(i)) * instance.time(TaskId(i), MachineId(u))
+    });
+    let result = bottleneck_assignment(&costs).ok_or(ModelError::NotEnoughMachines {
+        machines: m,
+        required: n,
+    })?;
+    let mapping = Mapping::from_indices(&result.row_to_col, m)?;
+    let period = instance.period(&mapping)?;
+    Ok(OneToOneOutcome { mapping, period })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::brute_force_one_to_one;
+
+    fn xorshift(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn theorem1_matches_brute_force() {
+        for seed in 0..5 {
+            let mut next = xorshift(seed);
+            let n = 5;
+            let m = 6;
+            let app = Application::linear_chain(&vec![0; n]).unwrap();
+            let platform = Platform::homogeneous(m, 1, 100.0).unwrap();
+            let failures = FailureModel::from_matrix(
+                (0..n).map(|_| (0..m).map(|_| 0.3 * next()).collect()).collect(),
+                m,
+            )
+            .unwrap();
+            let inst = Instance::new(app, platform, failures).unwrap();
+            let optimal = optimal_one_to_one_chain_homogeneous(&inst).unwrap();
+            let brute = brute_force_one_to_one(&inst).unwrap();
+            assert!(
+                (optimal.period.value() - brute.period.value()).abs() < 1e-6,
+                "seed {seed}: {} != {}",
+                optimal.period.value(),
+                brute.period.value()
+            );
+            assert!(optimal.mapping.is_one_to_one());
+        }
+    }
+
+    #[test]
+    fn theorem1_preconditions_are_checked() {
+        // Heterogeneous platform.
+        let app = Application::linear_chain(&[0, 0]).unwrap();
+        let platform = Platform::from_type_times(2, vec![vec![100.0, 200.0]]).unwrap();
+        let failures = FailureModel::uniform(2, 2, FailureRate::new(0.1).unwrap());
+        let inst = Instance::new(app, platform, failures).unwrap();
+        assert!(optimal_one_to_one_chain_homogeneous(&inst).is_err());
+
+        // Non-chain application.
+        let app = Application::paper_figure1();
+        let n = app.task_count();
+        let platform = Platform::homogeneous(n, app.type_count(), 100.0).unwrap();
+        let failures = FailureModel::uniform(n, n, FailureRate::new(0.1).unwrap());
+        let inst = Instance::new(app, platform, failures).unwrap();
+        assert!(optimal_one_to_one_chain_homogeneous(&inst).is_err());
+
+        // Too few machines.
+        let app = Application::linear_chain(&[0, 0, 0]).unwrap();
+        let platform = Platform::homogeneous(2, 1, 100.0).unwrap();
+        let failures = FailureModel::uniform(3, 2, FailureRate::ZERO);
+        let inst = Instance::new(app, platform, failures).unwrap();
+        assert!(matches!(
+            optimal_one_to_one_chain_homogeneous(&inst).unwrap_err(),
+            ModelError::NotEnoughMachines { .. }
+        ));
+    }
+
+    #[test]
+    fn bottleneck_matches_brute_force_with_task_failures() {
+        for seed in 0..5 {
+            let mut next = xorshift(seed + 100);
+            let n = 5;
+            let m = 6;
+            let types: Vec<usize> = (0..n).map(|i| i % 2).collect();
+            let app = Application::linear_chain(&types).unwrap();
+            let times = (0..2).map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect()).collect();
+            let platform = Platform::from_type_times(m, times).unwrap();
+            let task_rates: Vec<FailureRate> =
+                (0..n).map(|_| FailureRate::new(0.2 * next()).unwrap()).collect();
+            let failures = FailureModel::task_dependent(&task_rates, m);
+            let inst = Instance::new(app, platform, failures).unwrap();
+            let optimal = optimal_one_to_one_bottleneck(&inst).unwrap();
+            let brute = brute_force_one_to_one(&inst).unwrap();
+            assert!(
+                (optimal.period.value() - brute.period.value()).abs() < 1e-6,
+                "seed {seed}: {} != {}",
+                optimal.period.value(),
+                brute.period.value()
+            );
+        }
+    }
+
+    #[test]
+    fn bottleneck_requires_task_attached_failures() {
+        let app = Application::linear_chain(&[0, 0]).unwrap();
+        let platform = Platform::homogeneous(2, 1, 100.0).unwrap();
+        let failures =
+            FailureModel::from_matrix(vec![vec![0.1, 0.2], vec![0.1, 0.1]], 2).unwrap();
+        let inst = Instance::new(app, platform, failures).unwrap();
+        assert!(optimal_one_to_one_bottleneck(&inst).is_err());
+    }
+
+    #[test]
+    fn specialized_optimum_is_at_least_as_good_as_one_to_one() {
+        // With task-attached failures and more machines than tasks, any
+        // one-to-one mapping is specialized, so the specialized optimum can
+        // only be better or equal.
+        let mut next = xorshift(4242);
+        let n = 5;
+        let m = 6;
+        let types: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let app = Application::linear_chain(&types).unwrap();
+        let times = (0..2).map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect()).collect();
+        let platform = Platform::from_type_times(m, times).unwrap();
+        let task_rates: Vec<FailureRate> =
+            (0..n).map(|_| FailureRate::new(0.05 * next()).unwrap()).collect();
+        let failures = FailureModel::task_dependent(&task_rates, m);
+        let inst = Instance::new(app, platform, failures).unwrap();
+        let oto = optimal_one_to_one_bottleneck(&inst).unwrap();
+        let spec = crate::bnb::branch_and_bound(&inst, crate::bnb::BnbConfig::default()).unwrap();
+        assert!(spec.period.value() <= oto.period.value() + 1e-9);
+    }
+}

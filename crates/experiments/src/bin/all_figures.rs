@@ -1,0 +1,25 @@
+//! Runs every figure experiment in sequence and prints all tables.
+
+mod common;
+
+use mf_experiments::figures;
+
+fn main() {
+    let options = common::parse_args();
+    let reports = [
+        figures::fig5::run(&options.config),
+        figures::fig6::run(&options.config),
+        figures::fig7::run(&options.config),
+        figures::fig8::run(&options.config),
+        figures::fig9::run(&options.config),
+        figures::fig10::run(&options.config),
+        figures::fig11::run(&options.config),
+        figures::fig12::run(&options.config),
+    ];
+    for report in &reports {
+        common::print_report(report, &options);
+        println!();
+    }
+    let summary = figures::summary::run(&options.config);
+    print!("{}", summary.to_table());
+}

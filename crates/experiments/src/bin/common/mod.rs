@@ -1,0 +1,43 @@
+//! Shared command-line handling for the figure binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--full` — run the paper's full protocol (30 repetitions) instead of the
+//!   quick one;
+//! * `--reps <N>` — override the number of repetitions;
+//! * `--csv` — print the CSV dump after the table.
+
+use mf_experiments::{ExperimentConfig, FigureReport};
+
+/// Parsed command-line options.
+pub struct Options {
+    /// Experiment configuration derived from the flags.
+    pub config: ExperimentConfig,
+    /// Whether to print the CSV dump.
+    pub csv: bool,
+}
+
+/// Parses the process arguments.
+pub fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = if args.iter().any(|a| a == "--full") {
+        ExperimentConfig::full()
+    } else {
+        ExperimentConfig::quick()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--reps") {
+        if let Some(value) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            config.repetitions = value;
+        }
+    }
+    Options { config, csv: args.iter().any(|a| a == "--csv") }
+}
+
+/// Prints a figure report as a table (and optionally CSV).
+pub fn print_report(report: &FigureReport, options: &Options) {
+    print!("{}", report.to_table());
+    if options.csv {
+        println!();
+        print!("{}", report.to_csv());
+    }
+}

@@ -1,0 +1,10 @@
+//! Extension experiment: workload splitting (the paper's future work, §8).
+//! Compares the best classical heuristic H4w with the H5 splitting optimiser.
+
+mod common;
+
+fn main() {
+    let options = common::parse_args();
+    let report = mf_experiments::figures::ext_split::run(&options.config);
+    common::print_report(&report, &options);
+}

@@ -1,0 +1,9 @@
+//! Reproduces Figure 11 of the paper. Run with `--full` for the full protocol.
+
+mod common;
+
+fn main() {
+    let options = common::parse_args();
+    let report = mf_experiments::figures::fig11::run(&options.config);
+    common::print_report(&report, &options);
+}

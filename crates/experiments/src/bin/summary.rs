@@ -1,0 +1,11 @@
+//! Recomputes the summary ratios of §7.2–§7.4 (factors from the optimal
+//! one-to-one mapping and from the exact specialized optimum).
+
+#[allow(dead_code)]
+mod common;
+
+fn main() {
+    let options = common::parse_args();
+    let summary = mf_experiments::figures::summary::run(&options.config);
+    print!("{}", summary.to_table());
+}

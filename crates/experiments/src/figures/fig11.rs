@@ -1,0 +1,43 @@
+//! Figure 11 — normalisation of the Figure 10 results by the exact optimum.
+//!
+//! Same instances as Figure 10 (`m = 5`, `p = 2`, `n ∈ [2, 16]`), but every
+//! heuristic period is divided by the optimal period of the instance. The
+//! paper reports H2, H3 and H4w at factors of roughly 1.73, 1.58 and 1.33 from
+//! the optimum.
+
+use crate::config::ExperimentConfig;
+use crate::figures::{fig10, steps};
+use crate::report::FigureReport;
+
+/// The heuristics normalised in Figure 11.
+pub const LABELS: [&str; 6] = ["H1", "H2", "H3", "H4", "H4w", "H4f"];
+
+/// Runs the Figure 11 experiment.
+pub fn run(config: &ExperimentConfig) -> FigureReport {
+    run_with_tasks(config, steps(2, 16, 1))
+}
+
+/// Runs the Figure 11 experiment for an explicit list of task counts.
+pub fn run_with_tasks(config: &ExperimentConfig, task_counts: Vec<usize>) -> FigureReport {
+    fig10::ratios_to_optimal(config, task_counts, &LABELS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_orders_the_heuristics_like_the_paper() {
+        let config = ExperimentConfig {
+            repetitions: 5,
+            exact_node_budget: 500_000,
+            ..ExperimentConfig::quick()
+        };
+        let report = run_with_tasks(&config, vec![8, 10]);
+        let ratio = |label: &str| report.series(label).unwrap().overall_mean().unwrap();
+        // The speed-aware greedy heuristics must stay well under the random one.
+        assert!(ratio("H4w") < ratio("H1"), "H4w should normalise better than H1");
+        // And reasonably close to the optimum (paper: 1.33 on the full protocol).
+        assert!(ratio("H4w") < 1.9, "H4w ratio {} too far from optimum", ratio("H4w"));
+    }
+}

@@ -1,0 +1,178 @@
+//! One module per figure of the paper's evaluation section, plus the shared
+//! sweep machinery and the summary ratios quoted in §7.2–§7.4.
+
+pub mod ext_split;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod summary;
+
+use crate::config::ExperimentConfig;
+use crate::report::{FigureReport, Series};
+use crate::runner::parallel_map;
+use crate::stats::Stats;
+use mf_core::prelude::*;
+use mf_heuristics::Heuristic;
+use mf_sim::{GeneratorConfig, InstanceGenerator};
+
+/// Static description of a sweep (axes, labels, x values).
+pub struct SweepSpec {
+    /// Report identifier (`"fig5"`, …).
+    pub id: &'static str,
+    /// Numeric figure index used for seed derivation.
+    pub figure_index: u32,
+    /// Human-readable title (platform parameters).
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// One label per value returned by the evaluation closure.
+    pub labels: Vec<String>,
+    /// The x values swept.
+    pub x_values: Vec<usize>,
+}
+
+/// Runs a sweep: for every x value, `config.repetitions` instances are drawn
+/// from `generator_for(x)` and handed to `evaluate`, which returns one
+/// (optional) measurement per label of the spec.
+pub fn run_sweep<G, E>(
+    config: &ExperimentConfig,
+    spec: SweepSpec,
+    generator_for: G,
+    evaluate: E,
+) -> FigureReport
+where
+    G: Fn(usize) -> GeneratorConfig + Sync,
+    E: Fn(&Instance) -> Vec<Option<f64>> + Sync,
+{
+    let reps = config.repetitions.max(1);
+    let points = spec.x_values.len();
+    let labels = spec.labels.len();
+
+    let per_item: Vec<Vec<Option<f64>>> =
+        parallel_map(points * reps, config.effective_threads(), |item| {
+            let point = item / reps;
+            let rep = item % reps;
+            let x = spec.x_values[point];
+            let seed = config.seed_for(spec.figure_index, point, rep);
+            let generator = InstanceGenerator::new(generator_for(x));
+            match generator.generate(seed) {
+                Ok(instance) => {
+                    let mut values = evaluate(&instance);
+                    values.resize(labels, None);
+                    values
+                }
+                Err(_) => vec![None; labels],
+            }
+        });
+
+    let mut series: Vec<Series> = spec
+        .labels
+        .iter()
+        .map(|label| Series { label: label.clone(), points: Vec::with_capacity(points) })
+        .collect();
+    for point in 0..points {
+        let x = spec.x_values[point] as f64;
+        for (k, series) in series.iter_mut().enumerate() {
+            let samples: Vec<f64> = (0..reps)
+                .filter_map(|rep| per_item[point * reps + rep][k])
+                .collect();
+            series.points.push((x, Stats::from_samples(&samples)));
+        }
+    }
+
+    FigureReport {
+        id: spec.id.to_string(),
+        title: spec.title,
+        x_label: spec.x_label,
+        y_label: spec.y_label,
+        series,
+    }
+}
+
+/// Periods achieved by a list of heuristics on one instance (`None` when a
+/// heuristic fails, which only happens when `p > m`).
+pub fn heuristic_periods(
+    heuristics: &[Box<dyn Heuristic + Send + Sync>],
+    instance: &Instance,
+) -> Vec<Option<f64>> {
+    heuristics
+        .iter()
+        .map(|h| h.period(instance).ok().map(|p| p.value()))
+        .collect()
+}
+
+/// The heuristic subset used by a figure, by name, drawn from the paper
+/// registry (H1's randomness is seeded from the instance-independent seed 1).
+pub fn heuristics_by_name(names: &[&str]) -> Vec<Box<dyn Heuristic + Send + Sync>> {
+    mf_heuristics::all_paper_heuristics(1)
+        .into_iter()
+        .filter(|h| names.contains(&h.name()))
+        .collect()
+}
+
+/// Inclusive range with a step, e.g. `steps(50, 150, 10)`.
+pub fn steps(from: usize, to: usize, step: usize) -> Vec<usize> {
+    let mut values = Vec::new();
+    let mut x = from;
+    while x <= to {
+        values.push(x);
+        x += step;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_generates_inclusive_ranges() {
+        assert_eq!(steps(50, 80, 10), vec![50, 60, 70, 80]);
+        assert_eq!(steps(2, 5, 1), vec![2, 3, 4, 5]);
+        assert_eq!(steps(5, 4, 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn heuristics_by_name_filters_the_registry() {
+        let subset = heuristics_by_name(&["H2", "H4w"]);
+        let names: Vec<_> = subset.iter().map(|h| h.name().to_string()).collect();
+        assert_eq!(names, vec!["H2", "H4w"]);
+    }
+
+    #[test]
+    fn run_sweep_produces_one_series_per_label() {
+        let config = ExperimentConfig { repetitions: 2, ..ExperimentConfig::quick() };
+        let spec = SweepSpec {
+            id: "test",
+            figure_index: 99,
+            title: "tiny".into(),
+            x_label: "tasks".into(),
+            y_label: "period".into(),
+            labels: vec!["H2".into(), "H4w".into()],
+            x_values: vec![4, 6],
+        };
+        let heuristics = heuristics_by_name(&["H2", "H4w"]);
+        let report = run_sweep(
+            &config,
+            spec,
+            |n| GeneratorConfig::paper_standard(n, 3, 2),
+            |instance| heuristic_periods(&heuristics, instance),
+        );
+        assert_eq!(report.series.len(), 2);
+        assert_eq!(report.x_values(), vec![4.0, 6.0]);
+        for series in &report.series {
+            for (_, stats) in &series.points {
+                let stats = stats.expect("heuristics succeed on these instances");
+                assert_eq!(stats.count, 2);
+                assert!(stats.mean > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Experiment reports: series of (x, statistics) points rendered as text
+//! tables and CSV.
+
+use crate::stats::Stats;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One curve of a figure: a label and its (x, statistics) points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (heuristic name, "MIP", "OtO", …).
+    pub label: String,
+    /// Points of the curve: x value (number of tasks, of types, …) and the
+    /// statistics of the measured quantity. `None` marks a point where the
+    /// method produced no result (e.g. the exact solver timed out), matching
+    /// the holes in the paper's Figure 12.
+    pub points: Vec<(f64, Option<Stats>)>,
+}
+
+impl Series {
+    /// Mean value at a given x, if present.
+    pub fn mean_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .and_then(|(_, stats)| stats.map(|s| s.mean))
+    }
+
+    /// Average of the per-point means (ignoring missing points).
+    pub fn overall_mean(&self) -> Option<f64> {
+        let values: Vec<f64> = self.points.iter().filter_map(|(_, s)| s.map(|s| s.mean)).collect();
+        crate::stats::mean(&values)
+    }
+}
+
+/// A complete figure reproduction: metadata plus one series per method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Identifier, e.g. `"fig5"`.
+    pub id: String,
+    /// Human-readable title, e.g. `"m = 50, p = 5"`.
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureReport {
+    /// Finds a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// The x values of the first series (all series share their x values).
+    pub fn x_values(&self) -> Vec<f64> {
+        self.series.first().map(|s| s.points.iter().map(|(x, _)| *x).collect()).unwrap_or_default()
+    }
+
+    /// Renders the report as an aligned text table (one row per x value, one
+    /// column per series).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# y: {}  (mean over instances)", self.y_label);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for series in &self.series {
+            let _ = write!(out, " {:>12}", series.label);
+        }
+        let _ = writeln!(out);
+        for (row, x) in self.x_values().iter().enumerate() {
+            let _ = write!(out, "{x:>12.0}");
+            for series in &self.series {
+                match series.points.get(row).and_then(|(_, s)| *s) {
+                    Some(stats) => {
+                        let _ = write!(out, " {:>12.1}", stats.mean);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the report as CSV (`x,label,count,mean,std,min,max`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,series,count,mean,std_dev,min,max\n");
+        for series in &self.series {
+            for (x, stats) in &series.points {
+                match stats {
+                    Some(s) => {
+                        let _ = writeln!(
+                            out,
+                            "{x},{},{},{},{},{},{}",
+                            series.label, s.count, s.mean, s.std_dev, s.min, s.max
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{x},{},0,,,,", series.label);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> FigureReport {
+        let stats = |mean: f64| Stats { count: 3, mean, std_dev: 1.0, min: mean - 1.0, max: mean + 1.0 };
+        FigureReport {
+            id: "figX".into(),
+            title: "test".into(),
+            x_label: "tasks".into(),
+            y_label: "period".into(),
+            series: vec![
+                Series {
+                    label: "H2".into(),
+                    points: vec![(10.0, Some(stats(100.0))), (20.0, Some(stats(200.0)))],
+                },
+                Series {
+                    label: "MIP".into(),
+                    points: vec![(10.0, Some(stats(90.0))), (20.0, None)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_rendering_contains_all_columns() {
+        let report = sample_report();
+        let table = report.to_table();
+        assert!(table.contains("H2"));
+        assert!(table.contains("MIP"));
+        assert!(table.contains("100.0"));
+        assert!(table.contains('-'), "missing points render as a dash");
+        assert_eq!(report.x_values(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn csv_rendering_has_one_line_per_point() {
+        let report = sample_report();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 1 + 4);
+        assert!(lines[1].starts_with("10,H2,3,100"));
+        assert!(lines[4].starts_with("20,MIP,0"));
+    }
+
+    #[test]
+    fn series_lookup_helpers() {
+        let report = sample_report();
+        assert_eq!(report.series("H2").unwrap().mean_at(20.0), Some(200.0));
+        assert_eq!(report.series("MIP").unwrap().mean_at(20.0), None);
+        assert_eq!(report.series("H2").unwrap().overall_mean(), Some(150.0));
+        assert!(report.series("nope").is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Parallel sweep runner.
+//!
+//! Experiment points are embarrassingly parallel (one instance = one unit of
+//! work), so the runner simply fans a work queue out to scoped crossbeam
+//! threads. Results are written into a pre-allocated slot per work item, which
+//! keeps the output order deterministic regardless of scheduling.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `work(i)` for every `i < items` on `threads` worker threads and
+/// collects the results in index order.
+pub fn parallel_map<T, F>(items: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if items == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items);
+    if threads == 1 {
+        return (0..items).map(&work).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = (0..items).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items {
+                    break;
+                }
+                let result = work(index);
+                *slots[index].lock() = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every work item produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_order() {
+        let results = parallel_map(100, 4, |i| i * i);
+        assert_eq!(results.len(), 100);
+        for (i, &value) in results.iter().enumerate() {
+            assert_eq!(value, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_and_empty_cases() {
+        assert_eq!(parallel_map(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        let empty: Vec<usize> = parallel_map(0, 8, |i| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let results = parallel_map(3, 16, |i| i as f64 * 0.5);
+        assert_eq!(results, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn heavier_work_is_shared() {
+        // Just a smoke test that nothing deadlocks with contention.
+        let results = parallel_map(64, 8, |i| {
+            let mut acc = 0u64;
+            for k in 0..10_000u64 {
+                acc = acc.wrapping_add(k.wrapping_mul(i as u64 + 1));
+            }
+            acc
+        });
+        assert_eq!(results.len(), 64);
+        assert_eq!(results[0], (0..10_000u64).sum::<u64>());
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal descriptive statistics for experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of periods (or ratios).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes statistics over a sample; returns `None` for an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Stats { count, mean, std_dev: variance.sqrt(), min, max })
+    }
+
+    /// Half-width of the 95% normal-approximation confidence interval on the
+    /// mean.
+    pub fn confidence_95(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Arithmetic mean of a slice (`None` when empty).
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    Stats::from_samples(samples).map(|s| s.mean)
+}
+
+/// Geometric mean of a slice of positive values (`None` when empty).
+///
+/// The paper quotes heuristic quality as an average *factor from the optimal*;
+/// the geometric mean is the natural average for ratios.
+pub fn geometric_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = samples.iter().map(|v| v.ln()).sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let stats = Stats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(stats.count, 8);
+        assert!((stats.mean - 5.0).abs() < 1e-12);
+        assert!((stats.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(stats.min, 2.0);
+        assert_eq!(stats.max, 9.0);
+        assert!(stats.confidence_95() > 0.0);
+    }
+
+    #[test]
+    fn empty_samples_have_no_stats() {
+        assert!(Stats::from_samples(&[]).is_none());
+        assert!(mean(&[]).is_none());
+        assert!(geometric_mean(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let stats = Stats::from_samples(&[3.5]).unwrap();
+        assert_eq!(stats.mean, 3.5);
+        assert_eq!(stats.std_dev, 0.0);
+        assert_eq!(stats.confidence_95(), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        let g = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[1.0, -1.0]).is_none());
+        assert!(geometric_mean(&[2.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Shared scaffolding for the backward assignment heuristics.
+//!
+//! All six heuristics of the paper walk the application in reverse topological
+//! order and place one task at a time. [`AssignmentState`] encapsulates the
+//! bookkeeping they share:
+//!
+//! * which type each machine is already specialized to,
+//! * the accumulated load `Σ xⱼ·w_{j,u}` of each machine,
+//! * the exact product demand of every placed task (so the *output demand*
+//!   `dᵢ` of the task being placed is always known),
+//! * the reservation rule that keeps one free machine per still-unseated type,
+//!   guaranteeing that a specialized mapping can always be completed when
+//!   `m ≥ p`.
+
+use crate::heuristic::{HeuristicError, HeuristicResult};
+use mf_core::prelude::*;
+
+/// Mutable state of a backward task-by-task assignment.
+#[derive(Debug, Clone)]
+pub struct AssignmentState<'a> {
+    instance: &'a Instance,
+    assignment: Vec<Option<MachineId>>,
+    /// Start demand `xᵢ` of every already-placed task.
+    demand: Vec<f64>,
+    /// Type each machine is specialized to (None = still free).
+    machine_type: Vec<Option<TaskTypeId>>,
+    /// Accumulated load `Σ xⱼ·w_{j,u}` of each machine.
+    load: Vec<f64>,
+    /// Number of machines with no assigned task.
+    free_machines: usize,
+    /// Number of unplaced tasks per type.
+    remaining_per_type: Vec<usize>,
+    /// Whether some machine is already dedicated to each type.
+    seated: Vec<bool>,
+    assigned_count: usize,
+}
+
+impl<'a> AssignmentState<'a> {
+    /// Creates an empty assignment state for an instance.
+    pub fn new(instance: &'a Instance) -> Self {
+        let n = instance.task_count();
+        let m = instance.machine_count();
+        let p = instance.type_count();
+        let mut remaining_per_type = vec![0usize; p];
+        for task in instance.application().tasks() {
+            remaining_per_type[task.ty.index()] += 1;
+        }
+        AssignmentState {
+            instance,
+            assignment: vec![None; n],
+            demand: vec![0.0; n],
+            machine_type: vec![None; m],
+            load: vec![0.0; m],
+            free_machines: m,
+            remaining_per_type,
+            seated: vec![false; p],
+            assigned_count: 0,
+        }
+    }
+
+    /// The instance being mapped.
+    #[inline]
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// Tasks in the order the paper's heuristics visit them: from the last
+    /// task of the application back to the first.
+    pub fn backward_order(&self) -> Vec<TaskId> {
+        self.instance.application().reverse_topological_order()
+    }
+
+    /// The *output demand* `dᵢ` of a task: the number of products it must
+    /// deliver so that one product leaves the system. Requires the successor
+    /// (if any) to be placed already, which the backward order guarantees.
+    pub fn output_demand(&self, task: TaskId) -> f64 {
+        match self.instance.application().successor(task) {
+            None => 1.0,
+            Some(succ) => {
+                debug_assert!(
+                    self.assignment[succ.index()].is_some(),
+                    "successor {succ} must be placed before {task}"
+                );
+                self.demand[succ.index()]
+            }
+        }
+    }
+
+    /// The accumulated load of a machine.
+    #[inline]
+    pub fn load(&self, machine: MachineId) -> f64 {
+        self.load[machine.index()]
+    }
+
+    /// The type a machine is specialized to, if any.
+    #[inline]
+    pub fn machine_type(&self, machine: MachineId) -> Option<TaskTypeId> {
+        self.machine_type[machine.index()]
+    }
+
+    /// Number of machines that have no task yet.
+    #[inline]
+    pub fn free_machine_count(&self) -> usize {
+        self.free_machines
+    }
+
+    /// Number of types that still have unplaced tasks but no dedicated machine.
+    pub fn unseated_type_count(&self) -> usize {
+        self.remaining_per_type
+            .iter()
+            .zip(&self.seated)
+            .filter(|(&remaining, &seated)| remaining > 0 && !seated)
+            .count()
+    }
+
+    /// The exact additional load machine `u` would receive if `task` were
+    /// placed on it: `dᵢ · w_{i,u} / (1 − f_{i,u})`.
+    #[inline]
+    pub fn incremental_load(&self, task: TaskId, machine: MachineId) -> f64 {
+        self.output_demand(task) * self.instance.effective_time(task, machine)
+    }
+
+    /// The load machine `u` would have after placing `task` on it.
+    #[inline]
+    pub fn projected_load(&self, task: TaskId, machine: MachineId) -> f64 {
+        self.load(machine) + self.incremental_load(task, machine)
+    }
+
+    /// Whether `machine` may host `task` under the specialization rule *and*
+    /// the reservation rule.
+    ///
+    /// * A machine dedicated to the task's type is always admissible.
+    /// * A machine dedicated to another type never is.
+    /// * A free machine is admissible unless opening it would leave fewer free
+    ///   machines than types that still need one.
+    pub fn is_admissible(&self, task: TaskId, machine: MachineId) -> bool {
+        let ty = self.instance.application().task_type(task);
+        match self.machine_type[machine.index()] {
+            Some(existing) => existing == ty,
+            None => {
+                if self.seated[ty.index()] {
+                    // Opening a second machine for an already-seated type
+                    // consumes a free machine without reducing the number of
+                    // unseated types.
+                    self.free_machines > self.unseated_type_count()
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// All admissible machines for a task, in machine-index order.
+    pub fn admissible_machines(&self, task: TaskId) -> Vec<MachineId> {
+        self.instance
+            .platform()
+            .machines()
+            .filter(|&u| self.is_admissible(task, u))
+            .collect()
+    }
+
+    /// Places `task` on `machine`, updating demands, loads and specialization.
+    ///
+    /// Returns the start demand `xᵢ` the task received.
+    pub fn assign(&mut self, task: TaskId, machine: MachineId) -> HeuristicResult<f64> {
+        if self.assignment[task.index()].is_some() {
+            return Err(HeuristicError::Model(ModelError::RuleViolation {
+                kind: MappingKind::General,
+                detail: format!("task {task} assigned twice"),
+            }));
+        }
+        let ty = self.instance.application().task_type(task);
+        if let Some(existing) = self.machine_type[machine.index()] {
+            if existing != ty {
+                return Err(HeuristicError::Model(ModelError::RuleViolation {
+                    kind: MappingKind::Specialized,
+                    detail: format!("machine {machine} is dedicated to {existing}, not {ty}"),
+                }));
+            }
+        } else {
+            self.machine_type[machine.index()] = Some(ty);
+            self.free_machines -= 1;
+            self.seated[ty.index()] = true;
+        }
+        let x = self.output_demand(task) * self.instance.factor(task, machine);
+        self.demand[task.index()] = x;
+        self.load[machine.index()] += x * self.instance.time(task, machine);
+        self.assignment[task.index()] = Some(machine);
+        self.remaining_per_type[ty.index()] -= 1;
+        self.assigned_count += 1;
+        Ok(x)
+    }
+
+    /// `true` once every task has been placed.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.assigned_count == self.instance.task_count()
+    }
+
+    /// The largest machine load so far (the period of the partial mapping).
+    pub fn max_load(&self) -> f64 {
+        self.load.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Finalises the assignment into a [`Mapping`].
+    pub fn into_mapping(self) -> HeuristicResult<Mapping> {
+        let mut assignment = Vec::with_capacity(self.assignment.len());
+        for (i, slot) in self.assignment.iter().enumerate() {
+            match slot {
+                Some(machine) => assignment.push(*machine),
+                None => {
+                    return Err(HeuristicError::NoFeasibleAssignment {
+                        task: TaskId(i),
+                        detail: "task left unplaced".into(),
+                    })
+                }
+            }
+        }
+        Ok(Mapping::new(assignment, self.instance.machine_count())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(n_types: &[usize], m: usize, f: f64) -> Instance {
+        let app = Application::linear_chain(n_types).unwrap();
+        let p = app.type_count();
+        let platform = Platform::from_type_times(m, vec![vec![100.0; m]; p]).unwrap();
+        let failures = FailureModel::uniform(n_types.len(), m, FailureRate::new(f).unwrap());
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    #[test]
+    fn backward_order_visits_successors_first() {
+        let inst = instance(&[0, 1, 0], 3, 0.0);
+        let state = AssignmentState::new(&inst);
+        let order = state.backward_order();
+        assert_eq!(order, vec![TaskId(2), TaskId(1), TaskId(0)]);
+    }
+
+    #[test]
+    fn demands_accumulate_backwards() {
+        let inst = instance(&[0, 0, 0], 2, 0.5);
+        let mut state = AssignmentState::new(&inst);
+        // Last task: output demand 1, start demand 2.
+        assert_eq!(state.output_demand(TaskId(2)), 1.0);
+        let x = state.assign(TaskId(2), MachineId(0)).unwrap();
+        assert_eq!(x, 2.0);
+        // Middle task sees the downstream demand.
+        assert_eq!(state.output_demand(TaskId(1)), 2.0);
+        assert_eq!(state.incremental_load(TaskId(1), MachineId(0)), 2.0 * 100.0 * 2.0);
+        let x = state.assign(TaskId(1), MachineId(0)).unwrap();
+        assert_eq!(x, 4.0);
+        assert_eq!(state.output_demand(TaskId(0)), 4.0);
+        // Load of machine 0: 2*100 + 4*100.
+        assert_eq!(state.load(MachineId(0)), 600.0);
+        assert_eq!(state.max_load(), 600.0);
+    }
+
+    #[test]
+    fn specialization_is_enforced() {
+        let inst = instance(&[0, 1], 2, 0.0);
+        let mut state = AssignmentState::new(&inst);
+        state.assign(TaskId(1), MachineId(0)).unwrap();
+        assert_eq!(state.machine_type(MachineId(0)), Some(TaskTypeId(1)));
+        // Machine 0 is now dedicated to type 1; task 0 has type 0.
+        assert!(!state.is_admissible(TaskId(0), MachineId(0)));
+        assert!(state.is_admissible(TaskId(0), MachineId(1)));
+        let err = state.assign(TaskId(0), MachineId(0)).unwrap_err();
+        assert!(matches!(err, HeuristicError::Model(ModelError::RuleViolation { .. })));
+    }
+
+    #[test]
+    fn reservation_rule_protects_unseated_types() {
+        // Chain of 4 tasks: last three of type 0, first of type 1, 2 machines.
+        let inst = instance(&[1, 0, 0, 0], 2, 0.0);
+        let mut state = AssignmentState::new(&inst);
+        // Place the three type-0 tasks (visited first backwards).
+        state.assign(TaskId(3), MachineId(0)).unwrap();
+        // Machine 1 is the only free machine left and type 1 is unseated:
+        // a second type-0 machine must not be opened.
+        assert!(state.is_admissible(TaskId(2), MachineId(0)));
+        assert!(!state.is_admissible(TaskId(2), MachineId(1)));
+        state.assign(TaskId(2), MachineId(0)).unwrap();
+        state.assign(TaskId(1), MachineId(0)).unwrap();
+        // Finally the type-1 task can use the reserved machine.
+        assert!(state.is_admissible(TaskId(0), MachineId(1)));
+        state.assign(TaskId(0), MachineId(1)).unwrap();
+        assert!(state.is_complete());
+        let mapping = state.into_mapping().unwrap();
+        assert!(inst.is_specialized(&mapping));
+    }
+
+    #[test]
+    fn admissible_machines_lists_all_options() {
+        let inst = instance(&[0, 0], 3, 0.0);
+        let state = AssignmentState::new(&inst);
+        assert_eq!(
+            state.admissible_machines(TaskId(1)),
+            vec![MachineId(0), MachineId(1), MachineId(2)]
+        );
+        assert_eq!(state.free_machine_count(), 3);
+        assert_eq!(state.unseated_type_count(), 1);
+    }
+
+    #[test]
+    fn double_assignment_is_rejected() {
+        let inst = instance(&[0, 0], 2, 0.0);
+        let mut state = AssignmentState::new(&inst);
+        state.assign(TaskId(1), MachineId(0)).unwrap();
+        assert!(state.assign(TaskId(1), MachineId(1)).is_err());
+    }
+
+    #[test]
+    fn incomplete_assignment_cannot_become_a_mapping() {
+        let inst = instance(&[0, 0], 2, 0.0);
+        let mut state = AssignmentState::new(&inst);
+        state.assign(TaskId(1), MachineId(0)).unwrap();
+        assert!(!state.is_complete());
+        let err = state.into_mapping().unwrap_err();
+        assert!(matches!(err, HeuristicError::NoFeasibleAssignment { task: TaskId(0), .. }));
+    }
+
+    #[test]
+    fn projected_load_matches_final_period() {
+        let inst = instance(&[0, 1, 0], 3, 0.1);
+        let mut state = AssignmentState::new(&inst);
+        for task in state.backward_order() {
+            let machine = state.admissible_machines(task)[0];
+            let projected = state.projected_load(task, machine);
+            state.assign(task, machine).unwrap();
+            assert!((state.load(machine) - projected).abs() < 1e-9);
+        }
+        let max_load = state.max_load();
+        let mapping = state.into_mapping().unwrap();
+        let period = inst.period(&mapping).unwrap();
+        assert!((period.value() - max_load).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! The greedy H4 family (paper Algorithms 4, 5 and 6).
+//!
+//! All three heuristics walk the application backwards and place each task on
+//! the admissible machine with the smallest *score*; they differ only in the
+//! score:
+//!
+//! * **H4 — best performance**: the machine's load after the assignment,
+//!   including the failure inflation
+//!   (`accuᵤ + dᵢ·w_{i,u}/(1 − f_{i,u})`);
+//! * **H4w — fastest machine**: the same load but ignoring the failure rate
+//!   (`accuᵤ + dᵢ·w_{i,u}`);
+//! * **H4f — reliable machine**: reliability only, ignoring the speed
+//!   (`accuᵤ + dᵢ/(1 − f_{i,u})` — among equally loaded machines this picks
+//!   the most reliable one, and it may well pick an arbitrarily slow machine,
+//!   which is exactly the weakness the paper reports for it).
+//!
+//! §6.2 of the paper describes H4's score verbally as `wᵢᵤ · fᵢᵤ · xᵢ` while
+//! the pseudo-code uses a symbol `F(i,u)`; this crate exposes both readings
+//! through [`ScoringRule`] (`RawFailureWeight` / `RawReliabilityWeight` are the
+//! literal-prose variants) and uses the failure-factor reading by default,
+//! which makes H4's score the exact incremental period. The ablation bench
+//! `ablation_scoring` compares the two.
+
+use crate::context::AssignmentState;
+use crate::heuristic::{Heuristic, HeuristicError, HeuristicResult};
+use mf_core::prelude::*;
+
+/// The scoring rule used by a greedy heuristic of the H4 family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoringRule {
+    /// `accuᵤ + dᵢ · w_{i,u} / (1 − f_{i,u})` — exact incremental period (H4).
+    BestPerformance,
+    /// `accuᵤ + dᵢ · w_{i,u}` — speed only (H4w).
+    FastestMachine,
+    /// `accuᵤ + dᵢ / (1 − f_{i,u})` — reliability only (H4f).
+    ReliableMachine,
+    /// `accuᵤ + dᵢ · w_{i,u} · f_{i,u}` — literal reading of the §6.2 prose
+    /// for H4 (ablation variant).
+    RawFailureWeight,
+    /// `accuᵤ + dᵢ · f_{i,u}` — literal reading of the §6.2 prose for H4f
+    /// (ablation variant).
+    RawReliabilityWeight,
+}
+
+impl ScoringRule {
+    /// The score of placing `task` on `machine` given the current state.
+    pub fn score(self, state: &AssignmentState<'_>, task: TaskId, machine: MachineId) -> f64 {
+        let instance = state.instance();
+        let accu = state.load(machine);
+        let demand = state.output_demand(task);
+        match self {
+            ScoringRule::BestPerformance => {
+                accu + demand * instance.time(task, machine) * instance.factor(task, machine)
+            }
+            ScoringRule::FastestMachine => accu + demand * instance.time(task, machine),
+            ScoringRule::ReliableMachine => accu + demand * instance.factor(task, machine),
+            ScoringRule::RawFailureWeight => {
+                accu + demand * instance.time(task, machine) * instance.failure(task, machine).value()
+            }
+            ScoringRule::RawReliabilityWeight => {
+                accu + demand * instance.failure(task, machine).value()
+            }
+        }
+    }
+}
+
+/// A greedy backward heuristic parameterised by its scoring rule.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyHeuristic {
+    name: &'static str,
+    rule: ScoringRule,
+}
+
+impl GreedyHeuristic {
+    /// Creates a greedy heuristic with an arbitrary name and scoring rule
+    /// (used by the ablation benches).
+    pub fn new(name: &'static str, rule: ScoringRule) -> Self {
+        GreedyHeuristic { name, rule }
+    }
+
+    /// The scoring rule in use.
+    pub fn rule(&self) -> ScoringRule {
+        self.rule
+    }
+}
+
+impl Heuristic for GreedyHeuristic {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn map(&self, instance: &Instance) -> HeuristicResult<Mapping> {
+        let mut state = AssignmentState::new(instance);
+        for task in state.backward_order() {
+            let candidates = state.admissible_machines(task);
+            let best = candidates
+                .into_iter()
+                .map(|u| (u, self.rule.score(&state, task, u)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            match best {
+                Some((machine, _)) => {
+                    state.assign(task, machine)?;
+                }
+                None => {
+                    return Err(HeuristicError::NoFeasibleAssignment {
+                        task,
+                        detail: "all machines are dedicated to other types".into(),
+                    })
+                }
+            }
+        }
+        state.into_mapping()
+    }
+}
+
+/// H4 — best-performance greedy heuristic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct H4BestPerformance;
+
+impl Heuristic for H4BestPerformance {
+    fn name(&self) -> &str {
+        "H4"
+    }
+    fn map(&self, instance: &Instance) -> HeuristicResult<Mapping> {
+        GreedyHeuristic::new("H4", ScoringRule::BestPerformance).map(instance)
+    }
+}
+
+/// H4w — fastest-machine greedy heuristic (ignores failures).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct H4wFastestMachine;
+
+impl Heuristic for H4wFastestMachine {
+    fn name(&self) -> &str {
+        "H4w"
+    }
+    fn map(&self, instance: &Instance) -> HeuristicResult<Mapping> {
+        GreedyHeuristic::new("H4w", ScoringRule::FastestMachine).map(instance)
+    }
+}
+
+/// H4f — reliable-machine greedy heuristic (ignores speed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct H4fReliableMachine;
+
+impl Heuristic for H4fReliableMachine {
+    fn name(&self) -> &str {
+        "H4f"
+    }
+    fn map(&self, instance: &Instance) -> HeuristicResult<Mapping> {
+        GreedyHeuristic::new("H4f", ScoringRule::ReliableMachine).map(instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(
+        types: &[usize],
+        type_times: Vec<Vec<f64>>,
+        failures: Vec<Vec<f64>>,
+    ) -> Instance {
+        let m = type_times[0].len();
+        let app = Application::linear_chain(types).unwrap();
+        let platform = Platform::from_type_times(m, type_times).unwrap();
+        let failures = FailureModel::from_matrix(failures, m).unwrap();
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    #[test]
+    fn h4w_picks_the_fastest_machine_for_a_single_task() {
+        let inst = instance(
+            &[0],
+            vec![vec![500.0, 100.0, 300.0]],
+            vec![vec![0.0, 0.3, 0.0]],
+        );
+        let mapping = H4wFastestMachine.map(&inst).unwrap();
+        // Fastest machine is M1 even though it fails 30% of the time.
+        assert_eq!(mapping.machine_of(TaskId(0)), MachineId(1));
+    }
+
+    #[test]
+    fn h4_accounts_for_failures() {
+        // M1 is nominally faster (100 ms) but fails half the time, so its
+        // effective time is 200 ms; M2 takes 150 ms and never fails.
+        let inst = instance(
+            &[0],
+            vec![vec![500.0, 100.0, 150.0]],
+            vec![vec![0.0, 0.5, 0.0]],
+        );
+        let mapping = H4BestPerformance.map(&inst).unwrap();
+        assert_eq!(mapping.machine_of(TaskId(0)), MachineId(2));
+        // H4w, blind to failures, still picks M1.
+        let mapping = H4wFastestMachine.map(&inst).unwrap();
+        assert_eq!(mapping.machine_of(TaskId(0)), MachineId(1));
+    }
+
+    #[test]
+    fn h4f_prefers_reliability_even_on_slow_machines() {
+        // M0 is very slow but perfectly reliable; M1 is fast but failing.
+        let inst = instance(
+            &[0],
+            vec![vec![1000.0, 100.0]],
+            vec![vec![0.0, 0.1]],
+        );
+        let mapping = H4fReliableMachine.map(&inst).unwrap();
+        assert_eq!(mapping.machine_of(TaskId(0)), MachineId(0));
+        // Its period is therefore much worse than H4w's.
+        let reliable = inst.period(&mapping).unwrap().value();
+        let fast = H4wFastestMachine.period(&inst).unwrap().value();
+        assert!(reliable > fast);
+    }
+
+    #[test]
+    fn greedy_heuristics_balance_load_across_machines() {
+        // Four identical type-0 tasks, two identical machines: a greedy that
+        // tracks accumulated load must not put everything on one machine.
+        let inst = instance(
+            &[0, 0, 0, 0],
+            vec![vec![100.0, 100.0]],
+            vec![vec![0.0, 0.0]; 4],
+        );
+        for h in [&H4BestPerformance as &dyn Heuristic, &H4wFastestMachine, &H4fReliableMachine] {
+            let mapping = h.map(&inst).unwrap();
+            let periods = inst.machine_periods(&mapping).unwrap();
+            assert_eq!(periods.of(MachineId(0)).value(), 200.0, "{}", h.name());
+            assert_eq!(periods.of(MachineId(1)).value(), 200.0, "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn specialization_is_respected_under_pressure() {
+        // Two types, two machines: the reservation rule must force the type
+        // seen second (backwards) onto the remaining machine.
+        let inst = instance(
+            &[1, 0, 0, 0],
+            vec![vec![100.0, 100.0], vec![100.0, 100.0]],
+            vec![vec![0.01, 0.01]; 4],
+        );
+        for h in [&H4BestPerformance as &dyn Heuristic, &H4wFastestMachine, &H4fReliableMachine] {
+            let mapping = h.map(&inst).unwrap();
+            assert!(inst.is_specialized(&mapping), "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn raw_scoring_rules_are_available_for_ablation() {
+        let inst = instance(
+            &[0, 1, 0, 1],
+            vec![vec![100.0, 300.0, 200.0], vec![250.0, 150.0, 200.0]],
+            vec![vec![0.01, 0.02, 0.005]; 4],
+        );
+        let literal = GreedyHeuristic::new("H4-raw", ScoringRule::RawFailureWeight);
+        let mapping = literal.map(&inst).unwrap();
+        assert!(inst.is_specialized(&mapping));
+        assert_eq!(literal.rule(), ScoringRule::RawFailureWeight);
+        let literal_f = GreedyHeuristic::new("H4f-raw", ScoringRule::RawReliabilityWeight);
+        assert!(inst.is_specialized(&literal_f.map(&inst).unwrap()));
+    }
+
+    #[test]
+    fn too_many_types_fails_cleanly() {
+        let inst = instance(
+            &[0, 1, 2],
+            vec![vec![100.0], vec![100.0], vec![100.0]],
+            vec![vec![0.0]; 3],
+        );
+        assert!(matches!(
+            H4wFastestMachine.map(&inst).unwrap_err(),
+            HeuristicError::NoFeasibleAssignment { .. }
+        ));
+    }
+
+    #[test]
+    fn scores_match_their_definitions() {
+        let inst = instance(&[0, 0], vec![vec![100.0, 200.0]], vec![vec![0.5, 0.0]; 2]);
+        let mut state = AssignmentState::new(&inst);
+        // Place the last task on M0 so loads and demands are non-trivial.
+        state.assign(TaskId(1), MachineId(0)).unwrap();
+        let accu = state.load(MachineId(0));
+        let d = state.output_demand(TaskId(0)); // = 2.0 (downstream on M0, f=0.5)
+        assert_eq!(d, 2.0);
+        let s_perf = ScoringRule::BestPerformance.score(&state, TaskId(0), MachineId(0));
+        assert!((s_perf - (accu + d * 100.0 * 2.0)).abs() < 1e-9);
+        let s_fast = ScoringRule::FastestMachine.score(&state, TaskId(0), MachineId(0));
+        assert!((s_fast - (accu + d * 100.0)).abs() < 1e-9);
+        let s_rel = ScoringRule::ReliableMachine.score(&state, TaskId(0), MachineId(0));
+        assert!((s_rel - (accu + d * 2.0)).abs() < 1e-9);
+        let s_raw = ScoringRule::RawFailureWeight.score(&state, TaskId(0), MachineId(0));
+        assert!((s_raw - (accu + d * 100.0 * 0.5)).abs() < 1e-9);
+        let s_raw_f = ScoringRule::RawReliabilityWeight.score(&state, TaskId(0), MachineId(0));
+        assert!((s_raw_f - (accu + d * 0.5)).abs() < 1e-9);
+    }
+}

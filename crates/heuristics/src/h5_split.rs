@@ -1,0 +1,261 @@
+//! H5 — workload splitting, the paper's future-work extension (§8).
+//!
+//! The conclusion of the paper proposes letting the instances of one task be
+//! processed by *several* machines, dividing its workload to improve the
+//! throughput. This module implements that idea on top of any specialized
+//! mapping:
+//!
+//! 1. a base heuristic (H4w by default) fixes the machine specializations —
+//!    which machines are dedicated to which task type;
+//! 2. walking the application backwards, every task's output demand is split
+//!    across the machines dedicated to its type by *water-filling*: fractions
+//!    are chosen so that the resulting machine loads are as equal as possible,
+//!    accounting for each machine's effective time `w_{i,u}/(1 − f_{i,u})`.
+//!
+//! The resulting [`SplitMapping`] never has a larger period than the base
+//! mapping (splitting strictly generalises it), and on heterogeneous platforms
+//! it is often substantially better — quantifying how much the future-work
+//! extension would buy.
+
+use crate::heuristic::{Heuristic, HeuristicError, HeuristicResult};
+use crate::h4_family::H4wFastestMachine;
+use mf_core::prelude::*;
+
+/// Workload-splitting optimiser built on top of a base specialized mapping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct H5WorkloadSplit;
+
+impl H5WorkloadSplit {
+    /// Splits the workload starting from the H4w base mapping.
+    pub fn split(&self, instance: &Instance) -> HeuristicResult<SplitMapping> {
+        let base = H4wFastestMachine.map(instance)?;
+        self.split_from(instance, &base)
+    }
+
+    /// Splits the workload starting from an explicit base specialized mapping.
+    pub fn split_from(
+        &self,
+        instance: &Instance,
+        base: &Mapping,
+    ) -> HeuristicResult<SplitMapping> {
+        instance.validate_mapping(base, MappingKind::Specialized)?;
+        let app = instance.application();
+        let n = instance.task_count();
+        let m = instance.machine_count();
+
+        // Machines dedicated to each type by the base mapping.
+        let specializations = base.machine_specializations(app)?;
+        let mut machines_of_type: Vec<Vec<MachineId>> = vec![Vec::new(); instance.type_count()];
+        for (u, spec) in specializations.iter().enumerate() {
+            if let Some(ty) = spec {
+                machines_of_type[ty.index()].push(MachineId(u));
+            }
+        }
+
+        let mut weights = vec![vec![0.0f64; m]; n];
+        let mut loads = vec![0.0f64; m];
+        let mut total_started = vec![0.0f64; n];
+
+        for &task in app.topological_order().iter().rev() {
+            let demand = match app.successor(task) {
+                None => 1.0,
+                Some(succ) => total_started[succ.index()],
+            };
+            let ty = app.task_type(task);
+            let candidates = &machines_of_type[ty.index()];
+            if candidates.is_empty() {
+                return Err(HeuristicError::NoFeasibleAssignment {
+                    task,
+                    detail: format!("no machine dedicated to {ty} in the base mapping"),
+                });
+            }
+            let fractions = water_fill(
+                &candidates
+                    .iter()
+                    .map(|&u| (loads[u.index()], demand * instance.effective_time(task, u)))
+                    .collect::<Vec<_>>(),
+            );
+            let mut started_total = 0.0;
+            for (&machine, &fraction) in candidates.iter().zip(&fractions) {
+                if fraction <= 0.0 {
+                    continue;
+                }
+                weights[task.index()][machine.index()] = fraction;
+                let started = fraction * demand * instance.factor(task, machine);
+                started_total += started;
+                loads[machine.index()] += started * instance.time(task, machine);
+            }
+            total_started[task.index()] = started_total;
+        }
+
+        Ok(SplitMapping::new(weights, m)?)
+    }
+
+    /// Convenience: the period achieved by the split mapping.
+    pub fn period(&self, instance: &Instance) -> HeuristicResult<Period> {
+        let split = self.split(instance)?;
+        Ok(split.period(instance)?)
+    }
+}
+
+/// Distributes one unit of work over machines described by
+/// `(current_load, cost_of_taking_everything)` pairs so that the maximum
+/// resulting load is minimal. Returns the fraction given to each machine.
+///
+/// Machine `u` taking fraction `α` ends at load `load_u + α·cost_u`; the
+/// optimal fractions equalise the final loads of every machine that receives
+/// work (water-filling). The common level is found by bisection.
+fn water_fill(machines: &[(f64, f64)]) -> Vec<f64> {
+    debug_assert!(!machines.is_empty());
+    if machines.len() == 1 {
+        return vec![1.0];
+    }
+    let fractions_at_level = |level: f64| -> f64 {
+        machines
+            .iter()
+            .map(|&(load, cost)| ((level - load) / cost).max(0.0))
+            .sum::<f64>()
+    };
+    // The level lies between the smallest current load and the load reached by
+    // dumping everything on the currently least-loaded machine.
+    let min_load = machines.iter().map(|&(l, _)| l).fold(f64::INFINITY, f64::min);
+    let mut hi = machines
+        .iter()
+        .map(|&(l, c)| l + c)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(min_load + 1e-12);
+    let mut lo = min_load;
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if fractions_at_level(mid) >= 1.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let level = hi;
+    let mut fractions: Vec<f64> =
+        machines.iter().map(|&(load, cost)| ((level - load) / cost).max(0.0)).collect();
+    // Normalise the tiny bisection residue so the fractions sum to exactly 1.
+    let sum: f64 = fractions.iter().sum();
+    if sum > 0.0 {
+        for f in &mut fractions {
+            *f /= sum;
+        }
+    } else {
+        fractions[0] = 1.0;
+    }
+    fractions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::Heuristic;
+
+    fn instance(types: &[usize], type_times: Vec<Vec<f64>>, f: f64) -> Instance {
+        let m = type_times[0].len();
+        let app = Application::linear_chain(types).unwrap();
+        let platform = Platform::from_type_times(m, type_times).unwrap();
+        let failures = FailureModel::uniform(types.len(), m, FailureRate::new(f).unwrap());
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    #[test]
+    fn water_fill_balances_two_equal_machines() {
+        let fractions = water_fill(&[(0.0, 100.0), (0.0, 100.0)]);
+        assert!((fractions[0] - 0.5).abs() < 1e-6);
+        assert!((fractions[1] - 0.5).abs() < 1e-6);
+        assert!((fractions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_fill_prefers_the_cheaper_machine() {
+        // Machine 0 is twice as fast: it should take two thirds of the work.
+        let fractions = water_fill(&[(0.0, 100.0), (0.0, 200.0)]);
+        assert!((fractions[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert!((fractions[1] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn water_fill_skips_overloaded_machines() {
+        // Machine 1 is already far more loaded than machine 0 can ever become.
+        let fractions = water_fill(&[(0.0, 100.0), (1000.0, 100.0)]);
+        assert!(fractions[0] > 0.999);
+        assert!(fractions[1] < 1e-3);
+    }
+
+    #[test]
+    fn split_never_worse_than_the_base_mapping() {
+        for seed in 0..5u64 {
+            // Deterministic heterogeneous platform.
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                100.0 + 900.0 * ((s >> 11) as f64 / (1u64 << 53) as f64)
+            };
+            let types: Vec<usize> = (0..12).map(|i| i % 3).collect();
+            let inst = instance(
+                &types,
+                (0..3).map(|_| (0..6).map(|_| next()).collect()).collect(),
+                0.01,
+            );
+            let base = H4wFastestMachine.map(&inst).unwrap();
+            let base_period = inst.period(&base).unwrap().value();
+            let split = H5WorkloadSplit.split_from(&inst, &base).unwrap();
+            let split_period = split.period(&inst).unwrap().value();
+            assert!(
+                split_period <= base_period + 1e-6,
+                "seed {seed}: split {split_period} worse than base {base_period}"
+            );
+            assert!(split.is_specialized(inst.application()));
+        }
+    }
+
+    #[test]
+    fn splitting_helps_when_one_machine_carries_everything() {
+        // Three identical tasks of one type, two identical machines, but the
+        // base (one machine per task group) degenerates: force a base mapping
+        // that puts everything on machine 0 and check splitting halves it.
+        let inst = instance(&[0, 0, 0], vec![vec![100.0, 100.0]], 0.0);
+        let base = Mapping::from_indices(&[0, 0, 0], 2).unwrap();
+        let base_period = inst.period(&base).unwrap().value();
+        assert_eq!(base_period, 300.0);
+        let split = H5WorkloadSplit.split_from(&inst, &base).unwrap();
+        // Only machine 0 is dedicated to type 0 in the base mapping, so the
+        // split cannot use machine 1: the period is unchanged. This documents
+        // that H5 refines *within* the base specialization.
+        assert!((split.period(&inst).unwrap().value() - 300.0).abs() < 1e-9);
+
+        // With a base mapping that opens both machines, splitting balances
+        // the three tasks perfectly (150 ms each).
+        let base = Mapping::from_indices(&[0, 1, 0], 2).unwrap();
+        let split = H5WorkloadSplit.split_from(&inst, &base).unwrap();
+        assert!((split.period(&inst).unwrap().value() - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_entry_point_uses_h4w_as_base() {
+        let inst = instance(
+            &[0, 1, 0, 1, 0, 1],
+            vec![vec![100.0, 150.0, 300.0, 250.0], vec![200.0, 120.0, 180.0, 260.0]],
+            0.01,
+        );
+        let h4w = H4wFastestMachine.period(&inst).unwrap().value();
+        let h5 = H5WorkloadSplit.period(&inst).unwrap().value();
+        assert!(h5 <= h4w + 1e-6);
+    }
+
+    #[test]
+    fn base_mapping_must_be_specialized() {
+        let inst = instance(
+            &[0, 1],
+            vec![vec![100.0, 100.0], vec![100.0, 100.0]],
+            0.0,
+        );
+        let general = Mapping::from_indices(&[0, 0], 2).unwrap();
+        assert!(H5WorkloadSplit.split_from(&inst, &general).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! The [`Heuristic`] trait, its error type and the registry of the paper's six
+//! heuristics.
+
+use mf_core::prelude::*;
+use std::fmt;
+
+/// Result alias for heuristics.
+pub type HeuristicResult<T> = std::result::Result<T, HeuristicError>;
+
+/// Errors raised while building a mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeuristicError {
+    /// No admissible machine remained for a task (this can only happen when
+    /// the platform has fewer machines than the application has task types).
+    NoFeasibleAssignment {
+        /// The task that could not be placed.
+        task: TaskId,
+        /// Explanation of the dead end.
+        detail: String,
+    },
+    /// The underlying model rejected an operation.
+    Model(ModelError),
+}
+
+impl fmt::Display for HeuristicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeuristicError::NoFeasibleAssignment { task, detail } => {
+                write!(f, "no admissible machine for task {task}: {detail}")
+            }
+            HeuristicError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HeuristicError {}
+
+impl From<ModelError> for HeuristicError {
+    fn from(e: ModelError) -> Self {
+        HeuristicError::Model(e)
+    }
+}
+
+/// A mapping heuristic: consumes a problem instance, produces a specialized
+/// mapping.
+pub trait Heuristic {
+    /// Short name used in experiment reports (e.g. `"H4w"`).
+    fn name(&self) -> &str;
+
+    /// Builds a specialized mapping for the instance.
+    fn map(&self, instance: &Instance) -> HeuristicResult<Mapping>;
+
+    /// Convenience: the period achieved by this heuristic on the instance.
+    fn period(&self, instance: &Instance) -> HeuristicResult<Period> {
+        let mapping = self.map(instance)?;
+        Ok(instance.period(&mapping)?)
+    }
+}
+
+/// The six heuristics evaluated in the paper, in presentation order
+/// (H1, H2, H3, H4, H4w, H4f), with the given seed for the random heuristic.
+pub fn all_paper_heuristics(seed: u64) -> Vec<Box<dyn Heuristic + Send + Sync>> {
+    vec![
+        Box::new(crate::h1_random::H1Random::new(seed)),
+        Box::new(crate::binary_search::H2BinaryPotential::default()),
+        Box::new(crate::binary_search::H3BinaryHeterogeneity::default()),
+        Box::new(crate::h4_family::H4BestPerformance),
+        Box::new(crate::h4_family::H4wFastestMachine),
+        Box::new(crate::h4_family::H4fReliableMachine),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_the_six_paper_heuristics() {
+        let heuristics = all_paper_heuristics(42);
+        let names: Vec<_> = heuristics.iter().map(|h| h.name().to_string()).collect();
+        assert_eq!(names, vec!["H1", "H2", "H3", "H4", "H4w", "H4f"]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = HeuristicError::NoFeasibleAssignment {
+            task: TaskId(3),
+            detail: "all machines specialized elsewhere".into(),
+        };
+        assert!(e.to_string().contains("T4"));
+        let e: HeuristicError = ModelError::EmptyApplication.into();
+        assert!(e.to_string().contains("model error"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Bottleneck assignment: minimise the *largest* edge cost of a perfect
+//! assignment.
+//!
+//! The paper's reference solution for one-to-one mappings with task-attached
+//! failures (Figure 9) minimises the maximum machine period, and with one task
+//! per machine the period of a machine is exactly the cost of its single edge.
+//! The problem is therefore a bottleneck assignment, solved here by binary
+//! searching the sorted edge costs and testing perfect-matchability with
+//! Hopcroft–Karp.
+
+use crate::cost::CostMatrix;
+use crate::hopcroft_karp::{maximum_matching, BipartiteGraph};
+
+/// Result of a bottleneck assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckResult {
+    /// `row_to_col[r]` is the column assigned to row `r`.
+    pub row_to_col: Vec<usize>,
+    /// The value of the largest edge cost used.
+    pub bottleneck: f64,
+}
+
+/// Solves the bottleneck assignment problem for a `rows × cols` cost matrix
+/// with `rows ≤ cols`: every row is assigned a distinct column so that the
+/// maximum cost of a chosen edge is minimal.
+///
+/// Returns `None` if `rows > cols` or if no finite-cost assignment exists.
+pub fn bottleneck_assignment(costs: &CostMatrix) -> Option<BottleneckResult> {
+    let n = costs.rows();
+    let m = costs.cols();
+    if n == 0 {
+        return Some(BottleneckResult { row_to_col: Vec::new(), bottleneck: f64::NEG_INFINITY });
+    }
+    if n > m {
+        return None;
+    }
+
+    let thresholds = costs.sorted_distinct_costs();
+    if thresholds.is_empty() {
+        return None;
+    }
+
+    let feasible = |threshold: f64| -> Option<Vec<usize>> {
+        let mut graph = BipartiteGraph::new(n, m);
+        for r in 0..n {
+            for c in 0..m {
+                if costs.get(r, c) <= threshold {
+                    graph.add_edge(r, c);
+                }
+            }
+        }
+        let matching = maximum_matching(&graph);
+        if matching.is_left_perfect() {
+            Some(matching.pair_left.iter().map(|p| p.unwrap()).collect())
+        } else {
+            None
+        }
+    };
+
+    // Binary search the smallest threshold index that allows a perfect matching.
+    let mut lo = 0usize;
+    let mut hi = thresholds.len() - 1;
+    if feasible(thresholds[hi]).is_none() {
+        return None;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(thresholds[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let bottleneck = thresholds[lo];
+    let row_to_col = feasible(bottleneck).expect("threshold was verified feasible");
+    Some(BottleneckResult { row_to_col, bottleneck })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_bottleneck(costs: &CostMatrix) -> f64 {
+        fn recurse(
+            costs: &CostMatrix,
+            row: usize,
+            used: &mut Vec<bool>,
+            acc: f64,
+            best: &mut f64,
+        ) {
+            if row == costs.rows() {
+                if acc < *best {
+                    *best = acc;
+                }
+                return;
+            }
+            for c in 0..costs.cols() {
+                if !used[c] {
+                    used[c] = true;
+                    recurse(costs, row + 1, used, acc.max(costs.get(row, c)), best);
+                    used[c] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        recurse(costs, 0, &mut vec![false; costs.cols()], f64::NEG_INFINITY, &mut best);
+        best
+    }
+
+    #[test]
+    fn simple_instance() {
+        let costs = CostMatrix::from_rows(vec![
+            vec![5.0, 9.0, 1.0],
+            vec![10.0, 3.0, 2.0],
+            vec![8.0, 7.0, 4.0],
+        ]);
+        let result = bottleneck_assignment(&costs).unwrap();
+        // Optimal bottleneck is 5: (0->0:5, 1->1:3, 2->2:4).
+        assert_eq!(result.bottleneck, 5.0);
+        assert_eq!(result.row_to_col, vec![0, 1, 2]);
+        assert_eq!(costs.max_cost(&result.row_to_col), 5.0);
+    }
+
+    #[test]
+    fn rectangular_instance_uses_spare_columns() {
+        let costs = CostMatrix::from_rows(vec![
+            vec![100.0, 1.0, 50.0],
+            vec![100.0, 100.0, 2.0],
+        ]);
+        let result = bottleneck_assignment(&costs).unwrap();
+        assert_eq!(result.bottleneck, 2.0);
+        assert_eq!(result.row_to_col, vec![1, 2]);
+    }
+
+    #[test]
+    fn infeasible_shapes() {
+        let costs = CostMatrix::from_rows(vec![vec![1.0], vec![1.0]]);
+        assert!(bottleneck_assignment(&costs).is_none());
+        let inf = f64::INFINITY;
+        let costs = CostMatrix::from_rows(vec![vec![inf, inf], vec![1.0, 1.0]]);
+        assert!(bottleneck_assignment(&costs).is_none());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let costs = CostMatrix::from_rows(vec![]);
+        let result = bottleneck_assignment(&costs).unwrap();
+        assert!(result.row_to_col.is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut state = 0xDEADBEEFCAFEBABEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 97) as f64
+        };
+        for &(rows, cols) in &[(3, 3), (4, 4), (4, 6), (5, 5), (2, 7)] {
+            let costs = CostMatrix::from_fn(rows, cols, |_, _| next());
+            let result = bottleneck_assignment(&costs).unwrap();
+            let best = brute_force_bottleneck(&costs);
+            assert!(
+                (result.bottleneck - best).abs() < 1e-9,
+                "bottleneck {} != brute force {best} on {rows}x{cols}",
+                result.bottleneck
+            );
+            // Assignment must be injective and consistent with the bottleneck.
+            let mut seen = vec![false; cols];
+            for &c in &result.row_to_col {
+                assert!(!seen[c]);
+                seen[c] = true;
+            }
+            assert!(costs.max_cost(&result.row_to_col) <= result.bottleneck + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bottleneck_is_no_larger_than_min_sum_assignment_max_edge() {
+        // Sanity link with the Hungarian algorithm: the bottleneck optimum is
+        // never worse than the largest edge of the min-sum assignment.
+        let costs = CostMatrix::from_rows(vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ]);
+        let sum_optimal = crate::hungarian::hungarian(&costs).unwrap();
+        let bn = bottleneck_assignment(&costs).unwrap();
+        assert!(bn.bottleneck <= costs.max_cost(&sum_optimal.row_to_col) + 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Dense rectangular cost matrices for assignment problems.
+
+/// A dense `rows × cols` cost matrix (rows = items to assign, cols = slots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Builds a matrix from nested vectors; every row must have the same length.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend(row);
+        }
+        CostMatrix { rows: n, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        CostMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cost of assigning row `r` to column `c`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Total cost of an assignment given as `assignment[row] = col`.
+    pub fn total_cost(&self, assignment: &[usize]) -> f64 {
+        assignment.iter().enumerate().map(|(r, &c)| self.get(r, c)).sum()
+    }
+
+    /// Largest single edge cost of an assignment given as `assignment[row] = col`.
+    pub fn max_cost(&self, assignment: &[usize]) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| self.get(r, c))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// All distinct finite cost values, sorted ascending (used by the
+    /// bottleneck binary search).
+    pub fn sorted_distinct_costs(&self) -> Vec<f64> {
+        let mut values: Vec<f64> = self.data.iter().copied().filter(|v| v.is_finite()).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup();
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = CostMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        let f = CostMatrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(f.get(1, 2), 5.0);
+        assert_eq!(f.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_rows_panic() {
+        CostMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn assignment_costs() {
+        let m = CostMatrix::from_rows(vec![vec![1.0, 10.0], vec![10.0, 2.0]]);
+        assert_eq!(m.total_cost(&[0, 1]), 3.0);
+        assert_eq!(m.total_cost(&[1, 0]), 20.0);
+        assert_eq!(m.max_cost(&[0, 1]), 2.0);
+        assert_eq!(m.max_cost(&[1, 0]), 10.0);
+    }
+
+    #[test]
+    fn sorted_distinct_costs_deduplicates() {
+        let m = CostMatrix::from_rows(vec![vec![3.0, 1.0], vec![1.0, f64::INFINITY]]);
+        assert_eq!(m.sorted_distinct_costs(), vec![1.0, 3.0]);
+    }
+}

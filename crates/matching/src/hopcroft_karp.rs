@@ -1,0 +1,238 @@
+//! Hopcroft–Karp maximum cardinality matching for bipartite graphs.
+//!
+//! Runs in `O(E · √V)`; used by the bottleneck assignment solver to test
+//! whether a perfect matching exists among the edges below a cost threshold.
+
+use std::collections::VecDeque;
+
+/// A bipartite graph given by adjacency lists from the left part to the right
+/// part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BipartiteGraph {
+    left: usize,
+    right: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl BipartiteGraph {
+    /// Creates a graph with `left` left vertices and `right` right vertices
+    /// and no edges.
+    pub fn new(left: usize, right: usize) -> Self {
+        BipartiteGraph { left, right, adjacency: vec![Vec::new(); left] }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.left, "left vertex {l} out of range");
+        assert!(r < self.right, "right vertex {r} out of range");
+        self.adjacency[l].push(r);
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn left_count(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn right_count(&self) -> usize {
+        self.right
+    }
+
+    /// Neighbours of a left vertex.
+    #[inline]
+    pub fn neighbours(&self, l: usize) -> &[usize] {
+        &self.adjacency[l]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+}
+
+/// A matching in a bipartite graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// `pair_left[l]` is the right vertex matched to `l`, if any.
+    pub pair_left: Vec<Option<usize>>,
+    /// `pair_right[r]` is the left vertex matched to `r`, if any.
+    pub pair_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// `true` if every left vertex is matched.
+    pub fn is_left_perfect(&self) -> bool {
+        self.pair_left.iter().all(Option::is_some)
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// Computes a maximum-cardinality matching with the Hopcroft–Karp algorithm.
+pub fn maximum_matching(graph: &BipartiteGraph) -> Matching {
+    let n = graph.left_count();
+    let m = graph.right_count();
+    let mut pair_left = vec![NIL; n];
+    let mut pair_right = vec![NIL; m];
+    let mut dist = vec![0usize; n + 1];
+
+    // BFS builds the layered graph from free left vertices; returns true if an
+    // augmenting path exists.
+    fn bfs(
+        graph: &BipartiteGraph,
+        pair_left: &[usize],
+        pair_right: &[usize],
+        dist: &mut [usize],
+    ) -> bool {
+        let n = graph.left_count();
+        let infinite = usize::MAX;
+        let mut queue = VecDeque::new();
+        for l in 0..n {
+            if pair_left[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = infinite;
+            }
+        }
+        dist[n] = infinite; // distance of the virtual NIL vertex
+        while let Some(l) = queue.pop_front() {
+            if dist[l] < dist[n] {
+                for &r in graph.neighbours(l) {
+                    let next = pair_right[r];
+                    let next_index = if next == NIL { n } else { next };
+                    if dist[next_index] == infinite {
+                        dist[next_index] = dist[l] + 1;
+                        if next != NIL {
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+        }
+        dist[n] != infinite
+    }
+
+    fn dfs(
+        graph: &BipartiteGraph,
+        l: usize,
+        pair_left: &mut [usize],
+        pair_right: &mut [usize],
+        dist: &mut [usize],
+    ) -> bool {
+        let n = graph.left_count();
+        for &r in graph.neighbours(l) {
+            let next = pair_right[r];
+            let next_index = if next == NIL { n } else { next };
+            if dist[next_index] == dist[l] + 1
+                && (next == NIL || dfs(graph, next, pair_left, pair_right, dist))
+            {
+                pair_left[l] = r;
+                pair_right[r] = l;
+                return true;
+            }
+        }
+        dist[l] = usize::MAX;
+        false
+    }
+
+    while bfs(graph, &pair_left, &pair_right, &mut dist) {
+        for l in 0..n {
+            if pair_left[l] == NIL {
+                dfs(graph, l, &mut pair_left, &mut pair_right, &mut dist);
+            }
+        }
+    }
+
+    Matching {
+        pair_left: pair_left.iter().map(|&p| if p == NIL { None } else { Some(p) }).collect(),
+        pair_right: pair_right.iter().map(|&p| if p == NIL { None } else { Some(p) }).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_complete_graph() {
+        let mut g = BipartiteGraph::new(3, 3);
+        for l in 0..3 {
+            for r in 0..3 {
+                g.add_edge(l, r);
+            }
+        }
+        assert_eq!(g.edge_count(), 9);
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 3);
+        assert!(m.is_left_perfect());
+        // The matching is consistent.
+        for (l, &r) in m.pair_left.iter().enumerate() {
+            let r = r.unwrap();
+            assert_eq!(m.pair_right[r], Some(l));
+        }
+    }
+
+    #[test]
+    fn partial_matching_when_edges_are_scarce() {
+        // Two left vertices both only connect to right vertex 0.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 1);
+        assert!(!m.is_left_perfect());
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = BipartiteGraph::new(3, 2);
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 0);
+        let g = BipartiteGraph::new(0, 0);
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn augmenting_paths_are_found() {
+        // A graph where a greedy matching gets stuck but HK finds 3 pairs:
+        // l0: {r0, r1}, l1: {r0}, l2: {r1, r2}.
+        let mut g = BipartiteGraph::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 1);
+        g.add_edge(2, 2);
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        let mut g = BipartiteGraph::new(2, 5);
+        g.add_edge(0, 4);
+        g.add_edge(1, 4);
+        g.add_edge(1, 0);
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 2);
+        assert!(m.is_left_perfect());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! Hungarian algorithm (Kuhn–Munkres) for minimum-cost assignment.
+//!
+//! This is the potentials / shortest-augmenting-path formulation, running in
+//! `O(n²·m)` for `n` rows assigned to `m ≥ n` columns. Forbidden assignments
+//! may be encoded with `f64::INFINITY` as long as a finite-cost perfect
+//! assignment of the rows exists.
+//!
+//! The paper uses this algorithm (citing Kuhn 1955) to compute the optimal
+//! one-to-one mapping of a linear chain onto homogeneous machines, with edge
+//! costs `−log(1 − f_{j,u})` (Theorem 1).
+
+use crate::cost::CostMatrix;
+
+/// The result of a minimum-cost assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[r]` is the column assigned to row `r`.
+    pub row_to_col: Vec<usize>,
+    /// Total cost of the assignment.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Inverse view: for each column, the row assigned to it (if any).
+    pub fn col_to_row(&self, cols: usize) -> Vec<Option<usize>> {
+        let mut inverse = vec![None; cols];
+        for (r, &c) in self.row_to_col.iter().enumerate() {
+            inverse[c] = Some(r);
+        }
+        inverse
+    }
+}
+
+/// Solves the rectangular assignment problem: assign every row of `costs` to a
+/// distinct column minimising the total cost.
+///
+/// Returns `None` if there are more rows than columns (no perfect assignment
+/// of the rows exists) or if no finite-cost assignment exists.
+pub fn hungarian(costs: &CostMatrix) -> Option<Assignment> {
+    let n = costs.rows();
+    let m = costs.cols();
+    if n == 0 {
+        return Some(Assignment { row_to_col: Vec::new(), total_cost: 0.0 });
+    }
+    if n > m {
+        return None;
+    }
+
+    // 1-based arrays, following the classical presentation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = costs.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            if !delta.is_finite() {
+                // No augmenting path with finite cost: the instance has no
+                // finite-cost perfect assignment.
+                return None;
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(row_to_col.iter().all(|&c| c != usize::MAX));
+    let total_cost = costs.total_cost(&row_to_col);
+    if !total_cost.is_finite() {
+        return None;
+    }
+    Some(Assignment { row_to_col, total_cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_min(costs: &CostMatrix) -> f64 {
+        // Exhaustive search over injective assignments (small matrices only).
+        fn recurse(costs: &CostMatrix, row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+            if row == costs.rows() {
+                if acc < *best {
+                    *best = acc;
+                }
+                return;
+            }
+            for c in 0..costs.cols() {
+                if !used[c] {
+                    used[c] = true;
+                    recurse(costs, row + 1, used, acc + costs.get(row, c), best);
+                    used[c] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        recurse(costs, 0, &mut vec![false; costs.cols()], 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn square_textbook_instance() {
+        let costs = CostMatrix::from_rows(vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ]);
+        let result = hungarian(&costs).unwrap();
+        assert_eq!(result.total_cost, 5.0);
+        // Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2).
+        assert_eq!(result.row_to_col, vec![1, 0, 2]);
+        let inverse = result.col_to_row(3);
+        assert_eq!(inverse, vec![Some(1), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn rectangular_instances_pick_best_columns() {
+        let costs = CostMatrix::from_rows(vec![
+            vec![10.0, 2.0, 8.0, 5.0],
+            vec![7.0, 9.0, 1.0, 4.0],
+        ]);
+        let result = hungarian(&costs).unwrap();
+        assert_eq!(result.total_cost, 3.0);
+        assert_eq!(result.row_to_col, vec![1, 2]);
+    }
+
+    #[test]
+    fn more_rows_than_cols_is_rejected() {
+        let costs = CostMatrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        assert!(hungarian(&costs).is_none());
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_cost() {
+        let costs = CostMatrix::from_rows(vec![]);
+        let result = hungarian(&costs).unwrap();
+        assert!(result.row_to_col.is_empty());
+        assert_eq!(result.total_cost, 0.0);
+    }
+
+    #[test]
+    fn forbidden_edges_are_avoided_when_possible() {
+        let inf = f64::INFINITY;
+        let costs = CostMatrix::from_rows(vec![vec![inf, 1.0], vec![2.0, inf]]);
+        let result = hungarian(&costs).unwrap();
+        assert_eq!(result.row_to_col, vec![1, 0]);
+        assert_eq!(result.total_cost, 3.0);
+    }
+
+    #[test]
+    fn infeasible_forbidden_edges_return_none() {
+        let inf = f64::INFINITY;
+        let costs = CostMatrix::from_rows(vec![vec![inf, inf], vec![1.0, 1.0]]);
+        assert!(hungarian(&costs).is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        // Deterministic pseudo-random values (no external RNG needed here).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        for &(rows, cols) in &[(3, 3), (4, 5), (5, 5), (2, 6), (6, 6)] {
+            let costs = CostMatrix::from_fn(rows, cols, |_, _| next());
+            let result = hungarian(&costs).unwrap();
+            let best = brute_force_min(&costs);
+            assert!(
+                (result.total_cost - best).abs() < 1e-9,
+                "hungarian {} != brute force {best} on {rows}x{cols}",
+                result.total_cost
+            );
+            // The assignment must be injective.
+            let mut seen = vec![false; cols];
+            for &c in &result.row_to_col {
+                assert!(!seen[c]);
+                seen[c] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # mf-sim — instance generation and discrete-event simulation
+//!
+//! The paper's evaluation (§7) is driven by a C++ simulator that draws random
+//! platforms and applications and evaluates the heuristics on them. This crate
+//! provides the equivalent substrate:
+//!
+//! * [`generator`] — seeded random instance generators reproducing the paper's
+//!   experimental setup (processing times uniform in `[100, 1000]` ms, failure
+//!   rates uniform in `[0.5%, 2%]` or `[0, 10%]`, task-attached variants, …);
+//! * [`factory`] — a discrete-event simulation of the production line itself:
+//!   products physically flow through machines, are destroyed with probability
+//!   `f_{i,u}` and counted at the output. The simulator validates that the
+//!   analytic period used by the optimizers matches the long-run behaviour of
+//!   the stochastic system;
+//! * [`validate`] — helpers comparing analytic and simulated throughput.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod factory;
+pub mod generator;
+pub mod validate;
+
+pub use factory::{FactorySimulation, SimulationConfig, SimulationReport};
+pub use generator::{FailureStructure, GeneratorConfig, InstanceGenerator};
+pub use validate::{validate_mapping, ValidationReport};

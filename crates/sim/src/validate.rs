@@ -1,0 +1,89 @@
+//! Comparison of analytic periods with simulated throughput.
+
+use crate::factory::{FactorySimulation, SimulationConfig};
+use mf_core::prelude::*;
+
+/// Side-by-side comparison of the analytic model and the discrete-event
+/// simulation for one mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Analytic period of the mapping (ms per product).
+    pub analytic_period: f64,
+    /// Period measured by the simulation (ms per product).
+    pub simulated_period: f64,
+    /// `|simulated − analytic| / analytic`.
+    pub relative_error: f64,
+    /// Products output during the simulation.
+    pub produced: u64,
+}
+
+impl ValidationReport {
+    /// `true` if the simulation confirms the analytic period within `tolerance`
+    /// (relative).
+    pub fn agrees_within(&self, tolerance: f64) -> bool {
+        self.relative_error <= tolerance
+    }
+}
+
+/// Simulates `mapping` on `instance` and compares the measured period with the
+/// analytic one.
+pub fn validate_mapping(
+    instance: &Instance,
+    mapping: &Mapping,
+    config: SimulationConfig,
+) -> Result<ValidationReport> {
+    let analytic_period = instance.period(mapping)?.value();
+    let report = FactorySimulation::new(instance, mapping, config).run()?;
+    let relative_error = (report.measured_period - analytic_period).abs() / analytic_period;
+    Ok(ValidationReport {
+        analytic_period,
+        simulated_period: report.measured_period,
+        relative_error,
+        produced: report.produced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, InstanceGenerator};
+
+    #[test]
+    fn validation_agrees_on_generated_instances() {
+        let generator = InstanceGenerator::new(GeneratorConfig::paper_standard(8, 4, 2));
+        let instance = generator.generate(17).unwrap();
+        // A simple valid specialized mapping: one machine per type.
+        let assignment: Vec<usize> = instance
+            .application()
+            .tasks()
+            .map(|t| t.ty.index())
+            .collect();
+        let mapping = Mapping::from_indices(&assignment, instance.machine_count()).unwrap();
+        let report = validate_mapping(
+            &instance,
+            &mapping,
+            SimulationConfig { target_products: 3_000, warmup_products: 200, ..Default::default() },
+        )
+        .unwrap();
+        assert!(report.produced >= 3_000);
+        assert!(
+            report.agrees_within(0.10),
+            "analytic {} vs simulated {} (error {:.3})",
+            report.analytic_period,
+            report.simulated_period,
+            report.relative_error
+        );
+    }
+
+    #[test]
+    fn relative_error_is_reported() {
+        let report = ValidationReport {
+            analytic_period: 100.0,
+            simulated_period: 103.0,
+            relative_error: 0.03,
+            produced: 10,
+        };
+        assert!(report.agrees_within(0.05));
+        assert!(!report.agrees_within(0.01));
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build a production line, map it, measure the throughput.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use microfactory::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Describe the application: a linear chain of 8 tasks using 3 operation
+    //    types (e.g. pick, glue, inspect), as in the paper's Figure 1 but
+    //    without the join.
+    let app = Application::linear_chain(&[0, 1, 2, 0, 1, 2, 0, 2])?;
+
+    // 2. Describe the platform: 5 cells with heterogeneous speeds per type (ms).
+    let platform = Platform::from_type_times(
+        5,
+        vec![
+            vec![120.0, 300.0, 450.0, 200.0, 180.0], // type 0: pick
+            vec![400.0, 150.0, 220.0, 380.0, 260.0], // type 1: glue
+            vec![250.0, 270.0, 130.0, 300.0, 210.0], // type 2: inspect
+        ],
+    )?;
+
+    // 3. Describe the failure model: each (task, machine) couple has its own
+    //    probability of destroying the product.
+    let failures = FailureModel::from_matrix(
+        (0..8)
+            .map(|i| (0..5).map(|u| 0.005 + 0.002 * ((i + u) % 7) as f64).collect())
+            .collect(),
+        5,
+    )?;
+
+    let instance = Instance::new(app, platform, failures)?;
+
+    // 4. Run every heuristic of the paper and report the periods.
+    println!("heuristic   period (ms)   throughput (products/s)");
+    let mut best: Option<(String, Mapping, f64)> = None;
+    for heuristic in all_paper_heuristics(42) {
+        let mapping = heuristic.map(&instance).expect("m >= p, so every heuristic succeeds");
+        let period = instance.period(&mapping)?.value();
+        println!("{:<12}{:>10.1}   {:>10.3}", heuristic.name(), period, 1000.0 / period);
+        if best.as_ref().map_or(true, |(_, _, p)| period < *p) {
+            best = Some((heuristic.name().to_string(), mapping, period));
+        }
+    }
+    let (name, mapping, period) = best.expect("at least one heuristic ran");
+
+    // 5. Compare with the exact optimum (the instance is small).
+    let optimum = branch_and_bound(&instance, BnbConfig::default())?;
+    println!(
+        "\nbest heuristic: {name} at {period:.1} ms — exact optimum {:.1} ms (ratio {:.3})",
+        optimum.period.value(),
+        period / optimum.period.value()
+    );
+
+    // 6. How many raw products must be fed per finished product?
+    let demands = instance.demands(&mapping)?;
+    for (task, count) in demands.required_inputs(instance.application(), 100) {
+        println!("feed {count} raw products at {task} to ship 100 finished products");
+    }
+
+    // 7. Cross-check the analytic period against the discrete-event simulator.
+    let report = FactorySimulation::new(
+        &instance,
+        &mapping,
+        SimulationConfig { target_products: 2_000, ..Default::default() },
+    )
+    .run()?;
+    println!(
+        "simulated period: {:.1} ms over {} products (analytic {:.1} ms)",
+        report.measured_period, report.produced, period
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Reproduce a condensed version of every figure of the paper in one run.
+//!
+//! This is a smaller, single-binary alternative to the per-figure binaries of
+//! `mf-experiments` (which accept `--full` for the complete protocol): a few
+//! repetitions per point and a coarser sweep, enough to see every curve's
+//! shape in a couple of minutes.
+//!
+//! ```bash
+//! cargo run --release --example reproduce_figures
+//! ```
+
+use microfactory::experiments::figures;
+use microfactory::experiments::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig { repetitions: 10, ..ExperimentConfig::quick() };
+
+    let reports = [
+        figures::fig5::run_with_tasks(&config, vec![50, 100, 150]),
+        figures::fig6::run_with_tasks(&config, vec![20, 60, 100]),
+        figures::fig7::run_with_tasks(&config, vec![100, 150, 200]),
+        figures::fig8::run_with_tasks(&config, vec![20, 60, 100]),
+        figures::fig9::run_with_types(&config, vec![20, 60, 100]),
+        figures::fig10::run_with_tasks(&config, vec![4, 8, 12]),
+        figures::fig11::run_with_tasks(&config, vec![4, 8, 12]),
+        figures::fig12::run_with_tasks(&config, vec![6, 10, 14]),
+    ];
+    for report in &reports {
+        println!("{}", report.to_table());
+    }
+
+    let summary = figures::summary::run_with(&config, vec![30, 60, 90], vec![6, 8, 10]);
+    println!("{}", summary.to_table());
+}

@@ -1,0 +1,50 @@
+//! Workload splitting (the paper's future-work extension, §8).
+//!
+//! The paper closes by suggesting that the instances of one task could be
+//! processed by several machines, dividing the workload to improve the
+//! throughput. This example quantifies the idea: it maps a chain with the
+//! best classical heuristic (H4w), then re-balances every task's products
+//! across the machines dedicated to its type (H5), and reports how much
+//! period the splitting recovers on increasingly unbalanced platforms.
+//!
+//! ```bash
+//! cargo run --release --example workload_splitting
+//! ```
+
+use microfactory::prelude::*;
+
+fn main() -> Result<()> {
+    println!("type imbalance   H4w period (ms)   H5 split period (ms)   improvement");
+    for &skew in &[1.0f64, 2.0, 4.0, 8.0] {
+        // Two types, 12 tasks, 6 machines. Type-0 work is `skew` times heavier
+        // than type-1 work, so a classical specialized mapping leaves the
+        // type-0 machines overloaded while type-1 machines idle.
+        let types: Vec<usize> = (0..12).map(|i| if i % 3 == 0 { 1 } else { 0 }).collect();
+        let app = Application::linear_chain(&types)?;
+        let platform = Platform::from_type_times(
+            6,
+            vec![
+                (0..6).map(|u| skew * (120.0 + 40.0 * u as f64)).collect(),
+                (0..6).map(|u| 100.0 + 30.0 * u as f64).collect(),
+            ],
+        )?;
+        let failures = FailureModel::uniform(12, 6, FailureRate::new(0.01)?);
+        let instance = Instance::new(app, platform, failures)?;
+
+        let base = H4wFastestMachine.map(&instance).expect("m >= p");
+        let base_period = instance.period(&base)?.value();
+        let split = H5WorkloadSplit.split_from(&instance, &base).expect("base is specialized");
+        let split_period = split.period(&instance)?.value();
+
+        println!(
+            "{skew:>14.0}x   {base_period:>15.1}   {split_period:>20.1}   {:>10.1}%",
+            100.0 * (base_period - split_period) / base_period
+        );
+    }
+    println!(
+        "\nSplitting never hurts (it strictly generalises the classical mapping) and the\n\
+         gain grows with the imbalance between machines of the same type — the effect the\n\
+         paper anticipated in its conclusion."
+    );
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: generator → heuristics → exact solvers →
+//! discrete-event simulation, exercised through the facade crate.
+
+use microfactory::prelude::*;
+
+/// The full tool-chain on one generated instance: every heuristic produces a
+/// valid specialized mapping, the exact optimum bounds them all from below,
+/// and the simulator confirms the analytic period of the best mapping.
+#[test]
+fn generator_heuristics_exact_and_simulation_agree() {
+    let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(10, 5, 3))
+        .generate(2024)
+        .unwrap();
+
+    let mut best: Option<(Mapping, f64)> = None;
+    for heuristic in all_paper_heuristics(3) {
+        let mapping = heuristic.map(&instance).unwrap();
+        assert!(instance.is_specialized(&mapping), "{} not specialized", heuristic.name());
+        let period = instance.period(&mapping).unwrap().value();
+        assert!(period > 0.0);
+        if best.as_ref().map_or(true, |(_, p)| period < *p) {
+            best = Some((mapping, period));
+        }
+    }
+    let (best_mapping, best_period) = best.unwrap();
+
+    let optimum = branch_and_bound(&instance, BnbConfig::default()).unwrap();
+    assert!(optimum.proven_optimal);
+    assert!(optimum.period.value() <= best_period + 1e-9);
+    // The paper's headline: the best heuristic lands within a small factor of
+    // the optimum (1.33 on average in the paper; allow 2x on one instance).
+    assert!(best_period <= optimum.period.value() * 2.0);
+
+    let report = FactorySimulation::new(
+        &instance,
+        &best_mapping,
+        SimulationConfig { target_products: 4_000, warmup_products: 200, ..Default::default() },
+    )
+    .run()
+    .unwrap();
+    let relative = (report.measured_period - best_period).abs() / best_period;
+    assert!(
+        relative < 0.15,
+        "simulated period {} deviates from analytic {best_period} by {relative:.3}",
+        report.measured_period
+    );
+}
+
+/// The MIP formulation (on the simplex substrate), the combinatorial
+/// branch-and-bound and brute force all agree on small instances.
+#[test]
+fn all_exact_solvers_agree() {
+    use microfactory::exact::{brute_force_specialized, MipSolveStatus};
+
+    for seed in [1u64, 2, 3] {
+        let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(5, 3, 2))
+            .generate(seed)
+            .unwrap();
+        let brute = brute_force_specialized(&instance).unwrap();
+        let bnb = branch_and_bound(&instance, BnbConfig::default()).unwrap();
+        let mip = solve_specialized_mip(&instance, MipConfig::default()).unwrap();
+
+        assert!(bnb.proven_optimal);
+        assert_eq!(mip.status, MipSolveStatus::Optimal);
+        let reference = brute.period.value();
+        assert!((bnb.period.value() - reference).abs() < 1e-6, "seed {seed}");
+        assert!(
+            (mip.period.unwrap().value() - reference).abs() / reference < 1e-4,
+            "seed {seed}"
+        );
+    }
+}
+
+/// The paper's qualitative conclusions hold on a batch of generated instances:
+/// H4w beats the random heuristic H1 and the reliability-only H4f on average.
+#[test]
+fn paper_conclusions_hold_on_average() {
+    let generator = InstanceGenerator::new(GeneratorConfig::paper_standard(60, 20, 5));
+    let mut h1_total = 0.0;
+    let mut h4w_total = 0.0;
+    let mut h4f_total = 0.0;
+    let reps = 12;
+    for seed in 0..reps {
+        let instance = generator.generate(seed).unwrap();
+        h1_total += H1Random::new(seed).period(&instance).unwrap().value();
+        h4w_total += H4wFastestMachine.period(&instance).unwrap().value();
+        h4f_total += H4fReliableMachine.period(&instance).unwrap().value();
+    }
+    assert!(
+        h4w_total < h1_total,
+        "H4w (total {h4w_total}) should beat the random heuristic (total {h1_total})"
+    );
+    assert!(
+        h4w_total < h4f_total,
+        "H4w (total {h4w_total}) should beat the reliability-only heuristic (total {h4f_total})"
+    );
+}
+
+/// One-to-one optimum (bottleneck assignment) versus the specialized optimum:
+/// grouping tasks can only help.
+#[test]
+fn specialized_optimum_never_worse_than_one_to_one_optimum() {
+    let instance = InstanceGenerator::new(GeneratorConfig::paper_task_failures(7, 8, 3))
+        .generate(99)
+        .unwrap();
+    let oto = optimal_one_to_one_bottleneck(&instance).unwrap();
+    let specialized = branch_and_bound(&instance, BnbConfig::default()).unwrap();
+    assert!(specialized.proven_optimal);
+    assert!(specialized.period.value() <= oto.period.value() + 1e-9);
+}
+
+/// The model types are cheap to clone and evaluation is referentially
+/// transparent: a cloned instance reports the same period for the same mapping.
+#[test]
+fn cloned_instances_report_identical_periods() {
+    let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(6, 4, 2))
+        .generate(5)
+        .unwrap();
+    let mapping = H4wFastestMachine.map(&instance).unwrap();
+    let cloned = instance.clone();
+    assert_eq!(
+        instance.period(&mapping).unwrap().value(),
+        cloned.period(&mapping).unwrap().value()
+    );
+    assert_eq!(instance, cloned);
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) on the core invariants of the system.
+
+use microfactory::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random problem instance with n tasks, m machines, p types,
+/// paper-like processing times and failure rates.
+fn instance_strategy(
+    max_tasks: usize,
+    max_machines: usize,
+) -> impl Strategy<Value = Instance> {
+    (2usize..=max_tasks, 2usize..=max_machines)
+        .prop_flat_map(move |(n, m)| {
+            let p = 1usize..=m.min(n).min(4);
+            (Just(n), Just(m), p, any::<u64>())
+        })
+        .prop_map(|(n, m, p, seed)| {
+            InstanceGenerator::new(GeneratorConfig::paper_standard(n, m, p))
+                .generate(seed)
+                .expect("generator produces valid instances")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every heuristic returns a complete, specialized mapping whose period is
+    /// finite and positive, for any instance with m ≥ p.
+    #[test]
+    fn heuristics_always_return_valid_specialized_mappings(
+        instance in instance_strategy(24, 8),
+        seed in any::<u64>(),
+    ) {
+        for heuristic in all_paper_heuristics(seed) {
+            let mapping = heuristic.map(&instance).expect("m >= p so the heuristic succeeds");
+            prop_assert_eq!(mapping.task_count(), instance.task_count());
+            prop_assert!(instance.is_specialized(&mapping));
+            let period = instance.period(&mapping).unwrap().value();
+            prop_assert!(period.is_finite() && period > 0.0);
+        }
+    }
+
+    /// The system period equals the maximum machine period, and every machine
+    /// period equals the sum of `xᵢ·w_{i,u}` recomputed independently.
+    #[test]
+    fn period_is_the_max_of_recomputed_machine_loads(
+        instance in instance_strategy(16, 6),
+        seed in any::<u64>(),
+    ) {
+        let mapping = H1Random::new(seed).map(&instance).unwrap();
+        let breakdown = instance.machine_periods(&mapping).unwrap();
+        let demands = instance.demands(&mapping).unwrap();
+
+        let mut recomputed = vec![0.0f64; instance.machine_count()];
+        for task in instance.application().tasks() {
+            let machine = mapping.machine_of(task.id);
+            recomputed[machine.index()] +=
+                demands.get(task.id) * instance.time(task.id, machine);
+        }
+        for u in instance.platform().machines() {
+            prop_assert!((breakdown.of(u).value() - recomputed[u.index()]).abs() < 1e-9);
+        }
+        let max = recomputed.iter().copied().fold(0.0, f64::max);
+        prop_assert!((breakdown.system_period().value() - max).abs() < 1e-9);
+    }
+
+    /// Demands are monotone: every task needs at least as many products as its
+    /// successor, and at least one product.
+    #[test]
+    fn demands_are_monotone_along_the_chain(
+        instance in instance_strategy(20, 6),
+        seed in any::<u64>(),
+    ) {
+        let mapping = RandomMapping::new(seed).map(&instance).unwrap();
+        let demands = instance.demands(&mapping).unwrap();
+        for task in instance.application().tasks() {
+            prop_assert!(demands.get(task.id) >= 1.0 - 1e-12);
+            if let Some(succ) = instance.application().successor(task.id) {
+                prop_assert!(demands.get(task.id) >= demands.get(succ) - 1e-12);
+            }
+        }
+    }
+
+    /// The branch-and-bound optimum is a lower bound for every heuristic, and
+    /// it is itself a valid specialized mapping (small instances only).
+    #[test]
+    fn exact_optimum_bounds_the_heuristics(
+        instance in instance_strategy(8, 4),
+    ) {
+        let optimum = branch_and_bound(&instance, BnbConfig::default()).unwrap();
+        prop_assert!(optimum.proven_optimal);
+        prop_assert!(instance.is_specialized(&optimum.mapping));
+        for heuristic in all_paper_heuristics(1) {
+            let period = heuristic.period(&instance).unwrap().value();
+            prop_assert!(period >= optimum.period.value() - 1e-6);
+        }
+    }
+
+    /// Scaling every failure rate down (towards zero) never increases the
+    /// period of a fixed mapping.
+    #[test]
+    fn lower_failures_never_hurt_a_fixed_mapping(
+        instance in instance_strategy(12, 5),
+        seed in any::<u64>(),
+    ) {
+        let mapping = RandomMapping::new(seed).map(&instance).unwrap();
+        let period_with_failures = instance.period(&mapping).unwrap().value();
+
+        // Rebuild the same instance with all failures set to zero.
+        let zero_failures = FailureModel::uniform(
+            instance.task_count(),
+            instance.machine_count(),
+            FailureRate::ZERO,
+        );
+        let no_failure_instance = Instance::new(
+            instance.application().clone(),
+            instance.platform().clone(),
+            zero_failures,
+        )
+        .unwrap();
+        let period_without = no_failure_instance.period(&mapping).unwrap().value();
+        prop_assert!(period_without <= period_with_failures + 1e-9);
+    }
+
+    /// The one-to-one bottleneck optimum (when it applies) is never better than
+    /// the specialized optimum and never worse than any one-to-one mapping we
+    /// can build by hand (identity assignment).
+    #[test]
+    fn bottleneck_one_to_one_is_sandwiched(
+        n in 3usize..7,
+        seed in any::<u64>(),
+    ) {
+        let instance = InstanceGenerator::new(GeneratorConfig::paper_task_failures(n, n + 2, 2))
+            .generate(seed)
+            .unwrap();
+        let oto = optimal_one_to_one_bottleneck(&instance).unwrap();
+        // Identity one-to-one mapping: task i on machine i.
+        let identity = Mapping::from_indices(
+            &(0..n).collect::<Vec<_>>(),
+            instance.machine_count(),
+        )
+        .unwrap();
+        let identity_period = instance.period(&identity).unwrap().value();
+        prop_assert!(oto.period.value() <= identity_period + 1e-9);
+
+        let specialized = branch_and_bound(&instance, BnbConfig::default()).unwrap();
+        prop_assert!(specialized.period.value() <= oto.period.value() + 1e-9);
+    }
+}
