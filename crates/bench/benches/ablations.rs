@@ -28,18 +28,33 @@ fn scoring_rule_ablation(c: &mut Criterion) {
         raw.period(&instance).unwrap().value()
     );
     let mut group = c.benchmark_group("ablation_scoring");
-    group.bench_function("H4_failure_factor", |b| b.iter(|| factor.map(&instance).unwrap()));
+    group.bench_function("H4_failure_factor", |b| {
+        b.iter(|| factor.map(&instance).unwrap())
+    });
     group.bench_function("H4_raw_weight", |b| b.iter(|| raw.map(&instance).unwrap()));
     group.finish();
 }
 
 fn binary_search_tolerance_ablation(c: &mut Criterion) {
     let instance = standard_instance(80, 20, 5, 9);
-    let paper = H2BinaryPotential { config: BinarySearchConfig { tolerance: 1.0, max_iterations: 128 } };
-    let coarse =
-        H2BinaryPotential { config: BinarySearchConfig { tolerance: 100.0, max_iterations: 128 } };
-    let fine =
-        H2BinaryPotential { config: BinarySearchConfig { tolerance: 0.001, max_iterations: 256 } };
+    let paper = H2BinaryPotential {
+        config: BinarySearchConfig {
+            tolerance: 1.0,
+            max_iterations: 128,
+        },
+    };
+    let coarse = H2BinaryPotential {
+        config: BinarySearchConfig {
+            tolerance: 100.0,
+            max_iterations: 128,
+        },
+    };
+    let fine = H2BinaryPotential {
+        config: BinarySearchConfig {
+            tolerance: 0.001,
+            max_iterations: 256,
+        },
+    };
     println!(
         "[ablation_binsearch] period at 100ms tol: {:.1}, 1ms tol (paper): {:.1}, 0.001ms tol: {:.1}",
         coarse.period(&instance).unwrap().value(),
@@ -47,9 +62,15 @@ fn binary_search_tolerance_ablation(c: &mut Criterion) {
         fine.period(&instance).unwrap().value()
     );
     let mut group = c.benchmark_group("ablation_binsearch");
-    group.bench_function("tolerance_100ms", |b| b.iter(|| coarse.map(&instance).unwrap()));
-    group.bench_function("tolerance_1ms_paper", |b| b.iter(|| paper.map(&instance).unwrap()));
-    group.bench_function("tolerance_0.001ms", |b| b.iter(|| fine.map(&instance).unwrap()));
+    group.bench_function("tolerance_100ms", |b| {
+        b.iter(|| coarse.map(&instance).unwrap())
+    });
+    group.bench_function("tolerance_1ms_paper", |b| {
+        b.iter(|| paper.map(&instance).unwrap())
+    });
+    group.bench_function("tolerance_0.001ms", |b| {
+        b.iter(|| fine.map(&instance).unwrap())
+    });
     group.finish();
 }
 

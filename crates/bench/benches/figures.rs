@@ -11,7 +11,11 @@ use mf_experiments::figures;
 use mf_experiments::ExperimentConfig;
 
 fn bench_config() -> ExperimentConfig {
-    ExperimentConfig { repetitions: 3, exact_node_budget: 200_000, ..ExperimentConfig::quick() }
+    ExperimentConfig {
+        repetitions: 3,
+        exact_node_budget: 200_000,
+        ..ExperimentConfig::quick()
+    }
 }
 
 fn fig5(c: &mut Criterion) {

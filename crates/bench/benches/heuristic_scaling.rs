@@ -16,7 +16,10 @@ fn heuristic_scaling(c: &mut Criterion) {
         let instance = standard_instance(tasks, machines, types, 42);
         for heuristic in all_paper_heuristics(7) {
             group.bench_with_input(
-                BenchmarkId::new(heuristic.name().to_string(), format!("n{tasks}_m{machines}")),
+                BenchmarkId::new(
+                    heuristic.name().to_string(),
+                    format!("n{tasks}_m{machines}"),
+                ),
                 &instance,
                 |b, instance| b.iter(|| heuristic.map(instance).expect("mapping succeeds")),
             );

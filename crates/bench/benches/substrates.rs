@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mf_bench::{standard_instance, task_failure_instance};
-use mf_heuristics::{Heuristic, H4wFastestMachine};
+use mf_heuristics::{H4wFastestMachine, Heuristic};
 use mf_lp::{ConstraintSense, LpProblem, Objective};
 use mf_matching::{bottleneck_assignment, hungarian, CostMatrix};
 use mf_sim::{FactorySimulation, SimulationConfig};
@@ -15,8 +15,9 @@ fn simplex(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dense", size), &size, |b, &size| {
             b.iter(|| {
                 let mut lp = LpProblem::new(Objective::Maximize);
-                let vars: Vec<_> =
-                    (0..size).map(|i| lp.add_bounded_variable(format!("x{i}"), 0.0, 10.0)).collect();
+                let vars: Vec<_> = (0..size)
+                    .map(|i| lp.add_bounded_variable(format!("x{i}"), 0.0, 10.0))
+                    .collect();
                 for (i, &v) in vars.iter().enumerate() {
                     lp.set_objective_coefficient(v, 1.0 + (i % 7) as f64);
                 }
@@ -55,9 +56,13 @@ fn optimal_one_to_one(c: &mut Criterion) {
     let mut group = c.benchmark_group("one_to_one_reference");
     for &size in &[50usize, 100] {
         let instance = task_failure_instance(size, size, 5, 3);
-        group.bench_with_input(BenchmarkId::new("bottleneck_oto", size), &instance, |b, inst| {
-            b.iter(|| mf_exact::optimal_one_to_one_bottleneck(inst).expect("valid setting"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bottleneck_oto", size),
+            &instance,
+            |b, inst| {
+                b.iter(|| mf_exact::optimal_one_to_one_bottleneck(inst).expect("valid setting"))
+            },
+        );
     }
     group.finish();
 }
@@ -68,16 +73,22 @@ fn simulator(c: &mut Criterion) {
     let instance = standard_instance(30, 10, 3, 11);
     let mapping = H4wFastestMachine.map(&instance).expect("mapping succeeds");
     for &products in &[1_000u64, 5_000] {
-        group.bench_with_input(BenchmarkId::new("products", products), &products, |b, &products| {
-            b.iter(|| {
-                let config = SimulationConfig {
-                    target_products: products,
-                    warmup_products: 100,
-                    ..Default::default()
-                };
-                FactorySimulation::new(&instance, &mapping, config).run().expect("simulation runs")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("products", products),
+            &products,
+            |b, &products| {
+                b.iter(|| {
+                    let config = SimulationConfig {
+                        target_products: products,
+                        warmup_products: 100,
+                        ..Default::default()
+                    };
+                    FactorySimulation::new(&instance, &mapping, config)
+                        .run()
+                        .expect("simulation runs")
+                })
+            },
+        );
     }
     group.finish();
 }

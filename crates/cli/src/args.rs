@@ -45,7 +45,10 @@ impl Arguments {
 
     /// The string value of `--name`, if given with a value.
     pub fn string_flag(&self, name: &str) -> Option<String> {
-        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.clone())
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.clone())
     }
 
     /// The `usize` value of `--name`.
@@ -74,7 +77,9 @@ mod tests {
 
     #[test]
     fn flags_values_and_positionals() {
-        let a = args(&["--tasks", "20", "--exact", "line.mf", "--seed", "7", "map.mf"]);
+        let a = args(&[
+            "--tasks", "20", "--exact", "line.mf", "--seed", "7", "map.mf",
+        ]);
         assert_eq!(a.usize_flag("tasks"), Some(20));
         assert_eq!(a.u64_flag("seed"), Some(7));
         assert!(a.has_flag("exact"));

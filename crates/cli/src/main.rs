@@ -83,30 +83,36 @@ fn generate(args: &Arguments) -> std::result::Result<(), String> {
 }
 
 fn load_instance(path: &str) -> std::result::Result<Instance, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     textio::instance_from_text(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
 }
 
 fn load_mapping(path: &str) -> std::result::Result<Mapping, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     textio::mapping_from_text(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
 }
 
 fn heuristic_by_name(name: &str) -> std::result::Result<Box<dyn Heuristic + Send + Sync>, String> {
-    let wanted = name.to_ascii_uppercase();
+    // Normalize the user's casing to the registry's canonical names
+    // (H1…H4f), then delegate to the single source of truth.
     all_paper_heuristics(1)
-        .into_iter()
-        .find(|h| h.name().eq_ignore_ascii_case(&wanted))
-        .ok_or_else(|| format!("unknown heuristic `{name}` (expected one of H1, H2, H3, H4, H4w, H4f)"))
+        .iter()
+        .map(|h| h.name().to_string())
+        .find(|canonical| canonical.eq_ignore_ascii_case(name))
+        .and_then(|canonical| mf_heuristics::paper_heuristic(&canonical, 1))
+        .ok_or_else(|| {
+            format!("unknown heuristic `{name}` (expected one of H1, H2, H3, H4, H4w, H4f)")
+        })
 }
 
 fn solve(args: &Arguments) -> std::result::Result<(), String> {
     let path = args.positional(0).ok_or("missing INSTANCE file")?;
     let instance = load_instance(path)?;
     if args.has_flag("all") {
-        eprintln!("{:<6} {:>12} {:>16}", "name", "period(ms)", "throughput(/s)");
+        eprintln!(
+            "{:<6} {:>12} {:>16}",
+            "name", "period(ms)", "throughput(/s)"
+        );
         for heuristic in all_paper_heuristics(1) {
             match heuristic.period(&instance) {
                 Ok(period) => eprintln!(
@@ -122,10 +128,16 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
     let (label, mapping) = if args.has_flag("exact") {
         let outcome = branch_and_bound(&instance, BnbConfig::default())
             .map_err(|e| format!("exact solver failed: {e}"))?;
-        let label = if outcome.proven_optimal { "exact optimum" } else { "best found (budget hit)" };
+        let label = if outcome.proven_optimal {
+            "exact optimum"
+        } else {
+            "best found (budget hit)"
+        };
         (label.to_string(), outcome.mapping)
     } else {
-        let name = args.string_flag("heuristic").unwrap_or_else(|| "h4w".to_string());
+        let name = args
+            .string_flag("heuristic")
+            .unwrap_or_else(|| "h4w".to_string());
         let heuristic = heuristic_by_name(&name)?;
         let mapping = heuristic
             .map(&instance)
@@ -133,7 +145,11 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
         (heuristic.name().to_string(), mapping)
     };
     let period = instance.period(&mapping).map_err(|e| e.to_string())?;
-    eprintln!("{label}: period {:.1} ms ({:.4} products/s)", period.value(), 1000.0 / period.value());
+    eprintln!(
+        "{label}: period {:.1} ms ({:.4} products/s)",
+        period.value(),
+        1000.0 / period.value()
+    );
     print!("{}", textio::mapping_to_text(&mapping));
     Ok(())
 }
@@ -144,7 +160,9 @@ fn evaluate(args: &Arguments) -> std::result::Result<(), String> {
     instance
         .validate_mapping(&mapping, MappingKind::General)
         .map_err(|e| format!("mapping does not fit the instance: {e}"))?;
-    let breakdown = instance.machine_periods(&mapping).map_err(|e| e.to_string())?;
+    let breakdown = instance
+        .machine_periods(&mapping)
+        .map_err(|e| e.to_string())?;
     let period = breakdown.system_period();
     println!("rule:        {}", mapping.kind(instance.application()));
     println!("period:      {:.1} ms", period.value());
@@ -152,7 +170,11 @@ fn evaluate(args: &Arguments) -> std::result::Result<(), String> {
     println!("machine loads:");
     for u in instance.platform().machines() {
         let load = breakdown.of(u).value();
-        let marker = if breakdown.critical_machines(1e-9).contains(&u) { "  <- critical" } else { "" };
+        let marker = if breakdown.critical_machines(1e-9).contains(&u) {
+            "  <- critical"
+        } else {
+            ""
+        };
         println!("  {u}: {load:.1} ms{marker}");
     }
     let demands = instance.demands(&mapping).map_err(|e| e.to_string())?;
@@ -177,7 +199,10 @@ fn simulate(args: &Arguments) -> std::result::Result<(), String> {
     let report = FactorySimulation::new(&instance, &mapping, config)
         .run()
         .map_err(|e| format!("simulation failed: {e}"))?;
-    let analytic = instance.period(&mapping).map_err(|e| e.to_string())?.value();
+    let analytic = instance
+        .period(&mapping)
+        .map_err(|e| e.to_string())?
+        .value();
     println!("products out:      {}", report.produced);
     println!("simulated period:  {:.1} ms", report.measured_period);
     println!("analytic period:   {analytic:.1} ms");
@@ -192,7 +217,10 @@ fn simulate(args: &Arguments) -> std::result::Result<(), String> {
                 "  {}: {:.2}% observed ({:.2}% modelled)",
                 task.id,
                 100.0 * observed,
-                100.0 * instance.failure(task.id, mapping.machine_of(task.id)).value()
+                100.0
+                    * instance
+                        .failure(task.id, mapping.machine_of(task.id))
+                        .value()
             );
         }
     }

@@ -8,10 +8,9 @@
 
 use crate::error::{ModelError, Result};
 use crate::ids::{TaskId, TaskTypeId};
-use serde::{Deserialize, Serialize};
 
 /// A single task of the application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Task {
     /// Identifier of the task.
     pub id: TaskId,
@@ -22,7 +21,7 @@ pub struct Task {
 }
 
 /// A fork-free application DAG (an in-forest of typed tasks).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Application {
     tasks: Vec<Task>,
     /// `successor[i]` is the unique successor of task `i`, if any.
@@ -240,7 +239,10 @@ impl ApplicationBuilder {
         let n = self.types.len();
         for id in [from, to] {
             if id.index() >= n {
-                return Err(ModelError::UnknownTask { task: id.index(), task_count: n });
+                return Err(ModelError::UnknownTask {
+                    task: id.index(),
+                    task_count: n,
+                });
             }
         }
         if self.successor[from.index()].is_some() {
@@ -267,7 +269,10 @@ impl ApplicationBuilder {
             .types
             .iter()
             .enumerate()
-            .map(|(i, &ty)| Task { id: TaskId(i), ty: TaskTypeId(ty) })
+            .map(|(i, &ty)| Task {
+                id: TaskId(i),
+                ty: TaskTypeId(ty),
+            })
             .collect();
 
         let mut predecessors = vec![Vec::new(); n];
@@ -279,8 +284,7 @@ impl ApplicationBuilder {
 
         // Kahn's algorithm for a topological order; also detects cycles.
         let mut indegree: Vec<usize> = predecessors.iter().map(Vec::len).collect();
-        let mut queue: Vec<TaskId> =
-            (0..n).filter(|&i| indegree[i] == 0).map(TaskId).collect();
+        let mut queue: Vec<TaskId> = (0..n).filter(|&i| indegree[i] == 0).map(TaskId).collect();
         let mut topological = Vec::with_capacity(n);
         while let Some(task) = queue.pop() {
             topological.push(task);
@@ -324,7 +328,10 @@ mod tests {
 
     #[test]
     fn empty_chain_is_rejected() {
-        assert_eq!(Application::linear_chain(&[]), Err(ModelError::EmptyApplication));
+        assert_eq!(
+            Application::linear_chain(&[]),
+            Err(ModelError::EmptyApplication)
+        );
     }
 
     #[test]
@@ -373,7 +380,12 @@ mod tests {
         let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
         for task in app.tasks() {
             if let Some(succ) = app.successor(task.id) {
-                assert!(pos(task.id) < pos(succ), "{} must precede {}", task.id, succ);
+                assert!(
+                    pos(task.id) < pos(succ),
+                    "{} must precede {}",
+                    task.id,
+                    succ
+                );
             }
         }
         let rev = app.reverse_topological_order();

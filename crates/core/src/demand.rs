@@ -202,7 +202,8 @@ mod tests {
     fn chain(fail: &[f64]) -> (Application, FailureModel, Mapping) {
         let n = fail.len();
         let app = Application::linear_chain(&vec![0; n]).unwrap();
-        let failures = FailureModel::from_matrix(fail.iter().map(|&f| vec![f]).collect(), 1).unwrap();
+        let failures =
+            FailureModel::from_matrix(fail.iter().map(|&f| vec![f]).collect(), 1).unwrap();
         let mapping = Mapping::from_indices(&vec![0; n], 1).unwrap();
         (app, failures, mapping)
     }
@@ -264,22 +265,17 @@ mod tests {
     #[test]
     fn bounds_bracket_actual_demand() {
         let app = Application::linear_chain(&[0, 1, 0]).unwrap();
-        let failures = FailureModel::from_matrix(
-            vec![vec![0.1, 0.3], vec![0.05, 0.2], vec![0.0, 0.4]],
-            2,
-        )
-        .unwrap();
+        let failures =
+            FailureModel::from_matrix(vec![vec![0.1, 0.3], vec![0.05, 0.2], vec![0.0, 0.4]], 2)
+                .unwrap();
         let upper = demand_upper_bounds(&app, &failures).unwrap();
         let lower = demand_lower_bounds(&app, &failures).unwrap();
         // Check every possible mapping is bracketed.
         for a in 0..2 {
             for b in 0..2 {
                 for c in 0..2 {
-                    let mapping = Mapping::new(
-                        vec![MachineId(a), MachineId(b), MachineId(c)],
-                        2,
-                    )
-                    .unwrap();
+                    let mapping =
+                        Mapping::new(vec![MachineId(a), MachineId(b), MachineId(c)], 2).unwrap();
                     let x = demands(&app, &failures, &mapping).unwrap();
                     for t in 0..3 {
                         assert!(x.get(TaskId(t)) <= upper[t] + 1e-12);

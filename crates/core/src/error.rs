@@ -92,13 +92,25 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::EmptyApplication => write!(f, "application has no tasks"),
             ModelError::UnknownTask { task, task_count } => {
-                write!(f, "task index {task} out of range (application has {task_count} tasks)")
+                write!(
+                    f,
+                    "task index {task} out of range (application has {task_count} tasks)"
+                )
             }
             ModelError::UnknownType { ty, type_count } => {
-                write!(f, "type index {ty} out of range (application declares {type_count} types)")
+                write!(
+                    f,
+                    "type index {ty} out of range (application declares {type_count} types)"
+                )
             }
-            ModelError::UnknownMachine { machine, machine_count } => {
-                write!(f, "machine index {machine} out of range (platform has {machine_count} machines)")
+            ModelError::UnknownMachine {
+                machine,
+                machine_count,
+            } => {
+                write!(
+                    f,
+                    "machine index {machine} out of range (platform has {machine_count} machines)"
+                )
             }
             ModelError::CyclicApplication => write!(f, "application graph contains a cycle"),
             ModelError::ForkDetected { task } => {
@@ -110,17 +122,27 @@ impl fmt::Display for ModelError {
             ModelError::InvalidFailureRate { value } => {
                 write!(f, "failure rate must lie in [0, 1), got {value}")
             }
-            ModelError::DimensionMismatch { context, expected, actual } => {
+            ModelError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => {
                 write!(f, "{context}: expected dimension {expected}, got {actual}")
             }
             ModelError::IncompleteMapping { expected, actual } => {
-                write!(f, "mapping must assign all {expected} tasks, got {actual} assignments")
+                write!(
+                    f,
+                    "mapping must assign all {expected} tasks, got {actual} assignments"
+                )
             }
             ModelError::RuleViolation { kind, detail } => {
                 write!(f, "mapping violates {kind:?} rule: {detail}")
             }
             ModelError::NotEnoughMachines { machines, required } => {
-                write!(f, "platform has {machines} machines but {required} are required")
+                write!(
+                    f,
+                    "platform has {machines} machines but {required} are required"
+                )
             }
         }
     }
@@ -134,14 +156,20 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_data() {
-        let err = ModelError::UnknownTask { task: 7, task_count: 3 };
+        let err = ModelError::UnknownTask {
+            task: 7,
+            task_count: 3,
+        };
         assert!(err.to_string().contains('7'));
         assert!(err.to_string().contains('3'));
 
         let err = ModelError::InvalidFailureRate { value: 1.5 };
         assert!(err.to_string().contains("1.5"));
 
-        let err = ModelError::NotEnoughMachines { machines: 2, required: 5 };
+        let err = ModelError::NotEnoughMachines {
+            machines: 2,
+            required: 5,
+        };
         let msg = err.to_string();
         assert!(msg.contains('2') && msg.contains('5'));
     }

@@ -8,14 +8,12 @@
 
 use crate::error::{ModelError, Result};
 use crate::ids::{MachineId, TaskId};
-use serde::{Deserialize, Serialize};
 
 /// A validated failure probability in `[0, 1)`.
 ///
 /// The upper bound is exclusive: a task that *always* fails would make the
 /// expected number of required products infinite.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct FailureRate(f64);
 
 impl FailureRate {
@@ -74,7 +72,7 @@ impl std::fmt::Display for FailureRate {
 }
 
 /// Per-(task, machine) failure probabilities `f_{i,u}`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailureModel {
     task_count: usize,
     machine_count: usize,
@@ -99,7 +97,11 @@ impl FailureModel {
                 rates.push(FailureRate::new(value)?);
             }
         }
-        Ok(FailureModel { task_count, machine_count, rates })
+        Ok(FailureModel {
+            task_count,
+            machine_count,
+            rates,
+        })
     }
 
     /// Builds a model in which every (task, machine) pair has the same rate.
@@ -119,7 +121,11 @@ impl FailureModel {
         for &r in task_rates {
             rates.extend(std::iter::repeat(r).take(machine_count));
         }
-        FailureModel { task_count, machine_count, rates }
+        FailureModel {
+            task_count,
+            machine_count,
+            rates,
+        }
     }
 
     /// Builds a model in which the failure rate depends only on the machine
@@ -130,7 +136,11 @@ impl FailureModel {
         for _ in 0..task_count {
             rates.extend_from_slice(machine_rates);
         }
-        FailureModel { task_count, machine_count, rates }
+        FailureModel {
+            task_count,
+            machine_count,
+            rates,
+        }
     }
 
     /// Number of tasks covered by the model.
@@ -163,8 +173,7 @@ impl FailureModel {
     pub fn is_task_dependent_only(&self) -> bool {
         (0..self.task_count).all(|i| {
             let first = self.rates[i * self.machine_count];
-            (1..self.machine_count)
-                .all(|u| self.rates[i * self.machine_count + u] == first)
+            (1..self.machine_count).all(|u| self.rates[i * self.machine_count + u] == first)
         })
     }
 
@@ -184,7 +193,13 @@ impl FailureModel {
     pub fn worst_rate_for_task(&self, task: TaskId) -> FailureRate {
         (0..self.machine_count)
             .map(|u| self.rate(task, MachineId(u)))
-            .fold(FailureRate::ZERO, |acc, r| if r.value() > acc.value() { r } else { acc })
+            .fold(FailureRate::ZERO, |acc, r| {
+                if r.value() > acc.value() {
+                    r
+                } else {
+                    acc
+                }
+            })
     }
 
     /// Smallest failure rate of a task over all machines — used as an
@@ -235,8 +250,7 @@ mod tests {
 
     #[test]
     fn matrix_model_lookup() {
-        let model =
-            FailureModel::from_matrix(vec![vec![0.1, 0.2], vec![0.3, 0.4]], 2).unwrap();
+        let model = FailureModel::from_matrix(vec![vec![0.1, 0.2], vec![0.3, 0.4]], 2).unwrap();
         assert_eq!(model.rate(TaskId(0), MachineId(1)).value(), 0.2);
         assert_eq!(model.rate(TaskId(1), MachineId(0)).value(), 0.3);
         assert!(!model.is_task_dependent_only());
@@ -251,12 +265,18 @@ mod tests {
 
     #[test]
     fn special_structures_are_detected() {
-        let task_rates = [FailureRate::new(0.1).unwrap(), FailureRate::new(0.2).unwrap()];
+        let task_rates = [
+            FailureRate::new(0.1).unwrap(),
+            FailureRate::new(0.2).unwrap(),
+        ];
         let model = FailureModel::task_dependent(&task_rates, 3);
         assert!(model.is_task_dependent_only());
         assert_eq!(model.rate(TaskId(1), MachineId(2)).value(), 0.2);
 
-        let machine_rates = [FailureRate::new(0.05).unwrap(), FailureRate::new(0.15).unwrap()];
+        let machine_rates = [
+            FailureRate::new(0.05).unwrap(),
+            FailureRate::new(0.15).unwrap(),
+        ];
         let model = FailureModel::machine_dependent(&machine_rates, 4);
         assert!(model.is_machine_dependent_only());
         assert_eq!(model.rate(TaskId(3), MachineId(1)).value(), 0.15);

@@ -4,19 +4,18 @@
 //! this crate uses 0-based indices throughout, wrapped in newtypes so that a
 //! task index can never be accidentally used where a machine index is expected.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a task `Tᵢ` within an [`crate::Application`] (0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub usize);
 
 /// Index of a machine `Mᵤ` within a [`crate::Platform`] (0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MachineId(pub usize);
 
 /// Index of a task type within an [`crate::Application`] (0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskTypeId(pub usize);
 
 macro_rules! impl_id {

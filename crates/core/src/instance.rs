@@ -8,7 +8,6 @@ use crate::ids::{MachineId, TaskId};
 use crate::mapping::{Mapping, MappingKind};
 use crate::period::{MachinePeriods, Period};
 use crate::platform::Platform;
-use serde::{Deserialize, Serialize};
 
 /// A complete instance of the micro-factory mapping problem.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// machine) failure rates) and checks their dimensions agree. All accessors
 /// used by the heuristics and exact solvers (`w(i,u)`, `f(i,u)`, `F(i,u)`,
 /// periods, demands) live here.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
     app: Application,
     platform: Platform,
@@ -49,7 +48,11 @@ impl Instance {
                 actual: failures.machine_count(),
             });
         }
-        Ok(Instance { app, platform, failures })
+        Ok(Instance {
+            app,
+            platform,
+            failures,
+        })
     }
 
     /// The application graph.
@@ -200,11 +203,9 @@ mod tests {
         let app = Application::linear_chain(&[0, 1, 0]).unwrap();
         let platform =
             Platform::from_type_times(2, vec![vec![100.0, 200.0], vec![300.0, 150.0]]).unwrap();
-        let failures = FailureModel::from_matrix(
-            vec![vec![0.0, 0.5], vec![0.5, 0.0], vec![0.0, 0.0]],
-            2,
-        )
-        .unwrap();
+        let failures =
+            FailureModel::from_matrix(vec![vec![0.0, 0.5], vec![0.5, 0.0], vec![0.0, 0.0]], 2)
+                .unwrap();
         Instance::new(app, platform, failures).unwrap()
     }
 
@@ -257,9 +258,13 @@ mod tests {
     fn validate_mapping_checks_machine_count() {
         let inst = instance();
         let mapping = Mapping::from_indices(&[0, 1, 0], 3).unwrap();
-        assert!(inst.validate_mapping(&mapping, MappingKind::General).is_err());
+        assert!(inst
+            .validate_mapping(&mapping, MappingKind::General)
+            .is_err());
         let mapping = Mapping::from_indices(&[0, 1, 0], 2).unwrap();
-        assert!(inst.validate_mapping(&mapping, MappingKind::Specialized).is_ok());
+        assert!(inst
+            .validate_mapping(&mapping, MappingKind::Specialized)
+            .is_ok());
     }
 
     #[test]

@@ -13,10 +13,9 @@
 use crate::application::Application;
 use crate::error::{ModelError, Result};
 use crate::ids::{MachineId, TaskId, TaskTypeId};
-use serde::{Deserialize, Serialize};
 
 /// The rule a mapping is required to respect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MappingKind {
     /// Each machine processes at most one task.
     OneToOne,
@@ -37,7 +36,7 @@ impl std::fmt::Display for MappingKind {
 }
 
 /// A total allocation of tasks to machines.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mapping {
     assignment: Vec<MachineId>,
     machine_count: usize,
@@ -54,12 +53,18 @@ impl Mapping {
                 });
             }
         }
-        Ok(Mapping { assignment, machine_count })
+        Ok(Mapping {
+            assignment,
+            machine_count,
+        })
     }
 
     /// Creates a mapping from raw machine indices.
     pub fn from_indices(assignment: &[usize], machine_count: usize) -> Result<Self> {
-        Self::new(assignment.iter().copied().map(MachineId).collect(), machine_count)
+        Self::new(
+            assignment.iter().copied().map(MachineId).collect(),
+            machine_count,
+        )
     }
 
     /// Number of tasks covered by the mapping.
@@ -267,7 +272,10 @@ mod tests {
         let incomplete = Mapping::from_indices(&[0, 1], 2).unwrap();
         assert!(matches!(
             incomplete.validate(&app, MappingKind::General).unwrap_err(),
-            ModelError::IncompleteMapping { expected: 5, actual: 2 }
+            ModelError::IncompleteMapping {
+                expected: 5,
+                actual: 2
+            }
         ));
     }
 

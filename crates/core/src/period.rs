@@ -18,12 +18,10 @@ use crate::failure::FailureModel;
 use crate::ids::MachineId;
 use crate::mapping::Mapping;
 use crate::platform::Platform;
-use serde::{Deserialize, Serialize};
 
 /// A system or machine period, in the same time unit as the platform
 /// processing times (milliseconds in the paper's experiments).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Period(f64);
 
 impl Period {
@@ -54,8 +52,7 @@ impl std::fmt::Display for Period {
 }
 
 /// Throughput: expected number of finished products per time unit.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Throughput(f64);
 
 impl Throughput {
@@ -94,7 +91,10 @@ impl MachinePeriods {
             let w = platform.time(task.ty, machine);
             periods[machine.index()] += x.get(task.id) * w;
         }
-        Ok(MachinePeriods { periods, demands: x })
+        Ok(MachinePeriods {
+            periods,
+            demands: x,
+        })
     }
 
     /// The period of a single machine.

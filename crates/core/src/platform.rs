@@ -8,10 +8,9 @@
 
 use crate::error::{ModelError, Result};
 use crate::ids::{MachineId, TaskTypeId};
-use serde::{Deserialize, Serialize};
 
 /// The set of machines and their per-type processing times.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     machine_count: usize,
     type_count: usize,
@@ -25,7 +24,10 @@ impl Platform {
     /// `type_times[j][u]` is the time for a task of type `j` on machine `u`.
     pub fn from_type_times(machine_count: usize, type_times: Vec<Vec<f64>>) -> Result<Self> {
         if machine_count == 0 {
-            return Err(ModelError::NotEnoughMachines { machines: 0, required: 1 });
+            return Err(ModelError::NotEnoughMachines {
+                machines: 0,
+                required: 1,
+            });
         }
         let type_count = type_times.len();
         let mut times = Vec::with_capacity(type_count * machine_count);
@@ -44,7 +46,11 @@ impl Platform {
                 times.push(value);
             }
         }
-        Ok(Platform { machine_count, type_count, times })
+        Ok(Platform {
+            machine_count,
+            type_count,
+            times,
+        })
     }
 
     /// Builds a fully homogeneous platform: every type takes `time` on every
@@ -120,7 +126,10 @@ impl Platform {
     /// The fastest time for a type over all machines — optimistic bound used by
     /// the exact solvers.
     pub fn fastest_time_for_type(&self, ty: TaskTypeId) -> f64 {
-        self.type_times(ty).iter().copied().fold(f64::INFINITY, f64::min)
+        self.type_times(ty)
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 }
 

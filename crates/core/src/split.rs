@@ -20,10 +20,9 @@ use crate::ids::{MachineId, TaskId, TaskTypeId};
 use crate::instance::Instance;
 use crate::mapping::{Mapping, MappingKind};
 use crate::period::Period;
-use serde::{Deserialize, Serialize};
 
 /// A fractional allocation of every task over the machines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitMapping {
     /// `weights[i][u]` = fraction of task `i`'s output produced on machine `u`.
     weights: Vec<Vec<f64>>,
@@ -59,7 +58,9 @@ impl SplitMapping {
                 });
             }
             let sum: f64 = row.iter().sum();
-            if row.iter().any(|&w| !(0.0..=1.0 + 1e-9).contains(&w) || !w.is_finite())
+            if row
+                .iter()
+                .any(|&w| !(0.0..=1.0 + 1e-9).contains(&w) || !w.is_finite())
                 || (sum - 1.0).abs() > 1e-9
             {
                 return Err(ModelError::RuleViolation {
@@ -68,7 +69,10 @@ impl SplitMapping {
                 });
             }
         }
-        Ok(SplitMapping { weights, machine_count })
+        Ok(SplitMapping {
+            weights,
+            machine_count,
+        })
     }
 
     /// The degenerate split equivalent to a classical mapping.
@@ -83,7 +87,10 @@ impl SplitMapping {
                 row
             })
             .collect();
-        SplitMapping { weights, machine_count }
+        SplitMapping {
+            weights,
+            machine_count,
+        }
     }
 
     /// Number of tasks covered.
@@ -135,7 +142,10 @@ impl SplitMapping {
         let app = instance.application();
         let n = app.task_count();
         if self.weights.len() != n {
-            return Err(ModelError::IncompleteMapping { expected: n, actual: self.weights.len() });
+            return Err(ModelError::IncompleteMapping {
+                expected: n,
+                actual: self.weights.len(),
+            });
         }
         if self.machine_count != instance.machine_count() {
             return Err(ModelError::DimensionMismatch {
@@ -154,11 +164,9 @@ impl SplitMapping {
                 Some(succ) => total_started[succ.index()],
             };
             let mut total = 0.0;
-            for u in 0..m {
-                let weight = self.weights[task.index()][u];
+            for (u, &weight) in self.weights[task.index()].iter().enumerate() {
                 if weight > 0.0 {
-                    let x = weight * output_demand
-                        * instance.factor(task, MachineId(u));
+                    let x = weight * output_demand * instance.factor(task, MachineId(u));
                     started[task.index()][u] = x;
                     total += x;
                 }
@@ -174,7 +182,10 @@ impl SplitMapping {
                 }
             }
         }
-        Ok(SplitPeriods { started, machine_loads })
+        Ok(SplitPeriods {
+            started,
+            machine_loads,
+        })
     }
 
     /// Convenience: the system period of the split mapping.
@@ -272,6 +283,9 @@ mod tests {
     #[test]
     fn machines_of_lists_positive_weights_only() {
         let split = SplitMapping::new(vec![vec![0.3, 0.0, 0.7]], 3).unwrap();
-        assert_eq!(split.machines_of(TaskId(0)), vec![MachineId(0), MachineId(2)]);
+        assert_eq!(
+            split.machines_of(TaskId(0)),
+            vec![MachineId(0), MachineId(2)]
+        );
     }
 }

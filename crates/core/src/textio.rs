@@ -148,10 +148,14 @@ pub fn instance_from_text(text: &str) -> Result<Instance> {
                 times = vec![Vec::new(); p];
             }
             "task" => {
-                let n = task_count.ok_or_else(|| parse_error(line_number, "`tasks` must come first"))?;
+                let n = task_count
+                    .ok_or_else(|| parse_error(line_number, "`tasks` must come first"))?;
                 let id = parse_usize(tokens.next(), line_number, "task index")?;
                 if id >= n {
-                    return Err(parse_error(line_number, format!("task index {id} out of range")));
+                    return Err(parse_error(
+                        line_number,
+                        format!("task index {id} out of range"),
+                    ));
                 }
                 let ty = parse_usize(tokens.next(), line_number, "task type")?;
                 task_types[id] = Some(ty);
@@ -162,12 +166,16 @@ pub fn instance_from_text(text: &str) -> Result<Instance> {
                         successors[id] = Some(succ);
                     }
                     Some(other) => {
-                        return Err(parse_error(line_number, format!("unexpected token `{other}`")))
+                        return Err(parse_error(
+                            line_number,
+                            format!("unexpected token `{other}`"),
+                        ))
                     }
                 }
             }
             "time" => {
-                let p = type_count.ok_or_else(|| parse_error(line_number, "`types` must come first"))?;
+                let p = type_count
+                    .ok_or_else(|| parse_error(line_number, "`types` must come first"))?;
                 let m = machine_count
                     .ok_or_else(|| parse_error(line_number, "`machines` must come first"))?;
                 let ty = parse_usize(tokens.next(), line_number, "type index")?;
@@ -182,7 +190,8 @@ pub fn instance_from_text(text: &str) -> Result<Instance> {
                 times[ty][machine] = Some(value);
             }
             "failure" => {
-                let n = task_count.ok_or_else(|| parse_error(line_number, "`tasks` must come first"))?;
+                let n = task_count
+                    .ok_or_else(|| parse_error(line_number, "`tasks` must come first"))?;
                 let m = machine_count
                     .ok_or_else(|| parse_error(line_number, "`machines` must come first"))?;
                 let task = parse_usize(tokens.next(), line_number, "task index")?;
@@ -196,7 +205,12 @@ pub fn instance_from_text(text: &str) -> Result<Instance> {
                 }
                 failures[task][machine] = Some(value);
             }
-            other => return Err(parse_error(line_number, format!("unknown keyword `{other}`"))),
+            other => {
+                return Err(parse_error(
+                    line_number,
+                    format!("unknown keyword `{other}`"),
+                ))
+            }
         }
     }
 
@@ -224,13 +238,16 @@ pub fn instance_from_text(text: &str) -> Result<Instance> {
     let mut type_times = Vec::with_capacity(p);
     for (ty, row) in times.into_iter().enumerate() {
         if row.len() != m {
-            return Err(parse_error(0, format!("missing `time` entries for type {ty}")));
+            return Err(parse_error(
+                0,
+                format!("missing `time` entries for type {ty}"),
+            ));
         }
         let mut values = Vec::with_capacity(m);
         for (u, value) in row.into_iter().enumerate() {
-            values.push(value.ok_or_else(|| {
-                parse_error(0, format!("missing `time {ty} {u}` entry"))
-            })?);
+            values.push(
+                value.ok_or_else(|| parse_error(0, format!("missing `time {ty} {u}` entry")))?,
+            );
         }
         type_times.push(values);
     }
@@ -240,13 +257,17 @@ pub fn instance_from_text(text: &str) -> Result<Instance> {
     let mut failure_rows = Vec::with_capacity(n);
     for (task, row) in failures.into_iter().enumerate() {
         if row.len() != m {
-            return Err(parse_error(0, format!("missing `failure` entries for task {task}")));
+            return Err(parse_error(
+                0,
+                format!("missing `failure` entries for task {task}"),
+            ));
         }
         let mut values = Vec::with_capacity(m);
         for (u, value) in row.into_iter().enumerate() {
-            values.push(value.ok_or_else(|| {
-                parse_error(0, format!("missing `failure {task} {u}` entry"))
-            })?);
+            values
+                .push(value.ok_or_else(|| {
+                    parse_error(0, format!("missing `failure {task} {u}` entry"))
+                })?);
         }
         failure_rows.push(values);
     }
@@ -275,14 +296,22 @@ pub fn mapping_from_text(text: &str) -> Result<Mapping> {
                 let machine = parse_usize(tokens.next(), line_number, "machine index")?;
                 assignments.push((task, machine));
             }
-            other => return Err(parse_error(line_number, format!("unknown keyword `{other}`"))),
+            other => {
+                return Err(parse_error(
+                    line_number,
+                    format!("unknown keyword `{other}`"),
+                ))
+            }
         }
     }
     let m = machine_count.ok_or_else(|| parse_error(0, "missing `machines` header"))?;
     assignments.sort_by_key(|&(task, _)| task);
     for (expected, &(task, _)) in assignments.iter().enumerate() {
         if task != expected {
-            return Err(parse_error(0, format!("missing `assign` entry for task {expected}")));
+            return Err(parse_error(
+                0,
+                format!("missing `assign` entry for task {expected}"),
+            ));
         }
     }
     Mapping::from_indices(&assignments.iter().map(|&(_, u)| u).collect::<Vec<_>>(), m)
@@ -293,7 +322,10 @@ pub fn mapping_from_text(text: &str) -> Result<Mapping> {
 fn build_with_declared_types(builder: ApplicationBuilder, declared: usize) -> Result<Application> {
     let app = builder.build()?;
     if app.type_count() > declared {
-        return Err(ModelError::UnknownType { ty: app.type_count() - 1, type_count: declared });
+        return Err(ModelError::UnknownType {
+            ty: app.type_count() - 1,
+            type_count: declared,
+        });
     }
     Ok(app)
 }
@@ -306,11 +338,9 @@ mod tests {
         let app = Application::from_successors(&[0, 1, 0], &[Some(1), Some(2), None]).unwrap();
         let platform =
             Platform::from_type_times(2, vec![vec![100.0, 200.0], vec![300.0, 150.0]]).unwrap();
-        let failures = FailureModel::from_matrix(
-            vec![vec![0.01, 0.02], vec![0.03, 0.04], vec![0.0, 0.05]],
-            2,
-        )
-        .unwrap();
+        let failures =
+            FailureModel::from_matrix(vec![vec![0.01, 0.02], vec![0.03, 0.04], vec![0.0, 0.05]], 2)
+                .unwrap();
         Instance::new(app, platform, failures).unwrap()
     }
 
@@ -364,10 +394,9 @@ mod tests {
     #[test]
     fn out_of_range_entries_are_rejected() {
         assert!(instance_from_text("tasks 1\nmachines 1\ntypes 1\ntask 5 0\n").is_err());
-        assert!(instance_from_text(
-            "tasks 1\nmachines 1\ntypes 1\ntask 0 0\ntime 3 0 10\n"
-        )
-        .is_err());
+        assert!(
+            instance_from_text("tasks 1\nmachines 1\ntypes 1\ntask 0 0\ntime 3 0 10\n").is_err()
+        );
         assert!(instance_from_text(
             "tasks 1\nmachines 1\ntypes 1\ntask 0 0\ntime 0 0 10\nfailure 0 4 0.1\n"
         )

@@ -19,7 +19,7 @@
 //! from the first node.
 
 use mf_core::prelude::*;
-use mf_heuristics::{Heuristic, H4wFastestMachine};
+use mf_heuristics::{H4wFastestMachine, Heuristic};
 
 /// Configuration of the branch-and-bound search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,14 +33,20 @@ pub struct BnbConfig {
 
 impl Default for BnbConfig {
     fn default() -> Self {
-        BnbConfig { max_nodes: 20_000_000, tolerance: 1e-9 }
+        BnbConfig {
+            max_nodes: 20_000_000,
+            tolerance: 1e-9,
+        }
     }
 }
 
 impl BnbConfig {
     /// A configuration with a custom node budget.
     pub fn with_node_budget(max_nodes: u64) -> Self {
-        BnbConfig { max_nodes, ..Default::default() }
+        BnbConfig {
+            max_nodes,
+            ..Default::default()
+        }
     }
 }
 
@@ -152,8 +158,13 @@ impl<'a> SearchContext<'a> {
             let period = state.max_load();
             if period < self.best_period {
                 self.best_period = period;
-                self.best_mapping =
-                    Some(state.assignment.iter().map(|a| a.expect("complete")).collect());
+                self.best_mapping = Some(
+                    state
+                        .assignment
+                        .iter()
+                        .map(|a| a.expect("complete"))
+                        .collect(),
+                );
             }
             return;
         }
@@ -268,7 +279,9 @@ pub fn branch_and_bound(instance: &Instance, config: BnbConfig) -> Result<BnbOut
     let mut state = PartialState::new(instance);
     context.search(0, &mut state, total_min);
 
-    let assignment = context.best_mapping.expect("seeded with a feasible mapping");
+    let assignment = context
+        .best_mapping
+        .expect("seeded with a feasible mapping");
     let mapping = Mapping::new(assignment, instance.machine_count())?;
     let period = instance.period(&mapping)?;
     Ok(BnbOutcome {
@@ -294,10 +307,14 @@ mod tests {
         };
         let types: Vec<usize> = (0..n).map(|i| i % p).collect();
         let app = Application::linear_chain(&types).unwrap();
-        let times = (0..p).map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect()).collect();
+        let times = (0..p)
+            .map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect())
+            .collect();
         let platform = Platform::from_type_times(m, times).unwrap();
         let failures = FailureModel::from_matrix(
-            (0..n).map(|_| (0..m).map(|_| 0.005 + 0.015 * next()).collect()).collect(),
+            (0..n)
+                .map(|_| (0..m).map(|_| 0.005 + 0.015 * next()).collect())
+                .collect(),
             m,
         )
         .unwrap();
@@ -355,7 +372,9 @@ mod tests {
         let n = app.task_count();
         let platform = Platform::from_type_times(
             3,
-            (0..p).map(|t| vec![100.0 + 50.0 * t as f64, 200.0, 150.0]).collect(),
+            (0..p)
+                .map(|t| vec![100.0 + 50.0 * t as f64, 200.0, 150.0])
+                .collect(),
         )
         .unwrap();
         let failures = FailureModel::uniform(n, 3, FailureRate::new(0.02).unwrap());

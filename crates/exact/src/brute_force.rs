@@ -17,10 +17,7 @@ pub struct ExhaustiveOutcome {
     pub evaluated: usize,
 }
 
-fn enumerate(
-    instance: &Instance,
-    kind: MappingKind,
-) -> Result<ExhaustiveOutcome> {
+fn enumerate(instance: &Instance, kind: MappingKind) -> Result<ExhaustiveOutcome> {
     let n = instance.task_count();
     let m = instance.machine_count();
     let mut assignment = vec![0usize; n];
@@ -52,7 +49,11 @@ fn enumerate(
                         _ => instance.type_count(),
                     },
                 })?;
-                return Ok(ExhaustiveOutcome { mapping, period: Period::new(period), evaluated });
+                return Ok(ExhaustiveOutcome {
+                    mapping,
+                    period: Period::new(period),
+                    evaluated,
+                });
             }
             assignment[i] += 1;
             if assignment[i] < m {
@@ -85,9 +86,11 @@ mod tests {
 
     fn small_instance() -> Instance {
         let app = Application::linear_chain(&[0, 1, 0]).unwrap();
-        let platform =
-            Platform::from_type_times(3, vec![vec![100.0, 250.0, 400.0], vec![300.0, 120.0, 200.0]])
-                .unwrap();
+        let platform = Platform::from_type_times(
+            3,
+            vec![vec![100.0, 250.0, 400.0], vec![300.0, 120.0, 200.0]],
+        )
+        .unwrap();
         let failures = FailureModel::from_matrix(
             vec![
                 vec![0.01, 0.05, 0.02],

@@ -23,7 +23,9 @@ pub mod mip;
 pub mod one_to_one;
 
 pub use bnb::{branch_and_bound, BnbConfig, BnbOutcome};
-pub use brute_force::{brute_force_general, brute_force_one_to_one, brute_force_specialized, ExhaustiveOutcome};
+pub use brute_force::{
+    brute_force_general, brute_force_one_to_one, brute_force_specialized, ExhaustiveOutcome,
+};
 pub use mip::{solve_specialized_mip, MipConfig, MipOutcome, MipSolveStatus};
 pub use one_to_one::{
     optimal_one_to_one_bottleneck, optimal_one_to_one_chain_homogeneous, OneToOneOutcome,

@@ -23,7 +23,10 @@
 //! branch-and-bound and brute force in the test-suite.
 
 use mf_core::prelude::*;
-use mf_lp::{BranchRule, ConstraintSense, LpProblem, MipProblem, MipStatus, Objective, SolverBudget, VariableId};
+use mf_lp::{
+    BranchRule, ConstraintSense, LpProblem, MipProblem, MipStatus, Objective, SolverBudget,
+    VariableId,
+};
 
 /// Configuration for the MIP solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +39,10 @@ pub struct MipConfig {
 
 impl Default for MipConfig {
     fn default() -> Self {
-        MipConfig { budget: SolverBudget::nodes(200_000), branch_rule: BranchRule::MostFractional }
+        MipConfig {
+            budget: SolverBudget::nodes(200_000),
+            branch_rule: BranchRule::MostFractional,
+        }
     }
 }
 
@@ -79,10 +85,18 @@ pub fn solve_specialized_mip(instance: &Instance, config: MipConfig) -> Result<M
 
     // Variables.
     let a: Vec<Vec<VariableId>> = (0..n)
-        .map(|i| (0..m).map(|u| lp.add_binary_variable(format!("a_{i}_{u}"))).collect())
+        .map(|i| {
+            (0..m)
+                .map(|u| lp.add_binary_variable(format!("a_{i}_{u}")))
+                .collect()
+        })
         .collect();
     let t: Vec<Vec<VariableId>> = (0..m)
-        .map(|u| (0..p).map(|j| lp.add_binary_variable(format!("t_{u}_{j}"))).collect())
+        .map(|u| {
+            (0..p)
+                .map(|j| lp.add_binary_variable(format!("t_{u}_{j}")))
+                .collect()
+        })
         .collect();
     let x: Vec<VariableId> = (0..n)
         .map(|i| {
@@ -93,29 +107,33 @@ pub fn solve_specialized_mip(instance: &Instance, config: MipConfig) -> Result<M
         })
         .collect();
     let y: Vec<Vec<VariableId>> = (0..n)
-        .map(|i| (0..m).map(|u| lp.add_variable(format!("y_{i}_{u}"))).collect())
+        .map(|i| {
+            (0..m)
+                .map(|u| lp.add_variable(format!("y_{i}_{u}")))
+                .collect()
+        })
         .collect();
     let k = lp.add_variable("K");
     lp.set_objective_coefficient(k, 1.0);
 
     // (3) each task on exactly one machine.
-    for i in 0..n {
-        let terms = (0..m).map(|u| (a[i][u], 1.0)).collect();
+    for a_row in &a {
+        let terms = a_row.iter().map(|&v| (v, 1.0)).collect();
         lp.add_constraint(terms, ConstraintSense::Equal, 1.0);
     }
 
     // (4) each machine specialized to at most one type.
-    for u in 0..m {
-        let terms = (0..p).map(|j| (t[u][j], 1.0)).collect();
+    for t_row in &t {
+        let terms = t_row.iter().map(|&v| (v, 1.0)).collect();
         lp.add_constraint(terms, ConstraintSense::LessEqual, 1.0);
     }
 
     // (5) a_{i,u} ≤ t_{u, t(i)}.
-    for i in 0..n {
+    for (i, a_row) in a.iter().enumerate() {
         let ty = instance.application().task_type(TaskId(i)).index();
-        for u in 0..m {
+        for (u, &a_iu) in a_row.iter().enumerate() {
             lp.add_constraint(
-                vec![(a[i][u], 1.0), (t[u][ty], -1.0)],
+                vec![(a_iu, 1.0), (t[u][ty], -1.0)],
                 ConstraintSense::LessEqual,
                 0.0,
             );
@@ -126,7 +144,7 @@ pub fn solve_specialized_mip(instance: &Instance, config: MipConfig) -> Result<M
     for i in 0..n {
         let task = TaskId(i);
         let successor = instance.application().successor(task);
-        for u in 0..m {
+        for (u, &a_iu) in a[i].iter().enumerate() {
             let factor = instance.factor(task, MachineId(u));
             // x_i - F·x_succ + MAXx_i·a_{i,u} ≥ MAXx_i - ... rearranged:
             // x_i ≥ F·x_succ − (1 − a_{i,u})·MAXx_i
@@ -134,18 +152,14 @@ pub fn solve_specialized_mip(instance: &Instance, config: MipConfig) -> Result<M
             match successor {
                 Some(succ) => {
                     lp.add_constraint(
-                        vec![
-                            (x[i], 1.0),
-                            (x[succ.index()], -factor),
-                            (a[i][u], -max_x[i]),
-                        ],
+                        vec![(x[i], 1.0), (x[succ.index()], -factor), (a_iu, -max_x[i])],
                         ConstraintSense::GreaterEqual,
                         -max_x[i],
                     );
                 }
                 None => {
                     lp.add_constraint(
-                        vec![(x[i], 1.0), (a[i][u], -max_x[i])],
+                        vec![(x[i], 1.0), (a_iu, -max_x[i])],
                         ConstraintSense::GreaterEqual,
                         factor - max_x[i],
                     );
@@ -155,25 +169,31 @@ pub fn solve_specialized_mip(instance: &Instance, config: MipConfig) -> Result<M
     }
 
     // (7) machine periods bounded by K.
-    for u in 0..m {
-        let mut terms: Vec<(VariableId, f64)> = (0..n)
-            .map(|i| (y[i][u], instance.time(TaskId(i), MachineId(u))))
+    for (u, machine) in (0..m).map(|u| (u, MachineId(u))) {
+        let mut terms: Vec<(VariableId, f64)> = y
+            .iter()
+            .enumerate()
+            .map(|(i, y_row)| (y_row[u], instance.time(TaskId(i), machine)))
             .collect();
         terms.push((k, -1.0));
         lp.add_constraint(terms, ConstraintSense::LessEqual, 0.0);
     }
 
     // (8) linearisation of y_{i,u} = a_{i,u}·x_i.
-    for i in 0..n {
-        for u in 0..m {
+    for (i, y_row) in y.iter().enumerate() {
+        for (u, &y_iu) in y_row.iter().enumerate() {
             lp.add_constraint(
-                vec![(y[i][u], 1.0), (a[i][u], -max_x[i])],
+                vec![(y_iu, 1.0), (a[i][u], -max_x[i])],
                 ConstraintSense::LessEqual,
                 0.0,
             );
-            lp.add_constraint(vec![(y[i][u], 1.0), (x[i], -1.0)], ConstraintSense::LessEqual, 0.0);
             lp.add_constraint(
-                vec![(y[i][u], 1.0), (x[i], -1.0), (a[i][u], -max_x[i])],
+                vec![(y_iu, 1.0), (x[i], -1.0)],
+                ConstraintSense::LessEqual,
+                0.0,
+            );
+            lp.add_constraint(
+                vec![(y_iu, 1.0), (x[i], -1.0), (a[i][u], -max_x[i])],
                 ConstraintSense::GreaterEqual,
                 -max_x[i],
             );
@@ -247,10 +267,14 @@ mod tests {
         };
         let types: Vec<usize> = (0..n).map(|i| i % p).collect();
         let app = Application::linear_chain(&types).unwrap();
-        let times = (0..p).map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect()).collect();
+        let times = (0..p)
+            .map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect())
+            .collect();
         let platform = Platform::from_type_times(m, times).unwrap();
         let failures = FailureModel::from_matrix(
-            (0..n).map(|_| (0..m).map(|_| 0.005 + 0.015 * next()).collect()).collect(),
+            (0..n)
+                .map(|_| (0..m).map(|_| 0.005 + 0.015 * next()).collect())
+                .collect(),
             m,
         )
         .unwrap();
@@ -287,9 +311,15 @@ mod tests {
     #[test]
     fn tight_budget_reports_failure_or_feasible() {
         let inst = random_instance(6, 3, 2, 11);
-        let config = MipConfig { budget: SolverBudget::nodes(1), ..Default::default() };
+        let config = MipConfig {
+            budget: SolverBudget::nodes(1),
+            ..Default::default()
+        };
         let outcome = solve_specialized_mip(&inst, config).unwrap();
-        assert!(matches!(outcome.status, MipSolveStatus::Failed | MipSolveStatus::Feasible));
+        assert!(matches!(
+            outcome.status,
+            MipSolveStatus::Failed | MipSolveStatus::Feasible
+        ));
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn optimal_one_to_one_chain_homogeneous(instance: &Instance) -> Result<OneTo
     let n = instance.task_count();
     let m = instance.machine_count();
     if n > m {
-        return Err(ModelError::NotEnoughMachines { machines: m, required: n });
+        return Err(ModelError::NotEnoughMachines {
+            machines: m,
+            required: n,
+        });
     }
 
     // Minimise Π F_j  ⇔  minimise Σ −log(1 − f_{j,u}).
@@ -78,7 +81,10 @@ pub fn optimal_one_to_one_bottleneck(instance: &Instance) -> Result<OneToOneOutc
     let n = instance.task_count();
     let m = instance.machine_count();
     if n > m {
-        return Err(ModelError::NotEnoughMachines { machines: m, required: n });
+        return Err(ModelError::NotEnoughMachines {
+            machines: m,
+            required: n,
+        });
     }
 
     // Demands are mapping-independent here: x_i = Π_{j ∈ downstream(i) ∪ {i}} F_j.
@@ -122,7 +128,9 @@ mod tests {
             let app = Application::linear_chain(&vec![0; n]).unwrap();
             let platform = Platform::homogeneous(m, 1, 100.0).unwrap();
             let failures = FailureModel::from_matrix(
-                (0..n).map(|_| (0..m).map(|_| 0.3 * next()).collect()).collect(),
+                (0..n)
+                    .map(|_| (0..m).map(|_| 0.3 * next()).collect())
+                    .collect(),
                 m,
             )
             .unwrap();
@@ -175,10 +183,13 @@ mod tests {
             let m = 6;
             let types: Vec<usize> = (0..n).map(|i| i % 2).collect();
             let app = Application::linear_chain(&types).unwrap();
-            let times = (0..2).map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect()).collect();
+            let times = (0..2)
+                .map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect())
+                .collect();
             let platform = Platform::from_type_times(m, times).unwrap();
-            let task_rates: Vec<FailureRate> =
-                (0..n).map(|_| FailureRate::new(0.2 * next()).unwrap()).collect();
+            let task_rates: Vec<FailureRate> = (0..n)
+                .map(|_| FailureRate::new(0.2 * next()).unwrap())
+                .collect();
             let failures = FailureModel::task_dependent(&task_rates, m);
             let inst = Instance::new(app, platform, failures).unwrap();
             let optimal = optimal_one_to_one_bottleneck(&inst).unwrap();
@@ -196,8 +207,7 @@ mod tests {
     fn bottleneck_requires_task_attached_failures() {
         let app = Application::linear_chain(&[0, 0]).unwrap();
         let platform = Platform::homogeneous(2, 1, 100.0).unwrap();
-        let failures =
-            FailureModel::from_matrix(vec![vec![0.1, 0.2], vec![0.1, 0.1]], 2).unwrap();
+        let failures = FailureModel::from_matrix(vec![vec![0.1, 0.2], vec![0.1, 0.1]], 2).unwrap();
         let inst = Instance::new(app, platform, failures).unwrap();
         assert!(optimal_one_to_one_bottleneck(&inst).is_err());
     }
@@ -212,10 +222,13 @@ mod tests {
         let m = 6;
         let types: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let app = Application::linear_chain(&types).unwrap();
-        let times = (0..2).map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect()).collect();
+        let times = (0..2)
+            .map(|_| (0..m).map(|_| 100.0 + 900.0 * next()).collect())
+            .collect();
         let platform = Platform::from_type_times(m, times).unwrap();
-        let task_rates: Vec<FailureRate> =
-            (0..n).map(|_| FailureRate::new(0.05 * next()).unwrap()).collect();
+        let task_rates: Vec<FailureRate> = (0..n)
+            .map(|_| FailureRate::new(0.05 * next()).unwrap())
+            .collect();
         let failures = FailureModel::task_dependent(&task_rates, m);
         let inst = Instance::new(app, platform, failures).unwrap();
         let oto = optimal_one_to_one_bottleneck(&inst).unwrap();

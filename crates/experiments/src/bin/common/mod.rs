@@ -5,6 +5,8 @@
 //! * `--full` — run the paper's full protocol (30 repetitions) instead of the
 //!   quick one;
 //! * `--reps <N>` — override the number of repetitions;
+//! * `--threads <N>` — worker threads for the batch runner (0 = one per CPU,
+//!   capped at 16); results are identical for every thread count;
 //! * `--csv` — print the CSV dump after the table.
 
 use mf_experiments::{ExperimentConfig, FigureReport};
@@ -30,7 +32,15 @@ pub fn parse_args() -> Options {
             config.repetitions = value;
         }
     }
-    Options { config, csv: args.iter().any(|a| a == "--csv") }
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if let Some(value) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            config.threads = value;
+        }
+    }
+    Options {
+        config,
+        csv: args.iter().any(|a| a == "--csv"),
+    }
 }
 
 /// Prints a figure report as a table (and optionally CSV).

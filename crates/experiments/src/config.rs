@@ -1,9 +1,7 @@
 //! Experiment configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Global knobs shared by all figure experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentConfig {
     /// Number of random instances averaged per point (30 in the paper for the
     /// specialized-mapping figures, 100 for Figure 9).
@@ -58,11 +56,21 @@ impl ExperimentConfig {
 
     /// Effective number of worker threads.
     pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map(|n| n.get().min(16)).unwrap_or(4)
-        }
+        resolve_threads(self.threads)
+    }
+}
+
+/// The workspace-wide thread policy: an explicit count is used as-is, `0`
+/// means one thread per logical CPU, capped at 16 (fallback 4 when the CPU
+/// count is unknown). Shared by [`ExperimentConfig::effective_threads`] and
+/// [`crate::runner::BatchRunner::new`] so the two can never diverge.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(16))
+            .unwrap_or(4)
     }
 }
 
@@ -93,7 +101,10 @@ mod tests {
     fn presets_differ_in_cost() {
         assert!(ExperimentConfig::full().repetitions > ExperimentConfig::quick().repetitions);
         assert!(ExperimentConfig::quick().effective_threads() >= 1);
-        let fixed = ExperimentConfig { threads: 3, ..ExperimentConfig::quick() };
+        let fixed = ExperimentConfig {
+            threads: 3,
+            ..ExperimentConfig::quick()
+        };
         assert_eq!(fixed.effective_threads(), 3);
     }
 }

@@ -8,7 +8,7 @@
 use crate::config::ExperimentConfig;
 use crate::figures::{run_sweep, steps, SweepSpec};
 use crate::report::FigureReport;
-use mf_heuristics::{Heuristic, H4wFastestMachine, H5WorkloadSplit};
+use mf_heuristics::{H4wFastestMachine, H5WorkloadSplit, Heuristic};
 use mf_sim::GeneratorConfig;
 
 /// Series of the extension experiment.
@@ -61,12 +61,18 @@ mod tests {
 
     #[test]
     fn splitting_never_degrades_the_period() {
-        let config = ExperimentConfig { repetitions: 5, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            repetitions: 5,
+            ..ExperimentConfig::quick()
+        };
         let report = run_with_tasks(&config, vec![30, 60]);
         for &x in &[30.0, 60.0] {
             let base = report.series("H4w").unwrap().mean_at(x).unwrap();
             let split = report.series("H5-split").unwrap().mean_at(x).unwrap();
-            assert!(split <= base + 1e-6, "splitting degraded the period at n = {x}");
+            assert!(
+                split <= base + 1e-6,
+                "splitting degraded the period at n = {x}"
+            );
         }
     }
 }

@@ -11,7 +11,6 @@ use crate::config::ExperimentConfig;
 use crate::figures::{heuristic_periods, heuristics_by_name, run_sweep, steps, SweepSpec};
 use crate::report::FigureReport;
 use mf_exact::{branch_and_bound, BnbConfig};
-use mf_heuristics::Heuristic;
 use mf_sim::GeneratorConfig;
 
 /// Series plotted in Figure 10: the six heuristics plus the exact optimum.
@@ -87,9 +86,7 @@ pub fn ratios_to_optimal(
                 let optimal = outcome.period.value();
                 heuristics
                     .iter()
-                    .map(|h: &Box<dyn Heuristic + Send + Sync>| {
-                        h.period(instance).ok().map(|p| p.value() / optimal)
-                    })
+                    .map(|h| h.period(instance).ok().map(|p| p.value() / optimal))
                     .collect()
             }
             _ => vec![None; heuristics.len()],
@@ -134,7 +131,11 @@ mod tests {
         for series in &report.series {
             let mean = series.overall_mean().unwrap();
             assert!(mean >= 1.0 - 1e-9, "{} ratio {mean} below 1", series.label);
-            assert!(mean < 3.0, "{} ratio {mean} suspiciously large", series.label);
+            assert!(
+                mean < 3.0,
+                "{} ratio {mean} suspiciously large",
+                series.label
+            );
         }
     }
 }

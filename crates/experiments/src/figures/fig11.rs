@@ -36,8 +36,15 @@ mod tests {
         let report = run_with_tasks(&config, vec![8, 10]);
         let ratio = |label: &str| report.series(label).unwrap().overall_mean().unwrap();
         // The speed-aware greedy heuristics must stay well under the random one.
-        assert!(ratio("H4w") < ratio("H1"), "H4w should normalise better than H1");
+        assert!(
+            ratio("H4w") < ratio("H1"),
+            "H4w should normalise better than H1"
+        );
         // And reasonably close to the optimum (paper: 1.33 on the full protocol).
-        assert!(ratio("H4w") < 1.9, "H4w ratio {} too far from optimum", ratio("H4w"));
+        assert!(
+            ratio("H4w") < 1.9,
+            "H4w ratio {} too far from optimum",
+            ratio("H4w")
+        );
     }
 }

@@ -67,11 +67,17 @@ mod tests {
         };
         let report = run_with_tasks(&config, vec![6]);
         let mip = report.series("MIP").unwrap().mean_at(6.0);
-        assert!(mip.is_some(), "the exact solver must finish on 6-task instances");
+        assert!(
+            mip.is_some(),
+            "the exact solver must finish on 6-task instances"
+        );
         let mip = mip.unwrap();
         for label in ["H2", "H3", "H4", "H4w"] {
             let h = report.series(label).unwrap().mean_at(6.0).unwrap();
-            assert!(h >= mip - 1e-6, "{label} ({h}) beats the exact optimum ({mip})");
+            assert!(
+                h >= mip - 1e-6,
+                "{label} ({h}) beats the exact optimum ({mip})"
+            );
         }
     }
 

@@ -49,14 +49,21 @@ mod tests {
 
     #[test]
     fn shape_matches_the_paper() {
-        let config = ExperimentConfig { repetitions: 6, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            repetitions: 6,
+            ..ExperimentConfig::quick()
+        };
         let report = run_with_tasks(&config, vec![60, 120]);
         assert_eq!(report.series.len(), 6);
         // The load grows with the number of tasks for every heuristic.
         for series in &report.series {
             let small = series.mean_at(60.0).unwrap();
             let large = series.mean_at(120.0).unwrap();
-            assert!(large > small, "{}: {large} should exceed {small}", series.label);
+            assert!(
+                large > small,
+                "{}: {large} should exceed {small}",
+                series.label
+            );
         }
         // H4w (speed-aware) beats H4f (reliability-only) and H1 (random).
         let h4w = report.series("H4w").unwrap().overall_mean().unwrap();

@@ -49,7 +49,10 @@ mod tests {
 
     #[test]
     fn greedy_heuristics_stay_close_to_binary_search() {
-        let config = ExperimentConfig { repetitions: 6, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            repetitions: 6,
+            ..ExperimentConfig::quick()
+        };
         let report = run_with_tasks(&config, vec![40]);
         let h2 = report.series("H2").unwrap().overall_mean().unwrap();
         let h4 = report.series("H4").unwrap().overall_mean().unwrap();

@@ -47,12 +47,18 @@ mod tests {
 
     #[test]
     fn h4w_is_competitive_on_large_platforms() {
-        let config = ExperimentConfig { repetitions: 4, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            repetitions: 4,
+            ..ExperimentConfig::quick()
+        };
         let report = run_with_tasks(&config, vec![120]);
         let h4w = report.series("H4w").unwrap().overall_mean().unwrap();
         let h3 = report.series("H3").unwrap().overall_mean().unwrap();
         // The paper finds H4w best on this platform; allow slack but H4w must
         // not be dramatically worse than H3.
-        assert!(h4w <= h3 * 1.25, "H4w ({h4w}) should be competitive with H3 ({h3})");
+        assert!(
+            h4w <= h3 * 1.25,
+            "H4w ({h4w}) should be competitive with H3 ({h3})"
+        );
     }
 }

@@ -49,7 +49,10 @@ mod tests {
 
     #[test]
     fn high_failure_periods_exceed_standard_ones() {
-        let config = ExperimentConfig { repetitions: 4, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            repetitions: 4,
+            ..ExperimentConfig::quick()
+        };
         // Same platform size as Figure 6 but with 5 types and f up to 10%:
         // the best heuristic's period must be clearly larger than under the
         // standard 0.5–2% failures on a comparable platform.
@@ -65,12 +68,21 @@ mod tests {
 
     #[test]
     fn h2_is_the_most_robust_under_high_failures() {
-        let config = ExperimentConfig { repetitions: 6, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            repetitions: 6,
+            ..ExperimentConfig::quick()
+        };
         let report = run_with_tasks(&config, vec![80]);
         let h2 = report.series("H2").unwrap().overall_mean().unwrap();
         let h1 = report.series("H1").unwrap().overall_mean().unwrap();
         let h4f = report.series("H4f").unwrap().overall_mean().unwrap();
-        assert!(h2 < h1, "H2 ({h2}) should beat H1 ({h1}) under high failures");
-        assert!(h2 < h4f, "H2 ({h2}) should beat H4f ({h4f}) under high failures");
+        assert!(
+            h2 < h1,
+            "H2 ({h2}) should beat H1 ({h1}) under high failures"
+        );
+        assert!(
+            h2 < h4f,
+            "H2 ({h2}) should beat H4f ({h4f}) under high failures"
+        );
     }
 }

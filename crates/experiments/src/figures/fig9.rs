@@ -45,7 +45,9 @@ pub fn run_with_types(config: &ExperimentConfig, type_counts: Vec<usize>) -> Fig
         |instance| {
             let mut values = heuristic_periods(&heuristics, instance);
             values.push(
-                optimal_one_to_one_bottleneck(instance).ok().map(|outcome| outcome.period.value()),
+                optimal_one_to_one_bottleneck(instance)
+                    .ok()
+                    .map(|outcome| outcome.period.value()),
             );
             values
         },
@@ -60,7 +62,10 @@ mod tests {
     fn heuristics_are_bounded_below_by_nothing_but_close_to_oto() {
         // Use a smaller platform so the test stays fast, keeping n = m and
         // task-attached failures.
-        let config = ExperimentConfig { repetitions: 3, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            repetitions: 3,
+            ..ExperimentConfig::quick()
+        };
         let heuristics = heuristics_by_name(&["H2", "H3", "H4w"]);
         let spec = SweepSpec {
             id: "fig9-mini",
@@ -90,7 +95,10 @@ mod tests {
         assert!(oto > 0.0);
         // H4w groups tasks, so it can even beat the one-to-one optimum; it must
         // at least stay within a small factor of it (the paper reports 1.28).
-        assert!(h4w <= oto * 2.0, "H4w ({h4w}) too far from the OtO optimum ({oto})");
+        assert!(
+            h4w <= oto * 2.0,
+            "H4w ({h4w}) too far from the OtO optimum ({oto})"
+        );
         // With p == n == m every specialized mapping degenerates and the curves
         // approach each other.
         let h2_at_max = report.series("H2").unwrap().mean_at(20.0).unwrap();

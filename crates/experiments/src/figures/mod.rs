@@ -14,7 +14,7 @@ pub mod summary;
 
 use crate::config::ExperimentConfig;
 use crate::report::{FigureReport, Series};
-use crate::runner::parallel_map;
+use crate::runner::BatchRunner;
 use crate::stats::Stats;
 use mf_core::prelude::*;
 use mf_heuristics::Heuristic;
@@ -56,7 +56,7 @@ where
     let labels = spec.labels.len();
 
     let per_item: Vec<Vec<Option<f64>>> =
-        parallel_map(points * reps, config.effective_threads(), |item| {
+        BatchRunner::from_config(config).map(points * reps, |item| {
             let point = item / reps;
             let rep = item % reps;
             let x = spec.x_values[point];
@@ -75,7 +75,10 @@ where
     let mut series: Vec<Series> = spec
         .labels
         .iter()
-        .map(|label| Series { label: label.clone(), points: Vec::with_capacity(points) })
+        .map(|label| Series {
+            label: label.clone(),
+            points: Vec::with_capacity(points),
+        })
         .collect();
     for point in 0..points {
         let x = spec.x_values[point] as f64;
@@ -148,7 +151,10 @@ mod tests {
 
     #[test]
     fn run_sweep_produces_one_series_per_label() {
-        let config = ExperimentConfig { repetitions: 2, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            repetitions: 2,
+            ..ExperimentConfig::quick()
+        };
         let spec = SweepSpec {
             id: "test",
             figure_index: 99,

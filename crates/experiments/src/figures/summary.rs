@@ -10,10 +10,9 @@
 
 use crate::config::ExperimentConfig;
 use crate::figures::{heuristics_by_name, steps};
-use crate::runner::parallel_map;
+use crate::runner::BatchRunner;
 use crate::stats::geometric_mean;
 use mf_exact::{branch_and_bound, optimal_one_to_one_bottleneck, BnbConfig};
-use mf_heuristics::Heuristic;
 use mf_sim::{GeneratorConfig, InstanceGenerator};
 use std::fmt::Write as _;
 
@@ -37,8 +36,15 @@ impl SummaryRatios {
     /// Renders the two tables as text.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "# Summary — average factor from the optimal (geometric mean)");
-        let _ = writeln!(out, "{:>6} {:>14} {:>14} {:>14} {:>14}", "", "vs OtO", "paper", "vs exact", "paper");
+        let _ = writeln!(
+            out,
+            "# Summary — average factor from the optimal (geometric mean)"
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>14} {:>14} {:>14} {:>14}",
+            "", "vs OtO", "paper", "vs exact", "paper"
+        );
         for (i, label) in LABELS.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -56,11 +62,7 @@ impl SummaryRatios {
 
 /// Computes both summary tables.
 pub fn run(config: &ExperimentConfig) -> SummaryRatios {
-    run_with(
-        config,
-        steps(30, 90, 20),
-        steps(4, 12, 2),
-    )
+    run_with(config, steps(30, 90, 20), steps(4, 12, 2))
 }
 
 /// Computes the summary with explicit sweeps (used by tests with smaller
@@ -71,59 +73,53 @@ pub fn run_with(
     exact_task_counts: Vec<usize>,
 ) -> SummaryRatios {
     let heuristics = heuristics_by_name(&LABELS);
+    let runner = BatchRunner::from_config(config);
 
     // --- Ratios against the optimal one-to-one mapping (Figure 9 setting). ---
     let reps = config.repetitions.max(1);
     let oto_items = one_to_one_type_counts.len() * reps;
-    let oto_ratios: Vec<Vec<Option<f64>>> =
-        parallel_map(oto_items, config.effective_threads(), |item| {
-            let point = item / reps;
-            let rep = item % reps;
-            let p = one_to_one_type_counts[point];
-            let seed = config.seed_for(91, point, rep);
-            let generator =
-                InstanceGenerator::new(GeneratorConfig::paper_task_failures(100, 100, p));
-            let Ok(instance) = generator.generate(seed) else {
-                return vec![None; heuristics.len()];
-            };
-            let Ok(reference) = optimal_one_to_one_bottleneck(&instance) else {
-                return vec![None; heuristics.len()];
-            };
-            let optimal = reference.period.value();
-            heuristics
-                .iter()
-                .map(|h: &Box<dyn Heuristic + Send + Sync>| {
-                    h.period(&instance).ok().map(|p| p.value() / optimal)
-                })
-                .collect()
-        });
+    let oto_ratios: Vec<Vec<Option<f64>>> = runner.map(oto_items, |item| {
+        let point = item / reps;
+        let rep = item % reps;
+        let p = one_to_one_type_counts[point];
+        let seed = config.seed_for(91, point, rep);
+        let generator = InstanceGenerator::new(GeneratorConfig::paper_task_failures(100, 100, p));
+        let Ok(instance) = generator.generate(seed) else {
+            return vec![None; heuristics.len()];
+        };
+        let Ok(reference) = optimal_one_to_one_bottleneck(&instance) else {
+            return vec![None; heuristics.len()];
+        };
+        let optimal = reference.period.value();
+        heuristics
+            .iter()
+            .map(|h| h.period(&instance).ok().map(|p| p.value() / optimal))
+            .collect()
+    });
 
     // --- Ratios against the exact specialized optimum (Figure 10 setting). ---
     let bnb_config = BnbConfig::with_node_budget(config.exact_node_budget);
     let exact_items = exact_task_counts.len() * reps;
-    let exact_ratios: Vec<Vec<Option<f64>>> =
-        parallel_map(exact_items, config.effective_threads(), |item| {
-            let point = item / reps;
-            let rep = item % reps;
-            let n = exact_task_counts[point];
-            let seed = config.seed_for(92, point, rep);
-            let generator = InstanceGenerator::new(GeneratorConfig::paper_standard(n, 5, 2));
-            let Ok(instance) = generator.generate(seed) else {
-                return vec![None; heuristics.len()];
-            };
-            match branch_and_bound(&instance, bnb_config) {
-                Ok(outcome) if outcome.proven_optimal => {
-                    let optimal = outcome.period.value();
-                    heuristics
-                        .iter()
-                        .map(|h: &Box<dyn Heuristic + Send + Sync>| {
-                            h.period(&instance).ok().map(|p| p.value() / optimal)
-                        })
-                        .collect()
-                }
-                _ => vec![None; heuristics.len()],
+    let exact_ratios: Vec<Vec<Option<f64>>> = runner.map(exact_items, |item| {
+        let point = item / reps;
+        let rep = item % reps;
+        let n = exact_task_counts[point];
+        let seed = config.seed_for(92, point, rep);
+        let generator = InstanceGenerator::new(GeneratorConfig::paper_standard(n, 5, 2));
+        let Ok(instance) = generator.generate(seed) else {
+            return vec![None; heuristics.len()];
+        };
+        match branch_and_bound(&instance, bnb_config) {
+            Ok(outcome) if outcome.proven_optimal => {
+                let optimal = outcome.period.value();
+                heuristics
+                    .iter()
+                    .map(|h| h.period(&instance).ok().map(|p| p.value() / optimal))
+                    .collect()
             }
-        });
+            _ => vec![None; heuristics.len()],
+        }
+    });
 
     let aggregate = |rows: &[Vec<Option<f64>>]| -> Vec<(String, f64)> {
         LABELS
@@ -131,7 +127,10 @@ pub fn run_with(
             .enumerate()
             .map(|(k, label)| {
                 let samples: Vec<f64> = rows.iter().filter_map(|row| row[k]).collect();
-                (label.to_string(), geometric_mean(&samples).unwrap_or(f64::NAN))
+                (
+                    label.to_string(),
+                    geometric_mean(&samples).unwrap_or(f64::NAN),
+                )
             })
             .collect()
     };
@@ -168,12 +167,25 @@ mod tests {
         assert_eq!(summary.versus_one_to_one.len(), 3);
         assert_eq!(summary.versus_exact.len(), 3);
         for (label, ratio) in summary.versus_exact.iter() {
-            assert!(*ratio >= 1.0 - 1e-9, "{label} ratio {ratio} below 1 against the exact optimum");
+            assert!(
+                *ratio >= 1.0 - 1e-9,
+                "{label} ratio {ratio} below 1 against the exact optimum"
+            );
             assert!(*ratio < 4.0, "{label} ratio {ratio} implausibly large");
         }
         // H4w is the paper's best heuristic against the exact optimum.
-        let h4w = summary.versus_exact.iter().find(|(l, _)| l == "H4w").unwrap().1;
-        let h2 = summary.versus_exact.iter().find(|(l, _)| l == "H2").unwrap().1;
+        let h4w = summary
+            .versus_exact
+            .iter()
+            .find(|(l, _)| l == "H4w")
+            .unwrap()
+            .1;
+        let h2 = summary
+            .versus_exact
+            .iter()
+            .find(|(l, _)| l == "H2")
+            .unwrap()
+            .1;
         assert!(h4w <= h2 + 0.5);
         let table = summary.to_table();
         assert!(table.contains("H4w"));

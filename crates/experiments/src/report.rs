@@ -2,11 +2,10 @@
 //! tables and CSV.
 
 use crate::stats::Stats;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One curve of a figure: a label and its (x, statistics) points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Curve label (heuristic name, "MIP", "OtO", …).
     pub label: String,
@@ -28,13 +27,17 @@ impl Series {
 
     /// Average of the per-point means (ignoring missing points).
     pub fn overall_mean(&self) -> Option<f64> {
-        let values: Vec<f64> = self.points.iter().filter_map(|(_, s)| s.map(|s| s.mean)).collect();
+        let values: Vec<f64> = self
+            .points
+            .iter()
+            .filter_map(|(_, s)| s.map(|s| s.mean))
+            .collect();
         crate::stats::mean(&values)
     }
 }
 
 /// A complete figure reproduction: metadata plus one series per method.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureReport {
     /// Identifier, e.g. `"fig5"`.
     pub id: String,
@@ -56,7 +59,10 @@ impl FigureReport {
 
     /// The x values of the first series (all series share their x values).
     pub fn x_values(&self) -> Vec<f64> {
-        self.series.first().map(|s| s.points.iter().map(|(x, _)| *x).collect()).unwrap_or_default()
+        self.series
+            .first()
+            .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+            .unwrap_or_default()
     }
 
     /// Renders the report as an aligned text table (one row per x value, one
@@ -115,7 +121,13 @@ mod tests {
     use super::*;
 
     fn sample_report() -> FigureReport {
-        let stats = |mean: f64| Stats { count: 3, mean, std_dev: 1.0, min: mean - 1.0, max: mean + 1.0 };
+        let stats = |mean: f64| Stats {
+            count: 3,
+            mean,
+            std_dev: 1.0,
+            min: mean - 1.0,
+            max: mean + 1.0,
+        };
         FigureReport {
             id: "figX".into(),
             title: "test".into(),

@@ -1,9 +1,7 @@
 //! Minimal descriptive statistics for experiment results.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a sample of periods (or ratios).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     /// Number of samples.
     pub count: usize,
@@ -25,11 +23,16 @@ impl Stats {
         }
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
-        let variance =
-            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let variance = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Some(Stats { count, mean, std_dev: variance.sqrt(), min, max })
+        Some(Stats {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min,
+            max,
+        })
     }
 
     /// Half-width of the 95% normal-approximation confidence interval on the

@@ -1,0 +1,188 @@
+//! Thread-count invariance of the batch-evaluation engine.
+//!
+//! The acceptance bar for the rayon runner: a fixed seed set must produce
+//! **bit-identical** aggregate statistics whether the grid is evaluated on 1
+//! thread or N. These tests exercise both entry points — the figure sweeps
+//! ([`mf_experiments::figures::run_sweep`] via a fig7-class workload) and the
+//! explicit [`BatchGrid`] API — and compare full reports with `==` on `f64`s:
+//! any scheduling-dependent reduction order would fail them.
+
+use mf_experiments::figures::{fig5, fig7, fig9};
+use mf_experiments::runner::{BatchGrid, BatchRunner, ScenarioSpec};
+use mf_experiments::ExperimentConfig;
+use mf_sim::GeneratorConfig;
+
+fn config_with_threads(threads: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        repetitions: 3,
+        threads,
+        ..ExperimentConfig::quick()
+    }
+}
+
+#[test]
+fn fig7_class_sweep_is_thread_count_invariant() {
+    // Figure 7 shape (m = 100, p = 5) at a reduced size: heavy enough that
+    // work is actually shared, small enough for a test.
+    let tasks = vec![100, 110];
+    let reference = fig7::run_with_tasks(&config_with_threads(1), tasks.clone());
+    for threads in [2usize, 4, 8] {
+        let report = fig7::run_with_tasks(&config_with_threads(threads), tasks.clone());
+        assert_eq!(
+            report, reference,
+            "fig7 sweep changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fig5_and_fig9_sweeps_are_thread_count_invariant() {
+    let fig5_ref = fig5::run_with_tasks(&config_with_threads(1), vec![50, 60]);
+    assert_eq!(
+        fig5::run_with_tasks(&config_with_threads(4), vec![50, 60]),
+        fig5_ref,
+        "fig5 sweep must not depend on the thread count"
+    );
+    let fig9_ref = fig9::run_with_types(&config_with_threads(1), vec![2, 3]);
+    assert_eq!(
+        fig9::run_with_types(&config_with_threads(4), vec![2, 3]),
+        fig9_ref,
+        "fig9 sweep must not depend on the thread count"
+    );
+}
+
+#[test]
+fn batch_grid_aggregates_identically_for_one_and_many_threads() {
+    let grid = BatchGrid::new(
+        20100607,
+        8,
+        vec![
+            ScenarioSpec::new("standard", GeneratorConfig::paper_standard(40, 10, 3)),
+            ScenarioSpec::new(
+                "high-failure",
+                GeneratorConfig::paper_high_failure(40, 10, 3),
+            ),
+            ScenarioSpec::new(
+                "task-failures",
+                GeneratorConfig::paper_task_failures(40, 40, 3),
+            ),
+        ],
+        &["H1", "H2", "H3", "H4", "H4w", "H4f"],
+    );
+    let reference = BatchRunner::new(1).run(&grid);
+    for threads in [2usize, 4] {
+        let report = BatchRunner::new(threads).run(&grid);
+        assert_eq!(
+            report, reference,
+            "grid results changed with {threads} threads"
+        );
+    }
+    // Aggregate stats (not just raw cells) are identical too.
+    let four = BatchRunner::new(4).run(&grid);
+    for scenario in 0..3 {
+        for method in 0..6 {
+            let a = reference.stats(scenario, method);
+            let b = four.stats(scenario, method);
+            assert_eq!(a, b, "stats ({scenario}, {method}) changed with threads");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "unknown heuristic `H4W`")]
+fn unknown_method_names_are_rejected_up_front() {
+    // A typo'd heuristic name must fail loudly, not silently produce a series
+    // of empty statistics that looks like infeasibility.
+    let grid = BatchGrid::new(
+        1,
+        1,
+        vec![ScenarioSpec::new(
+            "standard",
+            GeneratorConfig::paper_standard(6, 3, 2),
+        )],
+        &["H4W"],
+    );
+    let _ = BatchRunner::new(1).run(&grid);
+}
+
+#[test]
+fn randomized_heuristic_streams_are_per_cell_deterministic() {
+    // H1 is randomized: its per-cell seed must depend only on the grid
+    // coordinates, never on scheduling. Two independent runs at different
+    // thread counts must agree cell-by-cell.
+    let grid = BatchGrid::new(
+        7,
+        12,
+        vec![ScenarioSpec::new(
+            "standard",
+            GeneratorConfig::paper_standard(30, 8, 3),
+        )],
+        &["H1"],
+    );
+    let a = BatchRunner::new(3).run(&grid);
+    let b = BatchRunner::new(7).run(&grid);
+    assert_eq!(a.cells, b.cells);
+    // ... and distinct cells draw distinct streams (astronomically unlikely
+    // to collide if seeds are well spread).
+    let values: Vec<f64> = a.cells.iter().filter_map(|c| c.period).collect();
+    assert_eq!(values.len(), 12);
+    let mut deduped = values.clone();
+    deduped.dedup();
+    assert_eq!(
+        values.len(),
+        deduped.len(),
+        "adjacent H1 cells repeated a value"
+    );
+}
+
+#[test]
+#[ignore = "timing-sensitive: run in isolation (CI does, via --ignored --test-threads=1)"]
+fn four_threads_beat_one_on_a_fig7_class_workload() {
+    // Wall-clock scaling needs real cores AND an otherwise idle process:
+    // under the default parallel libtest harness the sibling tests above
+    // would contend for the same cores and make the measurement meaningless,
+    // so this test is #[ignore]d and CI runs it in a dedicated isolated step.
+    // On single- or dual-core runners (like a constrained dev container) it
+    // only checks that the parallel path completes; the 2× bar is enforced
+    // where ≥ 4 cores exist.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = |threads| ExperimentConfig {
+        repetitions: 4,
+        threads,
+        ..ExperimentConfig::quick()
+    };
+    let workload = vec![100, 120, 140];
+
+    // Best-of-two timing on each side filters one-off scheduler hiccups on
+    // shared CI runners (the first run also warms caches for both sides).
+    let timed = |threads: usize| {
+        let mut best = std::time::Duration::MAX;
+        let mut report = None;
+        for _ in 0..2 {
+            let start = std::time::Instant::now();
+            let run = fig7::run_with_tasks(&config(threads), workload.clone());
+            best = best.min(start.elapsed());
+            report = Some(run);
+        }
+        (report.expect("two runs happened"), best)
+    };
+    let (serial, serial_time) = timed(1);
+    let (parallel, parallel_time) = timed(4);
+
+    assert_eq!(serial, parallel, "scaling must not change the numbers");
+    if cores >= 4 {
+        let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+        assert!(
+            speedup > 2.0,
+            "expected > 2x speedup at 4 threads on {cores} cores, got {speedup:.2}x \
+             (serial {serial_time:?}, parallel {parallel_time:?})"
+        );
+    } else {
+        eprintln!(
+            "skipping the 2x speedup assertion: only {cores} core(s) available \
+             (serial {serial_time:?}, parallel {parallel_time:?})"
+        );
+    }
+}

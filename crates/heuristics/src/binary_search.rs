@@ -36,7 +36,10 @@ pub struct BinarySearchConfig {
 
 impl Default for BinarySearchConfig {
     fn default() -> Self {
-        BinarySearchConfig { tolerance: 1.0, max_iterations: 128 }
+        BinarySearchConfig {
+            tolerance: 1.0,
+            max_iterations: 128,
+        }
     }
 }
 
@@ -68,8 +71,7 @@ impl Precomputed {
         let m = instance.machine_count();
         // Ranks: for each machine, sort tasks by processing time.
         let mut rank = vec![vec![0usize; m]; n];
-        for u in 0..m {
-            let machine = MachineId(u);
+        for machine in (0..m).map(MachineId) {
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
                 instance
@@ -78,11 +80,14 @@ impl Precomputed {
                     .unwrap()
             });
             for (position, &task) in order.iter().enumerate() {
-                rank[task][u] = position;
+                rank[task][machine.index()] = position;
             }
         }
         let heterogeneity = instance.platform().heterogeneity_levels();
-        Precomputed { rank, heterogeneity }
+        Precomputed {
+            rank,
+            heterogeneity,
+        }
     }
 }
 
@@ -268,7 +273,9 @@ mod tests {
             .collect();
         let platform = Platform::from_type_times(m, times).unwrap();
         let failures = FailureModel::from_matrix(
-            (0..n).map(|_| (0..m).map(|_| 0.005 + 0.015 * next()).collect()).collect(),
+            (0..n)
+                .map(|_| (0..m).map(|_| 0.005 + 0.015 * next()).collect())
+                .collect(),
             m,
         )
         .unwrap();
@@ -278,9 +285,16 @@ mod tests {
     #[test]
     fn h2_and_h3_produce_valid_specialized_mappings() {
         let inst = heterogeneous_instance(&[0, 1, 2, 0, 1, 2, 0, 1, 2, 0], 6, 3);
-        for heuristic in [&H2BinaryPotential::default() as &dyn Heuristic, &H3BinaryHeterogeneity::default()] {
+        for heuristic in [
+            &H2BinaryPotential::default() as &dyn Heuristic,
+            &H3BinaryHeterogeneity::default(),
+        ] {
             let mapping = heuristic.map(&inst).unwrap();
-            assert!(inst.is_specialized(&mapping), "{} not specialized", heuristic.name());
+            assert!(
+                inst.is_specialized(&mapping),
+                "{} not specialized",
+                heuristic.name()
+            );
         }
     }
 
@@ -295,21 +309,33 @@ mod tests {
                 h2_wins += 1;
             }
         }
-        assert!(h2_wins >= 7, "H2 should beat random on most instances, won {h2_wins}/10");
+        assert!(
+            h2_wins >= 7,
+            "H2 should beat random on most instances, won {h2_wins}/10"
+        );
     }
 
     #[test]
     fn tighter_tolerance_never_hurts() {
         let inst = heterogeneous_instance(&[0, 1, 2, 0, 1, 2, 0, 1], 5, 11);
         let coarse = H2BinaryPotential {
-            config: BinarySearchConfig { tolerance: 500.0, max_iterations: 128 },
+            config: BinarySearchConfig {
+                tolerance: 500.0,
+                max_iterations: 128,
+            },
         };
         let fine = H2BinaryPotential {
-            config: BinarySearchConfig { tolerance: 0.01, max_iterations: 256 },
+            config: BinarySearchConfig {
+                tolerance: 0.01,
+                max_iterations: 256,
+            },
         };
         let pc = coarse.period(&inst).unwrap().value();
         let pf = fine.period(&inst).unwrap().value();
-        assert!(pf <= pc + 1e-6, "finer search {pf} should not be worse than coarse {pc}");
+        assert!(
+            pf <= pc + 1e-6,
+            "finer search {pf} should not be worse than coarse {pc}"
+        );
     }
 
     #[test]
@@ -322,7 +348,10 @@ mod tests {
         let inst = Instance::new(app, platform, failures).unwrap();
         let mapping = H2BinaryPotential::default().map(&inst).unwrap();
         let period = inst.period(&mapping).unwrap().value();
-        assert!((period - 100.0).abs() < 1.5, "expected ~100 ms, got {period}");
+        assert!(
+            (period - 100.0).abs() < 1.5,
+            "expected ~100 ms, got {period}"
+        );
     }
 
     #[test]

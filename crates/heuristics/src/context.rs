@@ -250,7 +250,10 @@ mod tests {
         assert_eq!(x, 2.0);
         // Middle task sees the downstream demand.
         assert_eq!(state.output_demand(TaskId(1)), 2.0);
-        assert_eq!(state.incremental_load(TaskId(1), MachineId(0)), 2.0 * 100.0 * 2.0);
+        assert_eq!(
+            state.incremental_load(TaskId(1), MachineId(0)),
+            2.0 * 100.0 * 2.0
+        );
         let x = state.assign(TaskId(1), MachineId(0)).unwrap();
         assert_eq!(x, 4.0);
         assert_eq!(state.output_demand(TaskId(0)), 4.0);
@@ -269,7 +272,10 @@ mod tests {
         assert!(!state.is_admissible(TaskId(0), MachineId(0)));
         assert!(state.is_admissible(TaskId(0), MachineId(1)));
         let err = state.assign(TaskId(0), MachineId(0)).unwrap_err();
-        assert!(matches!(err, HeuristicError::Model(ModelError::RuleViolation { .. })));
+        assert!(matches!(
+            err,
+            HeuristicError::Model(ModelError::RuleViolation { .. })
+        ));
     }
 
     #[test]
@@ -320,7 +326,13 @@ mod tests {
         state.assign(TaskId(1), MachineId(0)).unwrap();
         assert!(!state.is_complete());
         let err = state.into_mapping().unwrap_err();
-        assert!(matches!(err, HeuristicError::NoFeasibleAssignment { task: TaskId(0), .. }));
+        assert!(matches!(
+            err,
+            HeuristicError::NoFeasibleAssignment {
+                task: TaskId(0),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -99,7 +99,9 @@ mod tests {
         let p = app.type_count();
         let platform = Platform::from_type_times(
             m,
-            (0..p).map(|t| (0..m).map(|u| 100.0 + (t * m + u) as f64).collect()).collect(),
+            (0..p)
+                .map(|t| (0..m).map(|u| 100.0 + (t * m + u) as f64).collect())
+                .collect(),
         )
         .unwrap();
         let failures = FailureModel::uniform(types.len(), m, FailureRate::new(0.01).unwrap());
@@ -127,13 +129,18 @@ mod tests {
     #[test]
     fn different_seeds_explore_different_mappings() {
         let inst = instance(&[0, 1, 0, 1, 0, 1, 0, 1], 6);
-        let mappings: Vec<_> = (0..10).map(|s| H1Random::new(s).map(&inst).unwrap()).collect();
+        let mappings: Vec<_> = (0..10)
+            .map(|s| H1Random::new(s).map(&inst).unwrap())
+            .collect();
         let distinct = mappings
             .iter()
             .map(|m| m.as_slice().to_vec())
             .collect::<std::collections::HashSet<_>>()
             .len();
-        assert!(distinct > 1, "ten seeds should not all give the same mapping");
+        assert!(
+            distinct > 1,
+            "ten seeds should not all give the same mapping"
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ impl ScoringRule {
             ScoringRule::FastestMachine => accu + demand * instance.time(task, machine),
             ScoringRule::ReliableMachine => accu + demand * instance.factor(task, machine),
             ScoringRule::RawFailureWeight => {
-                accu + demand * instance.time(task, machine) * instance.failure(task, machine).value()
+                accu + demand
+                    * instance.time(task, machine)
+                    * instance.failure(task, machine).value()
             }
             ScoringRule::RawReliabilityWeight => {
                 accu + demand * instance.failure(task, machine).value()
@@ -156,11 +158,7 @@ impl Heuristic for H4fReliableMachine {
 mod tests {
     use super::*;
 
-    fn instance(
-        types: &[usize],
-        type_times: Vec<Vec<f64>>,
-        failures: Vec<Vec<f64>>,
-    ) -> Instance {
+    fn instance(types: &[usize], type_times: Vec<Vec<f64>>, failures: Vec<Vec<f64>>) -> Instance {
         let m = type_times[0].len();
         let app = Application::linear_chain(types).unwrap();
         let platform = Platform::from_type_times(m, type_times).unwrap();
@@ -199,11 +197,7 @@ mod tests {
     #[test]
     fn h4f_prefers_reliability_even_on_slow_machines() {
         // M0 is very slow but perfectly reliable; M1 is fast but failing.
-        let inst = instance(
-            &[0],
-            vec![vec![1000.0, 100.0]],
-            vec![vec![0.0, 0.1]],
-        );
+        let inst = instance(&[0], vec![vec![1000.0, 100.0]], vec![vec![0.0, 0.1]]);
         let mapping = H4fReliableMachine.map(&inst).unwrap();
         assert_eq!(mapping.machine_of(TaskId(0)), MachineId(0));
         // Its period is therefore much worse than H4w's.
@@ -221,7 +215,11 @@ mod tests {
             vec![vec![100.0, 100.0]],
             vec![vec![0.0, 0.0]; 4],
         );
-        for h in [&H4BestPerformance as &dyn Heuristic, &H4wFastestMachine, &H4fReliableMachine] {
+        for h in [
+            &H4BestPerformance as &dyn Heuristic,
+            &H4wFastestMachine,
+            &H4fReliableMachine,
+        ] {
             let mapping = h.map(&inst).unwrap();
             let periods = inst.machine_periods(&mapping).unwrap();
             assert_eq!(periods.of(MachineId(0)).value(), 200.0, "{}", h.name());
@@ -238,7 +236,11 @@ mod tests {
             vec![vec![100.0, 100.0], vec![100.0, 100.0]],
             vec![vec![0.01, 0.01]; 4],
         );
-        for h in [&H4BestPerformance as &dyn Heuristic, &H4wFastestMachine, &H4fReliableMachine] {
+        for h in [
+            &H4BestPerformance as &dyn Heuristic,
+            &H4wFastestMachine,
+            &H4fReliableMachine,
+        ] {
             let mapping = h.map(&inst).unwrap();
             assert!(inst.is_specialized(&mapping), "{}", h.name());
         }

@@ -17,8 +17,8 @@
 //! it is often substantially better — quantifying how much the future-work
 //! extension would buy.
 
-use crate::heuristic::{Heuristic, HeuristicError, HeuristicResult};
 use crate::h4_family::H4wFastestMachine;
+use crate::heuristic::{Heuristic, HeuristicError, HeuristicResult};
 use mf_core::prelude::*;
 
 /// Workload-splitting optimiser built on top of a base specialized mapping.
@@ -33,11 +33,7 @@ impl H5WorkloadSplit {
     }
 
     /// Splits the workload starting from an explicit base specialized mapping.
-    pub fn split_from(
-        &self,
-        instance: &Instance,
-        base: &Mapping,
-    ) -> HeuristicResult<SplitMapping> {
+    pub fn split_from(&self, instance: &Instance, base: &Mapping) -> HeuristicResult<SplitMapping> {
         instance.validate_mapping(base, MappingKind::Specialized)?;
         let app = instance.application();
         let n = instance.task_count();
@@ -118,7 +114,10 @@ fn water_fill(machines: &[(f64, f64)]) -> Vec<f64> {
     };
     // The level lies between the smallest current load and the load reached by
     // dumping everything on the currently least-loaded machine.
-    let min_load = machines.iter().map(|&(l, _)| l).fold(f64::INFINITY, f64::min);
+    let min_load = machines
+        .iter()
+        .map(|&(l, _)| l)
+        .fold(f64::INFINITY, f64::min);
     let mut hi = machines
         .iter()
         .map(|&(l, c)| l + c)
@@ -134,8 +133,10 @@ fn water_fill(machines: &[(f64, f64)]) -> Vec<f64> {
         }
     }
     let level = hi;
-    let mut fractions: Vec<f64> =
-        machines.iter().map(|&(load, cost)| ((level - load) / cost).max(0.0)).collect();
+    let mut fractions: Vec<f64> = machines
+        .iter()
+        .map(|&(load, cost)| ((level - load) / cost).max(0.0))
+        .collect();
     // Normalise the tiny bisection residue so the fractions sum to exactly 1.
     let sum: f64 = fractions.iter().sum();
     if sum > 0.0 {
@@ -240,7 +241,10 @@ mod tests {
     fn default_entry_point_uses_h4w_as_base() {
         let inst = instance(
             &[0, 1, 0, 1, 0, 1],
-            vec![vec![100.0, 150.0, 300.0, 250.0], vec![200.0, 120.0, 180.0, 260.0]],
+            vec![
+                vec![100.0, 150.0, 300.0, 250.0],
+                vec![200.0, 120.0, 180.0, 260.0],
+            ],
             0.01,
         );
         let h4w = H4wFastestMachine.period(&inst).unwrap().value();
@@ -250,11 +254,7 @@ mod tests {
 
     #[test]
     fn base_mapping_must_be_specialized() {
-        let inst = instance(
-            &[0, 1],
-            vec![vec![100.0, 100.0], vec![100.0, 100.0]],
-            0.0,
-        );
+        let inst = instance(&[0, 1], vec![vec![100.0, 100.0], vec![100.0, 100.0]], 0.0);
         let general = Mapping::from_indices(&[0, 0], 2).unwrap();
         assert!(H5WorkloadSplit.split_from(&inst, &general).is_err());
     }

@@ -70,6 +70,25 @@ pub fn all_paper_heuristics(seed: u64) -> Vec<Box<dyn Heuristic + Send + Sync>> 
     ]
 }
 
+/// Constructs a single paper heuristic by its report name (`"H1"` … `"H4f"`),
+/// with the given seed for the random heuristic. `None` for unknown names.
+///
+/// Cheaper than filtering [`all_paper_heuristics`] when only one heuristic is
+/// needed — the batch-evaluation engine calls this once per grid cell.
+pub fn paper_heuristic(name: &str, seed: u64) -> Option<Box<dyn Heuristic + Send + Sync>> {
+    match name {
+        "H1" => Some(Box::new(crate::h1_random::H1Random::new(seed))),
+        "H2" => Some(Box::new(crate::binary_search::H2BinaryPotential::default())),
+        "H3" => Some(Box::new(
+            crate::binary_search::H3BinaryHeterogeneity::default(),
+        )),
+        "H4" => Some(Box::new(crate::h4_family::H4BestPerformance)),
+        "H4w" => Some(Box::new(crate::h4_family::H4wFastestMachine)),
+        "H4f" => Some(Box::new(crate::h4_family::H4fReliableMachine)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +98,17 @@ mod tests {
         let heuristics = all_paper_heuristics(42);
         let names: Vec<_> = heuristics.iter().map(|h| h.name().to_string()).collect();
         assert_eq!(names, vec!["H1", "H2", "H3", "H4", "H4w", "H4f"]);
+    }
+
+    #[test]
+    fn by_name_constructor_agrees_with_the_registry() {
+        for reference in all_paper_heuristics(42) {
+            let built = paper_heuristic(reference.name(), 42)
+                .unwrap_or_else(|| panic!("`{}` must be constructible by name", reference.name()));
+            assert_eq!(built.name(), reference.name());
+        }
+        assert!(paper_heuristic("H4W", 1).is_none());
+        assert!(paper_heuristic("", 1).is_none());
     }
 
     #[test]

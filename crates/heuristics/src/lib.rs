@@ -50,6 +50,10 @@ pub use baseline::RandomMapping;
 pub use binary_search::{BinarySearchConfig, H2BinaryPotential, H3BinaryHeterogeneity};
 pub use context::AssignmentState;
 pub use h1_random::H1Random;
-pub use h4_family::{GreedyHeuristic, H4BestPerformance, H4fReliableMachine, H4wFastestMachine, ScoringRule};
+pub use h4_family::{
+    GreedyHeuristic, H4BestPerformance, H4fReliableMachine, H4wFastestMachine, ScoringRule,
+};
 pub use h5_split::H5WorkloadSplit;
-pub use heuristic::{all_paper_heuristics, Heuristic, HeuristicError, HeuristicResult};
+pub use heuristic::{
+    all_paper_heuristics, paper_heuristic, Heuristic, HeuristicError, HeuristicResult,
+};

@@ -11,7 +11,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -71,7 +75,11 @@ impl DenseMatrix {
             return;
         }
         let cols = self.cols;
-        let (lo, hi) = if target < source { (target, source) } else { (source, target) };
+        let (lo, hi) = if target < source {
+            (target, source)
+        } else {
+            (source, target)
+        };
         let (first, second) = self.data.split_at_mut(hi * cols);
         let lo_row = &mut first[lo * cols..lo * cols + cols];
         let hi_row = &mut second[..cols];

@@ -47,7 +47,10 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "the linear program is infeasible"),
             LpError::Unbounded => write!(f, "the linear program is unbounded"),
             LpError::UnknownVariable { index, count } => {
-                write!(f, "variable {index} out of range (problem has {count} variables)")
+                write!(
+                    f,
+                    "variable {index} out of range (problem has {count} variables)"
+                )
             }
             LpError::NotFinite { context, value } => {
                 write!(f, "{context}: value {value} is not finite")
@@ -73,10 +76,21 @@ mod tests {
     fn display_is_informative() {
         assert!(LpError::Infeasible.to_string().contains("infeasible"));
         assert!(LpError::Unbounded.to_string().contains("unbounded"));
-        assert!(LpError::UnknownVariable { index: 3, count: 2 }.to_string().contains('3'));
-        assert!(LpError::BudgetExhausted { nodes: 10 }.to_string().contains("10"));
-        assert!(LpError::IterationLimit { limit: 99 }.to_string().contains("99"));
-        assert!(LpError::NotFinite { context: "rhs", value: f64::NAN }.to_string().contains("rhs"));
+        assert!(LpError::UnknownVariable { index: 3, count: 2 }
+            .to_string()
+            .contains('3'));
+        assert!(LpError::BudgetExhausted { nodes: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(LpError::IterationLimit { limit: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(LpError::NotFinite {
+            context: "rhs",
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("rhs"));
     }
 
     #[test]

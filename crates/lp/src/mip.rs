@@ -39,19 +39,28 @@ pub struct SolverBudget {
 
 impl Default for SolverBudget {
     fn default() -> Self {
-        SolverBudget { max_nodes: 200_000, time_limit: None }
+        SolverBudget {
+            max_nodes: 200_000,
+            time_limit: None,
+        }
     }
 }
 
 impl SolverBudget {
     /// A budget bounded by a node count only.
     pub fn nodes(max_nodes: usize) -> Self {
-        SolverBudget { max_nodes, time_limit: None }
+        SolverBudget {
+            max_nodes,
+            time_limit: None,
+        }
     }
 
     /// A budget bounded by both nodes and wall-clock time.
     pub fn with_time_limit(max_nodes: usize, time_limit: Duration) -> Self {
-        SolverBudget { max_nodes, time_limit: Some(time_limit) }
+        SolverBudget {
+            max_nodes,
+            time_limit: Some(time_limit),
+        }
     }
 }
 
@@ -175,16 +184,22 @@ impl MipProblem {
 
         let mut heap: BinaryHeap<Ordered> = BinaryHeap::new();
         let mut tie = 0usize;
-        let root_bound = if maximise { f64::INFINITY } else { f64::NEG_INFINITY };
+        let root_bound = if maximise {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
         heap.push(Ordered {
-            node: Node { bounds: Vec::new(), bound: root_bound },
+            node: Node {
+                bounds: Vec::new(),
+                bound: root_bound,
+            },
             key: 0.0,
             tie,
         });
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         let mut nodes = 0usize;
-        let mut root_infeasible = true;
 
         let better = |candidate: f64, incumbent: f64| -> bool {
             if maximise {
@@ -222,7 +237,6 @@ impl MipProblem {
                 Err(LpError::Infeasible) => continue,
                 Err(e) => return Err(e),
             };
-            root_infeasible = false;
 
             if let Some((best, _)) = &incumbent {
                 if !better(relaxation.objective, *best) {
@@ -252,8 +266,15 @@ impl MipProblem {
                         bounds.push((branch_var, cur_lower, Some(floor)));
                         tie += 1;
                         heap.push(Ordered {
-                            key: if maximise { relaxation.objective } else { -relaxation.objective },
-                            node: Node { bounds, bound: relaxation.objective },
+                            key: if maximise {
+                                relaxation.objective
+                            } else {
+                                -relaxation.objective
+                            },
+                            node: Node {
+                                bounds,
+                                bound: relaxation.objective,
+                            },
                             tie,
                         });
                     }
@@ -267,8 +288,15 @@ impl MipProblem {
                         bounds.push((branch_var, ceil, cur_upper));
                         tie += 1;
                         heap.push(Ordered {
-                            key: if maximise { relaxation.objective } else { -relaxation.objective },
-                            node: Node { bounds, bound: relaxation.objective },
+                            key: if maximise {
+                                relaxation.objective
+                            } else {
+                                -relaxation.objective
+                            },
+                            node: Node {
+                                bounds,
+                                bound: relaxation.objective,
+                            },
                             tie,
                         });
                     }
@@ -276,12 +304,18 @@ impl MipProblem {
             }
         }
 
+        // Tree exhausted: either the incumbent is proven optimal, or no
+        // integer point exists — whether or not the root relaxation was
+        // feasible, the verdict is the same.
         if incumbent.is_some() {
             Ok(self.finish(incumbent, MipStatus::Optimal, nodes))
-        } else if root_infeasible {
-            Ok(MipSolution { status: MipStatus::Infeasible, objective: None, values: None, nodes })
         } else {
-            Ok(MipSolution { status: MipStatus::Infeasible, objective: None, values: None, nodes })
+            Ok(MipSolution {
+                status: MipStatus::Infeasible,
+                objective: None,
+                values: None,
+                nodes,
+            })
         }
     }
 
@@ -298,7 +332,12 @@ impl MipProblem {
                 values: Some(values),
                 nodes,
             },
-            None => MipSolution { status: MipStatus::Unknown, objective: None, values: None, nodes },
+            None => MipSolution {
+                status: MipStatus::Unknown,
+                objective: None,
+                values: None,
+                nodes,
+            },
         }
     }
 
@@ -432,15 +471,22 @@ mod tests {
     fn budget_exhaustion_reports_unknown_or_feasible() {
         // A small problem with a budget of one node cannot finish the search.
         let mut lp = LpProblem::new(Objective::Maximize);
-        let vars: Vec<_> = (0..6).map(|i| lp.add_binary_variable(format!("x{i}"))).collect();
+        let vars: Vec<_> = (0..6)
+            .map(|i| lp.add_binary_variable(format!("x{i}")))
+            .collect();
         for (i, &v) in vars.iter().enumerate() {
             lp.set_objective_coefficient(v, (i + 1) as f64);
         }
         lp.add_constraint(vars.iter().map(|&v| (v, 2.0)).collect(), CS::LessEqual, 7.0);
         let mut mip = MipProblem::new(lp);
         mip.set_all_integer(vars.clone());
-        let sol = mip.solve_with(SolverBudget::nodes(1), BranchRule::MostFractional).unwrap();
-        assert!(matches!(sol.status, MipStatus::Unknown | MipStatus::Feasible));
+        let sol = mip
+            .solve_with(SolverBudget::nodes(1), BranchRule::MostFractional)
+            .unwrap();
+        assert!(matches!(
+            sol.status,
+            MipStatus::Unknown | MipStatus::Feasible
+        ));
 
         // With a generous budget the optimum is found: pick the 3 largest.
         let sol = mip.solve().unwrap();
@@ -451,21 +497,30 @@ mod tests {
     #[test]
     fn branch_rules_agree_on_the_optimum() {
         let mut lp = LpProblem::new(Objective::Maximize);
-        let vars: Vec<_> = (0..5).map(|i| lp.add_binary_variable(format!("x{i}"))).collect();
+        let vars: Vec<_> = (0..5)
+            .map(|i| lp.add_binary_variable(format!("x{i}")))
+            .collect();
         let profits = [4.0, 2.0, 10.0, 1.0, 2.0];
         let weights = [12.0, 1.0, 4.0, 1.0, 2.0];
         for (i, &v) in vars.iter().enumerate() {
             lp.set_objective_coefficient(v, profits[i]);
         }
         lp.add_constraint(
-            vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect(),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, weights[i]))
+                .collect(),
             CS::LessEqual,
             15.0,
         );
         let mut mip = MipProblem::new(lp);
         mip.set_all_integer(vars);
-        let a = mip.solve_with(SolverBudget::default(), BranchRule::MostFractional).unwrap();
-        let b = mip.solve_with(SolverBudget::default(), BranchRule::FirstFractional).unwrap();
+        let a = mip
+            .solve_with(SolverBudget::default(), BranchRule::MostFractional)
+            .unwrap();
+        let b = mip
+            .solve_with(SolverBudget::default(), BranchRule::FirstFractional)
+            .unwrap();
         assert_eq!(a.status, MipStatus::Optimal);
         assert_eq!(b.status, MipStatus::Optimal);
         assert_close(a.objective.unwrap(), b.objective.unwrap());

@@ -74,7 +74,11 @@ pub struct LpProblem {
 impl LpProblem {
     /// Creates an empty problem with the given optimisation direction.
     pub fn new(objective: Objective) -> Self {
-        LpProblem { objective, variables: Vec::new(), constraints: Vec::new() }
+        LpProblem {
+            objective,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// The optimisation direction.
@@ -168,11 +172,17 @@ impl LpProblem {
         let count = self.variables.len();
         for v in &self.variables {
             if !v.lower.is_finite() {
-                return Err(LpError::NotFinite { context: "variable lower bound", value: v.lower });
+                return Err(LpError::NotFinite {
+                    context: "variable lower bound",
+                    value: v.lower,
+                });
             }
             if let Some(u) = v.upper {
                 if !u.is_finite() {
-                    return Err(LpError::NotFinite { context: "variable upper bound", value: u });
+                    return Err(LpError::NotFinite {
+                        context: "variable upper bound",
+                        value: u,
+                    });
                 }
             }
             if !v.objective.is_finite() {
@@ -184,11 +194,17 @@ impl LpProblem {
         }
         for c in &self.constraints {
             if !c.rhs.is_finite() {
-                return Err(LpError::NotFinite { context: "constraint rhs", value: c.rhs });
+                return Err(LpError::NotFinite {
+                    context: "constraint rhs",
+                    value: c.rhs,
+                });
             }
             for &(var, coeff) in &c.terms {
                 if var.index() >= count {
-                    return Err(LpError::UnknownVariable { index: var.index(), count });
+                    return Err(LpError::UnknownVariable {
+                        index: var.index(),
+                        count,
+                    });
                 }
                 if !coeff.is_finite() {
                     return Err(LpError::NotFinite {
@@ -227,7 +243,11 @@ impl LpProblem {
             }
         }
         for c in &self.constraints {
-            let lhs: f64 = c.terms.iter().map(|&(var, coeff)| coeff * values[var.index()]).sum();
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .map(|&(var, coeff)| coeff * values[var.index()])
+                .sum();
             let ok = match c.sense {
                 ConstraintSense::LessEqual => lhs <= c.rhs + tolerance,
                 ConstraintSense::GreaterEqual => lhs >= c.rhs - tolerance,
@@ -252,7 +272,11 @@ mod tests {
         let y = lp.add_bounded_variable("y", 1.0, 5.0);
         let z = lp.add_binary_variable("z");
         lp.set_objective_coefficient(x, 2.0);
-        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintSense::GreaterEqual, 0.0);
+        lp.add_constraint(
+            vec![(x, 1.0), (y, -1.0)],
+            ConstraintSense::GreaterEqual,
+            0.0,
+        );
         assert_eq!(lp.variable_count(), 3);
         assert_eq!(lp.constraint_count(), 1);
         assert_eq!(lp.variables()[y.index()].lower, 1.0);
@@ -268,12 +292,18 @@ mod tests {
         let mut lp = LpProblem::new(Objective::Minimize);
         let x = lp.add_variable("x");
         lp.add_constraint(vec![(VariableId(7), 1.0)], ConstraintSense::Equal, 1.0);
-        assert!(matches!(lp.validate().unwrap_err(), LpError::UnknownVariable { index: 7, .. }));
+        assert!(matches!(
+            lp.validate().unwrap_err(),
+            LpError::UnknownVariable { index: 7, .. }
+        ));
 
         let mut lp = LpProblem::new(Objective::Minimize);
         let x2 = lp.add_variable("x");
         lp.set_objective_coefficient(x2, f64::NAN);
-        assert!(matches!(lp.validate().unwrap_err(), LpError::NotFinite { .. }));
+        assert!(matches!(
+            lp.validate().unwrap_err(),
+            LpError::NotFinite { .. }
+        ));
         let _ = x;
     }
 

@@ -87,11 +87,13 @@ impl Tableau {
     ) -> LpResult<()> {
         loop {
             if self.iterations > max_iterations {
-                return Err(LpError::IterationLimit { limit: max_iterations });
+                return Err(LpError::IterationLimit {
+                    limit: max_iterations,
+                });
             }
             // Bland's rule: smallest-index column with a negative reduced cost.
-            let entering = (0..self.cols)
-                .find(|&j| allow(j) && self.matrix.get(objective_row, j) < -EPS);
+            let entering =
+                (0..self.cols).find(|&j| allow(j) && self.matrix.get(objective_row, j) < -EPS);
             let Some(col) = entering else {
                 return Ok(());
             };
@@ -163,12 +165,20 @@ fn standardise(problem: &LpProblem) -> LpResult<Standardised> {
         for j in 0..n {
             rhs -= coeffs[j] * shifts[j];
         }
-        rows.push(Row { coeffs, sense: c.sense, rhs });
+        rows.push(Row {
+            coeffs,
+            sense: c.sense,
+            rhs,
+        });
     }
     for &(j, bound) in &upper_rows {
         let mut coeffs = vec![0.0; n];
         coeffs[j] = 1.0;
-        rows.push(Row { coeffs, sense: ConstraintSense::LessEqual, rhs: bound });
+        rows.push(Row {
+            coeffs,
+            sense: ConstraintSense::LessEqual,
+            rhs: bound,
+        });
     }
 
     // Flip rows with negative right-hand sides.
@@ -272,8 +282,12 @@ fn standardise(problem: &LpProblem) -> LpResult<Standardised> {
 
 /// Solves a linear program with the two-phase primal simplex method.
 pub fn solve(problem: &LpProblem) -> LpResult<LpSolution> {
-    let Standardised { mut tableau, user_columns, objective_shift, maximise } =
-        standardise(problem)?;
+    let Standardised {
+        mut tableau,
+        user_columns,
+        objective_shift,
+        maximise,
+    } = standardise(problem)?;
     let max_iterations = 2000 + 200 * (tableau.rows + tableau.cols);
 
     // Phase 1: drive the artificials to zero.
@@ -288,8 +302,8 @@ pub fn solve(problem: &LpProblem) -> LpResult<LpSolution> {
         // possible so they cannot disturb phase 2.
         for r in 0..tableau.rows {
             if tableau.basis[r] >= tableau.artificial_start {
-                if let Some(col) = (0..tableau.artificial_start)
-                    .find(|&j| tableau.matrix.get(r, j).abs() > EPS)
+                if let Some(col) =
+                    (0..tableau.artificial_start).find(|&j| tableau.matrix.get(r, j).abs() > EPS)
                 {
                     tableau.pivot(r, col);
                 }
@@ -321,7 +335,11 @@ pub fn solve(problem: &LpProblem) -> LpResult<LpSolution> {
         raw_objective + objective_shift
     };
 
-    Ok(LpSolution { objective, values, iterations: tableau.iterations })
+    Ok(LpSolution {
+        objective,
+        values,
+        iterations: tableau.iterations,
+    })
 }
 
 #[cfg(test)]

@@ -29,7 +29,10 @@ pub fn bottleneck_assignment(costs: &CostMatrix) -> Option<BottleneckResult> {
     let n = costs.rows();
     let m = costs.cols();
     if n == 0 {
-        return Some(BottleneckResult { row_to_col: Vec::new(), bottleneck: f64::NEG_INFINITY });
+        return Some(BottleneckResult {
+            row_to_col: Vec::new(),
+            bottleneck: f64::NEG_INFINITY,
+        });
     }
     if n > m {
         return None;
@@ -60,9 +63,7 @@ pub fn bottleneck_assignment(costs: &CostMatrix) -> Option<BottleneckResult> {
     // Binary search the smallest threshold index that allows a perfect matching.
     let mut lo = 0usize;
     let mut hi = thresholds.len() - 1;
-    if feasible(thresholds[hi]).is_none() {
-        return None;
-    }
+    feasible(thresholds[hi])?;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         if feasible(thresholds[mid]).is_some() {
@@ -73,7 +74,10 @@ pub fn bottleneck_assignment(costs: &CostMatrix) -> Option<BottleneckResult> {
     }
     let bottleneck = thresholds[lo];
     let row_to_col = feasible(bottleneck).expect("threshold was verified feasible");
-    Some(BottleneckResult { row_to_col, bottleneck })
+    Some(BottleneckResult {
+        row_to_col,
+        bottleneck,
+    })
 }
 
 #[cfg(test)]
@@ -81,13 +85,7 @@ mod tests {
     use super::*;
 
     fn brute_force_bottleneck(costs: &CostMatrix) -> f64 {
-        fn recurse(
-            costs: &CostMatrix,
-            row: usize,
-            used: &mut Vec<bool>,
-            acc: f64,
-            best: &mut f64,
-        ) {
+        fn recurse(costs: &CostMatrix, row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
             if row == costs.rows() {
                 if acc < *best {
                     *best = acc;
@@ -103,7 +101,13 @@ mod tests {
             }
         }
         let mut best = f64::INFINITY;
-        recurse(costs, 0, &mut vec![false; costs.cols()], f64::NEG_INFINITY, &mut best);
+        recurse(
+            costs,
+            0,
+            &mut vec![false; costs.cols()],
+            f64::NEG_INFINITY,
+            &mut best,
+        );
         best
     }
 
@@ -123,10 +127,7 @@ mod tests {
 
     #[test]
     fn rectangular_instance_uses_spare_columns() {
-        let costs = CostMatrix::from_rows(vec![
-            vec![100.0, 1.0, 50.0],
-            vec![100.0, 100.0, 2.0],
-        ]);
+        let costs = CostMatrix::from_rows(vec![vec![100.0, 1.0, 50.0], vec![100.0, 100.0, 2.0]]);
         let result = bottleneck_assignment(&costs).unwrap();
         assert_eq!(result.bottleneck, 2.0);
         assert_eq!(result.row_to_col, vec![1, 2]);

@@ -21,7 +21,11 @@ impl CostMatrix {
             assert_eq!(row.len(), cols, "all rows must have the same length");
             data.extend(row);
         }
-        CostMatrix { rows: n, cols, data }
+        CostMatrix {
+            rows: n,
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)`.
@@ -56,7 +60,11 @@ impl CostMatrix {
 
     /// Total cost of an assignment given as `assignment[row] = col`.
     pub fn total_cost(&self, assignment: &[usize]) -> f64 {
-        assignment.iter().enumerate().map(|(r, &c)| self.get(r, c)).sum()
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| self.get(r, c))
+            .sum()
     }
 
     /// Largest single edge cost of an assignment given as `assignment[row] = col`.
@@ -71,7 +79,12 @@ impl CostMatrix {
     /// All distinct finite cost values, sorted ascending (used by the
     /// bottleneck binary search).
     pub fn sorted_distinct_costs(&self) -> Vec<f64> {
-        let mut values: Vec<f64> = self.data.iter().copied().filter(|v| v.is_finite()).collect();
+        let mut values: Vec<f64> = self
+            .data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         values.dedup();
         values

@@ -18,7 +18,11 @@ impl BipartiteGraph {
     /// Creates a graph with `left` left vertices and `right` right vertices
     /// and no edges.
     pub fn new(left: usize, right: usize) -> Self {
-        BipartiteGraph { left, right, adjacency: vec![Vec::new(); left] }
+        BipartiteGraph {
+            left,
+            right,
+            adjacency: vec![Vec::new(); left],
+        }
     }
 
     /// Adds an edge between left vertex `l` and right vertex `r`.
@@ -155,8 +159,14 @@ pub fn maximum_matching(graph: &BipartiteGraph) -> Matching {
     }
 
     Matching {
-        pair_left: pair_left.iter().map(|&p| if p == NIL { None } else { Some(p) }).collect(),
-        pair_right: pair_right.iter().map(|&p| if p == NIL { None } else { Some(p) }).collect(),
+        pair_left: pair_left
+            .iter()
+            .map(|&p| if p == NIL { None } else { Some(p) })
+            .collect(),
+        pair_right: pair_right
+            .iter()
+            .map(|&p| if p == NIL { None } else { Some(p) })
+            .collect(),
     }
 }
 

@@ -40,7 +40,10 @@ pub fn hungarian(costs: &CostMatrix) -> Option<Assignment> {
     let n = costs.rows();
     let m = costs.cols();
     if n == 0 {
-        return Some(Assignment { row_to_col: Vec::new(), total_cost: 0.0 });
+        return Some(Assignment {
+            row_to_col: Vec::new(),
+            total_cost: 0.0,
+        });
     }
     if n > m {
         return None;
@@ -117,7 +120,10 @@ pub fn hungarian(costs: &CostMatrix) -> Option<Assignment> {
     if !total_cost.is_finite() {
         return None;
     }
-    Some(Assignment { row_to_col, total_cost })
+    Some(Assignment {
+        row_to_col,
+        total_cost,
+    })
 }
 
 #[cfg(test)]
@@ -163,10 +169,8 @@ mod tests {
 
     #[test]
     fn rectangular_instances_pick_best_columns() {
-        let costs = CostMatrix::from_rows(vec![
-            vec![10.0, 2.0, 8.0, 5.0],
-            vec![7.0, 9.0, 1.0, 4.0],
-        ]);
+        let costs =
+            CostMatrix::from_rows(vec![vec![10.0, 2.0, 8.0, 5.0], vec![7.0, 9.0, 1.0, 4.0]]);
         let result = hungarian(&costs).unwrap();
         assert_eq!(result.total_cost, 3.0);
         assert_eq!(result.row_to_col, vec![1, 2]);

@@ -124,7 +124,11 @@ pub struct FactorySimulation<'a> {
 impl<'a> FactorySimulation<'a> {
     /// Prepares a simulation of `mapping` on `instance`.
     pub fn new(instance: &'a Instance, mapping: &'a Mapping, config: SimulationConfig) -> Self {
-        FactorySimulation { instance, mapping, config }
+        FactorySimulation {
+            instance,
+            mapping,
+            config,
+        }
     }
 
     /// Runs the simulation and returns the aggregated report.
@@ -193,8 +197,10 @@ impl<'a> FactorySimulation<'a> {
                           inputs: &mut Vec<Vec<u64>>,
                           machine_busy: &mut Vec<bool>,
                           events: &mut BinaryHeap<Completion>| {
-            let candidate =
-                machine_tasks[machine.index()].iter().copied().find(|&t| is_ready(t, inputs));
+            let candidate = machine_tasks[machine.index()]
+                .iter()
+                .copied()
+                .find(|&t| is_ready(t, inputs));
             if let Some(task) = candidate {
                 for count in inputs[task.index()].iter_mut() {
                     *count -= 1;
@@ -224,7 +230,12 @@ impl<'a> FactorySimulation<'a> {
 
         wake_idle(now, &mut inputs, &mut machine_busy, &mut events);
 
-        while let Some(Completion { time, machine, task }) = events.pop() {
+        while let Some(Completion {
+            time,
+            machine,
+            task,
+        }) = events.pop()
+        {
             now = time;
             if now > self.config.max_time {
                 break;
@@ -264,8 +275,16 @@ impl<'a> FactorySimulation<'a> {
         } else {
             (produced as f64, now)
         };
-        let throughput = if steady_time > 0.0 { steady_products / steady_time } else { 0.0 };
-        let measured_period = if throughput > 0.0 { 1.0 / throughput } else { f64::INFINITY };
+        let throughput = if steady_time > 0.0 {
+            steady_products / steady_time
+        } else {
+            0.0
+        };
+        let measured_period = if throughput > 0.0 {
+            1.0 / throughput
+        } else {
+            f64::INFINITY
+        };
 
         Ok(SimulationReport {
             produced,
@@ -299,13 +318,20 @@ mod tests {
         let sim = FactorySimulation::new(
             &instance,
             &mapping,
-            SimulationConfig { target_products: 2_000, ..Default::default() },
+            SimulationConfig {
+                target_products: 2_000,
+                ..Default::default()
+            },
         );
         let report = sim.run().unwrap();
         assert_eq!(report.produced, 2_000);
         assert!(report.losses.iter().all(|&l| l == 0));
         let relative = (report.measured_period - analytic).abs() / analytic;
-        assert!(relative < 0.05, "measured {} vs analytic {analytic}", report.measured_period);
+        assert!(
+            relative < 0.05,
+            "measured {} vs analytic {analytic}",
+            report.measured_period
+        );
     }
 
     #[test]
@@ -315,7 +341,11 @@ mod tests {
         let sim = FactorySimulation::new(
             &instance,
             &mapping,
-            SimulationConfig { target_products: 5_000, warmup_products: 200, ..Default::default() },
+            SimulationConfig {
+                target_products: 5_000,
+                warmup_products: 200,
+                ..Default::default()
+            },
         );
         let report = sim.run().unwrap();
         let relative = (report.measured_period - analytic).abs() / analytic;
@@ -332,7 +362,10 @@ mod tests {
         let sim = FactorySimulation::new(
             &instance,
             &mapping,
-            SimulationConfig { target_products: 3_000, ..Default::default() },
+            SimulationConfig {
+                target_products: 3_000,
+                ..Default::default()
+            },
         );
         let report = sim.run().unwrap();
         for task in instance.application().tasks() {
@@ -358,7 +391,11 @@ mod tests {
         let sim = FactorySimulation::new(
             &instance,
             &mapping,
-            SimulationConfig { target_products: 2_000, warmup_products: 100, ..Default::default() },
+            SimulationConfig {
+                target_products: 2_000,
+                warmup_products: 100,
+                ..Default::default()
+            },
         );
         let report = sim.run().unwrap();
         assert!(report.produced >= 2_000);
@@ -376,7 +413,11 @@ mod tests {
         let sim = FactorySimulation::new(
             &instance,
             &mapping,
-            SimulationConfig { target_products: 0, max_time: 10_000.0, ..Default::default() },
+            SimulationConfig {
+                target_products: 0,
+                max_time: 10_000.0,
+                ..Default::default()
+            },
         );
         let report = sim.run().unwrap();
         assert!(report.elapsed <= 10_000.0 + 500.0);
@@ -386,9 +427,16 @@ mod tests {
     #[test]
     fn deterministic_for_a_seed() {
         let (instance, mapping) = simple_instance(0.1);
-        let config = SimulationConfig { target_products: 500, ..Default::default() };
-        let a = FactorySimulation::new(&instance, &mapping, config).run().unwrap();
-        let b = FactorySimulation::new(&instance, &mapping, config).run().unwrap();
+        let config = SimulationConfig {
+            target_products: 500,
+            ..Default::default()
+        };
+        let a = FactorySimulation::new(&instance, &mapping, config)
+            .run()
+            .unwrap();
+        let b = FactorySimulation::new(&instance, &mapping, config)
+            .run()
+            .unwrap();
         assert_eq!(a, b);
     }
 

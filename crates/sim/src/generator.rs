@@ -9,10 +9,9 @@
 use mf_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// How failure rates are structured across tasks and machines.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailureStructure {
     /// Independent draw for every (task, machine) pair — the paper's general
     /// model.
@@ -26,7 +25,7 @@ pub enum FailureStructure {
 }
 
 /// Parameters of the random instance generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneratorConfig {
     /// Number of tasks `n`.
     pub tasks: usize,
@@ -111,7 +110,13 @@ impl InstanceGenerator {
         // Task types: guarantee every type appears at least once (when n ≥ p),
         // then fill uniformly, so the declared p matches the effective p.
         let mut types: Vec<usize> = (0..n)
-            .map(|i| if i < p && n >= p { i } else { rng.gen_range(0..p) })
+            .map(|i| {
+                if i < p && n >= p {
+                    i
+                } else {
+                    rng.gen_range(0..p)
+                }
+            })
             .collect();
         // Shuffle positions so the guaranteed types are not clustered at the head.
         for i in (1..n).rev() {
@@ -145,7 +150,9 @@ impl InstanceGenerator {
         };
         let failures = match c.failure_structure {
             FailureStructure::PerTaskAndMachine => FailureModel::from_matrix(
-                (0..n).map(|_| (0..m).map(|_| draw(rng)).collect()).collect(),
+                (0..n)
+                    .map(|_| (0..m).map(|_| draw(rng)).collect())
+                    .collect(),
                 m,
             )?,
             FailureStructure::PerTask => {
@@ -160,9 +167,7 @@ impl InstanceGenerator {
                     .collect::<Result<_>>()?;
                 FailureModel::machine_dependent(&rates, n)
             }
-            FailureStructure::Constant(f) => {
-                FailureModel::uniform(n, m, FailureRate::new(f)?)
-            }
+            FailureStructure::Constant(f) => FailureModel::uniform(n, m, FailureRate::new(f)?),
         };
 
         Instance::new(app, platform, failures)
@@ -219,7 +224,10 @@ mod tests {
                 max_f = max_f.max(inst.failure(task.id, u).value());
             }
         }
-        assert!(max_f > 0.02, "high-failure draws should exceed the standard 2% cap");
+        assert!(
+            max_f > 0.02,
+            "high-failure draws should exceed the standard 2% cap"
+        );
         assert!(max_f < 0.10);
     }
 

@@ -62,7 +62,11 @@ mod tests {
         let report = validate_mapping(
             &instance,
             &mapping,
-            SimulationConfig { target_products: 3_000, warmup_products: 200, ..Default::default() },
+            SimulationConfig {
+                target_products: 3_000,
+                warmup_products: 200,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(report.produced >= 3_000);

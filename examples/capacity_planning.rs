@@ -37,10 +37,8 @@ fn main() -> Result<()> {
 
     for m in 4..=20 {
         // Install the first m machines of the pool.
-        let platform = Platform::from_type_times(
-            m,
-            pool_times.iter().map(|row| row[..m].to_vec()).collect(),
-        )?;
+        let platform =
+            Platform::from_type_times(m, pool_times.iter().map(|row| row[..m].to_vec()).collect())?;
         let failures = FailureModel::from_matrix(
             pool_failures.iter().map(|row| row[..m].to_vec()).collect(),
             m,

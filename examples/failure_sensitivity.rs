@@ -14,9 +14,9 @@ use microfactory::prelude::*;
 
 fn main() -> Result<()> {
     println!("max failure   H2 (ms)     H4 (ms)     H4w (ms)   H4w/H4");
-    for &fmax in &[0.0, 0.02, 0.05, 0.10, 0.20, 0.30] {
+    for &fmax in &[0.0f64, 0.02, 0.05, 0.10, 0.20, 0.30] {
         let config = GeneratorConfig {
-            failure_range: (0.0, (fmax as f64).max(1e-9)),
+            failure_range: (0.0, fmax.max(1e-9)),
             ..GeneratorConfig::paper_standard(40, 10, 4)
         };
         let generator = InstanceGenerator::new(config);
@@ -26,7 +26,9 @@ fn main() -> Result<()> {
         let reps = 20;
         for seed in 0..reps {
             let instance = generator.generate(1000 + seed)?;
-            let h2 = H2BinaryPotential::default().period(&instance).expect("valid instance");
+            let h2 = H2BinaryPotential::default()
+                .period(&instance)
+                .expect("valid instance");
             let h4 = H4BestPerformance.period(&instance).expect("valid instance");
             let h4w = H4wFastestMachine.period(&instance).expect("valid instance");
             sums[0] += h2.value();

@@ -26,7 +26,11 @@ fn main() -> Result<()> {
     //    probability of destroying the product.
     let failures = FailureModel::from_matrix(
         (0..8)
-            .map(|i| (0..5).map(|u| 0.005 + 0.002 * ((i + u) % 7) as f64).collect())
+            .map(|i| {
+                (0..5)
+                    .map(|u| 0.005 + 0.002 * ((i + u) % 7) as f64)
+                    .collect()
+            })
             .collect(),
         5,
     )?;
@@ -37,9 +41,16 @@ fn main() -> Result<()> {
     println!("heuristic   period (ms)   throughput (products/s)");
     let mut best: Option<(String, Mapping, f64)> = None;
     for heuristic in all_paper_heuristics(42) {
-        let mapping = heuristic.map(&instance).expect("m >= p, so every heuristic succeeds");
+        let mapping = heuristic
+            .map(&instance)
+            .expect("m >= p, so every heuristic succeeds");
         let period = instance.period(&mapping)?.value();
-        println!("{:<12}{:>10.1}   {:>10.3}", heuristic.name(), period, 1000.0 / period);
+        println!(
+            "{:<12}{:>10.1}   {:>10.3}",
+            heuristic.name(),
+            period,
+            1000.0 / period
+        );
         if best.as_ref().map_or(true, |(_, _, p)| period < *p) {
             best = Some((heuristic.name().to_string(), mapping, period));
         }
@@ -64,7 +75,10 @@ fn main() -> Result<()> {
     let report = FactorySimulation::new(
         &instance,
         &mapping,
-        SimulationConfig { target_products: 2_000, ..Default::default() },
+        SimulationConfig {
+            target_products: 2_000,
+            ..Default::default()
+        },
     )
     .run()?;
     println!(

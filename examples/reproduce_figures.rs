@@ -13,7 +13,10 @@ use microfactory::experiments::figures;
 use microfactory::experiments::ExperimentConfig;
 
 fn main() {
-    let config = ExperimentConfig { repetitions: 10, ..ExperimentConfig::quick() };
+    let config = ExperimentConfig {
+        repetitions: 10,
+        ..ExperimentConfig::quick()
+    };
 
     let reports = [
         figures::fig5::run_with_tasks(&config, vec![50, 100, 150]),

@@ -47,7 +47,11 @@ fn main() -> Result<()> {
     let per_task_base = [0.004, 0.03, 0.004, 0.01, 0.05, 0.002];
     let failures = FailureModel::from_matrix(
         (0..app.task_count())
-            .map(|i| (0..6).map(|u| per_task_base[i] * (1.0 + 0.3 * (u % 3) as f64)).collect())
+            .map(|i| {
+                (0..6)
+                    .map(|u| per_task_base[i] * (1.0 + 0.3 * (u % 3) as f64))
+                    .collect()
+            })
             .collect(),
         6,
     )?;
@@ -57,7 +61,9 @@ fn main() -> Result<()> {
     println!("heuristic   period (ms)   critical machine");
     let mut best: Option<(Mapping, f64)> = None;
     for heuristic in all_paper_heuristics(7) {
-        let mapping = heuristic.map(&instance).expect("enough machines for every type");
+        let mapping = heuristic
+            .map(&instance)
+            .expect("enough machines for every type");
         let breakdown = instance.machine_periods(&mapping)?;
         let period = breakdown.system_period().value();
         let critical = breakdown.critical_machines(1e-9);
@@ -65,7 +71,11 @@ fn main() -> Result<()> {
             "{:<12}{:>10.1}   {}",
             heuristic.name(),
             period,
-            critical.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", ")
+            critical
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         if best.as_ref().map_or(true, |(_, p)| period < *p) {
             best = Some((mapping, period));
@@ -75,8 +85,11 @@ fn main() -> Result<()> {
 
     // Exact optimum for reference.
     let optimum = branch_and_bound(&instance, BnbConfig::default())?;
-    println!("\nexact optimum: {:.1} ms (best heuristic at ratio {:.3})",
-        optimum.period.value(), period / optimum.period.value());
+    println!(
+        "\nexact optimum: {:.1} ms (best heuristic at ratio {:.3})",
+        optimum.period.value(),
+        period / optimum.period.value()
+    );
 
     // Raw-part budget: how many gear blanks and case blanks per 1000 watches?
     let demands = instance.demands(&mapping)?;
@@ -89,7 +102,11 @@ fn main() -> Result<()> {
     let report = FactorySimulation::new(
         &instance,
         &mapping,
-        SimulationConfig { target_products: 5_000, warmup_products: 200, ..Default::default() },
+        SimulationConfig {
+            target_products: 5_000,
+            warmup_products: 200,
+            ..Default::default()
+        },
     )
     .run()?;
     println!(
@@ -102,7 +119,10 @@ fn main() -> Result<()> {
                 "  {}: observed loss rate {:.2}% (model {:.2}%)",
                 task.id,
                 observed * 100.0,
-                instance.failure(task.id, mapping.machine_of(task.id)).value() * 100.0
+                instance
+                    .failure(task.id, mapping.machine_of(task.id))
+                    .value()
+                    * 100.0
             );
         }
     }

@@ -33,7 +33,9 @@ fn main() -> Result<()> {
 
         let base = H4wFastestMachine.map(&instance).expect("m >= p");
         let base_period = instance.period(&base)?.value();
-        let split = H5WorkloadSplit.split_from(&instance, &base).expect("base is specialized");
+        let split = H5WorkloadSplit
+            .split_from(&instance, &base)
+            .expect("base is specialized");
         let split_period = split.period(&instance)?.value();
 
         println!(

@@ -70,6 +70,10 @@ pub mod sim {
 }
 
 /// The experiment harness (re-export of [`mf_experiments`]).
+///
+/// Only present with the default `experiments` feature; disable it
+/// (`default-features = false`) for a lean model + solvers build.
+#[cfg(feature = "experiments")]
 pub mod experiments {
     pub use mf_experiments::*;
 }
@@ -86,7 +90,5 @@ pub mod prelude {
         H4BestPerformance, H4fReliableMachine, H4wFastestMachine, H5WorkloadSplit, Heuristic,
         RandomMapping,
     };
-    pub use mf_sim::{
-        FactorySimulation, GeneratorConfig, InstanceGenerator, SimulationConfig,
-    };
+    pub use mf_sim::{FactorySimulation, GeneratorConfig, InstanceGenerator, SimulationConfig};
 }

@@ -15,7 +15,11 @@ fn generator_heuristics_exact_and_simulation_agree() {
     let mut best: Option<(Mapping, f64)> = None;
     for heuristic in all_paper_heuristics(3) {
         let mapping = heuristic.map(&instance).unwrap();
-        assert!(instance.is_specialized(&mapping), "{} not specialized", heuristic.name());
+        assert!(
+            instance.is_specialized(&mapping),
+            "{} not specialized",
+            heuristic.name()
+        );
         let period = instance.period(&mapping).unwrap().value();
         assert!(period > 0.0);
         if best.as_ref().map_or(true, |(_, p)| period < *p) {
@@ -34,7 +38,11 @@ fn generator_heuristics_exact_and_simulation_agree() {
     let report = FactorySimulation::new(
         &instance,
         &best_mapping,
-        SimulationConfig { target_products: 4_000, warmup_products: 200, ..Default::default() },
+        SimulationConfig {
+            target_products: 4_000,
+            warmup_products: 200,
+            ..Default::default()
+        },
     )
     .run()
     .unwrap();

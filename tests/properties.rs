@@ -1,52 +1,61 @@
-//! Property-based tests (proptest) on the core invariants of the system.
+//! Property-based tests on the core invariants of the system.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these tests draw `CASES` random problem instances per property from a
+//! seeded generator — fully deterministic, shrink-free, but covering the same
+//! invariants over the same instance distribution.
 
 use microfactory::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random problem instance with n tasks, m machines, p types,
-/// paper-like processing times and failure rates.
-fn instance_strategy(
-    max_tasks: usize,
-    max_machines: usize,
-) -> impl Strategy<Value = Instance> {
-    (2usize..=max_tasks, 2usize..=max_machines)
-        .prop_flat_map(move |(n, m)| {
-            let p = 1usize..=m.min(n).min(4);
-            (Just(n), Just(m), p, any::<u64>())
-        })
-        .prop_map(|(n, m, p, seed)| {
-            InstanceGenerator::new(GeneratorConfig::paper_standard(n, m, p))
-                .generate(seed)
-                .expect("generator produces valid instances")
-        })
+/// Number of random cases per property (proptest used 48).
+const CASES: u64 = 48;
+
+/// A random problem instance with up to `max_tasks` tasks, `max_machines`
+/// machines and a feasible number of types, drawn from the paper's standard
+/// distribution — the same shape `proptest` sampled before.
+fn random_instance(rng: &mut StdRng, max_tasks: usize, max_machines: usize) -> Instance {
+    let n = rng.gen_range(2..=max_tasks);
+    let m = rng.gen_range(2..=max_machines);
+    let p = rng.gen_range(1..=m.min(n).min(4));
+    let seed = rng.gen_range(0..=u64::MAX);
+    InstanceGenerator::new(GeneratorConfig::paper_standard(n, m, p))
+        .generate(seed)
+        .expect("generator produces valid instances")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every heuristic returns a complete, specialized mapping whose period is
-    /// finite and positive, for any instance with m ≥ p.
-    #[test]
-    fn heuristics_always_return_valid_specialized_mappings(
-        instance in instance_strategy(24, 8),
-        seed in any::<u64>(),
-    ) {
+/// Every heuristic returns a complete, specialized mapping whose period is
+/// finite and positive, for any instance with m ≥ p.
+#[test]
+fn heuristics_always_return_valid_specialized_mappings() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng, 24, 8);
+        let seed = rng.gen_range(0..=u64::MAX);
         for heuristic in all_paper_heuristics(seed) {
-            let mapping = heuristic.map(&instance).expect("m >= p so the heuristic succeeds");
-            prop_assert_eq!(mapping.task_count(), instance.task_count());
-            prop_assert!(instance.is_specialized(&mapping));
+            let mapping = heuristic
+                .map(&instance)
+                .expect("m >= p so the heuristic succeeds");
+            assert_eq!(mapping.task_count(), instance.task_count(), "case {case}");
+            assert!(instance.is_specialized(&mapping), "case {case}");
             let period = instance.period(&mapping).unwrap().value();
-            prop_assert!(period.is_finite() && period > 0.0);
+            assert!(
+                period.is_finite() && period > 0.0,
+                "case {case}: period {period}"
+            );
         }
     }
+}
 
-    /// The system period equals the maximum machine period, and every machine
-    /// period equals the sum of `xᵢ·w_{i,u}` recomputed independently.
-    #[test]
-    fn period_is_the_max_of_recomputed_machine_loads(
-        instance in instance_strategy(16, 6),
-        seed in any::<u64>(),
-    ) {
+/// The system period equals the maximum machine period, and every machine
+/// period equals the sum of `xᵢ·w_{i,u}` recomputed independently.
+#[test]
+fn period_is_the_max_of_recomputed_machine_loads() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng, 16, 6);
+        let seed = rng.gen_range(0..=u64::MAX);
         let mapping = H1Random::new(seed).map(&instance).unwrap();
         let breakdown = instance.machine_periods(&mapping).unwrap();
         let demands = instance.demands(&mapping).unwrap();
@@ -54,55 +63,74 @@ proptest! {
         let mut recomputed = vec![0.0f64; instance.machine_count()];
         for task in instance.application().tasks() {
             let machine = mapping.machine_of(task.id);
-            recomputed[machine.index()] +=
-                demands.get(task.id) * instance.time(task.id, machine);
+            recomputed[machine.index()] += demands.get(task.id) * instance.time(task.id, machine);
         }
         for u in instance.platform().machines() {
-            prop_assert!((breakdown.of(u).value() - recomputed[u.index()]).abs() < 1e-9);
+            assert!(
+                (breakdown.of(u).value() - recomputed[u.index()]).abs() < 1e-9,
+                "case {case}: machine {u:?}"
+            );
         }
         let max = recomputed.iter().copied().fold(0.0, f64::max);
-        prop_assert!((breakdown.system_period().value() - max).abs() < 1e-9);
+        assert!(
+            (breakdown.system_period().value() - max).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Demands are monotone: every task needs at least as many products as its
-    /// successor, and at least one product.
-    #[test]
-    fn demands_are_monotone_along_the_chain(
-        instance in instance_strategy(20, 6),
-        seed in any::<u64>(),
-    ) {
+/// Demands are monotone: every task needs at least as many products as its
+/// successor, and at least one product.
+#[test]
+fn demands_are_monotone_along_the_chain() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng, 20, 6);
+        let seed = rng.gen_range(0..=u64::MAX);
         let mapping = RandomMapping::new(seed).map(&instance).unwrap();
         let demands = instance.demands(&mapping).unwrap();
         for task in instance.application().tasks() {
-            prop_assert!(demands.get(task.id) >= 1.0 - 1e-12);
+            assert!(demands.get(task.id) >= 1.0 - 1e-12, "case {case}");
             if let Some(succ) = instance.application().successor(task.id) {
-                prop_assert!(demands.get(task.id) >= demands.get(succ) - 1e-12);
+                assert!(
+                    demands.get(task.id) >= demands.get(succ) - 1e-12,
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    /// The branch-and-bound optimum is a lower bound for every heuristic, and
-    /// it is itself a valid specialized mapping (small instances only).
-    #[test]
-    fn exact_optimum_bounds_the_heuristics(
-        instance in instance_strategy(8, 4),
-    ) {
+/// The branch-and-bound optimum is a lower bound for every heuristic, and it
+/// is itself a valid specialized mapping (small instances only).
+#[test]
+fn exact_optimum_bounds_the_heuristics() {
+    let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng, 8, 4);
         let optimum = branch_and_bound(&instance, BnbConfig::default()).unwrap();
-        prop_assert!(optimum.proven_optimal);
-        prop_assert!(instance.is_specialized(&optimum.mapping));
+        assert!(optimum.proven_optimal, "case {case}");
+        assert!(instance.is_specialized(&optimum.mapping), "case {case}");
         for heuristic in all_paper_heuristics(1) {
             let period = heuristic.period(&instance).unwrap().value();
-            prop_assert!(period >= optimum.period.value() - 1e-6);
+            assert!(
+                period >= optimum.period.value() - 1e-6,
+                "case {case}: {} beat the optimum ({period} < {})",
+                heuristic.name(),
+                optimum.period.value()
+            );
         }
     }
+}
 
-    /// Scaling every failure rate down (towards zero) never increases the
-    /// period of a fixed mapping.
-    #[test]
-    fn lower_failures_never_hurt_a_fixed_mapping(
-        instance in instance_strategy(12, 5),
-        seed in any::<u64>(),
-    ) {
+/// Scaling every failure rate down (towards zero) never increases the period
+/// of a fixed mapping.
+#[test]
+fn lower_failures_never_hurt_a_fixed_mapping() {
+    let mut rng = StdRng::seed_from_u64(0xFADE);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng, 12, 5);
+        let seed = rng.gen_range(0..=u64::MAX);
         let mapping = RandomMapping::new(seed).map(&instance).unwrap();
         let period_with_failures = instance.period(&mapping).unwrap().value();
 
@@ -119,31 +147,33 @@ proptest! {
         )
         .unwrap();
         let period_without = no_failure_instance.period(&mapping).unwrap().value();
-        prop_assert!(period_without <= period_with_failures + 1e-9);
+        assert!(period_without <= period_with_failures + 1e-9, "case {case}");
     }
+}
 
-    /// The one-to-one bottleneck optimum (when it applies) is never better than
-    /// the specialized optimum and never worse than any one-to-one mapping we
-    /// can build by hand (identity assignment).
-    #[test]
-    fn bottleneck_one_to_one_is_sandwiched(
-        n in 3usize..7,
-        seed in any::<u64>(),
-    ) {
+/// The one-to-one bottleneck optimum (when it applies) is never better than
+/// the specialized optimum and never worse than any one-to-one mapping we can
+/// build by hand (identity assignment).
+#[test]
+fn bottleneck_one_to_one_is_sandwiched() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for case in 0..CASES {
+        let n = rng.gen_range(3..7usize);
+        let seed = rng.gen_range(0..=u64::MAX);
         let instance = InstanceGenerator::new(GeneratorConfig::paper_task_failures(n, n + 2, 2))
             .generate(seed)
             .unwrap();
         let oto = optimal_one_to_one_bottleneck(&instance).unwrap();
         // Identity one-to-one mapping: task i on machine i.
-        let identity = Mapping::from_indices(
-            &(0..n).collect::<Vec<_>>(),
-            instance.machine_count(),
-        )
-        .unwrap();
+        let identity =
+            Mapping::from_indices(&(0..n).collect::<Vec<_>>(), instance.machine_count()).unwrap();
         let identity_period = instance.period(&identity).unwrap().value();
-        prop_assert!(oto.period.value() <= identity_period + 1e-9);
+        assert!(oto.period.value() <= identity_period + 1e-9, "case {case}");
 
         let specialized = branch_and_bound(&instance, BnbConfig::default()).unwrap();
-        prop_assert!(specialized.period.value() <= oto.period.value() + 1e-9);
+        assert!(
+            specialized.period.value() <= oto.period.value() + 1e-9,
+            "case {case}"
+        );
     }
 }

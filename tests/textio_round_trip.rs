@@ -1,0 +1,108 @@
+//! Round-trip tests of the plain-text instance/mapping format: starting from
+//! *text* (parse → write → parse), complementing the write → parse unit tests
+//! inside `mf_core::textio`.
+
+use microfactory::model::textio;
+use microfactory::prelude::*;
+
+/// A hand-written instance file: 3 tasks over 2 types on 2 machines.
+const INSTANCE_TEXT: &str = "\
+# a hand-written micro-factory line
+tasks 3
+machines 2
+types 2
+
+task 0 0 successor 1
+task 1 1 successor 2
+task 2 0
+
+time 0 0 120
+time 0 1 180
+time 1 0 250
+time 1 1 90
+
+failure 0 0 0.01
+failure 0 1 0.02
+failure 1 0 0.015
+failure 1 1 0.005
+failure 2 0 0.02
+failure 2 1 0.01
+";
+
+const MAPPING_TEXT: &str = "\
+# tasks 0 and 2 (type 0) on machine 0, task 1 (type 1) on machine 1
+machines 2
+assign 0 0
+assign 1 1
+assign 2 0
+";
+
+#[test]
+fn instance_parse_write_parse_is_lossless() {
+    let parsed = textio::instance_from_text(INSTANCE_TEXT).expect("hand-written file parses");
+    assert_eq!(parsed.task_count(), 3);
+    assert_eq!(parsed.machine_count(), 2);
+
+    let written = textio::instance_to_text(&parsed);
+    let reparsed = textio::instance_from_text(&written).expect("written file parses back");
+
+    // The round trip preserves the whole model, not just the shape.
+    assert_eq!(reparsed.task_count(), parsed.task_count());
+    assert_eq!(reparsed.machine_count(), parsed.machine_count());
+    assert_eq!(
+        reparsed.application().type_count(),
+        parsed.application().type_count()
+    );
+    for task in parsed.application().tasks() {
+        assert_eq!(
+            reparsed.application().successor(task.id),
+            parsed.application().successor(task.id)
+        );
+        for machine in parsed.platform().machines() {
+            assert_eq!(
+                reparsed.time(task.id, machine),
+                parsed.time(task.id, machine)
+            );
+            assert_eq!(
+                reparsed.failure(task.id, machine).value(),
+                parsed.failure(task.id, machine).value()
+            );
+        }
+    }
+
+    // A second write is byte-identical: the format is canonical after one trip.
+    assert_eq!(textio::instance_to_text(&reparsed), written);
+}
+
+#[test]
+fn mapping_parse_write_parse_is_lossless() {
+    let parsed = textio::mapping_from_text(MAPPING_TEXT).expect("hand-written mapping parses");
+    let written = textio::mapping_to_text(&parsed);
+    let reparsed = textio::mapping_from_text(&written).expect("written mapping parses back");
+    assert_eq!(reparsed, parsed);
+    assert_eq!(textio::mapping_to_text(&reparsed), written);
+}
+
+#[test]
+fn round_tripped_artifacts_still_evaluate() {
+    let instance = textio::instance_from_text(INSTANCE_TEXT).unwrap();
+    let instance = textio::instance_from_text(&textio::instance_to_text(&instance)).unwrap();
+    let mapping = textio::mapping_from_text(MAPPING_TEXT).unwrap();
+    let period = instance.period(&mapping).expect("valid mapping evaluates");
+    assert!(period.value() > 0.0);
+
+    // Generated instances survive the same trip for a spread of seeds.
+    for seed in [1u64, 42, 20100607] {
+        let generated = InstanceGenerator::new(GeneratorConfig::paper_standard(12, 5, 3))
+            .generate(seed)
+            .unwrap();
+        let tripped = textio::instance_from_text(&textio::instance_to_text(&generated)).unwrap();
+        let mapping = H4wFastestMachine.map(&generated).unwrap();
+        let direct = generated.period(&mapping).unwrap().value();
+        let after = tripped.period(&mapping).unwrap().value();
+        assert!(
+            (direct - after).abs() <= 1e-9 * direct.max(1.0),
+            "seed {seed}: period drifted across the text round trip"
+        );
+    }
+}

@@ -30,7 +30,10 @@ fn chain_demand_formula_matches_closed_form() {
     // With one task per machine and homogeneous times, the critical machine is
     // the one executing T1 (x1 is the largest demand).
     let periods = instance.machine_periods(&mapping).unwrap();
-    assert_eq!(periods.critical_machines(1e-9), vec![mapping.machine_of(TaskId(0))]);
+    assert_eq!(
+        periods.critical_machines(1e-9),
+        vec![mapping.machine_of(TaskId(0))]
+    );
 }
 
 /// Theorem 1: the Hungarian reduction returns the optimal one-to-one mapping
@@ -48,7 +51,9 @@ fn theorem1_hungarian_reduction_is_optimal() {
         let app = Application::linear_chain(&vec![0; n]).unwrap();
         let platform = Platform::homogeneous(m, 1, 250.0).unwrap();
         let failures = FailureModel::from_matrix(
-            (0..n).map(|_| (0..m).map(|_| rng.gen_range(0.0..0.4)).collect()).collect(),
+            (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0.0..0.4)).collect())
+                .collect(),
             m,
         )
         .unwrap();
@@ -85,14 +90,19 @@ fn theorem2_gadget_arithmetic() {
     let failures = FailureModel::machine_dependent(&machine_rates, n);
     let instance = Instance::new(app, platform, failures).unwrap();
     let mapping = Mapping::from_indices(&[0, 1, 2], 3).unwrap();
-    let periods = instance.machine_periods(&instance_mapping(&mapping)).unwrap();
+    let periods = instance
+        .machine_periods(&instance_mapping(&mapping))
+        .unwrap();
 
     // The head of the chain needs 2^{z1+z2+z3} = 2^6 = 64 products.
     let expected = f64::from(2u32.pow(z.iter().sum::<u32>()));
     let head_machine = mapping.machine_of(TaskId(0));
     assert!((periods.of(head_machine).value() - expected * w).abs() < 1e-9);
     // And it is the critical machine, as the reduction requires.
-    assert_eq!(periods.system_period().value(), periods.of(head_machine).value());
+    assert_eq!(
+        periods.system_period().value(),
+        periods.of(head_machine).value()
+    );
 }
 
 // Helper so the test above reads naturally (the mapping is used as-is).
@@ -128,6 +138,9 @@ fn join_requires_products_on_every_branch() {
     let inputs = demands.required_inputs(instance.application(), 10);
     assert_eq!(inputs.len(), 2, "Figure 1 has two entry tasks");
     for (_, count) in inputs {
-        assert!(count > 10, "failures must inflate the raw-product requirement");
+        assert!(
+            count > 10,
+            "failures must inflate the raw-product requirement"
+        );
     }
 }

@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this repository has no crates.io access, so this
+//! crate implements the *exact API subset* the `mf-bench` targets use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's bootstrap statistics it reports min / median / mean
+//! over `sample_size` timed samples (after one untimed warm-up), which is
+//! plenty to compare orders of magnitude and catch regressions by eye. To
+//! switch to the real harness, point the `criterion` entry of
+//! `[workspace.dependencies]` back at the registry; no call site changes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Runs the measured closure and collects timing samples.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample (after one untimed warm-up call).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<50} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, mirroring criterion's rendering.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// A parameter-only id (`criterion::BenchmarkId::from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The harness entry point: holds defaults (sample size) and runs benchmarks.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, &mut bencher.samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== group {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I: Display, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &mut bencher.samples);
+        self
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &mut bencher.samples);
+        self
+    }
+
+    /// Ends the group (purely cosmetic in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, optionally with a configured
+/// [`Criterion`] (both forms of the upstream macro are accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test` pass harness flags (`--bench`,
+            // `--test`, filters); the stand-in accepts and ignores them, but
+            // honours `--test` (compile/smoke mode) by skipping execution.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0usize;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // one warm-up + five samples
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn groups_inherit_and_override_sample_size() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("case", 1), &10usize, |b, &ten| {
+            b.iter(|| {
+                runs += 1;
+                black_box(ten)
+            })
+        });
+        group.sample_size(7);
+        let mut runs2 = 0usize;
+        group.bench_function("plain", |b| {
+            b.iter(|| {
+                runs2 += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 4);
+        assert_eq!(runs2, 8);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("hungarian", 50).to_string(),
+            "hungarian/50"
+        );
+        assert_eq!(BenchmarkId::from_parameter(99).to_string(), "99");
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate re-implements the *exact API subset* the workspace uses —
+//! [`Rng::gen_range`], [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`] and [`seq::SliceRandom::choose`] — on top of a
+//! deterministic xoshiro256++ generator seeded through SplitMix64.
+//!
+//! The statistical properties are excellent for simulation purposes, but the
+//! byte streams do **not** match upstream `rand` (whose `StdRng` is ChaCha12);
+//! all determinism guarantees in this workspace are therefore *internal*:
+//! the same seed always yields the same stream on every platform and thread
+//! count, which is what the experiment harness relies on.
+//!
+//! To switch to the real crate, point the `rand` entry of
+//! `[workspace.dependencies]` back at the registry; no call site changes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// A source of random 64-bit words — the minimal core every generator
+/// implements.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the full
+    /// internal state with SplitMix64 (the procedure upstream `rand`
+    /// documents for `seed_from_u64`).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive, integer or
+    /// float).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        distributions::unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Uniform sampling machinery backing [`Rng::gen_range`].
+pub mod distributions {
+    use super::RngCore;
+
+    /// Converts 64 random bits into a uniform `f64` in `[0, 1)` using the
+    /// top 53 bits.
+    pub(crate) fn unit_f64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A range that knows how to sample a uniform `T` from itself.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps a random word onto `[0, bound)` with the widening-multiply
+    /// technique (bias < 2⁻⁶⁴·bound, negligible for simulation workloads and,
+    /// crucially, branch-free and deterministic).
+    fn bounded(word: u64, bound: u64) -> u64 {
+        ((u128::from(word) * u128::from(bound)) >> 64) as u64
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + bounded(rng.next_u64(), span) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every word is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + bounded(rng.next_u64(), span) as $t
+                }
+            }
+        )*};
+    }
+    int_ranges!(usize, u64, u32, u16, u8);
+
+    macro_rules! float_ranges {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let u = unit_f64(rng.next_u64()) as $t;
+                    self.start + u * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let u = unit_f64(rng.next_u64()) as $t;
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_ranges!(f64, f32);
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Small (4 words of state), fast, passes BigCrush, and — unlike
+    /// upstream's ChaCha12-based `StdRng` — trivially implementable without
+    /// dependencies. Streams differ from upstream `rand`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro
+            // authors: guarantees a non-zero state for every seed.
+            let mut z = seed;
+            let mut next = || {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^ (x >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers ([`SliceRandom`]).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0..1_000_000usize),
+                b.gen_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2.5..=9.5f64);
+            assert!((2.5..=9.5).contains(&y));
+            let z = rng.gen_range(0..=0usize);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_hits_both_sides_and_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "≈30% expected, got {hits}");
+        assert!(!(0..1_000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1_000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn float_ranges_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean = (0..20_000).map(|_| rng.gen_range(0.0..1.0f64)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "uniform mean ≈ 0.5, got {mean}");
+    }
+
+    #[test]
+    fn choose_is_uniformish_and_total() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items = [1, 2, 3, 4];
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[*items.choose(&mut rng).unwrap() as usize - 1] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 1_500), "counts {counts:?}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment of this repository has no crates.io access, so this
+//! crate implements the *exact API subset* the workspace uses — indexed
+//! parallel iterators over ranges and slices ([`prelude::IntoParallelIterator`],
+//! [`prelude::ParallelIterator::map`], `collect`), [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`], [`current_num_threads`] and [`join`] — on top of
+//! `std::thread::scope`.
+//!
+//! Work distribution is dynamic (a shared atomic index doles out items to
+//! whichever worker is free), but results are assembled **by item index**, so
+//! the output of `map(...).collect()` is identical for every thread count —
+//! the property the batch-evaluation engine's determinism tests pin down.
+//!
+//! To switch to the real crate, point the `rayon` entry of
+//! `[workspace.dependencies]` back at the registry; no call site changes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`] for the
+    /// duration of a closure on the calling thread.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel operations started from this thread will
+/// use: the innermost [`ThreadPool::install`] override, or one per available
+/// CPU.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_num_threads)
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The stand-in builder
+/// cannot actually fail; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (one thread per available CPU).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads. `0` means "use the default".
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool. Never fails in the stand-in implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => default_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A logical thread pool: parallel operations run inside
+/// [`ThreadPool::install`] use its thread count.
+///
+/// Unlike real rayon this stand-in spawns scoped threads per operation rather
+/// than keeping workers alive; for the coarse-grained work units of this
+/// workspace (instance generation + heuristic evaluation) the spawn cost is
+/// noise.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// operation started (transitively, on this thread) inside it.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, RA, B, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(b);
+            (a(), hb.join().expect("rayon::join closure panicked"))
+        })
+    }
+}
+
+pub mod iter {
+    //! The parallel-iterator subset: sources with known length and
+    //! index-addressable items, composed with `map`, executed by an atomic
+    //! work counter over scoped threads.
+
+    use super::current_num_threads;
+    use super::AtomicUsize;
+    use super::Ordering;
+
+    /// An indexed source of items: the backbone of every stand-in parallel
+    /// iterator. Each item is produced independently from its index, which is
+    /// what makes order-stable parallel collection possible.
+    pub trait IndexedSource: Sync {
+        /// The item type.
+        type Item: Send;
+        /// Number of items.
+        fn len(&self) -> usize;
+        /// `true` when the source has no items.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+        /// Produces item `i` (`i < self.len()`). Must be pure w.r.t. `i`.
+        fn item(&self, i: usize) -> Self::Item;
+    }
+
+    /// A parallel iterator over an [`IndexedSource`].
+    #[derive(Debug)]
+    pub struct ParIter<S> {
+        source: S,
+    }
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The item type.
+        type Item: Send;
+        /// The concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Borrowing conversion (`par_iter` on slices and vectors).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The item type (a reference).
+        type Item: Send;
+        /// The concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// A parallel iterator over references to `self`'s elements.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// The operations available on every stand-in parallel iterator.
+    pub trait ParallelIterator: Sized {
+        /// The item type.
+        type Item: Send;
+
+        /// The underlying indexed source.
+        type Source: IndexedSource<Item = Self::Item>;
+
+        /// Unwraps the source.
+        fn into_source(self) -> Self::Source;
+
+        /// Maps every item through `f`.
+        fn map<F, R>(self, f: F) -> ParIter<MapSource<Self::Source, F>>
+        where
+            F: Fn(Self::Item) -> R + Sync,
+            R: Send,
+        {
+            ParIter {
+                source: MapSource {
+                    inner: self.into_source(),
+                    f,
+                },
+            }
+        }
+
+        /// Executes the iterator on the current pool and collects the results
+        /// **in item-index order**, regardless of thread count or scheduling.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter_vec(execute(&self.into_source()))
+        }
+
+        /// Executes the iterator for its side effects.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let source = MapSource {
+                inner: self.into_source(),
+                f: |item| f(item),
+            };
+            let _ = execute(&source);
+        }
+
+        /// Sums the items.
+        fn sum<T>(self) -> T
+        where
+            T: std::iter::Sum<Self::Item>,
+        {
+            execute(&self.into_source()).into_iter().sum()
+        }
+    }
+
+    /// Collection types buildable from a parallel iterator.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from the already-ordered item vector.
+        fn from_par_iter_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    impl<S: IndexedSource> ParallelIterator for ParIter<S> {
+        type Item = S::Item;
+        type Source = S;
+
+        fn into_source(self) -> S {
+            self.source
+        }
+    }
+
+    /// Source adapter applying a function to an inner source's items.
+    #[derive(Debug)]
+    pub struct MapSource<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, R> IndexedSource for MapSource<S, F>
+    where
+        S: IndexedSource,
+        F: Fn(S::Item) -> R + Sync,
+        R: Send,
+    {
+        type Item = R;
+
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn item(&self, i: usize) -> R {
+            (self.f)(self.inner.item(i))
+        }
+    }
+
+    /// Range source (`(0..n).into_par_iter()`).
+    #[derive(Debug)]
+    pub struct RangeSource {
+        start: usize,
+        len: usize,
+    }
+
+    impl IndexedSource for RangeSource {
+        type Item = usize;
+
+        fn len(&self) -> usize {
+            self.len
+        }
+
+        fn item(&self, i: usize) -> usize {
+            self.start + i
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParIter<RangeSource>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            let len = self.end.saturating_sub(self.start);
+            ParIter {
+                source: RangeSource {
+                    start: self.start,
+                    len,
+                },
+            }
+        }
+    }
+
+    /// Slice source (`slice.par_iter()`).
+    #[derive(Debug)]
+    pub struct SliceSource<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> IndexedSource for SliceSource<'data, T> {
+        type Item = &'data T;
+
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn item(&self, i: usize) -> &'data T {
+            &self.slice[i]
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = ParIter<SliceSource<'data, T>>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            ParIter {
+                source: SliceSource { slice: self },
+            }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = ParIter<SliceSource<'data, T>>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            ParIter {
+                source: SliceSource { slice: self },
+            }
+        }
+    }
+
+    /// Evaluates every item of `source` on the ambient pool and returns them
+    /// in index order.
+    fn execute<S: IndexedSource>(source: &S) -> Vec<S::Item> {
+        let len = source.len();
+        let threads = current_num_threads().clamp(1, len.max(1));
+        if threads == 1 || len <= 1 {
+            return (0..len).map(|i| source.item(i)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, S::Item)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break;
+                            }
+                            local.push((i, source.item(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel iterator worker panicked"))
+                .collect()
+        });
+
+        let mut out: Vec<Option<S::Item>> = (0..len).map(|_| None).collect();
+        for part in parts {
+            for (i, value) in part {
+                debug_assert!(out[i].is_none(), "item {i} computed twice");
+                out[i] = Some(value);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index is claimed by exactly one worker"))
+            .collect()
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &v) in squares.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn identical_output_for_every_thread_count() {
+        let reference: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<usize> =
+                pool.install(|| (0..257usize).into_par_iter().map(|i| i * 3 + 1).collect());
+            assert_eq!(got, reference, "thread count {threads} changed the output");
+        }
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(
+            current_num_threads(),
+            outside,
+            "install must restore on exit"
+        );
+    }
+
+    #[test]
+    fn slices_iterate_by_reference() {
+        let data = vec![10u64, 20, 30, 40];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![20, 40, 60, 80]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = (7..8usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}
