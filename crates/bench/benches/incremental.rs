@@ -1,0 +1,120 @@
+//! Incremental vs. full-recompute candidate evaluation.
+//!
+//! The workload the H6 local search actually generates: evaluate the period
+//! of a mapping that differs from the current one by a single-task move or a
+//! two-task swap, at the evaluation-scale size n = 100, m = 20. The
+//! `full_*` variants rebuild the candidate mapping and recompute every
+//! demand and machine load from scratch (what a sweep without the
+//! [`IncrementalEvaluator`] must do); the `incremental_*` variants answer
+//! from the cached state in `O(affected tasks + log m)`.
+//!
+//! The ≥ 10× speedup itself is pinned by the (ignored, CI-probed)
+//! `incremental_speedup` integration test of this crate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mf_bench::standard_instance;
+use mf_core::prelude::*;
+use mf_heuristics::{H4wFastestMachine, Heuristic};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TASKS: usize = 100;
+const MACHINES: usize = 20;
+
+type Fixture = (
+    Instance,
+    Mapping,
+    Vec<(TaskId, MachineId)>,
+    Vec<(TaskId, TaskId)>,
+);
+
+fn setup() -> Fixture {
+    let instance = standard_instance(TASKS, MACHINES, 5, 42);
+    let mapping = H4wFastestMachine
+        .map(&instance)
+        .expect("m >= p so H4w succeeds");
+    let mut rng = StdRng::seed_from_u64(7);
+    let moves: Vec<(TaskId, MachineId)> = (0..1024)
+        .map(|_| {
+            (
+                TaskId(rng.gen_range(0..TASKS)),
+                MachineId(rng.gen_range(0..MACHINES)),
+            )
+        })
+        .collect();
+    let swaps: Vec<(TaskId, TaskId)> = (0..1024)
+        .map(|_| {
+            (
+                TaskId(rng.gen_range(0..TASKS)),
+                TaskId(rng.gen_range(0..TASKS)),
+            )
+        })
+        .collect();
+    (instance, mapping, moves, swaps)
+}
+
+fn incremental_vs_full(c: &mut Criterion) {
+    let (instance, mapping, moves, swaps) = setup();
+    let mut group = c.benchmark_group("incremental_eval");
+
+    group.bench_function("full_recompute_move", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (task, to) = moves[i % moves.len()];
+            i += 1;
+            let mut assignment = mapping.as_slice().to_vec();
+            assignment[task.index()] = to;
+            let candidate = Mapping::new(assignment, MACHINES).unwrap();
+            black_box(instance.period(&candidate).unwrap())
+        })
+    });
+    group.bench_function("incremental_move", |b| {
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (task, to) = moves[i % moves.len()];
+            i += 1;
+            black_box(eval.evaluate_move(task, to).unwrap())
+        })
+    });
+
+    group.bench_function("full_recompute_swap", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (a, s) = swaps[i % swaps.len()];
+            i += 1;
+            let mut assignment = mapping.as_slice().to_vec();
+            assignment.swap(a.index(), s.index());
+            let candidate = Mapping::new(assignment, MACHINES).unwrap();
+            black_box(instance.period(&candidate).unwrap())
+        })
+    });
+    group.bench_function("incremental_swap", |b| {
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (a, s) = swaps[i % swaps.len()];
+            i += 1;
+            black_box(eval.evaluate_swap(a, s).unwrap())
+        })
+    });
+
+    group.bench_function("incremental_committed_walk", |b| {
+        // A drifting search trajectory: commit every proposed move.
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (task, to) = moves[i % moves.len()];
+            i += 1;
+            black_box(eval.apply_move(task, to).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = incremental_vs_full
+}
+criterion_main!(benches);

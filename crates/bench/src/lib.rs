@@ -8,7 +8,10 @@
 //! * `substrates` — simplex, Hungarian, bottleneck assignment and the
 //!   discrete-event simulator;
 //! * `ablations` — the design-choice ablations listed in DESIGN.md
-//!   (H4 scoring rule, binary-search tolerance, exact-solver choice).
+//!   (H4 scoring rule, binary-search tolerance, exact-solver choice);
+//! * `incremental` — incremental move/swap evaluation vs. a full recompute
+//!   (the ≥ 10× bar itself is pinned by the ignored `incremental_speedup`
+//!   integration test, probed non-blocking in CI).
 //!
 //! This library crate only provides deterministic instance fixtures shared by
 //! those benches.

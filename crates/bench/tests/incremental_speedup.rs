@@ -1,0 +1,93 @@
+//! Wall-clock probe: incremental move evaluation must beat a full recompute
+//! by ≥ 10× at the evaluation-scale size n = 100, m = 20.
+//!
+//! Timing on shared runners is noisy, so — like the batch-runner speedup
+//! probe in `mf-experiments` — this test is `#[ignore]`d under the regular
+//! parallel harness and CI runs it in a dedicated non-blocking step
+//! (`cargo test --release -p mf-bench --test incremental_speedup --
+//! --ignored`). Run it locally with `--release`; a debug build underestimates
+//! the gap because the full recompute's allocations dominate differently.
+
+use mf_bench::standard_instance;
+use mf_core::prelude::*;
+use mf_heuristics::{H4wFastestMachine, Heuristic};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const TASKS: usize = 100;
+const MACHINES: usize = 20;
+const ROUNDS: usize = 20_000;
+
+#[test]
+#[ignore = "wall-clock probe: run in isolation with --release (CI does, non-blocking)"]
+fn incremental_move_evaluation_is_at_least_ten_times_faster() {
+    let instance = standard_instance(TASKS, MACHINES, 5, 42);
+    let mapping = H4wFastestMachine.map(&instance).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let moves: Vec<(TaskId, MachineId)> = (0..ROUNDS)
+        .map(|_| {
+            (
+                TaskId(rng.gen_range(0..TASKS)),
+                MachineId(rng.gen_range(0..MACHINES)),
+            )
+        })
+        .collect();
+
+    // Both sides compute the same periods — checked while warming up.
+    let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+    for &(task, to) in moves.iter().take(512) {
+        let mut assignment = mapping.as_slice().to_vec();
+        assignment[task.index()] = to;
+        let candidate = Mapping::new(assignment, MACHINES).unwrap();
+        let full = instance.period(&candidate).unwrap().value();
+        let fast = eval.evaluate_move(task, to).unwrap().period.value();
+        assert!(
+            (full - fast).abs() <= 1e-9 * full.max(1.0),
+            "move ({task:?} -> {to:?}): full {full} vs incremental {fast}"
+        );
+    }
+
+    // Best-of-three timing on each side filters scheduler hiccups.
+    let time_full = best_of(3, || {
+        let mut acc = 0.0f64;
+        for &(task, to) in &moves {
+            let mut assignment = mapping.as_slice().to_vec();
+            assignment[task.index()] = to;
+            let candidate = Mapping::new(assignment, MACHINES).unwrap();
+            acc += instance.period(&candidate).unwrap().value();
+        }
+        acc
+    });
+    let time_incremental = best_of(3, || {
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let mut acc = 0.0f64;
+        for &(task, to) in &moves {
+            acc += eval.evaluate_move(task, to).unwrap().period.value();
+        }
+        acc
+    });
+
+    let speedup = time_full.as_secs_f64() / time_incremental.as_secs_f64();
+    assert!(
+        speedup >= 10.0,
+        "expected >= 10x at n = {TASKS}, m = {MACHINES}; got {speedup:.1}x \
+         (full {time_full:?}, incremental {time_incremental:?} for {ROUNDS} moves)"
+    );
+    println!(
+        "incremental speedup at n = {TASKS}, m = {MACHINES}: {speedup:.1}x \
+         (full {time_full:?}, incremental {time_incremental:?})"
+    );
+}
+
+fn best_of(runs: usize, mut work: impl FnMut() -> f64) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    let mut checksum = 0.0;
+    for _ in 0..runs {
+        let start = Instant::now();
+        checksum += work();
+        best = best.min(start.elapsed());
+    }
+    assert!(checksum.is_finite());
+    best
+}

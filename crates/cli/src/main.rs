@@ -63,7 +63,8 @@ COMMANDS:
   evaluate   print the period, throughput and per-machine loads of a mapping
   simulate   run the discrete-event simulation of a mapping
 
-HEURISTICS: h1, h2, h3, h4, h4w, h4f (use --all to compare every heuristic)";
+HEURISTICS: h1, h2, h3, h4, h4w, h4f, plus h6 — local-search polishing of h4w
+            (h6-h1 … h6-h4f polish an explicit heuristic; use --all to compare)";
 
 fn generate(args: &Arguments) -> std::result::Result<(), String> {
     let tasks = args.usize_flag("tasks").ok_or("missing --tasks")?;
@@ -94,14 +95,16 @@ fn load_mapping(path: &str) -> std::result::Result<Mapping, String> {
 
 fn heuristic_by_name(name: &str) -> std::result::Result<Box<dyn Heuristic + Send + Sync>, String> {
     // Normalize the user's casing to the registry's canonical names
-    // (H1…H4f), then delegate to the single source of truth.
-    all_paper_heuristics(1)
-        .iter()
-        .map(|h| h.name().to_string())
+    // (H1…H4f, H6, H6-…), then delegate to the single source of truth.
+    mf_heuristics::registry_names()
+        .into_iter()
         .find(|canonical| canonical.eq_ignore_ascii_case(name))
         .and_then(|canonical| mf_heuristics::paper_heuristic(&canonical, 1))
         .ok_or_else(|| {
-            format!("unknown heuristic `{name}` (expected one of H1, H2, H3, H4, H4w, H4f)")
+            format!(
+                "unknown heuristic `{name}` (expected one of {})",
+                mf_heuristics::registry_names().join(", ")
+            )
         })
 }
 
@@ -113,7 +116,10 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
             "{:<6} {:>12} {:>16}",
             "name", "period(ms)", "throughput(/s)"
         );
-        for heuristic in all_paper_heuristics(1) {
+        for heuristic in all_paper_heuristics(1)
+            .into_iter()
+            .chain(mf_heuristics::paper_heuristic("H6", 1))
+        {
             match heuristic.period(&instance) {
                 Ok(period) => eprintln!(
                     "{:<6} {:>12.1} {:>16.4}",

@@ -1,0 +1,844 @@
+//! Incremental re-evaluation of mapping *moves* and *swaps*.
+//!
+//! Every candidate evaluated through [`MachinePeriods::compute`] pays a full
+//! `O(n + m)` recompute (two vector allocations, a demand walk over all `n`
+//! tasks and a load walk over all machines). A local search explores
+//! thousands of neighbors that each differ from the current mapping in one or
+//! two tasks, and for such a change only the changed tasks and their
+//! *ancestors* (the tasks upstream of them in the in-forest) can see their
+//! demand `xᵢ` change — everything downstream is untouched.
+//!
+//! [`IncrementalEvaluator`] exploits this: it caches per-task demands,
+//! factors and load contributions plus per-machine loads, and re-evaluates a
+//! single-task move or a two-task swap in `O(affected tasks + k·log m)` where
+//! `k` is the number of machines whose load actually changes. The system
+//! period and the critical machine are maintained in a **tournament tree**
+//! over the machine periods, so committed state answers both in `O(1)` and a
+//! what-if evaluation updates/reverts only the touched leaves (falling back
+//! to a linear scan when so many machines are touched that the scan is
+//! cheaper).
+//!
+//! Demands are recomputed *exactly* along the affected subtree (not scaled by
+//! a ratio), so the cached demand vector stays bit-identical to a from-scratch
+//! [`demands`](crate::demand::demands) computation after any number of
+//! committed operations; machine loads are maintained by deltas and agree
+//! with a full recompute to floating-point accumulation order (≤ 1e-9
+//! relative in practice — the bound the differential test harness pins).
+
+use crate::error::{ModelError, Result};
+use crate::ids::{MachineId, TaskId};
+use crate::instance::Instance;
+use crate::mapping::Mapping;
+use crate::period::Period;
+
+/// A max-tournament (segment) tree over per-machine loads.
+///
+/// Leaves hold `(load, machine index)`; every internal node holds the better
+/// of its children, preferring the *lower* machine index on ties so the
+/// critical machine is deterministic. The root is the system period.
+#[derive(Debug, Clone)]
+struct TournamentTree {
+    /// Number of leaves (next power of two ≥ machine count).
+    capacity: usize,
+    /// Heap layout: node 1 is the root, leaves start at `capacity`.
+    nodes: Vec<(f64, usize)>,
+}
+
+impl TournamentTree {
+    fn new(loads: &[f64]) -> Self {
+        let capacity = loads.len().next_power_of_two().max(1);
+        let mut nodes = vec![(f64::NEG_INFINITY, usize::MAX); 2 * capacity];
+        for (u, &load) in loads.iter().enumerate() {
+            nodes[capacity + u] = (load, u);
+        }
+        for i in (1..capacity).rev() {
+            nodes[i] = Self::better(nodes[2 * i], nodes[2 * i + 1]);
+        }
+        TournamentTree { capacity, nodes }
+    }
+
+    /// Max with lowest-index tie-break (`a` is always the left, lower-index
+    /// child when called on siblings).
+    #[inline]
+    fn better(a: (f64, usize), b: (f64, usize)) -> (f64, usize) {
+        if b.0 > a.0 {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Sets the load of one machine and repairs the path to the root.
+    fn update(&mut self, machine: usize, load: f64) {
+        let mut i = self.capacity + machine;
+        self.nodes[i].0 = load;
+        while i > 1 {
+            i /= 2;
+            self.nodes[i] = Self::better(self.nodes[2 * i], self.nodes[2 * i + 1]);
+        }
+    }
+
+    /// The `(system period, critical machine)` pair.
+    #[inline]
+    fn root(&self) -> (f64, usize) {
+        self.nodes[1]
+    }
+
+    /// Number of node writes one leaf update costs (the tree height).
+    #[inline]
+    fn height(&self) -> usize {
+        self.capacity.trailing_zeros() as usize + 1
+    }
+}
+
+/// The outcome of evaluating or applying a move/swap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// The system period of the candidate (or, for `apply_*`, new) mapping.
+    pub period: Period,
+    /// The machine achieving that period (lowest index on exact ties).
+    pub critical_machine: MachineId,
+}
+
+/// Incremental evaluator for single-task moves and two-task swaps.
+///
+/// ```
+/// use mf_core::prelude::*;
+///
+/// let app = Application::linear_chain(&[0, 1, 0]).unwrap();
+/// let platform = Platform::from_type_times(2, vec![vec![100.0, 200.0], vec![300.0, 150.0]]).unwrap();
+/// let failures = FailureModel::uniform(3, 2, FailureRate::new(0.1).unwrap());
+/// let instance = Instance::new(app, platform, failures).unwrap();
+/// let mapping = Mapping::from_indices(&[0, 1, 0], 2).unwrap();
+///
+/// let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+/// let before = eval.period();
+/// // What-if: moving T1 to M1 — the evaluator state is untouched.
+/// let what_if = eval.evaluate_move(TaskId(0), MachineId(1)).unwrap();
+/// assert_eq!(eval.period(), before);
+/// // Committing the move matches the what-if answer.
+/// let committed = eval.apply_move(TaskId(0), MachineId(1)).unwrap();
+/// assert_eq!(committed.period, what_if.period);
+/// assert_eq!(instance.period(&eval.mapping()).unwrap(), committed.period);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalEvaluator<'a> {
+    instance: &'a Instance,
+    assignment: Vec<MachineId>,
+    /// Start demand `xᵢ`, bit-identical to [`crate::demand::demands`] for the
+    /// current assignment.
+    demand: Vec<f64>,
+    /// Cached failure factor `F_{i,a(i)}`.
+    factor: Vec<f64>,
+    /// Cached processing time `w_{i,a(i)}`.
+    weight: Vec<f64>,
+    /// Cached load contribution `xᵢ · w_{i,a(i)}`.
+    contribution: Vec<f64>,
+    /// Per-machine load (sum of contributions, maintained by deltas).
+    load: Vec<f64>,
+    tree: TournamentTree,
+    // --- allocation-free scratch, reused across evaluations ---
+    /// DFS stack of the ancestor walk.
+    stack: Vec<TaskId>,
+    /// Candidate demands of the affected tasks (valid when the stamp matches).
+    overlay: Vec<f64>,
+    task_stamp: Vec<u64>,
+    /// Accumulated load delta per machine (valid when the stamp matches).
+    delta: Vec<f64>,
+    machine_stamp: Vec<u64>,
+    /// Machines touched by the current operation.
+    dirty: Vec<usize>,
+    epoch: u64,
+    /// `true` when the application is a linear chain in index order, which
+    /// unlocks the dense what-if fast path (ancestors of task `i` are exactly
+    /// the tasks `0..i`, and their demands scale by a single ratio).
+    chain: bool,
+    /// Lazily-built prefix mass rows for the dense chain path: row `i` holds,
+    /// per machine, the total contribution of tasks `0..i`. Allocated on
+    /// first use, valid while `row_stamp[i] == row_epoch`.
+    mass_rows: Vec<f64>,
+    row_stamp: Vec<u64>,
+    /// Bumped by every commit — committed contributions change a whole
+    /// prefix, so all cached rows go stale at once.
+    row_epoch: u64,
+}
+
+/// Machine-count bound under which the dense chain what-if (prefix mass rows
+/// plus one full machine scan) beats the sparse stamped walk with its
+/// tournament-tree update/revert.
+const DENSE_SCAN_LIMIT: usize = 512;
+
+/// Cap on the `tasks × machines` size of the prefix-mass row cache (8 MiB of
+/// `f64`s). Larger instances fall back to the generic walk.
+const DENSE_CACHE_ENTRIES: usize = 1 << 20;
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Builds the evaluator from a complete mapping.
+    ///
+    /// The initial demands and loads are computed exactly as
+    /// [`MachinePeriods::compute`](crate::period::MachinePeriods::compute)
+    /// does (same operations in the same order), so the starting state is
+    /// bit-identical to a full evaluation.
+    pub fn new(instance: &'a Instance, mapping: &Mapping) -> Result<Self> {
+        let x = instance.demands(mapping)?;
+        if mapping.machine_count() != instance.machine_count() {
+            return Err(ModelError::DimensionMismatch {
+                context: "incremental evaluator machine count",
+                expected: instance.machine_count(),
+                actual: mapping.machine_count(),
+            });
+        }
+        let n = instance.task_count();
+        let m = instance.machine_count();
+        let assignment: Vec<MachineId> = mapping.as_slice().to_vec();
+        let mut factor = vec![0.0f64; n];
+        let mut weight = vec![0.0f64; n];
+        let mut contribution = vec![0.0f64; n];
+        let mut load = vec![0.0f64; m];
+        for task in instance.application().tasks() {
+            let i = task.id.index();
+            let machine = assignment[i];
+            factor[i] = instance.factor(task.id, machine);
+            weight[i] = instance.time(task.id, machine);
+            contribution[i] = x.get(task.id) * weight[i];
+            load[machine.index()] += contribution[i];
+        }
+        let tree = TournamentTree::new(&load);
+        let chain = instance.application().is_linear_chain();
+        Ok(IncrementalEvaluator {
+            instance,
+            assignment,
+            demand: x.as_slice().to_vec(),
+            factor,
+            weight,
+            contribution,
+            load,
+            tree,
+            stack: Vec::with_capacity(n),
+            overlay: vec![0.0; n],
+            task_stamp: vec![0; n],
+            delta: vec![0.0; m],
+            machine_stamp: vec![0; m],
+            dirty: Vec::with_capacity(m),
+            epoch: 0,
+            chain,
+            mass_rows: Vec::new(),
+            row_stamp: Vec::new(),
+            row_epoch: 1,
+        })
+    }
+
+    /// `true` when the dense chain fast path applies to what-if evaluations.
+    #[inline]
+    fn dense(&self) -> bool {
+        self.chain
+            && self.load.len() <= DENSE_SCAN_LIMIT
+            && self.assignment.len().saturating_mul(self.load.len()) <= DENSE_CACHE_ENTRIES
+    }
+
+    /// Ensures the prefix mass row of task `i` is valid and returns its range
+    /// within `mass_rows`.
+    fn ensure_mass_row(&mut self, i: usize) -> std::ops::Range<usize> {
+        let n = self.assignment.len();
+        let m = self.load.len();
+        if self.mass_rows.is_empty() {
+            self.mass_rows = vec![0.0; n * m];
+            self.row_stamp = vec![0; n];
+        }
+        let range = i * m..(i + 1) * m;
+        if self.row_stamp[i] != self.row_epoch {
+            let (row, assignment, contribution) = (
+                &mut self.mass_rows[range.clone()],
+                &self.assignment,
+                &self.contribution,
+            );
+            row.fill(0.0);
+            for (machine, c) in assignment[..i].iter().zip(&contribution[..i]) {
+                row[machine.index()] += *c;
+            }
+            self.row_stamp[i] = self.row_epoch;
+        }
+        range
+    }
+
+    /// The instance being evaluated.
+    #[inline]
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// The machine currently executing a task.
+    #[inline]
+    pub fn machine_of(&self, task: TaskId) -> MachineId {
+        self.assignment[task.index()]
+    }
+
+    /// The cached start demand `xᵢ` of a task.
+    #[inline]
+    pub fn demand_of(&self, task: TaskId) -> f64 {
+        self.demand[task.index()]
+    }
+
+    /// The cached load of a machine.
+    #[inline]
+    pub fn load_of(&self, machine: MachineId) -> f64 {
+        self.load[machine.index()]
+    }
+
+    /// All machine loads, indexed by machine.
+    #[inline]
+    pub fn loads(&self) -> &[f64] {
+        &self.load
+    }
+
+    /// The current system period (the tournament-tree root, `O(1)`).
+    #[inline]
+    pub fn period(&self) -> Period {
+        Period::new(self.tree.root().0)
+    }
+
+    /// The current critical machine (lowest index on exact ties, `O(1)`).
+    #[inline]
+    pub fn critical_machine(&self) -> MachineId {
+        MachineId(self.tree.root().1)
+    }
+
+    /// Materialises the current assignment as a [`Mapping`].
+    pub fn mapping(&self) -> Mapping {
+        Mapping::new(self.assignment.clone(), self.load.len())
+            .expect("the evaluator only ever stores in-range machines")
+    }
+
+    /// What-if evaluation of moving `task` to machine `to`. The evaluator
+    /// state is left untouched.
+    pub fn evaluate_move(&mut self, task: TaskId, to: MachineId) -> Result<Evaluation> {
+        self.check(task, to)?;
+        if self.assignment[task.index()] == to {
+            return Ok(self.current());
+        }
+        if self.dense() {
+            return Ok(self.chain_move_what_if(task, to));
+        }
+        Ok(self.operate(&[(task, to)], false))
+    }
+
+    /// What-if evaluation of exchanging the machines of tasks `a` and `b`.
+    /// The evaluator state is left untouched.
+    pub fn evaluate_swap(&mut self, a: TaskId, b: TaskId) -> Result<Evaluation> {
+        let Some((to_a, to_b)) = self.swap_machines(a, b)? else {
+            return Ok(self.current());
+        };
+        if self.dense() {
+            return Ok(self.chain_swap_what_if(a, b));
+        }
+        Ok(self.operate(&[(a, to_a), (b, to_b)], false))
+    }
+
+    /// Commits a move: `task` now runs on `to`. Returns the new period and
+    /// critical machine.
+    pub fn apply_move(&mut self, task: TaskId, to: MachineId) -> Result<Evaluation> {
+        self.check(task, to)?;
+        if self.assignment[task.index()] == to {
+            return Ok(self.current());
+        }
+        Ok(self.operate(&[(task, to)], true))
+    }
+
+    /// Commits a swap of the machines of tasks `a` and `b`.
+    pub fn apply_swap(&mut self, a: TaskId, b: TaskId) -> Result<Evaluation> {
+        let machines = self.swap_machines(a, b)?;
+        let Some((to_a, to_b)) = machines else {
+            return Ok(self.current());
+        };
+        Ok(self.operate(&[(a, to_a), (b, to_b)], true))
+    }
+
+    /// The current `(period, critical machine)` pair.
+    #[inline]
+    fn current(&self) -> Evaluation {
+        let (period, machine) = self.tree.root();
+        Evaluation {
+            period: Period::new(period),
+            critical_machine: MachineId(machine),
+        }
+    }
+
+    fn check(&self, task: TaskId, machine: MachineId) -> Result<()> {
+        if task.index() >= self.assignment.len() {
+            return Err(ModelError::UnknownTask {
+                task: task.index(),
+                task_count: self.assignment.len(),
+            });
+        }
+        if machine.index() >= self.load.len() {
+            return Err(ModelError::UnknownMachine {
+                machine: machine.index(),
+                machine_count: self.load.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates a swap and returns the target machines `(a → m_b, b → m_a)`,
+    /// or `None` when the swap is a no-op.
+    fn swap_machines(&self, a: TaskId, b: TaskId) -> Result<Option<(MachineId, MachineId)>> {
+        let ma = if a.index() < self.assignment.len() {
+            self.assignment[a.index()]
+        } else {
+            return Err(ModelError::UnknownTask {
+                task: a.index(),
+                task_count: self.assignment.len(),
+            });
+        };
+        let mb = if b.index() < self.assignment.len() {
+            self.assignment[b.index()]
+        } else {
+            return Err(ModelError::UnknownTask {
+                task: b.index(),
+                task_count: self.assignment.len(),
+            });
+        };
+        if a == b || ma == mb {
+            return Ok(None);
+        }
+        Ok(Some((mb, ma)))
+    }
+
+    /// `true` when `b` is reachable from `a` along successor links (i.e. `a`
+    /// is upstream of `b`, so `a ∈ ancestors(b)`).
+    fn is_upstream(&self, a: TaskId, b: TaskId) -> bool {
+        let app = self.instance.application();
+        let mut current = app.successor(a);
+        while let Some(task) = current {
+            if task == b {
+                return true;
+            }
+            current = app.successor(task);
+        }
+        false
+    }
+
+    /// Evaluates (and, when `commit`, applies) a batch of one or two task
+    /// reassignments. `changes` must target distinct tasks.
+    fn operate(&mut self, changes: &[(TaskId, MachineId)], commit: bool) -> Evaluation {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.dirty.clear();
+        match *changes {
+            [(root, _)] => self.walk(root, changes, commit),
+            [(a, _), (b, _)] => {
+                // The ancestor sets of two tasks in an in-forest are either
+                // nested (one task is upstream of the other) or disjoint: a
+                // shared ancestor's unique successor chain would have to pass
+                // through both tasks. Walk from the dominating root(s).
+                if self.is_upstream(a, b) {
+                    self.walk(b, changes, commit);
+                } else if self.is_upstream(b, a) {
+                    self.walk(a, changes, commit);
+                } else {
+                    self.walk(a, changes, commit);
+                    self.walk(b, changes, commit);
+                }
+            }
+            _ => unreachable!("moves touch one task, swaps touch two"),
+        }
+        if commit {
+            for k in 0..self.dirty.len() {
+                let u = self.dirty[k];
+                self.load[u] += self.delta[u];
+                self.tree.update(u, self.load[u]);
+            }
+            // Committed contributions changed for a whole prefix of tasks:
+            // every cached mass row of the dense path is stale now.
+            self.row_epoch = self.row_epoch.wrapping_add(1);
+            self.current()
+        } else {
+            self.candidate_max()
+        }
+    }
+
+    /// Recomputes the demand of `root` and every ancestor under the effective
+    /// (task → machine) overrides in `changes`, accumulating per-machine load
+    /// deltas. Demands are recomputed exactly (factor times downstream
+    /// demand), never scaled, so committed state cannot drift.
+    fn walk(&mut self, root: TaskId, changes: &[(TaskId, MachineId)], commit: bool) {
+        debug_assert!(self.stack.is_empty());
+        self.stack.push(root);
+        while let Some(task) = self.stack.pop() {
+            let i = task.index();
+            let app = self.instance.application();
+            let moved = changes
+                .iter()
+                .find(|&&(t, _)| t == task)
+                .map(|&(_, machine)| machine);
+            let (machine, factor, weight) = match moved {
+                Some(to) => (
+                    to,
+                    self.instance.factor(task, to),
+                    self.instance.time(task, to),
+                ),
+                None => (self.assignment[i], self.factor[i], self.weight[i]),
+            };
+            let downstream = match app.successor(task) {
+                None => 1.0,
+                Some(succ) if self.task_stamp[succ.index()] == self.epoch => {
+                    self.overlay[succ.index()]
+                }
+                Some(succ) => self.demand[succ.index()],
+            };
+            let x = factor * downstream;
+            self.overlay[i] = x;
+            self.task_stamp[i] = self.epoch;
+            let contribution = x * weight;
+            let previous = self.assignment[i];
+            if machine == previous {
+                self.touch(machine.index(), contribution - self.contribution[i]);
+            } else {
+                self.touch(previous.index(), -self.contribution[i]);
+                self.touch(machine.index(), contribution);
+            }
+            if commit {
+                self.demand[i] = x;
+                self.contribution[i] = contribution;
+                if moved.is_some() {
+                    self.assignment[i] = machine;
+                    self.factor[i] = factor;
+                    self.weight[i] = weight;
+                }
+            }
+            self.stack.extend_from_slice(app.predecessors(task));
+        }
+    }
+
+    /// Dense chain what-if of a move: on a linear chain, changing the failure
+    /// factor of task `i` scales the demand of every ancestor (tasks `0..i`)
+    /// by the single ratio `F_new/F_old`, so the candidate load of machine
+    /// `w` is `load(w) + (r − 1)·mass(w)` — with `mass(w)` the prefix
+    /// contribution mass — plus the moved task's own contribution transfer.
+    /// One prefix pass, one machine scan, no per-task recompute.
+    ///
+    /// Demands are *scaled*, not recomputed, so the answer can differ from a
+    /// full recompute by a few ulp — comfortably within the 1e-9 differential
+    /// bound, and irrelevant for committed state (commits always take the
+    /// exact walk).
+    fn chain_move_what_if(&mut self, task: TaskId, to: MachineId) -> Evaluation {
+        let i = task.index();
+        let from = self.assignment[i].index();
+        let ratio = self.instance.factor(task, to) / self.factor[i];
+        let removed = self.contribution[i];
+        let added = ratio * self.demand[i] * self.instance.time(task, to);
+        let row = self.ensure_mass_row(i);
+        let scale = ratio - 1.0;
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (w, (&load, &mass)) in self.load.iter().zip(&self.mass_rows[row]).enumerate() {
+            let mut value = load + scale * mass;
+            if w == from {
+                value -= removed;
+            }
+            if w == to.index() {
+                value += added;
+            }
+            if value > best.0 {
+                best = (value, w);
+            }
+        }
+        Evaluation {
+            period: Period::new(best.0),
+            critical_machine: MachineId(best.1),
+        }
+    }
+
+    /// Dense chain what-if of a swap: the downstream task's ratio scales
+    /// everything upstream of it, the upstream task's ratio additionally
+    /// scales everything upstream of *it* — two prefix mass rows, one scan.
+    fn chain_swap_what_if(&mut self, a: TaskId, b: TaskId) -> Evaluation {
+        let (lo, hi) = if a.index() < b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let u_lo = self.assignment[lo.index()].index();
+        let u_hi = self.assignment[hi.index()].index();
+        // After the swap: `lo` runs on `u_hi`, `hi` runs on `u_lo`.
+        let r_lo = self.instance.factor(lo, self.assignment[hi.index()]) / self.factor[lo.index()];
+        let r_hi = self.instance.factor(hi, self.assignment[lo.index()]) / self.factor[hi.index()];
+        let x_lo = r_lo * r_hi * self.demand[lo.index()];
+        let x_hi = r_hi * self.demand[hi.index()];
+        let scale_both = r_lo * r_hi - 1.0;
+        let scale_hi = r_hi - 1.0;
+        // Net adjustment of the two machines exchanging tasks. Tasks strictly
+        // between `lo` and `hi` scale by `r_hi` and are counted through
+        // `row_hi − row_lo`; that difference wrongly includes `lo` itself, so
+        // `lo`'s machine compensates with `−scale_hi·c(lo)`.
+        let adj_lo = x_hi * self.instance.time(hi, self.assignment[lo.index()])
+            - self.contribution[lo.index()]
+            - scale_hi * self.contribution[lo.index()];
+        let adj_hi = x_lo * self.instance.time(lo, self.assignment[hi.index()])
+            - self.contribution[hi.index()];
+        let row_lo = self.ensure_mass_row(lo.index());
+        let row_hi = self.ensure_mass_row(hi.index());
+        // value = load + scale_both·mass(<lo) + scale_hi·mass(lo..hi)
+        //       = load + (scale_both − scale_hi)·row_lo + scale_hi·row_hi + …
+        let scale_lo = scale_both - scale_hi;
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (w, (&load, (&mass_lo, &mass_hi))) in self
+            .load
+            .iter()
+            .zip(self.mass_rows[row_lo].iter().zip(&self.mass_rows[row_hi]))
+            .enumerate()
+        {
+            let mut value = load + scale_lo * mass_lo + scale_hi * mass_hi;
+            if w == u_lo {
+                value += adj_lo;
+            }
+            if w == u_hi {
+                value += adj_hi;
+            }
+            if value > best.0 {
+                best = (value, w);
+            }
+        }
+        Evaluation {
+            period: Period::new(best.0),
+            critical_machine: MachineId(best.1),
+        }
+    }
+
+    /// Accumulates a load delta on a machine, registering it as dirty on
+    /// first touch of the current epoch.
+    #[inline]
+    fn touch(&mut self, machine: usize, amount: f64) {
+        if self.machine_stamp[machine] == self.epoch {
+            self.delta[machine] += amount;
+        } else {
+            self.machine_stamp[machine] = self.epoch;
+            self.delta[machine] = amount;
+            self.dirty.push(machine);
+        }
+    }
+
+    /// The candidate `(period, critical machine)` after applying the pending
+    /// deltas, without mutating committed state. Uses the tournament tree
+    /// (update + revert the touched leaves, `O(k·log m)`) when few machines
+    /// changed, otherwise a linear scan — both tie-break to the lowest
+    /// machine index.
+    fn candidate_max(&mut self) -> Evaluation {
+        let m = self.load.len();
+        if 2 * self.dirty.len() * self.tree.height() < m {
+            for k in 0..self.dirty.len() {
+                let u = self.dirty[k];
+                self.tree.update(u, self.load[u] + self.delta[u]);
+            }
+            let (period, machine) = self.tree.root();
+            for k in 0..self.dirty.len() {
+                let u = self.dirty[k];
+                self.tree.update(u, self.load[u]);
+            }
+            Evaluation {
+                period: Period::new(period),
+                critical_machine: MachineId(machine),
+            }
+        } else {
+            let mut best = (f64::NEG_INFINITY, usize::MAX);
+            for u in 0..m {
+                let value = if self.machine_stamp[u] == self.epoch {
+                    self.load[u] + self.delta[u]
+                } else {
+                    self.load[u]
+                };
+                if value > best.0 {
+                    best = (value, u);
+                }
+            }
+            Evaluation {
+                period: Period::new(best.0),
+                critical_machine: MachineId(best.1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::Application;
+    use crate::failure::{FailureModel, FailureRate};
+    use crate::platform::Platform;
+
+    fn instance() -> Instance {
+        // 4-task chain, types 0 1 0 1, on 3 machines with distinct times and
+        // failure rates so every move matters.
+        let app = Application::linear_chain(&[0, 1, 0, 1]).unwrap();
+        let platform = Platform::from_type_times(
+            3,
+            vec![vec![100.0, 200.0, 400.0], vec![300.0, 150.0, 250.0]],
+        )
+        .unwrap();
+        let failures = FailureModel::from_matrix(
+            vec![
+                vec![0.1, 0.0, 0.2],
+                vec![0.0, 0.3, 0.1],
+                vec![0.05, 0.15, 0.0],
+                vec![0.2, 0.0, 0.25],
+            ],
+            3,
+        )
+        .unwrap();
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    fn assert_matches_full(eval: &IncrementalEvaluator<'_>, instance: &Instance) {
+        let mapping = eval.mapping();
+        let full = instance.machine_periods(&mapping).unwrap();
+        let scale = full.system_period().value().max(1.0);
+        assert!(
+            (eval.period().value() - full.system_period().value()).abs() <= 1e-9 * scale,
+            "incremental {} vs full {}",
+            eval.period().value(),
+            full.system_period().value()
+        );
+        for (t, &x) in full.demands().as_slice().iter().enumerate() {
+            assert_eq!(
+                eval.demand_of(TaskId(t)),
+                x,
+                "demand of T{} must stay bit-identical",
+                t + 1
+            );
+        }
+        assert!(full
+            .critical_machines(1e-9 * scale)
+            .contains(&eval.critical_machine()));
+    }
+
+    #[test]
+    fn initial_state_matches_full_evaluation() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 0, 1], 3).unwrap();
+        let eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        assert_matches_full(&eval, &instance);
+        assert_eq!(eval.mapping(), mapping);
+    }
+
+    #[test]
+    fn moves_commit_and_match_full_recompute() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 0, 1], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        for (task, to) in [(0usize, 2usize), (3, 2), (1, 0), (0, 1), (2, 2)] {
+            let outcome = eval.apply_move(TaskId(task), MachineId(to)).unwrap();
+            assert_eq!(eval.machine_of(TaskId(task)), MachineId(to));
+            assert_eq!(outcome.period, eval.period());
+            assert_matches_full(&eval, &instance);
+        }
+    }
+
+    /// What-ifs on chains scale demands by a ratio while commits recompute
+    /// them exactly, so the two agree to a few ulp, not bit-for-bit.
+    fn assert_close(what_if: Evaluation, committed: Evaluation) {
+        let scale = committed.period.value().max(1.0);
+        assert!(
+            (what_if.period.value() - committed.period.value()).abs() <= 1e-9 * scale,
+            "what-if {what_if:?} vs committed {committed:?}"
+        );
+        assert_eq!(what_if.critical_machine, committed.critical_machine);
+    }
+
+    #[test]
+    fn what_if_leaves_state_untouched_and_predicts_the_commit() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let before = eval.period();
+        let what_if = eval.evaluate_move(TaskId(2), MachineId(1)).unwrap();
+        assert_eq!(eval.period(), before);
+        assert_eq!(eval.mapping(), mapping);
+        let committed = eval.apply_move(TaskId(2), MachineId(1)).unwrap();
+        assert_close(what_if, committed);
+    }
+
+    #[test]
+    fn swaps_match_a_rebuilt_mapping() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        // T1 (M0) and T3 (M2): disjoint ancestor walk; then T1/T2: nested.
+        for (a, b) in [(0usize, 2usize), (0, 1), (2, 3)] {
+            let what_if = eval.evaluate_swap(TaskId(a), TaskId(b)).unwrap();
+            let committed = eval.apply_swap(TaskId(a), TaskId(b)).unwrap();
+            assert_close(what_if, committed);
+            assert_matches_full(&eval, &instance);
+        }
+    }
+
+    #[test]
+    fn swapping_tasks_on_the_same_machine_is_a_no_op() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 0, 1], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let before = eval.period();
+        assert_eq!(
+            eval.evaluate_swap(TaskId(0), TaskId(2)).unwrap().period,
+            before
+        );
+        assert_eq!(
+            eval.apply_swap(TaskId(1), TaskId(1)).unwrap().period,
+            before
+        );
+        assert_eq!(eval.mapping(), mapping);
+    }
+
+    #[test]
+    fn joins_propagate_to_every_branch() {
+        // Figure 1 shape: T1→T2, T3 join into T4, then T5. Moving T5 scales
+        // the demand of *all* upstream tasks across both branches.
+        let app = Application::paper_figure1();
+        let n = app.task_count();
+        let platform = Platform::from_type_times(2, vec![vec![100.0, 150.0]; 3]).unwrap();
+        let failures = FailureModel::uniform(n, 2, FailureRate::new(0.3).unwrap());
+        let instance = Instance::new(app, platform, failures).unwrap();
+        let mapping = Mapping::from_indices(&[0, 0, 1, 1, 0], 2).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        eval.apply_move(TaskId(4), MachineId(1)).unwrap();
+        assert_matches_full(&eval, &instance);
+        eval.apply_swap(TaskId(0), TaskId(3)).unwrap();
+        assert_matches_full(&eval, &instance);
+    }
+
+    #[test]
+    fn out_of_range_tasks_and_machines_are_rejected() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 0, 1], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        assert!(matches!(
+            eval.evaluate_move(TaskId(9), MachineId(0)).unwrap_err(),
+            ModelError::UnknownTask { task: 9, .. }
+        ));
+        assert!(matches!(
+            eval.apply_move(TaskId(0), MachineId(7)).unwrap_err(),
+            ModelError::UnknownMachine { machine: 7, .. }
+        ));
+        assert!(eval.evaluate_swap(TaskId(0), TaskId(9)).is_err());
+    }
+
+    #[test]
+    fn tournament_tree_tracks_max_and_argmax() {
+        let mut tree = TournamentTree::new(&[3.0, 9.0, 1.0, 9.0, 2.0]);
+        assert_eq!(tree.root(), (9.0, 1));
+        tree.update(1, 0.5);
+        assert_eq!(tree.root(), (9.0, 3));
+        tree.update(4, 20.0);
+        assert_eq!(tree.root(), (20.0, 4));
+        tree.update(4, 0.0);
+        tree.update(3, 0.0);
+        assert_eq!(tree.root(), (3.0, 0));
+        // Exact tie: the lowest machine index wins.
+        tree.update(2, 3.0);
+        assert_eq!(tree.root(), (3.0, 0));
+    }
+
+    #[test]
+    fn mapping_with_wrong_machine_count_is_rejected() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 0, 1], 5).unwrap();
+        assert!(IncrementalEvaluator::new(&instance, &mapping).is_err());
+    }
+}

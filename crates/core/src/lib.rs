@@ -48,11 +48,13 @@ pub mod demand;
 pub mod error;
 pub mod failure;
 pub mod ids;
+pub mod incremental;
 pub mod instance;
 pub mod mapping;
 pub mod period;
 pub mod platform;
 pub mod prelude;
+pub mod seed;
 pub mod split;
 pub mod textio;
 
@@ -61,8 +63,10 @@ pub use demand::{DemandVector, OutputDemand};
 pub use error::{ModelError, Result};
 pub use failure::{FailureModel, FailureRate};
 pub use ids::{MachineId, TaskId, TaskTypeId};
+pub use incremental::{Evaluation, IncrementalEvaluator};
 pub use instance::Instance;
 pub use mapping::{Mapping, MappingKind};
 pub use period::{MachinePeriods, Period, Throughput};
 pub use platform::Platform;
+pub use seed::splitmix64;
 pub use split::{SplitMapping, SplitPeriods};

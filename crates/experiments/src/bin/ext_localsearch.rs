@@ -1,0 +1,11 @@
+//! Extension experiment: H6 local-search polishing. Compares each
+//! constructive heuristic with its H6-polished variant across the fig5–fig9
+//! scenario families (one column per scenario).
+
+mod common;
+
+fn main() {
+    let options = common::parse_args();
+    let report = mf_experiments::figures::ext_localsearch::run(&options.config);
+    common::print_report(&report, &options);
+}

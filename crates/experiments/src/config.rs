@@ -41,17 +41,17 @@ impl ExperimentConfig {
     }
 
     /// Seed for repetition `rep` of point `point` of figure `figure`.
+    ///
+    /// The packed coordinates go through [`mf_core::seed::splitmix64`] — the
+    /// same mixer the batch runner and the H6 local search use — so the
+    /// derived seeds stay well spread and reproducible.
     pub fn seed_for(&self, figure: u32, point: usize, rep: usize) -> u64 {
-        // SplitMix-style mixing keeps the seeds well spread and reproducible.
-        let mut z = self
-            .base_seed
-            .wrapping_add((figure as u64) << 48)
-            .wrapping_add((point as u64) << 24)
-            .wrapping_add(rep as u64)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        mf_core::seed::splitmix64(
+            self.base_seed
+                .wrapping_add((figure as u64) << 48)
+                .wrapping_add((point as u64) << 24)
+                .wrapping_add(rep as u64),
+        )
     }
 
     /// Effective number of worker threads.

@@ -1,6 +1,7 @@
 //! One module per figure of the paper's evaluation section, plus the shared
 //! sweep machinery and the summary ratios quoted in §7.2–§7.4.
 
+pub mod ext_localsearch;
 pub mod ext_split;
 pub mod fig10;
 pub mod fig11;

@@ -24,17 +24,10 @@
 use crate::config::ExperimentConfig;
 use crate::report::{FigureReport, Series};
 use crate::stats::Stats;
+use mf_core::seed::splitmix64;
 use mf_sim::{GeneratorConfig, InstanceGenerator};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
-
-/// SplitMix64 finalizer: mixes grid coordinates into well-spread seeds.
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Fans independent work items out across a rayon thread pool and collects
 /// the results in item order.
@@ -96,8 +89,8 @@ impl BatchRunner {
     ///
     /// # Panics
     ///
-    /// Panics if a method name is not in the paper registry
-    /// ([`mf_heuristics::all_paper_heuristics`]) — a typo would otherwise be
+    /// Panics if a method name is not in the heuristic registry
+    /// ([`mf_heuristics::registry_names`]) — a typo would otherwise be
     /// indistinguishable from every cell being infeasible.
     pub fn run(&self, grid: &BatchGrid) -> BatchReport {
         for name in &grid.methods {
@@ -105,11 +98,7 @@ impl BatchRunner {
             assert!(
                 mf_heuristics::paper_heuristic(name, 0).is_some(),
                 "unknown heuristic `{name}` in batch grid (expected one of {})",
-                mf_heuristics::all_paper_heuristics(0)
-                    .iter()
-                    .map(|h| h.name().to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                mf_heuristics::registry_names().join(", ")
             );
         }
         let methods = grid.methods.len();
@@ -169,8 +158,8 @@ pub struct BatchGrid {
     pub reps: usize,
     /// The failure scenarios (instance distributions) to sweep.
     pub scenarios: Vec<ScenarioSpec>,
-    /// Heuristic names, resolved against
-    /// [`mf_heuristics::all_paper_heuristics`].
+    /// Heuristic names, resolved against [`mf_heuristics::paper_heuristic`]
+    /// (see [`mf_heuristics::registry_names`]).
     pub methods: Vec<String>,
 }
 
@@ -198,7 +187,7 @@ impl BatchGrid {
     /// The instance seed of (scenario, rep) — shared by every heuristic so
     /// they are compared on the *same* instance.
     pub fn instance_seed(&self, scenario: usize, rep: usize) -> u64 {
-        splitmix(
+        splitmix64(
             self.base_seed
                 .wrapping_add((scenario as u64) << 40)
                 .wrapping_add(rep as u64),
@@ -209,7 +198,7 @@ impl BatchGrid {
     /// heuristic), so randomized heuristics draw independent streams yet stay
     /// deterministic under any scheduling.
     pub fn cell_seed(&self, scenario: usize, rep: usize, method: usize) -> u64 {
-        splitmix(
+        splitmix64(
             self.base_seed
                 .wrapping_add(0x51_7CC1_B727_2202)
                 .wrapping_add((scenario as u64) << 40)

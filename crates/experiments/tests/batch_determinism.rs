@@ -7,7 +7,7 @@
 //! explicit [`BatchGrid`] API — and compare full reports with `==` on `f64`s:
 //! any scheduling-dependent reduction order would fail them.
 
-use mf_experiments::figures::{fig5, fig7, fig9};
+use mf_experiments::figures::{ext_localsearch, fig5, fig7, fig9};
 use mf_experiments::runner::{BatchGrid, BatchRunner, ScenarioSpec};
 use mf_experiments::ExperimentConfig;
 use mf_sim::GeneratorConfig;
@@ -84,6 +84,44 @@ fn batch_grid_aggregates_identically_for_one_and_many_threads() {
             let a = reference.stats(scenario, method);
             let b = four.stats(scenario, method);
             assert_eq!(a, b, "stats ({scenario}, {method}) changed with threads");
+        }
+    }
+}
+
+#[test]
+fn ext_localsearch_sweep_is_thread_count_invariant() {
+    // The H6 local search is the first *stateful, randomized* method driven
+    // through the batch grid: its neighborhood stream must derive from the
+    // cell coordinates alone, so a reduced ext_localsearch grid must be
+    // bit-identical on 1 and N threads — the same bar batch_grid cells meet.
+    let config = ExperimentConfig {
+        repetitions: 3,
+        ..ExperimentConfig::quick()
+    };
+    let scenarios = || {
+        vec![
+            ScenarioSpec::new("fig6", GeneratorConfig::paper_standard(30, 10, 2)),
+            ScenarioSpec::new("fig9", GeneratorConfig::paper_task_failures(24, 24, 3)),
+        ]
+    };
+    let methods = ["H4w", "H6-H4w", "H6-H1"];
+    let reference =
+        BatchRunner::new(1).run(&ext_localsearch::grid_with(&config, scenarios(), &methods));
+    for threads in [2usize, 4] {
+        let report = BatchRunner::new(threads).run(&ext_localsearch::grid_with(
+            &config,
+            scenarios(),
+            &methods,
+        ));
+        assert_eq!(
+            report, reference,
+            "ext_localsearch grid changed with {threads} threads"
+        );
+    }
+    // H6 cells actually produced numbers (the sweep is not vacuous).
+    for scenario in 0..2 {
+        for method in 0..methods.len() {
+            assert_eq!(reference.samples(scenario, method).len(), 3);
         }
     }
 }

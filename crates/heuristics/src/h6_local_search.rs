@@ -1,0 +1,355 @@
+//! H6 — local-search refinement of a constructive heuristic's mapping.
+//!
+//! The paper's six heuristics build one mapping and stop. H6 takes any of
+//! them as a *seed* and polishes it by seeded stochastic hill climbing (with
+//! optional simulated annealing) over two neighborhoods:
+//!
+//! * **move** — reassign one task to another machine;
+//! * **swap** — exchange the machines of two tasks.
+//!
+//! Candidate neighbors are scored with the
+//! [`IncrementalEvaluator`](mf_core::incremental::IncrementalEvaluator), so
+//! one proposal costs `O(affected tasks + log m)` instead of the `O(n·m)`
+//! full recompute a naive search would pay.
+//!
+//! When the seed mapping is specialized, every proposal is filtered through
+//! the same type constraints the constructive heuristics enforce (a machine
+//! executes tasks of at most one type), so the polished mapping stays
+//! specialized. General seed mappings are polished without restriction.
+//!
+//! H6 never returns a worse mapping than its seed: the best assignment seen
+//! (starting with the seed itself) is snapshotted and returned at the end,
+//! even when annealing wandered uphill.
+
+use crate::heuristic::{base_paper_heuristic, Heuristic, HeuristicResult};
+use mf_core::prelude::*;
+use mf_core::seed::splitmix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs of the H6 local search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalSearchConfig {
+    /// Maximum number of neighborhood proposals.
+    pub max_steps: usize,
+    /// Stop after this many consecutive proposals without a new best period.
+    pub stale_limit: usize,
+    /// Initial annealing temperature as a fraction of the seed period
+    /// (`0.0` disables annealing: pure hill climbing).
+    pub initial_temperature: f64,
+    /// Multiplicative temperature decay per proposal.
+    pub cooling: f64,
+    /// Probability of proposing a swap instead of a move.
+    pub swap_probability: f64,
+    /// Seed of the neighborhood RNG stream (mixed through
+    /// [`splitmix64`], the same derivation the batch runner uses for its
+    /// per-cell streams).
+    pub seed: u64,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        LocalSearchConfig {
+            max_steps: 4000,
+            stale_limit: 1000,
+            initial_temperature: 0.02,
+            cooling: 0.995,
+            swap_probability: 0.4,
+            seed: 0x4853_6C0C,
+        }
+    }
+}
+
+/// The H6 local-search heuristic: seed with an inner heuristic, then polish.
+pub struct H6LocalSearch {
+    inner: Box<dyn Heuristic + Send + Sync>,
+    config: LocalSearchConfig,
+    name: String,
+}
+
+impl H6LocalSearch {
+    /// H6 over an explicit inner heuristic, named `H6-<inner>`.
+    pub fn new(inner: Box<dyn Heuristic + Send + Sync>, config: LocalSearchConfig) -> Self {
+        let name = format!("H6-{}", inner.name());
+        H6LocalSearch {
+            inner,
+            config,
+            name,
+        }
+    }
+
+    /// Resolves a registry name: `"H6"` (H4w seed) or `"H6-<base>"` where
+    /// `<base>` is one of the six paper heuristics. The inner heuristic's
+    /// own randomness (H1) draws from a stream derived from `seed` with
+    /// [`splitmix64`], decorrelated from H6's neighborhood stream.
+    pub fn by_registry_name(name: &str, seed: u64) -> Option<Self> {
+        let base = match name {
+            "H6" => "H4w",
+            other => other.strip_prefix("H6-")?,
+        };
+        let inner = base_paper_heuristic(base, splitmix64(seed ^ INNER_SEED_SALT))?;
+        let config = LocalSearchConfig {
+            seed,
+            ..LocalSearchConfig::default()
+        };
+        let mut h6 = Self::new(inner, config);
+        if name == "H6" {
+            h6.name = "H6".to_string();
+        }
+        Some(h6)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LocalSearchConfig {
+        &self.config
+    }
+
+    /// Polishes an existing mapping without re-running the inner heuristic.
+    ///
+    /// The returned mapping's period is never worse than `mapping`'s, and a
+    /// specialized `mapping` stays specialized.
+    pub fn polish(
+        instance: &Instance,
+        mapping: &Mapping,
+        config: &LocalSearchConfig,
+    ) -> HeuristicResult<Mapping> {
+        let n = instance.task_count();
+        let m = instance.machine_count();
+        if n == 0 || m < 2 || config.max_steps == 0 {
+            return Ok(mapping.clone());
+        }
+        let app = instance.application();
+        let specialized = instance.is_specialized(mapping);
+        let mut eval = IncrementalEvaluator::new(instance, mapping)?;
+
+        // Type bookkeeping for the specialized rule: the type a machine
+        // currently serves and how many tasks it hosts.
+        let mut machine_type: Vec<Option<TaskTypeId>> = vec![None; m];
+        let mut task_count = vec![0usize; m];
+        for task in app.tasks() {
+            let u = mapping.machine_of(task.id).index();
+            task_count[u] += 1;
+            machine_type[u] = Some(task.ty);
+        }
+
+        let mut rng = StdRng::seed_from_u64(splitmix64(config.seed));
+        let mut current = eval.period().value();
+        let mut best = current;
+        let mut best_mapping = mapping.clone();
+        let mut temperature = config.initial_temperature.max(0.0) * current;
+        let mut stale = 0usize;
+
+        for _ in 0..config.max_steps {
+            if stale >= config.stale_limit {
+                break;
+            }
+            stale += 1;
+            temperature *= config.cooling;
+
+            let candidate = if rng.gen_bool(config.swap_probability) {
+                // --- swap proposal ---
+                let a = TaskId(rng.gen_range(0..n));
+                let b = TaskId(rng.gen_range(0..n));
+                if a == b {
+                    continue;
+                }
+                let (ua, ub) = (eval.machine_of(a), eval.machine_of(b));
+                if ua == ub {
+                    continue;
+                }
+                let (ta, tb) = (app.task_type(a), app.task_type(b));
+                // Same-type swaps keep both machines' types; cross-type swaps
+                // are only specialized when both machines host a single task
+                // (they exchange their dedications).
+                if specialized
+                    && ta != tb
+                    && !(task_count[ua.index()] == 1 && task_count[ub.index()] == 1)
+                {
+                    continue;
+                }
+                let period = eval.evaluate_swap(a, b)?.period.value();
+                if !accept(period - current, temperature, &mut rng) {
+                    continue;
+                }
+                // Track the exact committed period, not the (ratio-scaled,
+                // ulp-approximate) what-if — `best` must never understate.
+                let committed = eval.apply_swap(a, b)?.period.value();
+                if ta != tb {
+                    machine_type[ua.index()] = Some(tb);
+                    machine_type[ub.index()] = Some(ta);
+                }
+                committed
+            } else {
+                // --- move proposal ---
+                let t = TaskId(rng.gen_range(0..n));
+                let to = MachineId(rng.gen_range(0..m));
+                let from = eval.machine_of(t);
+                if to == from {
+                    continue;
+                }
+                let ty = app.task_type(t);
+                if specialized && machine_type[to.index()] != Some(ty) && task_count[to.index()] > 0
+                {
+                    continue;
+                }
+                let period = eval.evaluate_move(t, to)?.period.value();
+                if !accept(period - current, temperature, &mut rng) {
+                    continue;
+                }
+                let committed = eval.apply_move(t, to)?.period.value();
+                task_count[from.index()] -= 1;
+                if task_count[from.index()] == 0 {
+                    machine_type[from.index()] = None;
+                }
+                task_count[to.index()] += 1;
+                machine_type[to.index()] = Some(ty);
+                committed
+            };
+
+            current = candidate;
+            if current < best - IMPROVEMENT_EPSILON {
+                best = current;
+                best_mapping = eval.mapping();
+                stale = 0;
+            }
+        }
+        Ok(best_mapping)
+    }
+}
+
+/// Relative slack below which a new period does not count as an improvement
+/// (guards against accumulating no-op "improvements" from float noise).
+const IMPROVEMENT_EPSILON: f64 = 1e-12;
+
+/// Salt decorrelating the inner heuristic's RNG stream from H6's own.
+const INNER_SEED_SALT: u64 = 0x5EED_1AAE_0F1A_A3E5;
+
+/// Metropolis acceptance: always take improvements, take uphill steps with
+/// probability `exp(−Δ/T)` while the temperature is positive.
+fn accept(delta: f64, temperature: f64, rng: &mut StdRng) -> bool {
+    if delta < -IMPROVEMENT_EPSILON {
+        return true;
+    }
+    if temperature <= f64::EPSILON {
+        return false;
+    }
+    rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0))
+}
+
+impl Heuristic for H6LocalSearch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map(&self, instance: &Instance) -> HeuristicResult<Mapping> {
+        let seeded = self.inner.map(instance)?;
+        Self::polish(instance, &seeded, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::h4_family::H4wFastestMachine;
+
+    fn instance(types: &[usize], m: usize, seed: u64) -> Instance {
+        let app = Application::linear_chain(types).unwrap();
+        let p = app.type_count();
+        let mut state = seed;
+        let mut draw = |lo: f64, hi: f64| {
+            state = mf_core::splitmix64(state);
+            lo + (state >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+        };
+        let platform = Platform::from_type_times(
+            m,
+            (0..p)
+                .map(|_| (0..m).map(|_| draw(100.0, 1000.0)).collect())
+                .collect(),
+        )
+        .unwrap();
+        let failures = FailureModel::from_matrix(
+            (0..types.len())
+                .map(|_| (0..m).map(|_| draw(0.005, 0.05)).collect())
+                .collect(),
+            m,
+        )
+        .unwrap();
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    #[test]
+    fn polishing_never_degrades_and_stays_specialized() {
+        for seed in 0..8u64 {
+            let inst = instance(&[0, 1, 0, 1, 0, 2, 1, 2, 0, 1], 5, 100 + seed);
+            let seeded = H4wFastestMachine.map(&inst).unwrap();
+            let seed_period = inst.period(&seeded).unwrap().value();
+            let config = LocalSearchConfig {
+                seed,
+                ..LocalSearchConfig::default()
+            };
+            let polished = H6LocalSearch::polish(&inst, &seeded, &config).unwrap();
+            let polished_period = inst.period(&polished).unwrap().value();
+            assert!(
+                polished_period <= seed_period + 1e-9,
+                "seed {seed}: H6 degraded {seed_period} to {polished_period}"
+            );
+            assert!(inst.is_specialized(&polished), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn polishing_finds_an_obvious_improvement() {
+        // Two same-type tasks stacked on a slow machine while a fast one
+        // idles: one move fixes it, and H6 must find that move.
+        let app = Application::linear_chain(&[0, 0]).unwrap();
+        let platform = Platform::from_type_times(2, vec![vec![1000.0, 100.0]]).unwrap();
+        let failures = FailureModel::uniform(2, 2, FailureRate::ZERO);
+        let inst = Instance::new(app, platform, failures).unwrap();
+        let bad = Mapping::from_indices(&[0, 0], 2).unwrap();
+        let polished = H6LocalSearch::polish(&inst, &bad, &LocalSearchConfig::default()).unwrap();
+        let period = inst.period(&polished).unwrap().value();
+        // The seed stacks both tasks on the slow M0 (period 2·1000). The
+        // optimum stacks both on the fast M1 (period 2·100 = 200) — spreading
+        // them would leave the slow machine critical at 1000.
+        assert!(
+            period <= 200.0 + 1e-9,
+            "H6 missed the improvement: period {period}"
+        );
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let inst = instance(&[0, 1, 0, 1, 0, 1], 4, 7);
+        let h6 = H6LocalSearch::by_registry_name("H6-H1", 99).unwrap();
+        let a = h6.map(&inst).unwrap();
+        let b = h6.map(&inst).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn registry_names_resolve() {
+        assert_eq!(
+            H6LocalSearch::by_registry_name("H6", 1).unwrap().name(),
+            "H6"
+        );
+        assert_eq!(
+            H6LocalSearch::by_registry_name("H6-H2", 1).unwrap().name(),
+            "H6-H2"
+        );
+        assert!(H6LocalSearch::by_registry_name("H6-H9", 1).is_none());
+        assert!(H6LocalSearch::by_registry_name("H6-H6", 1).is_none());
+        assert!(H6LocalSearch::by_registry_name("H5", 1).is_none());
+    }
+
+    #[test]
+    fn degenerate_platforms_return_the_seed_unchanged() {
+        let app = Application::linear_chain(&[0, 0]).unwrap();
+        let platform = Platform::from_type_times(1, vec![vec![100.0]]).unwrap();
+        let failures = FailureModel::uniform(2, 1, FailureRate::ZERO);
+        let inst = Instance::new(app, platform, failures).unwrap();
+        let seed_mapping = Mapping::from_indices(&[0, 0], 1).unwrap();
+        let polished =
+            H6LocalSearch::polish(&inst, &seed_mapping, &LocalSearchConfig::default()).unwrap();
+        assert_eq!(polished, seed_mapping);
+    }
+}

@@ -70,12 +70,13 @@ pub fn all_paper_heuristics(seed: u64) -> Vec<Box<dyn Heuristic + Send + Sync>> 
     ]
 }
 
-/// Constructs a single paper heuristic by its report name (`"H1"` … `"H4f"`),
-/// with the given seed for the random heuristic. `None` for unknown names.
-///
-/// Cheaper than filtering [`all_paper_heuristics`] when only one heuristic is
-/// needed — the batch-evaluation engine calls this once per grid cell.
-pub fn paper_heuristic(name: &str, seed: u64) -> Option<Box<dyn Heuristic + Send + Sync>> {
+/// Constructs one of the six *constructive* paper heuristics by name
+/// (`"H1"` … `"H4f"`). `None` for anything else — in particular the H6
+/// names, so H6 can never recursively seed itself.
+pub(crate) fn base_paper_heuristic(
+    name: &str,
+    seed: u64,
+) -> Option<Box<dyn Heuristic + Send + Sync>> {
     match name {
         "H1" => Some(Box::new(crate::h1_random::H1Random::new(seed))),
         "H2" => Some(Box::new(crate::binary_search::H2BinaryPotential::default())),
@@ -87,6 +88,32 @@ pub fn paper_heuristic(name: &str, seed: u64) -> Option<Box<dyn Heuristic + Send
         "H4f" => Some(Box::new(crate::h4_family::H4fReliableMachine)),
         _ => None,
     }
+}
+
+/// Constructs a single heuristic by its report name, with the given seed for
+/// any internal randomness. `None` for unknown names.
+///
+/// Accepted names are the six paper heuristics (`"H1"` … `"H4f"`), the H6
+/// local search over its default H4w seed (`"H6"`), and H6 over an explicit
+/// seed heuristic (`"H6-H1"` … `"H6-H4f"`) — see [`registry_names`].
+///
+/// Cheaper than filtering [`all_paper_heuristics`] when only one heuristic is
+/// needed — the batch-evaluation engine calls this once per grid cell.
+pub fn paper_heuristic(name: &str, seed: u64) -> Option<Box<dyn Heuristic + Send + Sync>> {
+    base_paper_heuristic(name, seed).or_else(|| {
+        crate::h6_local_search::H6LocalSearch::by_registry_name(name, seed)
+            .map(|h6| Box::new(h6) as Box<dyn Heuristic + Send + Sync>)
+    })
+}
+
+/// Every canonical name [`paper_heuristic`] resolves, in presentation order:
+/// the six paper heuristics, then `"H6"` and its explicit-seed variants.
+pub fn registry_names() -> Vec<String> {
+    let bases = ["H1", "H2", "H3", "H4", "H4w", "H4f"];
+    let mut names: Vec<String> = bases.iter().map(|n| n.to_string()).collect();
+    names.push("H6".to_string());
+    names.extend(bases.iter().map(|n| format!("H6-{n}")));
+    names
 }
 
 #[cfg(test)]
@@ -109,6 +136,19 @@ mod tests {
         }
         assert!(paper_heuristic("H4W", 1).is_none());
         assert!(paper_heuristic("", 1).is_none());
+    }
+
+    #[test]
+    fn every_registry_name_is_constructible() {
+        for name in registry_names() {
+            let built = paper_heuristic(&name, 7)
+                .unwrap_or_else(|| panic!("`{name}` must be constructible by name"));
+            assert_eq!(built.name(), name);
+        }
+        assert!(registry_names().contains(&"H6".to_string()));
+        assert!(registry_names().contains(&"H6-H4f".to_string()));
+        assert!(paper_heuristic("H6-H6", 1).is_none());
+        assert!(paper_heuristic("H6-", 1).is_none());
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! | [`H4wFastestMachine`] | greedy: minimise the resulting machine load ignoring failures |
 //! | [`H4fReliableMachine`] | greedy: most reliable admissible machine, ignoring speed |
 //!
-//! plus a [`RandomMapping`] baseline that ignores load altogether.
+//! plus a [`RandomMapping`] baseline that ignores load altogether, and
+//! [`H6LocalSearch`] — a local-search refinement (move/swap hill climbing
+//! with optional annealing, powered by the incremental evaluator of
+//! `mf-core`) that polishes any of the six constructive mappings and never
+//! returns a worse period than its seed.
 //!
 //! All heuristics guarantee a *valid* specialized mapping whenever the
 //! platform has at least as many machines as the application has types, thanks
@@ -44,6 +48,7 @@ pub mod context;
 pub mod h1_random;
 pub mod h4_family;
 pub mod h5_split;
+pub mod h6_local_search;
 pub mod heuristic;
 
 pub use baseline::RandomMapping;
@@ -54,6 +59,8 @@ pub use h4_family::{
     GreedyHeuristic, H4BestPerformance, H4fReliableMachine, H4wFastestMachine, ScoringRule,
 };
 pub use h5_split::H5WorkloadSplit;
+pub use h6_local_search::{H6LocalSearch, LocalSearchConfig};
 pub use heuristic::{
-    all_paper_heuristics, paper_heuristic, Heuristic, HeuristicError, HeuristicResult,
+    all_paper_heuristics, paper_heuristic, registry_names, Heuristic, HeuristicError,
+    HeuristicResult,
 };

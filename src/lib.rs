@@ -86,9 +86,9 @@ pub mod prelude {
         solve_specialized_mip, BnbConfig, MipConfig,
     };
     pub use mf_heuristics::{
-        all_paper_heuristics, H1Random, H2BinaryPotential, H3BinaryHeterogeneity,
-        H4BestPerformance, H4fReliableMachine, H4wFastestMachine, H5WorkloadSplit, Heuristic,
-        RandomMapping,
+        all_paper_heuristics, paper_heuristic, H1Random, H2BinaryPotential, H3BinaryHeterogeneity,
+        H4BestPerformance, H4fReliableMachine, H4wFastestMachine, H5WorkloadSplit, H6LocalSearch,
+        Heuristic, LocalSearchConfig, RandomMapping,
     };
     pub use mf_sim::{FactorySimulation, GeneratorConfig, InstanceGenerator, SimulationConfig};
 }

@@ -1,0 +1,208 @@
+//! Differential harness for the incremental evaluator.
+//!
+//! 10 000 seeded random moves and swaps across chain and in-tree instances:
+//! after every committed operation — and for every what-if — the incremental
+//! period must match a from-scratch `period.rs` evaluation to within 1e-9
+//! (relative), the incremental demands must stay **bit-identical** to a
+//! from-scratch demand computation, and the incremental critical machine must
+//! be a critical machine of the full evaluation.
+//!
+//! The instance shapes are chosen to drive every internal path: linear chains
+//! small and large (the dense ratio-scaling fast path with its prefix-mass
+//! row cache), and balanced in-trees (the generic exact ancestor walk, with
+//! both the tournament-tree and the linear-scan what-if branches).
+
+use microfactory::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Total committed + what-if operations across all instances.
+const TOTAL_STEPS: usize = 10_000;
+
+fn chain_instance(tasks: usize, machines: usize, types: usize, seed: u64) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::paper_standard(tasks, machines, types))
+        .generate(seed)
+        .expect("the standard generator produces valid instances")
+}
+
+/// A join-heavy in-tree instance (the generator only draws chains).
+fn tree_instance(arity: usize, depth: usize, machines: usize, rng: &mut StdRng) -> Instance {
+    let app = Application::balanced_in_tree(arity, depth, 3).unwrap();
+    let n = app.task_count();
+    let platform = Platform::from_type_times(
+        machines,
+        (0..app.type_count())
+            .map(|_| {
+                (0..machines)
+                    .map(|_| rng.gen_range(100.0..1000.0))
+                    .collect()
+            })
+            .collect(),
+    )
+    .unwrap();
+    let failures = FailureModel::from_matrix(
+        (0..n)
+            .map(|_| (0..machines).map(|_| rng.gen_range(0.0..0.10)).collect())
+            .collect(),
+        machines,
+    )
+    .unwrap();
+    Instance::new(app, platform, failures).unwrap()
+}
+
+/// Full-recompute oracle: period within 1e-9 relative, demands bit-identical,
+/// critical machine contained in the full critical set.
+fn assert_agrees(eval: &IncrementalEvaluator<'_>, instance: &Instance, context: &str) {
+    let mapping = eval.mapping();
+    let full = instance.machine_periods(&mapping).unwrap();
+    let scale = full.system_period().value().max(1.0);
+    assert!(
+        (eval.period().value() - full.system_period().value()).abs() <= 1e-9 * scale,
+        "{context}: incremental period {} vs full {}",
+        eval.period().value(),
+        full.system_period().value()
+    );
+    for (t, &x) in full.demands().as_slice().iter().enumerate() {
+        assert!(
+            eval.demand_of(TaskId(t)) == x,
+            "{context}: demand of T{} drifted ({} vs {x})",
+            t + 1,
+            eval.demand_of(TaskId(t))
+        );
+    }
+    let critical = eval.critical_machine();
+    assert!(
+        full.critical_machines(1e-9 * scale).contains(&critical),
+        "{context}: {critical} (load {}) is not critical in the full evaluation (period {})",
+        full.of(critical).value(),
+        full.system_period().value()
+    );
+}
+
+/// One what-if must match the full evaluation of the rebuilt candidate
+/// mapping and must leave the evaluator state untouched.
+fn assert_what_if_agrees(
+    what_if: Evaluation,
+    instance: &Instance,
+    candidate: &Mapping,
+    context: &str,
+) {
+    let full = instance.machine_periods(candidate).unwrap();
+    let scale = full.system_period().value().max(1.0);
+    assert!(
+        (what_if.period.value() - full.system_period().value()).abs() <= 1e-9 * scale,
+        "{context}: what-if period {} vs full {}",
+        what_if.period.value(),
+        full.system_period().value()
+    );
+    assert!(
+        full.critical_machines(1e-9 * scale)
+            .contains(&what_if.critical_machine),
+        "{context}: what-if critical machine {} is not critical in the full evaluation",
+        what_if.critical_machine
+    );
+}
+
+fn drive(instance: &Instance, start: &Mapping, steps: usize, rng: &mut StdRng, label: &str) {
+    let n = instance.task_count();
+    let m = instance.machine_count();
+    let mut eval = IncrementalEvaluator::new(instance, start).unwrap();
+    assert_agrees(&eval, instance, &format!("{label}: initial state"));
+    for step in 0..steps {
+        let task = TaskId(rng.gen_range(0..n));
+        let other = TaskId(rng.gen_range(0..n));
+        let machine = MachineId(rng.gen_range(0..m));
+        match rng.gen_range(0..4u32) {
+            // Committed move.
+            0 => {
+                eval.apply_move(task, machine).unwrap();
+                assert_agrees(&eval, instance, &format!("{label}: step {step} move"));
+            }
+            // Committed swap.
+            1 => {
+                eval.apply_swap(task, other).unwrap();
+                assert_agrees(&eval, instance, &format!("{label}: step {step} swap"));
+            }
+            // What-if move: verified against the rebuilt candidate mapping.
+            2 => {
+                let before = eval.period();
+                let what_if = eval.evaluate_move(task, machine).unwrap();
+                let mut assignment: Vec<usize> = eval
+                    .mapping()
+                    .as_slice()
+                    .iter()
+                    .map(|u| u.index())
+                    .collect();
+                assignment[task.index()] = machine.index();
+                let candidate = Mapping::from_indices(&assignment, m).unwrap();
+                assert_what_if_agrees(
+                    what_if,
+                    instance,
+                    &candidate,
+                    &format!("{label}: step {step} what-if move"),
+                );
+                assert_eq!(eval.period(), before, "{label}: step {step} mutated state");
+            }
+            // What-if swap.
+            _ => {
+                let before = eval.period();
+                let what_if = eval.evaluate_swap(task, other).unwrap();
+                let mut assignment: Vec<usize> = eval
+                    .mapping()
+                    .as_slice()
+                    .iter()
+                    .map(|u| u.index())
+                    .collect();
+                assignment.swap(task.index(), other.index());
+                let candidate = Mapping::from_indices(&assignment, m).unwrap();
+                assert_what_if_agrees(
+                    what_if,
+                    instance,
+                    &candidate,
+                    &format!("{label}: step {step} what-if swap"),
+                );
+                assert_eq!(eval.period(), before, "{label}: step {step} mutated state");
+            }
+        }
+    }
+}
+
+#[test]
+fn ten_thousand_random_moves_and_swaps_agree_with_full_recompute() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_E4E1);
+    let chains = [
+        (12usize, 4usize, 2usize, 0xAAu64),
+        (40, 8, 3, 0xBB),
+        (100, 20, 5, 0xCC),
+    ];
+    let per_shape = TOTAL_STEPS / 5;
+    for &(n, m, p, seed) in &chains {
+        let instance = chain_instance(n, m, p, seed);
+        let start = H4wFastestMachine.map(&instance).unwrap();
+        drive(
+            &instance,
+            &start,
+            per_shape,
+            &mut rng,
+            &format!("chain n={n} m={m}"),
+        );
+    }
+    // In-trees exercise the generic walk: m = 8 favors the scan branch,
+    // m = 64 the tournament-tree update/revert branch.
+    for &(arity, depth, m) in &[(2usize, 3usize, 8usize), (3, 3, 64)] {
+        let instance = tree_instance(arity, depth, m, &mut rng);
+        let assignment: Vec<usize> = instance
+            .application()
+            .tasks()
+            .map(|t| t.ty.index())
+            .collect();
+        let start = Mapping::from_indices(&assignment, m).unwrap();
+        drive(
+            &instance,
+            &start,
+            per_shape,
+            &mut rng,
+            &format!("tree arity={arity} depth={depth} m={m}"),
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! seeded generator — fully deterministic, shrink-free, but covering the same
 //! invariants over the same instance distribution.
 
+use microfactory::heuristics::{H6LocalSearch, LocalSearchConfig};
 use microfactory::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -149,6 +150,102 @@ fn lower_failures_never_hurt_a_fixed_mapping() {
         let period_without = no_failure_instance.period(&mapping).unwrap().value();
         assert!(period_without <= period_with_failures + 1e-9, "case {case}");
     }
+}
+
+/// The H6 local search never returns a mapping with a worse period than the
+/// seed heuristic it polishes, and preserves the specialized rule, for every
+/// paper heuristic on every instance.
+#[test]
+fn h6_never_worse_than_its_seed_heuristic() {
+    let mut rng = StdRng::seed_from_u64(0x46B);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng, 20, 8);
+        let seed = rng.gen_range(0..=u64::MAX);
+        for heuristic in all_paper_heuristics(seed) {
+            let seeded = heuristic.map(&instance).unwrap();
+            let seed_period = instance.period(&seeded).unwrap().value();
+            let config = LocalSearchConfig {
+                seed: seed ^ case,
+                ..LocalSearchConfig::default()
+            };
+            let polished = H6LocalSearch::polish(&instance, &seeded, &config).unwrap();
+            let polished_period = instance.period(&polished).unwrap().value();
+            assert!(
+                polished_period <= seed_period + 1e-9,
+                "case {case}: H6 degraded {} from {seed_period} to {polished_period}",
+                heuristic.name()
+            );
+            assert!(
+                instance.is_specialized(&polished),
+                "case {case}: H6 broke the specialized rule of {}",
+                heuristic.name()
+            );
+        }
+    }
+}
+
+/// Demands are monotone in the failure rates: increasing any `f_{i,u}` never
+/// decreases any task's demand under a fixed mapping.
+#[test]
+fn demands_never_decrease_when_a_failure_rate_increases() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng, 16, 6);
+        let seed = rng.gen_range(0..=u64::MAX);
+        let mapping = RandomMapping::new(seed).map(&instance).unwrap();
+        let before = instance.demands(&mapping).unwrap();
+
+        // Bump one random f_{i,u} towards 1 (staying strictly below it).
+        let i = rng.gen_range(0..instance.task_count());
+        let u = rng.gen_range(0..instance.machine_count());
+        let mut rows: Vec<Vec<f64>> = (0..instance.task_count())
+            .map(|t| {
+                (0..instance.machine_count())
+                    .map(|w| instance.failure(TaskId(t), MachineId(w)).value())
+                    .collect()
+            })
+            .collect();
+        rows[i][u] += (1.0 - rows[i][u]) * rng.gen_range(0.1..0.9);
+        let bumped = FailureModel::from_matrix(rows, instance.machine_count()).unwrap();
+        let bumped_instance = Instance::new(
+            instance.application().clone(),
+            instance.platform().clone(),
+            bumped,
+        )
+        .unwrap();
+        let after = bumped_instance.demands(&mapping).unwrap();
+        for task in instance.application().tasks() {
+            assert!(
+                after.get(task.id) >= before.get(task.id) - 1e-12,
+                "case {case}: demand of {} fell from {} to {} after raising f[{i}][{u}]",
+                task.id,
+                before.get(task.id),
+                after.get(task.id)
+            );
+        }
+    }
+}
+
+/// `FailureRate::from_ratio` rejects the degenerate ratios the paper's model
+/// cannot represent: every product lost (`f = 1` would need infinitely many
+/// products) and an empty observation window.
+#[test]
+fn failure_rate_from_ratio_rejects_degenerate_ratios() {
+    for processed in [1u64, 2, 7, 1000] {
+        assert!(
+            FailureRate::from_ratio(processed, processed).is_err(),
+            "lost == processed ({processed}) must be rejected"
+        );
+        assert!(
+            FailureRate::from_ratio(processed + 1, processed).is_err(),
+            "lost > processed must be rejected"
+        );
+        let ok = FailureRate::from_ratio(processed - 1, processed).unwrap();
+        assert!((0.0..1.0).contains(&ok.value()));
+    }
+    assert!(FailureRate::from_ratio(0, 0).is_err());
+    assert!(FailureRate::from_ratio(5, 0).is_err());
+    assert_eq!(FailureRate::from_ratio(0, 10).unwrap().value(), 0.0);
 }
 
 /// The one-to-one bottleneck optimum (when it applies) is never better than
