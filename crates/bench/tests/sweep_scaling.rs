@@ -1,0 +1,82 @@
+//! Wall-clock probe: the steepest-descent full-neighborhood move sweep must
+//! amortize to O(n·m) engine work after warmup — concretely, the time *per
+//! candidate* must stay (roughly) flat as the task count grows with the
+//! machine count fixed.
+//!
+//! On a linear chain the incremental evaluator answers each move what-if
+//! from its lazily-built prefix-mass row cache: after the first sweep warms
+//! the rows, a candidate costs one `O(m)` scan regardless of `n`, so a full
+//! `n·m` sweep is `O(n·m²)` total — linear in `n` for fixed `m`. Without the
+//! cache every candidate would walk its `O(n)` ancestors and per-candidate
+//! cost would grow linearly with `n` (≈ 4× from n = 60 to n = 240); the probe
+//! asserts the growth stays far below that.
+//!
+//! Timing on shared runners is noisy, so — like the other wall-clock probes —
+//! this test is `#[ignore]`d under the regular harness and CI runs it in the
+//! dedicated non-blocking step (`cargo test --release -p mf-bench --
+//! --ignored`).
+
+use mf_bench::standard_instance;
+use mf_core::prelude::*;
+use mf_heuristics::search::SearchEngine;
+use mf_heuristics::{H4wFastestMachine, Heuristic};
+use std::time::{Duration, Instant};
+
+const MACHINES: usize = 20;
+
+/// Times `rounds` full move sweeps (n·m what-ifs each) on a warmed engine
+/// and returns the best per-candidate cost in nanoseconds.
+fn per_candidate_nanos(tasks: usize, rounds: usize) -> f64 {
+    let instance = standard_instance(tasks, MACHINES, 5, 42);
+    let seed = H4wFastestMachine.map(&instance).unwrap();
+    let mut engine = SearchEngine::new(&instance, &seed, usize::MAX).unwrap();
+
+    let sweep = |engine: &mut SearchEngine<'_>| {
+        let mut acc = 0.0f64;
+        let mut candidates = 0usize;
+        for t in 0..tasks {
+            for u in 0..MACHINES {
+                let (task, to) = (TaskId(t), MachineId(u));
+                if engine.allows_move(task, to) {
+                    acc += engine.evaluate_move(task, to).unwrap();
+                    candidates += 1;
+                }
+            }
+        }
+        assert!(acc.is_finite());
+        candidates
+    };
+
+    // Warmup: builds the prefix-mass rows.
+    let warm_candidates = sweep(&mut engine);
+    assert!(warm_candidates > 0);
+
+    let mut best = Duration::MAX;
+    let mut candidates = 0usize;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        candidates = sweep(&mut engine);
+        best = best.min(start.elapsed());
+    }
+    best.as_nanos() as f64 / candidates as f64
+}
+
+#[test]
+#[ignore = "wall-clock probe: run in isolation with --release (CI does, non-blocking)"]
+fn steepest_descent_sweep_amortizes_to_linear_in_candidates() {
+    let small = per_candidate_nanos(60, 5);
+    let large = per_candidate_nanos(240, 5);
+    let ratio = large / small;
+    // 4× more tasks: an O(n)-per-candidate sweep would show ratio ≈ 4. The
+    // amortized row cache must keep per-candidate cost near flat; 2.0 leaves
+    // room for cache effects on shared runners without admitting linear
+    // growth.
+    assert!(
+        ratio < 2.0,
+        "per-candidate sweep cost grew {ratio:.2}x from n=60 ({small:.0} ns) \
+         to n=240 ({large:.0} ns) — the prefix-mass amortization regressed"
+    );
+    println!(
+        "sweep per-candidate cost: n=60 {small:.0} ns, n=240 {large:.0} ns (ratio {ratio:.2})"
+    );
+}

@@ -9,7 +9,7 @@ pub struct Arguments {
 }
 
 /// Flags that never take a value (everything after them is positional).
-pub const SWITCHES: &[&str] = &["all", "exact", "high-failure", "csv", "full"];
+pub const SWITCHES: &[&str] = &["all", "exact", "high-failure", "csv", "full", "portfolio"];
 
 impl Arguments {
     /// Parses the raw argument list (excluding the subcommand).

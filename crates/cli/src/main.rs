@@ -13,6 +13,8 @@
 use mf_core::prelude::*;
 use mf_core::textio;
 use mf_exact::{branch_and_bound, BnbConfig};
+use mf_experiments::portfolio::{run_portfolio, PortfolioConfig};
+use mf_experiments::runner::BatchRunner;
 use mf_heuristics::{all_paper_heuristics, Heuristic};
 use mf_sim::{FactorySimulation, GeneratorConfig, InstanceGenerator, SimulationConfig};
 use std::process::ExitCode;
@@ -53,18 +55,24 @@ microfactory — throughput optimization for micro-factories subject to failures
 
 USAGE:
   microfactory generate --tasks N --machines M --types P [--seed S] [--high-failure]
-  microfactory solve    [--heuristic NAME | --exact] [--all] INSTANCE
+  microfactory solve    [--heuristic NAME | --exact | --portfolio] [--all]
+                        [--threads N] INSTANCE
   microfactory evaluate INSTANCE MAPPING
   microfactory simulate [--products N] [--seed S] INSTANCE MAPPING
 
 COMMANDS:
   generate   print a random instance (paper's experimental distribution)
-  solve      print a mapping computed by a heuristic (default h4w) or the exact solver
+  solve      print a mapping computed by a heuristic (default h4w), the exact
+             solver, or the parallel search portfolio (--portfolio races all
+             constructive seeds x strategies x RNG streams on --threads
+             workers; deterministic for any thread count)
   evaluate   print the period, throughput and per-machine loads of a mapping
   simulate   run the discrete-event simulation of a mapping
 
-HEURISTICS: h1, h2, h3, h4, h4w, h4f, plus h6 — local-search polishing of h4w
-            (h6-h1 … h6-h4f polish an explicit heuristic; use --all to compare)";
+HEURISTICS: h1, h2, h3, h4, h4w, h4f, plus the search strategies over any of
+            them — h6 (annealed climb), sd (steepest descent), ts (tabu):
+            bare names polish h4w, h6-h2 / sd-h1 / ts-h4f pick the seed
+            explicitly; use --all to compare";
 
 fn generate(args: &Arguments) -> std::result::Result<(), String> {
     let tasks = args.usize_flag("tasks").ok_or("missing --tasks")?;
@@ -116,10 +124,12 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
             "{:<6} {:>12} {:>16}",
             "name", "period(ms)", "throughput(/s)"
         );
-        for heuristic in all_paper_heuristics(1)
-            .into_iter()
-            .chain(mf_heuristics::paper_heuristic("H6", 1))
-        {
+        // The six constructive heuristics, then one column per search
+        // strategy (over the default H4w seed).
+        let strategies = mf_heuristics::STRATEGY_PREFIXES
+            .iter()
+            .filter_map(|prefix| mf_heuristics::paper_heuristic(prefix, 1));
+        for heuristic in all_paper_heuristics(1).into_iter().chain(strategies) {
             match heuristic.period(&instance) {
                 Ok(period) => eprintln!(
                     "{:<6} {:>12.1} {:>16.4}",
@@ -131,7 +141,37 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
             }
         }
     }
-    let (label, mapping) = if args.has_flag("exact") {
+    let (label, mapping) = if args.has_flag("portfolio") {
+        let threads = args.usize_flag("threads").unwrap_or(0);
+        let runner = BatchRunner::new(threads);
+        let config = PortfolioConfig::default();
+        let outcome = run_portfolio(&instance, &config, &runner);
+        eprintln!(
+            "{:<10} {:>12} {:>16}",
+            "cell", "period(ms)", "throughput(/s)"
+        );
+        for cell in &outcome.cells {
+            match cell.period {
+                Some(period) => eprintln!(
+                    "{:<10} {:>12.1} {:>16.4}",
+                    cell.label,
+                    period,
+                    1000.0 / period
+                ),
+                None => eprintln!("{:<10} seed infeasible", cell.label),
+            }
+        }
+        let label = format!(
+            "portfolio winner {} after {} round(s) on {} thread(s)",
+            outcome.winner_label().unwrap_or("?"),
+            outcome.rounds,
+            runner.threads()
+        );
+        let mapping = outcome
+            .best_mapping
+            .ok_or("no portfolio cell produced a mapping (more task types than machines?)")?;
+        (label, mapping)
+    } else if args.has_flag("exact") {
         let outcome = branch_and_bound(&instance, BnbConfig::default())
             .map_err(|e| format!("exact solver failed: {e}"))?;
         let label = if outcome.proven_optimal {

@@ -63,7 +63,7 @@ pub use demand::{DemandVector, OutputDemand};
 pub use error::{ModelError, Result};
 pub use failure::{FailureModel, FailureRate};
 pub use ids::{MachineId, TaskId, TaskTypeId};
-pub use incremental::{Evaluation, IncrementalEvaluator};
+pub use incremental::{Evaluation, IncrementalEvaluator, PartialAssignmentEvaluator};
 pub use instance::Instance;
 pub use mapping::{Mapping, MappingKind};
 pub use period::{MachinePeriods, Period, Throughput};

@@ -15,6 +15,16 @@
 //!   for every remaining task, its smallest possible contribution on any
 //!   machine; dividing by `m` bounds the final makespan from below.
 //!
+//! Node scoring goes through a per-search-path
+//! [`PartialAssignmentEvaluator`]: placements and backtracks update the
+//! staged machine loads in `O(log m)` and the load-maximum bound is read in
+//! `O(1)` from its tournament tree, instead of the `O(m)` from-scratch scan
+//! every node used to pay. The staged evaluator performs the bit-identical
+//! float operations the scan-based bookkeeping did, so the explored tree —
+//! and therefore the returned optimum — is unchanged
+//! ([`BnbConfig::legacy_bounds`] keeps the scan alive for the
+//! `search_strategies` bench to quantify the difference).
+//!
 //! The incumbent is seeded with the H4w heuristic so that pruning is effective
 //! from the first node.
 
@@ -29,6 +39,11 @@ pub struct BnbConfig {
     /// Relative optimality tolerance: a node is pruned when its bound is not
     /// better than `incumbent · (1 − tolerance)`.
     pub tolerance: f64,
+    /// Score nodes with the legacy `O(m)` max-load scan instead of the
+    /// staged evaluator's `O(1)` tournament-tree root. Both paths explore
+    /// the bit-identical tree; this hook exists so the `search_strategies`
+    /// bench (and any regression hunt) can compare per-node cost.
+    pub legacy_bounds: bool,
 }
 
 impl Default for BnbConfig {
@@ -36,6 +51,7 @@ impl Default for BnbConfig {
         BnbConfig {
             max_nodes: 20_000_000,
             tolerance: 1e-9,
+            legacy_bounds: false,
         }
     }
 }
@@ -70,6 +86,9 @@ struct SearchContext<'a> {
     /// Per task, the smallest possible contribution `d_min · w/(1−f)` over all
     /// machines, where `d_min` uses the most reliable downstream machines.
     min_contribution: Vec<f64>,
+    /// One reusable candidate buffer per depth — the recursion at depth `d`
+    /// only ever touches buffer `d`, so nodes allocate nothing.
+    candidate_scratch: Vec<Vec<(MachineId, f64)>>,
     config: BnbConfig,
     best_period: f64,
     best_mapping: Option<Vec<MachineId>>,
@@ -80,12 +99,13 @@ struct SearchContext<'a> {
 struct PartialState {
     assignment: Vec<Option<MachineId>>,
     machine_type: Vec<Option<TaskTypeId>>,
-    load: Vec<f64>,
+    /// Staged per-machine loads, running total and load maximum — the
+    /// per-search-path incremental evaluator.
+    loads: PartialAssignmentEvaluator,
     demand: Vec<f64>,
     free_machines: usize,
     remaining_per_type: Vec<usize>,
     seated: Vec<bool>,
-    total_load: f64,
 }
 
 impl PartialState {
@@ -100,12 +120,11 @@ impl PartialState {
         PartialState {
             assignment: vec![None; n],
             machine_type: vec![None; m],
-            load: vec![0.0; m],
+            loads: PartialAssignmentEvaluator::new(m),
             demand: vec![0.0; n],
             free_machines: m,
             remaining_per_type,
             seated: vec![false; p],
-            total_load: 0.0,
         }
     }
 
@@ -138,8 +157,23 @@ impl PartialState {
         }
     }
 
-    fn max_load(&self) -> f64 {
-        self.load.iter().copied().fold(0.0, f64::max)
+    /// The maximum staged machine load: `O(1)` from the evaluator's
+    /// tournament tree, or the legacy `O(m)` scan when asked to (both yield
+    /// the identical `f64`, so pruning decisions cannot differ).
+    #[inline]
+    fn max_load(&self, legacy: bool) -> f64 {
+        if legacy {
+            (0..self.loads_len())
+                .map(|u| self.loads.load_of(MachineId(u)))
+                .fold(0.0, f64::max)
+        } else {
+            self.loads.period().value()
+        }
+    }
+
+    #[inline]
+    fn loads_len(&self) -> usize {
+        self.machine_type.len()
     }
 }
 
@@ -153,9 +187,10 @@ impl<'a> SearchContext<'a> {
             self.aborted = true;
             return;
         }
+        let legacy = self.config.legacy_bounds;
 
         if depth == self.order.len() {
-            let period = state.max_load();
+            let period = state.max_load(legacy);
             if period < self.best_period {
                 self.best_period = period;
                 self.best_mapping = Some(
@@ -171,8 +206,8 @@ impl<'a> SearchContext<'a> {
 
         // Bounds.
         let m = self.instance.machine_count() as f64;
-        let packing_bound = (state.total_load + remaining_min) / m;
-        let bound = state.max_load().max(packing_bound);
+        let packing_bound = (state.loads.total_load() + remaining_min) / m;
+        let bound = state.max_load(legacy).max(packing_bound);
         if bound >= self.best_period * (1.0 - self.config.tolerance) {
             return;
         }
@@ -184,16 +219,18 @@ impl<'a> SearchContext<'a> {
 
         // Candidate machines, cheapest incremental load first so that good
         // incumbents appear early in the depth-first search.
-        let mut candidates: Vec<(MachineId, f64)> = self
-            .instance
-            .platform()
-            .machines()
-            .filter(|&u| state.admissible(self.instance, task, u))
-            .map(|u| (u, demand * self.instance.effective_time(task, u)))
-            .collect();
+        let mut candidates = std::mem::take(&mut self.candidate_scratch[depth]);
+        candidates.clear();
+        candidates.extend(
+            self.instance
+                .platform()
+                .machines()
+                .filter(|&u| state.admissible(self.instance, task, u))
+                .map(|u| (u, demand * self.instance.effective_time(task, u))),
+        );
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
-        for (machine, increment) in candidates {
+        for &(machine, increment) in &candidates {
             let u = machine.index();
             // Apply.
             let was_free = state.machine_type[u].is_none();
@@ -206,16 +243,14 @@ impl<'a> SearchContext<'a> {
             state.remaining_per_type[ty.index()] -= 1;
             let x = demand * self.instance.factor(task, machine);
             state.demand[task.index()] = x;
-            state.load[u] += increment;
-            state.total_load += increment;
+            state.loads.place(machine, increment);
             state.assignment[task.index()] = Some(machine);
 
             self.search(depth + 1, state, next_remaining_min);
 
             // Undo.
             state.assignment[task.index()] = None;
-            state.load[u] -= increment;
-            state.total_load -= increment;
+            state.loads.unplace();
             state.demand[task.index()] = 0.0;
             state.remaining_per_type[ty.index()] += 1;
             state.seated[ty.index()] = was_seated;
@@ -224,9 +259,10 @@ impl<'a> SearchContext<'a> {
                 state.free_machines += 1;
             }
             if self.aborted {
-                return;
+                break;
             }
         }
+        self.candidate_scratch[depth] = candidates;
     }
 }
 
@@ -266,10 +302,12 @@ pub fn branch_and_bound(instance: &Instance, config: BnbConfig) -> Result<BnbOut
         .collect();
     let total_min: f64 = min_contribution.iter().sum();
 
+    let depths = order.len();
     let mut context = SearchContext {
         instance,
         order,
         min_contribution,
+        candidate_scratch: vec![Vec::with_capacity(instance.machine_count()); depths],
         config,
         best_period: seed_period,
         best_mapping: Some(seed.as_slice().to_vec()),
@@ -335,6 +373,33 @@ mod tests {
                 exact.period.value()
             );
             assert!(inst.is_specialized(&bnb.mapping));
+        }
+    }
+
+    #[test]
+    fn evaluator_backed_and_legacy_bounds_explore_the_identical_tree() {
+        // The staged evaluator must not change a single pruning decision:
+        // node counts, mappings and period bits all agree with the legacy
+        // O(m)-scan scoring on every instance.
+        for seed in 0..6 {
+            let inst = random_instance(9, 4, 2, 1000 + seed);
+            let fast = branch_and_bound(&inst, BnbConfig::default()).unwrap();
+            let legacy = branch_and_bound(
+                &inst,
+                BnbConfig {
+                    legacy_bounds: true,
+                    ..BnbConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(fast.nodes, legacy.nodes, "seed {seed}: tree diverged");
+            assert_eq!(fast.mapping, legacy.mapping, "seed {seed}");
+            assert_eq!(
+                fast.period.value().to_bits(),
+                legacy.period.value().to_bits(),
+                "seed {seed}: period bits diverged"
+            );
+            assert_eq!(fast.proven_optimal, legacy.proven_optimal);
         }
     }
 

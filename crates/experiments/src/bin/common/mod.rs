@@ -7,9 +7,13 @@
 //! * `--reps <N>` — override the number of repetitions;
 //! * `--threads <N>` — worker threads for the batch runner (0 = one per CPU,
 //!   capped at 16); results are identical for every thread count;
-//! * `--csv` — print the CSV dump after the table.
+//! * `--csv` — print the CSV dump after the table;
+//! * `--out <path>` — also write the report in the deterministic
+//!   `mf-report v1` format ([`mf_experiments::persist`]), so CI can diff the
+//!   numbers across commits.
 
 use mf_experiments::{ExperimentConfig, FigureReport};
+use std::path::PathBuf;
 
 /// Parsed command-line options.
 pub struct Options {
@@ -17,6 +21,8 @@ pub struct Options {
     pub config: ExperimentConfig,
     /// Whether to print the CSV dump.
     pub csv: bool,
+    /// Where to persist the serialized report, if anywhere.
+    pub out: Option<PathBuf>,
 }
 
 /// Parses the process arguments.
@@ -37,17 +43,33 @@ pub fn parse_args() -> Options {
             config.threads = value;
         }
     }
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|pos| args.get(pos + 1))
+        .map(PathBuf::from);
     Options {
         config,
         csv: args.iter().any(|a| a == "--csv"),
+        out,
     }
 }
 
-/// Prints a figure report as a table (and optionally CSV).
+/// Prints a figure report as a table (and optionally CSV), persisting it to
+/// `--out` when asked.
 pub fn print_report(report: &FigureReport, options: &Options) {
     print!("{}", report.to_table());
     if options.csv {
         println!();
         print!("{}", report.to_csv());
+    }
+    if let Some(path) = &options.out {
+        match mf_experiments::persist::write_figure(path, report) {
+            Ok(()) => eprintln!("report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write report to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -1,0 +1,12 @@
+//! Extension experiment: portfolio search. Compares the parallel portfolio
+//! (all constructive seeds × strategies × RNG streams, deterministic early
+//! termination) against H4w and the single search strategies across the
+//! fig5–fig9 scenario families (one column per scenario).
+
+mod common;
+
+fn main() {
+    let options = common::parse_args();
+    let report = mf_experiments::figures::ext_portfolio::run(&options.config);
+    common::print_report(&report, &options);
+}

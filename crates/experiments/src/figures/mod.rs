@@ -2,6 +2,7 @@
 //! sweep machinery and the summary ratios quoted in §7.2–§7.4.
 
 pub mod ext_localsearch;
+pub mod ext_portfolio;
 pub mod ext_split;
 pub mod fig10;
 pub mod fig11;

@@ -25,10 +25,14 @@
 
 pub mod config;
 pub mod figures;
+pub mod persist;
+pub mod portfolio;
 pub mod report;
 pub mod runner;
 pub mod stats;
 
 pub use config::ExperimentConfig;
+pub use persist::{batch_from_text, batch_to_text, figure_from_text, figure_to_text};
+pub use portfolio::{PortfolioConfig, PortfolioOutcome};
 pub use report::{FigureReport, Series};
 pub use stats::Stats;

@@ -1,0 +1,451 @@
+//! Parallel portfolio search: all constructive seeds × search strategies ×
+//! RNG streams, raced on the batch runner with deterministic early
+//! termination.
+//!
+//! A portfolio **cell** is one (seed heuristic, strategy, stream) triple.
+//! The run proceeds in synchronized *rounds*: every round, each live cell
+//! continues its own search from its current mapping (annealed cells with a
+//! fresh per-round RNG stream, sweep cells until their next convergence),
+//! all cells in parallel on the [`BatchRunner`]'s rayon pool. After the
+//! barrier the incumbent — the minimum period over all cells, lowest cell
+//! index on ties — is recomputed; the run stops when every cell has
+//! converged, when the incumbent has not improved for
+//! [`PortfolioConfig::patience`] consecutive rounds, or at
+//! [`PortfolioConfig::max_rounds`].
+//!
+//! Because each cell's work is a pure function of (instance, cell index,
+//! round, its carried state), and rounds are barriers whose results are
+//! collected in cell order, the outcome is **bit-identical for every thread
+//! count** — the same guarantee the batch grid gives, pinned in
+//! `batch_determinism.rs`.
+
+use crate::runner::BatchRunner;
+use mf_core::prelude::*;
+use mf_core::seed::splitmix64;
+use mf_heuristics::search::{
+    polish_with, SearchEngine, SearchStrategy, SteepestDescent, TabuSearch,
+};
+use mf_heuristics::{paper_heuristic, H6LocalSearch, LocalSearchConfig, DEFAULT_SEARCH_BUDGET};
+
+/// Tuning knobs of the portfolio runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Base seed every per-cell stream is derived from.
+    pub base_seed: u64,
+    /// Independent RNG streams per (seed heuristic × annealed climb) pair.
+    /// The deterministic strategies (SD, TS) always run one cell each.
+    pub annealed_streams: usize,
+    /// Annealed-climb proposals per cell per round.
+    pub round_steps: usize,
+    /// Candidate-evaluation budget of each sweep-strategy cell per round.
+    pub sweep_budget: usize,
+    /// Hard cap on the number of rounds.
+    pub max_rounds: usize,
+    /// Stop after this many consecutive rounds without incumbent
+    /// improvement.
+    pub patience: usize,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            base_seed: 0x90F0_0110,
+            annealed_streams: 2,
+            round_steps: 4000,
+            sweep_budget: DEFAULT_SEARCH_BUDGET,
+            max_rounds: 8,
+            patience: 2,
+        }
+    }
+}
+
+/// The strategy a cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellStrategy {
+    /// H6's annealed climb, continued every round with a fresh stream.
+    Annealed {
+        /// Stream index within the (seed, annealed) pair.
+        stream: usize,
+    },
+    /// Steepest descent to a local optimum.
+    Steepest,
+    /// Tabu search.
+    Tabu,
+}
+
+/// Static description of one cell.
+#[derive(Debug, Clone)]
+struct CellSpec {
+    /// Constructive seed heuristic registry name (`"H1"` … `"H4f"`).
+    base: String,
+    strategy: CellStrategy,
+    label: String,
+}
+
+/// Carried state of one cell across rounds.
+#[derive(Debug, Clone)]
+struct CellState {
+    /// The cell's best mapping so far (`None`: seeding failed, e.g. p > m).
+    mapping: Option<Mapping>,
+    period: Option<f64>,
+    /// A converged cell is skipped in later rounds.
+    done: bool,
+}
+
+/// Final report of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioCellReport {
+    /// Human-readable cell label, e.g. `"H6-H4w#1"`, `"SD-H2"`.
+    pub label: String,
+    /// The cell's best period (`None` when its seed heuristic failed).
+    pub period: Option<f64>,
+}
+
+/// The outcome of a portfolio run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioOutcome {
+    /// The incumbent mapping (`None` when every cell failed — the instance
+    /// admits no specialized mapping).
+    pub best_mapping: Option<Mapping>,
+    /// The incumbent period.
+    pub best_period: Option<f64>,
+    /// Index into [`cells`](Self::cells) of the cell that produced the
+    /// incumbent (lowest index on exact ties).
+    pub winner: Option<usize>,
+    /// Rounds executed before termination.
+    pub rounds: usize,
+    /// Per-cell final reports, in cell order.
+    pub cells: Vec<PortfolioCellReport>,
+}
+
+impl PortfolioOutcome {
+    /// The label of the winning cell.
+    pub fn winner_label(&self) -> Option<&str> {
+        self.winner.map(|w| self.cells[w].label.as_str())
+    }
+}
+
+/// The six constructive seeds of the portfolio, in presentation order.
+const SEED_BASES: [&str; 6] = ["H1", "H2", "H3", "H4", "H4w", "H4f"];
+
+/// Salt decorrelating portfolio streams from every other consumer of the
+/// base seed.
+const PORTFOLIO_SALT: u64 = 0x9E3_17F0_9791_0A10;
+
+fn cell_specs(config: &PortfolioConfig) -> Vec<CellSpec> {
+    let mut specs = Vec::new();
+    for base in SEED_BASES {
+        for stream in 0..config.annealed_streams.max(1) {
+            specs.push(CellSpec {
+                base: base.to_string(),
+                strategy: CellStrategy::Annealed { stream },
+                label: format!("H6-{base}#{stream}"),
+            });
+        }
+        specs.push(CellSpec {
+            base: base.to_string(),
+            strategy: CellStrategy::Steepest,
+            label: format!("SD-{base}"),
+        });
+        specs.push(CellSpec {
+            base: base.to_string(),
+            strategy: CellStrategy::Tabu,
+            label: format!("TS-{base}"),
+        });
+    }
+    specs
+}
+
+/// The RNG seed of a cell at a round — a pure function of the grid
+/// coordinates, so scheduling can never leak into the numbers.
+fn cell_seed(config: &PortfolioConfig, cell: usize, round: usize) -> u64 {
+    splitmix64(
+        config
+            .base_seed
+            .wrapping_add(PORTFOLIO_SALT)
+            .wrapping_add((cell as u64) << 32)
+            .wrapping_add(round as u64),
+    )
+}
+
+/// One cell's round: seed in round 0, then continue its strategy from the
+/// carried mapping. Pure in (instance, spec, state, seed).
+fn advance_cell(
+    instance: &Instance,
+    spec: &CellSpec,
+    state: &CellState,
+    config: &PortfolioConfig,
+    seed: u64,
+    round: usize,
+) -> CellState {
+    if state.done {
+        return state.clone();
+    }
+    let mapping = if round == 0 {
+        // Construct the seed mapping (H1 draws from the cell's stream).
+        let Some(heuristic) = paper_heuristic(&spec.base, seed) else {
+            unreachable!("SEED_BASES only lists registry names");
+        };
+        match heuristic.map(instance) {
+            Ok(mapping) => mapping,
+            Err(_) => {
+                return CellState {
+                    mapping: None,
+                    period: None,
+                    done: true,
+                }
+            }
+        }
+    } else {
+        state
+            .mapping
+            .clone()
+            .expect("live cells past round 0 carry a mapping")
+    };
+
+    // `converged` is the strategy's own verdict: steepest descent that
+    // stopped *before* exhausting its budget sits at a local optimum, and
+    // re-running it from that optimum can never help — the cell is done in
+    // the same round, sparing the redundant confirmation sweep.
+    let (polished, converged) = match spec.strategy {
+        CellStrategy::Annealed { .. } => {
+            let local = LocalSearchConfig {
+                max_steps: config.round_steps,
+                seed,
+                ..LocalSearchConfig::default()
+            };
+            (H6LocalSearch::polish(instance, &mapping, &local), false)
+        }
+        CellStrategy::Steepest => match sweep_to_optimum(instance, &mapping, config.sweep_budget) {
+            Ok((polished, converged)) => (Ok(polished), converged),
+            Err(e) => (Err(e), false),
+        },
+        CellStrategy::Tabu => (
+            polish_with(
+                instance,
+                &mapping,
+                &TabuSearch::default(),
+                config.sweep_budget,
+            ),
+            false,
+        ),
+    };
+    let polished = match polished {
+        Ok(polished) => polished,
+        Err(_) => {
+            return CellState {
+                mapping: None,
+                period: None,
+                done: true,
+            }
+        }
+    };
+    let period = match instance.period(&polished) {
+        Ok(period) => period.value(),
+        Err(_) => {
+            return CellState {
+                mapping: None,
+                period: None,
+                done: true,
+            }
+        }
+    };
+    // A deterministic strategy (SD, TS) that failed to improve on its
+    // previous round has also converged — re-running its walk from the same
+    // mapping reproduces it. The annealed climb draws a fresh stream each
+    // round, so it stays live and the incumbent-patience rule decides when
+    // to stop it.
+    let deterministic = !matches!(spec.strategy, CellStrategy::Annealed { .. });
+    let stalled = deterministic
+        && round > 0
+        && state
+            .period
+            .map(|previous| period >= previous - 1e-12)
+            .unwrap_or(false);
+    CellState {
+        mapping: Some(polished),
+        period: Some(period),
+        done: converged || stalled,
+    }
+}
+
+/// Steepest descent plus its termination verdict: `true` when the descent
+/// stopped on its own — at a local optimum or its sweep cap — rather than
+/// on the evaluation budget.
+fn sweep_to_optimum(
+    instance: &Instance,
+    mapping: &Mapping,
+    budget: usize,
+) -> mf_heuristics::HeuristicResult<(Mapping, bool)> {
+    if instance.task_count() == 0 || instance.machine_count() < 2 || budget == 0 {
+        return Ok((mapping.clone(), true));
+    }
+    let mut engine = SearchEngine::new(instance, mapping, budget)?;
+    SteepestDescent::default().run(&mut engine)?;
+    let converged = !engine.exhausted();
+    Ok((engine.into_best(), converged))
+}
+
+/// The incumbent over cell states: `(index, period)` of the minimum period,
+/// lowest index on exact ties.
+fn incumbent(states: &[CellState]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (index, state) in states.iter().enumerate() {
+        if let Some(period) = state.period {
+            let improves = match best {
+                None => true,
+                Some((_, p)) => period < p,
+            };
+            if improves {
+                best = Some((index, period));
+            }
+        }
+    }
+    best
+}
+
+/// Runs a full portfolio over one instance on the given runner's pool.
+///
+/// The outcome is bit-identical for every thread count of `runner`.
+pub fn run_portfolio(
+    instance: &Instance,
+    config: &PortfolioConfig,
+    runner: &BatchRunner,
+) -> PortfolioOutcome {
+    let specs = cell_specs(config);
+    let mut states: Vec<CellState> = vec![
+        CellState {
+            mapping: None,
+            period: None,
+            done: false,
+        };
+        specs.len()
+    ];
+    let mut best: Option<(usize, f64)> = None;
+    let mut stagnant = 0usize;
+    let mut rounds = 0usize;
+
+    for round in 0..config.max_rounds.max(1) {
+        let advanced = runner.map(specs.len(), |cell| {
+            advance_cell(
+                instance,
+                &specs[cell],
+                &states[cell],
+                config,
+                cell_seed(config, cell, round),
+                round,
+            )
+        });
+        states = advanced;
+        rounds = round + 1;
+
+        let current = incumbent(&states);
+        let improved = match (best, current) {
+            (None, Some(_)) => true,
+            (Some((_, old)), Some((_, new))) => new < old - 1e-12,
+            _ => false,
+        };
+        if improved {
+            best = current;
+            stagnant = 0;
+        } else {
+            stagnant += 1;
+        }
+        if states.iter().all(|s| s.done) || stagnant >= config.patience.max(1) {
+            break;
+        }
+    }
+
+    // Harvest: the incumbent mapping comes from the winning cell's state.
+    let final_best = incumbent(&states);
+    let (winner, best_period, best_mapping) = match final_best {
+        Some((index, period)) => (Some(index), Some(period), states[index].mapping.clone()),
+        None => (None, None, None),
+    };
+    PortfolioOutcome {
+        best_mapping,
+        best_period,
+        winner,
+        rounds,
+        cells: specs
+            .iter()
+            .zip(&states)
+            .map(|(spec, state)| PortfolioCellReport {
+                label: spec.label.clone(),
+                period: state.period,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_heuristics::{H4wFastestMachine, Heuristic};
+    use mf_sim::{GeneratorConfig, InstanceGenerator};
+
+    fn quick_config() -> PortfolioConfig {
+        PortfolioConfig {
+            annealed_streams: 1,
+            round_steps: 500,
+            sweep_budget: 20_000,
+            max_rounds: 3,
+            ..PortfolioConfig::default()
+        }
+    }
+
+    fn instance(seed: u64) -> Instance {
+        InstanceGenerator::new(GeneratorConfig::paper_standard(24, 8, 3))
+            .generate(seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn incumbent_is_the_min_over_member_cells_and_beats_h4w() {
+        let inst = instance(7);
+        let outcome = run_portfolio(&inst, &quick_config(), &BatchRunner::new(1));
+        let best = outcome.best_period.expect("feasible instance");
+        let min_cell = outcome
+            .cells
+            .iter()
+            .filter_map(|c| c.period)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(best.to_bits(), min_cell.to_bits());
+        // The winner index actually points at a cell achieving the best.
+        let winner = outcome.winner.unwrap();
+        assert_eq!(
+            outcome.cells[winner].period.unwrap().to_bits(),
+            best.to_bits()
+        );
+        // The portfolio can only improve on its best member seed.
+        let h4w = H4wFastestMachine.period(&inst).unwrap().value();
+        assert!(best <= h4w + 1e-9);
+        // And the reported mapping really has the reported period.
+        let mapping = outcome.best_mapping.unwrap();
+        let recomputed = inst.period(&mapping).unwrap().value();
+        assert!((recomputed - best).abs() <= 1e-9 * best.max(1.0));
+        assert!(inst.is_specialized(&mapping));
+    }
+
+    #[test]
+    fn infeasible_instances_fail_every_cell() {
+        // 5 types on 3 machines: no specialized mapping exists.
+        let inst = InstanceGenerator::new(GeneratorConfig::paper_standard(10, 3, 5))
+            .generate(1)
+            .unwrap();
+        let outcome = run_portfolio(&inst, &quick_config(), &BatchRunner::new(1));
+        assert!(outcome.best_mapping.is_none());
+        assert!(outcome.winner.is_none());
+        assert!(outcome.cells.iter().all(|c| c.period.is_none()));
+    }
+
+    #[test]
+    fn cell_labels_cover_all_seeds_and_strategies() {
+        let specs = cell_specs(&quick_config());
+        assert_eq!(specs.len(), 6 * 3); // 1 annealed stream + SD + TS per seed
+        let labels: Vec<&str> = specs.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"H6-H4w#0"));
+        assert!(labels.contains(&"SD-H1"));
+        assert!(labels.contains(&"TS-H4f"));
+    }
+}

@@ -7,10 +7,11 @@
 //! explicit [`BatchGrid`] API — and compare full reports with `==` on `f64`s:
 //! any scheduling-dependent reduction order would fail them.
 
-use mf_experiments::figures::{ext_localsearch, fig5, fig7, fig9};
+use mf_experiments::figures::{ext_localsearch, ext_portfolio, fig5, fig7, fig9};
+use mf_experiments::portfolio::{run_portfolio, PortfolioConfig};
 use mf_experiments::runner::{BatchGrid, BatchRunner, ScenarioSpec};
 use mf_experiments::ExperimentConfig;
-use mf_sim::GeneratorConfig;
+use mf_sim::{GeneratorConfig, InstanceGenerator};
 
 fn config_with_threads(threads: usize) -> ExperimentConfig {
     ExperimentConfig {
@@ -67,7 +68,7 @@ fn batch_grid_aggregates_identically_for_one_and_many_threads() {
                 GeneratorConfig::paper_task_failures(40, 40, 3),
             ),
         ],
-        &["H1", "H2", "H3", "H4", "H4w", "H4f"],
+        &["H1", "H2", "H3", "H4", "H4w", "H4f", "SD-H2", "TS-H4w"],
     );
     let reference = BatchRunner::new(1).run(&grid);
     for threads in [2usize, 4] {
@@ -80,7 +81,7 @@ fn batch_grid_aggregates_identically_for_one_and_many_threads() {
     // Aggregate stats (not just raw cells) are identical too.
     let four = BatchRunner::new(4).run(&grid);
     for scenario in 0..3 {
-        for method in 0..6 {
+        for method in 0..8 {
             let a = reference.stats(scenario, method);
             let b = four.stats(scenario, method);
             assert_eq!(a, b, "stats ({scenario}, {method}) changed with threads");
@@ -122,6 +123,85 @@ fn ext_localsearch_sweep_is_thread_count_invariant() {
     for scenario in 0..2 {
         for method in 0..methods.len() {
             assert_eq!(reference.samples(scenario, method).len(), 3);
+        }
+    }
+}
+
+#[test]
+fn portfolio_outcome_is_thread_count_invariant_and_equals_the_cell_min() {
+    // The portfolio runner advances its cells in synchronized rounds on the
+    // batch runner's pool; every cell's work is a pure function of its grid
+    // coordinates, so the full outcome — incumbent, winner, per-cell periods,
+    // round count — must be bit-identical for every thread count, and the
+    // incumbent must equal the min over the member cells by construction.
+    let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(30, 10, 3))
+        .generate(20100607)
+        .unwrap();
+    let config = PortfolioConfig {
+        annealed_streams: 2,
+        round_steps: 800,
+        sweep_budget: 20_000,
+        max_rounds: 3,
+        ..PortfolioConfig::default()
+    };
+    let reference = run_portfolio(&instance, &config, &BatchRunner::new(1));
+    for threads in [2usize, 4, 8] {
+        let outcome = run_portfolio(&instance, &config, &BatchRunner::new(threads));
+        assert_eq!(
+            outcome, reference,
+            "portfolio outcome changed with {threads} threads"
+        );
+    }
+    let best = reference.best_period.expect("feasible instance");
+    let min_cell = reference
+        .cells
+        .iter()
+        .filter_map(|c| c.period)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(
+        best.to_bits(),
+        min_cell.to_bits(),
+        "incumbent must be the exact min over member cells"
+    );
+    let winner = reference.winner.expect("feasible instance has a winner");
+    assert_eq!(
+        reference.cells[winner].period.unwrap().to_bits(),
+        best.to_bits()
+    );
+}
+
+#[test]
+fn ext_portfolio_sweep_is_thread_count_invariant() {
+    let config = |threads| ExperimentConfig {
+        repetitions: 2,
+        threads,
+        ..ExperimentConfig::quick()
+    };
+    let scenarios = || {
+        vec![
+            ScenarioSpec::new("fig6", GeneratorConfig::paper_standard(20, 8, 2)),
+            ScenarioSpec::new("fig9", GeneratorConfig::paper_task_failures(16, 16, 3)),
+        ]
+    };
+    let portfolio = PortfolioConfig {
+        annealed_streams: 1,
+        round_steps: 300,
+        sweep_budget: 5_000,
+        max_rounds: 2,
+        ..ext_portfolio::sweep_portfolio_config(&config(1))
+    };
+    let reference = ext_portfolio::run_with(&config(1), scenarios(), &portfolio);
+    for threads in [2usize, 4] {
+        let report = ext_portfolio::run_with(&config(threads), scenarios(), &portfolio);
+        assert_eq!(
+            report, reference,
+            "ext_portfolio sweep changed with {threads} threads"
+        );
+    }
+    // The sweep is not vacuous: every series has samples on both scenarios.
+    for series in &reference.series {
+        for (_, stats) in &series.points {
+            assert_eq!(stats.expect("cells succeed").count, 2, "{}", series.label);
         }
     }
 }

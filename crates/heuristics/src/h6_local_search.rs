@@ -1,16 +1,13 @@
 //! H6 — local-search refinement of a constructive heuristic's mapping.
 //!
 //! The paper's six heuristics build one mapping and stop. H6 takes any of
-//! them as a *seed* and polishes it by seeded stochastic hill climbing (with
-//! optional simulated annealing) over two neighborhoods:
-//!
-//! * **move** — reassign one task to another machine;
-//! * **swap** — exchange the machines of two tasks.
-//!
-//! Candidate neighbors are scored with the
-//! [`IncrementalEvaluator`](mf_core::incremental::IncrementalEvaluator), so
-//! one proposal costs `O(affected tasks + log m)` instead of the `O(n·m)`
-//! full recompute a naive search would pay.
+//! them as a *seed* and polishes it with the
+//! [`AnnealedClimb`](crate::search::AnnealedClimb) strategy on the shared
+//! [`SearchEngine`](crate::search::SearchEngine): seeded stochastic hill
+//! climbing (with optional simulated annealing) over the move/swap
+//! neighborhoods, scored incrementally so one proposal costs
+//! `O(affected tasks + log m)` instead of the `O(n·m)` full recompute a naive
+//! search would pay.
 //!
 //! When the seed mapping is specialized, every proposal is filtered through
 //! the same type constraints the constructive heuristics enforce (a machine
@@ -18,47 +15,19 @@
 //! specialized. General seed mappings are polished without restriction.
 //!
 //! H6 never returns a worse mapping than its seed: the best assignment seen
-//! (starting with the seed itself) is snapshotted and returned at the end,
-//! even when annealing wandered uphill.
+//! (starting with the seed itself) is snapshotted by the engine and returned
+//! at the end, even when annealing wandered uphill.
+//!
+//! This type predates the [`search`](crate::search) subsystem and is kept as
+//! the stable entry point: for the same [`LocalSearchConfig`] it produces the
+//! **bit-identical** mapping the pre-refactor monolithic loop did (pinned by
+//! the `h6_regression` integration test).
 
-use crate::heuristic::{base_paper_heuristic, Heuristic, HeuristicResult};
+use crate::heuristic::{parse_strategy_name, strategy_inner_heuristic, Heuristic, HeuristicResult};
+use crate::search::{polish_with, AnnealedClimb};
 use mf_core::prelude::*;
-use mf_core::seed::splitmix64;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-/// Tuning knobs of the H6 local search.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LocalSearchConfig {
-    /// Maximum number of neighborhood proposals.
-    pub max_steps: usize,
-    /// Stop after this many consecutive proposals without a new best period.
-    pub stale_limit: usize,
-    /// Initial annealing temperature as a fraction of the seed period
-    /// (`0.0` disables annealing: pure hill climbing).
-    pub initial_temperature: f64,
-    /// Multiplicative temperature decay per proposal.
-    pub cooling: f64,
-    /// Probability of proposing a swap instead of a move.
-    pub swap_probability: f64,
-    /// Seed of the neighborhood RNG stream (mixed through
-    /// [`splitmix64`], the same derivation the batch runner uses for its
-    /// per-cell streams).
-    pub seed: u64,
-}
-
-impl Default for LocalSearchConfig {
-    fn default() -> Self {
-        LocalSearchConfig {
-            max_steps: 4000,
-            stale_limit: 1000,
-            initial_temperature: 0.02,
-            cooling: 0.995,
-            swap_probability: 0.4,
-            seed: 0x4853_6C0C,
-        }
-    }
-}
+pub use crate::search::annealed::LocalSearchConfig;
 
 /// The H6 local-search heuristic: seed with an inner heuristic, then polish.
 pub struct H6LocalSearch {
@@ -81,21 +50,20 @@ impl H6LocalSearch {
     /// Resolves a registry name: `"H6"` (H4w seed) or `"H6-<base>"` where
     /// `<base>` is one of the six paper heuristics. The inner heuristic's
     /// own randomness (H1) draws from a stream derived from `seed` with
-    /// [`splitmix64`], decorrelated from H6's neighborhood stream.
+    /// [`mf_core::seed::splitmix64`], decorrelated from H6's neighborhood
+    /// stream — the same derivation every search-strategy registry name uses.
     pub fn by_registry_name(name: &str, seed: u64) -> Option<Self> {
-        let base = match name {
-            "H6" => "H4w",
-            other => other.strip_prefix("H6-")?,
-        };
-        let inner = base_paper_heuristic(base, splitmix64(seed ^ INNER_SEED_SALT))?;
+        let (prefix, base) = parse_strategy_name(name)?;
+        if prefix != "H6" {
+            return None;
+        }
+        let inner = strategy_inner_heuristic(base, seed)?;
         let config = LocalSearchConfig {
             seed,
             ..LocalSearchConfig::default()
         };
         let mut h6 = Self::new(inner, config);
-        if name == "H6" {
-            h6.name = "H6".to_string();
-        }
+        h6.name = name.to_string();
         Some(h6)
     }
 
@@ -113,127 +81,13 @@ impl H6LocalSearch {
         mapping: &Mapping,
         config: &LocalSearchConfig,
     ) -> HeuristicResult<Mapping> {
-        let n = instance.task_count();
-        let m = instance.machine_count();
-        if n == 0 || m < 2 || config.max_steps == 0 {
-            return Ok(mapping.clone());
-        }
-        let app = instance.application();
-        let specialized = instance.is_specialized(mapping);
-        let mut eval = IncrementalEvaluator::new(instance, mapping)?;
-
-        // Type bookkeeping for the specialized rule: the type a machine
-        // currently serves and how many tasks it hosts.
-        let mut machine_type: Vec<Option<TaskTypeId>> = vec![None; m];
-        let mut task_count = vec![0usize; m];
-        for task in app.tasks() {
-            let u = mapping.machine_of(task.id).index();
-            task_count[u] += 1;
-            machine_type[u] = Some(task.ty);
-        }
-
-        let mut rng = StdRng::seed_from_u64(splitmix64(config.seed));
-        let mut current = eval.period().value();
-        let mut best = current;
-        let mut best_mapping = mapping.clone();
-        let mut temperature = config.initial_temperature.max(0.0) * current;
-        let mut stale = 0usize;
-
-        for _ in 0..config.max_steps {
-            if stale >= config.stale_limit {
-                break;
-            }
-            stale += 1;
-            temperature *= config.cooling;
-
-            let candidate = if rng.gen_bool(config.swap_probability) {
-                // --- swap proposal ---
-                let a = TaskId(rng.gen_range(0..n));
-                let b = TaskId(rng.gen_range(0..n));
-                if a == b {
-                    continue;
-                }
-                let (ua, ub) = (eval.machine_of(a), eval.machine_of(b));
-                if ua == ub {
-                    continue;
-                }
-                let (ta, tb) = (app.task_type(a), app.task_type(b));
-                // Same-type swaps keep both machines' types; cross-type swaps
-                // are only specialized when both machines host a single task
-                // (they exchange their dedications).
-                if specialized
-                    && ta != tb
-                    && !(task_count[ua.index()] == 1 && task_count[ub.index()] == 1)
-                {
-                    continue;
-                }
-                let period = eval.evaluate_swap(a, b)?.period.value();
-                if !accept(period - current, temperature, &mut rng) {
-                    continue;
-                }
-                // Track the exact committed period, not the (ratio-scaled,
-                // ulp-approximate) what-if — `best` must never understate.
-                let committed = eval.apply_swap(a, b)?.period.value();
-                if ta != tb {
-                    machine_type[ua.index()] = Some(tb);
-                    machine_type[ub.index()] = Some(ta);
-                }
-                committed
-            } else {
-                // --- move proposal ---
-                let t = TaskId(rng.gen_range(0..n));
-                let to = MachineId(rng.gen_range(0..m));
-                let from = eval.machine_of(t);
-                if to == from {
-                    continue;
-                }
-                let ty = app.task_type(t);
-                if specialized && machine_type[to.index()] != Some(ty) && task_count[to.index()] > 0
-                {
-                    continue;
-                }
-                let period = eval.evaluate_move(t, to)?.period.value();
-                if !accept(period - current, temperature, &mut rng) {
-                    continue;
-                }
-                let committed = eval.apply_move(t, to)?.period.value();
-                task_count[from.index()] -= 1;
-                if task_count[from.index()] == 0 {
-                    machine_type[from.index()] = None;
-                }
-                task_count[to.index()] += 1;
-                machine_type[to.index()] = Some(ty);
-                committed
-            };
-
-            current = candidate;
-            if current < best - IMPROVEMENT_EPSILON {
-                best = current;
-                best_mapping = eval.mapping();
-                stale = 0;
-            }
-        }
-        Ok(best_mapping)
+        polish_with(
+            instance,
+            mapping,
+            &AnnealedClimb::new(*config),
+            config.max_steps,
+        )
     }
-}
-
-/// Relative slack below which a new period does not count as an improvement
-/// (guards against accumulating no-op "improvements" from float noise).
-const IMPROVEMENT_EPSILON: f64 = 1e-12;
-
-/// Salt decorrelating the inner heuristic's RNG stream from H6's own.
-const INNER_SEED_SALT: u64 = 0x5EED_1AAE_0F1A_A3E5;
-
-/// Metropolis acceptance: always take improvements, take uphill steps with
-/// probability `exp(−Δ/T)` while the temperature is positive.
-fn accept(delta: f64, temperature: f64, rng: &mut StdRng) -> bool {
-    if delta < -IMPROVEMENT_EPSILON {
-        return true;
-    }
-    if temperature <= f64::EPSILON {
-        return false;
-    }
-    rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0))
 }
 
 impl Heuristic for H6LocalSearch {
@@ -339,6 +193,9 @@ mod tests {
         assert!(H6LocalSearch::by_registry_name("H6-H9", 1).is_none());
         assert!(H6LocalSearch::by_registry_name("H6-H6", 1).is_none());
         assert!(H6LocalSearch::by_registry_name("H5", 1).is_none());
+        // Other strategy prefixes resolve elsewhere, never to an H6.
+        assert!(H6LocalSearch::by_registry_name("SD", 1).is_none());
+        assert!(H6LocalSearch::by_registry_name("TS-H2", 1).is_none());
     }
 
     #[test]

@@ -1,7 +1,16 @@
-//! The [`Heuristic`] trait, its error type and the registry of the paper's six
-//! heuristics.
+//! The [`Heuristic`] trait, its error type and the registry of mapping
+//! methods: the paper's six constructive heuristics plus the search
+//! strategies layered on top of them.
+//!
+//! Every name the workspace accepts — [`registry_names`],
+//! [`paper_heuristic`], the CLI's `--heuristic`/`--all` parsing and the batch
+//! runner's grid validation — is driven from **one table** here
+//! ([`BASE_TABLE`] for the constructive heuristics, [`STRATEGY_PREFIXES`]
+//! for the search strategies), so the list and the constructors cannot
+//! drift apart.
 
 use mf_core::prelude::*;
+use mf_core::seed::splitmix64;
 use std::fmt;
 
 /// Result alias for heuristics.
@@ -57,62 +66,141 @@ pub trait Heuristic {
     }
 }
 
+/// A heuristic behind a name in the registry.
+pub type BoxedHeuristic = Box<dyn Heuristic + Send + Sync>;
+
+type Constructor = fn(u64) -> BoxedHeuristic;
+
+/// The constructive heuristics of the paper, in presentation order — the
+/// single source of truth for names *and* constructors.
+const BASE_TABLE: &[(&str, Constructor)] = &[
+    ("H1", |seed| Box::new(crate::h1_random::H1Random::new(seed))),
+    ("H2", |_| {
+        Box::new(crate::binary_search::H2BinaryPotential::default())
+    }),
+    ("H3", |_| {
+        Box::new(crate::binary_search::H3BinaryHeterogeneity::default())
+    }),
+    ("H4", |_| Box::new(crate::h4_family::H4BestPerformance)),
+    ("H4w", |_| Box::new(crate::h4_family::H4wFastestMachine)),
+    ("H4f", |_| Box::new(crate::h4_family::H4fReliableMachine)),
+];
+
+/// Search-strategy prefixes registered over every base heuristic: the bare
+/// prefix seeds from [`DEFAULT_SEED_BASE`], `"<prefix>-<base>"` seeds from an
+/// explicit one.
+///
+/// * `"H6"` — annealed hill climb ([`crate::search::AnnealedClimb`]);
+/// * `"SD"` — steepest-descent full-neighborhood sweep
+///   ([`crate::search::SteepestDescent`]);
+/// * `"TS"` — tabu search ([`crate::search::TabuSearch`]).
+pub const STRATEGY_PREFIXES: &[&str] = &["H6", "SD", "TS"];
+
+/// The seed heuristic behind a bare strategy name (`"H6"`, `"SD"`, `"TS"`):
+/// H4w, the paper's best constructive heuristic.
+pub const DEFAULT_SEED_BASE: &str = "H4w";
+
+/// Default candidate-evaluation budget of the sweep-based strategies (SD and
+/// TS registry names). H6 keeps its own proposal budget
+/// ([`crate::search::LocalSearchConfig::max_steps`]).
+pub const DEFAULT_SEARCH_BUDGET: usize = 200_000;
+
+/// Salt decorrelating a seed heuristic's RNG stream from the search
+/// strategy's own neighborhood stream.
+const INNER_SEED_SALT: u64 = 0x5EED_1AAE_0F1A_A3E5;
+
 /// The six heuristics evaluated in the paper, in presentation order
 /// (H1, H2, H3, H4, H4w, H4f), with the given seed for the random heuristic.
-pub fn all_paper_heuristics(seed: u64) -> Vec<Box<dyn Heuristic + Send + Sync>> {
-    vec![
-        Box::new(crate::h1_random::H1Random::new(seed)),
-        Box::new(crate::binary_search::H2BinaryPotential::default()),
-        Box::new(crate::binary_search::H3BinaryHeterogeneity::default()),
-        Box::new(crate::h4_family::H4BestPerformance),
-        Box::new(crate::h4_family::H4wFastestMachine),
-        Box::new(crate::h4_family::H4fReliableMachine),
-    ]
+pub fn all_paper_heuristics(seed: u64) -> Vec<BoxedHeuristic> {
+    BASE_TABLE.iter().map(|(_, build)| build(seed)).collect()
+}
+
+fn base_constructor(name: &str) -> Option<Constructor> {
+    BASE_TABLE
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, build)| *build)
 }
 
 /// Constructs one of the six *constructive* paper heuristics by name
-/// (`"H1"` … `"H4f"`). `None` for anything else — in particular the H6
-/// names, so H6 can never recursively seed itself.
-pub(crate) fn base_paper_heuristic(
-    name: &str,
-    seed: u64,
-) -> Option<Box<dyn Heuristic + Send + Sync>> {
-    match name {
-        "H1" => Some(Box::new(crate::h1_random::H1Random::new(seed))),
-        "H2" => Some(Box::new(crate::binary_search::H2BinaryPotential::default())),
-        "H3" => Some(Box::new(
-            crate::binary_search::H3BinaryHeterogeneity::default(),
-        )),
-        "H4" => Some(Box::new(crate::h4_family::H4BestPerformance)),
-        "H4w" => Some(Box::new(crate::h4_family::H4wFastestMachine)),
-        "H4f" => Some(Box::new(crate::h4_family::H4fReliableMachine)),
-        _ => None,
+/// (`"H1"` … `"H4f"`). `None` for anything else — in particular the search
+/// strategy names, so a strategy can never recursively seed itself.
+pub(crate) fn base_paper_heuristic(name: &str, seed: u64) -> Option<BoxedHeuristic> {
+    base_constructor(name).map(|build| build(seed))
+}
+
+/// Splits a search-strategy registry name into `(prefix, base)`:
+/// `"SD"` → `("SD", "H4w")`, `"TS-H2"` → `("TS", "H2")`. `None` when the
+/// prefix or the base is unknown.
+pub(crate) fn parse_strategy_name(name: &str) -> Option<(&'static str, &str)> {
+    for prefix in STRATEGY_PREFIXES {
+        if name == *prefix {
+            return Some((prefix, DEFAULT_SEED_BASE));
+        }
+        if let Some(base) = name
+            .strip_prefix(prefix)
+            .and_then(|rest| rest.strip_prefix('-'))
+        {
+            return base_constructor(base).map(|_| (*prefix, base));
+        }
     }
+    None
+}
+
+/// The seed (inner) heuristic of a strategy registry name, drawing its own
+/// randomness from a stream decorrelated from the strategy's.
+pub(crate) fn strategy_inner_heuristic(base: &str, seed: u64) -> Option<BoxedHeuristic> {
+    base_paper_heuristic(base, splitmix64(seed ^ INNER_SEED_SALT))
 }
 
 /// Constructs a single heuristic by its report name, with the given seed for
 /// any internal randomness. `None` for unknown names.
 ///
-/// Accepted names are the six paper heuristics (`"H1"` … `"H4f"`), the H6
-/// local search over its default H4w seed (`"H6"`), and H6 over an explicit
-/// seed heuristic (`"H6-H1"` … `"H6-H4f"`) — see [`registry_names`].
+/// Accepted names are the six paper heuristics (`"H1"` … `"H4f"`) and, for
+/// every strategy prefix in [`STRATEGY_PREFIXES`], the bare prefix (H4w
+/// seed) and `"<prefix>-<base>"` — see [`registry_names`].
 ///
 /// Cheaper than filtering [`all_paper_heuristics`] when only one heuristic is
 /// needed — the batch-evaluation engine calls this once per grid cell.
-pub fn paper_heuristic(name: &str, seed: u64) -> Option<Box<dyn Heuristic + Send + Sync>> {
-    base_paper_heuristic(name, seed).or_else(|| {
-        crate::h6_local_search::H6LocalSearch::by_registry_name(name, seed)
-            .map(|h6| Box::new(h6) as Box<dyn Heuristic + Send + Sync>)
-    })
+pub fn paper_heuristic(name: &str, seed: u64) -> Option<BoxedHeuristic> {
+    if let Some(heuristic) = base_paper_heuristic(name, seed) {
+        return Some(heuristic);
+    }
+    let (prefix, base) = parse_strategy_name(name)?;
+    match prefix {
+        "H6" => crate::h6_local_search::H6LocalSearch::by_registry_name(name, seed)
+            .map(|h6| Box::new(h6) as BoxedHeuristic),
+        "SD" => {
+            let inner = strategy_inner_heuristic(base, seed)?;
+            Some(Box::new(crate::search::SearchHeuristic::new(
+                inner,
+                Box::new(crate::search::SteepestDescent::default()),
+                DEFAULT_SEARCH_BUDGET,
+                name,
+            )))
+        }
+        "TS" => {
+            let inner = strategy_inner_heuristic(base, seed)?;
+            Some(Box::new(crate::search::SearchHeuristic::new(
+                inner,
+                Box::new(crate::search::TabuSearch::default()),
+                DEFAULT_SEARCH_BUDGET,
+                name,
+            )))
+        }
+        _ => unreachable!("every prefix in STRATEGY_PREFIXES is matched"),
+    }
 }
 
 /// Every canonical name [`paper_heuristic`] resolves, in presentation order:
-/// the six paper heuristics, then `"H6"` and its explicit-seed variants.
+/// the six paper heuristics, then — per strategy prefix — the bare prefix
+/// and its explicit-seed variants.
 pub fn registry_names() -> Vec<String> {
-    let bases = ["H1", "H2", "H3", "H4", "H4w", "H4f"];
-    let mut names: Vec<String> = bases.iter().map(|n| n.to_string()).collect();
-    names.push("H6".to_string());
-    names.extend(bases.iter().map(|n| format!("H6-{n}")));
+    let mut names: Vec<String> = BASE_TABLE.iter().map(|(n, _)| n.to_string()).collect();
+    for prefix in STRATEGY_PREFIXES {
+        names.push(prefix.to_string());
+        names.extend(BASE_TABLE.iter().map(|(n, _)| format!("{prefix}-{n}")));
+    }
     names
 }
 
@@ -145,10 +233,28 @@ mod tests {
                 .unwrap_or_else(|| panic!("`{name}` must be constructible by name"));
             assert_eq!(built.name(), name);
         }
-        assert!(registry_names().contains(&"H6".to_string()));
-        assert!(registry_names().contains(&"H6-H4f".to_string()));
-        assert!(paper_heuristic("H6-H6", 1).is_none());
-        assert!(paper_heuristic("H6-", 1).is_none());
+        for expected in ["H6", "H6-H4f", "SD", "SD-H1", "TS", "TS-H4w"] {
+            assert!(
+                registry_names().contains(&expected.to_string()),
+                "`{expected}` missing from the registry"
+            );
+        }
+        for rejected in ["H6-H6", "H6-", "SD-SD", "SD-H6", "TS-", "TS-TS", "XX-H2"] {
+            assert!(
+                paper_heuristic(rejected, 1).is_none(),
+                "`{rejected}` must not resolve"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_name_parsing_covers_every_prefix() {
+        assert_eq!(parse_strategy_name("H6"), Some(("H6", "H4w")));
+        assert_eq!(parse_strategy_name("SD-H2"), Some(("SD", "H2")));
+        assert_eq!(parse_strategy_name("TS-H4f"), Some(("TS", "H4f")));
+        assert_eq!(parse_strategy_name("H4w"), None);
+        assert_eq!(parse_strategy_name("SD-"), None);
+        assert_eq!(parse_strategy_name("SDX"), None);
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //! | [`H4wFastestMachine`] | greedy: minimise the resulting machine load ignoring failures |
 //! | [`H4fReliableMachine`] | greedy: most reliable admissible machine, ignoring speed |
 //!
-//! plus a [`RandomMapping`] baseline that ignores load altogether, and
-//! [`H6LocalSearch`] — a local-search refinement (move/swap hill climbing
-//! with optional annealing, powered by the incremental evaluator of
-//! `mf-core`) that polishes any of the six constructive mappings and never
-//! returns a worse period than its seed.
+//! plus a [`RandomMapping`] baseline that ignores load altogether, and the
+//! [`search`] subsystem — a strategy-driven neighborhood search (shared
+//! [`SearchEngine`] over the incremental evaluator of `mf-core`, plus the
+//! [`AnnealedClimb`] behind [`H6LocalSearch`], the full-sweep
+//! [`SteepestDescent`] and [`TabuSearch`] strategies) that polishes any of
+//! the six constructive mappings and never returns a worse period than its
+//! seed. Registry names (`"H6"`, `"SD-H2"`, `"TS"`, … — see
+//! [`registry_names`]) are driven from a single table in [`heuristic`].
 //!
 //! All heuristics guarantee a *valid* specialized mapping whenever the
 //! platform has at least as many machines as the application has types, thanks
@@ -50,6 +53,7 @@ pub mod h4_family;
 pub mod h5_split;
 pub mod h6_local_search;
 pub mod heuristic;
+pub mod search;
 
 pub use baseline::RandomMapping;
 pub use binary_search::{BinarySearchConfig, H2BinaryPotential, H3BinaryHeterogeneity};
@@ -61,6 +65,9 @@ pub use h4_family::{
 pub use h5_split::H5WorkloadSplit;
 pub use h6_local_search::{H6LocalSearch, LocalSearchConfig};
 pub use heuristic::{
-    all_paper_heuristics, paper_heuristic, registry_names, Heuristic, HeuristicError,
-    HeuristicResult,
+    all_paper_heuristics, paper_heuristic, registry_names, BoxedHeuristic, Heuristic,
+    HeuristicError, HeuristicResult, DEFAULT_SEARCH_BUDGET, STRATEGY_PREFIXES,
+};
+pub use search::{
+    AnnealedClimb, SearchEngine, SearchHeuristic, SearchStrategy, SteepestDescent, TabuSearch,
 };

@@ -1,0 +1,34 @@
+//! The candidate representation the sweep-based strategies share.
+
+use crate::search::engine::{CommitOutcome, SearchEngine};
+use crate::HeuristicResult;
+use mf_core::prelude::*;
+
+/// One neighbor of the current mapping.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Candidate {
+    /// Reassign one task to another machine.
+    Move(TaskId, MachineId),
+    /// Exchange the machines of two tasks.
+    Swap(TaskId, TaskId),
+}
+
+impl Candidate {
+    /// Commits this candidate on the engine.
+    pub(crate) fn commit(self, engine: &mut SearchEngine<'_>) -> HeuristicResult<CommitOutcome> {
+        match self {
+            Candidate::Move(task, to) => engine.commit_move(task, to),
+            Candidate::Swap(a, b) => engine.commit_swap(a, b),
+        }
+    }
+}
+
+/// Strict improvement over the best candidate so far (strict `<` keeps the
+/// first candidate in scan order on ties, so sweeps stay deterministic).
+#[inline]
+pub(crate) fn better_than(period: f64, best: &Option<(f64, Candidate)>) -> bool {
+    match best {
+        None => true,
+        Some((p, _)) => period < *p,
+    }
+}

@@ -1,0 +1,362 @@
+//! The shared search engine: incremental candidate evaluation, specialized-
+//! rule preservation, best-so-far tracking and the evaluation budget.
+//!
+//! Strategies ([`SearchStrategy`](crate::search::SearchStrategy)) never touch
+//! the [`IncrementalEvaluator`] directly: they ask the engine whether a move
+//! or swap is admissible, what period it would produce, and commit the ones
+//! they take. The engine keeps the invariants every strategy relies on:
+//!
+//! * a specialized seed mapping stays specialized — proposals that would put
+//!   two task types on one machine are inadmissible;
+//! * the best mapping seen (starting with the seed itself) is snapshotted, so
+//!   [`SearchEngine::into_best`] is never worse than the seed, no matter how
+//!   far a strategy wandered uphill;
+//! * the budget ([`SearchEngine::charge`] / [`SearchEngine::exhausted`])
+//!   meters work in *candidate evaluations*, the unit every strategy shares.
+
+use crate::heuristic::HeuristicResult;
+use mf_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Relative slack below which a new period does not count as an improvement
+/// (guards against accumulating no-op "improvements" from float noise).
+pub const IMPROVEMENT_EPSILON: f64 = 1e-12;
+
+/// Metropolis acceptance: always take improvements, take uphill steps with
+/// probability `exp(−Δ/T)` while the temperature is positive.
+///
+/// Only draws from `rng` when the step is not an improvement and the
+/// temperature is positive — callers that rely on reproducible streams (the
+/// annealed climb) count on that.
+pub fn metropolis(delta: f64, temperature: f64, rng: &mut StdRng) -> bool {
+    if delta < -IMPROVEMENT_EPSILON {
+        return true;
+    }
+    if temperature <= f64::EPSILON {
+        return false;
+    }
+    rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0))
+}
+
+/// The outcome of committing a move or swap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitOutcome {
+    /// The committed (exact, not what-if) period of the new mapping.
+    pub period: f64,
+    /// `true` when the commit set a new best-so-far period.
+    pub improved_best: bool,
+}
+
+/// Shared state of a neighborhood search over one instance.
+///
+/// Built from a seed mapping, driven by a strategy, harvested with
+/// [`SearchEngine::into_best`].
+#[derive(Debug)]
+pub struct SearchEngine<'a> {
+    instance: &'a Instance,
+    eval: IncrementalEvaluator<'a>,
+    /// Whether the *seed* was specialized — if so, every proposal must keep
+    /// the mapping specialized.
+    specialized: bool,
+    /// The task type a machine currently serves (`None` when idle). Tracked
+    /// even for general seeds so commits stay cheap.
+    machine_type: Vec<Option<TaskTypeId>>,
+    /// Number of tasks currently hosted per machine.
+    tasks_on: Vec<usize>,
+    current: f64,
+    best: f64,
+    best_mapping: Mapping,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Builds an engine over `instance`, starting from `mapping`, with a
+    /// budget of `max_steps` candidate evaluations.
+    pub fn new(
+        instance: &'a Instance,
+        mapping: &Mapping,
+        max_steps: usize,
+    ) -> HeuristicResult<Self> {
+        let app = instance.application();
+        let m = instance.machine_count();
+        let specialized = instance.is_specialized(mapping);
+        let eval = IncrementalEvaluator::new(instance, mapping)?;
+        let mut machine_type: Vec<Option<TaskTypeId>> = vec![None; m];
+        let mut tasks_on = vec![0usize; m];
+        for task in app.tasks() {
+            let u = mapping.machine_of(task.id).index();
+            tasks_on[u] += 1;
+            machine_type[u] = Some(task.ty);
+        }
+        let current = eval.period().value();
+        Ok(SearchEngine {
+            instance,
+            eval,
+            specialized,
+            machine_type,
+            tasks_on,
+            current,
+            best: current,
+            best_mapping: mapping.clone(),
+            steps: 0,
+            max_steps,
+        })
+    }
+
+    /// The instance being searched.
+    #[inline]
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn tasks(&self) -> usize {
+        self.instance.task_count()
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.instance.machine_count()
+    }
+
+    /// `true` when the seed mapping was specialized (and therefore every
+    /// proposal is filtered through the specialized rule).
+    #[inline]
+    pub fn preserves_specialization(&self) -> bool {
+        self.specialized
+    }
+
+    /// The machine currently executing a task.
+    #[inline]
+    pub fn machine_of(&self, task: TaskId) -> MachineId {
+        self.eval.machine_of(task)
+    }
+
+    /// The period of the current (last committed) mapping.
+    #[inline]
+    pub fn current_period(&self) -> f64 {
+        self.current
+    }
+
+    /// The best period seen so far (never worse than the seed's).
+    #[inline]
+    pub fn best_period(&self) -> f64 {
+        self.best
+    }
+
+    /// Candidate evaluations consumed so far.
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Consumes `amount` units of budget (saturating).
+    #[inline]
+    pub fn charge(&mut self, amount: usize) {
+        self.steps = self.steps.saturating_add(amount);
+    }
+
+    /// `true` once the evaluation budget is spent.
+    #[inline]
+    pub fn exhausted(&self) -> bool {
+        self.steps >= self.max_steps
+    }
+
+    /// `true` when moving `task` to `to` is admissible: a real change, and —
+    /// for specialized seeds — one that keeps the mapping specialized.
+    pub fn allows_move(&self, task: TaskId, to: MachineId) -> bool {
+        let from = self.eval.machine_of(task);
+        if to == from {
+            return false;
+        }
+        if self.specialized {
+            let ty = self.instance.application().task_type(task);
+            let u = to.index();
+            if self.machine_type[u] != Some(ty) && self.tasks_on[u] > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` when exchanging the machines of `a` and `b` is admissible.
+    /// Same-type swaps keep both machines' types; cross-type swaps are only
+    /// specialized when both machines host a single task (they exchange their
+    /// dedications).
+    pub fn allows_swap(&self, a: TaskId, b: TaskId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ua, ub) = (self.eval.machine_of(a), self.eval.machine_of(b));
+        if ua == ub {
+            return false;
+        }
+        if self.specialized {
+            let app = self.instance.application();
+            let (ta, tb) = (app.task_type(a), app.task_type(b));
+            if ta != tb && !(self.tasks_on[ua.index()] == 1 && self.tasks_on[ub.index()] == 1) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// What-if period of moving `task` to `to` (state untouched). Callers are
+    /// expected to [`charge`](Self::charge) for the evaluation.
+    pub fn evaluate_move(&mut self, task: TaskId, to: MachineId) -> HeuristicResult<f64> {
+        Ok(self.eval.evaluate_move(task, to)?.period.value())
+    }
+
+    /// What-if period of swapping the machines of `a` and `b`.
+    pub fn evaluate_swap(&mut self, a: TaskId, b: TaskId) -> HeuristicResult<f64> {
+        Ok(self.eval.evaluate_swap(a, b)?.period.value())
+    }
+
+    /// Commits a move, updating the type bookkeeping, the current period and
+    /// the best-so-far snapshot. The returned period is the exact committed
+    /// one (what-ifs on chains are ratio-scaled and may differ by a few ulp —
+    /// `best` must never understate).
+    pub fn commit_move(&mut self, task: TaskId, to: MachineId) -> HeuristicResult<CommitOutcome> {
+        let from = self.eval.machine_of(task);
+        let ty = self.instance.application().task_type(task);
+        let committed = self.eval.apply_move(task, to)?.period.value();
+        if from != to {
+            self.tasks_on[from.index()] -= 1;
+            if self.tasks_on[from.index()] == 0 {
+                self.machine_type[from.index()] = None;
+            }
+            self.tasks_on[to.index()] += 1;
+            self.machine_type[to.index()] = Some(ty);
+        }
+        Ok(self.record(committed))
+    }
+
+    /// Commits a swap of the machines of `a` and `b`.
+    pub fn commit_swap(&mut self, a: TaskId, b: TaskId) -> HeuristicResult<CommitOutcome> {
+        let (ua, ub) = (self.eval.machine_of(a), self.eval.machine_of(b));
+        let app = self.instance.application();
+        let (ta, tb) = (app.task_type(a), app.task_type(b));
+        let committed = self.eval.apply_swap(a, b)?.period.value();
+        if ua != ub && ta != tb {
+            self.machine_type[ua.index()] = Some(tb);
+            self.machine_type[ub.index()] = Some(ta);
+        }
+        Ok(self.record(committed))
+    }
+
+    fn record(&mut self, committed: f64) -> CommitOutcome {
+        self.current = committed;
+        let improved_best = committed < self.best - IMPROVEMENT_EPSILON;
+        if improved_best {
+            self.best = committed;
+            self.best_mapping = self.eval.mapping();
+        }
+        CommitOutcome {
+            period: committed,
+            improved_best,
+        }
+    }
+
+    /// Materialises the current (last committed) assignment — which may be
+    /// worse than [`into_best`](Self::into_best) when the strategy accepted
+    /// uphill steps.
+    pub fn current_mapping(&self) -> Mapping {
+        self.eval.mapping()
+    }
+
+    /// The best mapping seen (the seed itself if nothing improved on it).
+    pub fn into_best(self) -> Mapping {
+        self.best_mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::h4_family::H4wFastestMachine;
+    use crate::Heuristic;
+    use rand::SeedableRng;
+
+    fn instance() -> Instance {
+        let app = Application::linear_chain(&[0, 1, 0, 1]).unwrap();
+        let platform = Platform::from_type_times(
+            3,
+            vec![vec![100.0, 200.0, 400.0], vec![300.0, 150.0, 250.0]],
+        )
+        .unwrap();
+        let failures = FailureModel::uniform(4, 3, FailureRate::new(0.05).unwrap());
+        Instance::new(app, platform, failures).unwrap()
+    }
+
+    #[test]
+    fn budget_is_metered_and_saturates() {
+        let inst = instance();
+        let seed = H4wFastestMachine.map(&inst).unwrap();
+        let mut engine = SearchEngine::new(&inst, &seed, 3).unwrap();
+        assert!(!engine.exhausted());
+        engine.charge(2);
+        assert!(!engine.exhausted());
+        engine.charge(usize::MAX);
+        assert!(engine.exhausted());
+        assert_eq!(engine.steps(), usize::MAX);
+    }
+
+    #[test]
+    fn specialized_filters_apply_and_commits_update_bookkeeping() {
+        let inst = instance();
+        let seed = H4wFastestMachine.map(&inst).unwrap();
+        assert!(inst.is_specialized(&seed));
+        let mut engine = SearchEngine::new(&inst, &seed, 100).unwrap();
+        assert!(engine.preserves_specialization());
+        // Self-moves and same-machine swaps are never admissible.
+        let t0 = TaskId(0);
+        assert!(!engine.allows_move(t0, engine.machine_of(t0)));
+        assert!(!engine.allows_swap(t0, t0));
+        // Every admissible committed move keeps the mapping specialized.
+        for t in 0..inst.task_count() {
+            for u in 0..inst.machine_count() {
+                let (task, to) = (TaskId(t), MachineId(u));
+                if engine.allows_move(task, to) {
+                    engine.commit_move(task, to).unwrap();
+                    assert!(inst.is_specialized(&engine.current_mapping()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_is_never_worse_than_the_seed() {
+        let inst = instance();
+        let seed = H4wFastestMachine.map(&inst).unwrap();
+        let seed_period = inst.period(&seed).unwrap().value();
+        let mut engine = SearchEngine::new(&inst, &seed, 100).unwrap();
+        // Commit a few arbitrary (possibly degrading) admissible moves.
+        for t in 0..inst.task_count() {
+            for u in 0..inst.machine_count() {
+                let (task, to) = (TaskId(t), MachineId(u));
+                if engine.allows_move(task, to) {
+                    engine.commit_move(task, to).unwrap();
+                }
+            }
+        }
+        let best = engine.best_period();
+        let mapping = engine.into_best();
+        let final_period = inst.period(&mapping).unwrap().value();
+        assert!(final_period <= seed_period + 1e-9);
+        assert!((final_period - best).abs() <= 1e-9 * best.max(1.0));
+    }
+
+    #[test]
+    fn metropolis_accepts_improvements_and_respects_zero_temperature() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(metropolis(-1.0, 0.0, &mut rng));
+        assert!(!metropolis(1.0, 0.0, &mut rng));
+        // Positive temperature: uphill steps are sometimes taken.
+        let taken = (0..1000).filter(|_| metropolis(1.0, 2.0, &mut rng)).count();
+        assert!(taken > 200 && taken < 900, "exp(-0.5) ≈ 0.61, got {taken}");
+    }
+}

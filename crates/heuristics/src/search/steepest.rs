@@ -1,0 +1,129 @@
+//! Steepest descent: full-neighborhood sweeps until a local optimum.
+//!
+//! Each iteration scores **every** admissible move (`n·m` candidates) and —
+//! optionally — every admissible swap (`n·(n−1)/2` candidates) through the
+//! engine's incremental evaluator, then commits the single best improving
+//! neighbor. On linear chains the evaluator answers each what-if from its
+//! prefix-mass row cache, so a whole sweep costs `O(n·m)` row work amortized
+//! plus one `O(m)` scan per candidate — cheap enough that sweeping the full
+//! neighborhood is competitive with H6's random probing (the
+//! `search_strategies` bench and the ignored `sweep_scaling` probe measure
+//! this).
+//!
+//! The strategy is fully deterministic: no RNG, ties broken by scan order
+//! (lowest task, then lowest machine, moves before swaps).
+
+use crate::search::candidate::{better_than, Candidate};
+use crate::search::engine::{SearchEngine, IMPROVEMENT_EPSILON};
+use crate::search::strategy::SearchStrategy;
+use crate::HeuristicResult;
+use mf_core::prelude::*;
+
+/// Tuning knobs of the steepest-descent sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SteepestDescentConfig {
+    /// Maximum number of sweep-and-commit iterations (the search usually
+    /// stops earlier, at a local optimum).
+    pub max_sweeps: usize,
+    /// Also sweep the two-task swap neighborhood (`n·(n−1)/2` extra
+    /// candidates per iteration). Swaps escape the "both machines full"
+    /// plateaus that moves alone cannot.
+    pub include_swaps: bool,
+}
+
+impl Default for SteepestDescentConfig {
+    fn default() -> Self {
+        SteepestDescentConfig {
+            max_sweeps: 256,
+            include_swaps: true,
+        }
+    }
+}
+
+/// Full-neighborhood steepest descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SteepestDescent {
+    config: SteepestDescentConfig,
+}
+
+impl SteepestDescent {
+    /// A descent with explicit knobs.
+    pub fn new(config: SteepestDescentConfig) -> Self {
+        SteepestDescent { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SteepestDescentConfig {
+        &self.config
+    }
+
+    /// Scores the full neighborhood and returns the best candidate with its
+    /// what-if period (scan-order tie-break). `None` when no candidate is
+    /// admissible.
+    fn best_neighbor(
+        &self,
+        engine: &mut SearchEngine<'_>,
+    ) -> HeuristicResult<Option<(f64, Candidate)>> {
+        let n = engine.tasks();
+        let m = engine.machines();
+        let mut best: Option<(f64, Candidate)> = None;
+        for t in 0..n {
+            let task = TaskId(t);
+            for u in 0..m {
+                let to = MachineId(u);
+                if !engine.allows_move(task, to) {
+                    continue;
+                }
+                engine.charge(1);
+                let period = engine.evaluate_move(task, to)?;
+                if better_than(period, &best) {
+                    best = Some((period, Candidate::Move(task, to)));
+                }
+            }
+        }
+        if self.config.include_swaps {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let (a, b) = (TaskId(a), TaskId(b));
+                    if !engine.allows_swap(a, b) {
+                        continue;
+                    }
+                    engine.charge(1);
+                    let period = engine.evaluate_swap(a, b)?;
+                    if better_than(period, &best) {
+                        best = Some((period, Candidate::Swap(a, b)));
+                    }
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+impl SearchStrategy for SteepestDescent {
+    fn name(&self) -> &str {
+        "steepest-descent"
+    }
+
+    fn run(&self, engine: &mut SearchEngine<'_>) -> HeuristicResult<()> {
+        if engine.tasks() == 0 || engine.machines() < 2 {
+            return Ok(());
+        }
+        // Sweeps are atomic: the budget is checked between sweeps, so the
+        // last sweep may overrun it by one neighborhood.
+        for _ in 0..self.config.max_sweeps {
+            if engine.exhausted() {
+                break;
+            }
+            let current = engine.current_period();
+            match self.best_neighbor(engine)? {
+                Some((period, candidate)) if period < current - IMPROVEMENT_EPSILON => {
+                    candidate.commit(engine)?;
+                }
+                // Local optimum (or nothing admissible): done.
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+}

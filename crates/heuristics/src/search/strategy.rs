@@ -1,0 +1,85 @@
+//! The [`SearchStrategy`] trait and the [`SearchHeuristic`] adapter that
+//! turns (constructive seed heuristic + strategy) into a registrable
+//! [`Heuristic`].
+
+use crate::heuristic::{Heuristic, HeuristicResult};
+use crate::search::engine::SearchEngine;
+use mf_core::prelude::*;
+
+/// A search policy over the move/swap neighborhoods.
+///
+/// A strategy drives a [`SearchEngine`]: it decides which neighbors to score
+/// and which to commit; the engine supplies incremental evaluation, the
+/// specialized-rule filter, best-so-far tracking and the budget. Because the
+/// engine snapshots the best mapping seen (seeded with the start mapping),
+/// **no strategy can return a mapping worse than its seed**.
+pub trait SearchStrategy {
+    /// Short policy name used in labels (`"annealed"`, `"steepest-descent"`,
+    /// `"tabu"`).
+    fn name(&self) -> &str;
+
+    /// Runs the policy until its own termination rule or the engine budget
+    /// stops it. The result is harvested from the engine afterwards.
+    fn run(&self, engine: &mut SearchEngine<'_>) -> HeuristicResult<()>;
+}
+
+/// Polishes an existing mapping with a strategy, within an evaluation
+/// budget. The returned mapping's period is never worse than `mapping`'s,
+/// and a specialized `mapping` stays specialized.
+pub fn polish_with(
+    instance: &Instance,
+    mapping: &Mapping,
+    strategy: &dyn SearchStrategy,
+    budget: usize,
+) -> HeuristicResult<Mapping> {
+    if instance.task_count() == 0 || instance.machine_count() < 2 || budget == 0 {
+        return Ok(mapping.clone());
+    }
+    let mut engine = SearchEngine::new(instance, mapping, budget)?;
+    strategy.run(&mut engine)?;
+    Ok(engine.into_best())
+}
+
+/// A constructive seed heuristic refined by a search strategy — the shape
+/// behind every `H6`/`SD`/`TS` registry name.
+pub struct SearchHeuristic {
+    inner: Box<dyn Heuristic + Send + Sync>,
+    strategy: Box<dyn SearchStrategy + Send + Sync>,
+    budget: usize,
+    name: String,
+}
+
+impl SearchHeuristic {
+    /// Seeds the engine with `inner`'s mapping, then runs `strategy` with
+    /// `budget` candidate evaluations. `name` is the registry name
+    /// (e.g. `"SD-H2"`).
+    pub fn new(
+        inner: Box<dyn Heuristic + Send + Sync>,
+        strategy: Box<dyn SearchStrategy + Send + Sync>,
+        budget: usize,
+        name: impl Into<String>,
+    ) -> Self {
+        SearchHeuristic {
+            inner,
+            strategy,
+            budget,
+            name: name.into(),
+        }
+    }
+
+    /// The evaluation budget handed to the engine.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+impl Heuristic for SearchHeuristic {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map(&self, instance: &Instance) -> HeuristicResult<Mapping> {
+        let seeded = self.inner.map(instance)?;
+        polish_with(instance, &seeded, self.strategy.as_ref(), self.budget)
+    }
+}

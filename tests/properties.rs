@@ -274,3 +274,69 @@ fn bottleneck_one_to_one_is_sandwiched() {
         );
     }
 }
+
+/// Every registered search strategy (H6, SD, TS — polishing any base) returns
+/// a mapping no worse than its own seed heuristic's and keeps it specialized,
+/// on any feasible instance.
+#[test]
+fn search_strategies_never_degrade_their_seed_heuristic() {
+    use microfactory::heuristics::search::{polish_with, SteepestDescent, TabuSearch};
+    let mut rng = StdRng::seed_from_u64(0x5EA2C4);
+    for case in 0..CASES / 2 {
+        let instance = random_instance(&mut rng, 20, 7);
+        let seeded = H4wFastestMachine.map(&instance).unwrap();
+        let seed_period = instance.period(&seeded).unwrap().value();
+        let strategies: [(&str, &dyn microfactory::heuristics::SearchStrategy); 2] = [
+            ("SD", &SteepestDescent::default()),
+            ("TS", &TabuSearch::default()),
+        ];
+        for (label, strategy) in strategies {
+            let polished = polish_with(&instance, &seeded, strategy, 30_000).unwrap();
+            let period = instance.period(&polished).unwrap().value();
+            assert!(
+                period <= seed_period + 1e-9,
+                "case {case}: {label} degraded {seed_period} to {period}"
+            );
+            assert!(
+                instance.is_specialized(&polished),
+                "case {case}: {label} broke the specialized rule"
+            );
+        }
+    }
+}
+
+/// The staged partial-assignment evaluator agrees bit-for-bit with a plain
+/// `load[u] += c` bookkeeping plus max-scan on random place/unplace walks —
+/// the property that makes the evaluator-backed branch-and-bound explore the
+/// identical tree.
+#[test]
+fn staged_evaluator_matches_manual_bookkeeping_on_random_walks() {
+    let mut rng = StdRng::seed_from_u64(0x57A6ED);
+    for case in 0..CASES {
+        let machines = rng.gen_range(1..12usize);
+        let mut staged = PartialAssignmentEvaluator::new(machines);
+        let mut load = vec![0.0f64; machines];
+        let mut trail: Vec<(usize, f64)> = Vec::new();
+        for step in 0..200 {
+            let place = trail.is_empty() || rng.gen_bool(0.6);
+            if place {
+                let u = rng.gen_range(0..machines);
+                let c = rng.gen_range(0.0..1e4);
+                staged.place(MachineId(u), c);
+                load[u] += c;
+                trail.push((u, c));
+            } else {
+                let (u, c) = trail.pop().unwrap();
+                staged.unplace();
+                load[u] -= c;
+            }
+            let scan = load.iter().copied().fold(0.0, f64::max);
+            assert_eq!(
+                staged.period().value().to_bits(),
+                scan.to_bits(),
+                "case {case}, step {step}: staged max diverged from the scan"
+            );
+            assert_eq!(staged.depth(), trail.len());
+        }
+    }
+}
