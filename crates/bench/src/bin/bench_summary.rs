@@ -1,0 +1,193 @@
+//! Headless perf summary: the `search_strategies` measurements as a
+//! machine-readable JSON file.
+//!
+//! Criterion's interactive harness is great locally but awkward to archive;
+//! this binary re-runs the same two measurements — strategy polish cost
+//! (H6 / steepest descent / tabu over the shared H4w seed) and
+//! branch-and-bound node throughput (staged evaluator vs legacy scan) —
+//! with plain `Instant` timing and writes median nanoseconds per run to
+//! `BENCH_search.json`, so the perf trajectory accumulates commit over
+//! commit (CI uploads the file as an artifact).
+//!
+//! ```sh
+//! cargo run --release -p mf-bench --bin bench_summary -- --out BENCH_search.json
+//! cargo run --release -p mf-bench --bin bench_summary -- --quick   # CI smoke
+//! ```
+//!
+//! The JSON is hand-written (the workspace has no serde): a flat
+//! `mf-bench-summary v1` document with one entry per measurement.
+
+use mf_bench::standard_instance;
+use mf_core::prelude::*;
+use mf_exact::{branch_and_bound, BnbConfig};
+use mf_heuristics::search::{polish_with, SteepestDescent, TabuSearch};
+use mf_heuristics::{H4wFastestMachine, H6LocalSearch, Heuristic, LocalSearchConfig};
+use std::time::Instant;
+
+/// One timed measurement.
+struct Measurement {
+    name: &'static str,
+    median_ns: u128,
+    iterations: usize,
+    /// Achieved period (strategy rows) or explored nodes (B&B rows).
+    quality: Quality,
+}
+
+enum Quality {
+    PeriodMs(f64),
+    Nodes { count: u64, per_second: f64 },
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time<R>(iterations: usize, mut run: impl FnMut() -> R) -> Vec<u128> {
+    // One untimed warmup to populate caches/allocator pools.
+    let _ = run();
+    (0..iterations)
+        .map(|_| {
+            let start = Instant::now();
+            let result = run();
+            let elapsed = start.elapsed().as_nanos();
+            std::hint::black_box(result);
+            elapsed
+        })
+        .collect()
+}
+
+fn main() {
+    let mut out_path = "BENCH_search.json".to_string();
+    let mut iterations = 9usize;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            "--iterations" => {
+                iterations = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--iterations takes a count >= 1")
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown flag `{other}` (valid: --out PATH, --iterations N, --quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The search_strategies bench shape: evaluation-scale for the full run,
+    // a reduced grid for `--quick` CI smoke.
+    let (tasks, machines, sweep_budget, node_budget) = if quick {
+        (40usize, 10usize, 10_000usize, 10_000u64)
+    } else {
+        (100, 20, 50_000, 100_000)
+    };
+    let instance = standard_instance(tasks, machines, 5, 42);
+    let seed = H4wFastestMachine
+        .map(&instance)
+        .expect("m >= p so H4w succeeds");
+    let h6_config = LocalSearchConfig {
+        seed: 7,
+        ..LocalSearchConfig::default()
+    };
+    let period_of = |mapping: &Mapping| instance.period(mapping).unwrap().value();
+
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    let h6 = H6LocalSearch::polish(&instance, &seed, &h6_config).unwrap();
+    rows.push(Measurement {
+        name: "strategy_polish/h6_annealed",
+        median_ns: median_ns(time(iterations, || {
+            H6LocalSearch::polish(&instance, &seed, &h6_config).unwrap()
+        })),
+        iterations,
+        quality: Quality::PeriodMs(period_of(&h6)),
+    });
+
+    let sd = polish_with(&instance, &seed, &SteepestDescent::default(), sweep_budget).unwrap();
+    rows.push(Measurement {
+        name: "strategy_polish/steepest_descent",
+        median_ns: median_ns(time(iterations, || {
+            polish_with(&instance, &seed, &SteepestDescent::default(), sweep_budget).unwrap()
+        })),
+        iterations,
+        quality: Quality::PeriodMs(period_of(&sd)),
+    });
+
+    let ts = polish_with(&instance, &seed, &TabuSearch::default(), sweep_budget).unwrap();
+    rows.push(Measurement {
+        name: "strategy_polish/tabu",
+        median_ns: median_ns(time(iterations, || {
+            polish_with(&instance, &seed, &TabuSearch::default(), sweep_budget).unwrap()
+        })),
+        iterations,
+        quality: Quality::PeriodMs(period_of(&ts)),
+    });
+
+    // B&B node throughput: both variants explore the bit-identical tree
+    // (pinned in mf-exact), so the delta is pure per-node scoring cost.
+    let bnb_instance = standard_instance(20, 24, 5, 3);
+    for (name, legacy) in [
+        ("bnb_nodes/evaluator", false),
+        ("bnb_nodes/legacy_scan", true),
+    ] {
+        let config = || BnbConfig {
+            legacy_bounds: legacy,
+            ..BnbConfig::with_node_budget(node_budget)
+        };
+        let outcome = branch_and_bound(&bnb_instance, config()).unwrap();
+        let median = median_ns(time(iterations, || {
+            branch_and_bound(&bnb_instance, config()).unwrap()
+        }));
+        rows.push(Measurement {
+            name,
+            median_ns: median,
+            iterations,
+            quality: Quality::Nodes {
+                count: outcome.nodes,
+                per_second: outcome.nodes as f64 / (median as f64 / 1e9),
+            },
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"mf-bench-summary v1\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"tasks\": {tasks}, \"machines\": {machines}, \
+         \"sweep_budget\": {sweep_budget}, \"bnb_node_budget\": {node_budget}, \
+         \"quick\": {quick}}},\n"
+    ));
+    json.push_str("  \"measurements\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let quality = match &row.quality {
+            Quality::PeriodMs(period) => format!("\"period_ms\": {period}"),
+            Quality::Nodes { count, per_second } => {
+                format!("\"nodes\": {count}, \"nodes_per_second\": {per_second}")
+            }
+        };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"iterations\": {}, {}}}{}\n",
+            row.name,
+            row.median_ns,
+            row.iterations,
+            quality,
+            if index + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write `{out_path}`: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}:");
+    for row in &rows {
+        eprintln!("  {:<34} median {:>12} ns", row.name, row.median_ns);
+    }
+}

@@ -9,7 +9,15 @@ pub struct Arguments {
 }
 
 /// Flags that never take a value (everything after them is positional).
-pub const SWITCHES: &[&str] = &["all", "exact", "high-failure", "csv", "full", "portfolio"];
+pub const SWITCHES: &[&str] = &[
+    "all",
+    "exact",
+    "high-failure",
+    "csv",
+    "full",
+    "portfolio",
+    "stdio",
+];
 
 impl Arguments {
     /// Parses the raw argument list (excluding the subcommand).
@@ -65,6 +73,34 @@ impl Arguments {
     pub fn positional(&self, index: usize) -> Option<&str> {
         self.positionals.get(index).map(String::as_str)
     }
+
+    /// Rejects any flag not in `allowed`, naming the subcommand and listing
+    /// its valid flags — so a typo like `--portolio` fails loudly instead of
+    /// silently falling back to defaults.
+    pub fn reject_unknown_flags(
+        &self,
+        command: &str,
+        allowed: &[&str],
+    ) -> std::result::Result<(), String> {
+        for (name, _) in &self.flags {
+            if !allowed.contains(&name.as_str()) {
+                let valid = if allowed.is_empty() {
+                    "this command takes no flags".to_string()
+                } else {
+                    format!(
+                        "valid flags: {}",
+                        allowed
+                            .iter()
+                            .map(|f| format!("--{f}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                return Err(format!("unknown flag `--{name}` for `{command}` ({valid})"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +139,26 @@ mod tests {
         let a = args(&["--tasks", "many"]);
         assert_eq!(a.usize_flag("tasks"), None);
         assert_eq!(a.string_flag("tasks"), Some("many".to_string()));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_valid_list() {
+        let a = args(&["--portolio", "line.mf"]);
+        let err = a
+            .reject_unknown_flags("solve", &["heuristic", "portfolio"])
+            .unwrap_err();
+        assert!(err.contains("--portolio"), "{err}");
+        assert!(err.contains("`solve`"), "{err}");
+        assert!(err.contains("--portfolio"), "{err}");
+        // Allowed flags (with or without values) pass.
+        let a = args(&["--heuristic", "h2", "--portfolio", "line.mf"]);
+        assert!(a
+            .reject_unknown_flags("solve", &["heuristic", "portfolio"])
+            .is_ok());
+        // Commands without flags say so.
+        let err = args(&["--verbose"])
+            .reject_unknown_flags("evaluate", &[])
+            .unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
     }
 }

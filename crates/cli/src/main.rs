@@ -31,10 +31,12 @@ fn main() -> ExitCode {
     let command = raw.remove(0);
     let args = Arguments::parse(&raw);
     let result = match command.as_str() {
-        "generate" => generate(&args),
-        "solve" => solve(&args),
-        "evaluate" => evaluate(&args),
-        "simulate" => simulate(&args),
+        "generate" => checked(&command, &args, FLAGS_GENERATE, generate),
+        "solve" => checked(&command, &args, FLAGS_SOLVE, solve),
+        "evaluate" => checked(&command, &args, FLAGS_EVALUATE, evaluate),
+        "simulate" => checked(&command, &args, FLAGS_SIMULATE, simulate),
+        "serve" => checked(&command, &args, FLAGS_SERVE, serve),
+        "client" => checked(&command, &args, FLAGS_CLIENT, client),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -59,6 +61,8 @@ USAGE:
                         [--threads N] INSTANCE
   microfactory evaluate INSTANCE MAPPING
   microfactory simulate [--products N] [--seed S] INSTANCE MAPPING
+  microfactory serve    [--port P] [--threads N] [--stdio]
+  microfactory client   [--host H] --port P
 
 COMMANDS:
   generate   print a random instance (paper's experimental distribution)
@@ -68,11 +72,35 @@ COMMANDS:
              workers; deterministic for any thread count)
   evaluate   print the period, throughput and per-machine loads of a mapping
   simulate   run the discrete-event simulation of a mapping
+  serve      run the long-lived mf-proto v1 solve/evaluate server: resident
+             named instances, session whatif probes, shared solver pool
+             (--port 0 picks a free port; --stdio serves one pipe session)
+  client     connect to a server and run the script on stdin (load/evaluate
+             take client-side file paths; everything else is raw protocol)
 
 HEURISTICS: h1, h2, h3, h4, h4w, h4f, plus the search strategies over any of
             them — h6 (annealed climb), sd (steepest descent), ts (tabu):
             bare names polish h4w, h6-h2 / sd-h1 / ts-h4f pick the seed
             explicitly; use --all to compare";
+
+/// Valid flags per subcommand (anything else is rejected up front).
+const FLAGS_GENERATE: &[&str] = &["tasks", "machines", "types", "seed", "high-failure"];
+const FLAGS_SOLVE: &[&str] = &["heuristic", "exact", "portfolio", "all", "threads"];
+const FLAGS_EVALUATE: &[&str] = &[];
+const FLAGS_SIMULATE: &[&str] = &["products", "seed"];
+const FLAGS_SERVE: &[&str] = &["port", "threads", "stdio"];
+const FLAGS_CLIENT: &[&str] = &["host", "port"];
+
+/// Runs a subcommand after rejecting unknown flags.
+fn checked(
+    command: &str,
+    args: &Arguments,
+    allowed: &[&str],
+    run: fn(&Arguments) -> std::result::Result<(), String>,
+) -> std::result::Result<(), String> {
+    args.reject_unknown_flags(command, allowed)?;
+    run(args)
+}
 
 fn generate(args: &Arguments) -> std::result::Result<(), String> {
     let tasks = args.usize_flag("tasks").ok_or("missing --tasks")?;
@@ -103,10 +131,9 @@ fn load_mapping(path: &str) -> std::result::Result<Mapping, String> {
 
 fn heuristic_by_name(name: &str) -> std::result::Result<Box<dyn Heuristic + Send + Sync>, String> {
     // Normalize the user's casing to the registry's canonical names
-    // (H1…H4f, H6, H6-…), then delegate to the single source of truth.
-    mf_heuristics::registry_names()
-        .into_iter()
-        .find(|canonical| canonical.eq_ignore_ascii_case(name))
+    // (H1…H4f, H6, H6-…), then delegate to the single source of truth —
+    // the same helper the server's `solve … heuristic` path resolves with.
+    mf_heuristics::canonical_registry_name(name)
         .and_then(|canonical| mf_heuristics::paper_heuristic(&canonical, 1))
         .ok_or_else(|| {
             format!(
@@ -227,6 +254,88 @@ fn evaluate(args: &Arguments) -> std::result::Result<(), String> {
     println!("raw products per finished product:");
     for (task, demand) in demands.source_demands(instance.application()) {
         println!("  {task}: {demand:.3}");
+    }
+    Ok(())
+}
+
+fn serve(args: &Arguments) -> std::result::Result<(), String> {
+    let threads = args.usize_flag("threads").unwrap_or(0);
+    if args.has_flag("stdio") {
+        let engine = mf_server::Engine::new(threads);
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        mf_server::serve_stdio(&engine, stdin.lock(), stdout.lock())
+            .map_err(|e| format!("stdio session failed: {e}"))
+    } else {
+        let port = match args.string_flag("port") {
+            Some(raw) => raw
+                .parse::<u16>()
+                .map_err(|_| format!("invalid --port `{raw}` (expected 0..=65535)"))?,
+            None => 0,
+        };
+        let server = mf_server::Server::bind(("127.0.0.1", port), threads)
+            .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        eprintln!(
+            "mf-server listening on {addr} ({} solver thread(s)); send `shutdown` to stop",
+            server.engine().runner().threads()
+        );
+        server.run().map_err(|e| format!("server loop failed: {e}"))
+    }
+}
+
+/// Translates one client-script line into a protocol request. `load` and
+/// `evaluate` take a client-side file path whose contents become the inline
+/// payload; every other line is raw `mf-proto v1`.
+fn client_request(line: &str) -> std::result::Result<mf_server::Request, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["load", name, path] => Ok(mf_server::Request::Load {
+            name: name.to_string(),
+            payload: mf_server::text_payload(
+                &std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?,
+            ),
+        }),
+        ["evaluate", name, path] => Ok(mf_server::Request::Evaluate {
+            name: name.to_string(),
+            payload: mf_server::text_payload(
+                &std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?,
+            ),
+        }),
+        _ => mf_server::request_from_text(&format!("{line}\n"))
+            .map_err(|e| format!("bad request `{line}`: {e}")),
+    }
+}
+
+fn client(args: &Arguments) -> std::result::Result<(), String> {
+    let host = args
+        .string_flag("host")
+        .unwrap_or_else(|| "127.0.0.1".to_string());
+    let port = args.usize_flag("port").ok_or("missing --port")?;
+    let port = u16::try_from(port).map_err(|_| format!("invalid --port `{port}`"))?;
+    let mut client = mf_server::Client::connect((host.as_str(), port))
+        .map_err(|e| format!("cannot connect to {host}:{port}: {e}"))?;
+    let stdin = std::io::stdin();
+    let mut script = String::new();
+    std::io::Read::read_to_string(&mut stdin.lock(), &mut script)
+        .map_err(|e| format!("cannot read script from stdin: {e}"))?;
+    for line in script.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let request = client_request(line)?;
+        let shutdown = matches!(request, mf_server::Request::Shutdown);
+        let response = client
+            .request(&request)
+            .map_err(|e| format!("request failed: {e}"))?;
+        print!(
+            "{}",
+            mf_server::response_to_text(&response).map_err(|e| e.to_string())?
+        );
+        if shutdown {
+            break;
+        }
     }
     Ok(())
 }

@@ -1,0 +1,158 @@
+//! Server/CLI equivalence: for a fixed instance and seed, `solve` through
+//! the real `microfactory serve --stdio` binary returns the **same mapping
+//! and the bit-identical period** as the one-shot `microfactory solve` path
+//! — for a seeded search strategy and for `--portfolio`.
+//!
+//! This is the acceptance pin for the serve mode: a resident server is a
+//! performance upgrade, never a numerical fork.
+
+use mf_core::textio;
+use mf_server::{Response, GREETING};
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_microfactory");
+
+fn run(args: &[&str], stdin: Option<&str>) -> (String, String) {
+    let mut command = Command::new(BIN);
+    command
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    command.stdin(if stdin.is_some() {
+        Stdio::piped()
+    } else {
+        Stdio::null()
+    });
+    let mut child = command.spawn().expect("spawn microfactory");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("feed stdin");
+    }
+    let output = child.wait_with_output().expect("microfactory runs");
+    assert!(
+        output.status.success(),
+        "`microfactory {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        String::from_utf8(output.stdout).expect("stdout is UTF-8"),
+        String::from_utf8(output.stderr).expect("stderr is UTF-8"),
+    )
+}
+
+/// Parses the serve-session responses after the greeting line.
+fn session_responses(transcript: &str) -> Vec<Response> {
+    let rest = transcript
+        .strip_prefix(&format!("{GREETING}\n"))
+        .unwrap_or_else(|| panic!("missing greeting in {transcript:?}"));
+    let mut reader = mf_server::ProtoReader::new(rest.as_bytes());
+    let mut responses = Vec::new();
+    while let Some(response) = reader.read_response().expect("transcript parses") {
+        responses.push(response);
+    }
+    responses
+}
+
+#[test]
+fn server_solve_matches_the_one_shot_cli_bit_for_bit() {
+    // A fixed instance, produced by the CLI itself.
+    let (instance_text, _) = run(
+        &[
+            "generate",
+            "--tasks",
+            "10",
+            "--machines",
+            "4",
+            "--types",
+            "2",
+            "--seed",
+            "9",
+        ],
+        None,
+    );
+    let dir = std::env::temp_dir().join(format!("mf-serve-equivalence-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let instance_path = dir.join("instance.mf");
+    std::fs::write(&instance_path, &instance_text).unwrap();
+    let instance = textio::instance_from_text(&instance_text).unwrap();
+
+    // One-shot CLI answers: stdout is exactly the mapping text.
+    let (cli_heuristic, _) = run(
+        &[
+            "solve",
+            "--heuristic",
+            "sd-h2",
+            instance_path.to_str().unwrap(),
+        ],
+        None,
+    );
+    let (cli_portfolio, _) = run(
+        &["solve", "--portfolio", instance_path.to_str().unwrap()],
+        None,
+    );
+    let heuristic_mapping = textio::mapping_from_text(&cli_heuristic).unwrap();
+    let portfolio_mapping = textio::mapping_from_text(&cli_portfolio).unwrap();
+
+    // The same two solves through the served protocol (one session).
+    let payload_lines = instance_text.lines().count();
+    let mut script = format!("load inst {payload_lines}\n{instance_text}");
+    script.push_str("solve inst heuristic SD-H2\nsolve inst portfolio\nshutdown\n");
+    let (transcript, _) = run(&["serve", "--stdio"], Some(&script));
+    let responses = session_responses(&transcript);
+    assert_eq!(
+        responses.len(),
+        4,
+        "load + 2 solves + shutdown: {responses:?}"
+    );
+
+    let expectations = [
+        (&responses[1], &heuristic_mapping, "SD-H2"),
+        (&responses[2], &portfolio_mapping, "portfolio"),
+    ];
+    for (response, cli_mapping, what) in expectations {
+        let Response::Solved {
+            period,
+            machines,
+            assignment,
+            ..
+        } = response
+        else {
+            panic!("expected a solve response for {what}, got {response:?}");
+        };
+        let cli_assignment: Vec<usize> = cli_mapping.as_slice().iter().map(|u| u.index()).collect();
+        assert_eq!(
+            assignment, &cli_assignment,
+            "{what}: server mapping differs from the one-shot CLI"
+        );
+        assert_eq!(*machines, cli_mapping.machine_count());
+        let cli_period = instance.period(cli_mapping).unwrap().value();
+        assert_eq!(
+            period.to_bits(),
+            cli_period.to_bits(),
+            "{what}: server period {period} is not bit-identical to the CLI's {cli_period}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The CLI rejects mistyped flags loudly instead of silently ignoring them —
+/// the failure mode that used to turn `--portolio` into a default H4w run.
+#[test]
+fn mistyped_flags_fail_loudly() {
+    let output = Command::new(BIN)
+        .args(["solve", "--portolio", "nonexistent.mf"])
+        .output()
+        .expect("microfactory runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--portolio"), "{stderr}");
+    assert!(stderr.contains("valid flags"), "{stderr}");
+    assert!(stderr.contains("--portfolio"), "{stderr}");
+}

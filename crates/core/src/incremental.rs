@@ -206,6 +206,65 @@ impl PartialAssignmentEvaluator {
     }
 }
 
+/// An owned dump of an [`IncrementalEvaluator`]'s committed state, detached
+/// from the instance borrow.
+///
+/// A long-lived process (the `mf-server` serve loop) wants to keep evaluator
+/// state warm *across* queries, but the evaluator borrows its instance, so it
+/// cannot be stored next to the instance it evaluates. A snapshot can:
+/// [`IncrementalEvaluator::into_snapshot`] moves every committed cache
+/// (assignment, demands, factors, contributions, loads, the tournament tree)
+/// and the reusable scratch buffers out of the evaluator, and
+/// [`IncrementalEvaluator::resume`] re-attaches them to the instance in
+/// `O(1)` — no demand walk, no load rebuild. The resumed evaluator is
+/// **bit-identical** to the one the snapshot was taken from.
+///
+/// The snapshot must be resumed against the *same* instance it was taken
+/// from (resume validates the task/machine dimensions, which catches honest
+/// mix-ups, but two different instances of equal shape cannot be told
+/// apart — callers that store snapshots keyed by instance are responsible
+/// for that pairing, e.g. the server keys them by load generation).
+#[derive(Debug, Clone)]
+pub struct EvaluatorSnapshot {
+    assignment: Vec<MachineId>,
+    demand: Vec<f64>,
+    factor: Vec<f64>,
+    weight: Vec<f64>,
+    contribution: Vec<f64>,
+    load: Vec<f64>,
+    tree: TournamentTree,
+    stack: Vec<TaskId>,
+    overlay: Vec<f64>,
+    task_stamp: Vec<u64>,
+    delta: Vec<f64>,
+    machine_stamp: Vec<u64>,
+    dirty: Vec<usize>,
+    epoch: u64,
+    mass_rows: Vec<f64>,
+    row_stamp: Vec<u64>,
+    row_epoch: u64,
+}
+
+impl EvaluatorSnapshot {
+    /// Number of tasks the snapshot covers.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of machines the snapshot covers.
+    #[inline]
+    pub fn machine_count(&self) -> usize {
+        self.load.len()
+    }
+
+    /// The committed mapping the snapshot holds.
+    pub fn mapping(&self) -> Mapping {
+        Mapping::new(self.assignment.clone(), self.load.len())
+            .expect("the evaluator only ever stores in-range machines")
+    }
+}
+
 /// The outcome of evaluating or applying a move/swap.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Evaluation {
@@ -340,6 +399,79 @@ impl<'a> IncrementalEvaluator<'a> {
             mass_rows: Vec::new(),
             row_stamp: Vec::new(),
             row_epoch: 1,
+        })
+    }
+
+    /// Detaches the evaluator's committed state from the instance borrow.
+    ///
+    /// See [`EvaluatorSnapshot`]; [`IncrementalEvaluator::resume`] is the
+    /// inverse.
+    pub fn into_snapshot(self) -> EvaluatorSnapshot {
+        EvaluatorSnapshot {
+            assignment: self.assignment,
+            demand: self.demand,
+            factor: self.factor,
+            weight: self.weight,
+            contribution: self.contribution,
+            load: self.load,
+            tree: self.tree,
+            stack: self.stack,
+            overlay: self.overlay,
+            task_stamp: self.task_stamp,
+            delta: self.delta,
+            machine_stamp: self.machine_stamp,
+            dirty: self.dirty,
+            epoch: self.epoch,
+            mass_rows: self.mass_rows,
+            row_stamp: self.row_stamp,
+            row_epoch: self.row_epoch,
+        }
+    }
+
+    /// Re-attaches a snapshot to the instance it was taken from, in `O(1)`
+    /// (plus the linear-chain probe): no demand walk, no load rebuild.
+    ///
+    /// The resumed evaluator is bit-identical to the evaluator
+    /// [`IncrementalEvaluator::into_snapshot`] consumed. Returns a
+    /// [`ModelError::DimensionMismatch`] when the instance's task or machine
+    /// count disagrees with the snapshot — the cheap guard against pairing a
+    /// snapshot with the wrong instance (same-shape instances cannot be told
+    /// apart; the caller owns that pairing).
+    pub fn resume(instance: &'a Instance, snapshot: EvaluatorSnapshot) -> Result<Self> {
+        if snapshot.task_count() != instance.task_count() {
+            return Err(ModelError::DimensionMismatch {
+                context: "resumed evaluator task count",
+                expected: instance.task_count(),
+                actual: snapshot.task_count(),
+            });
+        }
+        if snapshot.machine_count() != instance.machine_count() {
+            return Err(ModelError::DimensionMismatch {
+                context: "resumed evaluator machine count",
+                expected: instance.machine_count(),
+                actual: snapshot.machine_count(),
+            });
+        }
+        Ok(IncrementalEvaluator {
+            instance,
+            assignment: snapshot.assignment,
+            demand: snapshot.demand,
+            factor: snapshot.factor,
+            weight: snapshot.weight,
+            contribution: snapshot.contribution,
+            load: snapshot.load,
+            tree: snapshot.tree,
+            stack: snapshot.stack,
+            overlay: snapshot.overlay,
+            task_stamp: snapshot.task_stamp,
+            delta: snapshot.delta,
+            machine_stamp: snapshot.machine_stamp,
+            dirty: snapshot.dirty,
+            epoch: snapshot.epoch,
+            chain: instance.application().is_linear_chain(),
+            mass_rows: snapshot.mass_rows,
+            row_stamp: snapshot.row_stamp,
+            row_epoch: snapshot.row_epoch,
         })
     }
 
@@ -916,6 +1048,71 @@ mod tests {
         assert_matches_full(&eval, &instance);
         eval.apply_swap(TaskId(0), TaskId(3)).unwrap();
         assert_matches_full(&eval, &instance);
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_and_continues_exactly() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1], 3).unwrap();
+        // Reference: one evaluator running uninterrupted.
+        let mut reference = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        // Probe: same evaluator, but detached and resumed mid-stream.
+        let mut probe = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let ops: [(usize, usize); 4] = [(0, 2), (3, 2), (1, 0), (2, 1)];
+        for (k, &(task, to)) in ops.iter().enumerate() {
+            reference.apply_move(TaskId(task), MachineId(to)).unwrap();
+            probe.apply_move(TaskId(task), MachineId(to)).unwrap();
+            if k % 2 == 0 {
+                // Detach after every other commit, interleaving a what-if so
+                // scratch state is non-trivial when the snapshot is taken.
+                let _ = probe.evaluate_swap(TaskId(0), TaskId(3)).unwrap();
+                let snapshot = probe.into_snapshot();
+                assert_eq!(snapshot.task_count(), 4);
+                assert_eq!(snapshot.machine_count(), 3);
+                assert_eq!(snapshot.mapping(), reference.mapping());
+                probe = IncrementalEvaluator::resume(&instance, snapshot).unwrap();
+            }
+            assert_eq!(
+                probe.period().value().to_bits(),
+                reference.period().value().to_bits()
+            );
+            assert_eq!(probe.critical_machine(), reference.critical_machine());
+            for t in 0..4 {
+                assert_eq!(
+                    probe.demand_of(TaskId(t)).to_bits(),
+                    reference.demand_of(TaskId(t)).to_bits()
+                );
+            }
+            for u in 0..3 {
+                assert_eq!(
+                    probe.load_of(MachineId(u)).to_bits(),
+                    reference.load_of(MachineId(u)).to_bits()
+                );
+            }
+            assert_matches_full(&probe, &instance);
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_rejects_mismatched_dimensions() {
+        let instance = instance();
+        let mapping = Mapping::from_indices(&[0, 1, 0, 1], 3).unwrap();
+        let snapshot = IncrementalEvaluator::new(&instance, &mapping)
+            .unwrap()
+            .into_snapshot();
+        // A different shape: 3 tasks instead of 4.
+        let app = Application::linear_chain(&[0, 1, 0]).unwrap();
+        let platform = Platform::from_type_times(
+            3,
+            vec![vec![100.0, 200.0, 400.0], vec![300.0, 150.0, 250.0]],
+        )
+        .unwrap();
+        let failures = FailureModel::uniform(3, 3, FailureRate::new(0.1).unwrap());
+        let other = Instance::new(app, platform, failures).unwrap();
+        assert!(matches!(
+            IncrementalEvaluator::resume(&other, snapshot).unwrap_err(),
+            ModelError::DimensionMismatch { .. }
+        ));
     }
 
     #[test]

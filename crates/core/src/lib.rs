@@ -63,7 +63,9 @@ pub use demand::{DemandVector, OutputDemand};
 pub use error::{ModelError, Result};
 pub use failure::{FailureModel, FailureRate};
 pub use ids::{MachineId, TaskId, TaskTypeId};
-pub use incremental::{Evaluation, IncrementalEvaluator, PartialAssignmentEvaluator};
+pub use incremental::{
+    Evaluation, EvaluatorSnapshot, IncrementalEvaluator, PartialAssignmentEvaluator,
+};
 pub use instance::Instance;
 pub use mapping::{Mapping, MappingKind};
 pub use period::{MachinePeriods, Period, Throughput};

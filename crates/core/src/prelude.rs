@@ -11,7 +11,9 @@ pub use crate::demand::{demands, output_demands, DemandVector, OutputDemand};
 pub use crate::error::{ModelError, Result};
 pub use crate::failure::{FailureModel, FailureRate};
 pub use crate::ids::{MachineId, TaskId, TaskTypeId};
-pub use crate::incremental::{Evaluation, IncrementalEvaluator, PartialAssignmentEvaluator};
+pub use crate::incremental::{
+    Evaluation, EvaluatorSnapshot, IncrementalEvaluator, PartialAssignmentEvaluator,
+};
 pub use crate::instance::Instance;
 pub use crate::mapping::{Mapping, MappingKind};
 pub use crate::period::{system_period, MachinePeriods, Period, Throughput};

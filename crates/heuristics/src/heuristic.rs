@@ -192,6 +192,19 @@ pub fn paper_heuristic(name: &str, seed: u64) -> Option<BoxedHeuristic> {
     }
 }
 
+/// Normalizes a user-supplied method name to its canonical registry form,
+/// case-insensitively: `"sd-h2"` → `"SD-H2"`, `"h4W"` → `"H4w"`. `None` for
+/// names no cased variant of which is in the registry.
+///
+/// Both front ends — the CLI's `--heuristic` flag and the server's
+/// `solve … heuristic …` request — resolve names through this single helper,
+/// so they can never accept different spellings.
+pub fn canonical_registry_name(name: &str) -> Option<String> {
+    registry_names()
+        .into_iter()
+        .find(|canonical| canonical.eq_ignore_ascii_case(name))
+}
+
 /// Every canonical name [`paper_heuristic`] resolves, in presentation order:
 /// the six paper heuristics, then — per strategy prefix — the bare prefix
 /// and its explicit-seed variants.
@@ -245,6 +258,16 @@ mod tests {
                 "`{rejected}` must not resolve"
             );
         }
+    }
+
+    #[test]
+    fn canonical_name_lookup_is_case_insensitive() {
+        assert_eq!(canonical_registry_name("h4w"), Some("H4w".to_string()));
+        assert_eq!(canonical_registry_name("SD-h2"), Some("SD-H2".to_string()));
+        assert_eq!(canonical_registry_name("ts"), Some("TS".to_string()));
+        assert_eq!(canonical_registry_name("H6-H1"), Some("H6-H1".to_string()));
+        assert_eq!(canonical_registry_name("portolio"), None);
+        assert_eq!(canonical_registry_name(""), None);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! A small blocking `mf-proto v1` client.
+//!
+//! Used by the `microfactory client` subcommand and by the integration
+//! tests; deliberately synchronous — one request, one response — because
+//! the protocol itself is strictly request/response.
+
+use crate::proto::{request_to_text, ProtoError, ProtoReader, Request, Response, GREETING};
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or stream failure.
+    Io(std::io::Error),
+    /// The peer is not an `mf-proto v1` server.
+    BadGreeting(String),
+    /// The peer's bytes did not parse as a protocol response.
+    Proto(ProtoError),
+    /// The peer closed the stream before answering.
+    ServerClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::BadGreeting(greeting) => {
+                write!(f, "not an mf-proto v1 server (greeting `{greeting}`)")
+            }
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A connected session.
+#[derive(Debug)]
+pub struct Client {
+    reader: ProtoReader<BufReader<TcpStream>>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects and verifies the server greeting.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut client = Client {
+            reader: ProtoReader::new(BufReader::new(stream.try_clone()?)),
+            writer: stream,
+        };
+        let greeting = client
+            .reader
+            .read_greeting()?
+            .ok_or(ClientError::ServerClosed)?;
+        if greeting != GREETING {
+            return Err(ClientError::BadGreeting(greeting));
+        }
+        Ok(client)
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let text = request_to_text(request)?;
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()?;
+        self.reader
+            .read_response()?
+            .ok_or(ClientError::ServerClosed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+
+    #[test]
+    fn connect_refuses_non_protocol_peers() {
+        // A listener that greets wrongly.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.write_all(b"hello there\n").unwrap();
+        });
+        let err = Client::connect(addr).unwrap_err();
+        assert!(matches!(err, ClientError::BadGreeting(_)), "{err}");
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn round_trip_against_a_live_server() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let mut client = Client::connect(addr).unwrap();
+        let response = client.request(&Request::List).unwrap();
+        assert_eq!(response, Response::List(Vec::new()));
+        let response = client.request(&Request::Shutdown).unwrap();
+        assert_eq!(response, Response::Shutdown);
+        drop(client);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,714 @@
+//! Request dispatch: the bridge between `mf-proto v1` and the solver stack.
+//!
+//! One [`Engine`] is shared by every session of a server process. It owns the
+//! resident [`InstanceStore`], the shared [`BatchRunner`] rayon pool the
+//! portfolio races on, and the statistics counters. Each connection gets its
+//! own [`Session`], which carries the **resident evaluator state**: after an
+//! `evaluate` or `solve` on an instance, the session keeps the committed
+//! [`EvaluatorSnapshot`] of that mapping, and later `whatif` probes resume it
+//! in `O(1)` — no demand walk, no load rebuild — answering move/swap
+//! questions in `O(affected tasks + log m)`.
+//!
+//! # Equivalence with the one-shot CLI
+//!
+//! Every answer is a pure function of (instance, request, seed) and uses the
+//! same defaults as the `microfactory` CLI — `solve … heuristic` seeds its
+//! heuristic with `1`, `solve … portfolio` runs `PortfolioConfig::default()`
+//! (whose outcome is bit-identical for every thread count) — so server
+//! responses are **bit-identical** to the equivalent one-shot run. The
+//! `serve_equivalence` integration test pins this against the real CLI
+//! binary.
+
+use crate::proto::{ErrorCode, InstanceInfo, Probe, Request, Response, SolveMethod};
+use crate::store::{InstanceStore, StoredInstance};
+use mf_core::prelude::*;
+use mf_core::textio;
+use mf_experiments::portfolio::{run_portfolio, PortfolioConfig};
+use mf_experiments::runner::BatchRunner;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default seed of `solve … heuristic` requests — the seed the CLI's
+/// `--heuristic` path hard-codes, so un-seeded requests match it exactly.
+pub const DEFAULT_HEURISTIC_SEED: u64 = 1;
+
+#[derive(Debug, Default)]
+struct Counters {
+    loads: AtomicU64,
+    unloads: AtomicU64,
+    evaluations: AtomicU64,
+    whatifs: AtomicU64,
+    resumes: AtomicU64,
+    solves_heuristic: AtomicU64,
+    solves_portfolio: AtomicU64,
+    sessions: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) -> u64 {
+        counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Session-scoped resident evaluator state for one instance.
+struct ResidentState {
+    /// The store generation the snapshot was built against; a reload (or
+    /// unload + load) of the name invalidates the snapshot.
+    generation: u64,
+    snapshot: EvaluatorSnapshot,
+}
+
+/// Per-connection state: the resident evaluator snapshots of this session.
+#[derive(Default)]
+pub struct Session {
+    resident: HashMap<String, ResidentState>,
+}
+
+/// The shared dispatch engine of a server process.
+pub struct Engine {
+    store: InstanceStore,
+    runner: BatchRunner,
+    counters: Counters,
+}
+
+impl Engine {
+    /// An engine whose portfolio pool uses `threads` workers (`0` = one per
+    /// CPU, capped at 16 — the workspace-wide convention).
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            store: InstanceStore::new(),
+            runner: BatchRunner::new(threads),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The resident instance store.
+    pub fn store(&self) -> &InstanceStore {
+        &self.store
+    }
+
+    /// The shared solver pool.
+    pub fn runner(&self) -> &BatchRunner {
+        &self.runner
+    }
+
+    /// Starts a session (counted in `stats`).
+    pub fn begin_session(&self) -> Session {
+        Counters::bump(&self.counters.sessions);
+        Session::default()
+    }
+
+    /// Dispatches one request against the shared store and the session's
+    /// resident state.
+    pub fn dispatch(&self, session: &mut Session, request: Request) -> Response {
+        Counters::bump(&self.counters.requests);
+        let response = self.handle(session, request);
+        if matches!(response, Response::Error { .. }) {
+            Counters::bump(&self.counters.errors);
+        }
+        response
+    }
+
+    fn handle(&self, session: &mut Session, request: Request) -> Response {
+        match request {
+            Request::Load { name, payload } => self.load(session, &name, &payload),
+            Request::Unload { name } => self.unload(session, &name),
+            Request::List => Response::List(
+                self.store
+                    .snapshot()
+                    .iter()
+                    .map(|stored| InstanceInfo {
+                        name: stored.name.clone(),
+                        tasks: stored.tasks(),
+                        machines: stored.machines(),
+                        types: stored.types(),
+                    })
+                    .collect(),
+            ),
+            Request::Evaluate { name, payload } => self.evaluate(session, &name, &payload),
+            Request::WhatIf { name, probe } => self.what_if(session, &name, probe),
+            Request::Solve { name, method, seed } => self.solve(session, &name, &method, seed),
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    fn load(&self, session: &mut Session, name: &str, payload: &[String]) -> Response {
+        let text = payload.join("\n");
+        let instance = match textio::instance_from_text(&text) {
+            Ok(instance) => instance,
+            Err(e) => return Response::error(ErrorCode::InvalidPayload, one_line(e)),
+        };
+        let stored = self.store.insert(name, instance);
+        // A replacement invalidates this session's snapshot immediately;
+        // other sessions' snapshots die lazily via the generation check.
+        session.resident.remove(name);
+        Counters::bump(&self.counters.loads);
+        Response::Loaded {
+            name: name.to_string(),
+            tasks: stored.tasks(),
+            machines: stored.machines(),
+            types: stored.types(),
+        }
+    }
+
+    fn unload(&self, session: &mut Session, name: &str) -> Response {
+        if self.store.remove(name) {
+            session.resident.remove(name);
+            Counters::bump(&self.counters.unloads);
+            Response::Unloaded {
+                name: name.to_string(),
+            }
+        } else {
+            Response::error(
+                ErrorCode::UnknownInstance,
+                format!("no instance named `{name}` is loaded"),
+            )
+        }
+    }
+
+    fn fetch(&self, name: &str) -> std::result::Result<std::sync::Arc<StoredInstance>, Response> {
+        self.store.get(name).ok_or_else(|| {
+            Response::error(
+                ErrorCode::UnknownInstance,
+                format!("no instance named `{name}` is loaded"),
+            )
+        })
+    }
+
+    fn evaluate(&self, session: &mut Session, name: &str, payload: &[String]) -> Response {
+        let stored = match self.fetch(name) {
+            Ok(stored) => stored,
+            Err(response) => return response,
+        };
+        let text = payload.join("\n");
+        let mapping = match textio::mapping_from_text(&text) {
+            Ok(mapping) => mapping,
+            Err(e) => return Response::error(ErrorCode::InvalidPayload, one_line(e)),
+        };
+        if let Err(e) = stored
+            .instance
+            .validate_mapping(&mapping, MappingKind::General)
+        {
+            return Response::error(
+                ErrorCode::InvalidPayload,
+                format!("mapping does not fit the instance: {}", one_line(e)),
+            );
+        }
+        // The evaluator's initial state is computed with the exact operations
+        // of a full `machine_periods` evaluation, so the response is
+        // bit-identical to the one-shot CLI path — and the committed state
+        // doubles as this session's resident snapshot for `whatif` probes.
+        let evaluator = match IncrementalEvaluator::new(&stored.instance, &mapping) {
+            Ok(evaluator) => evaluator,
+            Err(e) => return Response::error(ErrorCode::InvalidPayload, one_line(e)),
+        };
+        Counters::bump(&self.counters.evaluations);
+        let response = Response::Evaluated {
+            period: evaluator.period().value(),
+            critical: evaluator.critical_machine().index(),
+            loads: evaluator.loads().to_vec(),
+        };
+        session.resident.insert(
+            name.to_string(),
+            ResidentState {
+                generation: stored.generation,
+                snapshot: evaluator.into_snapshot(),
+            },
+        );
+        response
+    }
+
+    fn what_if(&self, session: &mut Session, name: &str, probe: Probe) -> Response {
+        let stored = match self.fetch(name) {
+            Ok(stored) => stored,
+            Err(response) => return response,
+        };
+        let stale = Response::error(
+            ErrorCode::NoResidentState,
+            format!("no resident evaluator state for `{name}` — run `evaluate` or `solve` first"),
+        );
+        let Some(state) = session.resident.remove(name) else {
+            return stale;
+        };
+        if state.generation != stored.generation {
+            // The instance was reloaded since the snapshot was taken.
+            return stale;
+        }
+        let mut evaluator = match IncrementalEvaluator::resume(&stored.instance, state.snapshot) {
+            Ok(evaluator) => evaluator,
+            Err(e) => return Response::error(ErrorCode::BadRequest, one_line(e)),
+        };
+        Counters::bump(&self.counters.resumes);
+        let evaluation = match probe {
+            Probe::Move { task, machine } => {
+                evaluator.evaluate_move(TaskId(task), MachineId(machine))
+            }
+            Probe::Swap { a, b } => evaluator.evaluate_swap(TaskId(a), TaskId(b)),
+        };
+        // What-ifs never mutate committed state, so the snapshot stays valid
+        // either way — keep it resident even when the probe was out of range.
+        let response = match evaluation {
+            Ok(evaluation) => {
+                Counters::bump(&self.counters.whatifs);
+                Response::WhatIf {
+                    period: evaluation.period.value(),
+                    critical: evaluation.critical_machine.index(),
+                }
+            }
+            Err(e) => Response::error(ErrorCode::BadRequest, one_line(e)),
+        };
+        session.resident.insert(
+            name.to_string(),
+            ResidentState {
+                generation: stored.generation,
+                snapshot: evaluator.into_snapshot(),
+            },
+        );
+        response
+    }
+
+    fn solve(
+        &self,
+        session: &mut Session,
+        name: &str,
+        method: &SolveMethod,
+        seed: Option<u64>,
+    ) -> Response {
+        let stored = match self.fetch(name) {
+            Ok(stored) => stored,
+            Err(response) => return response,
+        };
+        let instance = &stored.instance;
+        let (label, mapping) = match method {
+            SolveMethod::Heuristic(requested) => {
+                let Some(canonical) = mf_heuristics::canonical_registry_name(requested) else {
+                    return Response::error(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "unknown heuristic `{requested}` (expected one of {})",
+                            mf_heuristics::registry_names().join(", ")
+                        ),
+                    );
+                };
+                let heuristic = mf_heuristics::paper_heuristic(
+                    &canonical,
+                    seed.unwrap_or(DEFAULT_HEURISTIC_SEED),
+                )
+                .expect("canonical names are constructible");
+                match heuristic.map(instance) {
+                    Ok(mapping) => {
+                        Counters::bump(&self.counters.solves_heuristic);
+                        (canonical, mapping)
+                    }
+                    Err(e) => {
+                        return Response::error(
+                            ErrorCode::Infeasible,
+                            format!("{canonical} failed: {}", one_line(e)),
+                        )
+                    }
+                }
+            }
+            SolveMethod::Portfolio => {
+                let config = PortfolioConfig {
+                    base_seed: seed.unwrap_or(PortfolioConfig::default().base_seed),
+                    ..PortfolioConfig::default()
+                };
+                let outcome = run_portfolio(instance, &config, &self.runner);
+                let (Some(winner), Some(mapping)) =
+                    (outcome.winner_label(), outcome.best_mapping.clone())
+                else {
+                    return Response::error(
+                        ErrorCode::Infeasible,
+                        "no portfolio cell produced a mapping (more task types than machines?)",
+                    );
+                };
+                Counters::bump(&self.counters.solves_portfolio);
+                (winner.to_string(), mapping)
+            }
+        };
+        // One evaluator build serves both the response period (its initial
+        // state is bit-identical to the full `machine_periods` walk the CLI
+        // does) and this session's resident state, so a client can
+        // immediately probe `whatif` moves around the solution.
+        let evaluator = match IncrementalEvaluator::new(instance, &mapping) {
+            Ok(evaluator) => evaluator,
+            Err(e) => return Response::error(ErrorCode::Infeasible, one_line(e)),
+        };
+        let period = evaluator.period().value();
+        session.resident.insert(
+            name.to_string(),
+            ResidentState {
+                generation: stored.generation,
+                snapshot: evaluator.into_snapshot(),
+            },
+        );
+        Response::Solved {
+            label,
+            period,
+            machines: mapping.machine_count(),
+            assignment: mapping.as_slice().iter().map(|u| u.index()).collect(),
+        }
+    }
+
+    /// The statistics counters, in fixed presentation order.
+    pub fn stats(&self) -> Vec<(String, u64)> {
+        let c = &self.counters;
+        let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        vec![
+            ("instances".to_string(), self.store.len() as u64),
+            ("loads".to_string(), read(&c.loads)),
+            ("unloads".to_string(), read(&c.unloads)),
+            ("evaluations".to_string(), read(&c.evaluations)),
+            ("whatifs".to_string(), read(&c.whatifs)),
+            ("evaluator-resumes".to_string(), read(&c.resumes)),
+            ("solves-heuristic".to_string(), read(&c.solves_heuristic)),
+            ("solves-portfolio".to_string(), read(&c.solves_portfolio)),
+            ("sessions".to_string(), read(&c.sessions)),
+            ("requests".to_string(), read(&c.requests)),
+            ("errors".to_string(), read(&c.errors)),
+        ]
+    }
+}
+
+/// Flattens an error's display onto one protocol line.
+fn one_line(e: impl std::fmt::Display) -> String {
+    e.to_string().replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::text_payload;
+    use mf_heuristics::{H4wFastestMachine, Heuristic};
+    use mf_sim::{GeneratorConfig, InstanceGenerator};
+
+    fn instance_text(tasks: usize, machines: usize, types: usize, seed: u64) -> String {
+        let instance =
+            InstanceGenerator::new(GeneratorConfig::paper_standard(tasks, machines, types))
+                .generate(seed)
+                .unwrap();
+        textio::instance_to_text(&instance)
+    }
+
+    fn load(engine: &Engine, session: &mut Session, name: &str, text: &str) {
+        let response = engine.dispatch(
+            session,
+            Request::Load {
+                name: name.into(),
+                payload: text_payload(text),
+            },
+        );
+        assert!(matches!(response, Response::Loaded { .. }), "{response:?}");
+    }
+
+    #[test]
+    fn load_list_solve_evaluate_whatif_flow() {
+        let engine = Engine::new(1);
+        let mut session = engine.begin_session();
+        let text = instance_text(8, 4, 2, 3);
+        load(&engine, &mut session, "a", &text);
+
+        let Response::List(entries) = engine.dispatch(&mut session, Request::List) else {
+            panic!("list failed");
+        };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "a");
+        assert_eq!(entries[0].tasks, 8);
+        assert_eq!(entries[0].machines, 4);
+
+        // Solve with H4w matches a direct run bit-for-bit.
+        let Response::Solved {
+            label,
+            period,
+            machines,
+            assignment,
+        } = engine.dispatch(
+            &mut session,
+            Request::Solve {
+                name: "a".into(),
+                method: SolveMethod::Heuristic("h4w".into()),
+                seed: None,
+            },
+        )
+        else {
+            panic!("solve failed");
+        };
+        assert_eq!(label, "H4w");
+        assert_eq!(machines, 4);
+        let instance = textio::instance_from_text(&text).unwrap();
+        let direct = H4wFastestMachine.map(&instance).unwrap();
+        assert_eq!(
+            assignment,
+            direct
+                .as_slice()
+                .iter()
+                .map(|u| u.index())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            period.to_bits(),
+            instance.period(&direct).unwrap().value().to_bits()
+        );
+
+        // Evaluate that mapping: bit-identical to the full breakdown.
+        let mapping_text = textio::mapping_to_text(&direct);
+        let Response::Evaluated {
+            period: evaluated,
+            critical,
+            loads,
+        } = engine.dispatch(
+            &mut session,
+            Request::Evaluate {
+                name: "a".into(),
+                payload: text_payload(&mapping_text),
+            },
+        )
+        else {
+            panic!("evaluate failed");
+        };
+        let breakdown = instance.machine_periods(&direct).unwrap();
+        assert_eq!(
+            evaluated.to_bits(),
+            breakdown.system_period().value().to_bits()
+        );
+        for (u, load) in loads.iter().enumerate() {
+            assert_eq!(load.to_bits(), breakdown.as_slice()[u].to_bits());
+        }
+        assert!(critical < 4);
+
+        // Whatif resumes the resident evaluator and agrees with a fresh one.
+        let Response::WhatIf {
+            period: probed,
+            critical: probed_critical,
+        } = engine.dispatch(
+            &mut session,
+            Request::WhatIf {
+                name: "a".into(),
+                probe: Probe::Move {
+                    task: 0,
+                    machine: 1,
+                },
+            },
+        )
+        else {
+            panic!("whatif failed");
+        };
+        let mut fresh = IncrementalEvaluator::new(&instance, &direct).unwrap();
+        let expected = fresh.evaluate_move(TaskId(0), MachineId(1)).unwrap();
+        assert_eq!(probed.to_bits(), expected.period.value().to_bits());
+        assert_eq!(probed_critical, expected.critical_machine.index());
+
+        // The stats counters saw all of it.
+        let Response::Stats(stats) = engine.dispatch(&mut session, Request::Stats) else {
+            panic!("stats failed");
+        };
+        let get = |key: &str| {
+            stats
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("instances"), 1);
+        assert_eq!(get("loads"), 1);
+        assert_eq!(get("evaluations"), 1);
+        assert_eq!(get("whatifs"), 1);
+        assert_eq!(get("evaluator-resumes"), 1);
+        assert_eq!(get("solves-heuristic"), 1);
+        assert_eq!(get("sessions"), 1);
+        assert_eq!(get("errors"), 0);
+    }
+
+    #[test]
+    fn whatif_requires_resident_state_and_survives_bad_probes() {
+        let engine = Engine::new(1);
+        let mut session = engine.begin_session();
+        load(&engine, &mut session, "a", &instance_text(6, 3, 2, 1));
+        // No evaluate/solve yet.
+        let response = engine.dispatch(
+            &mut session,
+            Request::WhatIf {
+                name: "a".into(),
+                probe: Probe::Move {
+                    task: 0,
+                    machine: 1,
+                },
+            },
+        );
+        assert!(
+            matches!(
+                response,
+                Response::Error {
+                    code: ErrorCode::NoResidentState,
+                    ..
+                }
+            ),
+            "{response:?}"
+        );
+        // Solve creates resident state; an out-of-range probe errors but the
+        // state stays usable.
+        let solved = engine.dispatch(
+            &mut session,
+            Request::Solve {
+                name: "a".into(),
+                method: SolveMethod::Heuristic("H2".into()),
+                seed: None,
+            },
+        );
+        assert!(matches!(solved, Response::Solved { .. }), "{solved:?}");
+        let bad = engine.dispatch(
+            &mut session,
+            Request::WhatIf {
+                name: "a".into(),
+                probe: Probe::Move {
+                    task: 99,
+                    machine: 0,
+                },
+            },
+        );
+        assert!(
+            matches!(
+                bad,
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "{bad:?}"
+        );
+        let good = engine.dispatch(
+            &mut session,
+            Request::WhatIf {
+                name: "a".into(),
+                probe: Probe::Swap { a: 0, b: 1 },
+            },
+        );
+        assert!(matches!(good, Response::WhatIf { .. }), "{good:?}");
+        // Reloading the instance invalidates the resident snapshot.
+        load(&engine, &mut session, "a", &instance_text(6, 3, 2, 2));
+        let stale = engine.dispatch(
+            &mut session,
+            Request::WhatIf {
+                name: "a".into(),
+                probe: Probe::Swap { a: 0, b: 1 },
+            },
+        );
+        assert!(
+            matches!(
+                stale,
+                Response::Error {
+                    code: ErrorCode::NoResidentState,
+                    ..
+                }
+            ),
+            "{stale:?}"
+        );
+    }
+
+    #[test]
+    fn error_paths_are_typed() {
+        let engine = Engine::new(1);
+        let mut session = engine.begin_session();
+        let unknown = engine.dispatch(
+            &mut session,
+            Request::Solve {
+                name: "missing".into(),
+                method: SolveMethod::Portfolio,
+                seed: None,
+            },
+        );
+        assert!(matches!(
+            unknown,
+            Response::Error {
+                code: ErrorCode::UnknownInstance,
+                ..
+            }
+        ));
+        let garbage = engine.dispatch(
+            &mut session,
+            Request::Load {
+                name: "bad".into(),
+                payload: text_payload("tasks two\n"),
+            },
+        );
+        assert!(matches!(
+            garbage,
+            Response::Error {
+                code: ErrorCode::InvalidPayload,
+                ..
+            }
+        ));
+        load(&engine, &mut session, "a", &instance_text(6, 3, 2, 1));
+        let typo = engine.dispatch(
+            &mut session,
+            Request::Solve {
+                name: "a".into(),
+                method: SolveMethod::Heuristic("portolio".into()),
+                seed: None,
+            },
+        );
+        match typo {
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                detail,
+            } => assert!(detail.contains("H4w"), "detail must list names: {detail}"),
+            other => panic!("expected bad-request, got {other:?}"),
+        }
+        // 5 types on 3 machines: every solver fails feasibly.
+        let infeasible_text = instance_text(10, 3, 5, 1);
+        load(&engine, &mut session, "tight", &infeasible_text);
+        for method in [SolveMethod::Heuristic("H4w".into()), SolveMethod::Portfolio] {
+            let response = engine.dispatch(
+                &mut session,
+                Request::Solve {
+                    name: "tight".into(),
+                    method,
+                    seed: None,
+                },
+            );
+            assert!(
+                matches!(
+                    response,
+                    Response::Error {
+                        code: ErrorCode::Infeasible,
+                        ..
+                    }
+                ),
+                "{response:?}"
+            );
+        }
+        let Response::Stats(stats) = engine.dispatch(&mut session, Request::Stats) else {
+            panic!("stats failed");
+        };
+        let errors = stats.iter().find(|(k, _)| k == "errors").unwrap().1;
+        assert_eq!(errors, 5);
+    }
+
+    #[test]
+    fn per_request_seeds_change_seeded_answers_deterministically() {
+        let engine = Engine::new(1);
+        let mut session = engine.begin_session();
+        load(&engine, &mut session, "a", &instance_text(12, 5, 3, 7));
+        let solve = |session: &mut Session, seed: Option<u64>| match engine.dispatch(
+            session,
+            Request::Solve {
+                name: "a".into(),
+                method: SolveMethod::Heuristic("H1".into()),
+                seed,
+            },
+        ) {
+            Response::Solved { assignment, .. } => assignment,
+            other => panic!("solve failed: {other:?}"),
+        };
+        let default_seed = solve(&mut session, None);
+        let explicit_default = solve(&mut session, Some(DEFAULT_HEURISTIC_SEED));
+        let reseeded = solve(&mut session, Some(99));
+        let reseeded_again = solve(&mut session, Some(99));
+        assert_eq!(default_seed, explicit_default);
+        assert_eq!(reseeded, reseeded_again);
+        assert_ne!(default_seed, reseeded, "H1 must react to the seed");
+    }
+}

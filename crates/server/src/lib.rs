@@ -1,0 +1,46 @@
+//! # mf-server — a long-lived solve/evaluate server
+//!
+//! The one-shot CLI pays instance parsing, evaluator construction and thread
+//! pool spin-up on every invocation. This crate keeps all three **resident**:
+//! a server process owns an [`InstanceStore`](store::InstanceStore) of named
+//! instances, a shared rayon pool for the portfolio race, and per-session
+//! [`EvaluatorSnapshot`](mf_core::EvaluatorSnapshot) state that `whatif`
+//! probes resume in `O(1)` — and answers queries over a line-delimited text
+//! protocol, [`proto`] (`mf-proto v1`), via TCP (thread per connection) or a
+//! stdio pipe.
+//!
+//! Answers are **bit-identical to the equivalent one-shot CLI run**: solve
+//! requests use the same default seeds as `microfactory solve`, and the
+//! portfolio outcome is bit-identical for every thread count, so a resident
+//! server is a pure performance upgrade, never a numerical fork.
+//!
+//! ```
+//! use mf_server::engine::Engine;
+//! use mf_server::server::serve_stdio;
+//!
+//! let engine = Engine::new(1);
+//! let mut output = Vec::new();
+//! serve_stdio(&engine, "list\nshutdown\n".as_bytes(), &mut output).unwrap();
+//! let text = String::from_utf8(output).unwrap();
+//! assert!(text.starts_with("mf-proto v1\n"));
+//! assert!(text.contains("ok shutdown"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::{Client, ClientError};
+pub use engine::{Engine, Session, DEFAULT_HEURISTIC_SEED};
+pub use proto::{
+    request_from_text, request_to_text, response_from_text, response_to_text, text_payload,
+    ErrorCode, InstanceInfo, Probe, ProtoError, ProtoReader, ProtoResult, Request, Response,
+    SolveMethod, GREETING,
+};
+pub use server::{run_session, serve_stdio, Server};
+pub use store::{InstanceStore, StoredInstance};

@@ -1,0 +1,1133 @@
+//! `mf-proto v1` — the line-delimited text protocol of the serve loop.
+//!
+//! The protocol is styled after `mf-report v1` (`mf_experiments::persist`):
+//! plain text, one record per line, multi-line payloads carried by an
+//! explicit line count (requests) or closed by an `end` marker (responses),
+//! and every `f64` written with Rust's shortest-round-trip formatting so
+//! values survive a write→parse round trip **bit-for-bit**. A session opens
+//! with the server greeting line `mf-proto v1`.
+//!
+//! ```text
+//! C: load line6 18
+//! C: # microfactory instance
+//! C: tasks 6
+//! C: …                         (16 more payload lines)
+//! S: ok load line6 6 3 2
+//! C: solve line6 heuristic SD-H2 seed 7
+//! S: ok solve SD-H2 437.51948051948053 3 6
+//! S: assign 0 1
+//! S: …
+//! S: end
+//! C: shutdown
+//! S: ok shutdown
+//! ```
+//!
+//! Serialization is **canonical**: for any request or response value,
+//! `parse(write(x)) == x` and `write(parse(write(x))) == write(x)` byte for
+//! byte — the round-trip property `proto_roundtrip.rs` pins for every
+//! variant. Malformed input produces a typed [`ProtoError`], never a panic.
+
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// The protocol magic, sent by the server as its greeting line.
+pub const GREETING: &str = "mf-proto v1";
+
+/// Errors raised while parsing or writing protocol lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The input ended in the middle of a request or response.
+    UnexpectedEof {
+        /// What was being parsed when the input ran out.
+        context: &'static str,
+    },
+    /// A line did not match the grammar.
+    Malformed {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A name or text field contains characters the wire format cannot carry.
+    UnencodableText {
+        /// The offending text.
+        text: String,
+    },
+    /// An I/O error from the underlying reader.
+    Io(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            ProtoError::Malformed { detail } => write!(f, "malformed protocol line: {detail}"),
+            ProtoError::UnencodableText { text } => {
+                write!(f, "text cannot be encoded on one protocol line: {text:?}")
+            }
+            ProtoError::Io(detail) => write!(f, "protocol I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e.to_string())
+    }
+}
+
+/// Result alias for protocol operations.
+pub type ProtoResult<T> = std::result::Result<T, ProtoError>;
+
+fn malformed(detail: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed {
+        detail: detail.into(),
+    }
+}
+
+/// `true` for names the wire format can carry as a single token: non-empty
+/// ASCII alphanumerics plus `.`, `_`, `-` and `#` (portfolio cell labels such
+/// as `H6-H4w#1` travel through the same token slot as instance names).
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-' || b == b'#')
+}
+
+fn check_name(name: &str) -> ProtoResult<&str> {
+    if valid_name(name) {
+        Ok(name)
+    } else {
+        Err(ProtoError::UnencodableText {
+            text: name.to_string(),
+        })
+    }
+}
+
+/// A payload line must not itself be a line separator.
+fn check_payload_line(line: &str) -> ProtoResult<&str> {
+    if line.contains('\n') || line.contains('\r') {
+        Err(ProtoError::UnencodableText {
+            text: line.to_string(),
+        })
+    } else {
+        Ok(line)
+    }
+}
+
+/// How a `solve` request wants the mapping computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// One registry heuristic (`"H4w"`, `"SD-H2"`, …; canonical casing).
+    Heuristic(String),
+    /// The parallel search portfolio on the server's shared pool.
+    Portfolio,
+}
+
+/// A what-if probe against the session's resident evaluator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Move one task to a machine.
+    Move {
+        /// Task index.
+        task: usize,
+        /// Target machine index.
+        machine: usize,
+    },
+    /// Exchange the machines of two tasks.
+    Swap {
+        /// First task index.
+        a: usize,
+        /// Second task index.
+        b: usize,
+    },
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Load (or replace) a named instance from inline `mf_core::textio`
+    /// instance text.
+    Load {
+        /// Store name of the instance.
+        name: String,
+        /// Instance text, one payload line per entry.
+        payload: Vec<String>,
+    },
+    /// Drop a named instance from the store.
+    Unload {
+        /// Store name.
+        name: String,
+    },
+    /// List the resident instances.
+    List,
+    /// Evaluate a mapping (inline `mf_core::textio` mapping text) against a
+    /// resident instance; refreshes the session's resident evaluator.
+    Evaluate {
+        /// Store name of the instance.
+        name: String,
+        /// Mapping text, one payload line per entry.
+        payload: Vec<String>,
+    },
+    /// What-if probe against the resident evaluator state the session's last
+    /// `evaluate`/`solve` on this instance left behind.
+    WhatIf {
+        /// Store name of the instance.
+        name: String,
+        /// The probe.
+        probe: Probe,
+    },
+    /// Compute a mapping for a resident instance.
+    Solve {
+        /// Store name of the instance.
+        name: String,
+        /// Solver choice.
+        method: SolveMethod,
+        /// Per-request seed; `None` uses the defaults of the equivalent
+        /// one-shot CLI run (so answers are bit-identical to it).
+        seed: Option<u64>,
+    },
+    /// Server statistics counters.
+    Stats,
+    /// End the session; a TCP server stops accepting new connections.
+    Shutdown,
+}
+
+/// One named instance in a `list` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceInfo {
+    /// Store name.
+    pub name: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Machine count.
+    pub machines: usize,
+    /// Task-type count.
+    pub types: usize,
+}
+
+/// Error classes a request can fail with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line (or its arguments) did not make sense.
+    BadRequest,
+    /// No resident instance under that name.
+    UnknownInstance,
+    /// The inline instance/mapping payload was rejected by `textio` or does
+    /// not fit the instance.
+    InvalidPayload,
+    /// The solver produced no mapping (e.g. more task types than machines).
+    Infeasible,
+    /// `whatif` without resident evaluator state for the instance in this
+    /// session.
+    NoResidentState,
+}
+
+impl ErrorCode {
+    /// The wire token of the code.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownInstance => "unknown-instance",
+            ErrorCode::InvalidPayload => "invalid-payload",
+            ErrorCode::Infeasible => "infeasible",
+            ErrorCode::NoResidentState => "no-resident-state",
+        }
+    }
+
+    fn from_token(token: &str) -> Option<Self> {
+        Some(match token {
+            "bad-request" => ErrorCode::BadRequest,
+            "unknown-instance" => ErrorCode::UnknownInstance,
+            "invalid-payload" => ErrorCode::InvalidPayload,
+            "infeasible" => ErrorCode::Infeasible,
+            "no-resident-state" => ErrorCode::NoResidentState,
+            _ => return None,
+        })
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Instance loaded (or replaced).
+    Loaded {
+        /// Store name.
+        name: String,
+        /// Task count.
+        tasks: usize,
+        /// Machine count.
+        machines: usize,
+        /// Task-type count.
+        types: usize,
+    },
+    /// Instance dropped.
+    Unloaded {
+        /// Store name.
+        name: String,
+    },
+    /// The resident instances, sorted by name.
+    List(Vec<InstanceInfo>),
+    /// Mapping evaluated. Floats are lossless (`{}` formatting).
+    Evaluated {
+        /// System period (ms), bit-identical to the one-shot evaluation.
+        period: f64,
+        /// Critical machine index (lowest index on exact ties).
+        critical: usize,
+        /// Per-machine loads (ms), indexed by machine.
+        loads: Vec<f64>,
+    },
+    /// What-if probe answered from resident evaluator state.
+    WhatIf {
+        /// Candidate system period (ms).
+        period: f64,
+        /// Candidate critical machine index.
+        critical: usize,
+    },
+    /// Mapping computed.
+    Solved {
+        /// Winning method label (registry name, or portfolio cell label).
+        label: String,
+        /// Achieved system period (ms), bit-identical to the one-shot run.
+        period: f64,
+        /// Machine count of the mapping.
+        machines: usize,
+        /// Machine index per task, in task order.
+        assignment: Vec<usize>,
+    },
+    /// Statistics counters, in the server's fixed presentation order.
+    Stats(Vec<(String, u64)>),
+    /// Session closed by request.
+    Shutdown,
+    /// The request failed.
+    Error {
+        /// Error class.
+        code: ErrorCode,
+        /// Human-readable detail (single line).
+        detail: String,
+    },
+}
+
+impl Response {
+    /// Convenience constructor for error responses.
+    pub fn error(code: ErrorCode, detail: impl Into<String>) -> Self {
+        Response::Error {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Serializes a request in canonical wire form (trailing newline included).
+pub fn request_to_text(request: &Request) -> ProtoResult<String> {
+    let mut out = String::new();
+    match request {
+        Request::Load { name, payload } => {
+            let _ = writeln!(out, "load {} {}", check_name(name)?, payload.len());
+            for line in payload {
+                let _ = writeln!(out, "{}", check_payload_line(line)?);
+            }
+        }
+        Request::Unload { name } => {
+            let _ = writeln!(out, "unload {}", check_name(name)?);
+        }
+        Request::List => {
+            let _ = writeln!(out, "list");
+        }
+        Request::Evaluate { name, payload } => {
+            let _ = writeln!(out, "evaluate {} {}", check_name(name)?, payload.len());
+            for line in payload {
+                let _ = writeln!(out, "{}", check_payload_line(line)?);
+            }
+        }
+        Request::WhatIf { name, probe } => match probe {
+            Probe::Move { task, machine } => {
+                let _ = writeln!(out, "whatif {} move {task} {machine}", check_name(name)?);
+            }
+            Probe::Swap { a, b } => {
+                let _ = writeln!(out, "whatif {} swap {a} {b}", check_name(name)?);
+            }
+        },
+        Request::Solve { name, method, seed } => {
+            let _ = write!(out, "solve {}", check_name(name)?);
+            match method {
+                SolveMethod::Heuristic(heuristic) => {
+                    let _ = write!(out, " heuristic {}", check_name(heuristic)?);
+                }
+                SolveMethod::Portfolio => {
+                    let _ = write!(out, " portfolio");
+                }
+            }
+            if let Some(seed) = seed {
+                let _ = write!(out, " seed {seed}");
+            }
+            out.push('\n');
+        }
+        Request::Stats => {
+            let _ = writeln!(out, "stats");
+        }
+        Request::Shutdown => {
+            let _ = writeln!(out, "shutdown");
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes a response in canonical wire form (trailing newline included).
+pub fn response_to_text(response: &Response) -> ProtoResult<String> {
+    let mut out = String::new();
+    match response {
+        Response::Loaded {
+            name,
+            tasks,
+            machines,
+            types,
+        } => {
+            let _ = writeln!(
+                out,
+                "ok load {} {tasks} {machines} {types}",
+                check_name(name)?
+            );
+        }
+        Response::Unloaded { name } => {
+            let _ = writeln!(out, "ok unload {}", check_name(name)?);
+        }
+        Response::List(entries) => {
+            let _ = writeln!(out, "ok list {}", entries.len());
+            for entry in entries {
+                let _ = writeln!(
+                    out,
+                    "instance {} {} {} {}",
+                    check_name(&entry.name)?,
+                    entry.tasks,
+                    entry.machines,
+                    entry.types
+                );
+            }
+            let _ = writeln!(out, "end");
+        }
+        Response::Evaluated {
+            period,
+            critical,
+            loads,
+        } => {
+            let _ = writeln!(out, "ok evaluate {period} {critical}");
+            for (u, load) in loads.iter().enumerate() {
+                let _ = writeln!(out, "load {u} {load}");
+            }
+            let _ = writeln!(out, "end");
+        }
+        Response::WhatIf { period, critical } => {
+            let _ = writeln!(out, "ok whatif {period} {critical}");
+        }
+        Response::Solved {
+            label,
+            period,
+            machines,
+            assignment,
+        } => {
+            let _ = writeln!(
+                out,
+                "ok solve {} {period} {machines} {}",
+                check_name(label)?,
+                assignment.len()
+            );
+            for (task, machine) in assignment.iter().enumerate() {
+                let _ = writeln!(out, "assign {task} {machine}");
+            }
+            let _ = writeln!(out, "end");
+        }
+        Response::Stats(entries) => {
+            let _ = writeln!(out, "ok stats {}", entries.len());
+            for (key, value) in entries {
+                let _ = writeln!(out, "stat {} {value}", check_name(key)?);
+            }
+            let _ = writeln!(out, "end");
+        }
+        Response::Shutdown => {
+            let _ = writeln!(out, "ok shutdown");
+        }
+        Response::Error { code, detail } => {
+            if detail.contains('\n') || detail.contains('\r') {
+                return Err(ProtoError::UnencodableText {
+                    text: detail.clone(),
+                });
+            }
+            let _ = writeln!(out, "err {} {detail}", code.token());
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Upper bound on any `Vec::with_capacity` driven by a wire-supplied count.
+/// Real counts above this still parse — they just grow by pushing.
+const WIRE_CAPACITY_CAP: usize = 1024;
+
+/// A line source over any [`BufRead`], tracking EOF and stream desync.
+#[derive(Debug)]
+pub struct ProtoReader<R> {
+    reader: R,
+    desynced: bool,
+}
+
+impl<R: BufRead> ProtoReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        ProtoReader {
+            reader,
+            desynced: false,
+        }
+    }
+
+    /// `true` once a parse failure left the stream offset untrustworthy —
+    /// a `load`/`evaluate` head that failed before its payload count was
+    /// known, so the following lines may be payload, not requests. A serve
+    /// loop should answer the error and close the session rather than
+    /// execute payload lines as commands.
+    pub fn is_desynced(&self) -> bool {
+        self.desynced
+    }
+
+    /// The next line without its terminator; `None` at EOF.
+    fn next_line(&mut self) -> ProtoResult<Option<String>> {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// The next non-empty line; `None` at EOF.
+    fn next_content_line(&mut self) -> ProtoResult<Option<String>> {
+        loop {
+            match self.next_line()? {
+                None => return Ok(None),
+                Some(line) if line.trim().is_empty() => continue,
+                Some(line) => return Ok(Some(line)),
+            }
+        }
+    }
+
+    /// Reads exactly `count` payload lines (payload lines may be blank-ish
+    /// comment lines of the embedded text format, so no blank skipping).
+    fn payload(&mut self, count: usize, context: &'static str) -> ProtoResult<Vec<String>> {
+        // Counts come off the wire: cap the pre-allocation so a hostile
+        // header cannot request petabytes before a single line is read
+        // (growth beyond the cap is amortized push).
+        let mut lines = Vec::with_capacity(count.min(WIRE_CAPACITY_CAP));
+        for _ in 0..count {
+            match self.next_line()? {
+                Some(line) => lines.push(line),
+                None => return Err(ProtoError::UnexpectedEof { context }),
+            }
+        }
+        Ok(lines)
+    }
+
+    /// Reads the server greeting line (`None` at EOF). The caller compares
+    /// it against [`GREETING`].
+    pub fn read_greeting(&mut self) -> ProtoResult<Option<String>> {
+        self.next_content_line()
+    }
+
+    /// Reads one request; `None` at a clean EOF (before any request line).
+    pub fn read_request(&mut self) -> ProtoResult<Option<Request>> {
+        let Some(line) = self.next_content_line()? else {
+            return Ok(None);
+        };
+        self.parse_request_head(&line).map(Some)
+    }
+
+    fn parse_request_head(&mut self, line: &str) -> ProtoResult<Request> {
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("content lines are non-empty");
+        let request = match keyword {
+            "load" | "evaluate" => {
+                // Until the payload count is parsed, any failure leaves the
+                // payload lines unconsumed — mark the stream desynced so the
+                // serve loop doesn't execute them as commands.
+                self.desynced = true;
+                let name = parse_name(tokens.next(), keyword)?;
+                let count = parse_count(tokens.next(), keyword)?;
+                reject_extra(tokens.next(), line)?;
+                self.desynced = false;
+                let payload = self.payload(
+                    count,
+                    if keyword == "load" {
+                        "load payload"
+                    } else {
+                        "evaluate payload"
+                    },
+                )?;
+                for candidate in &payload {
+                    check_payload_line(candidate)?;
+                }
+                if keyword == "load" {
+                    Request::Load { name, payload }
+                } else {
+                    Request::Evaluate { name, payload }
+                }
+            }
+            "unload" => {
+                let name = parse_name(tokens.next(), keyword)?;
+                reject_extra(tokens.next(), line)?;
+                Request::Unload { name }
+            }
+            "list" => {
+                reject_extra(tokens.next(), line)?;
+                Request::List
+            }
+            "whatif" => {
+                let name = parse_name(tokens.next(), keyword)?;
+                let probe = match tokens.next() {
+                    Some("move") => Probe::Move {
+                        task: parse_index(tokens.next(), "whatif task")?,
+                        machine: parse_index(tokens.next(), "whatif machine")?,
+                    },
+                    Some("swap") => Probe::Swap {
+                        a: parse_index(tokens.next(), "whatif first task")?,
+                        b: parse_index(tokens.next(), "whatif second task")?,
+                    },
+                    other => {
+                        return Err(malformed(format!(
+                            "expected `move` or `swap`, found `{}`",
+                            other.unwrap_or("")
+                        )))
+                    }
+                };
+                reject_extra(tokens.next(), line)?;
+                Request::WhatIf { name, probe }
+            }
+            "solve" => {
+                let name = parse_name(tokens.next(), keyword)?;
+                let method = match tokens.next() {
+                    Some("heuristic") => {
+                        SolveMethod::Heuristic(parse_name(tokens.next(), "heuristic")?)
+                    }
+                    Some("portfolio") => SolveMethod::Portfolio,
+                    other => {
+                        return Err(malformed(format!(
+                            "expected `heuristic <name>` or `portfolio`, found `{}`",
+                            other.unwrap_or("")
+                        )))
+                    }
+                };
+                let seed = match tokens.next() {
+                    None => None,
+                    Some("seed") => Some(parse_u64(tokens.next(), "seed")?),
+                    Some(other) => {
+                        return Err(malformed(format!("unexpected token `{other}`")));
+                    }
+                };
+                reject_extra(tokens.next(), line)?;
+                Request::Solve { name, method, seed }
+            }
+            "stats" => {
+                reject_extra(tokens.next(), line)?;
+                Request::Stats
+            }
+            "shutdown" => {
+                reject_extra(tokens.next(), line)?;
+                Request::Shutdown
+            }
+            other => {
+                return Err(malformed(format!(
+                    "unknown request `{other}` (expected load, unload, list, evaluate, \
+                     whatif, solve, stats or shutdown)"
+                )))
+            }
+        };
+        Ok(request)
+    }
+
+    /// Reads one response; `None` at a clean EOF.
+    pub fn read_response(&mut self) -> ProtoResult<Option<Response>> {
+        let Some(line) = self.next_content_line()? else {
+            return Ok(None);
+        };
+        self.parse_response_head(&line).map(Some)
+    }
+
+    fn parse_response_head(&mut self, line: &str) -> ProtoResult<Response> {
+        let mut tokens = line.split_whitespace();
+        match tokens.next().expect("content lines are non-empty") {
+            "ok" => {}
+            "err" => {
+                let code_token = tokens
+                    .next()
+                    .ok_or_else(|| malformed("`err` without a code"))?;
+                let code = ErrorCode::from_token(code_token)
+                    .ok_or_else(|| malformed(format!("unknown error code `{code_token}`")))?;
+                let rest = line
+                    .splitn(3, ' ')
+                    .nth(2)
+                    .ok_or_else(|| malformed("`err` without a detail message"))?;
+                return Ok(Response::Error {
+                    code,
+                    detail: rest.to_string(),
+                });
+            }
+            other => {
+                return Err(malformed(format!(
+                    "expected `ok …` or `err …`, found `{other}`"
+                )))
+            }
+        }
+        let verb = tokens
+            .next()
+            .ok_or_else(|| malformed("`ok` without a verb"))?;
+        let response = match verb {
+            "load" => Response::Loaded {
+                name: parse_name(tokens.next(), "loaded name")?,
+                tasks: parse_count(tokens.next(), "task count")?,
+                machines: parse_count(tokens.next(), "machine count")?,
+                types: parse_count(tokens.next(), "type count")?,
+            },
+            "unload" => Response::Unloaded {
+                name: parse_name(tokens.next(), "unloaded name")?,
+            },
+            "list" => {
+                let count = parse_count(tokens.next(), "list count")?;
+                reject_extra(tokens.next(), line)?;
+                let mut entries = Vec::with_capacity(count.min(WIRE_CAPACITY_CAP));
+                for _ in 0..count {
+                    let entry = self.next_content_line()?.ok_or(ProtoError::UnexpectedEof {
+                        context: "list entries",
+                    })?;
+                    let mut t = entry.split_whitespace();
+                    match t.next() {
+                        Some("instance") => {}
+                        _ => return Err(malformed(format!("expected `instance …`: `{entry}`"))),
+                    }
+                    entries.push(InstanceInfo {
+                        name: parse_name(t.next(), "instance name")?,
+                        tasks: parse_count(t.next(), "task count")?,
+                        machines: parse_count(t.next(), "machine count")?,
+                        types: parse_count(t.next(), "type count")?,
+                    });
+                    reject_extra(t.next(), &entry)?;
+                }
+                self.expect_end("list")?;
+                return Ok(Response::List(entries));
+            }
+            "evaluate" => {
+                let period = parse_f64(tokens.next(), "period")?;
+                let critical = parse_index(tokens.next(), "critical machine")?;
+                reject_extra(tokens.next(), line)?;
+                let mut loads = Vec::new();
+                loop {
+                    let entry = self.next_content_line()?.ok_or(ProtoError::UnexpectedEof {
+                        context: "evaluate loads",
+                    })?;
+                    if entry == "end" {
+                        break;
+                    }
+                    let mut t = entry.split_whitespace();
+                    match t.next() {
+                        Some("load") => {}
+                        _ => return Err(malformed(format!("expected `load …`: `{entry}`"))),
+                    }
+                    let index = parse_index(t.next(), "machine index")?;
+                    if index != loads.len() {
+                        return Err(malformed(format!(
+                            "load lines out of order: expected machine {}, found {index}",
+                            loads.len()
+                        )));
+                    }
+                    loads.push(parse_f64(t.next(), "machine load")?);
+                    reject_extra(t.next(), &entry)?;
+                }
+                return Ok(Response::Evaluated {
+                    period,
+                    critical,
+                    loads,
+                });
+            }
+            "whatif" => Response::WhatIf {
+                period: parse_f64(tokens.next(), "period")?,
+                critical: parse_index(tokens.next(), "critical machine")?,
+            },
+            "solve" => {
+                let label = parse_name(tokens.next(), "solve label")?;
+                let period = parse_f64(tokens.next(), "period")?;
+                let machines = parse_count(tokens.next(), "machine count")?;
+                let tasks = parse_count(tokens.next(), "task count")?;
+                reject_extra(tokens.next(), line)?;
+                let mut assignment = Vec::with_capacity(tasks.min(WIRE_CAPACITY_CAP));
+                for _ in 0..tasks {
+                    let entry = self.next_content_line()?.ok_or(ProtoError::UnexpectedEof {
+                        context: "solve assignment",
+                    })?;
+                    let mut t = entry.split_whitespace();
+                    match t.next() {
+                        Some("assign") => {}
+                        _ => return Err(malformed(format!("expected `assign …`: `{entry}`"))),
+                    }
+                    let task = parse_index(t.next(), "task index")?;
+                    if task != assignment.len() {
+                        return Err(malformed(format!(
+                            "assign lines out of order: expected task {}, found {task}",
+                            assignment.len()
+                        )));
+                    }
+                    assignment.push(parse_index(t.next(), "machine index")?);
+                    reject_extra(t.next(), &entry)?;
+                }
+                self.expect_end("solve")?;
+                return Ok(Response::Solved {
+                    label,
+                    period,
+                    machines,
+                    assignment,
+                });
+            }
+            "stats" => {
+                let count = parse_count(tokens.next(), "stats count")?;
+                reject_extra(tokens.next(), line)?;
+                let mut entries = Vec::with_capacity(count.min(WIRE_CAPACITY_CAP));
+                for _ in 0..count {
+                    let entry = self.next_content_line()?.ok_or(ProtoError::UnexpectedEof {
+                        context: "stats entries",
+                    })?;
+                    let mut t = entry.split_whitespace();
+                    match t.next() {
+                        Some("stat") => {}
+                        _ => return Err(malformed(format!("expected `stat …`: `{entry}`"))),
+                    }
+                    entries.push((
+                        parse_name(t.next(), "stat key")?,
+                        parse_u64(t.next(), "stat value")?,
+                    ));
+                    reject_extra(t.next(), &entry)?;
+                }
+                self.expect_end("stats")?;
+                return Ok(Response::Stats(entries));
+            }
+            "shutdown" => Response::Shutdown,
+            other => return Err(malformed(format!("unknown response verb `{other}`"))),
+        };
+        // Single-line responses reach here (block responses returned above);
+        // the live iterator holds exactly the unconsumed tail of the line.
+        reject_extra(tokens.next(), line)?;
+        Ok(response)
+    }
+
+    fn expect_end(&mut self, context: &'static str) -> ProtoResult<()> {
+        match self.next_content_line()? {
+            Some(line) if line == "end" => Ok(()),
+            Some(line) => Err(malformed(format!("expected `end`, found `{line}`"))),
+            None => Err(ProtoError::UnexpectedEof { context }),
+        }
+    }
+}
+
+fn parse_name(token: Option<&str>, what: &str) -> ProtoResult<String> {
+    let token = token.ok_or_else(|| malformed(format!("missing {what} name")))?;
+    if valid_name(token) {
+        Ok(token.to_string())
+    } else {
+        Err(malformed(format!(
+            "invalid {what} name `{token}` (ASCII letters, digits, `.`, `_`, `-`; \
+             at most 64 characters)"
+        )))
+    }
+}
+
+fn parse_count(token: Option<&str>, what: &str) -> ProtoResult<usize> {
+    token
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| malformed(format!("expected {what} (unsigned integer)")))
+}
+
+fn parse_index(token: Option<&str>, what: &str) -> ProtoResult<usize> {
+    parse_count(token, what)
+}
+
+fn parse_u64(token: Option<&str>, what: &str) -> ProtoResult<u64> {
+    token
+        .and_then(|t| t.parse::<u64>().ok())
+        .ok_or_else(|| malformed(format!("expected {what} (u64)")))
+}
+
+fn parse_f64(token: Option<&str>, what: &str) -> ProtoResult<f64> {
+    token
+        .and_then(|t| t.parse::<f64>().ok())
+        .ok_or_else(|| malformed(format!("expected {what} (float)")))
+}
+
+fn reject_extra(token: Option<&str>, line: &str) -> ProtoResult<()> {
+    match token {
+        None => Ok(()),
+        Some(extra) => Err(malformed(format!(
+            "unexpected trailing token `{extra}` in `{line}`"
+        ))),
+    }
+}
+
+/// Splits a `mf_core::textio` document into protocol payload lines (the
+/// inverse of joining a payload with `\n` before parsing it).
+pub fn text_payload(text: &str) -> Vec<String> {
+    text.lines().map(str::to_string).collect()
+}
+
+/// Parses exactly one request from a text buffer (convenience for tests and
+/// the client's script translation).
+pub fn request_from_text(text: &str) -> ProtoResult<Request> {
+    let mut reader = ProtoReader::new(text.as_bytes());
+    reader
+        .read_request()?
+        .ok_or(ProtoError::UnexpectedEof { context: "request" })
+}
+
+/// Parses exactly one response from a text buffer.
+pub fn response_from_text(text: &str) -> ProtoResult<Response> {
+    let mut reader = ProtoReader::new(text.as_bytes());
+    reader.read_response()?.ok_or(ProtoError::UnexpectedEof {
+        context: "response",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("line6"));
+        assert!(valid_name("a.b_c-d"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("two words"));
+        assert!(!valid_name("tab\there"));
+        assert!(!valid_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn single_line_requests_round_trip() {
+        for request in [
+            Request::Unload { name: "a".into() },
+            Request::List,
+            Request::Stats,
+            Request::Shutdown,
+            Request::WhatIf {
+                name: "inst".into(),
+                probe: Probe::Move {
+                    task: 3,
+                    machine: 1,
+                },
+            },
+            Request::WhatIf {
+                name: "inst".into(),
+                probe: Probe::Swap { a: 0, b: 5 },
+            },
+            Request::Solve {
+                name: "inst".into(),
+                method: SolveMethod::Heuristic("SD-H2".into()),
+                seed: None,
+            },
+            Request::Solve {
+                name: "inst".into(),
+                method: SolveMethod::Portfolio,
+                seed: Some(u64::MAX),
+            },
+        ] {
+            let text = request_to_text(&request).unwrap();
+            let parsed = request_from_text(&text).unwrap();
+            assert_eq!(parsed, request);
+            assert_eq!(request_to_text(&parsed).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn payload_requests_round_trip() {
+        let request = Request::Load {
+            name: "line".into(),
+            payload: vec![
+                "# comment".into(),
+                "tasks 2".into(),
+                "".into(),
+                "  indented".into(),
+            ],
+        };
+        let text = request_to_text(&request).unwrap();
+        let parsed = request_from_text(&text).unwrap();
+        assert_eq!(parsed, request);
+        assert_eq!(request_to_text(&parsed).unwrap(), text);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_eof_error() {
+        let err = request_from_text("load a 3\nonly one line\n").unwrap_err();
+        assert!(matches!(err, ProtoError::UnexpectedEof { .. }), "{err}");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            "frobnicate",
+            "load",
+            "load name",
+            "load two words 0",
+            "unload",
+            "unload bad name",
+            "list extra",
+            "whatif a move 1",
+            "whatif a shuffle 1 2",
+            "solve a",
+            "solve a exact",
+            "solve a heuristic",
+            "solve a portfolio seed",
+            "solve a portfolio seed -3",
+            "solve a portfolio seed 1 extra",
+            "stats now",
+            "shutdown please",
+        ] {
+            let err = request_from_text(&format!("{bad}\n")).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Malformed { .. }),
+                "`{bad}` must be Malformed, was {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_with_lossless_floats() {
+        for response in [
+            Response::Loaded {
+                name: "a".into(),
+                tasks: 6,
+                machines: 3,
+                types: 2,
+            },
+            Response::Unloaded { name: "a".into() },
+            Response::List(vec![
+                InstanceInfo {
+                    name: "a".into(),
+                    tasks: 1,
+                    machines: 2,
+                    types: 1,
+                },
+                InstanceInfo {
+                    name: "b".into(),
+                    tasks: 100,
+                    machines: 20,
+                    types: 5,
+                },
+            ]),
+            Response::List(Vec::new()),
+            Response::Evaluated {
+                period: 1.0 / 3.0,
+                critical: 1,
+                loads: vec![f64::MIN_POSITIVE, 437.519_480_519_480_5, 0.0],
+            },
+            Response::WhatIf {
+                period: 1e300,
+                critical: 0,
+            },
+            Response::Solved {
+                label: "H6-H4w#1".into(),
+                period: 12345.678901234567,
+                machines: 3,
+                assignment: vec![0, 2, 1, 1],
+            },
+            Response::Stats(vec![("requests".into(), 7), ("errors".into(), 0)]),
+            Response::Shutdown,
+            Response::Error {
+                code: ErrorCode::UnknownInstance,
+                detail: "no instance named `x` is loaded".into(),
+            },
+        ] {
+            let text = response_to_text(&response).unwrap();
+            let parsed = response_from_text(&text).unwrap();
+            if let (
+                Response::Evaluated {
+                    period: a,
+                    loads: la,
+                    ..
+                },
+                Response::Evaluated {
+                    period: b,
+                    loads: lb,
+                    ..
+                },
+            ) = (&parsed, &response)
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+                for (x, y) in la.iter().zip(lb) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            assert_eq!(parsed, response);
+            assert_eq!(response_to_text(&parsed).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn malformed_responses_are_typed_errors() {
+        for bad in [
+            "yes",
+            "ok",
+            "ok frobnicate",
+            "ok load a x 3 2",
+            "ok list 1\nnot an instance line\nend",
+            "ok evaluate 1.5 0\nload 1 2.0\nend",
+            "ok solve a 1.5 3 1\nassign 1 0\nend",
+            "ok shutdown now",
+            "err",
+            "err what happened",
+        ] {
+            let err = response_from_text(&format!("{bad}\n")).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ProtoError::Malformed { .. } | ProtoError::UnexpectedEof { .. }
+                ),
+                "`{bad}` must fail typed, was {err:?}"
+            );
+        }
+        // Truncated blocks hit EOF, not panics.
+        let err = response_from_text("ok list 2\ninstance a 1 1 1\n").unwrap_err();
+        assert!(matches!(err, ProtoError::UnexpectedEof { .. }), "{err}");
+        let err = response_from_text("ok solve a 1.5 3 2\nassign 0 1\n").unwrap_err();
+        assert!(matches!(err, ProtoError::UnexpectedEof { .. }), "{err}");
+    }
+
+    #[test]
+    fn unencodable_values_are_rejected_at_write_time() {
+        assert!(matches!(
+            request_to_text(&Request::Unload {
+                name: "two words".into()
+            }),
+            Err(ProtoError::UnencodableText { .. })
+        ));
+        assert!(matches!(
+            request_to_text(&Request::Load {
+                name: "a".into(),
+                payload: vec!["line\nbreak".into()],
+            }),
+            Err(ProtoError::UnencodableText { .. })
+        ));
+        assert!(matches!(
+            response_to_text(&Response::Error {
+                code: ErrorCode::BadRequest,
+                detail: "two\nlines".into()
+            }),
+            Err(ProtoError::UnencodableText { .. })
+        ));
+    }
+}

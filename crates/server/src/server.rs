@@ -1,0 +1,223 @@
+//! The serve loops: a thread-per-connection TCP listener and a pipe-driven
+//! stdio mode, both speaking `mf-proto v1` against one shared [`Engine`].
+//!
+//! The server is std-only — `std::net::TcpListener` plus `std::thread` — so
+//! it runs in the offline build environment; the parallelism that matters
+//! (the portfolio race) happens on the engine's shared rayon pool, which
+//! every session borrows for the duration of a `solve … portfolio` request.
+//!
+//! Shutdown is cooperative: a `shutdown` request answers `ok shutdown`, ends
+//! its own session, and stops the accept loop (already-open sessions run to
+//! completion; new connections are refused by the closed listener).
+
+use crate::engine::Engine;
+use crate::proto::{ProtoError, ProtoReader, Request, Response, GREETING};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Runs one session: greeting, then a request/response loop until EOF or
+/// `shutdown`. Returns `true` when the session ended with a `shutdown`
+/// request.
+///
+/// Malformed request lines answer `err bad-request …` and the session
+/// continues; an input that ends mid-payload answers the error and closes
+/// the session (the stream offset is no longer trustworthy).
+pub fn run_session(
+    engine: &Engine,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<bool> {
+    let mut session = engine.begin_session();
+    let mut reader = ProtoReader::new(input);
+    writeln!(output, "{GREETING}")?;
+    output.flush()?;
+    loop {
+        let request = match reader.read_request() {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(false), // clean EOF
+            Err(ProtoError::Io(detail)) => {
+                return Err(std::io::Error::other(detail));
+            }
+            Err(error) => {
+                let response =
+                    Response::error(crate::proto::ErrorCode::BadRequest, error.to_string());
+                write_response(&mut output, &response)?;
+                // A truncated input, or a failed `load`/`evaluate` head whose
+                // payload count never parsed, leaves the stream offset
+                // untrustworthy — the following lines could be payload, and
+                // executing them as commands would cascade garbage. Close.
+                if matches!(error, ProtoError::UnexpectedEof { .. }) || reader.is_desynced() {
+                    return Ok(false);
+                }
+                continue;
+            }
+        };
+        let shutdown = matches!(request, Request::Shutdown);
+        let response = engine.dispatch(&mut session, request);
+        write_response(&mut output, &response)?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+}
+
+fn write_response(output: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let text = crate::proto::response_to_text(response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    output.write_all(text.as_bytes())?;
+    output.flush()
+}
+
+/// Serves a single session over arbitrary byte streams — the `--stdio` mode
+/// used by pipe-driven tests and the CI golden transcript.
+pub fn serve_stdio(
+    engine: &Engine,
+    input: impl BufRead,
+    output: impl Write,
+) -> std::io::Result<()> {
+    run_session(engine, input, output).map(|_| ())
+}
+
+/// A TCP server: one accept loop, one thread per connection, one shared
+/// [`Engine`].
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds a listener (`port 0` picks an ephemeral port) over a fresh
+    /// engine with `threads` solver workers.
+    pub fn bind(addr: impl ToSocketAddrs, threads: usize) -> std::io::Result<Server> {
+        Server::with_engine(addr, Arc::new(Engine::new(threads)))
+    }
+
+    /// Binds a listener over an existing engine (lets tests pre-load the
+    /// store).
+    pub fn with_engine(addr: impl ToSocketAddrs, engine: Arc<Engine>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            engine,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (needed with `port 0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Runs the accept loop until a session requests `shutdown`, then joins
+    /// the remaining session threads.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.local_addr()?;
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Reap finished sessions so a long-lived server doesn't grow a
+            // handle per connection it ever served.
+            handles.retain(|handle| !handle.is_finished());
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Transient accept errors (e.g. fd exhaustion) would
+                    // otherwise fail instantly forever — back off instead of
+                    // spinning the loop hot.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    continue;
+                }
+            };
+            let engine = Arc::clone(&self.engine);
+            let shutdown = Arc::clone(&self.shutdown);
+            handles.push(std::thread::spawn(move || {
+                if let Ok(true) = handle_connection(&engine, stream) {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop with a throwaway connection.
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<bool> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer = BufWriter::new(stream);
+    run_session(engine, reader, writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdio_session_greets_and_answers() {
+        let engine = Engine::new(1);
+        let mut output = Vec::new();
+        serve_stdio(&engine, "list\nstats\n".as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.starts_with("mf-proto v1\n"), "{text}");
+        assert!(text.contains("ok list 0"), "{text}");
+        assert!(text.contains("stat requests 2"), "{text}");
+    }
+
+    #[test]
+    fn malformed_lines_answer_errors_without_killing_the_session() {
+        let engine = Engine::new(1);
+        let mut output = Vec::new();
+        serve_stdio(
+            &engine,
+            "frobnicate\nlist\nshutdown\n".as_bytes(),
+            &mut output,
+        )
+        .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("err bad-request"), "{text}");
+        assert!(text.contains("ok list 0"), "{text}");
+        assert!(text.contains("ok shutdown"), "{text}");
+    }
+
+    #[test]
+    fn bad_load_head_closes_the_session_instead_of_executing_payload() {
+        // `5x` is not a count, so the 2 would-be payload lines are still in
+        // the stream; executing them as commands would desync the protocol.
+        let engine = Engine::new(1);
+        let mut output = Vec::new();
+        serve_stdio(
+            &engine,
+            "load a 5x\ntasks 1\nlist\nshutdown\n".as_bytes(),
+            &mut output,
+        )
+        .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("err bad-request"), "{text}");
+        assert!(
+            !text.contains("ok list") && !text.contains("ok shutdown"),
+            "payload lines must not execute: {text}"
+        );
+    }
+
+    #[test]
+    fn truncated_payload_ends_the_session_with_an_error() {
+        let engine = Engine::new(1);
+        let mut output = Vec::new();
+        serve_stdio(&engine, "load a 5\ntasks 1\n".as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("err bad-request"), "{text}");
+    }
+}

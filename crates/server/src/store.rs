@@ -1,0 +1,146 @@
+//! The resident instance store shared by every session.
+//!
+//! Instances are loaded once (via `mf_core::textio`) and stay resident for
+//! the lifetime of the server; every session sees the same store. Each load
+//! gets a process-unique **generation** number so session-scoped caches
+//! (resident evaluator snapshots) can tell a reloaded instance from the one
+//! they were built against without comparing instance contents.
+
+use mf_core::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One resident instance.
+#[derive(Debug)]
+pub struct StoredInstance {
+    /// Store name.
+    pub name: String,
+    /// Process-unique load generation (bumped on every `load`, including
+    /// same-name replacements).
+    pub generation: u64,
+    /// The parsed instance.
+    pub instance: Instance,
+}
+
+impl StoredInstance {
+    /// Task count of the instance.
+    pub fn tasks(&self) -> usize {
+        self.instance.task_count()
+    }
+
+    /// Machine count of the instance.
+    pub fn machines(&self) -> usize {
+        self.instance.machine_count()
+    }
+
+    /// Task-type count of the instance.
+    pub fn types(&self) -> usize {
+        self.instance.application().type_count()
+    }
+}
+
+/// A thread-safe name → instance map. `BTreeMap` keeps `list` responses in
+/// deterministic (sorted) order without a per-call sort.
+#[derive(Debug, Default)]
+pub struct InstanceStore {
+    instances: RwLock<BTreeMap<String, Arc<StoredInstance>>>,
+    generations: AtomicU64,
+}
+
+impl InstanceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        InstanceStore::default()
+    }
+
+    /// Inserts (or replaces) an instance under a name; returns the stored
+    /// handle. Replacement is deliberate: reloading a name atomically swaps
+    /// the instance every later request sees, and the fresh generation
+    /// invalidates all session caches built against the old one.
+    pub fn insert(&self, name: &str, instance: Instance) -> Arc<StoredInstance> {
+        let stored = Arc::new(StoredInstance {
+            name: name.to_string(),
+            generation: self.generations.fetch_add(1, Ordering::Relaxed),
+            instance,
+        });
+        self.instances
+            .write()
+            .expect("store lock poisoned")
+            .insert(name.to_string(), Arc::clone(&stored));
+        stored
+    }
+
+    /// The instance under a name, if loaded.
+    pub fn get(&self, name: &str) -> Option<Arc<StoredInstance>> {
+        self.instances
+            .read()
+            .expect("store lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Removes an instance; `true` if it was present.
+    pub fn remove(&self, name: &str) -> bool {
+        self.instances
+            .write()
+            .expect("store lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Number of resident instances.
+    pub fn len(&self) -> usize {
+        self.instances.read().expect("store lock poisoned").len()
+    }
+
+    /// `true` when no instance is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All resident instances, sorted by name.
+    pub fn snapshot(&self) -> Vec<Arc<StoredInstance>> {
+        self.instances
+            .read()
+            .expect("store lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_core::textio;
+
+    fn tiny_instance() -> Instance {
+        textio::instance_from_text(
+            "tasks 1\nmachines 1\ntypes 1\ntask 0 0\ntime 0 0 10\nfailure 0 0 0.0\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_and_generations() {
+        let store = InstanceStore::new();
+        assert!(store.is_empty());
+        let first = store.insert("a", tiny_instance());
+        let second = store.insert("b", tiny_instance());
+        assert_eq!(store.len(), 2);
+        assert_ne!(first.generation, second.generation);
+        assert_eq!(store.get("a").unwrap().generation, first.generation);
+        // Same-name replacement bumps the generation.
+        let replaced = store.insert("a", tiny_instance());
+        assert_ne!(replaced.generation, first.generation);
+        assert_eq!(store.get("a").unwrap().generation, replaced.generation);
+        // Snapshot is name-sorted.
+        let names: Vec<_> = store.snapshot().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"));
+        assert!(store.get("a").is_none());
+        assert_eq!(store.len(), 1);
+    }
+}

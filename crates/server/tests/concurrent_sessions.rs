@@ -1,0 +1,141 @@
+//! Concurrency acceptance: the server answers ≥ 2 simultaneous sessions over
+//! the shared solver pool, and concurrency never changes the numbers —
+//! every concurrent answer is bit-identical to the same query asked alone.
+
+use mf_core::textio;
+use mf_server::{Client, Request, Response, Server, SolveMethod};
+use mf_sim::{GeneratorConfig, InstanceGenerator};
+use std::sync::Arc;
+
+fn instance_text(seed: u64) -> String {
+    let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(10, 4, 2))
+        .generate(seed)
+        .unwrap();
+    textio::instance_to_text(&instance)
+}
+
+fn load_request(name: &str, seed: u64) -> Request {
+    Request::Load {
+        name: name.into(),
+        payload: mf_server::text_payload(&instance_text(seed)),
+    }
+}
+
+fn solve_request(name: &str, method: SolveMethod) -> Request {
+    Request::Solve {
+        name: name.into(),
+        method,
+        seed: None,
+    }
+}
+
+/// One session's workload: load a private instance, solve it with a
+/// heuristic and with the portfolio, and return both responses.
+fn session_workload(addr: std::net::SocketAddr, name: &str, seed: u64) -> (Response, Response) {
+    let mut client = Client::connect(addr).unwrap();
+    let loaded = client.request(&load_request(name, seed)).unwrap();
+    assert!(matches!(loaded, Response::Loaded { .. }), "{loaded:?}");
+    let heuristic = client
+        .request(&solve_request(name, SolveMethod::Heuristic("TS-H2".into())))
+        .unwrap();
+    let portfolio = client
+        .request(&solve_request(name, SolveMethod::Portfolio))
+        .unwrap();
+    (heuristic, portfolio)
+}
+
+#[test]
+fn two_concurrent_sessions_share_the_pool_and_stay_bit_identical() {
+    let server = Server::bind("127.0.0.1:0", 0).unwrap();
+    let addr = server.local_addr().unwrap();
+    let engine = Arc::clone(server.engine());
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    // Serial reference answers, asked before any concurrency.
+    let reference_a = session_workload(addr, "ref-a", 11);
+    let reference_b = session_workload(addr, "ref-b", 22);
+
+    // The same two workloads, raced on two live sessions at once (distinct
+    // store names so the sessions interleave on the shared store and pool
+    // without replacing each other's instances).
+    let worker_a = std::thread::spawn(move || session_workload(addr, "conc-a", 11));
+    let worker_b = std::thread::spawn(move || session_workload(addr, "conc-b", 22));
+    let concurrent_a = worker_a.join().unwrap();
+    let concurrent_b = worker_b.join().unwrap();
+    assert_eq!(concurrent_a, reference_a);
+    assert_eq!(concurrent_b, reference_b);
+
+    // Both sessions' instances are resident in the one shared store.
+    let mut client = Client::connect(addr).unwrap();
+    let Response::List(entries) = client.request(&Request::List).unwrap() else {
+        panic!("list failed");
+    };
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, vec!["conc-a", "conc-b", "ref-a", "ref-b"]);
+
+    // The engine counted all five sessions (4 workloads + this one).
+    let stats = engine.stats();
+    let sessions = stats.iter().find(|(k, _)| k == "sessions").unwrap().1;
+    assert_eq!(sessions, 5);
+
+    let bye = client.request(&Request::Shutdown).unwrap();
+    assert_eq!(bye, Response::Shutdown);
+    drop(client);
+    server_thread.join().unwrap();
+}
+
+/// Sessions are isolated where they must be: resident whatif state is
+/// per-session, while the store is shared.
+#[test]
+fn whatif_state_is_session_scoped() {
+    let server = Server::bind("127.0.0.1:0", 1).unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let mut first = Client::connect(addr).unwrap();
+    let mut second = Client::connect(addr).unwrap();
+    assert!(matches!(
+        first.request(&load_request("shared", 5)).unwrap(),
+        Response::Loaded { .. }
+    ));
+    // First session solves — it gains resident whatif state.
+    assert!(matches!(
+        first
+            .request(&solve_request(
+                "shared",
+                SolveMethod::Heuristic("H4w".into())
+            ))
+            .unwrap(),
+        Response::Solved { .. }
+    ));
+    let probe = Request::WhatIf {
+        name: "shared".into(),
+        probe: mf_server::Probe::Move {
+            task: 0,
+            machine: 1,
+        },
+    };
+    assert!(matches!(
+        first.request(&probe).unwrap(),
+        Response::WhatIf { .. }
+    ));
+    // Second session sees the shared instance but has no resident state.
+    let denied = second.request(&probe).unwrap();
+    assert!(
+        matches!(
+            denied,
+            Response::Error {
+                code: mf_server::ErrorCode::NoResidentState,
+                ..
+            }
+        ),
+        "{denied:?}"
+    );
+    assert_eq!(
+        second.request(&Request::Shutdown).unwrap(),
+        Response::Shutdown
+    );
+    drop(first);
+    drop(second);
+    server_thread.join().unwrap();
+}

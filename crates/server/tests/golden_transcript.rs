@@ -1,0 +1,60 @@
+//! The golden stdio transcript: a scripted load / list / solve / evaluate /
+//! whatif / portfolio / error / stats / shutdown session whose byte-exact
+//! output is committed under `tests/golden/`.
+//!
+//! The same pair of files drives the CI smoke step, which pipes
+//! `smoke_session.in` through the real `microfactory serve --stdio` binary
+//! and diffs against `smoke_session.out` — so the protocol, the dispatch
+//! layer and the CLI wiring cannot drift apart silently. Every answer in the
+//! transcript is deterministic: heuristics use their fixed default seed, and
+//! the portfolio outcome is bit-identical for every thread count.
+//!
+//! Regenerate after an intentional protocol change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p mf-server --test golden_transcript
+//! ```
+
+use mf_server::{serve_stdio, Engine};
+
+#[test]
+fn stdio_session_matches_the_golden_transcript() {
+    let input = include_str!("golden/smoke_session.in");
+    let expected_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/smoke_session.out"
+    );
+    let engine = Engine::new(1);
+    let mut output = Vec::new();
+    serve_stdio(&engine, input.as_bytes(), &mut output).unwrap();
+    let actual = String::from_utf8(output).expect("protocol output is UTF-8");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(expected_path, &actual).expect("write golden transcript");
+        return;
+    }
+    let expected = std::fs::read_to_string(expected_path).expect("golden transcript exists");
+    assert_eq!(
+        actual, expected,
+        "stdio transcript drifted from tests/golden/smoke_session.out; \
+         re-run with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// The transcript must be independent of the engine's thread count — the
+/// portfolio determinism guarantee, observed end-to-end at the protocol
+/// layer.
+#[test]
+fn transcript_is_thread_count_independent() {
+    let input = include_str!("golden/smoke_session.in");
+    let mut outputs = Vec::new();
+    for threads in [1usize, 4] {
+        let engine = Engine::new(threads);
+        let mut output = Vec::new();
+        serve_stdio(&engine, input.as_bytes(), &mut output).unwrap();
+        outputs.push(output);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "thread count changed the protocol transcript"
+    );
+}

@@ -1,0 +1,259 @@
+//! Property tests of `mf-proto v1`, mirroring `textio`'s round-trip style:
+//! every request/response value survives parse→write→parse **byte-
+//! identically**, across a seeded sweep of generated values, and malformed
+//! or truncated input always produces a typed [`ProtoError`], never a panic.
+
+use mf_core::splitmix64;
+use mf_server::{
+    request_from_text, request_to_text, response_from_text, response_to_text, ErrorCode,
+    InstanceInfo, Probe, ProtoError, Request, Response, SolveMethod,
+};
+
+/// A tiny deterministic value generator over a SplitMix64 stream.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    fn index(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn name(&mut self) -> String {
+        const ALPHABET: &[u8] = b"abcXYZ019._-#";
+        let length = 1 + self.index(12);
+        (0..length)
+            .map(|_| ALPHABET[self.index(ALPHABET.len())] as char)
+            .collect()
+    }
+
+    fn float(&mut self) -> f64 {
+        // A mix of awkward magnitudes, all positive and finite like periods.
+        match self.index(5) {
+            0 => f64::MIN_POSITIVE,
+            1 => 1.0 / 3.0,
+            2 => (self.next() % 1_000_000) as f64 / 7.0,
+            3 => 1e300,
+            _ => f64::from_bits(0x3FF0_0000_0000_0000 | (self.next() & 0xF_FFFF_FFFF_FFFF)),
+        }
+    }
+
+    fn payload(&mut self) -> Vec<String> {
+        (0..self.index(6))
+            .map(|_| match self.index(4) {
+                0 => String::new(),
+                1 => "# comment with spaces".to_string(),
+                2 => format!("task {} {}", self.index(100), self.index(8)),
+                _ => format!("  indented {}", self.next()),
+            })
+            .collect()
+    }
+
+    fn request(&mut self) -> Request {
+        match self.index(8) {
+            0 => Request::Load {
+                name: self.name(),
+                payload: self.payload(),
+            },
+            1 => Request::Unload { name: self.name() },
+            2 => Request::List,
+            3 => Request::Evaluate {
+                name: self.name(),
+                payload: self.payload(),
+            },
+            4 => Request::WhatIf {
+                name: self.name(),
+                probe: if self.index(2) == 0 {
+                    Probe::Move {
+                        task: self.index(1000),
+                        machine: self.index(64),
+                    }
+                } else {
+                    Probe::Swap {
+                        a: self.index(1000),
+                        b: self.index(1000),
+                    }
+                },
+            },
+            5 => Request::Solve {
+                name: self.name(),
+                method: if self.index(2) == 0 {
+                    SolveMethod::Heuristic(self.name())
+                } else {
+                    SolveMethod::Portfolio
+                },
+                seed: if self.index(2) == 0 {
+                    None
+                } else {
+                    Some(self.next())
+                },
+            },
+            6 => Request::Stats,
+            _ => Request::Shutdown,
+        }
+    }
+
+    fn response(&mut self) -> Response {
+        match self.index(9) {
+            0 => Response::Loaded {
+                name: self.name(),
+                tasks: self.index(1000),
+                machines: self.index(100),
+                types: self.index(10),
+            },
+            1 => Response::Unloaded { name: self.name() },
+            2 => Response::List(
+                (0..self.index(4))
+                    .map(|_| InstanceInfo {
+                        name: self.name(),
+                        tasks: self.index(1000),
+                        machines: self.index(100),
+                        types: self.index(10),
+                    })
+                    .collect(),
+            ),
+            3 => Response::Evaluated {
+                period: self.float(),
+                critical: self.index(64),
+                loads: (0..self.index(8)).map(|_| self.float()).collect(),
+            },
+            4 => Response::WhatIf {
+                period: self.float(),
+                critical: self.index(64),
+            },
+            5 => Response::Solved {
+                label: self.name(),
+                period: self.float(),
+                machines: self.index(64),
+                assignment: (0..self.index(12)).map(|_| self.index(64)).collect(),
+            },
+            6 => Response::Stats(
+                (0..self.index(6))
+                    .map(|_| (self.name(), self.next()))
+                    .collect(),
+            ),
+            7 => Response::Shutdown,
+            _ => Response::Error {
+                code: [
+                    ErrorCode::BadRequest,
+                    ErrorCode::UnknownInstance,
+                    ErrorCode::InvalidPayload,
+                    ErrorCode::Infeasible,
+                    ErrorCode::NoResidentState,
+                ][self.index(5)],
+                detail: "something went wrong: `x` is not a thing".to_string(),
+            },
+        }
+    }
+}
+
+#[test]
+fn generated_requests_round_trip_byte_identically() {
+    let mut gen = Gen::new(0xAB5E);
+    for _ in 0..500 {
+        let request = gen.request();
+        let text = request_to_text(&request).unwrap();
+        let parsed = request_from_text(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse back: {e} (from {request:?})"));
+        assert_eq!(parsed, request, "value drift through {text:?}");
+        assert_eq!(
+            request_to_text(&parsed).unwrap(),
+            text,
+            "byte drift for {request:?}"
+        );
+    }
+}
+
+#[test]
+fn generated_responses_round_trip_byte_identically() {
+    let mut gen = Gen::new(0x5EED);
+    for _ in 0..500 {
+        let response = gen.response();
+        let text = response_to_text(&response).unwrap();
+        let parsed = response_from_text(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse back: {e} (from {response:?})"));
+        assert_eq!(parsed, response, "value drift through {text:?}");
+        assert_eq!(
+            response_to_text(&parsed).unwrap(),
+            text,
+            "byte drift for {response:?}"
+        );
+    }
+}
+
+/// Every prefix of a valid serialized stream fails *typed* — truncation can
+/// never panic or be silently accepted as a shorter value.
+#[test]
+fn truncations_fail_typed_never_panic() {
+    let requests = [
+        request_to_text(&Request::Load {
+            name: "a".into(),
+            payload: vec!["tasks 1".into(), "machines 1".into()],
+        })
+        .unwrap(),
+        request_to_text(&Request::Solve {
+            name: "inst".into(),
+            method: SolveMethod::Heuristic("SD-H2".into()),
+            seed: Some(7),
+        })
+        .unwrap(),
+    ];
+    for text in requests {
+        for cut in 0..text.len() {
+            let prefix = &text[..cut];
+            if !prefix.is_char_boundary(cut) {
+                continue;
+            }
+            // Either a typed error, or a valid *shorter* parse is impossible
+            // for payload-carrying requests cut mid-payload.
+            let _ = request_from_text(prefix);
+        }
+    }
+    let responses = [
+        response_to_text(&Response::Solved {
+            label: "H4w".into(),
+            period: 652.0445949359237,
+            machines: 3,
+            assignment: vec![0, 1, 2],
+        })
+        .unwrap(),
+        response_to_text(&Response::Stats(vec![("requests".into(), 3)])).unwrap(),
+    ];
+    for text in responses {
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = response_from_text(&text[..cut]);
+        }
+    }
+}
+
+/// Random byte noise parses to a typed error, never a panic.
+#[test]
+fn noise_is_rejected_typed() {
+    let mut gen = Gen::new(0xF00D);
+    for _ in 0..200 {
+        let length = gen.index(40);
+        let noise: String = (0..length)
+            .map(|_| (b' ' + (gen.next() % 95) as u8) as char)
+            .collect();
+        match request_from_text(&format!("{noise}\n")) {
+            Ok(_) | Err(ProtoError::Malformed { .. }) | Err(ProtoError::UnexpectedEof { .. }) => {}
+            Err(other) => panic!("unexpected error class for {noise:?}: {other:?}"),
+        }
+        match response_from_text(&format!("{noise}\n")) {
+            Ok(_) | Err(ProtoError::Malformed { .. }) | Err(ProtoError::UnexpectedEof { .. }) => {}
+            Err(other) => panic!("unexpected error class for {noise:?}: {other:?}"),
+        }
+    }
+}
