@@ -2,12 +2,16 @@
 //! machine-readable JSON file.
 //!
 //! Criterion's interactive harness is great locally but awkward to archive;
-//! this binary re-runs the same two measurements — strategy polish cost
-//! (H6 / steepest descent / tabu over the shared H4w seed) and
-//! branch-and-bound node throughput (staged evaluator vs legacy scan) —
-//! with plain `Instant` timing and writes median nanoseconds per run to
-//! `BENCH_search.json`, so the perf trajectory accumulates commit over
-//! commit (CI uploads the file as an artifact).
+//! this binary re-runs the same measurements — strategy polish cost
+//! (H6 / steepest descent / tabu over the shared H4w seed), branch-and-bound
+//! node throughput (staged evaluator vs legacy scan), what-if cost on a
+//! tree-shaped instance (the forest variant of the dense fast path vs a
+//! full recompute), and the steepest-descent sweep with and without the
+//! dirty-candidate cache (periods identical by construction; the
+//! `evaluator_calls` column is the point) — with plain `Instant` timing and
+//! writes median nanoseconds per run to `BENCH_search.json`, so the perf
+//! trajectory accumulates commit over commit (CI uploads the file as an
+//! artifact).
 //!
 //! ```sh
 //! cargo run --release -p mf-bench --bin bench_summary -- --out BENCH_search.json
@@ -17,10 +21,12 @@
 //! The JSON is hand-written (the workspace has no serde): a flat
 //! `mf-bench-summary v1` document with one entry per measurement.
 
-use mf_bench::standard_instance;
+use mf_bench::{forest_instance, standard_instance};
 use mf_core::prelude::*;
 use mf_exact::{branch_and_bound, BnbConfig};
-use mf_heuristics::search::{polish_with, SteepestDescent, TabuSearch};
+use mf_heuristics::search::{
+    polish_with, SearchEngine, SearchStrategy, SteepestDescent, TabuSearch,
+};
 use mf_heuristics::{H4wFastestMachine, H6LocalSearch, Heuristic, LocalSearchConfig};
 use std::time::Instant;
 
@@ -29,13 +35,22 @@ struct Measurement {
     name: &'static str,
     median_ns: u128,
     iterations: usize,
-    /// Achieved period (strategy rows) or explored nodes (B&B rows).
+    /// Achieved period (strategy rows), explored nodes (B&B rows), probe
+    /// throughput (what-if rows) or sweep-cache effect (sweep rows).
     quality: Quality,
 }
 
 enum Quality {
     PeriodMs(f64),
-    Nodes { count: u64, per_second: f64 },
+    Nodes {
+        count: u64,
+        per_second: f64,
+    },
+    Sweep {
+        period_ms: f64,
+        evaluator_calls: u64,
+        probes: u64,
+    },
 }
 
 fn median_ns(mut samples: Vec<u128>) -> u128 {
@@ -129,6 +144,100 @@ fn main() {
         quality: Quality::PeriodMs(period_of(&ts)),
     });
 
+    // What-if cost on a tree-shaped instance: the forest variant of the
+    // dense fast path (Euler-tour subtree masses) vs rebuilding the
+    // candidate mapping and recomputing from scratch. Same probe stream for
+    // both sides.
+    let forest = forest_instance(tasks, machines, 5, 42);
+    let forest_seed = H4wFastestMachine
+        .map(&forest)
+        .expect("m >= p so H4w succeeds");
+    let probe_count = if quick { 2_000usize } else { 20_000 };
+    let probes: Vec<(TaskId, MachineId)> = (0..probe_count as u64)
+        .map(|k| {
+            let r = mf_core::seed::splitmix64(0xF0E5_u64.wrapping_add(k));
+            (
+                TaskId((r % tasks as u64) as usize),
+                MachineId(((r >> 32) % machines as u64) as usize),
+            )
+        })
+        .collect();
+    {
+        let mut eval = IncrementalEvaluator::new(&forest, &forest_seed).unwrap();
+        assert!(
+            eval.is_dense_fast_path(),
+            "forest shape must ride the dense path"
+        );
+        let dense = median_ns(time(iterations, || {
+            let mut acc = 0.0f64;
+            for &(task, to) in &probes {
+                acc += eval.evaluate_move(task, to).unwrap().period.value();
+            }
+            acc
+        }));
+        rows.push(Measurement {
+            name: "whatif_forest/dense",
+            median_ns: dense,
+            iterations,
+            quality: Quality::Nodes {
+                count: probe_count as u64,
+                per_second: probe_count as f64 / (dense as f64 / 1e9),
+            },
+        });
+        let full = median_ns(time(iterations, || {
+            let mut acc = 0.0f64;
+            for &(task, to) in &probes {
+                let mut assignment = forest_seed.as_slice().to_vec();
+                assignment[task.index()] = to;
+                let candidate = Mapping::new(assignment, machines).unwrap();
+                acc += forest.period(&candidate).unwrap().value();
+            }
+            acc
+        }));
+        rows.push(Measurement {
+            name: "whatif_forest/full_recompute",
+            median_ns: full,
+            iterations,
+            quality: Quality::Nodes {
+                count: probe_count as u64,
+                per_second: probe_count as f64 / (full as f64 / 1e9),
+            },
+        });
+    }
+
+    // Steepest descent on the forest, full sweeps vs the dirty-candidate
+    // cache: identical committed steps and final period by construction
+    // (pinned by the sweep_cache differential); the delta is wall time and
+    // — budget-independent — the number of evaluator calls per run.
+    for (name, cached) in [
+        ("sd_sweep_forest/full", false),
+        ("sd_sweep_forest/dirty_cache", true),
+    ] {
+        let strategy = SteepestDescent::default();
+        let run = |record: bool| {
+            let mut engine = SearchEngine::new(&forest, &forest_seed, sweep_budget).unwrap();
+            engine.set_sweep_cache(cached);
+            strategy.run(&mut engine).unwrap();
+            if record {
+                let stats = engine.sweep_stats();
+                Some((engine.best_period(), stats.evaluations, stats.probes))
+            } else {
+                None
+            }
+        };
+        let (period, evaluator_calls, probes) = run(true).unwrap();
+        rows.push(Measurement {
+            name,
+            median_ns: median_ns(time(iterations, || run(false))),
+            iterations,
+            quality: Quality::Sweep {
+                period_ms: period,
+                evaluator_calls,
+                probes,
+            },
+        });
+    }
+
     // B&B node throughput: both variants explore the bit-identical tree
     // (pinned in mf-exact), so the delta is pure per-node scoring cost.
     let bnb_instance = standard_instance(20, 24, 5, 3);
@@ -170,6 +279,14 @@ fn main() {
             Quality::Nodes { count, per_second } => {
                 format!("\"nodes\": {count}, \"nodes_per_second\": {per_second}")
             }
+            Quality::Sweep {
+                period_ms,
+                evaluator_calls,
+                probes,
+            } => format!(
+                "\"period_ms\": {period_ms}, \"evaluator_calls\": {evaluator_calls}, \
+                 \"probes\": {probes}"
+            ),
         };
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"median_ns\": {}, \"iterations\": {}, {}}}{}\n",

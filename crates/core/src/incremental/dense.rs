@@ -1,0 +1,273 @@
+//! The dense what-if fast path: per-subtree prefix-mass rows over the tour.
+//!
+//! Changing the failure factor of task `i` (by moving it to another machine)
+//! scales the demand of every task in its strict subtree — the tasks
+//! upstream of it — by the single ratio `F_new/F_old`. With the per-machine
+//! **mass row** `Mᵢ(w)` (the committed load contribution of `i`'s strict
+//! subtree on machine `w`), the candidate load of machine `w` is
+//! `load(w) + (r − 1)·Mᵢ(w)` plus the moved task's own contribution
+//! transfer: one row build amortized over the sweeps that reuse it, then one
+//! `O(m)` machine scan per what-if, no per-task recompute.
+//!
+//! On a linear chain the tour is the identity, `Mᵢ` sums `tasks 0..i` in
+//! index order, and this module performs the bit-identical float operations
+//! of the pre-forest chain fast path. On a general in-forest the strict
+//! subtree is a contiguous tour range (see [`Topology`]); the swap what-if
+//! additionally distinguishes *nested* task pairs (one upstream of the
+//! other — the only case a chain has) from *disjoint* ones (separate
+//! branches or separate trees), whose ratios scale independent ranges.
+//!
+//! Rows are invalidated **per tour range**: a commit only evicts rows whose
+//! strict subtree overlaps the committed influence span(s), so on join-heavy
+//! forests a commit in one branch leaves every other branch's rows warm
+//! (the `mass_row_builds` counter pins that in a regression test).
+
+use super::topology::{Topology, TopologyKind};
+use super::{Evaluation, IncrementalEvaluator};
+use crate::ids::{MachineId, TaskId};
+use crate::period::Period;
+
+/// Lazily-built per-task mass rows with per-tour-range invalidation.
+///
+/// Row `i` holds, per machine, the committed contribution mass of task `i`'s
+/// strict subtree. Storage (`tasks × machines` floats) is allocated on first
+/// use; validity is tracked per row and revoked only for rows whose subtree
+/// overlaps a committed span.
+#[derive(Debug, Clone, Default)]
+pub(super) struct MassRows {
+    /// Row-major `tasks × machines` mass matrix (empty until first use).
+    rows: Vec<f64>,
+    /// Per-task validity of the cached row.
+    valid: Vec<bool>,
+    /// Tasks whose rows are currently valid (iteration set for
+    /// invalidation sweeps; order is irrelevant).
+    valid_list: Vec<u32>,
+}
+
+impl MassRows {
+    /// Read access to the row storage, for ranges returned by
+    /// [`IncrementalEvaluator::ensure_mass_row`].
+    #[inline]
+    pub(super) fn rows(&self) -> &[f64] {
+        &self.rows
+    }
+
+    /// Invalidates every cached row whose strict subtree overlaps one of the
+    /// committed inclusive `spans`, counting evictions into `invalidated`.
+    pub(super) fn invalidate_overlapping(
+        &mut self,
+        topology: &Topology,
+        spans: &[(usize, usize)],
+        invalidated: &mut u64,
+    ) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let mut k = 0;
+        while k < self.valid_list.len() {
+            let i = self.valid_list[k] as usize;
+            let (start, end) = topology.subtree_span(TaskId(i));
+            // The row covers the *strict* subtree — the half-open tour range
+            // `[start, end)` (empty for source tasks, whose rows are
+            // all-zero and can never go stale).
+            let stale = start < end && spans.iter().any(|&(s, e)| start <= e && s < end);
+            if stale {
+                self.valid[i] = false;
+                self.valid_list.swap_remove(k);
+                *invalidated += 1;
+            } else {
+                k += 1;
+            }
+        }
+    }
+}
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Ensures the mass row of task `i` is valid and returns its range
+    /// within the row storage.
+    pub(super) fn ensure_mass_row(&mut self, i: usize) -> std::ops::Range<usize> {
+        let n = self.assignment.len();
+        let m = self.load.len();
+        if self.mass.rows.is_empty() {
+            self.mass.rows = vec![0.0; n * m];
+            self.mass.valid = vec![false; n];
+        }
+        let range = i * m..(i + 1) * m;
+        if !self.mass.valid[i] {
+            let row = &mut self.mass.rows[range.clone()];
+            row.fill(0.0);
+            match self.topology.kind() {
+                // Chain: the strict subtree of `i` is `tasks 0..i` in index
+                // order — the pre-forest prefix loop, bit for bit.
+                TopologyKind::Chain => {
+                    for (machine, c) in self.assignment[..i].iter().zip(&self.contribution[..i]) {
+                        row[machine.index()] += *c;
+                    }
+                }
+                // Forest: the strict subtree is a contiguous tour range.
+                TopologyKind::Forest => {
+                    for &t in self.topology.strict_subtree(TaskId(i)) {
+                        let t = t as usize;
+                        row[self.assignment[t].index()] += self.contribution[t];
+                    }
+                }
+            }
+            self.mass.valid[i] = true;
+            self.mass.valid_list.push(i as u32);
+            self.counters.mass_row_builds += 1;
+        }
+        range
+    }
+
+    /// Dense what-if of a move: changing the failure factor of `task` scales
+    /// the demand of its whole strict subtree by the single ratio
+    /// `F_new/F_old`, so the candidate load of machine `w` is
+    /// `load(w) + (r − 1)·mass(w)` — with `mass(w)` the subtree contribution
+    /// mass — plus the moved task's own contribution transfer. One row
+    /// build amortized, one machine scan, no per-task recompute.
+    ///
+    /// Demands are *scaled*, not recomputed, so the answer can differ from a
+    /// full recompute by a few ulp — comfortably within the 1e-9 differential
+    /// bound, and irrelevant for committed state (commits always take the
+    /// exact walk).
+    pub(super) fn dense_move_what_if(&mut self, task: TaskId, to: MachineId) -> Evaluation {
+        let i = task.index();
+        let from = self.assignment[i].index();
+        let ratio = self.instance.factor(task, to) / self.factor[i];
+        let removed = self.contribution[i];
+        let added = ratio * self.demand[i] * self.instance.time(task, to);
+        let row = self.ensure_mass_row(i);
+        let scale = ratio - 1.0;
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (w, (&load, &mass)) in self.load.iter().zip(&self.mass.rows[row]).enumerate() {
+            let mut value = load + scale * mass;
+            if w == from {
+                value -= removed;
+            }
+            if w == to.index() {
+                value += added;
+            }
+            if value > best.0 {
+                best = (value, w);
+            }
+        }
+        Evaluation {
+            period: Period::new(best.0),
+            critical_machine: MachineId(best.1),
+        }
+    }
+
+    /// Dense what-if of a swap: nested pairs (one task upstream of the
+    /// other) compose their ratios along the shared ancestry; disjoint pairs
+    /// (distinct branches or trees — impossible on a chain) scale
+    /// independent ranges.
+    pub(super) fn dense_swap_what_if(&mut self, a: TaskId, b: TaskId) -> Evaluation {
+        if self.topology.is_upstream(a, b) {
+            self.dense_nested_swap_what_if(a, b)
+        } else if self.topology.is_upstream(b, a) {
+            self.dense_nested_swap_what_if(b, a)
+        } else {
+            self.dense_disjoint_swap_what_if(a, b)
+        }
+    }
+
+    /// Nested swap: `lo` is strictly upstream of `hi`, so the downstream
+    /// task's ratio scales everything upstream of it (including `lo`), and
+    /// the upstream task's ratio additionally scales everything upstream of
+    /// *it* — two mass rows, one scan. On a chain `lo` is simply the
+    /// lower-indexed task and this is the pre-forest code path, bit for bit.
+    fn dense_nested_swap_what_if(&mut self, lo: TaskId, hi: TaskId) -> Evaluation {
+        let u_lo = self.assignment[lo.index()].index();
+        let u_hi = self.assignment[hi.index()].index();
+        // After the swap: `lo` runs on `u_hi`, `hi` runs on `u_lo`.
+        let r_lo = self.instance.factor(lo, self.assignment[hi.index()]) / self.factor[lo.index()];
+        let r_hi = self.instance.factor(hi, self.assignment[lo.index()]) / self.factor[hi.index()];
+        let x_lo = r_lo * r_hi * self.demand[lo.index()];
+        let x_hi = r_hi * self.demand[hi.index()];
+        let scale_both = r_lo * r_hi - 1.0;
+        let scale_hi = r_hi - 1.0;
+        // Net adjustment of the two machines exchanging tasks. Tasks strictly
+        // between `lo` and `hi` scale by `r_hi` and are counted through
+        // `row_hi − row_lo`; that difference wrongly includes `lo` itself, so
+        // `lo`'s machine compensates with `−scale_hi·c(lo)`.
+        let adj_lo = x_hi * self.instance.time(hi, self.assignment[lo.index()])
+            - self.contribution[lo.index()]
+            - scale_hi * self.contribution[lo.index()];
+        let adj_hi = x_lo * self.instance.time(lo, self.assignment[hi.index()])
+            - self.contribution[hi.index()];
+        let row_lo = self.ensure_mass_row(lo.index());
+        let row_hi = self.ensure_mass_row(hi.index());
+        // value = load + scale_both·mass(sub lo) + scale_hi·mass(lo..hi)
+        //       = load + (scale_both − scale_hi)·row_lo + scale_hi·row_hi + …
+        let scale_lo = scale_both - scale_hi;
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (w, (&load, (&mass_lo, &mass_hi))) in self
+            .load
+            .iter()
+            .zip(self.mass.rows[row_lo].iter().zip(&self.mass.rows[row_hi]))
+            .enumerate()
+        {
+            let mut value = load + scale_lo * mass_lo + scale_hi * mass_hi;
+            if w == u_lo {
+                value += adj_lo;
+            }
+            if w == u_hi {
+                value += adj_hi;
+            }
+            if value > best.0 {
+                best = (value, w);
+            }
+        }
+        Evaluation {
+            period: Period::new(best.0),
+            critical_machine: MachineId(best.1),
+        }
+    }
+
+    /// Disjoint swap: neither task is upstream of the other, so the two
+    /// ratios scale disjoint subtree ranges independently and the machine
+    /// adjustments exchange the two tasks' own contributions.
+    fn dense_disjoint_swap_what_if(&mut self, a: TaskId, b: TaskId) -> Evaluation {
+        let u_a = self.assignment[a.index()].index();
+        let u_b = self.assignment[b.index()].index();
+        // After the swap: `a` runs on `u_b`, `b` runs on `u_a`. The demand
+        // of each task scales only by its *own* new factor (the other task
+        // is not on its successor path).
+        let r_a = self.instance.factor(a, self.assignment[b.index()]) / self.factor[a.index()];
+        let r_b = self.instance.factor(b, self.assignment[a.index()]) / self.factor[b.index()];
+        let x_a = r_a * self.demand[a.index()];
+        let x_b = r_b * self.demand[b.index()];
+        let scale_a = r_a - 1.0;
+        let scale_b = r_b - 1.0;
+        // `a` leaves `u_a` (taking its old contribution) and `b` arrives
+        // with its rescaled demand on `a`'s old times — and vice versa.
+        let adj_a =
+            x_b * self.instance.time(b, self.assignment[a.index()]) - self.contribution[a.index()];
+        let adj_b =
+            x_a * self.instance.time(a, self.assignment[b.index()]) - self.contribution[b.index()];
+        let row_a = self.ensure_mass_row(a.index());
+        let row_b = self.ensure_mass_row(b.index());
+        let mut best = (f64::NEG_INFINITY, usize::MAX);
+        for (w, (&load, (&mass_a, &mass_b))) in self
+            .load
+            .iter()
+            .zip(self.mass.rows[row_a].iter().zip(&self.mass.rows[row_b]))
+            .enumerate()
+        {
+            let mut value = load + scale_a * mass_a + scale_b * mass_b;
+            if w == u_a {
+                value += adj_a;
+            }
+            if w == u_b {
+                value += adj_b;
+            }
+            if value > best.0 {
+                best = (value, w);
+            }
+        }
+        Evaluation {
+            period: Period::new(best.0),
+            critical_machine: MachineId(best.1),
+        }
+    }
+}

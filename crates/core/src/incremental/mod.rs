@@ -4,9 +4,9 @@
 //! `O(n + m)` recompute (two vector allocations, a demand walk over all `n`
 //! tasks and a load walk over all machines). A local search explores
 //! thousands of neighbors that each differ from the current mapping in one or
-//! two tasks, and for such a change only the changed tasks and their
-//! *ancestors* (the tasks upstream of them in the in-forest) can see their
-//! demand `xᵢ` change — everything downstream is untouched.
+//! two tasks, and for such a change only the changed tasks and the tasks
+//! *upstream* of them (their subtree in the application in-forest) can see
+//! their demand `xᵢ` change — everything downstream is untouched.
 //!
 //! [`IncrementalEvaluator`] exploits this: it caches per-task demands,
 //! factors and load contributions plus per-machine loads, and re-evaluates a
@@ -18,252 +18,50 @@
 //! to a linear scan when so many machines are touched that the scan is
 //! cheaper).
 //!
+//! The module is layered:
+//!
+//! * [`topology`] — the [`Topology`] of the in-forest: an Euler tour in
+//!   which every task's influence set (its strict subtree — the tasks whose
+//!   demand scales when its failure factor changes) is a contiguous range;
+//! * `dense` — the what-if fast path: per-subtree prefix-mass rows over the
+//!   tour answer a what-if in one `O(m)` scan, for linear chains
+//!   ([`TopologyKind::Chain`], the original, bit-identical path) and general
+//!   in-forests ([`TopologyKind::Forest`]) alike; degenerate shapes (machine
+//!   counts past the scan limit, row caches past the memory cap) fall back
+//!   to the exact ancestor walk;
+//! * the staged [`PartialAssignmentEvaluator`] for tree searches, and the
+//!   instance-detached [`EvaluatorSnapshot`] that long-lived processes use
+//!   to park committed state and [`resume`](IncrementalEvaluator::resume) it
+//!   in `O(1)`.
+//!
 //! Demands are recomputed *exactly* along the affected subtree (not scaled by
-//! a ratio), so the cached demand vector stays bit-identical to a from-scratch
-//! [`demands`](crate::demand::demands) computation after any number of
-//! committed operations; machine loads are maintained by deltas and agree
-//! with a full recompute to floating-point accumulation order (≤ 1e-9
-//! relative in practice — the bound the differential test harness pins).
+//! a ratio) whenever an operation **commits**, so the cached demand vector
+//! stays bit-identical to a from-scratch [`demands`](crate::demand::demands)
+//! computation after any number of committed operations; machine loads are
+//! maintained by deltas and agree with a full recompute to floating-point
+//! accumulation order (≤ 1e-9 relative in practice — the bound the
+//! differential test harness pins).
+//!
+//! [`MachinePeriods::compute`]: crate::period::MachinePeriods::compute
+
+mod dense;
+mod snapshot;
+mod staged;
+pub mod topology;
+mod tournament;
+
+pub use snapshot::EvaluatorSnapshot;
+pub use staged::PartialAssignmentEvaluator;
+pub use topology::{Topology, TopologyKind};
+
+use dense::MassRows;
+use tournament::TournamentTree;
 
 use crate::error::{ModelError, Result};
 use crate::ids::{MachineId, TaskId};
 use crate::instance::Instance;
 use crate::mapping::Mapping;
 use crate::period::Period;
-
-/// A max-tournament (segment) tree over per-machine loads.
-///
-/// Leaves hold `(load, machine index)`; every internal node holds the better
-/// of its children, preferring the *lower* machine index on ties so the
-/// critical machine is deterministic. The root is the system period.
-#[derive(Debug, Clone)]
-struct TournamentTree {
-    /// Number of leaves (next power of two ≥ machine count).
-    capacity: usize,
-    /// Heap layout: node 1 is the root, leaves start at `capacity`.
-    nodes: Vec<(f64, usize)>,
-}
-
-impl TournamentTree {
-    fn new(loads: &[f64]) -> Self {
-        let capacity = loads.len().next_power_of_two().max(1);
-        let mut nodes = vec![(f64::NEG_INFINITY, usize::MAX); 2 * capacity];
-        for (u, &load) in loads.iter().enumerate() {
-            nodes[capacity + u] = (load, u);
-        }
-        for i in (1..capacity).rev() {
-            nodes[i] = Self::better(nodes[2 * i], nodes[2 * i + 1]);
-        }
-        TournamentTree { capacity, nodes }
-    }
-
-    /// Max with lowest-index tie-break (`a` is always the left, lower-index
-    /// child when called on siblings).
-    #[inline]
-    fn better(a: (f64, usize), b: (f64, usize)) -> (f64, usize) {
-        if b.0 > a.0 {
-            b
-        } else {
-            a
-        }
-    }
-
-    /// Sets the load of one machine and repairs the path to the root.
-    fn update(&mut self, machine: usize, load: f64) {
-        let mut i = self.capacity + machine;
-        self.nodes[i].0 = load;
-        while i > 1 {
-            i /= 2;
-            self.nodes[i] = Self::better(self.nodes[2 * i], self.nodes[2 * i + 1]);
-        }
-    }
-
-    /// The `(system period, critical machine)` pair.
-    #[inline]
-    fn root(&self) -> (f64, usize) {
-        self.nodes[1]
-    }
-
-    /// Number of node writes one leaf update costs (the tree height).
-    #[inline]
-    fn height(&self) -> usize {
-        self.capacity.trailing_zeros() as usize + 1
-    }
-}
-
-/// Staged evaluation of **partial** assignments for tree searches.
-///
-/// A branch-and-bound walks one search path at a time: it places a task,
-/// recurses, and un-places it on backtrack. Recomputing the maximum machine
-/// load from scratch at every node costs `O(m)`; this evaluator maintains the
-/// per-machine loads, their running total and the load maximum (in the same
-/// [`TournamentTree`] the full [`IncrementalEvaluator`] uses) so a node pays
-/// `O(log m)` per placement and answers both the current period bound and the
-/// critical machine in `O(1)`.
-///
-/// Loads are updated with the exact float operations a plain
-/// `load[u] += c` / `load[u] -= c` pair performs, so a search driven through
-/// this evaluator explores the **bit-identical** tree a from-scratch
-/// recomputation would (`mf-exact` pins that on its brute-force-validated
-/// instances).
-///
-/// ```
-/// use mf_core::prelude::*;
-///
-/// let mut staged = PartialAssignmentEvaluator::new(3);
-/// staged.place(MachineId(1), 250.0);
-/// staged.place(MachineId(0), 100.0);
-/// assert_eq!(staged.period().value(), 250.0);
-/// assert_eq!(staged.critical_machine(), MachineId(1));
-/// assert_eq!(staged.total_load(), 350.0);
-/// staged.unplace(); // backtrack the second placement
-/// assert_eq!(staged.total_load(), 250.0);
-/// ```
-#[derive(Debug, Clone)]
-pub struct PartialAssignmentEvaluator {
-    load: Vec<f64>,
-    total: f64,
-    tree: TournamentTree,
-    /// Undo trail of `(machine, contribution)` placements, in order.
-    trail: Vec<(usize, f64)>,
-}
-
-impl PartialAssignmentEvaluator {
-    /// An empty staged state over `machines` machines (all loads zero).
-    pub fn new(machines: usize) -> Self {
-        let load = vec![0.0f64; machines];
-        let tree = TournamentTree::new(&load);
-        PartialAssignmentEvaluator {
-            load,
-            total: 0.0,
-            tree,
-            trail: Vec::new(),
-        }
-    }
-
-    /// Stages one placement: adds `contribution` to the machine's load.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `machine` is out of range.
-    pub fn place(&mut self, machine: MachineId, contribution: f64) {
-        let u = machine.index();
-        self.load[u] += contribution;
-        self.total += contribution;
-        self.tree.update(u, self.load[u]);
-        self.trail.push((u, contribution));
-    }
-
-    /// Reverts the most recent [`place`](Self::place) (exact float inverse of
-    /// the `+=` the placement performed, matching a hand-rolled apply/undo).
-    ///
-    /// # Panics
-    ///
-    /// Panics if nothing is staged.
-    pub fn unplace(&mut self) {
-        let (u, contribution) = self.trail.pop().expect("unplace without a matching place");
-        self.load[u] -= contribution;
-        self.total -= contribution;
-        self.tree.update(u, self.load[u]);
-    }
-
-    /// Number of staged placements on the current search path.
-    #[inline]
-    pub fn depth(&self) -> usize {
-        self.trail.len()
-    }
-
-    /// The load of one machine.
-    #[inline]
-    pub fn load_of(&self, machine: MachineId) -> f64 {
-        self.load[machine.index()]
-    }
-
-    /// The sum of all staged contributions (maintained by deltas, matching
-    /// the accumulation order of a running `total += c` / `total -= c`).
-    #[inline]
-    pub fn total_load(&self) -> f64 {
-        self.total
-    }
-
-    /// The maximum machine load — the period lower bound of the partial
-    /// assignment (`O(1)`, the tournament-tree root), floored at zero.
-    ///
-    /// The floor matches a `fold(0.0, f64::max)` scan exactly: place/unplace
-    /// churn can leave a machine with a ±ulp residue instead of a clean
-    /// `0.0`, and a scan that folds from `0.0` clamps such negative residues
-    /// away, so this must too or the two bookkeepings would diverge by a
-    /// sign bit.
-    #[inline]
-    pub fn period(&self) -> Period {
-        Period::new(self.tree.root().0.max(0.0))
-    }
-
-    /// The machine achieving the maximum load (lowest index on exact ties).
-    #[inline]
-    pub fn critical_machine(&self) -> MachineId {
-        MachineId(self.tree.root().1)
-    }
-}
-
-/// An owned dump of an [`IncrementalEvaluator`]'s committed state, detached
-/// from the instance borrow.
-///
-/// A long-lived process (the `mf-server` serve loop) wants to keep evaluator
-/// state warm *across* queries, but the evaluator borrows its instance, so it
-/// cannot be stored next to the instance it evaluates. A snapshot can:
-/// [`IncrementalEvaluator::into_snapshot`] moves every committed cache
-/// (assignment, demands, factors, contributions, loads, the tournament tree)
-/// and the reusable scratch buffers out of the evaluator, and
-/// [`IncrementalEvaluator::resume`] re-attaches them to the instance in
-/// `O(1)` — no demand walk, no load rebuild. The resumed evaluator is
-/// **bit-identical** to the one the snapshot was taken from.
-///
-/// The snapshot must be resumed against the *same* instance it was taken
-/// from (resume validates the task/machine dimensions, which catches honest
-/// mix-ups, but two different instances of equal shape cannot be told
-/// apart — callers that store snapshots keyed by instance are responsible
-/// for that pairing, e.g. the server keys them by load generation).
-#[derive(Debug, Clone)]
-pub struct EvaluatorSnapshot {
-    assignment: Vec<MachineId>,
-    demand: Vec<f64>,
-    factor: Vec<f64>,
-    weight: Vec<f64>,
-    contribution: Vec<f64>,
-    load: Vec<f64>,
-    tree: TournamentTree,
-    stack: Vec<TaskId>,
-    overlay: Vec<f64>,
-    task_stamp: Vec<u64>,
-    delta: Vec<f64>,
-    machine_stamp: Vec<u64>,
-    dirty: Vec<usize>,
-    epoch: u64,
-    mass_rows: Vec<f64>,
-    row_stamp: Vec<u64>,
-    row_epoch: u64,
-}
-
-impl EvaluatorSnapshot {
-    /// Number of tasks the snapshot covers.
-    #[inline]
-    pub fn task_count(&self) -> usize {
-        self.assignment.len()
-    }
-
-    /// Number of machines the snapshot covers.
-    #[inline]
-    pub fn machine_count(&self) -> usize {
-        self.load.len()
-    }
-
-    /// The committed mapping the snapshot holds.
-    pub fn mapping(&self) -> Mapping {
-        Mapping::new(self.assignment.clone(), self.load.len())
-            .expect("the evaluator only ever stores in-range machines")
-    }
-}
 
 /// The outcome of evaluating or applying a move/swap.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -272,6 +70,39 @@ pub struct Evaluation {
     pub period: Period,
     /// The machine achieving that period (lowest index on exact ties).
     pub critical_machine: MachineId,
+}
+
+/// Monotone diagnostics counters of one evaluator (carried through
+/// snapshots). Deltas between reads quantify fast-path coverage and cache
+/// churn — the search sweep caches and the bench harness read them; they
+/// never influence results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounters {
+    /// What-ifs answered by the dense prefix-mass path.
+    pub dense_what_ifs: u64,
+    /// What-ifs answered by the exact ancestor walk.
+    pub exact_what_ifs: u64,
+    /// Committed moves/swaps (no-ops excluded).
+    pub commits: u64,
+    /// Mass rows (re)built by the dense path.
+    pub mass_row_builds: u64,
+    /// Mass rows evicted by per-range commit invalidation.
+    pub mass_rows_invalidated: u64,
+}
+
+/// What the last committed operation touched — the invalidation footprint
+/// search sweep caches key on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitFootprint {
+    /// Inclusive tour spans of the committed tasks' subtrees (the tasks
+    /// whose demands, contributions or assignments changed). One entry per
+    /// changed task; a nested swap's spans overlap, which is fine — an
+    /// overlap test against both stays exact.
+    pub spans: [Option<(usize, usize)>; 2],
+    /// The most negative per-machine committed load change (`0.0` when no
+    /// load decreased) — a lower bound on how far this commit can drop any
+    /// machine's load, and therefore any cached candidate score.
+    pub min_load_delta: f64,
 }
 
 /// Incremental evaluator for single-task moves and two-task swaps.
@@ -323,22 +154,22 @@ pub struct IncrementalEvaluator<'a> {
     /// Machines touched by the current operation.
     dirty: Vec<usize>,
     epoch: u64,
-    /// `true` when the application is a linear chain in index order, which
-    /// unlocks the dense what-if fast path (ancestors of task `i` are exactly
-    /// the tasks `0..i`, and their demands scale by a single ratio).
-    chain: bool,
-    /// Lazily-built prefix mass rows for the dense chain path: row `i` holds,
-    /// per machine, the total contribution of tasks `0..i`. Allocated on
-    /// first use, valid while `row_stamp[i] == row_epoch`.
-    mass_rows: Vec<f64>,
-    row_stamp: Vec<u64>,
-    /// Bumped by every commit — committed contributions change a whole
-    /// prefix, so all cached rows go stale at once.
-    row_epoch: u64,
+    /// The Euler-tour layout of the in-forest: every task's influence set is
+    /// a contiguous tour range — what unlocks the dense what-if fast path
+    /// beyond linear chains.
+    topology: Topology,
+    /// Lazily-built per-subtree mass rows for the dense path, invalidated
+    /// per tour range on commit.
+    mass: MassRows,
+    /// Fallback row buffer for [`subtree_mass_row`](Self::subtree_mass_row)
+    /// when the cache caps rule the dense storage out.
+    scratch_row: Vec<f64>,
+    counters: EvalCounters,
+    last_commit: Option<CommitFootprint>,
 }
 
-/// Machine-count bound under which the dense chain what-if (prefix mass rows
-/// plus one full machine scan) beats the sparse stamped walk with its
+/// Machine-count bound under which the dense what-if (prefix mass rows plus
+/// one full machine scan) beats the sparse stamped walk with its
 /// tournament-tree update/revert.
 const DENSE_SCAN_LIMIT: usize = 512;
 
@@ -378,7 +209,7 @@ impl<'a> IncrementalEvaluator<'a> {
             load[machine.index()] += contribution[i];
         }
         let tree = TournamentTree::new(&load);
-        let chain = instance.application().is_linear_chain();
+        let topology = Topology::of(instance.application());
         Ok(IncrementalEvaluator {
             instance,
             assignment,
@@ -395,10 +226,11 @@ impl<'a> IncrementalEvaluator<'a> {
             machine_stamp: vec![0; m],
             dirty: Vec::with_capacity(m),
             epoch: 0,
-            chain,
-            mass_rows: Vec::new(),
-            row_stamp: Vec::new(),
-            row_epoch: 1,
+            topology,
+            mass: MassRows::default(),
+            scratch_row: Vec::new(),
+            counters: EvalCounters::default(),
+            last_commit: None,
         })
     }
 
@@ -422,14 +254,17 @@ impl<'a> IncrementalEvaluator<'a> {
             machine_stamp: self.machine_stamp,
             dirty: self.dirty,
             epoch: self.epoch,
-            mass_rows: self.mass_rows,
-            row_stamp: self.row_stamp,
-            row_epoch: self.row_epoch,
+            topology: self.topology,
+            mass: self.mass,
+            scratch_row: self.scratch_row,
+            counters: self.counters,
+            last_commit: self.last_commit,
         }
     }
 
-    /// Re-attaches a snapshot to the instance it was taken from, in `O(1)`
-    /// (plus the linear-chain probe): no demand walk, no load rebuild.
+    /// Re-attaches a snapshot to the instance it was taken from, in `O(1)`:
+    /// no demand walk, no load rebuild, no tour rebuild (the topology rides
+    /// in the snapshot).
     ///
     /// The resumed evaluator is bit-identical to the evaluator
     /// [`IncrementalEvaluator::into_snapshot`] consumed. Returns a
@@ -468,50 +303,75 @@ impl<'a> IncrementalEvaluator<'a> {
             machine_stamp: snapshot.machine_stamp,
             dirty: snapshot.dirty,
             epoch: snapshot.epoch,
-            chain: instance.application().is_linear_chain(),
-            mass_rows: snapshot.mass_rows,
-            row_stamp: snapshot.row_stamp,
-            row_epoch: snapshot.row_epoch,
+            topology: snapshot.topology,
+            mass: snapshot.mass,
+            scratch_row: snapshot.scratch_row,
+            counters: snapshot.counters,
+            last_commit: snapshot.last_commit,
         })
     }
 
-    /// `true` when the dense chain fast path applies to what-if evaluations.
+    /// `true` when what-ifs are answered by the dense prefix-mass fast path
+    /// (linear chains *and* general in-forests). `false` only for the
+    /// degenerate shapes — machine counts past the scan limit or row caches
+    /// past the memory cap — which take the exact ancestor walk instead.
     #[inline]
-    fn dense(&self) -> bool {
-        self.chain
-            && self.load.len() <= DENSE_SCAN_LIMIT
+    pub fn is_dense_fast_path(&self) -> bool {
+        self.load.len() <= DENSE_SCAN_LIMIT
             && self.assignment.len().saturating_mul(self.load.len()) <= DENSE_CACHE_ENTRIES
-    }
-
-    /// Ensures the prefix mass row of task `i` is valid and returns its range
-    /// within `mass_rows`.
-    fn ensure_mass_row(&mut self, i: usize) -> std::ops::Range<usize> {
-        let n = self.assignment.len();
-        let m = self.load.len();
-        if self.mass_rows.is_empty() {
-            self.mass_rows = vec![0.0; n * m];
-            self.row_stamp = vec![0; n];
-        }
-        let range = i * m..(i + 1) * m;
-        if self.row_stamp[i] != self.row_epoch {
-            let (row, assignment, contribution) = (
-                &mut self.mass_rows[range.clone()],
-                &self.assignment,
-                &self.contribution,
-            );
-            row.fill(0.0);
-            for (machine, c) in assignment[..i].iter().zip(&contribution[..i]) {
-                row[machine.index()] += *c;
-            }
-            self.row_stamp[i] = self.row_epoch;
-        }
-        range
     }
 
     /// The instance being evaluated.
     #[inline]
     pub fn instance(&self) -> &'a Instance {
         self.instance
+    }
+
+    /// The Euler-tour topology of the instance's in-forest.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The diagnostics counters (monotone; see [`EvalCounters`]).
+    #[inline]
+    pub fn counters(&self) -> EvalCounters {
+        self.counters
+    }
+
+    /// The invalidation footprint of the most recent committed operation
+    /// (`None` before the first commit). No-op applies (moving a task to its
+    /// current machine, swapping within one machine) do not commit and leave
+    /// the footprint untouched — pair reads with
+    /// [`counters`](Self::counters)`().commits` to detect fresh commits.
+    #[inline]
+    pub fn last_commit(&self) -> Option<&CommitFootprint> {
+        self.last_commit.as_ref()
+    }
+
+    /// The per-machine committed contribution mass of `task`'s strict
+    /// subtree (the tasks strictly upstream of it) — the row the dense
+    /// what-if path scales. Served from the row cache when the dense caps
+    /// allow, recomputed into a scratch buffer otherwise, so staged searches
+    /// ([`PartialAssignmentEvaluator::place_row`]) can reuse tour masses on
+    /// any instance shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn subtree_mass_row(&mut self, task: TaskId) -> &[f64] {
+        if self.is_dense_fast_path() {
+            let range = self.ensure_mass_row(task.index());
+            return &self.mass.rows()[range];
+        }
+        let m = self.load.len();
+        self.scratch_row.resize(m, 0.0);
+        self.scratch_row.fill(0.0);
+        for &t in self.topology.strict_subtree(task) {
+            let t = t as usize;
+            self.scratch_row[self.assignment[t].index()] += self.contribution[t];
+        }
+        &self.scratch_row
     }
 
     /// The machine currently executing a task.
@@ -563,9 +423,11 @@ impl<'a> IncrementalEvaluator<'a> {
         if self.assignment[task.index()] == to {
             return Ok(self.current());
         }
-        if self.dense() {
-            return Ok(self.chain_move_what_if(task, to));
+        if self.is_dense_fast_path() {
+            self.counters.dense_what_ifs += 1;
+            return Ok(self.dense_move_what_if(task, to));
         }
+        self.counters.exact_what_ifs += 1;
         Ok(self.operate(&[(task, to)], false))
     }
 
@@ -575,9 +437,11 @@ impl<'a> IncrementalEvaluator<'a> {
         let Some((to_a, to_b)) = self.swap_machines(a, b)? else {
             return Ok(self.current());
         };
-        if self.dense() {
-            return Ok(self.chain_swap_what_if(a, b));
+        if self.is_dense_fast_path() {
+            self.counters.dense_what_ifs += 1;
+            return Ok(self.dense_swap_what_if(a, b));
         }
+        self.counters.exact_what_ifs += 1;
         Ok(self.operate(&[(a, to_a), (b, to_b)], false))
     }
 
@@ -651,20 +515,6 @@ impl<'a> IncrementalEvaluator<'a> {
         Ok(Some((mb, ma)))
     }
 
-    /// `true` when `b` is reachable from `a` along successor links (i.e. `a`
-    /// is upstream of `b`, so `a ∈ ancestors(b)`).
-    fn is_upstream(&self, a: TaskId, b: TaskId) -> bool {
-        let app = self.instance.application();
-        let mut current = app.successor(a);
-        while let Some(task) = current {
-            if task == b {
-                return true;
-            }
-            current = app.successor(task);
-        }
-        false
-    }
-
     /// Evaluates (and, when `commit`, applies) a batch of one or two task
     /// reassignments. `changes` must target distinct tasks.
     fn operate(&mut self, changes: &[(TaskId, MachineId)], commit: bool) -> Evaluation {
@@ -676,10 +526,11 @@ impl<'a> IncrementalEvaluator<'a> {
                 // The ancestor sets of two tasks in an in-forest are either
                 // nested (one task is upstream of the other) or disjoint: a
                 // shared ancestor's unique successor chain would have to pass
-                // through both tasks. Walk from the dominating root(s).
-                if self.is_upstream(a, b) {
+                // through both tasks. Walk from the dominating root(s); the
+                // tour spans answer nesting in O(1).
+                if self.topology.is_upstream(a, b) {
                     self.walk(b, changes, commit);
-                } else if self.is_upstream(b, a) {
+                } else if self.topology.is_upstream(b, a) {
                     self.walk(a, changes, commit);
                 } else {
                     self.walk(a, changes, commit);
@@ -689,24 +540,47 @@ impl<'a> IncrementalEvaluator<'a> {
             _ => unreachable!("moves touch one task, swaps touch two"),
         }
         if commit {
+            let mut min_delta = 0.0f64;
             for k in 0..self.dirty.len() {
                 let u = self.dirty[k];
+                if self.delta[u] < min_delta {
+                    min_delta = self.delta[u];
+                }
                 self.load[u] += self.delta[u];
                 self.tree.update(u, self.load[u]);
             }
-            // Committed contributions changed for a whole prefix of tasks:
-            // every cached mass row of the dense path is stale now.
-            self.row_epoch = self.row_epoch.wrapping_add(1);
+            // Committed contributions changed exactly for the subtrees of
+            // the changed tasks: evict the mass rows overlapping those tour
+            // spans, leaving every other branch's rows warm.
+            let mut spans = [None, None];
+            let mut flat = [(0usize, 0usize); 2];
+            let mut count = 0usize;
+            for (k, &(task, _)) in changes.iter().enumerate() {
+                let span = self.topology.subtree_span(task);
+                spans[k] = Some(span);
+                flat[count] = span;
+                count += 1;
+            }
+            self.mass.invalidate_overlapping(
+                &self.topology,
+                &flat[..count],
+                &mut self.counters.mass_rows_invalidated,
+            );
+            self.counters.commits += 1;
+            self.last_commit = Some(CommitFootprint {
+                spans,
+                min_load_delta: min_delta,
+            });
             self.current()
         } else {
             self.candidate_max()
         }
     }
 
-    /// Recomputes the demand of `root` and every ancestor under the effective
-    /// (task → machine) overrides in `changes`, accumulating per-machine load
-    /// deltas. Demands are recomputed exactly (factor times downstream
-    /// demand), never scaled, so committed state cannot drift.
+    /// Recomputes the demand of `root` and every task upstream of it under
+    /// the effective (task → machine) overrides in `changes`, accumulating
+    /// per-machine load deltas. Demands are recomputed exactly (factor times
+    /// downstream demand), never scaled, so committed state cannot drift.
     fn walk(&mut self, root: TaskId, changes: &[(TaskId, MachineId)], commit: bool) {
         debug_assert!(self.stack.is_empty());
         self.stack.push(root);
@@ -753,100 +627,6 @@ impl<'a> IncrementalEvaluator<'a> {
                 }
             }
             self.stack.extend_from_slice(app.predecessors(task));
-        }
-    }
-
-    /// Dense chain what-if of a move: on a linear chain, changing the failure
-    /// factor of task `i` scales the demand of every ancestor (tasks `0..i`)
-    /// by the single ratio `F_new/F_old`, so the candidate load of machine
-    /// `w` is `load(w) + (r − 1)·mass(w)` — with `mass(w)` the prefix
-    /// contribution mass — plus the moved task's own contribution transfer.
-    /// One prefix pass, one machine scan, no per-task recompute.
-    ///
-    /// Demands are *scaled*, not recomputed, so the answer can differ from a
-    /// full recompute by a few ulp — comfortably within the 1e-9 differential
-    /// bound, and irrelevant for committed state (commits always take the
-    /// exact walk).
-    fn chain_move_what_if(&mut self, task: TaskId, to: MachineId) -> Evaluation {
-        let i = task.index();
-        let from = self.assignment[i].index();
-        let ratio = self.instance.factor(task, to) / self.factor[i];
-        let removed = self.contribution[i];
-        let added = ratio * self.demand[i] * self.instance.time(task, to);
-        let row = self.ensure_mass_row(i);
-        let scale = ratio - 1.0;
-        let mut best = (f64::NEG_INFINITY, usize::MAX);
-        for (w, (&load, &mass)) in self.load.iter().zip(&self.mass_rows[row]).enumerate() {
-            let mut value = load + scale * mass;
-            if w == from {
-                value -= removed;
-            }
-            if w == to.index() {
-                value += added;
-            }
-            if value > best.0 {
-                best = (value, w);
-            }
-        }
-        Evaluation {
-            period: Period::new(best.0),
-            critical_machine: MachineId(best.1),
-        }
-    }
-
-    /// Dense chain what-if of a swap: the downstream task's ratio scales
-    /// everything upstream of it, the upstream task's ratio additionally
-    /// scales everything upstream of *it* — two prefix mass rows, one scan.
-    fn chain_swap_what_if(&mut self, a: TaskId, b: TaskId) -> Evaluation {
-        let (lo, hi) = if a.index() < b.index() {
-            (a, b)
-        } else {
-            (b, a)
-        };
-        let u_lo = self.assignment[lo.index()].index();
-        let u_hi = self.assignment[hi.index()].index();
-        // After the swap: `lo` runs on `u_hi`, `hi` runs on `u_lo`.
-        let r_lo = self.instance.factor(lo, self.assignment[hi.index()]) / self.factor[lo.index()];
-        let r_hi = self.instance.factor(hi, self.assignment[lo.index()]) / self.factor[hi.index()];
-        let x_lo = r_lo * r_hi * self.demand[lo.index()];
-        let x_hi = r_hi * self.demand[hi.index()];
-        let scale_both = r_lo * r_hi - 1.0;
-        let scale_hi = r_hi - 1.0;
-        // Net adjustment of the two machines exchanging tasks. Tasks strictly
-        // between `lo` and `hi` scale by `r_hi` and are counted through
-        // `row_hi − row_lo`; that difference wrongly includes `lo` itself, so
-        // `lo`'s machine compensates with `−scale_hi·c(lo)`.
-        let adj_lo = x_hi * self.instance.time(hi, self.assignment[lo.index()])
-            - self.contribution[lo.index()]
-            - scale_hi * self.contribution[lo.index()];
-        let adj_hi = x_lo * self.instance.time(lo, self.assignment[hi.index()])
-            - self.contribution[hi.index()];
-        let row_lo = self.ensure_mass_row(lo.index());
-        let row_hi = self.ensure_mass_row(hi.index());
-        // value = load + scale_both·mass(<lo) + scale_hi·mass(lo..hi)
-        //       = load + (scale_both − scale_hi)·row_lo + scale_hi·row_hi + …
-        let scale_lo = scale_both - scale_hi;
-        let mut best = (f64::NEG_INFINITY, usize::MAX);
-        for (w, (&load, (&mass_lo, &mass_hi))) in self
-            .load
-            .iter()
-            .zip(self.mass_rows[row_lo].iter().zip(&self.mass_rows[row_hi]))
-            .enumerate()
-        {
-            let mut value = load + scale_lo * mass_lo + scale_hi * mass_hi;
-            if w == u_lo {
-                value += adj_lo;
-            }
-            if w == u_hi {
-                value += adj_hi;
-            }
-            if value > best.0 {
-                best = (value, w);
-            }
-        }
-        Evaluation {
-            period: Period::new(best.0),
-            critical_machine: MachineId(best.1),
         }
     }
 
@@ -933,6 +713,34 @@ mod tests {
         Instance::new(app, platform, failures).unwrap()
     }
 
+    /// A two-branch in-tree: 0 → 1 → 4 and 2 → 3 → 4, then 4 → 5 — enough
+    /// structure for nested *and* disjoint task pairs.
+    fn forest_instance() -> Instance {
+        let app = Application::from_successors(
+            &[0, 1, 0, 1, 0, 1],
+            &[Some(1), Some(4), Some(3), Some(4), Some(5), None],
+        )
+        .unwrap();
+        let platform = Platform::from_type_times(
+            3,
+            vec![vec![100.0, 200.0, 400.0], vec![300.0, 150.0, 250.0]],
+        )
+        .unwrap();
+        let failures = FailureModel::from_matrix(
+            vec![
+                vec![0.1, 0.0, 0.2],
+                vec![0.0, 0.3, 0.1],
+                vec![0.05, 0.15, 0.0],
+                vec![0.2, 0.0, 0.25],
+                vec![0.12, 0.07, 0.0],
+                vec![0.0, 0.22, 0.09],
+            ],
+            3,
+        )
+        .unwrap();
+        Instance::new(app, platform, failures).unwrap()
+    }
+
     fn assert_matches_full(eval: &IncrementalEvaluator<'_>, instance: &Instance) {
         let mapping = eval.mapping();
         let full = instance.machine_periods(&mapping).unwrap();
@@ -978,8 +786,8 @@ mod tests {
         }
     }
 
-    /// What-ifs on chains scale demands by a ratio while commits recompute
-    /// them exactly, so the two agree to a few ulp, not bit-for-bit.
+    /// Dense what-ifs scale demands by a ratio while commits recompute them
+    /// exactly, so the two agree to a few ulp, not bit-for-bit.
     fn assert_close(what_if: Evaluation, committed: Evaluation) {
         let scale = committed.period.value().max(1.0);
         assert!(
@@ -1048,6 +856,197 @@ mod tests {
         assert_matches_full(&eval, &instance);
         eval.apply_swap(TaskId(0), TaskId(3)).unwrap();
         assert_matches_full(&eval, &instance);
+    }
+
+    #[test]
+    fn forest_instances_take_the_dense_fast_path() {
+        let instance = forest_instance();
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1, 0, 2], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        assert!(eval.is_dense_fast_path());
+        assert_eq!(eval.topology().kind(), TopologyKind::Forest);
+        // Moves on every task, verified against the full recompute of the
+        // candidate mapping.
+        for t in 0..6 {
+            for u in 0..3 {
+                let what_if = eval.evaluate_move(TaskId(t), MachineId(u)).unwrap();
+                let mut indices: Vec<usize> = eval
+                    .mapping()
+                    .as_slice()
+                    .iter()
+                    .map(|w| w.index())
+                    .collect();
+                indices[t] = u;
+                let candidate = Mapping::from_indices(&indices, 3).unwrap();
+                let full = instance.machine_periods(&candidate).unwrap();
+                let scale = full.system_period().value().max(1.0);
+                assert!(
+                    (what_if.period.value() - full.system_period().value()).abs() <= 1e-9 * scale,
+                    "move T{t} -> M{u}: dense {} vs full {}",
+                    what_if.period.value(),
+                    full.system_period().value()
+                );
+            }
+        }
+        assert!(eval.counters().dense_what_ifs > 0);
+        assert_eq!(eval.counters().exact_what_ifs, 0);
+    }
+
+    #[test]
+    fn forest_swaps_cover_nested_and_disjoint_pairs() {
+        let instance = forest_instance();
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1, 0, 2], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        // (0,1): nested same branch; (0,3): disjoint branches; (1,2):
+        // disjoint branches; (0,5): nested through the sink; (2,4): nested.
+        for (a, b) in [(0usize, 1usize), (0, 3), (1, 2), (0, 5), (2, 4), (3, 5)] {
+            let what_if = eval.evaluate_swap(TaskId(a), TaskId(b)).unwrap();
+            let mut indices: Vec<usize> = eval
+                .mapping()
+                .as_slice()
+                .iter()
+                .map(|w| w.index())
+                .collect();
+            indices.swap(a, b);
+            let candidate = Mapping::from_indices(&indices, 3).unwrap();
+            let full = instance.machine_periods(&candidate).unwrap();
+            let scale = full.system_period().value().max(1.0);
+            assert!(
+                (what_if.period.value() - full.system_period().value()).abs() <= 1e-9 * scale,
+                "swap T{a}/T{b}: dense {} vs full {}",
+                what_if.period.value(),
+                full.system_period().value()
+            );
+            // Commit the swap so later pairs see fresh state, and check the
+            // committed state stays exact.
+            eval.apply_swap(TaskId(a), TaskId(b)).unwrap();
+            assert_matches_full(&eval, &instance);
+        }
+    }
+
+    #[test]
+    fn commits_in_one_branch_keep_the_other_branch_rows_warm() {
+        let instance = forest_instance();
+        // Branch A = {0, 1}, branch B = {2, 3}; 4, 5 downstream of both.
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1, 0, 2], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        // Build T2's row (strict subtree {0}, branch A).
+        let _ = eval.evaluate_move(TaskId(1), MachineId(2)).unwrap();
+        let builds_before = eval.counters().mass_row_builds;
+        assert!(builds_before > 0);
+        // Commit inside branch B: subtree(3) = {2, 3} does not overlap
+        // branch A, so T2's row must stay valid...
+        eval.apply_move(TaskId(3), MachineId(0)).unwrap();
+        let _ = eval.evaluate_move(TaskId(1), MachineId(2)).unwrap();
+        assert_eq!(
+            eval.counters().mass_row_builds,
+            builds_before,
+            "a commit on a disjoint branch must not evict branch A's rows"
+        );
+        // ...and the warm row still answers correctly.
+        let what_if = eval.evaluate_move(TaskId(1), MachineId(2)).unwrap();
+        let mut indices: Vec<usize> = eval
+            .mapping()
+            .as_slice()
+            .iter()
+            .map(|w| w.index())
+            .collect();
+        indices[1] = 2;
+        let candidate = Mapping::from_indices(&indices, 3).unwrap();
+        let full = instance.machine_periods(&candidate).unwrap();
+        let scale = full.system_period().value().max(1.0);
+        assert!((what_if.period.value() - full.system_period().value()).abs() <= 1e-9 * scale);
+        // A commit *inside* branch A does evict the row.
+        eval.apply_move(TaskId(0), MachineId(1)).unwrap();
+        assert!(eval.counters().mass_rows_invalidated > 0);
+        let _ = eval.evaluate_move(TaskId(1), MachineId(0)).unwrap();
+        assert!(
+            eval.counters().mass_row_builds > builds_before,
+            "a commit inside the branch must rebuild its rows"
+        );
+    }
+
+    #[test]
+    fn commit_footprints_report_spans_and_load_drops() {
+        let instance = forest_instance();
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1, 0, 2], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        assert!(eval.last_commit().is_none());
+        eval.apply_move(TaskId(3), MachineId(0)).unwrap();
+        let footprint = *eval.last_commit().unwrap();
+        assert_eq!(
+            footprint.spans[0],
+            Some(eval.topology().subtree_span(TaskId(3)))
+        );
+        assert_eq!(footprint.spans[1], None);
+        // The move drained T4's old machine: some load went down.
+        assert!(footprint.min_load_delta < 0.0);
+        assert_eq!(eval.counters().commits, 1);
+        // A no-op apply neither commits nor clobbers the footprint.
+        eval.apply_move(TaskId(3), MachineId(0)).unwrap();
+        assert_eq!(eval.counters().commits, 1);
+        assert_eq!(*eval.last_commit().unwrap(), footprint);
+        eval.apply_swap(TaskId(0), TaskId(2)).unwrap();
+        let swap_footprint = eval.last_commit().unwrap();
+        assert!(swap_footprint.spans[0].is_some() && swap_footprint.spans[1].is_some());
+        assert_eq!(eval.counters().commits, 2);
+    }
+
+    #[test]
+    fn subtree_mass_rows_sum_upstream_contributions() {
+        let instance = forest_instance();
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1, 0, 2], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let demands = instance.demands(&mapping).unwrap();
+        // T5 (task 4) joins both branches: strict subtree {0, 1, 2, 3}.
+        let row = eval.subtree_mass_row(TaskId(4)).to_vec();
+        let mut expected = vec![0.0f64; 3];
+        for &t in &[0usize, 1, 2, 3] {
+            let u = mapping.machine_of(TaskId(t)).index();
+            expected[u] += demands.get(TaskId(t)) * instance.time(TaskId(t), MachineId(u));
+        }
+        for (u, (&got, &want)) in row.iter().zip(&expected).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "mass row of M{u}: {got} vs {want}"
+            );
+        }
+        // Sources have empty strict subtrees.
+        assert!(eval
+            .subtree_mass_row(TaskId(0))
+            .iter()
+            .all(|&mass| mass == 0.0));
+    }
+
+    #[test]
+    fn staged_evaluator_reuses_tour_masses() {
+        let instance = forest_instance();
+        let mapping = Mapping::from_indices(&[0, 1, 2, 1, 0, 2], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        // Stage branch B's mass (subtree of T4 = {2, 3}) on top of the loads
+        // of a machine-pool with branch B torn out: the result must equal
+        // the committed loads.
+        let row = eval.subtree_mass_row(TaskId(3)).to_vec();
+        let own = eval.demand_of(TaskId(3)) * instance.time(TaskId(3), eval.machine_of(TaskId(3)));
+        let mut torn = eval.loads().to_vec();
+        for (u, &mass) in row.iter().enumerate() {
+            torn[u] -= mass;
+        }
+        torn[eval.machine_of(TaskId(3)).index()] -= own;
+        let mut staged = PartialAssignmentEvaluator::from_loads(&torn);
+        let placed = staged.place_row(&row);
+        staged.place(eval.machine_of(TaskId(3)), own);
+        for u in 0..3 {
+            let full = eval.load_of(MachineId(u));
+            assert!(
+                (staged.load_of(MachineId(u)) - full).abs() <= 1e-9 * full.max(1.0),
+                "restaged load of M{u} drifted"
+            );
+        }
+        for _ in 0..=placed {
+            staged.unplace();
+        }
+        assert_eq!(staged.depth(), 0);
     }
 
     #[test]
@@ -1132,77 +1131,9 @@ mod tests {
     }
 
     #[test]
-    fn tournament_tree_tracks_max_and_argmax() {
-        let mut tree = TournamentTree::new(&[3.0, 9.0, 1.0, 9.0, 2.0]);
-        assert_eq!(tree.root(), (9.0, 1));
-        tree.update(1, 0.5);
-        assert_eq!(tree.root(), (9.0, 3));
-        tree.update(4, 20.0);
-        assert_eq!(tree.root(), (20.0, 4));
-        tree.update(4, 0.0);
-        tree.update(3, 0.0);
-        assert_eq!(tree.root(), (3.0, 0));
-        // Exact tie: the lowest machine index wins.
-        tree.update(2, 3.0);
-        assert_eq!(tree.root(), (3.0, 0));
-    }
-
-    #[test]
     fn mapping_with_wrong_machine_count_is_rejected() {
         let instance = instance();
         let mapping = Mapping::from_indices(&[0, 1, 0, 1], 5).unwrap();
         assert!(IncrementalEvaluator::new(&instance, &mapping).is_err());
-    }
-
-    #[test]
-    fn staged_placements_match_a_scan_and_undo_exactly() {
-        let mut staged = PartialAssignmentEvaluator::new(4);
-        let mut load = [0.0f64; 4];
-        let mut total = 0.0f64;
-        let placements = [
-            (2usize, 0.1),
-            (0, 123.456),
-            (2, 7.25),
-            (1, 1e-3),
-            (3, 99.9),
-            (0, 0.333),
-        ];
-        for &(u, c) in &placements {
-            staged.place(MachineId(u), c);
-            load[u] += c;
-            total += c;
-            // Same float ops, so every intermediate agrees bit for bit.
-            let scan_max = load.iter().copied().fold(0.0, f64::max);
-            assert_eq!(staged.period().value().to_bits(), scan_max.to_bits());
-            assert_eq!(staged.total_load().to_bits(), total.to_bits());
-            assert_eq!(staged.load_of(MachineId(u)).to_bits(), load[u].to_bits());
-        }
-        assert_eq!(staged.depth(), placements.len());
-        // Full unwind restores the identical (bit-level) state at each step.
-        for &(u, c) in placements.iter().rev() {
-            staged.unplace();
-            load[u] -= c;
-            total -= c;
-            assert_eq!(staged.total_load().to_bits(), total.to_bits());
-            assert_eq!(staged.load_of(MachineId(u)).to_bits(), load[u].to_bits());
-        }
-        assert_eq!(staged.depth(), 0);
-    }
-
-    #[test]
-    fn staged_critical_machine_prefers_the_lowest_index_on_ties() {
-        let mut staged = PartialAssignmentEvaluator::new(3);
-        staged.place(MachineId(2), 5.0);
-        assert_eq!(staged.critical_machine(), MachineId(2));
-        staged.place(MachineId(0), 5.0);
-        // Exact tie: lowest index wins, like the full evaluator's tree.
-        assert_eq!(staged.critical_machine(), MachineId(0));
-        assert_eq!(staged.period().value(), 5.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "unplace without a matching place")]
-    fn unplacing_an_empty_trail_panics() {
-        PartialAssignmentEvaluator::new(2).unplace();
     }
 }

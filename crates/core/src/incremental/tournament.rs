@@ -1,0 +1,82 @@
+//! A max-tournament (segment) tree over per-machine loads.
+
+/// A max-tournament (segment) tree over per-machine loads.
+///
+/// Leaves hold `(load, machine index)`; every internal node holds the better
+/// of its children, preferring the *lower* machine index on ties so the
+/// critical machine is deterministic. The root is the system period.
+#[derive(Debug, Clone)]
+pub(super) struct TournamentTree {
+    /// Number of leaves (next power of two ≥ machine count).
+    capacity: usize,
+    /// Heap layout: node 1 is the root, leaves start at `capacity`.
+    nodes: Vec<(f64, usize)>,
+}
+
+impl TournamentTree {
+    pub(super) fn new(loads: &[f64]) -> Self {
+        let capacity = loads.len().next_power_of_two().max(1);
+        let mut nodes = vec![(f64::NEG_INFINITY, usize::MAX); 2 * capacity];
+        for (u, &load) in loads.iter().enumerate() {
+            nodes[capacity + u] = (load, u);
+        }
+        for i in (1..capacity).rev() {
+            nodes[i] = Self::better(nodes[2 * i], nodes[2 * i + 1]);
+        }
+        TournamentTree { capacity, nodes }
+    }
+
+    /// Max with lowest-index tie-break (`a` is always the left, lower-index
+    /// child when called on siblings).
+    #[inline]
+    fn better(a: (f64, usize), b: (f64, usize)) -> (f64, usize) {
+        if b.0 > a.0 {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Sets the load of one machine and repairs the path to the root.
+    pub(super) fn update(&mut self, machine: usize, load: f64) {
+        let mut i = self.capacity + machine;
+        self.nodes[i].0 = load;
+        while i > 1 {
+            i /= 2;
+            self.nodes[i] = Self::better(self.nodes[2 * i], self.nodes[2 * i + 1]);
+        }
+    }
+
+    /// The `(system period, critical machine)` pair.
+    #[inline]
+    pub(super) fn root(&self) -> (f64, usize) {
+        self.nodes[1]
+    }
+
+    /// Number of node writes one leaf update costs (the tree height).
+    #[inline]
+    pub(super) fn height(&self) -> usize {
+        self.capacity.trailing_zeros() as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tournament_tree_tracks_max_and_argmax() {
+        let mut tree = TournamentTree::new(&[3.0, 9.0, 1.0, 9.0, 2.0]);
+        assert_eq!(tree.root(), (9.0, 1));
+        tree.update(1, 0.5);
+        assert_eq!(tree.root(), (9.0, 3));
+        tree.update(4, 20.0);
+        assert_eq!(tree.root(), (20.0, 4));
+        tree.update(4, 0.0);
+        tree.update(3, 0.0);
+        assert_eq!(tree.root(), (3.0, 0));
+        // Exact tie: the lowest machine index wins.
+        tree.update(2, 3.0);
+        assert_eq!(tree.root(), (3.0, 0));
+    }
+}

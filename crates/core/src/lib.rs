@@ -64,7 +64,8 @@ pub use error::{ModelError, Result};
 pub use failure::{FailureModel, FailureRate};
 pub use ids::{MachineId, TaskId, TaskTypeId};
 pub use incremental::{
-    Evaluation, EvaluatorSnapshot, IncrementalEvaluator, PartialAssignmentEvaluator,
+    CommitFootprint, EvalCounters, Evaluation, EvaluatorSnapshot, IncrementalEvaluator,
+    PartialAssignmentEvaluator, Topology, TopologyKind,
 };
 pub use instance::Instance;
 pub use mapping::{Mapping, MappingKind};

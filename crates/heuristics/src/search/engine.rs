@@ -15,6 +15,8 @@
 //!   meters work in *candidate evaluations*, the unit every strategy shares.
 
 use crate::heuristic::HeuristicResult;
+use crate::search::sweep_cache::{CacheAnswer, SweepCache, SweepCacheStats};
+use mf_core::incremental::EvalCounters;
 use mf_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -48,6 +50,31 @@ pub struct CommitOutcome {
     pub improved_best: bool,
 }
 
+/// One committed step, as recorded by the (opt-in) commit trace — the
+/// observable the sweep-cache differential pins: dirty-candidate sweeps must
+/// produce the identical step sequence a full sweep does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitStep {
+    /// A committed single-task move and the bits of the resulting period.
+    Move {
+        /// Reassigned task.
+        task: usize,
+        /// Target machine.
+        to: usize,
+        /// `f64::to_bits` of the committed period.
+        period: u64,
+    },
+    /// A committed two-task swap and the bits of the resulting period.
+    Swap {
+        /// First task.
+        a: usize,
+        /// Second task.
+        b: usize,
+        /// `f64::to_bits` of the committed period.
+        period: u64,
+    },
+}
+
 /// Shared state of a neighborhood search over one instance.
 ///
 /// Built from a seed mapping, driven by a strategy, harvested with
@@ -69,6 +96,14 @@ pub struct SearchEngine<'a> {
     best_mapping: Mapping,
     steps: usize,
     max_steps: usize,
+    /// Per-candidate score cache driving the dirty-candidate sweeps.
+    sweep: SweepCache,
+    sweep_enabled: bool,
+    /// Evaluator commit count at the last footprint sync (no-op applies do
+    /// not commit, so the count — not the call — is the commit signal).
+    commit_count: u64,
+    /// Opt-in record of every committed step (for differential pinning).
+    trace: Option<Vec<CommitStep>>,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -91,6 +126,13 @@ impl<'a> SearchEngine<'a> {
             machine_type[u] = Some(task.ty);
         }
         let current = eval.period().value();
+        let spans: Vec<(u32, u32)> = (0..instance.task_count())
+            .map(|t| {
+                let (start, end) = eval.topology().subtree_span(TaskId(t));
+                (start as u32, end as u32)
+            })
+            .collect();
+        let sweep = SweepCache::new(instance.task_count(), m, spans);
         Ok(SearchEngine {
             instance,
             eval,
@@ -102,6 +144,10 @@ impl<'a> SearchEngine<'a> {
             best_mapping: mapping.clone(),
             steps: 0,
             max_steps,
+            sweep,
+            sweep_enabled: true,
+            commit_count: 0,
+            trace: None,
         })
     }
 
@@ -216,6 +262,116 @@ impl<'a> SearchEngine<'a> {
         Ok(self.eval.evaluate_swap(a, b)?.period.value())
     }
 
+    /// Turns the dirty-candidate sweep cache on or off (on by default).
+    /// Turning it off makes [`probe_move`](Self::probe_move)/
+    /// [`probe_swap`](Self::probe_swap) evaluate every candidate — the
+    /// pre-cache full-sweep behavior the differential tests compare against.
+    pub fn set_sweep_cache(&mut self, enabled: bool) {
+        if enabled != self.sweep_enabled {
+            self.sweep.reset();
+        }
+        self.sweep_enabled = enabled;
+    }
+
+    /// `true` when the dirty-candidate sweep cache is active.
+    #[inline]
+    pub fn sweep_cache_enabled(&self) -> bool {
+        self.sweep_enabled
+    }
+
+    /// Hit/miss counters of the sweep cache (probes, evaluator calls, skips,
+    /// exact reuses).
+    #[inline]
+    pub fn sweep_stats(&self) -> SweepCacheStats {
+        self.sweep.stats
+    }
+
+    /// The underlying evaluator's diagnostics counters (dense/exact what-if
+    /// split, commits, mass-row churn).
+    #[inline]
+    pub fn evaluator_counters(&self) -> EvalCounters {
+        self.eval.counters()
+    }
+
+    /// Starts recording every committed step (see [`CommitStep`]); used by
+    /// the differential tests that pin cached sweeps against full sweeps.
+    pub fn enable_commit_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The committed steps recorded since
+    /// [`enable_commit_trace`](Self::enable_commit_trace) (empty when
+    /// tracing is off).
+    pub fn commit_trace(&self) -> &[CommitStep] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Sweep-cached what-if of moving `task` to `to`: returns the exact
+    /// candidate period, or `None` when the cache certifies the candidate
+    /// cannot score strictly below `bound` (in which case a sweep that
+    /// tie-breaks by scan order can ignore it without changing its choice).
+    ///
+    /// Callers [`charge`](Self::charge) per *probe*, exactly as the full
+    /// sweep charged per evaluation, so budget accounting — and therefore
+    /// strategy behavior — is unchanged by cache hits.
+    pub fn probe_move(
+        &mut self,
+        task: TaskId,
+        to: MachineId,
+        bound: f64,
+    ) -> HeuristicResult<Option<f64>> {
+        if !self.sweep_enabled {
+            self.sweep.stats.probes += 1;
+            self.sweep.stats.evaluations += 1;
+            return Ok(Some(self.eval.evaluate_move(task, to)?.period.value()));
+        }
+        match self.sweep.probe_move(task, to, bound) {
+            CacheAnswer::Reuse(score) => Ok(Some(score)),
+            CacheAnswer::Skip => Ok(None),
+            CacheAnswer::Evaluate => {
+                let score = self.eval.evaluate_move(task, to)?.period.value();
+                self.sweep.store_move(task, to, score);
+                Ok(Some(score))
+            }
+        }
+    }
+
+    /// Sweep-cached what-if of swapping `a` and `b`; see
+    /// [`probe_move`](Self::probe_move).
+    pub fn probe_swap(&mut self, a: TaskId, b: TaskId, bound: f64) -> HeuristicResult<Option<f64>> {
+        if !self.sweep_enabled {
+            self.sweep.stats.probes += 1;
+            self.sweep.stats.evaluations += 1;
+            return Ok(Some(self.eval.evaluate_swap(a, b)?.period.value()));
+        }
+        match self.sweep.probe_swap(a, b, bound) {
+            CacheAnswer::Reuse(score) => Ok(Some(score)),
+            CacheAnswer::Skip => Ok(None),
+            CacheAnswer::Evaluate => {
+                let score = self.eval.evaluate_swap(a, b)?.period.value();
+                self.sweep.store_swap(a, b, score);
+                Ok(Some(score))
+            }
+        }
+    }
+
+    /// Syncs the sweep cache (and the opt-in trace) with the evaluator after
+    /// a commit attempt; `step` builds the trace record lazily.
+    fn after_commit(&mut self, step: impl FnOnce() -> CommitStep) {
+        let commits = self.eval.counters().commits;
+        if commits == self.commit_count {
+            // A no-op apply: nothing changed, nothing to invalidate.
+            return;
+        }
+        self.commit_count = commits;
+        if let Some(footprint) = self.eval.last_commit().copied() {
+            self.sweep.note_commit(&footprint);
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(step());
+        }
+    }
+
     /// Commits a move, updating the type bookkeeping, the current period and
     /// the best-so-far snapshot. The returned period is the exact committed
     /// one (what-ifs on chains are ratio-scaled and may differ by a few ulp —
@@ -224,6 +380,11 @@ impl<'a> SearchEngine<'a> {
         let from = self.eval.machine_of(task);
         let ty = self.instance.application().task_type(task);
         let committed = self.eval.apply_move(task, to)?.period.value();
+        self.after_commit(|| CommitStep::Move {
+            task: task.index(),
+            to: to.index(),
+            period: committed.to_bits(),
+        });
         if from != to {
             self.tasks_on[from.index()] -= 1;
             if self.tasks_on[from.index()] == 0 {
@@ -241,6 +402,11 @@ impl<'a> SearchEngine<'a> {
         let app = self.instance.application();
         let (ta, tb) = (app.task_type(a), app.task_type(b));
         let committed = self.eval.apply_swap(a, b)?.period.value();
+        self.after_commit(|| CommitStep::Swap {
+            a: a.index(),
+            b: b.index(),
+            period: committed.to_bits(),
+        });
         if ua != ub && ta != tb {
             self.machine_type[ua.index()] = Some(tb);
             self.machine_type[ub.index()] = Some(ta);

@@ -10,7 +10,13 @@
 //!   (so one candidate costs `O(affected tasks + log m)` instead of a full
 //!   recompute), enforces the specialized rule on every proposal, tracks the
 //!   best mapping seen (a strategy can therefore never return worse than its
-//!   seed) and meters the evaluation budget;
+//!   seed), meters the evaluation budget, and runs the **dirty-candidate
+//!   sweep cache**: each commit's
+//!   [`CommitFootprint`](mf_core::incremental::CommitFootprint) (touched
+//!   machines + invalidated tour spans) lets the next sweep re-evaluate only the
+//!   candidates the commit could have helped, reusing certified scores for
+//!   the rest — bit-identical chosen moves, measurably fewer evaluator
+//!   calls ([`SweepCacheStats`]);
 //! * [`SearchStrategy`] — the policy layer: which neighbors to look at, in
 //!   what order, and which one to take;
 //! * three strategies:
@@ -47,10 +53,12 @@ pub(crate) mod candidate;
 pub mod engine;
 pub mod steepest;
 pub mod strategy;
+mod sweep_cache;
 pub mod tabu;
 
 pub use annealed::{AnnealedClimb, LocalSearchConfig};
-pub use engine::{metropolis, CommitOutcome, SearchEngine, IMPROVEMENT_EPSILON};
+pub use engine::{metropolis, CommitOutcome, CommitStep, SearchEngine, IMPROVEMENT_EPSILON};
 pub use steepest::{SteepestDescent, SteepestDescentConfig};
 pub use strategy::{polish_with, SearchHeuristic, SearchStrategy};
+pub use sweep_cache::SweepCacheStats;
 pub use tabu::{TabuConfig, TabuSearch};

@@ -60,6 +60,13 @@ impl SteepestDescent {
     /// Scores the full neighborhood and returns the best candidate with its
     /// what-if period (scan-order tie-break). `None` when no candidate is
     /// admissible.
+    ///
+    /// Candidates are probed through the engine's dirty-candidate sweep
+    /// cache: a candidate whose cached score certifies it cannot score
+    /// strictly below the incumbent-so-far is skipped without an evaluator
+    /// call. Ties break to the earlier candidate in scan order, so the
+    /// chosen neighbor — and the whole descent — is bit-identical to an
+    /// uncached full sweep.
     fn best_neighbor(
         &self,
         engine: &mut SearchEngine<'_>,
@@ -75,7 +82,10 @@ impl SteepestDescent {
                     continue;
                 }
                 engine.charge(1);
-                let period = engine.evaluate_move(task, to)?;
+                let bound = best.map_or(f64::INFINITY, |(period, _)| period);
+                let Some(period) = engine.probe_move(task, to, bound)? else {
+                    continue;
+                };
                 if better_than(period, &best) {
                     best = Some((period, Candidate::Move(task, to)));
                 }
@@ -89,7 +99,10 @@ impl SteepestDescent {
                         continue;
                     }
                     engine.charge(1);
-                    let period = engine.evaluate_swap(a, b)?;
+                    let bound = best.map_or(f64::INFINITY, |(period, _)| period);
+                    let Some(period) = engine.probe_swap(a, b, bound)? else {
+                        continue;
+                    };
                     if better_than(period, &best) {
                         best = Some((period, Candidate::Swap(a, b)));
                     }

@@ -1,0 +1,287 @@
+//! The dirty-candidate sweep cache: skip re-evaluating candidates a commit
+//! provably did not help.
+//!
+//! A steepest-descent or tabu iteration scores the whole `n·m` move (and
+//! `n²/2` swap) neighborhood, then commits **one** candidate. That commit
+//! only changes the loads of the machines it touched and the demands of the
+//! committed tasks' subtrees (their tour spans, see
+//! [`Topology`](mf_core::incremental::Topology)) — the *structure* of every
+//! other candidate is untouched, and its score can only shift by the load
+//! deltas the commit applied.
+//!
+//! The cache stores the last **exact** what-if score of every candidate plus
+//! the commit index it was scored at. On the next sweep a candidate is
+//! skipped — without calling the evaluator — when
+//!
+//! 1. it is **structure-clean**: no commit since its score was taken has a
+//!    [`CommitFootprint`] span overlapping the candidate's subtree span(s)
+//!    (overlap would change its demands, factors or mass rows), and
+//! 2. its **certified lower bound** `score + Σ min(0, min_load_delta) −
+//!    guard` is already no better than the best exact score seen earlier in
+//!    the scan: since every machine value is monotone in the machine load
+//!    and no load dropped by more than `min_load_delta` per commit, the
+//!    candidate's true current score cannot beat the incumbent, and —
+//!    because sweeps tie-break strictly by scan order — skipping it cannot
+//!    change the chosen move.
+//!
+//! The guard term (`1e-9` relative per commit) over-covers float
+//! accumulation between the cached and the live evaluation by several
+//! orders of magnitude, so the bound stays *certified*: dirty-candidate
+//! sweeps pick the **bit-identical** move sequence of a full sweep (pinned
+//! by the `sweep_cache_differential` test), they just call the evaluator
+//! less — [`SweepCacheStats`] counts how much less.
+
+use mf_core::incremental::CommitFootprint;
+use mf_core::prelude::*;
+
+/// Hit/miss counters of one engine's sweep cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepCacheStats {
+    /// Candidate probes routed through the cache.
+    pub probes: u64,
+    /// Probes that had to call the evaluator (cold, structure-dirty, or the
+    /// bound could not rule the candidate out).
+    pub evaluations: u64,
+    /// Probes answered "provably not better than the incumbent" without an
+    /// evaluator call.
+    pub skips: u64,
+    /// Probes answered with a stored exact score (no commit since it was
+    /// taken) without an evaluator call.
+    pub reuses: u64,
+}
+
+/// Per-candidate score cache with commit-footprint invalidation.
+///
+/// `stamp` values are `commit index + 1` (`0` = never scored). The commit
+/// log keeps, per commit, the invalidated tour spans and the running sum of
+/// `min(0, min_load_delta)`; both are consulted lazily at probe time.
+#[derive(Debug)]
+pub(crate) struct SweepCache {
+    tasks: usize,
+    machines: usize,
+    /// `true` when a candidate table would exceed [`MAX_ENTRIES`]; that
+    /// table then stays off entirely.
+    moves_capped: bool,
+    swaps_capped: bool,
+    /// Move candidates, `task · m + machine` — allocated on first probe, so
+    /// strategies that never sweep (the annealed climb) pay nothing.
+    move_score: Vec<f64>,
+    move_stamp: Vec<u32>,
+    /// Swap candidates, `min · n + max` (only `min < max` slots are used);
+    /// allocated on first swap probe.
+    swap_score: Vec<f64>,
+    swap_stamp: Vec<u32>,
+    /// Inclusive tour span of every task's subtree.
+    span: Vec<(u32, u32)>,
+    /// Tour spans invalidated by each commit since the last reset.
+    commit_spans: Vec<[Option<(u32, u32)>; 2]>,
+    /// `drop_prefix[k]` = Σ over the first `k` commits of
+    /// `min(0, min_load_delta)` — how far any load (and so any clean
+    /// candidate's score) can have dropped.
+    drop_prefix: Vec<f64>,
+    pub(crate) stats: SweepCacheStats,
+}
+
+/// Commits a candidate may look back through before it counts as dirty
+/// (bounds the per-probe span scan; sweeps refresh far sooner anyway).
+const MAX_LOOKBACK: u32 = 32;
+
+/// Commit-log length that triggers a full reset (keeps memory flat for
+/// commit-heavy non-sweep strategies that share the engine).
+const MAX_LOG: usize = 4096;
+
+/// Candidate-table cap: above this many entries per table the cache turns
+/// itself off rather than allocate unbounded score storage.
+const MAX_ENTRIES: usize = 1 << 22;
+
+impl SweepCache {
+    /// An empty cache over the engine's candidate space. `span` is the
+    /// inclusive tour span of every task (from the evaluator's topology).
+    pub(crate) fn new(tasks: usize, machines: usize, span: Vec<(u32, u32)>) -> Self {
+        SweepCache {
+            tasks,
+            machines,
+            moves_capped: tasks.saturating_mul(machines) > MAX_ENTRIES,
+            swaps_capped: tasks.saturating_mul(tasks) > MAX_ENTRIES,
+            move_score: Vec::new(),
+            move_stamp: Vec::new(),
+            swap_score: Vec::new(),
+            swap_stamp: Vec::new(),
+            span,
+            commit_spans: Vec::new(),
+            drop_prefix: vec![0.0],
+            stats: SweepCacheStats::default(),
+        }
+    }
+
+    /// Forgets every cached score (keeps the allocations).
+    pub(crate) fn reset(&mut self) {
+        self.move_stamp.fill(0);
+        self.swap_stamp.fill(0);
+        self.commit_spans.clear();
+        self.drop_prefix.clear();
+        self.drop_prefix.push(0.0);
+    }
+
+    /// Records a committed operation's invalidation footprint.
+    pub(crate) fn note_commit(&mut self, footprint: &CommitFootprint) {
+        if self.commit_spans.len() >= MAX_LOG {
+            self.reset();
+        }
+        let shrink =
+            |span: Option<(usize, usize)>| span.map(|(start, end)| (start as u32, end as u32));
+        self.commit_spans
+            .push([shrink(footprint.spans[0]), shrink(footprint.spans[1])]);
+        let total =
+            self.drop_prefix.last().copied().unwrap_or(0.0) + footprint.min_load_delta.min(0.0);
+        self.drop_prefix.push(total);
+    }
+
+    /// Number of commits recorded since the last reset.
+    #[inline]
+    fn now(&self) -> u32 {
+        self.commit_spans.len() as u32
+    }
+
+    /// `true` when none of the commits in `stamp-1..now` overlaps any of the
+    /// candidate's subtree spans (its structure is unchanged).
+    fn structure_clean(&self, stamp: u32, candidate_spans: &[(u32, u32)]) -> bool {
+        let since = stamp - 1;
+        if self.now() - since > MAX_LOOKBACK {
+            return false;
+        }
+        self.commit_spans[since as usize..].iter().all(|commit| {
+            commit.iter().flatten().all(|&(s, e)| {
+                candidate_spans
+                    .iter()
+                    .all(|&(cs, ce)| !(cs <= e && s <= ce))
+            })
+        })
+    }
+
+    /// The certified lower bound on the candidate's current exact score,
+    /// given its cached score and stamp: the cached value minus every load
+    /// drop since, minus a per-commit float guard.
+    fn lower_bound(&self, score: f64, stamp: u32) -> f64 {
+        let since = (stamp - 1) as usize;
+        let drop = self.drop_prefix[self.now() as usize] - self.drop_prefix[since];
+        let commits = (self.now() as usize - since) as f64;
+        score + drop - commits * 1e-9 * (1.0 + score.abs())
+    }
+
+    /// Consults the cache for move `(task, to)`: `Reuse(score)` when the
+    /// stored exact score is still current, `Skip` when the candidate
+    /// provably cannot beat `bound`, `Evaluate` otherwise.
+    /// Allocates the move tables on first use.
+    fn ensure_moves(&mut self) {
+        if self.move_score.is_empty() {
+            self.move_score = vec![0.0; self.tasks * self.machines];
+            self.move_stamp = vec![0; self.tasks * self.machines];
+        }
+    }
+
+    /// Allocates the swap tables on first use.
+    fn ensure_swaps(&mut self) {
+        if self.swap_score.is_empty() {
+            self.swap_score = vec![0.0; self.tasks * self.tasks];
+            self.swap_stamp = vec![0; self.tasks * self.tasks];
+        }
+    }
+
+    pub(crate) fn probe_move(&mut self, task: TaskId, to: MachineId, bound: f64) -> CacheAnswer {
+        self.stats.probes += 1;
+        if self.moves_capped {
+            self.stats.evaluations += 1;
+            return CacheAnswer::Evaluate;
+        }
+        self.ensure_moves();
+        let slot = task.index() * self.machines + to.index();
+        self.answer(
+            self.move_stamp[slot],
+            self.move_score[slot],
+            &[self.span[task.index()]],
+            bound,
+        )
+    }
+
+    /// Stores the exact score of move `(task, to)` at the current commit
+    /// index.
+    pub(crate) fn store_move(&mut self, task: TaskId, to: MachineId, score: f64) {
+        if self.moves_capped {
+            return;
+        }
+        self.ensure_moves();
+        let slot = task.index() * self.machines + to.index();
+        self.move_score[slot] = score;
+        self.move_stamp[slot] = self.now() + 1;
+    }
+
+    /// Consults the cache for the swap of `a` and `b` (order-insensitive).
+    pub(crate) fn probe_swap(&mut self, a: TaskId, b: TaskId, bound: f64) -> CacheAnswer {
+        self.stats.probes += 1;
+        if self.swaps_capped {
+            self.stats.evaluations += 1;
+            return CacheAnswer::Evaluate;
+        }
+        self.ensure_swaps();
+        let slot = self.swap_slot(a, b);
+        self.answer(
+            self.swap_stamp[slot],
+            self.swap_score[slot],
+            &[self.span[a.index()], self.span[b.index()]],
+            bound,
+        )
+    }
+
+    /// Stores the exact score of the swap of `a` and `b`.
+    pub(crate) fn store_swap(&mut self, a: TaskId, b: TaskId, score: f64) {
+        if self.swaps_capped {
+            return;
+        }
+        self.ensure_swaps();
+        let slot = self.swap_slot(a, b);
+        self.swap_score[slot] = score;
+        self.swap_stamp[slot] = self.now() + 1;
+    }
+
+    #[inline]
+    fn swap_slot(&self, a: TaskId, b: TaskId) -> usize {
+        let (lo, hi) = if a.index() < b.index() {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
+        lo * self.tasks + hi
+    }
+
+    fn answer(&mut self, stamp: u32, score: f64, spans: &[(u32, u32)], bound: f64) -> CacheAnswer {
+        if stamp == 0 {
+            self.stats.evaluations += 1;
+            return CacheAnswer::Evaluate;
+        }
+        if stamp == self.now() + 1 {
+            // No commit since the score was taken: it is exact right now.
+            self.stats.reuses += 1;
+            return CacheAnswer::Reuse(score);
+        }
+        // The bound is cheap float math and usually decides; the span-overlap
+        // scan only runs when the bound could actually certify a skip.
+        if self.lower_bound(score, stamp) >= bound && self.structure_clean(stamp, spans) {
+            self.stats.skips += 1;
+            return CacheAnswer::Skip;
+        }
+        self.stats.evaluations += 1;
+        CacheAnswer::Evaluate
+    }
+}
+
+/// What a cache probe concluded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CacheAnswer {
+    /// The stored score is exact for the current committed state.
+    Reuse(f64),
+    /// The candidate provably cannot beat the caller's bound.
+    Skip,
+    /// The cache cannot certify anything: evaluate (and store) the score.
+    Evaluate,
+}

@@ -1,0 +1,183 @@
+//! Differential pin of the dirty-candidate sweep cache.
+//!
+//! `SteepestDescent` and `TabuSearch` route every candidate through the
+//! engine's sweep cache, which skips evaluator calls for candidates a commit
+//! provably did not help. That optimization must be *invisible* in behavior:
+//! for every registry seed heuristic, on chains and on general in-forests,
+//! the cached sweep must commit the **identical step sequence** (tasks,
+//! machines and period bits), consume the identical budget, and return the
+//! bit-identical best mapping the uncached full sweep returns — while
+//! making strictly fewer evaluator calls overall.
+
+use mf_core::prelude::*;
+use mf_heuristics::search::{
+    CommitStep, SearchEngine, SearchStrategy, SteepestDescent, SweepCacheStats, TabuSearch,
+};
+use mf_heuristics::{all_paper_heuristics, Heuristic};
+use mf_sim::{GeneratorConfig, InstanceGenerator};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Candidate-evaluation budget per run: enough for several full sweeps on
+/// the shapes below, small enough to keep the differential fast in debug.
+const BUDGET: usize = 20_000;
+
+fn chain_instance(tasks: usize, machines: usize, types: usize, seed: u64) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::paper_standard(tasks, machines, types))
+        .generate(seed)
+        .expect("the standard generator produces valid instances")
+}
+
+/// A random in-forest (mixed fan-in, several roots), drawn from the shared
+/// `standard_in_forest` generator configuration.
+fn forest_instance(tasks: usize, machines: usize, types: usize, rng: &mut StdRng) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::standard_in_forest(tasks, machines, types))
+        .generate(rng.next_u64())
+        .expect("the forest generator produces valid instances")
+}
+
+struct RunOutcome {
+    trace: Vec<CommitStep>,
+    mapping: Vec<usize>,
+    best_bits: u64,
+    steps: usize,
+    stats: SweepCacheStats,
+}
+
+fn run(
+    instance: &Instance,
+    seed: &Mapping,
+    strategy: &dyn SearchStrategy,
+    cached: bool,
+) -> RunOutcome {
+    let mut engine = SearchEngine::new(instance, seed, BUDGET).unwrap();
+    engine.set_sweep_cache(cached);
+    engine.enable_commit_trace();
+    strategy.run(&mut engine).unwrap();
+    RunOutcome {
+        trace: engine.commit_trace().to_vec(),
+        best_bits: engine.best_period().to_bits(),
+        steps: engine.steps(),
+        stats: engine.sweep_stats(),
+        mapping: engine
+            .into_best()
+            .as_slice()
+            .iter()
+            .map(|u| u.index())
+            .collect(),
+    }
+}
+
+#[test]
+fn cached_sweeps_match_full_sweeps_for_every_registry_seed() {
+    let mut rng = StdRng::seed_from_u64(0x5EEE_BCAC);
+    let instances: Vec<(String, Instance)> = vec![
+        ("chain n=20 m=5".into(), chain_instance(20, 5, 3, 0xA1)),
+        ("chain n=30 m=6".into(), chain_instance(30, 6, 3, 0xB2)),
+        (
+            "forest n=24 m=6".into(),
+            forest_instance(24, 6, 3, &mut rng),
+        ),
+        (
+            "forest n=32 m=8".into(),
+            forest_instance(32, 8, 4, &mut rng),
+        ),
+    ];
+    let strategies: Vec<(&str, Box<dyn SearchStrategy>)> = vec![
+        ("SD", Box::new(SteepestDescent::default())),
+        ("TS", Box::new(TabuSearch::default())),
+    ];
+    let mut total_full = 0u64;
+    let mut total_cached = 0u64;
+    let mut total_saved = 0u64;
+    for (label, instance) in &instances {
+        for seeder in all_paper_heuristics(5) {
+            let Ok(seed) = seeder.map(instance) else {
+                continue; // a seed that cannot place this shape is not a pin
+            };
+            for (name, strategy) in &strategies {
+                let context = format!("{name} from {} on {label}", seeder.name());
+                let full = run(instance, &seed, strategy.as_ref(), false);
+                let cached = run(instance, &seed, strategy.as_ref(), true);
+                assert_eq!(
+                    full.trace, cached.trace,
+                    "{context}: committed step sequences diverged"
+                );
+                assert_eq!(
+                    full.mapping, cached.mapping,
+                    "{context}: best mappings diverged"
+                );
+                assert_eq!(
+                    full.best_bits, cached.best_bits,
+                    "{context}: best periods diverged at the bit level"
+                );
+                assert_eq!(
+                    full.steps, cached.steps,
+                    "{context}: budget accounting diverged"
+                );
+                assert_eq!(
+                    full.stats.probes, cached.stats.probes,
+                    "{context}: probe counts diverged"
+                );
+                assert!(
+                    cached.stats.evaluations <= full.stats.evaluations,
+                    "{context}: the cache must never add evaluator calls"
+                );
+                total_full += full.stats.evaluations;
+                total_cached += cached.stats.evaluations;
+                total_saved += cached.stats.skips + cached.stats.reuses;
+            }
+        }
+    }
+    assert!(
+        total_cached < total_full,
+        "the sweep cache never skipped anything ({total_cached} vs {total_full} evaluations)"
+    );
+    assert!(total_saved > 0, "no probe was ever answered from the cache");
+    println!(
+        "sweep cache: {total_cached}/{total_full} evaluator calls \
+         ({total_saved} probes answered from cache)"
+    );
+}
+
+/// The cache must also be invisible when a strategy runs *after* unrelated
+/// commits (a warm, partially-stale cache), not just from a cold engine.
+#[test]
+fn warm_cache_stays_correct_across_interleaved_commits() {
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    let instance = forest_instance(18, 5, 3, &mut rng);
+    let seed = mf_heuristics::H4wFastestMachine.map(&instance).unwrap();
+    let strategy = SteepestDescent::default();
+
+    let mut reference = SearchEngine::new(&instance, &seed, BUDGET).unwrap();
+    reference.set_sweep_cache(false);
+    let mut warmed = SearchEngine::new(&instance, &seed, BUDGET).unwrap();
+
+    // Interleave: run one descent, then hand-commit a few degrading moves
+    // (staling parts of the cache), then descend again. Both engines see
+    // the identical command stream.
+    for round in 0..3 {
+        strategy.run(&mut reference).unwrap();
+        strategy.run(&mut warmed).unwrap();
+        assert_eq!(
+            reference.current_period().to_bits(),
+            warmed.current_period().to_bits(),
+            "round {round}: descents diverged"
+        );
+        let task = TaskId(round * 3 % instance.task_count());
+        let to = MachineId((round + 1) % instance.machine_count());
+        if reference.allows_move(task, to) {
+            let a = reference.commit_move(task, to).unwrap();
+            let b = warmed.commit_move(task, to).unwrap();
+            assert_eq!(a.period.to_bits(), b.period.to_bits());
+        }
+    }
+    assert_eq!(
+        reference.best_period().to_bits(),
+        warmed.best_period().to_bits()
+    );
+    assert_eq!(
+        reference.into_best().as_slice(),
+        warmed.into_best().as_slice()
+    );
+}

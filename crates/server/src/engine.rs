@@ -32,6 +32,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `--heuristic` path hard-codes, so un-seeded requests match it exactly.
 pub const DEFAULT_HEURISTIC_SEED: u64 = 1;
 
+/// Most resident evaluator snapshots one session keeps; the
+/// least-recently-used snapshot is dropped past this (a snapshot is ~the
+/// instance's per-task vectors plus the mass-row cache, so an unbounded map
+/// would grow with every instance a long-lived dashboard session touches).
+pub const SESSION_SNAPSHOT_CAP: usize = 8;
+
 #[derive(Debug, Default)]
 struct Counters {
     loads: AtomicU64,
@@ -39,6 +45,8 @@ struct Counters {
     evaluations: AtomicU64,
     whatifs: AtomicU64,
     resumes: AtomicU64,
+    snapshot_hits: AtomicU64,
+    snapshot_evictions: AtomicU64,
     solves_heuristic: AtomicU64,
     solves_portfolio: AtomicU64,
     sessions: AtomicU64,
@@ -58,12 +66,16 @@ struct ResidentState {
     /// unload + load) of the name invalidates the snapshot.
     generation: u64,
     snapshot: EvaluatorSnapshot,
+    /// Session-local recency stamp (for the [`SESSION_SNAPSHOT_CAP`] LRU).
+    last_used: u64,
 }
 
-/// Per-connection state: the resident evaluator snapshots of this session.
+/// Per-connection state: the resident evaluator snapshots of this session,
+/// capped at [`SESSION_SNAPSHOT_CAP`] by recency.
 #[derive(Default)]
 pub struct Session {
     resident: HashMap<String, ResidentState>,
+    clock: u64,
 }
 
 /// The shared dispatch engine of a server process.
@@ -169,6 +181,38 @@ impl Engine {
         }
     }
 
+    /// Parks a snapshot as the session's resident state for `name`,
+    /// evicting the session's least-recently-used snapshot past
+    /// [`SESSION_SNAPSHOT_CAP`].
+    fn remember(
+        &self,
+        session: &mut Session,
+        name: &str,
+        generation: u64,
+        snapshot: EvaluatorSnapshot,
+    ) {
+        session.clock += 1;
+        if !session.resident.contains_key(name) && session.resident.len() >= SESSION_SNAPSHOT_CAP {
+            if let Some(coldest) = session
+                .resident
+                .iter()
+                .min_by_key(|(_, state)| state.last_used)
+                .map(|(key, _)| key.clone())
+            {
+                session.resident.remove(&coldest);
+                Counters::bump(&self.counters.snapshot_evictions);
+            }
+        }
+        session.resident.insert(
+            name.to_string(),
+            ResidentState {
+                generation,
+                snapshot,
+                last_used: session.clock,
+            },
+        );
+    }
+
     fn fetch(&self, name: &str) -> std::result::Result<std::sync::Arc<StoredInstance>, Response> {
         self.store.get(name).ok_or_else(|| {
             Response::error(
@@ -211,13 +255,7 @@ impl Engine {
             critical: evaluator.critical_machine().index(),
             loads: evaluator.loads().to_vec(),
         };
-        session.resident.insert(
-            name.to_string(),
-            ResidentState {
-                generation: stored.generation,
-                snapshot: evaluator.into_snapshot(),
-            },
-        );
+        self.remember(session, name, stored.generation, evaluator.into_snapshot());
         response
     }
 
@@ -237,6 +275,7 @@ impl Engine {
             // The instance was reloaded since the snapshot was taken.
             return stale;
         }
+        Counters::bump(&self.counters.snapshot_hits);
         let mut evaluator = match IncrementalEvaluator::resume(&stored.instance, state.snapshot) {
             Ok(evaluator) => evaluator,
             Err(e) => return Response::error(ErrorCode::BadRequest, one_line(e)),
@@ -260,13 +299,7 @@ impl Engine {
             }
             Err(e) => Response::error(ErrorCode::BadRequest, one_line(e)),
         };
-        session.resident.insert(
-            name.to_string(),
-            ResidentState {
-                generation: stored.generation,
-                snapshot: evaluator.into_snapshot(),
-            },
-        );
+        self.remember(session, name, stored.generation, evaluator.into_snapshot());
         response
     }
 
@@ -338,13 +371,7 @@ impl Engine {
             Err(e) => return Response::error(ErrorCode::Infeasible, one_line(e)),
         };
         let period = evaluator.period().value();
-        session.resident.insert(
-            name.to_string(),
-            ResidentState {
-                generation: stored.generation,
-                snapshot: evaluator.into_snapshot(),
-            },
-        );
+        self.remember(session, name, stored.generation, evaluator.into_snapshot());
         Response::Solved {
             label,
             period,
@@ -353,17 +380,29 @@ impl Engine {
         }
     }
 
-    /// The statistics counters, in fixed presentation order.
+    /// The statistics counters, in fixed presentation order. Alongside the
+    /// request counters, the store's byte footprint and hit/eviction counts
+    /// and the session snapshot caches' hit/eviction counts make warm-cache
+    /// behavior of a long-running server observable.
     pub fn stats(&self) -> Vec<(String, u64)> {
         let c = &self.counters;
+        let store = self.store.stats();
         let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
         vec![
             ("instances".to_string(), self.store.len() as u64),
+            ("instance-bytes".to_string(), store.bytes),
+            ("instance-hits".to_string(), store.hits),
+            ("instance-evictions".to_string(), store.evictions),
             ("loads".to_string(), read(&c.loads)),
             ("unloads".to_string(), read(&c.unloads)),
             ("evaluations".to_string(), read(&c.evaluations)),
             ("whatifs".to_string(), read(&c.whatifs)),
             ("evaluator-resumes".to_string(), read(&c.resumes)),
+            ("snapshot-hits".to_string(), read(&c.snapshot_hits)),
+            (
+                "snapshot-evictions".to_string(),
+                read(&c.snapshot_evictions),
+            ),
             ("solves-heuristic".to_string(), read(&c.solves_heuristic)),
             ("solves-portfolio".to_string(), read(&c.solves_portfolio)),
             ("sessions".to_string(), read(&c.sessions)),
@@ -517,9 +556,81 @@ mod tests {
         assert_eq!(get("evaluations"), 1);
         assert_eq!(get("whatifs"), 1);
         assert_eq!(get("evaluator-resumes"), 1);
+        assert_eq!(get("snapshot-hits"), 1);
+        assert_eq!(get("snapshot-evictions"), 0);
         assert_eq!(get("solves-heuristic"), 1);
         assert_eq!(get("sessions"), 1);
         assert_eq!(get("errors"), 0);
+        // The store saw one lookup per solve/evaluate/whatif.
+        assert_eq!(get("instance-hits"), 3);
+        assert_eq!(get("instance-evictions"), 0);
+        assert!(get("instance-bytes") > 0);
+    }
+
+    #[test]
+    fn session_snapshot_cache_is_capped_by_recency() {
+        let engine = Engine::new(1);
+        let mut session = engine.begin_session();
+        // One more instance than the cap; evaluating each in turn parks one
+        // snapshot per name.
+        let count = SESSION_SNAPSHOT_CAP + 1;
+        for k in 0..count {
+            let text = instance_text(6, 3, 2, k as u64 + 1);
+            let name = format!("inst{k}");
+            load(&engine, &mut session, &name, &text);
+            let instance = textio::instance_from_text(&text).unwrap();
+            let mapping = H4wFastestMachine.map(&instance).unwrap();
+            let response = engine.dispatch(
+                &mut session,
+                Request::Evaluate {
+                    name: name.clone(),
+                    payload: text_payload(&textio::mapping_to_text(&mapping)),
+                },
+            );
+            assert!(
+                matches!(response, Response::Evaluated { .. }),
+                "{response:?}"
+            );
+        }
+        // The first (coldest) snapshot was evicted: whatif has no resident
+        // state for it. The most recent one still answers.
+        let probe = |session: &mut Session, name: &str| {
+            engine.dispatch(
+                session,
+                Request::WhatIf {
+                    name: name.into(),
+                    probe: Probe::Move {
+                        task: 0,
+                        machine: 1,
+                    },
+                },
+            )
+        };
+        let evicted = probe(&mut session, "inst0");
+        assert!(
+            matches!(
+                evicted,
+                Response::Error {
+                    code: ErrorCode::NoResidentState,
+                    ..
+                }
+            ),
+            "{evicted:?}"
+        );
+        let warm = probe(&mut session, &format!("inst{}", count - 1));
+        assert!(matches!(warm, Response::WhatIf { .. }), "{warm:?}");
+        let Response::Stats(stats) = engine.dispatch(&mut session, Request::Stats) else {
+            panic!("stats failed");
+        };
+        let get = |key: &str| {
+            stats
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("snapshot-evictions"), 1);
+        assert_eq!(get("snapshot-hits"), 1);
     }
 
     #[test]

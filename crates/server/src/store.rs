@@ -1,15 +1,25 @@
 //! The resident instance store shared by every session.
 //!
-//! Instances are loaded once (via `mf_core::textio`) and stay resident for
-//! the lifetime of the server; every session sees the same store. Each load
-//! gets a process-unique **generation** number so session-scoped caches
-//! (resident evaluator snapshots) can tell a reloaded instance from the one
-//! they were built against without comparing instance contents.
+//! Instances are loaded once (via `mf_core::textio`) and stay resident;
+//! every session sees the same store. Each load gets a process-unique
+//! **generation** number so session-scoped caches (resident evaluator
+//! snapshots) can tell a reloaded instance from the one they were built
+//! against without comparing instance contents.
+//!
+//! The store is **capped**: resident instances are charged their approximate
+//! byte footprint, and when a load pushes the total past the cap the
+//! least-recently-used instances are evicted (never the one just loaded).
+//! Hits, misses and evictions are counted for the `stats` command, so a
+//! long-running server's cache behavior is observable.
 
 use mf_core::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Default byte budget of a store: 256 MiB of instance matrices — far more
+/// than any paper-scale workload, low enough to bound a churn-heavy server.
+pub const DEFAULT_STORE_BYTES: u64 = 256 << 20;
 
 /// One resident instance.
 #[derive(Debug)]
@@ -38,55 +48,160 @@ impl StoredInstance {
     pub fn types(&self) -> usize {
         self.instance.application().type_count()
     }
+
+    /// Approximate resident footprint: the `p×m` time matrix, the `n×m`
+    /// failure matrix and the per-task vectors, in 8-byte cells. The real
+    /// heap layout differs by allocator slop; the cap only needs relative
+    /// proportionality.
+    pub fn approx_bytes(&self) -> u64 {
+        let n = self.tasks() as u64;
+        let m = self.machines() as u64;
+        let p = self.types() as u64;
+        8 * (p * m + n * m + 4 * n + m)
+    }
 }
 
-/// A thread-safe name → instance map. `BTreeMap` keeps `list` responses in
-/// deterministic (sorted) order without a per-call sort.
-#[derive(Debug, Default)]
+/// One store slot: the shared instance plus its recency stamp (updated under
+/// the read lock, hence atomic).
+#[derive(Debug)]
+struct StoreSlot {
+    stored: Arc<StoredInstance>,
+    last_used: AtomicU64,
+}
+
+/// Aggregated cache counters of a store (see [`InstanceStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Approximate bytes currently resident.
+    pub bytes: u64,
+    /// `get` calls that found their instance.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Instances evicted by the byte cap (explicit `unload`s not included).
+    pub evictions: u64,
+}
+
+/// A thread-safe, LRU-capped name → instance map. `BTreeMap` keeps `list`
+/// responses in deterministic (sorted) order without a per-call sort.
+#[derive(Debug)]
 pub struct InstanceStore {
-    instances: RwLock<BTreeMap<String, Arc<StoredInstance>>>,
+    instances: RwLock<BTreeMap<String, StoreSlot>>,
     generations: AtomicU64,
+    clock: AtomicU64,
+    max_bytes: u64,
+    bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for InstanceStore {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_STORE_BYTES)
+    }
 }
 
 impl InstanceStore {
-    /// An empty store.
+    /// An empty store with the default byte budget
+    /// ([`DEFAULT_STORE_BYTES`]).
     pub fn new() -> Self {
         InstanceStore::default()
+    }
+
+    /// An empty store holding at most ~`max_bytes` of instance data (the
+    /// most recently loaded instance is always kept, even above the cap).
+    pub fn with_capacity(max_bytes: u64) -> Self {
+        InstanceStore {
+            instances: RwLock::new(BTreeMap::new()),
+            generations: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            max_bytes,
+            bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Inserts (or replaces) an instance under a name; returns the stored
     /// handle. Replacement is deliberate: reloading a name atomically swaps
     /// the instance every later request sees, and the fresh generation
-    /// invalidates all session caches built against the old one.
+    /// invalidates all session caches built against the old one. If the
+    /// insert pushes the store past its byte cap, least-recently-used
+    /// instances (never this one) are evicted.
     pub fn insert(&self, name: &str, instance: Instance) -> Arc<StoredInstance> {
         let stored = Arc::new(StoredInstance {
             name: name.to_string(),
             generation: self.generations.fetch_add(1, Ordering::Relaxed),
             instance,
         });
-        self.instances
-            .write()
-            .expect("store lock poisoned")
-            .insert(name.to_string(), Arc::clone(&stored));
+        let added = stored.approx_bytes();
+        let mut map = self.instances.write().expect("store lock poisoned");
+        if let Some(previous) = map.insert(
+            name.to_string(),
+            StoreSlot {
+                stored: Arc::clone(&stored),
+                last_used: AtomicU64::new(self.tick()),
+            },
+        ) {
+            self.bytes
+                .fetch_sub(previous.stored.approx_bytes(), Ordering::Relaxed);
+        }
+        let mut total = self.bytes.fetch_add(added, Ordering::Relaxed) + added;
+        // Evict coldest-first until back under the cap; the entry just
+        // inserted is exempt so a single oversized instance still loads.
+        while total > self.max_bytes && map.len() > 1 {
+            let Some(coldest) = map
+                .iter()
+                .filter(|(key, _)| key.as_str() != name)
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            let slot = map.remove(&coldest).expect("key just observed");
+            let freed = slot.stored.approx_bytes();
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            total -= freed;
+        }
         stored
     }
 
-    /// The instance under a name, if loaded.
+    /// The instance under a name, if loaded (refreshes its recency and
+    /// counts the hit/miss).
     pub fn get(&self, name: &str) -> Option<Arc<StoredInstance>> {
-        self.instances
-            .read()
-            .expect("store lock poisoned")
-            .get(name)
-            .cloned()
+        let map = self.instances.read().expect("store lock poisoned");
+        match map.get(name) {
+            Some(slot) => {
+                slot.last_used.store(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.stored))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Removes an instance; `true` if it was present.
     pub fn remove(&self, name: &str) -> bool {
-        self.instances
-            .write()
-            .expect("store lock poisoned")
-            .remove(name)
-            .is_some()
+        let mut map = self.instances.write().expect("store lock poisoned");
+        match map.remove(name) {
+            Some(slot) => {
+                self.bytes
+                    .fetch_sub(slot.stored.approx_bytes(), Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of resident instances.
@@ -105,8 +220,18 @@ impl InstanceStore {
             .read()
             .expect("store lock poisoned")
             .values()
-            .cloned()
+            .map(|slot| Arc::clone(&slot.stored))
             .collect()
+    }
+
+    /// The cache counters (bytes resident, hits, misses, evictions).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            bytes: self.bytes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -142,5 +267,61 @@ mod tests {
         assert!(!store.remove("a"));
         assert!(store.get("a").is_none());
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn bytes_track_inserts_replacements_and_removals() {
+        let store = InstanceStore::new();
+        assert_eq!(store.stats().bytes, 0);
+        let a = store.insert("a", tiny_instance());
+        assert_eq!(store.stats().bytes, a.approx_bytes());
+        store.insert("b", tiny_instance());
+        assert_eq!(store.stats().bytes, 2 * a.approx_bytes());
+        // Replacement does not double-charge.
+        store.insert("a", tiny_instance());
+        assert_eq!(store.stats().bytes, 2 * a.approx_bytes());
+        store.remove("a");
+        store.remove("b");
+        assert_eq!(store.stats().bytes, 0);
+    }
+
+    #[test]
+    fn the_byte_cap_evicts_least_recently_used_first() {
+        let unit = {
+            let probe = InstanceStore::new();
+            probe.insert("probe", tiny_instance()).approx_bytes()
+        };
+        // Room for two tiny instances, not three.
+        let store = InstanceStore::with_capacity(2 * unit);
+        store.insert("a", tiny_instance());
+        store.insert("b", tiny_instance());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 0);
+        // Touch `a` so `b` is the coldest, then overflow.
+        assert!(store.get("a").is_some());
+        store.insert("c", tiny_instance());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.get("b").is_none(), "the cold entry must be evicted");
+        assert!(store.get("a").is_some());
+        assert!(store.get("c").is_some());
+        // A cap smaller than one instance still keeps the newest load.
+        let tight = InstanceStore::with_capacity(1);
+        tight.insert("only", tiny_instance());
+        assert_eq!(tight.len(), 1);
+        tight.insert("next", tiny_instance());
+        assert_eq!(tight.len(), 1);
+        assert!(tight.get("next").is_some());
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let store = InstanceStore::new();
+        store.insert("a", tiny_instance());
+        assert!(store.get("a").is_some());
+        assert!(store.get("a").is_some());
+        assert!(store.get("ghost").is_none());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
     }
 }

@@ -10,6 +10,22 @@ use mf_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The precedence shape of generated applications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApplicationShape {
+    /// A single linear chain in index order — the shape of every experiment
+    /// in the paper's §7.
+    Chain,
+    /// A random **in-forest**: every non-final task either becomes a root
+    /// (with the given probability) or points to a uniformly random later
+    /// task, so fan-in is mixed and several trees coexist — the general
+    /// application model of the paper's §2 (Figure 1 is a tree).
+    RandomInForest {
+        /// Probability that a task is a root (has no successor).
+        root_probability: f64,
+    },
+}
+
 /// How failure rates are structured across tasks and machines.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailureStructure {
@@ -43,6 +59,8 @@ pub struct GeneratorConfig {
     /// If `true` the platform is homogeneous: one time per type drawn once and
     /// shared by all machines (used for the Theorem 1 experiments).
     pub homogeneous_machines: bool,
+    /// Precedence shape of the generated application.
+    pub shape: ApplicationShape,
 }
 
 impl GeneratorConfig {
@@ -57,6 +75,7 @@ impl GeneratorConfig {
             failure_range: (0.005, 0.02),
             failure_structure: FailureStructure::PerTaskAndMachine,
             homogeneous_machines: false,
+            shape: ApplicationShape::Chain,
         }
     }
 
@@ -72,6 +91,20 @@ impl GeneratorConfig {
     pub fn paper_task_failures(tasks: usize, machines: usize, types: usize) -> Self {
         GeneratorConfig {
             failure_structure: FailureStructure::PerTask,
+            ..Self::paper_standard(tasks, machines, types)
+        }
+    }
+
+    /// A tree-shaped workload: standard times, the Figure-8 failure range
+    /// (`f ∈ [0, 10%]`) and a random in-forest application with ~15% roots —
+    /// the shape the evaluator's forest fast path and the sweep caches are
+    /// exercised on.
+    pub fn standard_in_forest(tasks: usize, machines: usize, types: usize) -> Self {
+        GeneratorConfig {
+            failure_range: (0.0, 0.10),
+            shape: ApplicationShape::RandomInForest {
+                root_probability: 0.15,
+            },
             ..Self::paper_standard(tasks, machines, types)
         }
     }
@@ -123,7 +156,23 @@ impl InstanceGenerator {
             let j = rng.gen_range(0..=i);
             types.swap(i, j);
         }
-        let app = Application::linear_chain(&types)?;
+        let app = match c.shape {
+            ApplicationShape::Chain => Application::linear_chain(&types)?,
+            ApplicationShape::RandomInForest { root_probability } => {
+                // Successors point strictly forward, so the graph is an
+                // in-forest by construction; shared successors give fan-in.
+                let successors: Vec<Option<usize>> = (0..n)
+                    .map(|i| {
+                        if i + 1 == n || rng.gen_bool(root_probability.clamp(0.0, 1.0)) {
+                            None
+                        } else {
+                            Some(rng.gen_range(i + 1..n))
+                        }
+                    })
+                    .collect();
+                Application::from_successors(&types, &successors)?
+            }
+        };
 
         // Processing times per (type, machine).
         let (tmin, tmax) = c.time_range;
@@ -272,6 +321,32 @@ mod tests {
             assert_eq!(groups.len(), 5);
             assert!(groups.iter().all(|g| !g.is_empty()));
         }
+    }
+
+    #[test]
+    fn forest_shape_draws_valid_in_forests() {
+        let generator = InstanceGenerator::new(GeneratorConfig::standard_in_forest(40, 8, 3));
+        let mut saw_multiple_roots = false;
+        let mut saw_fan_in = false;
+        for seed in 0..5 {
+            let inst = generator.generate(seed).unwrap();
+            let app = inst.application();
+            assert_eq!(app.task_count(), 40);
+            assert!(!app.is_linear_chain());
+            // Successors only point forward (in-forest by construction).
+            for task in app.tasks() {
+                if let Some(succ) = app.successor(task.id) {
+                    assert!(succ.index() > task.id.index());
+                }
+            }
+            saw_multiple_roots |= app.sinks().count() > 1;
+            saw_fan_in |= app.tasks().any(|t| app.predecessors(t.id).len() > 1);
+            // Same seed, same instance.
+            let again = generator.generate(seed).unwrap();
+            assert_eq!(format!("{inst:?}"), format!("{again:?}"));
+        }
+        assert!(saw_multiple_roots, "15% roots must yield multi-root draws");
+        assert!(saw_fan_in, "random successors must produce joins");
     }
 
     #[test]

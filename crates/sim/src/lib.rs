@@ -22,5 +22,5 @@ pub mod generator;
 pub mod validate;
 
 pub use factory::{FactorySimulation, SimulationConfig, SimulationReport};
-pub use generator::{FailureStructure, GeneratorConfig, InstanceGenerator};
+pub use generator::{ApplicationShape, FailureStructure, GeneratorConfig, InstanceGenerator};
 pub use validate::{validate_mapping, ValidationReport};

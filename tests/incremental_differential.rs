@@ -8,13 +8,16 @@
 //! be a critical machine of the full evaluation.
 //!
 //! The instance shapes are chosen to drive every internal path: linear chains
-//! small and large (the dense ratio-scaling fast path with its prefix-mass
-//! row cache), and balanced in-trees (the generic exact ancestor walk, with
-//! both the tournament-tree and the linear-scan what-if branches).
+//! small and large (the chain variant of the dense prefix-mass fast path),
+//! balanced in-trees and random in-forests with mixed fan-in and multiple
+//! roots (the forest variant — Euler-tour subtree masses, nested and
+//! disjoint swap pairs, per-range row invalidation), and a machine count
+//! past the dense scan limit (the exact ancestor walk, with both the
+//! tournament-tree and the linear-scan what-if branches).
 
 use microfactory::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Total committed + what-if operations across all instances.
 const TOTAL_STEPS: usize = 10_000;
@@ -25,9 +28,8 @@ fn chain_instance(tasks: usize, machines: usize, types: usize, seed: u64) -> Ins
         .expect("the standard generator produces valid instances")
 }
 
-/// A join-heavy in-tree instance (the generator only draws chains).
-fn tree_instance(arity: usize, depth: usize, machines: usize, rng: &mut StdRng) -> Instance {
-    let app = Application::balanced_in_tree(arity, depth, 3).unwrap();
+/// Random times and failures for any application shape.
+fn dress(app: Application, machines: usize, rng: &mut StdRng) -> Instance {
     let n = app.task_count();
     let platform = Platform::from_type_times(
         machines,
@@ -48,6 +50,23 @@ fn tree_instance(arity: usize, depth: usize, machines: usize, rng: &mut StdRng) 
     )
     .unwrap();
     Instance::new(app, platform, failures).unwrap()
+}
+
+/// A join-heavy in-tree instance (the generator only draws chains).
+fn tree_instance(arity: usize, depth: usize, machines: usize, rng: &mut StdRng) -> Instance {
+    dress(
+        Application::balanced_in_tree(arity, depth, 3).unwrap(),
+        machines,
+        rng,
+    )
+}
+
+/// A random in-forest (mixed fan-in, several roots), drawn from the shared
+/// `standard_in_forest` generator configuration.
+fn forest_instance(tasks: usize, machines: usize, types: usize, rng: &mut StdRng) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::standard_in_forest(tasks, machines, types))
+        .generate(rng.next_u64())
+        .expect("the forest generator produces valid instances")
 }
 
 /// Full-recompute oracle: period within 1e-9 relative, demands bit-identical,
@@ -167,6 +186,17 @@ fn drive(instance: &Instance, start: &Mapping, steps: usize, rng: &mut StdRng, l
     }
 }
 
+/// A start mapping that puts every task on the machine of its type index —
+/// valid for any shape, no heuristic assumptions.
+fn typed_start(instance: &Instance) -> Mapping {
+    let assignment: Vec<usize> = instance
+        .application()
+        .tasks()
+        .map(|t| t.ty.index())
+        .collect();
+    Mapping::from_indices(&assignment, instance.machine_count()).unwrap()
+}
+
 #[test]
 fn ten_thousand_random_moves_and_swaps_agree_with_full_recompute() {
     let mut rng = StdRng::seed_from_u64(0xD1FF_E4E1);
@@ -175,7 +205,7 @@ fn ten_thousand_random_moves_and_swaps_agree_with_full_recompute() {
         (40, 8, 3, 0xBB),
         (100, 20, 5, 0xCC),
     ];
-    let per_shape = TOTAL_STEPS / 5;
+    let per_shape = TOTAL_STEPS / 8;
     for &(n, m, p, seed) in &chains {
         let instance = chain_instance(n, m, p, seed);
         let start = H4wFastestMachine.map(&instance).unwrap();
@@ -187,16 +217,16 @@ fn ten_thousand_random_moves_and_swaps_agree_with_full_recompute() {
             &format!("chain n={n} m={m}"),
         );
     }
-    // In-trees exercise the generic walk: m = 8 favors the scan branch,
-    // m = 64 the tournament-tree update/revert branch.
+    // Balanced in-trees and random in-forests (mixed fan-in, multiple
+    // roots) take the forest variant of the dense fast path.
     for &(arity, depth, m) in &[(2usize, 3usize, 8usize), (3, 3, 64)] {
         let instance = tree_instance(arity, depth, m, &mut rng);
-        let assignment: Vec<usize> = instance
-            .application()
-            .tasks()
-            .map(|t| t.ty.index())
-            .collect();
-        let start = Mapping::from_indices(&assignment, m).unwrap();
+        let start = typed_start(&instance);
+        {
+            let eval = IncrementalEvaluator::new(&instance, &start).unwrap();
+            assert!(eval.is_dense_fast_path());
+            assert!(!instance.application().is_linear_chain());
+        }
         drive(
             &instance,
             &start,
@@ -204,5 +234,38 @@ fn ten_thousand_random_moves_and_swaps_agree_with_full_recompute() {
             &mut rng,
             &format!("tree arity={arity} depth={depth} m={m}"),
         );
+    }
+    for &(n, m, p) in &[(30usize, 6usize, 3usize), (100, 20, 5)] {
+        let instance = forest_instance(n, m, p, &mut rng);
+        let start = typed_start(&instance);
+        {
+            let eval = IncrementalEvaluator::new(&instance, &start).unwrap();
+            assert!(
+                eval.is_dense_fast_path(),
+                "forest n={n} m={m} must ride the dense path"
+            );
+            assert!(!instance.application().is_linear_chain());
+        }
+        drive(
+            &instance,
+            &start,
+            per_shape,
+            &mut rng,
+            &format!("forest n={n} m={m}"),
+        );
+    }
+    // Past the dense scan limit the evaluator falls back to the exact
+    // ancestor walk — keep that path under differential coverage too.
+    {
+        let instance = forest_instance(16, 520, 3, &mut rng);
+        let start = typed_start(&instance);
+        {
+            let eval = IncrementalEvaluator::new(&instance, &start).unwrap();
+            assert!(
+                !eval.is_dense_fast_path(),
+                "m = 520 must exceed the dense scan limit"
+            );
+        }
+        drive(&instance, &start, per_shape, &mut rng, "fallback m=520");
     }
 }
