@@ -15,6 +15,7 @@ pub const SWITCHES: &[&str] = &[
     "high-failure",
     "csv",
     "full",
+    "json",
     "portfolio",
     "stdio",
 ];

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "simulate" => checked(&command, &args, FLAGS_SIMULATE, simulate),
         "serve" => checked(&command, &args, FLAGS_SERVE, serve),
         "client" => checked(&command, &args, FLAGS_CLIENT, client),
+        "stats" => checked(&command, &args, FLAGS_STATS, stats),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -61,8 +62,9 @@ USAGE:
                         [--threads N] INSTANCE
   microfactory evaluate INSTANCE MAPPING
   microfactory simulate [--products N] [--seed S] INSTANCE MAPPING
-  microfactory serve    [--port P] [--threads N] [--stdio]
+  microfactory serve    [--port P] [--threads N] [--workers W] [--stdio]
   microfactory client   [--host H] --port P
+  microfactory stats    [--host H] --port P [--json]
 
 COMMANDS:
   generate   print a random instance (paper's experimental distribution)
@@ -72,11 +74,15 @@ COMMANDS:
              workers; deterministic for any thread count)
   evaluate   print the period, throughput and per-machine loads of a mapping
   simulate   run the discrete-event simulation of a mapping
-  serve      run the long-lived mf-proto v1 solve/evaluate server: resident
-             named instances, session whatif probes, shared solver pool
-             (--port 0 picks a free port; --stdio serves one pipe session)
+  serve      run the long-lived mf-proto solve/evaluate server: resident
+             named instances, session whatif probes, shared solver pool,
+             keyed evaluate cache (--port 0 picks a free port; --stdio
+             serves one pipe session; --workers W shards the store across
+             W engines behind a router — byte-identical to --workers 1)
   client     connect to a server and run the script on stdin (load/evaluate
              take client-side file paths; everything else is raw protocol)
+  stats      fetch a running server's counters (one `key value` per line);
+             --json emits the machine-readable mf-stats v1 report instead
 
 HEURISTICS: h1, h2, h3, h4, h4w, h4f, plus the search strategies over any of
             them — h6 (annealed climb), sd (steepest descent), ts (tabu):
@@ -88,8 +94,9 @@ const FLAGS_GENERATE: &[&str] = &["tasks", "machines", "types", "seed", "high-fa
 const FLAGS_SOLVE: &[&str] = &["heuristic", "exact", "portfolio", "all", "threads"];
 const FLAGS_EVALUATE: &[&str] = &[];
 const FLAGS_SIMULATE: &[&str] = &["products", "seed"];
-const FLAGS_SERVE: &[&str] = &["port", "threads", "stdio"];
+const FLAGS_SERVE: &[&str] = &["port", "threads", "workers", "stdio"];
 const FLAGS_CLIENT: &[&str] = &["host", "port"];
+const FLAGS_STATS: &[&str] = &["host", "port", "json"];
 
 /// Runs a subcommand after rejecting unknown flags.
 fn checked(
@@ -260,12 +267,20 @@ fn evaluate(args: &Arguments) -> std::result::Result<(), String> {
 
 fn serve(args: &Arguments) -> std::result::Result<(), String> {
     let threads = args.usize_flag("threads").unwrap_or(0);
+    let workers = args.usize_flag("workers").unwrap_or(1);
     if args.has_flag("stdio") {
-        let engine = mf_server::Engine::new(threads);
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        mf_server::serve_stdio(&engine, stdin.lock(), stdout.lock())
-            .map_err(|e| format!("stdio session failed: {e}"))
+        // Router answers are pinned byte-identical to a single engine for
+        // any worker count, so the fork here is invisible on the wire.
+        if workers > 1 {
+            let router = mf_server::Router::new(workers, threads);
+            mf_server::serve_stdio(&router, stdin.lock(), stdout.lock())
+        } else {
+            let engine = mf_server::Engine::new(threads);
+            mf_server::serve_stdio(&engine, stdin.lock(), stdout.lock())
+        }
+        .map_err(|e| format!("stdio session failed: {e}"))
     } else {
         let port = match args.string_flag("port") {
             Some(raw) => raw
@@ -273,67 +288,135 @@ fn serve(args: &Arguments) -> std::result::Result<(), String> {
                 .map_err(|_| format!("invalid --port `{raw}` (expected 0..=65535)"))?,
             None => 0,
         };
-        let server = mf_server::Server::bind(("127.0.0.1", port), threads)
-            .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
-        let addr = server.local_addr().map_err(|e| e.to_string())?;
-        eprintln!(
-            "mf-server listening on {addr} ({} solver thread(s)); send `shutdown` to stop",
-            server.engine().runner().threads()
-        );
-        server.run().map_err(|e| format!("server loop failed: {e}"))
+        if workers > 1 {
+            let server = mf_server::Server::bind_router(("127.0.0.1", port), workers, threads)
+                .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            eprintln!(
+                "mf-server listening on {addr} ({} worker shard(s)); send `shutdown` to stop",
+                server.router().workers()
+            );
+            server.run().map_err(|e| format!("server loop failed: {e}"))
+        } else {
+            let server = mf_server::Server::bind(("127.0.0.1", port), threads)
+                .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            eprintln!(
+                "mf-server listening on {addr} ({} solver thread(s)); send `shutdown` to stop",
+                server.engine().runner().threads()
+            );
+            server.run().map_err(|e| format!("server loop failed: {e}"))
+        }
     }
 }
 
-/// Translates one client-script line into a protocol request. `load` and
-/// `evaluate` take a client-side file path whose contents become the inline
-/// payload; every other line is raw `mf-proto v1`.
-fn client_request(line: &str) -> std::result::Result<mf_server::Request, String> {
-    let tokens: Vec<&str> = line.split_whitespace().collect();
-    match tokens.as_slice() {
-        ["load", name, path] => Ok(mf_server::Request::Load {
-            name: name.to_string(),
-            payload: mf_server::text_payload(
-                &std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?,
-            ),
-        }),
-        ["evaluate", name, path] => Ok(mf_server::Request::Evaluate {
-            name: name.to_string(),
-            payload: mf_server::text_payload(
-                &std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?,
-            ),
-        }),
-        _ => mf_server::request_from_text(&format!("{line}\n"))
-            .map_err(|e| format!("bad request `{line}`: {e}")),
-    }
-}
-
-fn client(args: &Arguments) -> std::result::Result<(), String> {
+fn connect_client(args: &Arguments) -> std::result::Result<mf_server::Client, String> {
     let host = args
         .string_flag("host")
         .unwrap_or_else(|| "127.0.0.1".to_string());
     let port = args.usize_flag("port").ok_or("missing --port")?;
     let port = u16::try_from(port).map_err(|_| format!("invalid --port `{port}`"))?;
-    let mut client = mf_server::Client::connect((host.as_str(), port))
-        .map_err(|e| format!("cannot connect to {host}:{port}: {e}"))?;
+    mf_server::Client::connect((host.as_str(), port))
+        .map_err(|e| format!("cannot connect to {host}:{port}: {e}"))
+}
+
+fn stats(args: &Arguments) -> std::result::Result<(), String> {
+    let mut client = connect_client(args)?;
+    client
+        .hello(mf_server::CURRENT_VERSION)
+        .map_err(|e| format!("version negotiation failed: {e}"))?;
+    if args.has_flag("json") {
+        let report = client
+            .status_export()
+            .map_err(|e| format!("status-export failed: {e}"))?;
+        print!("{report}");
+    } else {
+        let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+        for (key, value) in stats {
+            println!("{key} {value}");
+        }
+    }
+    Ok(())
+}
+
+/// Translates one client-script line into a structured request where the
+/// script syntax diverges from the wire: `load`/`evaluate` take a
+/// client-side file path whose contents become the inline payload, and a
+/// `batch N` head swallows its next `N` script lines as the envelope items
+/// (so the envelope ships atomically instead of deadlocking a line-by-line
+/// loop). Returns `None` for plain single-line requests — those go out
+/// verbatim through [`mf_server::Client::send_line`].
+fn script_request(
+    head: &str,
+    lines: &[&str],
+    next: &mut usize,
+) -> std::result::Result<Option<mf_server::Request>, String> {
+    let read_payload = |path: &str| {
+        std::fs::read_to_string(path)
+            .map(|text| mf_server::text_payload(&text))
+            .map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
+    let tokens: Vec<&str> = head.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["load", name, path] => Ok(Some(mf_server::Request::Load {
+            name: name.to_string(),
+            payload: read_payload(path)?,
+        })),
+        ["evaluate", name, path] => Ok(Some(mf_server::Request::Evaluate {
+            name: name.to_string(),
+            payload: read_payload(path)?,
+        })),
+        ["batch", count] => {
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("bad batch count `{count}`"))?;
+            let mut items = Vec::with_capacity(count);
+            while items.len() < count {
+                let item = lines
+                    .get(*next)
+                    .ok_or("script ends inside a batch envelope")?
+                    .trim();
+                *next += 1;
+                if item.is_empty() || item.starts_with('#') {
+                    continue;
+                }
+                let request = match script_request(item, lines, next)? {
+                    Some(request) => request,
+                    None => mf_server::request_from_text(&format!("{item}\n"))
+                        .map_err(|e| format!("bad request `{item}`: {e}"))?,
+                };
+                items.push(request);
+            }
+            Ok(Some(mf_server::Request::Batch(items)))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn client(args: &Arguments) -> std::result::Result<(), String> {
+    let mut client = connect_client(args)?;
     let stdin = std::io::stdin();
     let mut script = String::new();
     std::io::Read::read_to_string(&mut stdin.lock(), &mut script)
         .map_err(|e| format!("cannot read script from stdin: {e}"))?;
-    for line in script.lines() {
-        let line = line.trim();
+    let lines: Vec<&str> = script.lines().collect();
+    let mut next = 0;
+    while next < lines.len() {
+        let line = lines[next].trim();
+        next += 1;
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let request = client_request(line)?;
-        let shutdown = matches!(request, mf_server::Request::Shutdown);
-        let response = client
-            .request(&request)
-            .map_err(|e| format!("request failed: {e}"))?;
+        let response = match script_request(line, &lines, &mut next)? {
+            Some(request) => client.request(&request),
+            None => client.send_line(line),
+        }
+        .map_err(|e| format!("request failed: {e}"))?;
         print!(
             "{}",
             mf_server::response_to_text(&response).map_err(|e| e.to_string())?
         );
-        if shutdown {
+        if matches!(response, mf_server::Response::Shutdown) {
             break;
         }
     }

@@ -139,6 +139,30 @@ fn server_solve_matches_the_one_shot_cli_bit_for_bit() {
         );
     }
 
+    // The very same script through a sharded `--workers 2` server binary is
+    // byte-identical — the router tier never forks the transcript.
+    let (sharded, _) = run(&["serve", "--stdio", "--workers", "2"], Some(&script));
+    assert_eq!(
+        sharded, transcript,
+        "--workers 2 changed the serve transcript"
+    );
+
+    // A v2 session with a batch envelope also agrees across worker counts,
+    // and the second evaluate of the solved mapping is a keyed-cache hit.
+    let mapping_lines = cli_heuristic.lines().count();
+    let v2_script = format!(
+        "hello mf-proto v2\nload inst {payload_lines}\n{instance_text}\
+         batch 2\nsolve inst heuristic SD-H2\nevaluate inst {mapping_lines}\n{cli_heuristic}\
+         stats\nshutdown\n"
+    );
+    let (single, _) = run(&["serve", "--stdio"], Some(&v2_script));
+    let (routed, _) = run(&["serve", "--stdio", "--workers", "2"], Some(&v2_script));
+    assert_eq!(routed, single, "--workers 2 changed the v2 transcript");
+    assert!(
+        single.contains("stat evaluate-cache-hits 1"),
+        "the batched evaluate of the solved mapping must hit the cache:\n{single}"
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

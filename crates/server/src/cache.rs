@@ -1,0 +1,253 @@
+//! The keyed evaluate cache: (store generation, mapping fingerprint) →
+//! period breakdown + pristine evaluator snapshot.
+//!
+//! Dashboards re-`evaluate` the same few mappings against the same instances
+//! over and over; each of those evaluations rebuilds an
+//! [`IncrementalEvaluator`](mf_core::IncrementalEvaluator) from scratch —
+//! `O(n log m)` demand/load work that produces a bit-identical answer every
+//! time. This cache keys a finished evaluation by the instance's
+//! **load generation** (process-unique, bumped on every `load`, so a reload
+//! invalidates all cached entries for the name automatically) and the
+//! mapping's content [`fingerprint`](mf_core::Mapping::fingerprint), and
+//! stores the full answer: period, critical machine, per-machine loads,
+//! **and** the pristine post-build [`EvaluatorSnapshot`] — so a cache hit
+//! still installs session-resident what-if state, exactly as a fresh build
+//! would, without running the evaluator.
+//!
+//! Entries are evicted least-recently-used past [`EVALUATE_CACHE_CAP`], and
+//! hits/misses/evictions are counted for `stats` (v2) and `status-export`.
+
+use mf_core::EvaluatorSnapshot;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Most cached evaluations kept per engine; least-recently-used entries are
+/// dropped past this (an entry holds the instance-sized snapshot vectors, so
+/// the cap bounds memory at roughly `cap × instance bytes`).
+pub const EVALUATE_CACHE_CAP: usize = 128;
+
+/// One cached evaluation: the full `evaluate` answer plus the pristine
+/// snapshot a hit re-installs as session-resident what-if state.
+#[derive(Debug, Clone)]
+pub struct CachedEvaluation {
+    /// System period (ms), bit-identical to the fresh evaluation.
+    pub period: f64,
+    /// Critical machine index.
+    pub critical: usize,
+    /// Per-machine loads (ms), indexed by machine.
+    pub loads: Vec<f64>,
+    /// The evaluator state exactly as a fresh build commits it.
+    pub snapshot: EvaluatorSnapshot,
+}
+
+struct CacheEntry {
+    /// Store name the generation belongs to (for purge-by-name).
+    name: String,
+    value: CachedEvaluation,
+    /// Recency stamp for the LRU cap.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    entries: HashMap<(u64, u64), CacheEntry>,
+    clock: u64,
+}
+
+/// A keyed cache of finished evaluations, shared by all sessions of one
+/// engine. Interior mutability (one mutex around the map, atomics for the
+/// counters) keeps the engine's `&self` dispatch signature.
+pub struct EvaluateCache {
+    inner: Mutex<CacheInner>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for EvaluateCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvaluateCache {
+    /// An empty cache with the default [`EVALUATE_CACHE_CAP`].
+    pub fn new() -> Self {
+        Self::with_cap(EVALUATE_CACHE_CAP)
+    }
+
+    /// An empty cache holding at most `cap` entries (`0` disables caching).
+    pub fn with_cap(cap: usize) -> Self {
+        EvaluateCache {
+            inner: Mutex::new(CacheInner::default()),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a finished evaluation; counts a hit or a miss either way.
+    pub fn lookup(&self, generation: u64, fingerprint: u64) -> Option<CachedEvaluation> {
+        let mut inner = self.inner.lock().expect("evaluate cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(&(generation, fingerprint)) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a finished evaluation, evicting the least-recently-used entry
+    /// past the cap.
+    pub fn insert(&self, name: &str, generation: u64, fingerprint: u64, value: CachedEvaluation) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("evaluate cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.entries.contains_key(&(generation, fingerprint))
+            && inner.entries.len() >= self.cap
+        {
+            if let Some(coldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| *key)
+            {
+                inner.entries.remove(&coldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.entries.insert(
+            (generation, fingerprint),
+            CacheEntry {
+                name: name.to_string(),
+                value,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Drops every entry of one store name. Generations are process-unique,
+    /// so stale entries could never hit again anyway — purging on
+    /// `load`/`unload` just frees their memory eagerly instead of waiting
+    /// for the LRU cap to age them out.
+    pub fn purge(&self, name: &str) {
+        let mut inner = self.inner.lock().expect("evaluate cache poisoned");
+        inner.entries.retain(|_, entry| entry.name != name);
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("evaluate cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// `true` when no evaluation is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by the LRU cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_core::prelude::*;
+    use mf_core::textio;
+    use mf_sim::{GeneratorConfig, InstanceGenerator};
+
+    fn snapshot_for(seed: u64) -> (f64, EvaluatorSnapshot) {
+        let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(6, 3, 2))
+            .generate(seed)
+            .unwrap();
+        let text = textio::instance_to_text(&instance);
+        let instance = textio::instance_from_text(&text).unwrap();
+        let mapping = mf_heuristics::paper_heuristic("H4w", 1)
+            .unwrap()
+            .map(&instance)
+            .unwrap();
+        let evaluator = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        (evaluator.period().value(), evaluator.into_snapshot())
+    }
+
+    fn cached(period: f64, snapshot: EvaluatorSnapshot) -> CachedEvaluation {
+        CachedEvaluation {
+            period,
+            critical: 0,
+            loads: vec![period],
+            snapshot,
+        }
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses_and_lru_evicts() {
+        let cache = EvaluateCache::with_cap(2);
+        let (period, snapshot) = snapshot_for(1);
+        assert!(cache.lookup(1, 10).is_none());
+        cache.insert("a", 1, 10, cached(period, snapshot.clone()));
+        cache.insert("a", 1, 11, cached(period, snapshot.clone()));
+        let hit = cache.lookup(1, 10).expect("cached");
+        assert_eq!(hit.period.to_bits(), period.to_bits());
+        // Entry (1,11) is now the coldest; a third insert evicts it.
+        cache.insert("b", 2, 12, cached(period, snapshot.clone()));
+        assert!(cache.lookup(1, 11).is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup(1, 10).is_some());
+        assert!(cache.lookup(2, 12).is_some());
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn purge_drops_only_the_named_instances_entries() {
+        let cache = EvaluateCache::new();
+        let (period, snapshot) = snapshot_for(1);
+        cache.insert("a", 1, 10, cached(period, snapshot.clone()));
+        cache.insert("a", 3, 11, cached(period, snapshot.clone()));
+        cache.insert("b", 2, 10, cached(period, snapshot));
+        cache.purge("a");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(2, 10).is_some());
+        assert!(cache.lookup(1, 10).is_none());
+    }
+
+    #[test]
+    fn zero_cap_disables_caching() {
+        let cache = EvaluateCache::with_cap(0);
+        let (period, snapshot) = snapshot_for(1);
+        cache.insert("a", 1, 10, cached(period, snapshot));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(1, 10).is_none());
+        assert_eq!(cache.evictions(), 0);
+    }
+}

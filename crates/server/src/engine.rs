@@ -19,7 +19,10 @@
 //! `serve_equivalence` integration test pins this against the real CLI
 //! binary.
 
-use crate::proto::{ErrorCode, InstanceInfo, Probe, Request, Response, SolveMethod};
+use crate::cache::{CachedEvaluation, EvaluateCache};
+use crate::errors::EngineError;
+use crate::proto::{InstanceInfo, Probe, ProtoVersion, Request, Response, SolveMethod};
+use crate::stats::StatsReport;
 use crate::store::{InstanceStore, StoredInstance};
 use mf_core::prelude::*;
 use mf_core::textio;
@@ -52,6 +55,9 @@ struct Counters {
     sessions: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// `IncrementalEvaluator::new` calls — what the keyed evaluate cache
+    /// saves; a cache hit serves an `evaluate` without bumping this.
+    builds: AtomicU64,
 }
 
 impl Counters {
@@ -70,12 +76,52 @@ struct ResidentState {
     last_used: u64,
 }
 
-/// Per-connection state: the resident evaluator snapshots of this session,
-/// capped at [`SESSION_SNAPSHOT_CAP`] by recency.
+/// Per-connection state: the negotiated protocol version plus the resident
+/// evaluator snapshots of this session, capped at [`SESSION_SNAPSHOT_CAP`]
+/// by recency.
 #[derive(Default)]
 pub struct Session {
     resident: HashMap<String, ResidentState>,
     clock: u64,
+    version: ProtoVersion,
+}
+
+impl Session {
+    /// The protocol version this session speaks (v1 until a `hello`
+    /// upgrades it).
+    pub fn version(&self) -> ProtoVersion {
+        self.version
+    }
+}
+
+/// Negotiates a `hello` against a session's version slot — the one
+/// handshake implementation the engine and the router share, so their
+/// responses are byte-identical.
+pub(crate) fn hello_response(requested: u32, slot: &mut ProtoVersion) -> Response {
+    match ProtoVersion::negotiate(requested) {
+        Some(version) => {
+            *slot = version;
+            Response::Hello { version }
+        }
+        None => EngineError::UnsupportedVersion { requested }.into_response(),
+    }
+}
+
+/// Rejects a v2-only command on a v1 session with the stable
+/// version-required error (shared by the engine and the router).
+pub(crate) fn gate_v2(
+    version: ProtoVersion,
+    command: &'static str,
+) -> std::result::Result<(), Response> {
+    if version >= ProtoVersion::V2 {
+        Ok(())
+    } else {
+        Err(EngineError::VersionRequired {
+            command,
+            needs: ProtoVersion::V2,
+        }
+        .into_response())
+    }
 }
 
 /// The shared dispatch engine of a server process.
@@ -83,6 +129,7 @@ pub struct Engine {
     store: InstanceStore,
     runner: BatchRunner,
     counters: Counters,
+    cache: EvaluateCache,
 }
 
 impl Engine {
@@ -93,6 +140,7 @@ impl Engine {
             store: InstanceStore::new(),
             runner: BatchRunner::new(threads),
             counters: Counters::default(),
+            cache: EvaluateCache::new(),
         }
     }
 
@@ -104,6 +152,11 @@ impl Engine {
     /// The shared solver pool.
     pub fn runner(&self) -> &BatchRunner {
         &self.runner
+    }
+
+    /// The keyed evaluate cache.
+    pub fn cache(&self) -> &EvaluateCache {
+        &self.cache
     }
 
     /// Starts a session (counted in `stats`).
@@ -125,6 +178,20 @@ impl Engine {
 
     fn handle(&self, session: &mut Session, request: Request) -> Response {
         match request {
+            Request::Hello { requested } => hello_response(requested, &mut session.version),
+            Request::Batch(items) => match gate_v2(session.version, "batch") {
+                Ok(()) => Response::Batch(
+                    items
+                        .into_iter()
+                        .map(|item| self.dispatch_batch_item(session, item))
+                        .collect(),
+                ),
+                Err(response) => response,
+            },
+            Request::StatusExport => match gate_v2(session.version, "status-export") {
+                Ok(()) => Response::StatusExport(self.status_report().json_lines()),
+                Err(response) => response,
+            },
             Request::Load { name, payload } => self.load(session, &name, &payload),
             Request::Unload { name } => self.unload(session, &name),
             Request::List => Response::List(
@@ -142,21 +209,50 @@ impl Engine {
             Request::Evaluate { name, payload } => self.evaluate(session, &name, &payload),
             Request::WhatIf { name, probe } => self.what_if(session, &name, probe),
             Request::Solve { name, method, seed } => self.solve(session, &name, &method, seed),
-            Request::Stats => Response::Stats(self.stats()),
+            Request::Stats => Response::Stats(self.stats_for(session.version)),
             Request::Shutdown => Response::Shutdown,
         }
+    }
+
+    /// Dispatches one command riding a `batch` envelope. Every item counts
+    /// as a request (the envelope itself counted separately), non-instance
+    /// commands answer the stable not-batchable error, and error answers
+    /// count as errors — so a batched script moves the counters exactly as
+    /// the same commands sent one per round trip.
+    pub(crate) fn dispatch_batch_item(&self, session: &mut Session, item: Request) -> Response {
+        Counters::bump(&self.counters.requests);
+        let response = if item.instance_name().is_none() {
+            EngineError::NotBatchable {
+                command: item.keyword(),
+            }
+            .into_response()
+        } else {
+            self.handle(session, item)
+        };
+        if matches!(response, Response::Error { .. }) {
+            Counters::bump(&self.counters.errors);
+        }
+        response
     }
 
     fn load(&self, session: &mut Session, name: &str, payload: &[String]) -> Response {
         let text = payload.join("\n");
         let instance = match textio::instance_from_text(&text) {
             Ok(instance) => instance,
-            Err(e) => return Response::error(ErrorCode::InvalidPayload, one_line(e)),
+            Err(e) => {
+                return EngineError::InvalidPayload {
+                    detail: one_line(e),
+                }
+                .into_response()
+            }
         };
         let stored = self.store.insert(name, instance);
         // A replacement invalidates this session's snapshot immediately;
-        // other sessions' snapshots die lazily via the generation check.
+        // other sessions' snapshots die lazily via the generation check, and
+        // cached evaluations of older generations can never hit again —
+        // purging just frees them eagerly.
         session.resident.remove(name);
+        self.cache.purge(name);
         Counters::bump(&self.counters.loads);
         Response::Loaded {
             name: name.to_string(),
@@ -169,15 +265,16 @@ impl Engine {
     fn unload(&self, session: &mut Session, name: &str) -> Response {
         if self.store.remove(name) {
             session.resident.remove(name);
+            self.cache.purge(name);
             Counters::bump(&self.counters.unloads);
             Response::Unloaded {
                 name: name.to_string(),
             }
         } else {
-            Response::error(
-                ErrorCode::UnknownInstance,
-                format!("no instance named `{name}` is loaded"),
-            )
+            EngineError::UnknownInstance {
+                name: name.to_string(),
+            }
+            .into_response()
         }
     }
 
@@ -215,11 +312,34 @@ impl Engine {
 
     fn fetch(&self, name: &str) -> std::result::Result<std::sync::Arc<StoredInstance>, Response> {
         self.store.get(name).ok_or_else(|| {
-            Response::error(
-                ErrorCode::UnknownInstance,
-                format!("no instance named `{name}` is loaded"),
-            )
+            EngineError::UnknownInstance {
+                name: name.to_string(),
+            }
+            .into_response()
         })
+    }
+
+    /// Builds the evaluator for `(instance, mapping)` — the committed state
+    /// `evaluate` answers from — and parks the full answer in the keyed
+    /// cache under `(generation, fingerprint)`.
+    fn build_evaluation(
+        &self,
+        name: &str,
+        stored: &StoredInstance,
+        mapping: &Mapping,
+        fingerprint: u64,
+    ) -> std::result::Result<CachedEvaluation, String> {
+        let evaluator = IncrementalEvaluator::new(&stored.instance, mapping).map_err(one_line)?;
+        Counters::bump(&self.counters.builds);
+        let cached = CachedEvaluation {
+            period: evaluator.period().value(),
+            critical: evaluator.critical_machine().index(),
+            loads: evaluator.loads().to_vec(),
+            snapshot: evaluator.into_snapshot(),
+        };
+        self.cache
+            .insert(name, stored.generation, fingerprint, cached.clone());
+        Ok(cached)
     }
 
     fn evaluate(&self, session: &mut Session, name: &str, payload: &[String]) -> Response {
@@ -230,32 +350,43 @@ impl Engine {
         let text = payload.join("\n");
         let mapping = match textio::mapping_from_text(&text) {
             Ok(mapping) => mapping,
-            Err(e) => return Response::error(ErrorCode::InvalidPayload, one_line(e)),
+            Err(e) => {
+                return EngineError::InvalidPayload {
+                    detail: one_line(e),
+                }
+                .into_response()
+            }
         };
         if let Err(e) = stored
             .instance
             .validate_mapping(&mapping, MappingKind::General)
         {
-            return Response::error(
-                ErrorCode::InvalidPayload,
-                format!("mapping does not fit the instance: {}", one_line(e)),
-            );
+            return EngineError::MappingMismatch {
+                detail: one_line(e),
+            }
+            .into_response();
         }
         // The evaluator's initial state is computed with the exact operations
         // of a full `machine_periods` evaluation, so the response is
         // bit-identical to the one-shot CLI path — and the committed state
         // doubles as this session's resident snapshot for `whatif` probes.
-        let evaluator = match IncrementalEvaluator::new(&stored.instance, &mapping) {
-            Ok(evaluator) => evaluator,
-            Err(e) => return Response::error(ErrorCode::InvalidPayload, one_line(e)),
+        // A keyed-cache hit serves the identical answer (and the identical
+        // pristine snapshot) without building the evaluator at all.
+        let fingerprint = mapping.fingerprint();
+        let evaluation = match self.cache.lookup(stored.generation, fingerprint) {
+            Some(hit) => hit,
+            None => match self.build_evaluation(name, &stored, &mapping, fingerprint) {
+                Ok(built) => built,
+                Err(detail) => return EngineError::InvalidPayload { detail }.into_response(),
+            },
         };
         Counters::bump(&self.counters.evaluations);
         let response = Response::Evaluated {
-            period: evaluator.period().value(),
-            critical: evaluator.critical_machine().index(),
-            loads: evaluator.loads().to_vec(),
+            period: evaluation.period,
+            critical: evaluation.critical,
+            loads: evaluation.loads,
         };
-        self.remember(session, name, stored.generation, evaluator.into_snapshot());
+        self.remember(session, name, stored.generation, evaluation.snapshot);
         response
     }
 
@@ -264,10 +395,10 @@ impl Engine {
             Ok(stored) => stored,
             Err(response) => return response,
         };
-        let stale = Response::error(
-            ErrorCode::NoResidentState,
-            format!("no resident evaluator state for `{name}` — run `evaluate` or `solve` first"),
-        );
+        let stale = EngineError::NoResidentState {
+            name: name.to_string(),
+        }
+        .into_response();
         let Some(state) = session.resident.remove(name) else {
             return stale;
         };
@@ -278,7 +409,12 @@ impl Engine {
         Counters::bump(&self.counters.snapshot_hits);
         let mut evaluator = match IncrementalEvaluator::resume(&stored.instance, state.snapshot) {
             Ok(evaluator) => evaluator,
-            Err(e) => return Response::error(ErrorCode::BadRequest, one_line(e)),
+            Err(e) => {
+                return EngineError::BadRequest {
+                    detail: one_line(e),
+                }
+                .into_response()
+            }
         };
         Counters::bump(&self.counters.resumes);
         let evaluation = match probe {
@@ -297,7 +433,10 @@ impl Engine {
                     critical: evaluation.critical_machine.index(),
                 }
             }
-            Err(e) => Response::error(ErrorCode::BadRequest, one_line(e)),
+            Err(e) => EngineError::BadRequest {
+                detail: one_line(e),
+            }
+            .into_response(),
         };
         self.remember(session, name, stored.generation, evaluator.into_snapshot());
         response
@@ -318,13 +457,10 @@ impl Engine {
         let (label, mapping) = match method {
             SolveMethod::Heuristic(requested) => {
                 let Some(canonical) = mf_heuristics::canonical_registry_name(requested) else {
-                    return Response::error(
-                        ErrorCode::BadRequest,
-                        format!(
-                            "unknown heuristic `{requested}` (expected one of {})",
-                            mf_heuristics::registry_names().join(", ")
-                        ),
-                    );
+                    return EngineError::UnknownHeuristic {
+                        requested: requested.clone(),
+                    }
+                    .into_response();
                 };
                 let heuristic = mf_heuristics::paper_heuristic(
                     &canonical,
@@ -337,10 +473,11 @@ impl Engine {
                         (canonical, mapping)
                     }
                     Err(e) => {
-                        return Response::error(
-                            ErrorCode::Infeasible,
-                            format!("{canonical} failed: {}", one_line(e)),
-                        )
+                        return EngineError::SolverFailed {
+                            label: canonical,
+                            detail: one_line(e),
+                        }
+                        .into_response()
                     }
                 }
             }
@@ -353,10 +490,7 @@ impl Engine {
                 let (Some(winner), Some(mapping)) =
                     (outcome.winner_label(), outcome.best_mapping.clone())
                 else {
-                    return Response::error(
-                        ErrorCode::Infeasible,
-                        "no portfolio cell produced a mapping (more task types than machines?)",
-                    );
+                    return EngineError::PortfolioEmpty.into_response();
                 };
                 Counters::bump(&self.counters.solves_portfolio);
                 (winner.to_string(), mapping)
@@ -365,18 +499,55 @@ impl Engine {
         // One evaluator build serves both the response period (its initial
         // state is bit-identical to the full `machine_periods` walk the CLI
         // does) and this session's resident state, so a client can
-        // immediately probe `whatif` moves around the solution.
-        let evaluator = match IncrementalEvaluator::new(instance, &mapping) {
-            Ok(evaluator) => evaluator,
-            Err(e) => return Response::error(ErrorCode::Infeasible, one_line(e)),
+        // immediately probe `whatif` moves around the solution. The build is
+        // keyed-cached too: re-solving to a mapping this engine has already
+        // evaluated (or an `evaluate` of a solved mapping) is a cache hit.
+        let fingerprint = mapping.fingerprint();
+        let evaluation = match self.cache.lookup(stored.generation, fingerprint) {
+            Some(hit) => hit,
+            None => match self.build_evaluation(name, &stored, &mapping, fingerprint) {
+                Ok(built) => built,
+                Err(detail) => return EngineError::Infeasible { detail }.into_response(),
+            },
         };
-        let period = evaluator.period().value();
-        self.remember(session, name, stored.generation, evaluator.into_snapshot());
+        let period = evaluation.period;
+        self.remember(session, name, stored.generation, evaluation.snapshot);
         Response::Solved {
             label,
             period,
             machines: mapping.machine_count(),
             assignment: mapping.as_slice().iter().map(|u| u.index()).collect(),
+        }
+    }
+
+    /// The statistics counters a session of `version` sees, in fixed
+    /// presentation order: the 16 v1 keys, plus — on v2 sessions — the
+    /// evaluator-build and keyed evaluate-cache counters. Every key is a
+    /// plain sum over the work done, so a router can aggregate worker lists
+    /// index-aligned and stay byte-identical to a single-process server.
+    pub fn stats_for(&self, version: ProtoVersion) -> Vec<(String, u64)> {
+        let mut entries = self.stats();
+        if version >= ProtoVersion::V2 {
+            let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+            entries.push(("evaluator-builds".to_string(), read(&self.counters.builds)));
+            entries.push(("evaluate-cache-hits".to_string(), self.cache.hits()));
+            entries.push(("evaluate-cache-misses".to_string(), self.cache.misses()));
+            entries.push((
+                "evaluate-cache-evictions".to_string(),
+                self.cache.evictions(),
+            ));
+        }
+        entries
+    }
+
+    /// The full machine-readable report: the v2 counters as both the global
+    /// and the single worker's list (a one-engine server **is** its only
+    /// worker).
+    pub fn status_report(&self) -> StatsReport {
+        let stats = self.stats_for(ProtoVersion::V2);
+        StatsReport {
+            global: stats.clone(),
+            workers: vec![stats],
         }
     }
 
@@ -420,7 +591,7 @@ fn one_line(e: impl std::fmt::Display) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::text_payload;
+    use crate::proto::{text_payload, ErrorCode};
     use mf_heuristics::{H4wFastestMachine, Heuristic};
     use mf_sim::{GeneratorConfig, InstanceGenerator};
 
@@ -821,5 +992,202 @@ mod tests {
         assert_eq!(default_seed, explicit_default);
         assert_eq!(reseeded, reseeded_again);
         assert_ne!(default_seed, reseeded, "H1 must react to the seed");
+    }
+    fn stat_of(stats: &[(String, u64)], key: &str) -> u64 {
+        stats
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("no stat `{key}`"))
+            .1
+    }
+
+    fn v2_stats(engine: &Engine, session: &mut Session) -> Vec<(String, u64)> {
+        match engine.dispatch(session, Request::Stats) {
+            Response::Stats(stats) => stats,
+            other => panic!("stats failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_evaluates_hit_the_keyed_cache_without_rebuilding() {
+        let engine = Engine::new(1);
+        let mut session = engine.begin_session();
+        assert!(matches!(
+            engine.dispatch(&mut session, Request::Hello { requested: 2 }),
+            Response::Hello {
+                version: ProtoVersion::V2
+            }
+        ));
+        let text = instance_text(10, 4, 2, 5);
+        load(&engine, &mut session, "a", &text);
+        let instance = textio::instance_from_text(&text).unwrap();
+        let mapping = H4wFastestMachine.map(&instance).unwrap();
+        let evaluate = |session: &mut Session| match engine.dispatch(
+            session,
+            Request::Evaluate {
+                name: "a".into(),
+                payload: text_payload(&textio::mapping_to_text(&mapping)),
+            },
+        ) {
+            Response::Evaluated {
+                period,
+                critical,
+                loads,
+            } => (period.to_bits(), critical, loads),
+            other => panic!("evaluate failed: {other:?}"),
+        };
+
+        let cold = evaluate(&mut session);
+        let stats = v2_stats(&engine, &mut session);
+        assert_eq!(stat_of(&stats, "evaluator-builds"), 1);
+        assert_eq!(stat_of(&stats, "evaluate-cache-misses"), 1);
+        assert_eq!(stat_of(&stats, "evaluate-cache-hits"), 0);
+
+        // Second evaluate of the same (instance generation, mapping): served
+        // from the cache — no evaluator build — and bit-identical.
+        let warm = evaluate(&mut session);
+        assert_eq!(warm, cold);
+        let stats = v2_stats(&engine, &mut session);
+        assert_eq!(stat_of(&stats, "evaluator-builds"), 1, "hit must not build");
+        assert_eq!(stat_of(&stats, "evaluate-cache-hits"), 1);
+        assert_eq!(
+            stat_of(&stats, "evaluations"),
+            2,
+            "hits still count as evaluations"
+        );
+
+        // The cached snapshot backs `whatif` exactly like a fresh build.
+        let Response::WhatIf { period, critical } = engine.dispatch(
+            &mut session,
+            Request::WhatIf {
+                name: "a".into(),
+                probe: Probe::Swap { a: 0, b: 1 },
+            },
+        ) else {
+            panic!("whatif failed");
+        };
+        let mut fresh = IncrementalEvaluator::new(&instance, &mapping).unwrap();
+        let expected = fresh.evaluate_swap(TaskId(0), TaskId(1)).unwrap();
+        assert_eq!(period.to_bits(), expected.period.value().to_bits());
+        assert_eq!(critical, expected.critical_machine.index());
+
+        // Reloading the instance bumps the store generation: the old entry is
+        // unreachable and the next evaluate is a miss again.
+        load(&engine, &mut session, "a", &text);
+        evaluate(&mut session);
+        let stats = v2_stats(&engine, &mut session);
+        assert_eq!(
+            stat_of(&stats, "evaluator-builds"),
+            2,
+            "reload must invalidate"
+        );
+        assert_eq!(stat_of(&stats, "evaluate-cache-misses"), 2);
+        assert_eq!(stat_of(&stats, "evaluate-cache-hits"), 1);
+
+        // Unload purges the instance's entries outright.
+        assert!(matches!(
+            engine.dispatch(&mut session, Request::Unload { name: "a".into() }),
+            Response::Unloaded { .. }
+        ));
+        assert_eq!(engine.cache().len(), 0, "unload must purge the cache");
+    }
+
+    #[test]
+    fn batches_need_a_v2_hello_and_answer_item_by_item() {
+        let engine = Engine::new(1);
+        let mut session = engine.begin_session();
+        let text = instance_text(8, 4, 2, 3);
+
+        // v1 sessions cannot batch.
+        let response = engine.dispatch(&mut session, Request::Batch(vec![Request::List]));
+        let Response::Error { code, detail } = response else {
+            panic!("expected an error");
+        };
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(detail.contains("requires mf-proto v2"), "{detail}");
+
+        // After a v2 hello, a mixed batch answers in order, with errors and
+        // non-batchable commands answered in place.
+        assert!(matches!(
+            engine.dispatch(&mut session, Request::Hello { requested: 7 }),
+            Response::Hello {
+                version: ProtoVersion::V2
+            }
+        ));
+        let requests_before = stat_of(&v2_stats(&engine, &mut session), "requests");
+        let batch = Request::Batch(vec![
+            Request::Load {
+                name: "a".into(),
+                payload: text_payload(&text),
+            },
+            Request::Solve {
+                name: "a".into(),
+                method: SolveMethod::Heuristic("h4w".into()),
+                seed: None,
+            },
+            Request::List, // not instance-keyed: cannot ride an envelope
+            Request::Unload {
+                name: "missing".into(),
+            },
+        ]);
+        let Response::Batch(answers) = engine.dispatch(&mut session, batch) else {
+            panic!("batch failed");
+        };
+        assert_eq!(answers.len(), 4);
+        assert!(matches!(answers[0], Response::Loaded { .. }), "{answers:?}");
+        assert!(matches!(answers[1], Response::Solved { .. }), "{answers:?}");
+        assert!(
+            matches!(
+                &answers[2],
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    detail
+                } if detail.contains("cannot ride a batch envelope")
+            ),
+            "{answers:?}"
+        );
+        assert!(
+            matches!(
+                answers[3],
+                Response::Error {
+                    code: ErrorCode::UnknownInstance,
+                    ..
+                }
+            ),
+            "{answers:?}"
+        );
+
+        // Counter parity with the serial script: the envelope plus one
+        // request per item, and one error per error answer.
+        let stats = v2_stats(&engine, &mut session);
+        assert_eq!(stat_of(&stats, "requests"), requests_before + 1 + 4 + 1);
+        // The v1 batch rejection above, the in-envelope `list`, and the
+        // unknown-instance unload.
+        assert_eq!(stat_of(&stats, "errors"), 3);
+        assert_eq!(stat_of(&stats, "loads"), 1);
+        assert_eq!(stat_of(&stats, "solves-heuristic"), 1);
+    }
+
+    #[test]
+    fn v2_stats_extend_v1_stats_with_the_cache_counters() {
+        let engine = Engine::new(1);
+        let v1 = engine.stats_for(ProtoVersion::V1);
+        let v2 = engine.stats_for(ProtoVersion::V2);
+        assert_eq!(v1, engine.stats(), "v1 view is the legacy stats list");
+        assert_eq!(&v2[..v1.len()], &v1[..], "v2 must extend, not reorder");
+        let appended: Vec<&str> = v2[v1.len()..].iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            appended,
+            [
+                "evaluator-builds",
+                "evaluate-cache-hits",
+                "evaluate-cache-misses",
+                "evaluate-cache-evictions"
+            ]
+        );
+        // status-export reports the same v2 counters as the global block.
+        let report = engine.status_report();
+        assert_eq!(report.global, v2);
+        assert_eq!(report.workers, vec![v2]);
     }
 }

@@ -6,13 +6,22 @@
 //! instances, a shared rayon pool for the portfolio race, and per-session
 //! [`EvaluatorSnapshot`](mf_core::EvaluatorSnapshot) state that `whatif`
 //! probes resume in `O(1)` — and answers queries over a line-delimited text
-//! protocol, [`proto`] (`mf-proto v1`), via TCP (thread per connection) or a
-//! stdio pipe.
+//! protocol, [`proto`], via TCP (thread per connection) or a stdio pipe.
+//!
+//! Sessions start in `mf-proto v1`; a `hello mf-proto v2` handshake unlocks
+//! `batch N` envelopes (many requests, one round trip, answers in request
+//! order), the `status-export` JSON report, and the keyed-cache counters in
+//! `stats`. Each engine serves repeated `evaluate`s of an unchanged
+//! instance from a keyed [`EvaluateCache`] — (store generation, mapping
+//! fingerprint) → full breakdown plus pristine evaluator snapshot — and a
+//! sharded [`Router`] tier (`mf serve --workers N`) hashes instance names
+//! across `N` worker engines behind the same [`Handler`] interface.
 //!
 //! Answers are **bit-identical to the equivalent one-shot CLI run**: solve
 //! requests use the same default seeds as `microfactory solve`, and the
 //! portfolio outcome is bit-identical for every thread count, so a resident
-//! server is a pure performance upgrade, never a numerical fork.
+//! server is a pure performance upgrade, never a numerical fork — and the
+//! router is pinned byte-identical to a single engine for any worker count.
 //!
 //! ```
 //! use mf_server::engine::Engine;
@@ -29,18 +38,26 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod errors;
 pub mod proto;
+pub mod router;
 pub mod server;
+pub mod stats;
 pub mod store;
 
-pub use client::{Client, ClientError};
+pub use cache::{CachedEvaluation, EvaluateCache, EVALUATE_CACHE_CAP};
+pub use client::{Client, ClientError, Evaluation, Solution};
 pub use engine::{Engine, Session, DEFAULT_HEURISTIC_SEED};
+pub use errors::EngineError;
 pub use proto::{
     request_from_text, request_to_text, response_from_text, response_to_text, text_payload,
-    ErrorCode, InstanceInfo, Probe, ProtoError, ProtoReader, ProtoResult, Request, Response,
-    SolveMethod, GREETING,
+    ErrorCode, InstanceInfo, Probe, ProtoError, ProtoReader, ProtoResult, ProtoVersion, Request,
+    Response, SolveMethod, CURRENT_VERSION, GREETING, PROTO_NAME,
 };
-pub use server::{run_session, serve_stdio, Server};
+pub use router::{Router, RouterSession};
+pub use server::{run_session, serve_stdio, Handler, Server};
+pub use stats::{StatsReport, STATS_FORMAT};
 pub use store::{InstanceStore, StoredInstance};

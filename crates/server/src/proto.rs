@@ -1,11 +1,25 @@
-//! `mf-proto v1` — the line-delimited text protocol of the serve loop.
+//! `mf-proto` — the line-delimited text protocol of the serve loop
+//! (versions 1 and 2).
 //!
 //! The protocol is styled after `mf-report v1` (`mf_experiments::persist`):
 //! plain text, one record per line, multi-line payloads carried by an
 //! explicit line count (requests) or closed by an `end` marker (responses),
 //! and every `f64` written with Rust's shortest-round-trip formatting so
 //! values survive a write→parse round trip **bit-for-bit**. A session opens
-//! with the server greeting line `mf-proto v1`.
+//! with the server greeting line `mf-proto v1` and speaks **v1** until the
+//! client upgrades it.
+//!
+//! # Version negotiation
+//!
+//! `mf-proto v2` is negotiated with a `hello` handshake: the client sends
+//! `hello mf-proto v2` (any requested version ≥ 2 is negotiated down to 2)
+//! and the server answers `ok hello mf-proto v2`. A client that never says
+//! `hello` stays on v1 and sees byte-identical v1 behavior. v2 adds:
+//!
+//! * `batch N` — a request envelope carrying `N` instance commands that are
+//!   answered in one round trip with an `ok batch N … end` block;
+//! * `status-export` — the full statistics report as one JSON document;
+//! * extra `stats` counters (evaluator builds and the keyed evaluate cache).
 //!
 //! ```text
 //! C: load line6 18
@@ -30,8 +44,63 @@
 use std::fmt::Write as _;
 use std::io::BufRead;
 
-/// The protocol magic, sent by the server as its greeting line.
+/// The protocol magic, sent by the server as its greeting line. The greeting
+/// always names v1 — the version every session starts in — so v1 clients
+/// and transcripts stay byte-identical; v2 is negotiated by `hello`.
 pub const GREETING: &str = "mf-proto v1";
+
+/// The protocol family name used by the `hello` handshake.
+pub const PROTO_NAME: &str = "mf-proto";
+
+/// The highest protocol version this implementation speaks.
+pub const CURRENT_VERSION: u32 = 2;
+
+/// A negotiated protocol version of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ProtoVersion {
+    /// `mf-proto v1` — the PR-4 request/response protocol; every session
+    /// starts here.
+    #[default]
+    V1,
+    /// `mf-proto v2` — adds the `batch` envelope, `status-export` and the
+    /// evaluate-cache `stats` counters.
+    V2,
+}
+
+impl ProtoVersion {
+    /// The version number on the wire (`1` or `2`).
+    pub fn number(self) -> u32 {
+        match self {
+            ProtoVersion::V1 => 1,
+            ProtoVersion::V2 => 2,
+        }
+    }
+
+    /// The version a server offers to a client requesting `requested`:
+    /// exactly what was asked for when it is supported, otherwise the
+    /// highest supported version below it. `None` for v0 (never valid).
+    pub fn negotiate(requested: u32) -> Option<ProtoVersion> {
+        match requested {
+            0 => None,
+            1 => Some(ProtoVersion::V1),
+            _ => Some(ProtoVersion::V2),
+        }
+    }
+
+    fn from_number(number: u32) -> Option<ProtoVersion> {
+        match number {
+            1 => Some(ProtoVersion::V1),
+            2 => Some(ProtoVersion::V2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{PROTO_NAME} v{}", self.number())
+    }
+}
 
 /// Errors raised while parsing or writing protocol lines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,6 +219,20 @@ pub enum Probe {
 /// One client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
+    /// Version handshake (`hello mf-proto vN`): asks the server to speak
+    /// protocol version `requested`; the server answers with the negotiated
+    /// version and the session switches to it.
+    Hello {
+        /// The version the client asks for (negotiated down if unknown).
+        requested: u32,
+    },
+    /// A v2 envelope of `N` instance commands, answered in one round trip.
+    /// Only instance-named commands (`load`, `unload`, `evaluate`, `whatif`,
+    /// `solve`) may ride a batch; envelopes never nest.
+    Batch(Vec<Request>),
+    /// The full statistics report as one machine-readable JSON document
+    /// (v2; the `stats --json` of the protocol).
+    StatusExport,
     /// Load (or replace) a named instance from inline `mf_core::textio`
     /// instance text.
     Load {
@@ -195,6 +278,44 @@ pub enum Request {
     Stats,
     /// End the session; a TCP server stops accepting new connections.
     Shutdown,
+}
+
+impl Request {
+    /// The wire keyword of the request's head line.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Batch(_) => "batch",
+            Request::StatusExport => "status-export",
+            Request::Load { .. } => "load",
+            Request::Unload { .. } => "unload",
+            Request::List => "list",
+            Request::Evaluate { .. } => "evaluate",
+            Request::WhatIf { .. } => "whatif",
+            Request::Solve { .. } => "solve",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The instance name this request targets, if it is an instance command.
+    /// Exactly the commands with a `Some` name may ride a [`Request::Batch`]
+    /// envelope, and they are what a router shards across workers.
+    pub fn instance_name(&self) -> Option<&str> {
+        match self {
+            Request::Load { name, .. }
+            | Request::Unload { name }
+            | Request::Evaluate { name, .. }
+            | Request::WhatIf { name, .. }
+            | Request::Solve { name, .. } => Some(name),
+            Request::Hello { .. }
+            | Request::Batch(_)
+            | Request::StatusExport
+            | Request::List
+            | Request::Stats
+            | Request::Shutdown => None,
+        }
+    }
 }
 
 /// One named instance in a `list` response.
@@ -254,6 +375,15 @@ impl ErrorCode {
 /// One server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
+    /// Handshake answer: the version the session now speaks.
+    Hello {
+        /// The negotiated version.
+        version: ProtoVersion,
+    },
+    /// The answers of a [`Request::Batch`], in request order.
+    Batch(Vec<Response>),
+    /// The statistics report as JSON document lines (v2).
+    StatusExport(Vec<String>),
     /// Instance loaded (or replaced).
     Loaded {
         /// Store name.
@@ -330,6 +460,23 @@ impl Response {
 pub fn request_to_text(request: &Request) -> ProtoResult<String> {
     let mut out = String::new();
     match request {
+        Request::Hello { requested } => {
+            let _ = writeln!(out, "hello {PROTO_NAME} v{requested}");
+        }
+        Request::Batch(items) => {
+            let _ = writeln!(out, "batch {}", items.len());
+            for item in items {
+                if matches!(item, Request::Batch(_)) {
+                    return Err(ProtoError::UnencodableText {
+                        text: "batch envelopes cannot nest".to_string(),
+                    });
+                }
+                out.push_str(&request_to_text(item)?);
+            }
+        }
+        Request::StatusExport => {
+            let _ = writeln!(out, "status-export");
+        }
         Request::Load { name, payload } => {
             let _ = writeln!(out, "load {} {}", check_name(name)?, payload.len());
             for line in payload {
@@ -385,6 +532,28 @@ pub fn request_to_text(request: &Request) -> ProtoResult<String> {
 pub fn response_to_text(response: &Response) -> ProtoResult<String> {
     let mut out = String::new();
     match response {
+        Response::Hello { version } => {
+            let _ = writeln!(out, "ok hello {version}");
+        }
+        Response::Batch(items) => {
+            let _ = writeln!(out, "ok batch {}", items.len());
+            for item in items {
+                if matches!(item, Response::Batch(_)) {
+                    return Err(ProtoError::UnencodableText {
+                        text: "batch envelopes cannot nest".to_string(),
+                    });
+                }
+                out.push_str(&response_to_text(item)?);
+            }
+            let _ = writeln!(out, "end");
+        }
+        Response::StatusExport(lines) => {
+            let _ = writeln!(out, "ok status-export {}", lines.len());
+            for line in lines {
+                let _ = writeln!(out, "{}", check_payload_line(line)?);
+            }
+            let _ = writeln!(out, "end");
+        }
         Response::Loaded {
             name,
             tasks,
@@ -558,6 +727,50 @@ impl<R: BufRead> ProtoReader<R> {
         let mut tokens = line.split_whitespace();
         let keyword = tokens.next().expect("content lines are non-empty");
         let request = match keyword {
+            "hello" => {
+                match tokens.next() {
+                    Some(PROTO_NAME) => {}
+                    other => {
+                        return Err(malformed(format!(
+                            "expected `hello {PROTO_NAME} vN`, found `hello {}`",
+                            other.unwrap_or("")
+                        )))
+                    }
+                }
+                let requested = parse_version(tokens.next())?;
+                reject_extra(tokens.next(), line)?;
+                Request::Hello { requested }
+            }
+            "batch" => {
+                // Until all the enveloped requests are parsed, a failure
+                // leaves an unknown number of request/payload lines
+                // unconsumed — the stream is desynced throughout.
+                self.desynced = true;
+                let count = parse_count(tokens.next(), "batch")?;
+                reject_extra(tokens.next(), line)?;
+                let mut items = Vec::with_capacity(count.min(WIRE_CAPACITY_CAP));
+                for _ in 0..count {
+                    let Some(item_line) = self.next_content_line()? else {
+                        return Err(ProtoError::UnexpectedEof {
+                            context: "batch items",
+                        });
+                    };
+                    let item = self.parse_request_head(&item_line)?;
+                    // A nested `load`/`evaluate` clears the flag after its
+                    // payload — re-arm it while the envelope stays open.
+                    self.desynced = true;
+                    if matches!(item, Request::Batch(_)) {
+                        return Err(malformed("batch envelopes cannot nest"));
+                    }
+                    items.push(item);
+                }
+                self.desynced = false;
+                Request::Batch(items)
+            }
+            "status-export" => {
+                reject_extra(tokens.next(), line)?;
+                Request::StatusExport
+            }
             "load" | "evaluate" => {
                 // Until the payload count is parsed, any failure leaves the
                 // payload lines unconsumed — mark the stream desynced so the
@@ -648,8 +861,8 @@ impl<R: BufRead> ProtoReader<R> {
             }
             other => {
                 return Err(malformed(format!(
-                    "unknown request `{other}` (expected load, unload, list, evaluate, \
-                     whatif, solve, stats or shutdown)"
+                    "unknown request `{other}` (expected hello, load, unload, list, evaluate, \
+                     whatif, solve, batch, stats, status-export or shutdown)"
                 )))
             }
         };
@@ -693,6 +906,47 @@ impl<R: BufRead> ProtoReader<R> {
             .next()
             .ok_or_else(|| malformed("`ok` without a verb"))?;
         let response = match verb {
+            "hello" => {
+                match tokens.next() {
+                    Some(PROTO_NAME) => {}
+                    other => {
+                        return Err(malformed(format!(
+                            "expected `ok hello {PROTO_NAME} vN`, found `ok hello {}`",
+                            other.unwrap_or("")
+                        )))
+                    }
+                }
+                let number = parse_version(tokens.next())?;
+                let version = ProtoVersion::from_number(number)
+                    .ok_or_else(|| malformed(format!("unsupported hello version v{number}")))?;
+                Response::Hello { version }
+            }
+            "batch" => {
+                let count = parse_count(tokens.next(), "batch count")?;
+                reject_extra(tokens.next(), line)?;
+                let mut items = Vec::with_capacity(count.min(WIRE_CAPACITY_CAP));
+                for _ in 0..count {
+                    let item = self.read_response()?.ok_or(ProtoError::UnexpectedEof {
+                        context: "batch answers",
+                    })?;
+                    if matches!(item, Response::Batch(_)) {
+                        return Err(malformed("batch envelopes cannot nest"));
+                    }
+                    items.push(item);
+                }
+                self.expect_end("batch")?;
+                return Ok(Response::Batch(items));
+            }
+            "status-export" => {
+                let count = parse_count(tokens.next(), "status-export line count")?;
+                reject_extra(tokens.next(), line)?;
+                let lines = self.payload(count, "status-export document")?;
+                for candidate in &lines {
+                    check_payload_line(candidate)?;
+                }
+                self.expect_end("status-export")?;
+                return Ok(Response::StatusExport(lines));
+            }
             "load" => Response::Loaded {
                 name: parse_name(tokens.next(), "loaded name")?,
                 tasks: parse_count(tokens.next(), "task count")?,
@@ -863,6 +1117,14 @@ fn parse_u64(token: Option<&str>, what: &str) -> ProtoResult<u64> {
     token
         .and_then(|t| t.parse::<u64>().ok())
         .ok_or_else(|| malformed(format!("expected {what} (u64)")))
+}
+
+fn parse_version(token: Option<&str>) -> ProtoResult<u32> {
+    token
+        .and_then(|t| t.strip_prefix('v'))
+        .and_then(|t| t.parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| malformed("expected a protocol version (`v1`, `v2`, …)"))
 }
 
 fn parse_f64(token: Option<&str>, what: &str) -> ProtoResult<f64> {
@@ -1105,6 +1367,137 @@ mod tests {
         assert!(matches!(err, ProtoError::UnexpectedEof { .. }), "{err}");
         let err = response_from_text("ok solve a 1.5 3 2\nassign 0 1\n").unwrap_err();
         assert!(matches!(err, ProtoError::UnexpectedEof { .. }), "{err}");
+    }
+
+    #[test]
+    fn v2_requests_round_trip() {
+        for request in [
+            Request::Hello { requested: 1 },
+            Request::Hello { requested: 2 },
+            Request::Hello { requested: 7 },
+            Request::StatusExport,
+            Request::Batch(Vec::new()),
+            Request::Batch(vec![
+                Request::Load {
+                    name: "a".into(),
+                    payload: vec!["tasks 1".into(), "".into()],
+                },
+                Request::WhatIf {
+                    name: "a".into(),
+                    probe: Probe::Swap { a: 1, b: 2 },
+                },
+                Request::Solve {
+                    name: "a".into(),
+                    method: SolveMethod::Portfolio,
+                    seed: Some(3),
+                },
+                Request::Unload { name: "a".into() },
+            ]),
+        ] {
+            let text = request_to_text(&request).unwrap();
+            let parsed = request_from_text(&text).unwrap();
+            assert_eq!(parsed, request);
+            assert_eq!(request_to_text(&parsed).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn v2_responses_round_trip() {
+        for response in [
+            Response::Hello {
+                version: ProtoVersion::V1,
+            },
+            Response::Hello {
+                version: ProtoVersion::V2,
+            },
+            Response::StatusExport(vec![
+                "{".into(),
+                "  \"format\": \"mf-stats v1\",".into(),
+                "}".into(),
+            ]),
+            Response::Batch(Vec::new()),
+            Response::Batch(vec![
+                Response::Loaded {
+                    name: "a".into(),
+                    tasks: 2,
+                    machines: 1,
+                    types: 1,
+                },
+                Response::Evaluated {
+                    period: 1.0 / 3.0,
+                    critical: 0,
+                    loads: vec![0.5],
+                },
+                Response::Error {
+                    code: ErrorCode::NoResidentState,
+                    detail: "no resident evaluator state".into(),
+                },
+            ]),
+        ] {
+            let text = response_to_text(&response).unwrap();
+            let parsed = response_from_text(&text).unwrap();
+            assert_eq!(parsed, response);
+            assert_eq!(response_to_text(&parsed).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn batch_envelopes_cannot_nest() {
+        let nested = Request::Batch(vec![Request::Batch(vec![Request::List])]);
+        assert!(matches!(
+            request_to_text(&nested),
+            Err(ProtoError::UnencodableText { .. })
+        ));
+        let err = request_from_text("batch 1\nbatch 1\nlist\n").unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed { .. }), "{err}");
+        let err = response_from_text("ok batch 1\nok batch 0\nend\nend\n").unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_batch_is_an_eof_error_and_desyncs() {
+        let mut reader = ProtoReader::new("batch 2\nlist\n".as_bytes());
+        let err = reader.read_request().unwrap_err();
+        assert!(matches!(err, ProtoError::UnexpectedEof { .. }), "{err}");
+        assert!(
+            reader.is_desynced(),
+            "a torn envelope must desync the stream"
+        );
+        // A batch whose inner payload count is malformed also stays desynced.
+        let mut reader = ProtoReader::new("batch 2\nload a 1\ntasks 1\nunload\n".as_bytes());
+        let err = reader.read_request().unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed { .. }), "{err}");
+        assert!(reader.is_desynced());
+    }
+
+    #[test]
+    fn malformed_hellos_are_typed_errors() {
+        for bad in [
+            "hello",
+            "hello mf-proto",
+            "hello mf-proto 2",
+            "hello mf-proto v0",
+            "hello mf-proto vtwo",
+            "hello other-proto v2",
+            "hello mf-proto v2 extra",
+            "status-export now",
+        ] {
+            let err = request_from_text(&format!("{bad}\n")).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Malformed { .. }),
+                "`{bad}` must be Malformed, was {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_negotiation_prefers_the_highest_shared_version() {
+        assert_eq!(ProtoVersion::negotiate(0), None);
+        assert_eq!(ProtoVersion::negotiate(1), Some(ProtoVersion::V1));
+        assert_eq!(ProtoVersion::negotiate(2), Some(ProtoVersion::V2));
+        assert_eq!(ProtoVersion::negotiate(9), Some(ProtoVersion::V2));
+        assert_eq!(ProtoVersion::V2.to_string(), "mf-proto v2");
+        assert_eq!(ProtoVersion::default(), ProtoVersion::V1);
     }
 
     #[test]

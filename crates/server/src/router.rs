@@ -1,0 +1,391 @@
+//! The sharded serving tier: a router in front of a pool of worker engines.
+//!
+//! A [`Router`] owns `N` independent [`Engine`]s — each with its **own**
+//! [`InstanceStore`](crate::store::InstanceStore), its own solver pool and
+//! its own keyed evaluate cache — and hashes every instance name onto one of
+//! them. Heavy `solve … portfolio` traffic on one shard therefore cannot
+//! stall cheap `evaluate` traffic on another, and each shard's caches stay
+//! private to the names it owns.
+//!
+//! # Byte-identical to a single engine
+//!
+//! The router is a drop-in [`Handler`](crate::server::Handler): for the same
+//! session script, a router with **any** worker count produces responses
+//! byte-identical to a single-process [`Engine`] —
+//!
+//! * every answer is a pure function of (instance, request, seed), and a
+//!   name's requests always land on the same worker in order;
+//! * `list` is the name-sorted merge of the worker stores (one store's
+//!   `BTreeMap` order is the same sort);
+//! * `stats` keys are all plain sums of work done, so the index-aligned sum
+//!   of the worker lists equals the single-engine list — with the
+//!   session-level counters (`sessions`, `requests`, `errors`) kept by the
+//!   router itself, since workers only see forwarded traffic;
+//! * `batch` envelopes run their shards **in parallel** (one scoped thread
+//!   per worker with items) and reassemble answers in request order, so the
+//!   concurrency is invisible in the transcript.
+//!
+//! The one caveat: each worker bounds its store bytes independently, so
+//! under byte-cap pressure the *eviction* schedule (not any answer to a
+//! resident name) can differ from a single process.
+
+use crate::engine::{gate_v2, hello_response, Engine, Session};
+use crate::errors::EngineError;
+use crate::proto::{InstanceInfo, ProtoVersion, Request, Response};
+use crate::stats::StatsReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Most workers a router will spin up (matches the workspace-wide thread
+/// cap; each worker owns a full store byte budget and a rayon pool).
+pub const MAX_WORKERS: usize = 16;
+
+/// A shard router over a pool of worker [`Engine`]s.
+pub struct Router {
+    workers: Vec<Arc<Engine>>,
+    sessions: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Per-connection router state: the negotiated version plus one lazily
+/// created worker [`Session`] per shard, so resident what-if state lives on
+/// the worker that owns the instance.
+#[derive(Default)]
+pub struct RouterSession {
+    version: ProtoVersion,
+    workers: Vec<Option<Session>>,
+}
+
+impl Router {
+    /// A router over `workers` fresh engines (clamped to `1..=`
+    /// [`MAX_WORKERS`]), each with a `threads`-worker solver pool (`0` = one
+    /// per CPU, capped at 16).
+    pub fn new(workers: usize, threads: usize) -> Self {
+        let workers = workers.clamp(1, MAX_WORKERS);
+        Router {
+            workers: (0..workers)
+                .map(|_| Arc::new(Engine::new(threads)))
+                .collect(),
+            sessions: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker engines, indexed by shard.
+    pub fn engines(&self) -> &[Arc<Engine>] {
+        &self.workers
+    }
+
+    /// The shard a store name lives on: a splitmix64 chain over the name
+    /// bytes, reduced modulo the worker count. Deterministic across
+    /// processes and runs, so a name always finds its resident instance.
+    pub fn shard_of(&self, name: &str) -> usize {
+        let mut digest = mf_core::seed::splitmix64(0x6D66_5F72_6F75_7465);
+        for &byte in name.as_bytes() {
+            digest = mf_core::seed::splitmix64(digest ^ u64::from(byte));
+        }
+        (digest % self.workers.len() as u64) as usize
+    }
+
+    /// Starts a session (counted in `stats`).
+    pub fn begin_session(&self) -> RouterSession {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+        RouterSession {
+            version: ProtoVersion::default(),
+            workers: self.workers.iter().map(|_| None).collect(),
+        }
+    }
+
+    /// Dispatches one request: instance commands forward to the owning
+    /// shard, aggregate commands (`list`, `stats`, `status-export`) merge
+    /// over all workers, and `batch` fans its shards out in parallel.
+    pub fn dispatch(&self, session: &mut RouterSession, request: Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let response = self.route(session, request);
+        if matches!(response, Response::Error { .. }) {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    fn route(&self, session: &mut RouterSession, request: Request) -> Response {
+        match request {
+            Request::Hello { requested } => hello_response(requested, &mut session.version),
+            Request::Batch(items) => match gate_v2(session.version, "batch") {
+                Ok(()) => self.batch(session, items),
+                Err(response) => response,
+            },
+            Request::StatusExport => match gate_v2(session.version, "status-export") {
+                Ok(()) => Response::StatusExport(self.status_report().json_lines()),
+                Err(response) => response,
+            },
+            Request::List => self.list(),
+            Request::Stats => Response::Stats(self.stats_for(session.version)),
+            Request::Shutdown => Response::Shutdown,
+            request => {
+                let name = request
+                    .instance_name()
+                    .expect("non-instance requests are routed above");
+                let shard = self.shard_of(name);
+                let worker = &self.workers[shard];
+                worker.dispatch(session.worker(shard, worker), request)
+            }
+        }
+    }
+
+    /// Runs a batch envelope: items are bucketed by shard (preserving
+    /// request order within each bucket), each non-empty bucket runs on its
+    /// worker in one scoped thread, and the answers are scattered back into
+    /// request order. Items on the same instance stay ordered on one
+    /// worker, items on different instances are independent — so the
+    /// parallel schedule cannot change any answer.
+    fn batch(&self, session: &mut RouterSession, items: Vec<Request>) -> Response {
+        let mut answers: Vec<Option<Response>> = items.iter().map(|_| None).collect();
+        let mut buckets: Vec<Vec<(usize, Request)>> =
+            self.workers.iter().map(|_| Vec::new()).collect();
+        for (index, item) in items.into_iter().enumerate() {
+            match item.instance_name() {
+                Some(name) => {
+                    let shard = self.shard_of(name);
+                    buckets[shard].push((index, item));
+                }
+                None => {
+                    answers[index] = Some(
+                        EngineError::NotBatchable {
+                            command: item.keyword(),
+                        }
+                        .into_response(),
+                    );
+                }
+            }
+        }
+        // Materialize the worker sessions before the scoped threads borrow
+        // the slots mutably.
+        for (shard, bucket) in buckets.iter().enumerate() {
+            if !bucket.is_empty() {
+                session.worker(shard, &self.workers[shard]);
+            }
+        }
+        let outcomes: Vec<Vec<(usize, Response)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for ((worker, slot), bucket) in self
+                .workers
+                .iter()
+                .zip(session.workers.iter_mut())
+                .zip(buckets)
+            {
+                if bucket.is_empty() {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    let worker_session = slot.as_mut().expect("materialized above");
+                    bucket
+                        .into_iter()
+                        .map(|(index, item)| (index, worker.dispatch(worker_session, item)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("batch shard thread panicked"))
+                .collect()
+        });
+        for (index, response) in outcomes.into_iter().flatten() {
+            answers[index] = Some(response);
+        }
+        let answers: Vec<Response> = answers
+            .into_iter()
+            .map(|answer| answer.expect("every batch item is answered"))
+            .collect();
+        // Counter parity with a single engine: every item is one request,
+        // every error answer one error (the envelope itself was counted by
+        // `dispatch` and is never an error).
+        self.requests
+            .fetch_add(answers.len() as u64, Ordering::Relaxed);
+        let errors = answers
+            .iter()
+            .filter(|response| matches!(response, Response::Error { .. }))
+            .count();
+        self.errors.fetch_add(errors as u64, Ordering::Relaxed);
+        Response::Batch(answers)
+    }
+
+    fn list(&self) -> Response {
+        let mut entries: Vec<InstanceInfo> = self
+            .workers
+            .iter()
+            .flat_map(|worker| {
+                worker
+                    .store()
+                    .snapshot()
+                    .iter()
+                    .map(|stored| InstanceInfo {
+                        name: stored.name.clone(),
+                        tasks: stored.tasks(),
+                        machines: stored.machines(),
+                        types: stored.types(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Response::List(entries)
+    }
+
+    /// The aggregated statistics: the index-aligned sum of the worker lists,
+    /// with the session-level counters replaced by the router's own (workers
+    /// only ever see forwarded traffic, the router sees the session).
+    pub fn stats_for(&self, version: ProtoVersion) -> Vec<(String, u64)> {
+        let mut totals = self.workers[0].stats_for(version);
+        for worker in &self.workers[1..] {
+            for (total, (key, value)) in totals.iter_mut().zip(worker.stats_for(version)) {
+                debug_assert_eq!(total.0, key, "worker stats lists must align");
+                total.1 += value;
+            }
+        }
+        for (key, value) in totals.iter_mut() {
+            match key.as_str() {
+                "sessions" => *value = self.sessions.load(Ordering::Relaxed),
+                "requests" => *value = self.requests.load(Ordering::Relaxed),
+                "errors" => *value = self.errors.load(Ordering::Relaxed),
+                _ => {}
+            }
+        }
+        totals
+    }
+
+    /// The full machine-readable report: aggregated counters plus the raw
+    /// per-worker lists (the only place worker topology is visible — plain
+    /// `stats` stays byte-identical across worker counts).
+    pub fn status_report(&self) -> StatsReport {
+        StatsReport {
+            global: self.stats_for(ProtoVersion::V2),
+            workers: self
+                .workers
+                .iter()
+                .map(|worker| worker.stats_for(ProtoVersion::V2))
+                .collect(),
+        }
+    }
+}
+
+impl RouterSession {
+    /// The worker session of one shard, created on first touch.
+    fn worker(&mut self, shard: usize, engine: &Engine) -> &mut Session {
+        self.workers[shard].get_or_insert_with(|| engine.begin_session())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::text_payload;
+    use mf_core::textio;
+    use mf_sim::{GeneratorConfig, InstanceGenerator};
+
+    fn instance_text(seed: u64) -> String {
+        let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(6, 3, 2))
+            .generate(seed)
+            .unwrap();
+        textio::instance_to_text(&instance)
+    }
+
+    fn load(router: &Router, session: &mut RouterSession, name: &str, text: &str) {
+        let response = router.dispatch(
+            session,
+            Request::Load {
+                name: name.into(),
+                payload: text_payload(text),
+            },
+        );
+        assert!(matches!(response, Response::Loaded { .. }), "{response:?}");
+    }
+
+    #[test]
+    fn sharding_is_stable_and_spreads_names() {
+        let router = Router::new(4, 1);
+        let mut used = std::collections::HashSet::new();
+        for k in 0..64 {
+            let name = format!("inst{k}");
+            let shard = router.shard_of(&name);
+            assert_eq!(shard, router.shard_of(&name), "sharding must be stable");
+            assert!(shard < 4);
+            used.insert(shard);
+        }
+        assert_eq!(used.len(), 4, "64 names must touch all 4 shards");
+        // Worker counts are clamped, never zero.
+        assert_eq!(Router::new(0, 1).workers(), 1);
+        assert_eq!(Router::new(99, 1).workers(), MAX_WORKERS);
+    }
+
+    #[test]
+    fn list_merges_worker_stores_sorted_by_name() {
+        let router = Router::new(3, 1);
+        let mut session = router.begin_session();
+        for name in ["zeta", "alpha", "mid"] {
+            load(&router, &mut session, name, &instance_text(1));
+        }
+        let Response::List(entries) = router.dispatch(&mut session, Request::List) else {
+            panic!("list failed");
+        };
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn stats_aggregate_over_workers_with_router_session_counters() {
+        let router = Router::new(4, 1);
+        let mut session = router.begin_session();
+        for k in 0..8 {
+            load(
+                &router,
+                &mut session,
+                &format!("inst{k}"),
+                &instance_text(1),
+            );
+        }
+        let unknown = router.dispatch(
+            &mut session,
+            Request::Unload {
+                name: "missing".into(),
+            },
+        );
+        assert!(matches!(unknown, Response::Error { .. }));
+        let Response::Stats(stats) = router.dispatch(&mut session, Request::Stats) else {
+            panic!("stats failed");
+        };
+        let get = |key: &str| stats.iter().find(|(k, _)| k == key).unwrap().1;
+        assert_eq!(get("instances"), 8, "summed over shards");
+        assert_eq!(get("loads"), 8);
+        assert_eq!(get("sessions"), 1, "router-level, not per touched worker");
+        assert_eq!(get("requests"), 10);
+        assert_eq!(get("errors"), 1);
+        // v1 sessions see exactly the 16 v1 keys.
+        assert_eq!(stats.len(), 16);
+    }
+
+    #[test]
+    fn status_report_lists_every_worker() {
+        let router = Router::new(2, 1);
+        let mut session = router.begin_session();
+        load(&router, &mut session, "a", &instance_text(1));
+        let report = router.status_report();
+        assert_eq!(report.workers.len(), 2);
+        let get =
+            |list: &[(String, u64)], key: &str| list.iter().find(|(k, _)| k == key).unwrap().1;
+        assert_eq!(get(&report.global, "loads"), 1);
+        let worker_loads: u64 = report
+            .workers
+            .iter()
+            .map(|worker| get(worker, "loads"))
+            .sum();
+        assert_eq!(worker_loads, 1, "exactly one worker saw the load");
+    }
+}

@@ -1,10 +1,11 @@
 //! The serve loops: a thread-per-connection TCP listener and a pipe-driven
-//! stdio mode, both speaking `mf-proto v1` against one shared [`Engine`].
+//! stdio mode, both speaking `mf-proto` against one shared [`Handler`] —
+//! a single [`Engine`] or a sharded [`Router`](crate::router::Router).
 //!
 //! The server is std-only — `std::net::TcpListener` plus `std::thread` — so
 //! it runs in the offline build environment; the parallelism that matters
-//! (the portfolio race) happens on the engine's shared rayon pool, which
-//! every session borrows for the duration of a `solve … portfolio` request.
+//! (the portfolio race, the router's batch fan-out) happens inside the
+//! handler, which every session borrows per request.
 //!
 //! Shutdown is cooperative: a `shutdown` request answers `ok shutdown`, ends
 //! its own session, and stops the accept loop (already-open sessions run to
@@ -12,10 +13,51 @@
 
 use crate::engine::Engine;
 use crate::proto::{ProtoError, ProtoReader, Request, Response, GREETING};
+use crate::router::Router;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Anything a serve loop can put behind the protocol: one shared dispatcher
+/// handing out per-connection session state. [`Engine`] is the
+/// single-process implementation, [`Router`] the sharded one — and the
+/// router is pinned byte-identical to the engine for any worker count.
+pub trait Handler: Send + Sync {
+    /// Per-connection state (resident evaluator snapshots, negotiated
+    /// protocol version, …).
+    type Session: Send;
+
+    /// Starts a session (counted in `stats`).
+    fn begin_session(&self) -> Self::Session;
+
+    /// Answers one request against the shared state and this session.
+    fn dispatch(&self, session: &mut Self::Session, request: Request) -> Response;
+}
+
+impl Handler for Engine {
+    type Session = crate::engine::Session;
+
+    fn begin_session(&self) -> Self::Session {
+        Engine::begin_session(self)
+    }
+
+    fn dispatch(&self, session: &mut Self::Session, request: Request) -> Response {
+        Engine::dispatch(self, session, request)
+    }
+}
+
+impl Handler for Router {
+    type Session = crate::router::RouterSession;
+
+    fn begin_session(&self) -> Self::Session {
+        Router::begin_session(self)
+    }
+
+    fn dispatch(&self, session: &mut Self::Session, request: Request) -> Response {
+        Router::dispatch(self, session, request)
+    }
+}
 
 /// Runs one session: greeting, then a request/response loop until EOF or
 /// `shutdown`. Returns `true` when the session ended with a `shutdown`
@@ -24,12 +66,12 @@ use std::sync::Arc;
 /// Malformed request lines answer `err bad-request …` and the session
 /// continues; an input that ends mid-payload answers the error and closes
 /// the session (the stream offset is no longer trustworthy).
-pub fn run_session(
-    engine: &Engine,
+pub fn run_session<H: Handler>(
+    handler: &H,
     input: impl BufRead,
     mut output: impl Write,
 ) -> std::io::Result<bool> {
-    let mut session = engine.begin_session();
+    let mut session = handler.begin_session();
     let mut reader = ProtoReader::new(input);
     writeln!(output, "{GREETING}")?;
     output.flush()?;
@@ -44,10 +86,11 @@ pub fn run_session(
                 let response =
                     Response::error(crate::proto::ErrorCode::BadRequest, error.to_string());
                 write_response(&mut output, &response)?;
-                // A truncated input, or a failed `load`/`evaluate` head whose
-                // payload count never parsed, leaves the stream offset
-                // untrustworthy — the following lines could be payload, and
-                // executing them as commands would cascade garbage. Close.
+                // A truncated input, or a failed `load`/`evaluate`/`batch`
+                // head whose payload count never parsed, leaves the stream
+                // offset untrustworthy — the following lines could be
+                // payload, and executing them as commands would cascade
+                // garbage. Close.
                 if matches!(error, ProtoError::UnexpectedEof { .. }) || reader.is_desynced() {
                     return Ok(false);
                 }
@@ -55,7 +98,7 @@ pub fn run_session(
             }
         };
         let shutdown = matches!(request, Request::Shutdown);
-        let response = engine.dispatch(&mut session, request);
+        let response = handler.dispatch(&mut session, request);
         write_response(&mut output, &response)?;
         if shutdown {
             return Ok(true);
@@ -72,35 +115,64 @@ fn write_response(output: &mut impl Write, response: &Response) -> std::io::Resu
 
 /// Serves a single session over arbitrary byte streams — the `--stdio` mode
 /// used by pipe-driven tests and the CI golden transcript.
-pub fn serve_stdio(
-    engine: &Engine,
+pub fn serve_stdio<H: Handler>(
+    handler: &H,
     input: impl BufRead,
     output: impl Write,
 ) -> std::io::Result<()> {
-    run_session(engine, input, output).map(|_| ())
+    run_session(handler, input, output).map(|_| ())
 }
 
 /// A TCP server: one accept loop, one thread per connection, one shared
-/// [`Engine`].
-pub struct Server {
-    engine: Arc<Engine>,
+/// [`Handler`] (an [`Engine`] by default, a [`Router`] for `--workers N`).
+pub struct Server<H: Handler = Engine> {
+    handler: Arc<H>,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
 }
 
-impl Server {
+impl Server<Engine> {
     /// Binds a listener (`port 0` picks an ephemeral port) over a fresh
     /// engine with `threads` solver workers.
     pub fn bind(addr: impl ToSocketAddrs, threads: usize) -> std::io::Result<Server> {
-        Server::with_engine(addr, Arc::new(Engine::new(threads)))
+        Server::with_handler(addr, Arc::new(Engine::new(threads)))
     }
 
     /// Binds a listener over an existing engine (lets tests pre-load the
     /// store).
     pub fn with_engine(addr: impl ToSocketAddrs, engine: Arc<Engine>) -> std::io::Result<Server> {
+        Server::with_handler(addr, engine)
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.handler
+    }
+}
+
+impl Server<Router> {
+    /// Binds a listener over a fresh [`Router`] with `workers` shard
+    /// engines of `threads` solver workers each.
+    pub fn bind_router(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        threads: usize,
+    ) -> std::io::Result<Server<Router>> {
+        Server::with_handler(addr, Arc::new(Router::new(workers, threads)))
+    }
+
+    /// The shared router.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.handler
+    }
+}
+
+impl<H: Handler + 'static> Server<H> {
+    /// Binds a listener over any shared handler.
+    pub fn with_handler(addr: impl ToSocketAddrs, handler: Arc<H>) -> std::io::Result<Server<H>> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
-            engine,
+            handler,
             listener,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -111,9 +183,9 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// The shared engine.
-    pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+    /// The shared handler.
+    pub fn handler(&self) -> &Arc<H> {
+        &self.handler
     }
 
     /// Runs the accept loop until a session requests `shutdown`, then joins
@@ -138,10 +210,10 @@ impl Server {
                     continue;
                 }
             };
-            let engine = Arc::clone(&self.engine);
+            let handler = Arc::clone(&self.handler);
             let shutdown = Arc::clone(&self.shutdown);
             handles.push(std::thread::spawn(move || {
-                if let Ok(true) = handle_connection(&engine, stream) {
+                if let Ok(true) = handle_connection(&*handler, stream) {
                     shutdown.store(true, Ordering::SeqCst);
                     // Unblock the accept loop with a throwaway connection.
                     let _ = TcpStream::connect(addr);
@@ -155,10 +227,10 @@ impl Server {
     }
 }
 
-fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<bool> {
+fn handle_connection<H: Handler>(handler: &H, stream: TcpStream) -> std::io::Result<bool> {
     let reader = BufReader::new(stream.try_clone()?);
     let writer = BufWriter::new(stream);
-    run_session(engine, reader, writer)
+    run_session(handler, reader, writer)
 }
 
 #[cfg(test)]
@@ -218,6 +290,48 @@ mod tests {
         let mut output = Vec::new();
         serve_stdio(&engine, "load a 5\ntasks 1\n".as_bytes(), &mut output).unwrap();
         let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("err bad-request"), "{text}");
+    }
+
+    #[test]
+    fn routers_serve_stdio_sessions_too() {
+        let router = Router::new(2, 1);
+        let mut output = Vec::new();
+        serve_stdio(
+            &router,
+            "hello mf-proto v2\nlist\nstats\nshutdown\n".as_bytes(),
+            &mut output,
+        )
+        .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.starts_with("mf-proto v1\n"), "{text}");
+        assert!(text.contains("ok hello mf-proto v2"), "{text}");
+        assert!(text.contains("ok list 0"), "{text}");
+        assert!(text.contains("stat evaluate-cache-hits 0"), "{text}");
+        assert!(text.contains("ok shutdown"), "{text}");
+    }
+
+    #[test]
+    fn v1_sessions_cannot_batch_and_torn_batches_close_the_session() {
+        let engine = Engine::new(1);
+        let mut output = Vec::new();
+        serve_stdio(&engine, "batch 1\nlist\nshutdown\n".as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(
+            text.contains("err bad-request `batch` requires mf-proto v2"),
+            "{text}"
+        );
+        assert!(text.contains("ok shutdown"), "{text}");
+        // A batch whose envelope tears mid-parse desyncs and closes.
+        let mut output = Vec::new();
+        serve_stdio(
+            &engine,
+            "hello mf-proto v2\nbatch 2\nlist\n".as_bytes(),
+            &mut output,
+        )
+        .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("ok hello mf-proto v2"), "{text}");
         assert!(text.contains("err bad-request"), "{text}");
     }
 }

@@ -1,0 +1,168 @@
+//! `mf-stats v1` — the machine-readable statistics report.
+//!
+//! The plain `stats` command answers a fixed-order key/value list; this
+//! module renders the same counters — plus the per-worker breakdown of a
+//! sharded server — as **one JSON document** for the `status-export`
+//! protocol command and the `microfactory stats --json` CLI. The document is
+//! written by hand (the build environment is offline; no serde) in a
+//! canonical form: fixed key order, two-space indentation, integers only —
+//! so two reports with equal counters are byte-identical and the CI can diff
+//! and archive them.
+
+use std::fmt::Write as _;
+
+/// The `format` tag every report carries, versioned independently of the
+/// wire protocol.
+pub const STATS_FORMAT: &str = "mf-stats v1";
+
+/// A statistics report: the aggregated counters of the serving tier plus
+/// one raw counter list per worker.
+///
+/// For a single-engine server the report has one worker whose counters equal
+/// the global list; for a router, `global` is the key-wise sum over workers
+/// with the session-level counters (`sessions`, `requests`, `errors`)
+/// replaced by the router's own — exactly what its `stats` command answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// The aggregated counters, in `stats` presentation order.
+    pub global: Vec<(String, u64)>,
+    /// Per-worker raw counters, indexed by shard.
+    pub workers: Vec<Vec<(String, u64)>>,
+}
+
+impl StatsReport {
+    /// The canonical JSON document, one element per line (the payload lines
+    /// of an `ok status-export` response).
+    pub fn json_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push("{".to_string());
+        lines.push(format!("  \"format\": {},", json_string(STATS_FORMAT)));
+        lines.push(format!("  \"workers\": {},", self.workers.len()));
+        lines.push("  \"global\": {".to_string());
+        push_counters(&mut lines, "    ", &self.global);
+        let trailer = if self.workers.is_empty() { "" } else { "," };
+        lines.push(format!("  }}{trailer}"));
+        if !self.workers.is_empty() {
+            lines.push("  \"per-worker\": [".to_string());
+            for (index, worker) in self.workers.iter().enumerate() {
+                lines.push("    {".to_string());
+                push_counters(&mut lines, "      ", worker);
+                let comma = if index + 1 < self.workers.len() {
+                    ","
+                } else {
+                    ""
+                };
+                lines.push(format!("    }}{comma}"));
+            }
+            lines.push("  ]".to_string());
+        }
+        lines.push("}".to_string());
+        lines
+    }
+
+    /// The canonical JSON document as one string (trailing newline
+    /// included) — what `stats --json` prints and the CI archives.
+    pub fn to_json(&self) -> String {
+        let mut out = self.json_lines().join("\n");
+        out.push('\n');
+        out
+    }
+}
+
+fn push_counters(lines: &mut Vec<String>, indent: &str, counters: &[(String, u64)]) {
+    for (index, (key, value)) in counters.iter().enumerate() {
+        let comma = if index + 1 < counters.len() { "," } else { "" };
+        lines.push(format!("{indent}{}: {value}{comma}", json_string(key)));
+    }
+}
+
+/// Minimal JSON string encoder. Counter keys are protocol-name tokens, but
+/// escaping here keeps the document well-formed for any future key.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// The document shape is pinned literally: `status-export` consumers
+    /// (CI artifact diffs, dashboards) parse this exact form.
+    #[test]
+    fn json_document_is_pinned() {
+        let report = StatsReport {
+            global: counters(&[("loads", 3), ("errors", 0)]),
+            workers: vec![
+                counters(&[("loads", 1), ("errors", 0)]),
+                counters(&[("loads", 2), ("errors", 0)]),
+            ],
+        };
+        let expected = "\
+{
+  \"format\": \"mf-stats v1\",
+  \"workers\": 2,
+  \"global\": {
+    \"loads\": 3,
+    \"errors\": 0
+  },
+  \"per-worker\": [
+    {
+      \"loads\": 1,
+      \"errors\": 0
+    },
+    {
+      \"loads\": 2,
+      \"errors\": 0
+    }
+  ]
+}
+";
+        assert_eq!(report.to_json(), expected);
+        // The lines form is exactly the document split on newlines — the
+        // payload a `status-export` response carries.
+        assert_eq!(
+            report.json_lines(),
+            expected.trim_end().split('\n').collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn workerless_reports_omit_the_per_worker_array() {
+        let report = StatsReport {
+            global: counters(&[("requests", 1)]),
+            workers: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(!json.contains("per-worker"), "{json}");
+        assert!(json.contains("\"workers\": 0"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
+    fn keys_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,9 +1,14 @@
 //! Concurrency acceptance: the server answers ≥ 2 simultaneous sessions over
 //! the shared solver pool, and concurrency never changes the numbers —
 //! every concurrent answer is bit-identical to the same query asked alone.
+//!
+//! Written against the typed [`Client`] API: each call builds the request,
+//! ships it, and destructures the matching answer, so the assertions compare
+//! structured values instead of wire text.
 
 use mf_core::textio;
-use mf_server::{Client, Request, Response, Server, SolveMethod};
+use mf_server::client::Solution;
+use mf_server::{Client, ClientError, ErrorCode, Probe, Server, SolveMethod};
 use mf_sim::{GeneratorConfig, InstanceGenerator};
 use std::sync::Arc;
 
@@ -14,34 +19,23 @@ fn instance_text(seed: u64) -> String {
     textio::instance_to_text(&instance)
 }
 
-fn load_request(name: &str, seed: u64) -> Request {
-    Request::Load {
-        name: name.into(),
-        payload: mf_server::text_payload(&instance_text(seed)),
-    }
-}
-
-fn solve_request(name: &str, method: SolveMethod) -> Request {
-    Request::Solve {
-        name: name.into(),
-        method,
-        seed: None,
-    }
-}
-
 /// One session's workload: load a private instance, solve it with a
-/// heuristic and with the portfolio, and return both responses.
-fn session_workload(addr: std::net::SocketAddr, name: &str, seed: u64) -> (Response, Response) {
+/// heuristic and with the portfolio, and return both solutions.
+fn session_workload(addr: std::net::SocketAddr, name: &str, seed: u64) -> (Solution, Solution) {
     let mut client = Client::connect(addr).unwrap();
-    let loaded = client.request(&load_request(name, seed)).unwrap();
-    assert!(matches!(loaded, Response::Loaded { .. }), "{loaded:?}");
+    let shape = client.load(name, &instance_text(seed)).unwrap();
+    assert_eq!(shape, (10, 4, 2));
     let heuristic = client
-        .request(&solve_request(name, SolveMethod::Heuristic("TS-H2".into())))
+        .solve(name, SolveMethod::Heuristic("TS-H2".into()), None)
         .unwrap();
-    let portfolio = client
-        .request(&solve_request(name, SolveMethod::Portfolio))
-        .unwrap();
+    let portfolio = client.solve(name, SolveMethod::Portfolio, None).unwrap();
     (heuristic, portfolio)
+}
+
+fn assert_bit_identical(left: &Solution, right: &Solution) {
+    assert_eq!(left.label, right.label);
+    assert_eq!(left.period.to_bits(), right.period.to_bits());
+    assert_eq!(left.mapping, right.mapping);
 }
 
 #[test]
@@ -62,15 +56,19 @@ fn two_concurrent_sessions_share_the_pool_and_stay_bit_identical() {
     let worker_b = std::thread::spawn(move || session_workload(addr, "conc-b", 22));
     let concurrent_a = worker_a.join().unwrap();
     let concurrent_b = worker_b.join().unwrap();
-    assert_eq!(concurrent_a, reference_a);
-    assert_eq!(concurrent_b, reference_b);
+    assert_bit_identical(&concurrent_a.0, &reference_a.0);
+    assert_bit_identical(&concurrent_a.1, &reference_a.1);
+    assert_bit_identical(&concurrent_b.0, &reference_b.0);
+    assert_bit_identical(&concurrent_b.1, &reference_b.1);
 
     // Both sessions' instances are resident in the one shared store.
     let mut client = Client::connect(addr).unwrap();
-    let Response::List(entries) = client.request(&Request::List).unwrap() else {
-        panic!("list failed");
-    };
-    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    let names: Vec<String> = client
+        .list()
+        .unwrap()
+        .into_iter()
+        .map(|info| info.name)
+        .collect();
     assert_eq!(names, vec!["conc-a", "conc-b", "ref-a", "ref-b"]);
 
     // The engine counted all five sessions (4 workloads + this one).
@@ -78,8 +76,7 @@ fn two_concurrent_sessions_share_the_pool_and_stay_bit_identical() {
     let sessions = stats.iter().find(|(k, _)| k == "sessions").unwrap().1;
     assert_eq!(sessions, 5);
 
-    let bye = client.request(&Request::Shutdown).unwrap();
-    assert_eq!(bye, Response::Shutdown);
+    client.shutdown().unwrap();
     drop(client);
     server_thread.join().unwrap();
 }
@@ -94,47 +91,30 @@ fn whatif_state_is_session_scoped() {
 
     let mut first = Client::connect(addr).unwrap();
     let mut second = Client::connect(addr).unwrap();
-    assert!(matches!(
-        first.request(&load_request("shared", 5)).unwrap(),
-        Response::Loaded { .. }
-    ));
+    first.load("shared", &instance_text(5)).unwrap();
     // First session solves — it gains resident whatif state.
-    assert!(matches!(
-        first
-            .request(&solve_request(
-                "shared",
-                SolveMethod::Heuristic("H4w".into())
-            ))
-            .unwrap(),
-        Response::Solved { .. }
-    ));
-    let probe = Request::WhatIf {
-        name: "shared".into(),
-        probe: mf_server::Probe::Move {
-            task: 0,
-            machine: 1,
-        },
+    first
+        .solve("shared", SolveMethod::Heuristic("H4w".into()), None)
+        .unwrap();
+    let probe = Probe::Move {
+        task: 0,
+        machine: 1,
     };
-    assert!(matches!(
-        first.request(&probe).unwrap(),
-        Response::WhatIf { .. }
-    ));
+    let (period, _) = first.what_if("shared", probe).unwrap();
+    assert!(period.is_finite());
     // Second session sees the shared instance but has no resident state.
-    let denied = second.request(&probe).unwrap();
+    let denied = second.what_if("shared", probe).unwrap_err();
     assert!(
         matches!(
             denied,
-            Response::Error {
-                code: mf_server::ErrorCode::NoResidentState,
+            ClientError::Server {
+                code: ErrorCode::NoResidentState,
                 ..
             }
         ),
-        "{denied:?}"
+        "{denied}"
     );
-    assert_eq!(
-        second.request(&Request::Shutdown).unwrap(),
-        Response::Shutdown
-    );
+    second.shutdown().unwrap();
     drop(first);
     drop(second);
     server_thread.join().unwrap();

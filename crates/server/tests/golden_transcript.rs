@@ -15,7 +15,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p mf-server --test golden_transcript
 //! ```
 
-use mf_server::{serve_stdio, Engine};
+use mf_server::{serve_stdio, Engine, Router};
 
 #[test]
 fn stdio_session_matches_the_golden_transcript() {
@@ -57,4 +57,63 @@ fn transcript_is_thread_count_independent() {
         outputs[0], outputs[1],
         "thread count changed the protocol transcript"
     );
+}
+
+/// The `mf-proto v2` golden transcript: hello negotiation, a `batch 5`
+/// envelope mixing solves, cached evaluates, an in-envelope error and a
+/// whatif, a repeated evaluate served from the keyed cache, and the extended
+/// v2 stats block. Deliberately free of `status-export` so the very same
+/// bytes come out of a sharded router at any worker count (pinned below).
+#[test]
+fn batched_v2_session_matches_the_golden_transcript() {
+    let input = include_str!("golden/batched_session.in");
+    let expected_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/batched_session.out"
+    );
+    let engine = Engine::new(1);
+    let mut output = Vec::new();
+    serve_stdio(&engine, input.as_bytes(), &mut output).unwrap();
+    let actual = String::from_utf8(output).expect("protocol output is UTF-8");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(expected_path, &actual).expect("write golden transcript");
+        return;
+    }
+    let expected = std::fs::read_to_string(expected_path).expect("golden transcript exists");
+    assert_eq!(
+        actual, expected,
+        "v2 transcript drifted from tests/golden/batched_session.out; \
+         re-run with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+    // The repeated evaluate and the in-batch evaluate of the solved mapping
+    // are the two keyed-cache hits the transcript must show.
+    assert!(
+        actual.contains("stat evaluate-cache-hits 2"),
+        "expected two cache hits in the v2 stats block:\n{actual}"
+    );
+    assert!(actual.contains("stat evaluator-builds 2"), "{actual}");
+}
+
+/// Both golden scripts produce the same bytes from a plain engine and from
+/// routers of 1, 2 and 4 workers — the sharded tier is a pure deployment
+/// choice, never a protocol fork.
+#[test]
+fn transcripts_are_worker_count_independent() {
+    for input in [
+        include_str!("golden/smoke_session.in"),
+        include_str!("golden/batched_session.in"),
+    ] {
+        let mut reference = Vec::new();
+        serve_stdio(&Engine::new(1), input.as_bytes(), &mut reference).unwrap();
+        for workers in [1usize, 2, 4] {
+            let router = Router::new(workers, 1);
+            let mut output = Vec::new();
+            serve_stdio(&router, input.as_bytes(), &mut output).unwrap();
+            assert_eq!(
+                String::from_utf8(output).unwrap(),
+                String::from_utf8(reference.clone()).unwrap(),
+                "{workers} router workers changed the transcript"
+            );
+        }
+    }
 }

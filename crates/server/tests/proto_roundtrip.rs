@@ -6,7 +6,7 @@
 use mf_core::splitmix64;
 use mf_server::{
     request_from_text, request_to_text, response_from_text, response_to_text, ErrorCode,
-    InstanceInfo, Probe, ProtoError, Request, Response, SolveMethod,
+    InstanceInfo, Probe, ProtoError, ProtoVersion, Request, Response, SolveMethod,
 };
 
 /// A tiny deterministic value generator over a SplitMix64 stream.
@@ -58,7 +58,9 @@ impl Gen {
             .collect()
     }
 
-    fn request(&mut self) -> Request {
+    /// A request that is valid as a batch item (single requests, no
+    /// envelopes).
+    fn flat_request(&mut self) -> Request {
         match self.index(8) {
             0 => Request::Load {
                 name: self.name(),
@@ -102,7 +104,31 @@ impl Gen {
         }
     }
 
-    fn response(&mut self) -> Response {
+    fn request(&mut self) -> Request {
+        match self.index(11) {
+            // `v0` is not a negotiable version, so the writer never emits it.
+            8 => Request::Hello {
+                requested: (self.next() % 1000) as u32 + 1,
+            },
+            9 => Request::StatusExport,
+            10 => {
+                let items = (0..self.index(5))
+                    .map(|_| loop {
+                        let item = self.flat_request();
+                        // Envelopes carry only instance-keyed requests.
+                        if item.instance_name().is_some() {
+                            break item;
+                        }
+                    })
+                    .collect();
+                Request::Batch(items)
+            }
+            _ => self.flat_request(),
+        }
+    }
+
+    /// A response that is valid as a batch item (no envelopes).
+    fn flat_response(&mut self) -> Response {
         match self.index(9) {
             0 => Response::Loaded {
                 name: self.name(),
@@ -152,6 +178,17 @@ impl Gen {
                 ][self.index(5)],
                 detail: "something went wrong: `x` is not a thing".to_string(),
             },
+        }
+    }
+
+    fn response(&mut self) -> Response {
+        match self.index(12) {
+            9 => Response::Hello {
+                version: [ProtoVersion::V1, ProtoVersion::V2][self.index(2)],
+            },
+            10 => Response::StatusExport(self.payload()),
+            11 => Response::Batch((0..self.index(5)).map(|_| self.flat_response()).collect()),
+            _ => self.flat_response(),
         }
     }
 }
