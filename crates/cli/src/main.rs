@@ -63,6 +63,7 @@ USAGE:
   microfactory evaluate INSTANCE MAPPING
   microfactory simulate [--products N] [--seed S] INSTANCE MAPPING
   microfactory serve    [--port P] [--threads N] [--workers W] [--stdio]
+                        [--data-dir PATH]
   microfactory client   [--host H] --port P
   microfactory stats    [--host H] --port P [--json]
 
@@ -78,7 +79,10 @@ COMMANDS:
              named instances, session whatif probes, shared solver pool,
              keyed evaluate cache (--port 0 picks a free port; --stdio
              serves one pipe session; --workers W shards the store across
-             W engines behind a router — byte-identical to --workers 1)
+             W engines behind a router — byte-identical to --workers 1;
+             --data-dir PATH journals loads/unloads to PATH/journal.mfj
+             and replays them on boot, so instances — and their store
+             generations — survive a restart or crash)
   client     connect to a server and run the script on stdin (load/evaluate
              take client-side file paths; everything else is raw protocol)
   stats      fetch a running server's counters (one `key value` per line);
@@ -94,7 +98,7 @@ const FLAGS_GENERATE: &[&str] = &["tasks", "machines", "types", "seed", "high-fa
 const FLAGS_SOLVE: &[&str] = &["heuristic", "exact", "portfolio", "all", "threads"];
 const FLAGS_EVALUATE: &[&str] = &[];
 const FLAGS_SIMULATE: &[&str] = &["products", "seed"];
-const FLAGS_SERVE: &[&str] = &["port", "threads", "workers", "stdio"];
+const FLAGS_SERVE: &[&str] = &["port", "threads", "workers", "stdio", "data-dir"];
 const FLAGS_CLIENT: &[&str] = &["host", "port"];
 const FLAGS_STATS: &[&str] = &["host", "port", "json"];
 
@@ -265,19 +269,44 @@ fn evaluate(args: &Arguments) -> std::result::Result<(), String> {
     Ok(())
 }
 
+fn build_serve_engine(
+    threads: usize,
+    data_dir: Option<&str>,
+) -> std::result::Result<mf_server::Engine, String> {
+    match data_dir {
+        Some(dir) => mf_server::Engine::open(threads, dir)
+            .map_err(|e| format!("cannot open data dir `{dir}`: {e}")),
+        None => Ok(mf_server::Engine::new(threads)),
+    }
+}
+
+fn build_serve_router(
+    workers: usize,
+    threads: usize,
+    data_dir: Option<&str>,
+) -> std::result::Result<mf_server::Router, String> {
+    match data_dir {
+        Some(dir) => mf_server::Router::with_data_dir(workers, threads, dir)
+            .map_err(|e| format!("cannot open data dir `{dir}`: {e}")),
+        None => Ok(mf_server::Router::new(workers, threads)),
+    }
+}
+
 fn serve(args: &Arguments) -> std::result::Result<(), String> {
     let threads = args.usize_flag("threads").unwrap_or(0);
     let workers = args.usize_flag("workers").unwrap_or(1);
+    let data_dir = args.string_flag("data-dir");
+    let data_dir = data_dir.as_deref();
     if args.has_flag("stdio") {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         // Router answers are pinned byte-identical to a single engine for
         // any worker count, so the fork here is invisible on the wire.
         if workers > 1 {
-            let router = mf_server::Router::new(workers, threads);
+            let router = build_serve_router(workers, threads, data_dir)?;
             mf_server::serve_stdio(&router, stdin.lock(), stdout.lock())
         } else {
-            let engine = mf_server::Engine::new(threads);
+            let engine = build_serve_engine(threads, data_dir)?;
             mf_server::serve_stdio(&engine, stdin.lock(), stdout.lock())
         }
         .map_err(|e| format!("stdio session failed: {e}"))
@@ -288,8 +317,10 @@ fn serve(args: &Arguments) -> std::result::Result<(), String> {
                 .map_err(|_| format!("invalid --port `{raw}` (expected 0..=65535)"))?,
             None => 0,
         };
+        use std::sync::Arc;
         if workers > 1 {
-            let server = mf_server::Server::bind_router(("127.0.0.1", port), workers, threads)
+            let router = Arc::new(build_serve_router(workers, threads, data_dir)?);
+            let server = mf_server::Server::with_handler(("127.0.0.1", port), router)
                 .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
             eprintln!(
@@ -298,7 +329,8 @@ fn serve(args: &Arguments) -> std::result::Result<(), String> {
             );
             server.run().map_err(|e| format!("server loop failed: {e}"))
         } else {
-            let server = mf_server::Server::bind(("127.0.0.1", port), threads)
+            let engine = Arc::new(build_serve_engine(threads, data_dir)?);
+            let server = mf_server::Server::with_engine(("127.0.0.1", port), engine)
                 .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
             eprintln!(

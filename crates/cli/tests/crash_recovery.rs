@@ -1,0 +1,117 @@
+//! Crash recovery through the real binary: a `serve --data-dir` server is
+//! SIGKILLed between two sessions and restarted over the same directory; the
+//! concatenated TCP transcripts must equal the golden uninterrupted stdio
+//! transcript byte for byte, at one worker and at two. The session scripts
+//! and the expected output are the `restart_session_*` golden files shared
+//! with `mf-server`'s `warm_restart` test and the CI crash-recovery job.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_microfactory");
+
+const SESSION_A: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../server/tests/golden/restart_session_a.in"
+));
+const SESSION_B: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../server/tests/golden/restart_session_b.in"
+));
+const EXPECTED: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../server/tests/golden/restart_session.out"
+));
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("mf-crash-recovery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Spawns `serve --port 0 --workers W --data-dir DIR` and parses the bound
+/// port from the startup line on stderr.
+fn spawn_server(workers: usize, data_dir: &std::path::Path) -> (Child, u16) {
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            &workers.to_string(),
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn microfactory serve");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut line = String::new();
+    BufReader::new(stderr)
+        .read_line(&mut line)
+        .expect("read startup line");
+    let port = line
+        .split("127.0.0.1:")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|token| token.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("no port in startup line {line:?}"));
+    (child, port)
+}
+
+/// Runs one scripted TCP session and returns the full transcript (greeting
+/// included).
+fn drive(port: u16, script: &str) -> String {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to server");
+    stream.write_all(script.as_bytes()).expect("send script");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut transcript = String::new();
+    stream
+        .read_to_string(&mut transcript)
+        .expect("read transcript");
+    transcript
+}
+
+#[test]
+fn sigkill_between_sessions_preserves_the_transcript() {
+    for workers in [1usize, 2] {
+        let dir = TempDir::new(&format!("w{workers}"));
+        let (mut first, port) = spawn_server(workers, &dir.0);
+        let mut full = drive(port, SESSION_A);
+        first.kill().expect("SIGKILL the server");
+        first.wait().expect("reap the killed server");
+
+        let (mut second, port) = spawn_server(workers, &dir.0);
+        full.push_str(&drive(port, SESSION_B));
+        assert_eq!(
+            full, EXPECTED,
+            "{workers}-worker kill-and-restart drifted from restart_session.out"
+        );
+
+        // The restarted server reports its replay in the status export, then
+        // shuts down cleanly.
+        let status = drive(port, "hello mf-proto v2\nstatus-export\nshutdown\n");
+        assert!(
+            status.contains("\"journal-entries-replayed\": 3"),
+            "missing replay counters in:\n{status}"
+        );
+        assert!(status.contains("\"journal-live-instances\": 1"), "{status}");
+        second.wait().expect("server exits on shutdown");
+    }
+}

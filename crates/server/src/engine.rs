@@ -21,6 +21,7 @@
 
 use crate::cache::{CachedEvaluation, EvaluateCache};
 use crate::errors::EngineError;
+use crate::journal::{Journal, JournalResult, RecoveredInstance};
 use crate::proto::{InstanceInfo, Probe, ProtoVersion, Request, Response, SolveMethod};
 use crate::stats::StatsReport;
 use crate::store::{InstanceStore, StoredInstance};
@@ -29,7 +30,9 @@ use mf_core::textio;
 use mf_experiments::portfolio::{run_portfolio, PortfolioConfig};
 use mf_experiments::runner::BatchRunner;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default seed of `solve … heuristic` requests — the seed the CLI's
 /// `--heuristic` path hard-codes, so un-seeded requests match it exactly.
@@ -130,18 +133,103 @@ pub struct Engine {
     runner: BatchRunner,
     counters: Counters,
     cache: EvaluateCache,
+    /// The durable log of store mutations, when the server runs with a
+    /// data directory. `None` keeps the engine fully in-memory with zero
+    /// overhead on the load path.
+    journal: Option<Arc<Journal>>,
+    /// Serializes (apply in memory, append to journal) pairs so the journal
+    /// replays to exactly the store's mutation order. Only taken when a
+    /// journal is attached.
+    durable: Mutex<()>,
 }
 
 impl Engine {
     /// An engine whose portfolio pool uses `threads` workers (`0` = one per
     /// CPU, capped at 16 — the workspace-wide convention).
     pub fn new(threads: usize) -> Self {
+        Engine::with_journal(threads, None)
+    }
+
+    /// A durable engine: opens (or creates) the `mf-journal v1` under
+    /// `data_dir`, replays every live instance into the store, and resumes
+    /// the generation counter strictly above every generation ever issued —
+    /// so a keyed evaluate-cache entry can never alias a pre-restart
+    /// instance.
+    pub fn open(threads: usize, data_dir: impl AsRef<Path>) -> JournalResult<Engine> {
+        let journal = Arc::new(Journal::open(data_dir)?);
+        let engine = Engine::with_journal(threads, Some(Arc::clone(&journal)));
+        for recovered in journal.live_instances() {
+            engine.adopt(recovered)?;
+        }
+        engine.finish_replay();
+        Ok(engine)
+    }
+
+    /// An engine wired to an already-open journal — shared by [`Engine::open`]
+    /// and the router's durable constructor (which hands one journal to many
+    /// worker shards). The caller is responsible for replaying
+    /// [`Journal::live_instances`] via [`Engine::adopt`] and then calling
+    /// [`Engine::finish_replay`].
+    pub(crate) fn with_journal(threads: usize, journal: Option<Arc<Journal>>) -> Self {
         Engine {
             store: InstanceStore::new(),
             runner: BatchRunner::new(threads),
             counters: Counters::default(),
             cache: EvaluateCache::new(),
+            journal,
+            durable: Mutex::new(()),
         }
+    }
+
+    /// Replays one journaled instance into the store, pinned at its
+    /// journaled generation. Payloads that no longer parse (a foreign edit
+    /// of the journal file) are dropped from the journal rather than
+    /// resurrected; replay evictions (recovered set larger than the byte
+    /// cap) are journaled like live evictions so the log stays exact.
+    pub(crate) fn adopt(&self, recovered: RecoveredInstance) -> JournalResult<()> {
+        let RecoveredInstance {
+            name,
+            generation,
+            payload,
+        } = recovered;
+        match textio::instance_from_text(&payload.join("\n")) {
+            Ok(instance) => {
+                let (_, evicted) = self.store.insert_pinned(&name, instance, generation);
+                if let Some(journal) = &self.journal {
+                    for gone in &evicted {
+                        journal.record_unload(gone)?;
+                    }
+                }
+            }
+            Err(_) => {
+                if let Some(journal) = &self.journal {
+                    journal.record_unload(&name)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Completes a replay: fast-forwards the store's generation counter to
+    /// the journal's high-water mark, so every generation issued after the
+    /// restart is strictly above every generation issued before it.
+    pub(crate) fn finish_replay(&self) {
+        if let Some(journal) = &self.journal {
+            self.store.reserve_generations(journal.mark());
+        }
+    }
+
+    /// The attached journal, when this engine is durable.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// The mutation-order lock of a durable engine (`None` when there is no
+    /// journal: in-memory loads stay lock-free).
+    fn durable_guard(&self) -> Option<MutexGuard<'_, ()>> {
+        self.journal
+            .as_ref()
+            .map(|_| self.durable.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// The resident instance store.
@@ -246,13 +334,34 @@ impl Engine {
                 .into_response()
             }
         };
-        let stored = self.store.insert(name, instance);
+        let (stored, journaled) = {
+            let _guard = self.durable_guard();
+            let (stored, evicted) = self.store.insert_tracked(name, instance);
+            let journaled = match &self.journal {
+                Some(journal) => journal
+                    .record_load(name, stored.generation, payload)
+                    .and_then(|()| {
+                        evicted
+                            .iter()
+                            .try_for_each(|gone| journal.record_unload(gone))
+                    }),
+                None => Ok(()),
+            };
+            (stored, journaled)
+        };
         // A replacement invalidates this session's snapshot immediately;
         // other sessions' snapshots die lazily via the generation check, and
         // cached evaluations of older generations can never hit again —
         // purging just frees them eagerly.
         session.resident.remove(name);
         self.cache.purge(name);
+        if let Err(error) = journaled {
+            // The load is live in memory — only its durability is gone.
+            return EngineError::JournalFailed {
+                detail: one_line(error),
+            }
+            .into_response();
+        }
         Counters::bump(&self.counters.loads);
         Response::Loaded {
             name: name.to_string(),
@@ -263,9 +372,24 @@ impl Engine {
     }
 
     fn unload(&self, session: &mut Session, name: &str) -> Response {
-        if self.store.remove(name) {
+        let (removed, journaled) = {
+            let _guard = self.durable_guard();
+            let removed = self.store.remove(name);
+            let journaled = match &self.journal {
+                Some(journal) if removed => journal.record_unload(name),
+                _ => Ok(()),
+            };
+            (removed, journaled)
+        };
+        if removed {
             session.resident.remove(name);
             self.cache.purge(name);
+            if let Err(error) = journaled {
+                return EngineError::JournalFailed {
+                    detail: one_line(error),
+                }
+                .into_response();
+            }
             Counters::bump(&self.counters.unloads);
             Response::Unloaded {
                 name: name.to_string(),
@@ -542,10 +666,15 @@ impl Engine {
 
     /// The full machine-readable report: the v2 counters as both the global
     /// and the single worker's list (a one-engine server **is** its only
-    /// worker).
+    /// worker), plus — on durable engines — the journal's recovery counters.
     pub fn status_report(&self) -> StatsReport {
         let stats = self.stats_for(ProtoVersion::V2);
         StatsReport {
+            recovery: self
+                .journal
+                .as_ref()
+                .map(|journal| journal.status_counters())
+                .unwrap_or_default(),
             global: stats.clone(),
             workers: vec![stats],
         }

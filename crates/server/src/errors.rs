@@ -80,6 +80,13 @@ pub enum EngineError {
         /// The wire keyword of the rejected command.
         command: &'static str,
     },
+    /// A durable engine applied a `load`/`unload` in memory but could not
+    /// append it to the journal — the state is live but would not survive a
+    /// restart.
+    JournalFailed {
+        /// One-line description of the append failure.
+        detail: String,
+    },
 }
 
 impl EngineError {
@@ -99,6 +106,7 @@ impl EngineError {
             | EngineError::VersionRequired { .. }
             | EngineError::UnsupportedVersion { .. }
             | EngineError::NotBatchable { .. } => ErrorCode::BadRequest,
+            EngineError::JournalFailed { .. } => ErrorCode::JournalFailed,
         }
     }
 
@@ -149,6 +157,10 @@ impl std::fmt::Display for EngineError {
                 f,
                 "`{command}` cannot ride a batch envelope (only load, unload, evaluate, \
                  whatif and solve can)"
+            ),
+            EngineError::JournalFailed { detail } => write!(
+                f,
+                "applied in memory but not journaled — will not survive a restart: {detail}"
             ),
         }
     }
@@ -231,6 +243,15 @@ mod tests {
                 ErrorCode::BadRequest,
                 "`stats` cannot ride a batch envelope (only load, unload, evaluate, \
                  whatif and solve can)"
+                    .into(),
+            ),
+            (
+                EngineError::JournalFailed {
+                    detail: "journal io failed: disk full".into(),
+                },
+                ErrorCode::JournalFailed,
+                "applied in memory but not journaled — will not survive a restart: \
+                 journal io failed: disk full"
                     .into(),
             ),
         ];

@@ -1,0 +1,828 @@
+//! `mf-journal v1` — the append-only durability log behind `serve --data-dir`.
+//!
+//! A durable server records every store mutation (`load`, `unload`) in one
+//! plain-text journal file, `journal.mfj`, inside its data directory. On
+//! boot the journal is **replayed**: the surviving instances, their exact
+//! payload text, their generations and the monotone generation high-water
+//! mark are reconstructed, so a restarted server answers requests
+//! byte-identically to one that never died — including the
+//! `(generation, fingerprint)`-keyed evaluate-cache semantics, because no
+//! post-restart load can ever re-issue a pre-restart generation.
+//!
+//! The format follows the `mf-report v1` conventions: line-oriented plain
+//! text, counted payloads, and canonical write→parse→write byte identity.
+//!
+//! ```text
+//! mf-journal v1
+//! mark 7
+//! load alpha 3 5
+//! tasks 1
+//! machines 1
+//! types 1
+//! task 0 0
+//! time 0 0 10
+//! unload alpha
+//! ```
+//!
+//! * `mark <floor>` — the generation floor: every generation ever issued by
+//!   this data directory is **strictly below** `floor`. A replayed store
+//!   resumes its counter at `max(counter, floor)`.
+//! * `load <name> <generation> <count>` — followed by exactly `count`
+//!   payload lines: the instance text as it arrived on the wire.
+//! * `unload <name>` — the instance left the store (explicit `unload` or a
+//!   byte-cap eviction).
+//!
+//! # Compaction
+//!
+//! The journal is **write-behind**: an in-memory shadow map of the live
+//! instances is updated first, then the record is appended and flushed.
+//! Every [`COMPACT_EVERY`] appends — and once on every boot — the file is
+//! rewritten from the shadow as one snapshot (`mark` + one `load` per live
+//! instance, name-sorted), atomically via a temp file and `rename`, so the
+//! file stays proportional to the live set instead of the full history.
+//!
+//! # Crash safety
+//!
+//! Appends are flushed to the OS before the response leaves the server, but
+//! the journal never calls `fsync` — a `SIGKILL` loses nothing, a power cut
+//! may lose the OS write-back window. A record torn mid-append (the process
+//! died inside `write`) is discarded at the next boot: replay stops at the
+//! first undecodable record and the boot compaction rewrites the file from
+//! exactly the state that survived.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Format magic — the first line of every journal file.
+pub const JOURNAL_FORMAT: &str = "mf-journal v1";
+
+/// File name of the journal inside a `--data-dir` directory.
+pub const JOURNAL_FILE: &str = "journal.mfj";
+
+/// Appends between automatic compactions. Each compaction rewrites the file
+/// from the live shadow map, so the file length is bounded by
+/// `live set + COMPACT_EVERY` records regardless of churn.
+pub const COMPACT_EVERY: u64 = 64;
+
+/// Errors raised when opening, appending to, or parsing a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// One-line description of the failure.
+        detail: String,
+    },
+    /// The file is not a journal in the expected format.
+    Malformed {
+        /// 1-based line number of the offending line (0 for global issues).
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A name or payload line contained a newline (or a name contained
+    /// whitespace) and cannot be journaled losslessly.
+    UnencodableText {
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { detail } => write!(f, "journal io failed: {detail}"),
+            JournalError::Malformed { line, detail } => {
+                write!(f, "malformed journal at line {line}: {detail}")
+            }
+            JournalError::UnencodableText { text } => {
+                write!(f, "text cannot be journaled losslessly: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(error: std::io::Error) -> Self {
+        JournalError::Io {
+            detail: error.to_string(),
+        }
+    }
+}
+
+/// Result alias for journal operations.
+pub type JournalResult<T> = std::result::Result<T, JournalError>;
+
+/// One journal record. The text forms are canonical: `records_from_text ∘
+/// records_to_text` is the identity on records, and the reverse composition
+/// is the identity on journal bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// Generation floor: every generation ever issued is strictly below
+    /// this value.
+    Mark {
+        /// The floor (the next generation a load may use).
+        generation: u64,
+    },
+    /// An instance entered the store.
+    Load {
+        /// Store name (whitespace-free token).
+        name: String,
+        /// The generation the store issued for this load.
+        generation: u64,
+        /// The instance text, line by line, exactly as loaded.
+        payload: Vec<String>,
+    },
+    /// An instance left the store (explicit unload or byte-cap eviction).
+    Unload {
+        /// Store name.
+        name: String,
+    },
+}
+
+fn check_name(name: &str) -> JournalResult<&str> {
+    if name.is_empty() || name.contains(char::is_whitespace) {
+        return Err(JournalError::UnencodableText {
+            text: name.to_string(),
+        });
+    }
+    Ok(name)
+}
+
+fn check_payload_line(line: &str) -> JournalResult<&str> {
+    if line.contains('\n') || line.contains('\r') {
+        return Err(JournalError::UnencodableText {
+            text: line.to_string(),
+        });
+    }
+    Ok(line)
+}
+
+impl JournalRecord {
+    /// The canonical text of this record (head line plus counted payload
+    /// lines, each newline-terminated). Rejects unencodable names and
+    /// payload lines instead of corrupting the framing.
+    pub fn to_text(&self) -> JournalResult<String> {
+        let mut out = String::new();
+        match self {
+            JournalRecord::Mark { generation } => {
+                let _ = writeln!(out, "mark {generation}");
+            }
+            JournalRecord::Load {
+                name,
+                generation,
+                payload,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "load {} {generation} {}",
+                    check_name(name)?,
+                    payload.len()
+                );
+                for line in payload {
+                    out.push_str(check_payload_line(line)?);
+                    out.push('\n');
+                }
+            }
+            JournalRecord::Unload { name } => {
+                let _ = writeln!(out, "unload {}", check_name(name)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Serializes a full journal: the format header followed by the records.
+pub fn records_to_text(records: &[JournalRecord]) -> JournalResult<String> {
+    let mut out = String::from(JOURNAL_FORMAT);
+    out.push('\n');
+    for record in records {
+        out.push_str(&record.to_text()?);
+    }
+    Ok(out)
+}
+
+/// Strictly parses a full journal (header plus records). Any torn or
+/// unrecognized line is an error — the tolerant boot-replay path lives in
+/// [`Journal::open`].
+pub fn records_from_text(text: &str) -> JournalResult<Vec<JournalRecord>> {
+    let mut cursor = LineCursor::new(text);
+    match cursor.next_line() {
+        Some(Some(header)) if header == JOURNAL_FORMAT => {}
+        Some(Some(header)) => {
+            return Err(JournalError::Malformed {
+                line: 1,
+                detail: format!("expected `{JOURNAL_FORMAT}` header, found `{header}`"),
+            })
+        }
+        Some(None) | None => {
+            return Err(JournalError::Malformed {
+                line: 1,
+                detail: format!("expected `{JOURNAL_FORMAT}` header"),
+            })
+        }
+    }
+    let mut records = Vec::new();
+    while let Some(record) = parse_record(&mut cursor)? {
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Line iterator tracking the 1-based line number and the bytes consumed —
+/// a final line without a terminating newline is reported as torn
+/// (`Some(None)`), never silently treated as complete.
+struct LineCursor<'a> {
+    rest: std::str::SplitInclusive<'a, char>,
+    line: usize,
+    consumed: usize,
+}
+
+impl<'a> LineCursor<'a> {
+    fn new(text: &'a str) -> Self {
+        LineCursor {
+            rest: text.split_inclusive('\n'),
+            line: 0,
+            consumed: 0,
+        }
+    }
+
+    /// `None` at EOF, `Some(None)` for a torn (unterminated) final line,
+    /// `Some(Some(line))` otherwise.
+    fn next_line(&mut self) -> Option<Option<&'a str>> {
+        let raw = self.rest.next()?;
+        self.line += 1;
+        self.consumed += raw.len();
+        Some(raw.strip_suffix('\n'))
+    }
+}
+
+fn parse_u64(token: &str, what: &str, line: usize) -> JournalResult<u64> {
+    token.parse().map_err(|_| JournalError::Malformed {
+        line,
+        detail: format!("bad {what} `{token}`"),
+    })
+}
+
+/// Parses one record at the cursor; `Ok(None)` at EOF, `Err` on a torn or
+/// unrecognized record.
+fn parse_record(cursor: &mut LineCursor<'_>) -> JournalResult<Option<JournalRecord>> {
+    let Some(head) = cursor.next_line() else {
+        return Ok(None);
+    };
+    let line = cursor.line;
+    let Some(head) = head else {
+        return Err(JournalError::Malformed {
+            line,
+            detail: "record head is torn (no trailing newline)".to_string(),
+        });
+    };
+    let tokens: Vec<&str> = head.split(' ').collect();
+    let record = match tokens.as_slice() {
+        ["mark", generation] => JournalRecord::Mark {
+            generation: parse_u64(generation, "mark", line)?,
+        },
+        ["unload", name] => JournalRecord::Unload {
+            name: check_name(name)
+                .map_err(|_| JournalError::Malformed {
+                    line,
+                    detail: format!("bad instance name in `{head}`"),
+                })?
+                .to_string(),
+        },
+        ["load", name, generation, count] => {
+            let name = check_name(name)
+                .map_err(|_| JournalError::Malformed {
+                    line,
+                    detail: format!("bad instance name in `{head}`"),
+                })?
+                .to_string();
+            let generation = parse_u64(generation, "generation", line)?;
+            let count = parse_u64(count, "payload count", line)? as usize;
+            let mut payload = Vec::new();
+            for _ in 0..count {
+                match cursor.next_line() {
+                    Some(Some(payload_line)) => payload.push(payload_line.to_string()),
+                    Some(None) | None => {
+                        return Err(JournalError::Malformed {
+                            line: cursor.line,
+                            detail: format!("payload of `{head}` is torn"),
+                        })
+                    }
+                }
+            }
+            JournalRecord::Load {
+                name,
+                generation,
+                payload,
+            }
+        }
+        _ => {
+            return Err(JournalError::Malformed {
+                line,
+                detail: format!("unrecognized record `{head}`"),
+            })
+        }
+    };
+    Ok(Some(record))
+}
+
+/// One instance recovered from a journal replay, ready to be re-inserted
+/// into a store with its original generation pinned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredInstance {
+    /// Store name.
+    pub name: String,
+    /// The generation the original load was issued.
+    pub generation: u64,
+    /// The instance text, line by line, exactly as originally loaded.
+    pub payload: Vec<String>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    path: PathBuf,
+    file: BufWriter<File>,
+    /// Shadow of the live instance set: name → (generation, payload). The
+    /// single source compactions snapshot from — deliberately independent
+    /// of the engine stores, so a shared multi-worker journal needs no
+    /// cross-shard coordination to compact.
+    live: BTreeMap<String, (u64, Vec<String>)>,
+    /// Generation floor (see [`JournalRecord::Mark`]).
+    mark: u64,
+    appends_since_compact: u64,
+    entries_replayed: u64,
+    bytes_replayed: u64,
+    compactions: u64,
+    torn_tail: bool,
+}
+
+/// Writes a compacted snapshot of `live` to `path` (atomically, via a temp
+/// file and rename) and returns a fresh append handle on it.
+fn write_snapshot(
+    path: &Path,
+    mark: u64,
+    live: &BTreeMap<String, (u64, Vec<String>)>,
+) -> JournalResult<BufWriter<File>> {
+    let mut records = vec![JournalRecord::Mark { generation: mark }];
+    for (name, (generation, payload)) in live {
+        records.push(JournalRecord::Load {
+            name: name.clone(),
+            generation: *generation,
+            payload: payload.clone(),
+        });
+    }
+    let text = records_to_text(&records)?;
+    let tmp = path.with_extension("mfj.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(BufWriter::new(OpenOptions::new().append(true).open(path)?))
+}
+
+impl Inner {
+    fn compact(&mut self) -> JournalResult<()> {
+        self.file = write_snapshot(&self.path, self.mark, &self.live)?;
+        self.appends_since_compact = 0;
+        self.compactions += 1;
+        Ok(())
+    }
+}
+
+/// The write-behind journal of one data directory. Thread-safe: a router's
+/// workers append to one shared journal. One server process per data
+/// directory — the journal takes no file lock.
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<Inner>,
+}
+
+impl Journal {
+    /// Opens (creating the directory and file as needed) and replays the
+    /// journal of `data_dir`, then writes a compacted boot snapshot — which
+    /// heals any tail torn by a crash mid-append. Replay is tolerant of a
+    /// torn tail (it stops at the first undecodable record); a file whose
+    /// *header* is not `mf-journal v1` is refused outright, so a foreign
+    /// file is never silently overwritten.
+    pub fn open(data_dir: impl AsRef<Path>) -> JournalResult<Journal> {
+        let dir = data_dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut live = BTreeMap::new();
+        let mut mark = 0u64;
+        let mut entries_replayed = 0u64;
+        let mut bytes_replayed = 0u64;
+        let mut torn_tail = false;
+        let existed = path.exists();
+        if existed {
+            // A crash can tear mid-write: decode lossily and let the torn
+            // record (now containing replacement characters at worst) stop
+            // the replay exactly where durability ended.
+            let raw = std::fs::read(&path)?;
+            let text = String::from_utf8_lossy(&raw);
+            let mut cursor = LineCursor::new(&text);
+            match cursor.next_line() {
+                None => {} // zero-byte file: died between create and header
+                Some(None) => torn_tail = true,
+                Some(Some(header)) if header != JOURNAL_FORMAT => {
+                    return Err(JournalError::Malformed {
+                        line: 1,
+                        detail: format!(
+                            "expected `{JOURNAL_FORMAT}` header, found `{header}` — refusing \
+                             to overwrite a foreign file"
+                        ),
+                    });
+                }
+                Some(Some(_)) => {
+                    bytes_replayed = cursor.consumed as u64;
+                    loop {
+                        match parse_record(&mut cursor) {
+                            Ok(None) => break,
+                            Ok(Some(record)) => {
+                                match record {
+                                    JournalRecord::Mark { generation } => {
+                                        mark = mark.max(generation);
+                                    }
+                                    JournalRecord::Load {
+                                        name,
+                                        generation,
+                                        payload,
+                                    } => {
+                                        mark = mark.max(generation + 1);
+                                        live.insert(name, (generation, payload));
+                                    }
+                                    JournalRecord::Unload { name } => {
+                                        live.remove(&name);
+                                    }
+                                }
+                                entries_replayed += 1;
+                                bytes_replayed = cursor.consumed as u64;
+                            }
+                            Err(_) => {
+                                torn_tail = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let file = write_snapshot(&path, mark, &live)?;
+        Ok(Journal {
+            inner: Mutex::new(Inner {
+                path,
+                file,
+                live,
+                mark,
+                appends_since_compact: 0,
+                entries_replayed,
+                bytes_replayed,
+                // The boot snapshot of a pre-existing journal is a
+                // compaction (it rewrote history); creating a fresh file is
+                // not.
+                compactions: u64::from(existed),
+                torn_tail,
+            }),
+        })
+    }
+
+    fn append(&self, record: JournalRecord) -> JournalResult<()> {
+        // Validate before touching the shadow, so an unencodable record
+        // cannot leave the shadow and the file disagreeing.
+        let text = record.to_text()?;
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        match record {
+            JournalRecord::Mark { generation } => inner.mark = inner.mark.max(generation),
+            JournalRecord::Load {
+                name,
+                generation,
+                payload,
+            } => {
+                inner.mark = inner.mark.max(generation + 1);
+                inner.live.insert(name, (generation, payload));
+            }
+            JournalRecord::Unload { name } => {
+                inner.live.remove(&name);
+            }
+        }
+        inner.appends_since_compact += 1;
+        if inner.appends_since_compact >= COMPACT_EVERY {
+            // The snapshot carries this record (the shadow is already
+            // updated), and a failed earlier append heals here too.
+            inner.compact()
+        } else {
+            inner.file.write_all(text.as_bytes())?;
+            inner.file.flush()?;
+            Ok(())
+        }
+    }
+
+    /// Journals a `load`: `name` now holds `payload` under `generation`.
+    pub fn record_load(
+        &self,
+        name: &str,
+        generation: u64,
+        payload: &[String],
+    ) -> JournalResult<()> {
+        self.append(JournalRecord::Load {
+            name: name.to_string(),
+            generation,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Journals an `unload` (or byte-cap eviction) of `name`.
+    pub fn record_unload(&self, name: &str) -> JournalResult<()> {
+        self.append(JournalRecord::Unload {
+            name: name.to_string(),
+        })
+    }
+
+    /// The generation floor: every generation ever issued through this
+    /// journal is strictly below it. A replayed store must resume its
+    /// counter at least here.
+    pub fn mark(&self) -> u64 {
+        self.inner.lock().expect("journal lock poisoned").mark
+    }
+
+    /// The recovered live instances, name-sorted — what a booting engine
+    /// (or each router shard, after hashing the names) re-inserts.
+    pub fn live_instances(&self) -> Vec<RecoveredInstance> {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        inner
+            .live
+            .iter()
+            .map(|(name, (generation, payload))| RecoveredInstance {
+                name: name.clone(),
+                generation: *generation,
+                payload: payload.clone(),
+            })
+            .collect()
+    }
+
+    /// Number of live instances in the shadow map.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal lock poisoned").live.len()
+    }
+
+    /// `true` when no instance is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the boot replay stopped at a torn or undecodable record
+    /// (which the boot snapshot then healed).
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.inner.lock().expect("journal lock poisoned").torn_tail
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> PathBuf {
+        self.inner
+            .lock()
+            .expect("journal lock poisoned")
+            .path
+            .clone()
+    }
+
+    /// The recovery counters, in fixed presentation order — the `recovery`
+    /// block of the `mf-stats v1` status-export report. Replay counters are
+    /// fixed at open; `journal-compactions` and `journal-live-instances`
+    /// keep moving with the workload.
+    pub fn status_counters(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        vec![
+            (
+                "journal-entries-replayed".to_string(),
+                inner.entries_replayed,
+            ),
+            ("journal-bytes-replayed".to_string(), inner.bytes_replayed),
+            ("journal-compactions".to_string(), inner.compactions),
+            (
+                "journal-live-instances".to_string(),
+                inner.live.len() as u64,
+            ),
+            ("journal-generation-mark".to_string(), inner.mark),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("mf-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        path
+    }
+
+    fn payload() -> Vec<String> {
+        vec!["tasks 1".to_string(), "machines 1".to_string()]
+    }
+
+    #[test]
+    fn records_round_trip_byte_identically() {
+        let records = vec![
+            JournalRecord::Mark { generation: 7 },
+            JournalRecord::Load {
+                name: "alpha".to_string(),
+                generation: 3,
+                payload: payload(),
+            },
+            JournalRecord::Unload {
+                name: "beta".to_string(),
+            },
+            JournalRecord::Load {
+                name: "empty".to_string(),
+                generation: 6,
+                payload: Vec::new(),
+            },
+        ];
+        let text = records_to_text(&records).unwrap();
+        let parsed = records_from_text(&text).unwrap();
+        assert_eq!(parsed, records, "parse ∘ write must be the identity");
+        assert_eq!(
+            records_to_text(&parsed).unwrap(),
+            text,
+            "write ∘ parse must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn unencodable_names_and_payload_lines_are_rejected() {
+        for name in ["", "two words", "tab\tbed", "new\nline"] {
+            let record = JournalRecord::Unload {
+                name: name.to_string(),
+            };
+            assert!(
+                matches!(record.to_text(), Err(JournalError::UnencodableText { .. })),
+                "{name:?}"
+            );
+        }
+        let record = JournalRecord::Load {
+            name: "ok".to_string(),
+            generation: 0,
+            payload: vec!["fine".to_string(), "torn\nline".to_string()],
+        };
+        assert!(matches!(
+            record.to_text(),
+            Err(JournalError::UnencodableText { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_text_reports_the_line() {
+        let err = records_from_text("not a journal\n").unwrap_err();
+        assert!(
+            matches!(err, JournalError::Malformed { line: 1, .. }),
+            "{err:?}"
+        );
+        let text = format!("{JOURNAL_FORMAT}\nmark 0\nfrobnicate x\n");
+        let err = records_from_text(&text).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Malformed { line: 3, .. }),
+            "{err:?}"
+        );
+        // A counted payload that runs past EOF is torn, not silently short.
+        let text = format!("{JOURNAL_FORMAT}\nload a 0 3\nonly\n");
+        let err = records_from_text(&text).unwrap_err();
+        assert!(matches!(err, JournalError::Malformed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn open_replay_append_reopen_recovers_the_live_set() {
+        let dir = tempdir("reopen");
+        {
+            let journal = Journal::open(&dir).unwrap();
+            assert_eq!(journal.mark(), 0);
+            assert!(journal.is_empty());
+            assert_eq!(journal.status_counters()[0].1, 0, "nothing to replay");
+            journal.record_load("alpha", 0, &payload()).unwrap();
+            journal.record_load("beta", 1, &payload()).unwrap();
+            journal.record_unload("alpha").unwrap();
+            assert_eq!(journal.mark(), 2);
+        }
+        let journal = Journal::open(&dir).unwrap();
+        assert_eq!(journal.mark(), 2, "the floor survives the unload");
+        let live = journal.live_instances();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].name, "beta");
+        assert_eq!(live[0].generation, 1);
+        assert_eq!(live[0].payload, payload());
+        assert!(!journal.recovered_torn_tail());
+        let counters = journal.status_counters();
+        let get = |key: &str| {
+            counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("no counter `{key}`"))
+                .1
+        };
+        // Boot snapshot (mark) + 3 appends survived the first process.
+        assert_eq!(get("journal-entries-replayed"), 4);
+        assert!(get("journal-bytes-replayed") > 0);
+        assert_eq!(get("journal-compactions"), 1, "boot snapshot compacts");
+        assert_eq!(get("journal-live-instances"), 1);
+        assert_eq!(get("journal-generation-mark"), 2);
+
+        // The boot snapshot is canonical: a third open replays exactly the
+        // compacted form (mark + one load).
+        drop(journal);
+        let journal = Journal::open(&dir).unwrap();
+        assert_eq!(journal.status_counters()[0].1, 2);
+        assert_eq!(journal.live_instances().len(), 1);
+    }
+
+    #[test]
+    fn a_torn_tail_is_discarded_and_healed() {
+        let dir = tempdir("torn");
+        {
+            let journal = Journal::open(&dir).unwrap();
+            journal.record_load("alpha", 0, &payload()).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        // Simulate a crash mid-append: a load head whose payload never made
+        // it to disk.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"load beta 1 5\ntasks 1\n").unwrap();
+        drop(file);
+        let journal = Journal::open(&dir).unwrap();
+        assert!(journal.recovered_torn_tail());
+        let live = journal.live_instances();
+        assert_eq!(live.len(), 1, "the torn load must not survive");
+        assert_eq!(live[0].name, "alpha");
+        assert_eq!(
+            journal.mark(),
+            1,
+            "the torn record's generation is not durable"
+        );
+        drop(journal);
+        // The boot snapshot healed the file: re-opening sees no tear.
+        let journal = Journal::open(&dir).unwrap();
+        assert!(!journal.recovered_torn_tail());
+        assert_eq!(journal.live_instances().len(), 1);
+    }
+
+    #[test]
+    fn foreign_files_are_refused() {
+        let dir = tempdir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_FILE), "important notes\ndo not delete\n").unwrap();
+        let err = Journal::open(&dir).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Malformed { line: 1, .. }),
+            "{err:?}"
+        );
+        // The file was not clobbered.
+        let kept = std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert!(kept.starts_with("important notes"), "{kept}");
+    }
+
+    #[test]
+    fn churn_triggers_compaction_and_bounds_the_file() {
+        let dir = tempdir("compact");
+        let journal = Journal::open(&dir).unwrap();
+        // 3 × COMPACT_EVERY loads of the same name: without compaction the
+        // file would hold every historical load.
+        for k in 0..(3 * COMPACT_EVERY) {
+            journal.record_load("hot", k, &payload()).unwrap();
+        }
+        let counters = journal.status_counters();
+        let compactions = counters
+            .iter()
+            .find(|(k, _)| k == "journal-compactions")
+            .unwrap()
+            .1;
+        assert_eq!(compactions, 3);
+        let text = std::fs::read_to_string(journal.path()).unwrap();
+        let snapshot_len = records_to_text(&[
+            JournalRecord::Mark {
+                generation: journal.mark(),
+            },
+            JournalRecord::Load {
+                name: "hot".to_string(),
+                generation: 3 * COMPACT_EVERY - 1,
+                payload: payload(),
+            },
+        ])
+        .unwrap()
+        .len();
+        assert!(
+            text.len() < snapshot_len + (COMPACT_EVERY as usize) * 64,
+            "file must stay bounded by live set + one compaction window: {} bytes",
+            text.len()
+        );
+        // And the compacted file replays to exactly the last load.
+        drop(journal);
+        let journal = Journal::open(&dir).unwrap();
+        let live = journal.live_instances();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].generation, 3 * COMPACT_EVERY - 1);
+        assert_eq!(journal.mark(), 3 * COMPACT_EVERY);
+    }
+}

@@ -42,6 +42,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod errors;
+pub mod journal;
 pub mod proto;
 pub mod router;
 pub mod server;
@@ -52,12 +53,16 @@ pub use cache::{CachedEvaluation, EvaluateCache, EVALUATE_CACHE_CAP};
 pub use client::{Client, ClientError, Evaluation, Solution};
 pub use engine::{Engine, Session, DEFAULT_HEURISTIC_SEED};
 pub use errors::EngineError;
+pub use journal::{
+    records_from_text, records_to_text, Journal, JournalError, JournalRecord, JournalResult,
+    RecoveredInstance, COMPACT_EVERY, JOURNAL_FILE, JOURNAL_FORMAT,
+};
 pub use proto::{
     request_from_text, request_to_text, response_from_text, response_to_text, text_payload,
     ErrorCode, InstanceInfo, Probe, ProtoError, ProtoReader, ProtoResult, ProtoVersion, Request,
     Response, SolveMethod, CURRENT_VERSION, GREETING, PROTO_NAME,
 };
 pub use router::{Router, RouterSession};
-pub use server::{run_session, serve_stdio, Handler, Server};
+pub use server::{run_session, serve_stdio, Handler, Server, MAX_ACCEPT_FAILURES};
 pub use stats::{StatsReport, STATS_FORMAT};
 pub use store::{InstanceStore, StoredInstance};

@@ -346,6 +346,9 @@ pub enum ErrorCode {
     /// `whatif` without resident evaluator state for the instance in this
     /// session.
     NoResidentState,
+    /// A durable server applied the request in memory but could not append
+    /// it to its `mf-journal` — the change is live but not yet crash-safe.
+    JournalFailed,
 }
 
 impl ErrorCode {
@@ -357,6 +360,7 @@ impl ErrorCode {
             ErrorCode::InvalidPayload => "invalid-payload",
             ErrorCode::Infeasible => "infeasible",
             ErrorCode::NoResidentState => "no-resident-state",
+            ErrorCode::JournalFailed => "journal-failed",
         }
     }
 
@@ -367,6 +371,7 @@ impl ErrorCode {
             "invalid-payload" => ErrorCode::InvalidPayload,
             "infeasible" => ErrorCode::Infeasible,
             "no-resident-state" => ErrorCode::NoResidentState,
+            "journal-failed" => ErrorCode::JournalFailed,
             _ => return None,
         })
     }

@@ -31,8 +31,10 @@
 
 use crate::engine::{gate_v2, hello_response, Engine, Session};
 use crate::errors::EngineError;
+use crate::journal::{Journal, JournalError};
 use crate::proto::{InstanceInfo, ProtoVersion, Request, Response};
 use crate::stats::StatsReport;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -43,6 +45,10 @@ pub const MAX_WORKERS: usize = 16;
 /// A shard router over a pool of worker [`Engine`]s.
 pub struct Router {
     workers: Vec<Arc<Engine>>,
+    /// The shared durable journal, when the tier runs with a data directory
+    /// (one journal for the whole tier — worker shards append through it and
+    /// the router surfaces its recovery counters).
+    journal: Option<Arc<Journal>>,
     sessions: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -62,11 +68,39 @@ impl Router {
     /// [`MAX_WORKERS`]), each with a `threads`-worker solver pool (`0` = one
     /// per CPU, capped at 16).
     pub fn new(workers: usize, threads: usize) -> Self {
+        Router::build(workers, threads, None)
+    }
+
+    /// A durable router: one shared `mf-journal v1` under `data_dir`
+    /// serves the whole tier. On boot every journaled instance is replayed
+    /// into the worker shard its **name hashes to** — the same shard that
+    /// will serve its requests — and every worker's generation counter is
+    /// fast-forwarded past the journal's high-water mark, so no shard can
+    /// reissue a pre-restart generation.
+    pub fn with_data_dir(
+        workers: usize,
+        threads: usize,
+        data_dir: impl AsRef<Path>,
+    ) -> Result<Router, JournalError> {
+        let journal = Arc::new(Journal::open(data_dir)?);
+        let router = Router::build(workers, threads, Some(Arc::clone(&journal)));
+        for recovered in journal.live_instances() {
+            let shard = router.shard_of(&recovered.name);
+            router.workers[shard].adopt(recovered)?;
+        }
+        for worker in &router.workers {
+            worker.finish_replay();
+        }
+        Ok(router)
+    }
+
+    fn build(workers: usize, threads: usize, journal: Option<Arc<Journal>>) -> Self {
         let workers = workers.clamp(1, MAX_WORKERS);
         Router {
             workers: (0..workers)
-                .map(|_| Arc::new(Engine::new(threads)))
+                .map(|_| Arc::new(Engine::with_journal(threads, journal.clone())))
                 .collect(),
+            journal,
             sessions: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -266,6 +300,11 @@ impl Router {
     /// `stats` stays byte-identical across worker counts).
     pub fn status_report(&self) -> StatsReport {
         StatsReport {
+            recovery: self
+                .journal
+                .as_ref()
+                .map(|journal| journal.status_counters())
+                .unwrap_or_default(),
             global: self.stats_for(ProtoVersion::V2),
             workers: self
                 .workers

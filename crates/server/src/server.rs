@@ -123,6 +123,39 @@ pub fn serve_stdio<H: Handler>(
     run_session(handler, input, output).map(|_| ())
 }
 
+/// Consecutive accept failures after which [`Server::run`] gives up and
+/// returns the listener error. Transient failures (fd exhaustion, aborted
+/// handshakes) reset on the next successful accept; a permanently broken
+/// listener must surface as an error instead of spinning the 50 ms backoff
+/// loop silently forever.
+pub const MAX_ACCEPT_FAILURES: u32 = 64;
+
+/// Accept-loop failure policy: back off on a transient error, give up with
+/// the error once [`MAX_ACCEPT_FAILURES`] failures arrive without a single
+/// successful accept in between.
+#[derive(Debug, Default)]
+struct AcceptRetry {
+    consecutive: u32,
+}
+
+impl AcceptRetry {
+    /// A successful accept: the failure streak resets.
+    fn succeeded(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// A failed accept: the backoff to sleep, or — once the streak reaches
+    /// [`MAX_ACCEPT_FAILURES`] — the error itself to return.
+    fn failed(&mut self, error: std::io::Error) -> std::io::Result<std::time::Duration> {
+        self.consecutive += 1;
+        if self.consecutive >= MAX_ACCEPT_FAILURES {
+            Err(error)
+        } else {
+            Ok(std::time::Duration::from_millis(50))
+        }
+    }
+}
+
 /// A TCP server: one accept loop, one thread per connection, one shared
 /// [`Handler`] (an [`Engine`] by default, a [`Router`] for `--workers N`).
 pub struct Server<H: Handler = Engine> {
@@ -189,24 +222,31 @@ impl<H: Handler + 'static> Server<H> {
     }
 
     /// Runs the accept loop until a session requests `shutdown`, then joins
-    /// the remaining session threads.
+    /// the remaining session threads. [`MAX_ACCEPT_FAILURES`] consecutive
+    /// accept failures return the last error instead (open sessions keep
+    /// running detached; there is nothing left to accept for).
     pub fn run(self) -> std::io::Result<()> {
         let addr = self.local_addr()?;
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut retry = AcceptRetry::default();
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            // Reap finished sessions so a long-lived server doesn't grow a
-            // handle per connection it ever served.
+            // Reap finished sessions — on the error path too — so a
+            // long-lived server doesn't grow a handle per connection it
+            // ever served.
             handles.retain(|handle| !handle.is_finished());
             let stream = match stream {
-                Ok(stream) => stream,
-                Err(_) => {
+                Ok(stream) => {
+                    retry.succeeded();
+                    stream
+                }
+                Err(error) => {
                     // Transient accept errors (e.g. fd exhaustion) would
                     // otherwise fail instantly forever — back off instead of
-                    // spinning the loop hot.
-                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    // spinning the loop hot; a broken listener gives up.
+                    std::thread::sleep(retry.failed(error)?);
                     continue;
                 }
             };
@@ -309,6 +349,29 @@ mod tests {
         assert!(text.contains("ok list 0"), "{text}");
         assert!(text.contains("stat evaluate-cache-hits 0"), "{text}");
         assert!(text.contains("ok shutdown"), "{text}");
+    }
+
+    #[test]
+    fn accept_retry_backs_off_then_gives_up_after_consecutive_failures() {
+        let failure = || std::io::Error::other("accept failed");
+        // Below the threshold every failure is a 50 ms backoff.
+        let mut retry = AcceptRetry::default();
+        for _ in 0..MAX_ACCEPT_FAILURES - 1 {
+            let backoff = retry
+                .failed(failure())
+                .expect("transient failures back off");
+            assert_eq!(backoff, std::time::Duration::from_millis(50));
+        }
+        // The streak-completing failure is returned.
+        assert!(retry.failed(failure()).is_err());
+
+        // A single success resets the streak: the same count of failures
+        // interleaved with accepts never gives up.
+        let mut retry = AcceptRetry::default();
+        for _ in 0..3 * MAX_ACCEPT_FAILURES {
+            assert!(retry.failed(failure()).is_ok());
+            retry.succeeded();
+        }
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub const STATS_FORMAT: &str = "mf-stats v1";
 /// replaced by the router's own — exactly what its `stats` command answers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReport {
+    /// Journal-replay counters of a durable server (empty on in-memory
+    /// servers, which keeps their documents byte-identical to before
+    /// `mf-journal` existed).
+    pub recovery: Vec<(String, u64)>,
     /// The aggregated counters, in `stats` presentation order.
     pub global: Vec<(String, u64)>,
     /// Per-worker raw counters, indexed by shard.
@@ -38,6 +42,11 @@ impl StatsReport {
         lines.push("{".to_string());
         lines.push(format!("  \"format\": {},", json_string(STATS_FORMAT)));
         lines.push(format!("  \"workers\": {},", self.workers.len()));
+        if !self.recovery.is_empty() {
+            lines.push("  \"recovery\": {".to_string());
+            push_counters(&mut lines, "    ", &self.recovery);
+            lines.push("  },".to_string());
+        }
         lines.push("  \"global\": {".to_string());
         push_counters(&mut lines, "    ", &self.global);
         let trailer = if self.workers.is_empty() { "" } else { "," };
@@ -111,6 +120,7 @@ mod tests {
     #[test]
     fn json_document_is_pinned() {
         let report = StatsReport {
+            recovery: Vec::new(),
             global: counters(&[("loads", 3), ("errors", 0)]),
             workers: vec![
                 counters(&[("loads", 1), ("errors", 0)]),
@@ -149,13 +159,46 @@ mod tests {
     #[test]
     fn workerless_reports_omit_the_per_worker_array() {
         let report = StatsReport {
+            recovery: Vec::new(),
             global: counters(&[("requests", 1)]),
             workers: Vec::new(),
         };
         let json = report.to_json();
         assert!(!json.contains("per-worker"), "{json}");
+        assert!(!json.contains("recovery"), "{json}");
         assert!(json.contains("\"workers\": 0"), "{json}");
         assert!(json.ends_with("}\n"), "{json}");
+    }
+
+    /// A durable server's report carries the journal-replay block between
+    /// the worker count and the global counters; its shape is pinned
+    /// literally like the base document.
+    #[test]
+    fn recovery_block_is_pinned_when_present() {
+        let report = StatsReport {
+            recovery: counters(&[("journal-entries-replayed", 3), ("journal-compactions", 1)]),
+            global: counters(&[("loads", 2)]),
+            workers: vec![counters(&[("loads", 2)])],
+        };
+        let expected = "\
+{
+  \"format\": \"mf-stats v1\",
+  \"workers\": 1,
+  \"recovery\": {
+    \"journal-entries-replayed\": 3,
+    \"journal-compactions\": 1
+  },
+  \"global\": {
+    \"loads\": 2
+  },
+  \"per-worker\": [
+    {
+      \"loads\": 2
+    }
+  ]
+}
+";
+        assert_eq!(report.to_json(), expected);
     }
 
     #[test]

@@ -50,14 +50,24 @@ impl StoredInstance {
     }
 
     /// Approximate resident footprint: the `p×m` time matrix, the `n×m`
-    /// failure matrix and the per-task vectors, in 8-byte cells. The real
-    /// heap layout differs by allocator slop; the cap only needs relative
-    /// proportionality.
+    /// failure matrix, the per-task vectors, and the application's
+    /// structure vectors — successor and topological-order entries plus one
+    /// 3-word `Vec` header per task's predecessor list and one word per
+    /// in-forest edge — in 8-byte cells. The real heap layout differs by
+    /// allocator slop; the cap only needs relative proportionality, and
+    /// without the edge term a deep forest (many predecessor lists) would
+    /// be undercounted relative to a chain of the same task count, skewing
+    /// LRU eviction order.
     pub fn approx_bytes(&self) -> u64 {
         let n = self.tasks() as u64;
         let m = self.machines() as u64;
         let p = self.types() as u64;
-        8 * (p * m + n * m + 4 * n + m)
+        let app = self.instance.application();
+        let edges: u64 = app
+            .tasks()
+            .map(|task| app.predecessors(task.id).len() as u64)
+            .sum();
+        8 * (p * m + n * m + 4 * n + m) + 8 * (5 * n + edges)
     }
 }
 
@@ -136,12 +146,59 @@ impl InstanceStore {
     /// insert pushes the store past its byte cap, least-recently-used
     /// instances (never this one) are evicted.
     pub fn insert(&self, name: &str, instance: Instance) -> Arc<StoredInstance> {
+        self.insert_tracked(name, instance).0
+    }
+
+    /// [`InstanceStore::insert`], additionally reporting the names the byte
+    /// cap evicted — a durable engine journals each as an `unload`, so a
+    /// replayed store converges to the same live set.
+    pub fn insert_tracked(
+        &self,
+        name: &str,
+        instance: Instance,
+    ) -> (Arc<StoredInstance>, Vec<String>) {
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        self.insert_with(name, instance, generation)
+    }
+
+    /// Re-inserts a journal-recovered instance under its **original**
+    /// generation, so post-restart sessions and the keyed evaluate cache
+    /// see exactly the pre-restart identity. The fresh-generation counter
+    /// is pulled above the pinned value as a safety net; the replayer
+    /// additionally reserves the journal's full high-water mark via
+    /// [`InstanceStore::reserve_generations`].
+    pub fn insert_pinned(
+        &self,
+        name: &str,
+        instance: Instance,
+        generation: u64,
+    ) -> (Arc<StoredInstance>, Vec<String>) {
+        self.reserve_generations(generation + 1);
+        self.insert_with(name, instance, generation)
+    }
+
+    /// Raises the fresh-generation counter to at least `floor`. After a
+    /// replay this is the journal's generation mark: every generation ever
+    /// issued pre-restart is strictly below it, so no post-restart load can
+    /// alias a pre-restart `(generation, fingerprint)` cache key — the
+    /// collision a rebooting `AtomicU64::new(0)` used to allow.
+    pub fn reserve_generations(&self, floor: u64) {
+        self.generations.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    fn insert_with(
+        &self,
+        name: &str,
+        instance: Instance,
+        generation: u64,
+    ) -> (Arc<StoredInstance>, Vec<String>) {
         let stored = Arc::new(StoredInstance {
             name: name.to_string(),
-            generation: self.generations.fetch_add(1, Ordering::Relaxed),
+            generation,
             instance,
         });
         let added = stored.approx_bytes();
+        let mut evicted = Vec::new();
         let mut map = self.instances.write().expect("store lock poisoned");
         if let Some(previous) = map.insert(
             name.to_string(),
@@ -170,8 +227,9 @@ impl InstanceStore {
             self.bytes.fetch_sub(freed, Ordering::Relaxed);
             self.evictions.fetch_add(1, Ordering::Relaxed);
             total -= freed;
+            evicted.push(coldest);
         }
-        stored
+        (stored, evicted)
     }
 
     /// The instance under a name, if loaded (refreshes its recency and
@@ -323,5 +381,149 @@ mod tests {
         assert!(store.get("ghost").is_none());
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    /// `n` tasks on 1 machine / 1 type, either chained (`n-1` in-forest
+    /// edges) or fully independent (0 edges).
+    fn structured_instance(n: usize, chained: bool) -> Instance {
+        let mut text = format!("tasks {n}\nmachines 1\ntypes 1\n");
+        for i in 0..n {
+            if chained && i + 1 < n {
+                text.push_str(&format!("task {i} 0 successor {}\n", i + 1));
+            } else {
+                text.push_str(&format!("task {i} 0\n"));
+            }
+        }
+        text.push_str("time 0 0 10\n");
+        for i in 0..n {
+            text.push_str(&format!("failure {i} 0 0.0\n"));
+        }
+        textio::instance_from_text(&text).unwrap()
+    }
+
+    /// The footprint estimate must charge the application's structure
+    /// vectors: a chain of `n` tasks carries `n-1` predecessor edges an
+    /// edge-free forest of the same shape doesn't, and the estimate must
+    /// grow by exactly one 8-byte cell per edge — otherwise LRU eviction
+    /// order is skewed against structure-light instances.
+    #[test]
+    fn approx_bytes_charges_structure_edges_chain_vs_forest() {
+        let n = 24;
+        let store = InstanceStore::new();
+        let chain = store.insert("chain", structured_instance(n, true));
+        let forest = store.insert("forest", structured_instance(n, false));
+        assert_eq!(
+            chain.approx_bytes() - forest.approx_bytes(),
+            8 * (n as u64 - 1),
+            "one 8-byte cell per in-forest edge"
+        );
+        // The matrices alone (the pre-fix formula) undercount both.
+        let matrices_only = 8 * ((1 + n as u64) + 4 * n as u64 + 1);
+        assert!(forest.approx_bytes() > matrices_only);
+    }
+
+    /// The restart-generation bugfix: a store rebuilt from a journal
+    /// (pinned generations + reserved high-water mark) never re-issues a
+    /// generation, even for generations whose instances were unloaded
+    /// before the crash.
+    #[test]
+    fn a_replayed_store_never_reissues_a_generation() {
+        let store = InstanceStore::new();
+        let mut issued = Vec::new();
+        for name in ["a", "b", "c"] {
+            issued.push(store.insert(name, tiny_instance()).generation);
+        }
+        assert_eq!(issued, vec![0, 1, 2]);
+        store.remove("c"); // generation 2 is dead but was issued
+
+        // Replay in arbitrary order with the original generations pinned,
+        // then reserve the journal's mark (one above the highest issued).
+        let replayed = InstanceStore::new();
+        replayed.insert_pinned("b", tiny_instance(), 1);
+        replayed.insert_pinned("a", tiny_instance(), 0);
+        replayed.reserve_generations(3);
+        assert_eq!(replayed.get("a").unwrap().generation, 0);
+        assert_eq!(replayed.get("b").unwrap().generation, 1);
+        let fresh = replayed.insert("d", tiny_instance());
+        assert_eq!(
+            fresh.generation, 3,
+            "a fresh load must start above the mark (2 was issued pre-restart)"
+        );
+        let replaced = replayed.insert("a", tiny_instance());
+        assert_eq!(replaced.generation, 4, "replacements keep climbing");
+        // Even without an explicit reserve, pinning alone keeps the counter
+        // above every pinned generation.
+        let pinned_only = InstanceStore::new();
+        pinned_only.insert_pinned("x", tiny_instance(), 7);
+        assert_eq!(pinned_only.insert("y", tiny_instance()).generation, 8);
+    }
+
+    /// Racing loaders churning past the byte cap: counters stay consistent
+    /// (hits + misses = gets, bytes match the resident set and respect the
+    /// cap once the dust settles) and an insert never evicts its own —
+    /// newest — entry.
+    #[test]
+    fn concurrent_load_churn_keeps_counters_consistent() {
+        let unit = {
+            let probe = InstanceStore::new();
+            probe.insert("probe", tiny_instance()).approx_bytes()
+        };
+        let store = InstanceStore::with_capacity(3 * unit);
+        let threads = 4;
+        let inserts_per_thread = 32;
+        let (gets, evicted_total) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let store = &store;
+                    scope.spawn(move || {
+                        let mut gets = 0u64;
+                        let mut evicted = 0u64;
+                        for i in 0..inserts_per_thread {
+                            let name = format!("t{t}-i{i}");
+                            let (stored, gone) = store.insert_tracked(&name, tiny_instance());
+                            assert_eq!(stored.name, name);
+                            assert!(
+                                !gone.contains(&name),
+                                "an insert must never evict its own (newest) entry"
+                            );
+                            evicted += gone.len() as u64;
+                            // Lookups race the other threads' evictions; any
+                            // outcome is fine, the accounting must hold.
+                            store.get(&name);
+                            store.get(&format!("t{}-i{i}", (t + 1) % threads));
+                            gets += 2;
+                        }
+                        (gets, evicted)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("churn thread panicked"))
+                .fold((0u64, 0u64), |(g, e), (dg, de)| (g + dg, e + de))
+        });
+        let stats = store.stats();
+        assert_eq!(stats.hits + stats.misses, gets);
+        assert_eq!(stats.evictions, evicted_total);
+        assert_eq!(
+            store.len() as u64 + evicted_total,
+            (threads * inserts_per_thread) as u64,
+            "every distinct name is either resident or was evicted exactly once"
+        );
+        assert!(
+            stats.bytes <= 3 * unit,
+            "bytes ({}) must respect the cap ({}) once every load returned",
+            stats.bytes,
+            3 * unit
+        );
+        let resident: u64 = store
+            .snapshot()
+            .iter()
+            .map(|stored| stored.approx_bytes())
+            .sum();
+        assert_eq!(
+            stats.bytes, resident,
+            "byte counter matches the resident set"
+        );
     }
 }

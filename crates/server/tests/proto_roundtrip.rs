@@ -175,7 +175,8 @@ impl Gen {
                     ErrorCode::InvalidPayload,
                     ErrorCode::Infeasible,
                     ErrorCode::NoResidentState,
-                ][self.index(5)],
+                    ErrorCode::JournalFailed,
+                ][self.index(6)],
                 detail: "something went wrong: `x` is not a thing".to_string(),
             },
         }

@@ -1,0 +1,305 @@
+//! Kill-and-resume warm restarts: a durable engine (or router) that is
+//! dropped mid-conversation — no shutdown, no flushes beyond the journal's
+//! own per-append flush — and reopened over the same data directory must
+//! continue the conversation **byte-identically** to one process that never
+//! died.
+//!
+//! The two session scripts are pinned under `tests/golden/` together with
+//! the uninterrupted transcript; the CI crash-recovery job drives the same
+//! scripts through the real binary with a real SIGKILL between them.
+//! Deliberately free of `stats`/`status-export` (counters reset on restart)
+//! and of `shutdown` (the CI job inspects the server after session B).
+//!
+//! Regenerate after an intentional protocol change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p mf-server --test warm_restart
+//! ```
+
+use mf_core::textio;
+use mf_heuristics::{H4wFastestMachine, Heuristic};
+use mf_server::proto::{text_payload, Request, Response};
+use mf_server::{serve_stdio, Engine, Handler, Router};
+use mf_sim::{GeneratorConfig, InstanceGenerator};
+use std::path::{Path, PathBuf};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("mf-warm-restart-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn instance_text(tasks: usize, machines: usize, types: usize, seed: u64) -> String {
+    let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(tasks, machines, types))
+        .generate(seed)
+        .unwrap();
+    textio::instance_to_text(&instance)
+}
+
+/// `alpha`'s instance — and the H4w mapping both sessions evaluate (the
+/// same mapping `solve alpha heuristic H4w` answers, so the evaluate after
+/// the restart exercises the generation-keyed cache on recovered state).
+fn alpha_text() -> String {
+    instance_text(10, 4, 2, 9)
+}
+
+fn beta_text() -> String {
+    instance_text(12, 5, 3, 11)
+}
+
+fn alpha_mapping_text() -> String {
+    let instance = textio::instance_from_text(&alpha_text()).unwrap();
+    textio::mapping_to_text(&H4wFastestMachine.map(&instance).unwrap())
+}
+
+/// `<command> <N>` followed by the `N` payload lines.
+fn with_payload(command: &str, text: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = format!("{command} {}\n", lines.len());
+    for line in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The pre-kill session: loads both instances, then works `alpha` hard
+/// enough to warm the keyed evaluate cache and park resident whatif state.
+fn session_a() -> String {
+    let mut script = String::new();
+    script.push_str(&with_payload("load alpha", &alpha_text()));
+    script.push_str(&with_payload("load beta", &beta_text()));
+    script.push_str("list\n");
+    script.push_str("solve alpha heuristic H4w\n");
+    script.push_str(&with_payload("evaluate alpha", &alpha_mapping_text()));
+    script.push_str("whatif alpha move 0 1\n");
+    script.push_str("solve beta portfolio\n");
+    script
+}
+
+/// The post-kill session: both instances must still answer — `list` shows
+/// them, the evaluate/whatif pair resumes on `alpha`, `beta` still solves,
+/// and the unload must stick.
+fn session_b() -> String {
+    let mut script = String::new();
+    script.push_str("list\n");
+    script.push_str(&with_payload("evaluate alpha", &alpha_mapping_text()));
+    script.push_str("whatif alpha move 0 1\n");
+    script.push_str("whatif alpha swap 0 2\n");
+    script.push_str("solve beta heuristic SD-H2 seed 7\n");
+    script.push_str("unload beta\n");
+    script.push_str("list\n");
+    script
+}
+
+fn transcript<H: Handler>(handler: &H, script: &str) -> String {
+    let mut output = Vec::new();
+    serve_stdio(handler, script.as_bytes(), &mut output).unwrap();
+    String::from_utf8(output).unwrap()
+}
+
+/// Both sessions against one process that never dies — the reference every
+/// kill-and-resume variant must reproduce byte for byte.
+fn uninterrupted_reference() -> String {
+    let engine = Engine::new(1);
+    let mut full = transcript(&engine, &session_a());
+    full.push_str(&transcript(&engine, &session_b()));
+    full
+}
+
+/// The scripts and the uninterrupted transcript are pinned as golden files —
+/// the same bytes the CI crash-recovery job pipes through the real binary.
+#[test]
+fn restart_scripts_and_transcript_are_pinned() {
+    let golden = |file: &str| format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"));
+    let pins = [
+        (golden("restart_session_a.in"), session_a()),
+        (golden("restart_session_b.in"), session_b()),
+        (golden("restart_session.out"), uninterrupted_reference()),
+    ];
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        for (path, actual) in &pins {
+            std::fs::write(path, actual).expect("write golden file");
+        }
+        return;
+    }
+    for (path, actual) in &pins {
+        let expected = std::fs::read_to_string(path).expect("golden file exists");
+        assert_eq!(
+            actual, &expected,
+            "{path} drifted; re-run with UPDATE_GOLDEN=1 if the change is intentional"
+        );
+    }
+}
+
+/// The tentpole pin: kill a durable server after session A (drop without
+/// shutdown), reopen the data directory, run session B — the concatenated
+/// transcript equals the uninterrupted run, for a single engine and for a
+/// sharded router alike.
+#[test]
+fn kill_and_resume_matches_the_uninterrupted_run() {
+    let reference = uninterrupted_reference();
+    // Single durable engine.
+    {
+        let dir = TempDir::new("engine");
+        let mut full = {
+            let engine = Engine::open(1, dir.path()).unwrap();
+            transcript(&engine, &session_a())
+        }; // dropped here: the "kill"
+        let engine = Engine::open(1, dir.path()).unwrap();
+        full.push_str(&transcript(&engine, &session_b()));
+        assert_eq!(full, reference, "durable engine restart changed the bytes");
+    }
+    // Sharded durable routers.
+    for workers in [1usize, 2] {
+        let dir = TempDir::new(&format!("router{workers}"));
+        let mut full = {
+            let router = Router::with_data_dir(workers, 1, dir.path()).unwrap();
+            transcript(&router, &session_a())
+        };
+        let router = Router::with_data_dir(workers, 1, dir.path()).unwrap();
+        full.push_str(&transcript(&router, &session_b()));
+        assert_eq!(
+            full, reference,
+            "{workers}-worker durable router restart changed the bytes"
+        );
+    }
+}
+
+/// One shared journal serves any worker count: a session served by a single
+/// durable engine can be resumed by a 2-worker router (each shard replays
+/// only the names that hash to it) and vice versa.
+#[test]
+fn restarts_recover_across_worker_counts() {
+    let reference = uninterrupted_reference();
+    let dir = TempDir::new("cross");
+    let mut full = {
+        let engine = Engine::open(1, dir.path()).unwrap();
+        transcript(&engine, &session_a())
+    };
+    let router = Router::with_data_dir(2, 1, dir.path()).unwrap();
+    full.push_str(&transcript(&router, &session_b()));
+    assert_eq!(
+        full, reference,
+        "engine-to-router restart changed the bytes"
+    );
+}
+
+/// The restart-generation bugfix, observed at the store: generations issued
+/// after a replay are strictly above every generation ever issued before it,
+/// so a `(generation, fingerprint)` cache key can never alias across the
+/// restart.
+#[test]
+fn restart_resumes_generations_strictly_above_the_journal_mark() {
+    let dir = TempDir::new("generations");
+    {
+        let engine = Engine::open(1, dir.path()).unwrap();
+        let mut session = engine.begin_session();
+        for (name, text) in [("alpha", alpha_text()), ("beta", beta_text())] {
+            let response = engine.dispatch(
+                &mut session,
+                Request::Load {
+                    name: name.into(),
+                    payload: text_payload(&text),
+                },
+            );
+            assert!(matches!(response, Response::Loaded { .. }), "{response:?}");
+        }
+        // beta took generation 1; unloading it must not surrender the mark.
+        let response = engine.dispatch(
+            &mut session,
+            Request::Unload {
+                name: "beta".into(),
+            },
+        );
+        assert!(
+            matches!(response, Response::Unloaded { .. }),
+            "{response:?}"
+        );
+        assert_eq!(engine.store().get("alpha").unwrap().generation, 0);
+    }
+    let engine = Engine::open(1, dir.path()).unwrap();
+    let mut session = engine.begin_session();
+    assert_eq!(
+        engine.store().get("alpha").unwrap().generation,
+        0,
+        "replay must pin the journaled generation"
+    );
+    let response = engine.dispatch(
+        &mut session,
+        Request::Load {
+            name: "gamma".into(),
+            payload: text_payload(&beta_text()),
+        },
+    );
+    assert!(matches!(response, Response::Loaded { .. }), "{response:?}");
+    assert_eq!(
+        engine.store().get("gamma").unwrap().generation,
+        2,
+        "the first post-restart generation must be strictly above beta's 1"
+    );
+}
+
+/// The recovery counter block: after session A the journal holds the boot
+/// mark plus two loads; a reopening engine reports exactly that replay in
+/// `status_report` — and in-memory engines keep an empty block (their JSON
+/// is unchanged).
+#[test]
+fn recovery_counters_surface_the_replay_in_the_status_report() {
+    let dir = TempDir::new("counters");
+    {
+        let engine = Engine::open(1, dir.path()).unwrap();
+        assert!(
+            engine
+                .status_report()
+                .recovery
+                .iter()
+                .any(|(key, value)| key == "journal-entries-replayed" && *value == 0),
+            "a fresh journal replays nothing"
+        );
+        transcript(&engine, &session_a());
+    }
+    let engine = Engine::open(1, dir.path()).unwrap();
+    let report = engine.status_report();
+    let get = |key: &str| {
+        report
+            .recovery
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("no recovery counter `{key}`"))
+            .1
+    };
+    assert_eq!(get("journal-entries-replayed"), 3, "boot mark + two loads");
+    assert!(get("journal-bytes-replayed") > 0);
+    assert_eq!(get("journal-compactions"), 1, "the boot snapshot");
+    assert_eq!(get("journal-live-instances"), 2);
+    assert_eq!(get("journal-generation-mark"), 2);
+    let json = report.to_json();
+    assert!(json.contains("\"journal-entries-replayed\": 3"), "{json}");
+    // A durable router over the same directory reports the same block.
+    drop(engine);
+    let router = Router::with_data_dir(2, 1, dir.path()).unwrap();
+    let router_report = router.status_report();
+    assert_eq!(router_report.recovery, report.recovery);
+    // In-memory servers never grow the block.
+    assert!(Engine::new(1).status_report().recovery.is_empty());
+    assert!(!Engine::new(1)
+        .status_report()
+        .to_json()
+        .contains("recovery"));
+}
