@@ -1,18 +1,24 @@
-//! The keyed evaluate cache: (store generation, mapping fingerprint) →
-//! period breakdown + pristine evaluator snapshot.
+//! The keyed evaluate cache: (store name, load generation, mapping
+//! fingerprint) → period breakdown + pristine evaluator snapshot.
 //!
 //! Dashboards re-`evaluate` the same few mappings against the same instances
 //! over and over; each of those evaluations rebuilds an
 //! [`IncrementalEvaluator`](mf_core::IncrementalEvaluator) from scratch —
 //! `O(n log m)` demand/load work that produces a bit-identical answer every
-//! time. This cache keys a finished evaluation by the instance's
-//! **load generation** (process-unique, bumped on every `load`, so a reload
+//! time. This cache keys a finished evaluation by the instance's store
+//! name, its **load generation** (bumped on every `load`, so a reload
 //! invalidates all cached entries for the name automatically) and the
 //! mapping's content [`fingerprint`](mf_core::Mapping::fingerprint), and
 //! stores the full answer: period, critical machine, per-machine loads,
 //! **and** the pristine post-build [`EvaluatorSnapshot`] — so a cache hit
 //! still installs session-resident what-if state, exactly as a fresh build
 //! would, without running the evaluator.
+//!
+//! The name is part of the key because generations are only unique *per
+//! engine counter*: a shared multi-worker journal replayed at a different
+//! `--workers` count can legitimately pin two different instances at the
+//! same generation inside one engine, and `(generation, fingerprint)` alone
+//! would let one instance's evaluation answer for the other.
 //!
 //! Entries are evicted least-recently-used past [`EVALUATE_CACHE_CAP`], and
 //! hits/misses/evictions are counted for `stats` (v2) and `status-export`.
@@ -42,16 +48,17 @@ pub struct CachedEvaluation {
 }
 
 struct CacheEntry {
-    /// Store name the generation belongs to (for purge-by-name).
-    name: String,
     value: CachedEvaluation,
     /// Recency stamp for the LRU cap.
     last_used: u64,
 }
 
+/// Cache key: store name, load generation, mapping fingerprint.
+type CacheKey = (String, u64, u64);
+
 #[derive(Default)]
 struct CacheInner {
-    entries: HashMap<(u64, u64), CacheEntry>,
+    entries: HashMap<CacheKey, CacheEntry>,
     clock: u64,
 }
 
@@ -90,11 +97,19 @@ impl EvaluateCache {
     }
 
     /// Looks up a finished evaluation; counts a hit or a miss either way.
-    pub fn lookup(&self, generation: u64, fingerprint: u64) -> Option<CachedEvaluation> {
+    pub fn lookup(
+        &self,
+        name: &str,
+        generation: u64,
+        fingerprint: u64,
+    ) -> Option<CachedEvaluation> {
         let mut inner = self.inner.lock().expect("evaluate cache poisoned");
         inner.clock += 1;
         let clock = inner.clock;
-        match inner.entries.get_mut(&(generation, fingerprint)) {
+        match inner
+            .entries
+            .get_mut(&(name.to_string(), generation, fingerprint))
+        {
             Some(entry) => {
                 entry.last_used = clock;
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -116,36 +131,35 @@ impl EvaluateCache {
         let mut inner = self.inner.lock().expect("evaluate cache poisoned");
         inner.clock += 1;
         let clock = inner.clock;
-        if !inner.entries.contains_key(&(generation, fingerprint))
-            && inner.entries.len() >= self.cap
-        {
+        let key = (name.to_string(), generation, fingerprint);
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.cap {
             if let Some(coldest) = inner
                 .entries
                 .iter()
                 .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(key, _)| *key)
+                .map(|(key, _)| key.clone())
             {
                 inner.entries.remove(&coldest);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         inner.entries.insert(
-            (generation, fingerprint),
+            key,
             CacheEntry {
-                name: name.to_string(),
                 value,
                 last_used: clock,
             },
         );
     }
 
-    /// Drops every entry of one store name. Generations are process-unique,
-    /// so stale entries could never hit again anyway — purging on
-    /// `load`/`unload` just frees their memory eagerly instead of waiting
-    /// for the LRU cap to age them out.
+    /// Drops every entry of one store name. A name's generation never
+    /// repeats (the store counter only climbs and replays reserve the
+    /// journal mark), so stale entries could never hit again anyway —
+    /// purging on `load`/`unload` just frees their memory eagerly instead
+    /// of waiting for the LRU cap to age them out.
     pub fn purge(&self, name: &str) {
         let mut inner = self.inner.lock().expect("evaluate cache poisoned");
-        inner.entries.retain(|_, entry| entry.name != name);
+        inner.entries.retain(|key, _| key.0 != name);
     }
 
     /// Resident entry count.
@@ -212,20 +226,41 @@ mod tests {
     fn lookup_counts_hits_and_misses_and_lru_evicts() {
         let cache = EvaluateCache::with_cap(2);
         let (period, snapshot) = snapshot_for(1);
-        assert!(cache.lookup(1, 10).is_none());
+        assert!(cache.lookup("a", 1, 10).is_none());
         cache.insert("a", 1, 10, cached(period, snapshot.clone()));
         cache.insert("a", 1, 11, cached(period, snapshot.clone()));
-        let hit = cache.lookup(1, 10).expect("cached");
+        let hit = cache.lookup("a", 1, 10).expect("cached");
         assert_eq!(hit.period.to_bits(), period.to_bits());
-        // Entry (1,11) is now the coldest; a third insert evicts it.
+        // Entry (a,1,11) is now the coldest; a third insert evicts it.
         cache.insert("b", 2, 12, cached(period, snapshot.clone()));
-        assert!(cache.lookup(1, 11).is_none(), "LRU entry must be evicted");
-        assert!(cache.lookup(1, 10).is_some());
-        assert!(cache.lookup(2, 12).is_some());
+        assert!(
+            cache.lookup("a", 1, 11).is_none(),
+            "LRU entry must be evicted"
+        );
+        assert!(cache.lookup("a", 1, 10).is_some());
+        assert!(cache.lookup("b", 2, 12).is_some());
         assert_eq!(cache.hits(), 3);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.evictions(), 1);
         assert_eq!(cache.len(), 2);
+    }
+
+    /// Two names pinned at the same generation (a multi-worker journal
+    /// replayed into fewer engines does exactly this) must keep separate
+    /// entries even for the same mapping fingerprint.
+    #[test]
+    fn same_generation_and_fingerprint_do_not_alias_across_names() {
+        let cache = EvaluateCache::new();
+        let (period_a, snapshot_a) = snapshot_for(1);
+        let (period_b, snapshot_b) = snapshot_for(2);
+        assert_ne!(period_a.to_bits(), period_b.to_bits());
+        cache.insert("a", 0, 10, cached(period_a, snapshot_a));
+        cache.insert("b", 0, 10, cached(period_b, snapshot_b));
+        assert_eq!(cache.len(), 2, "the keys must not collide");
+        let hit_a = cache.lookup("a", 0, 10).expect("a cached");
+        let hit_b = cache.lookup("b", 0, 10).expect("b cached");
+        assert_eq!(hit_a.period.to_bits(), period_a.to_bits());
+        assert_eq!(hit_b.period.to_bits(), period_b.to_bits());
     }
 
     #[test]
@@ -237,8 +272,8 @@ mod tests {
         cache.insert("b", 2, 10, cached(period, snapshot));
         cache.purge("a");
         assert_eq!(cache.len(), 1);
-        assert!(cache.lookup(2, 10).is_some());
-        assert!(cache.lookup(1, 10).is_none());
+        assert!(cache.lookup("b", 2, 10).is_some());
+        assert!(cache.lookup("a", 1, 10).is_none());
     }
 
     #[test]
@@ -247,7 +282,7 @@ mod tests {
         let (period, snapshot) = snapshot_for(1);
         cache.insert("a", 1, 10, cached(period, snapshot));
         assert!(cache.is_empty());
-        assert!(cache.lookup(1, 10).is_none());
+        assert!(cache.lookup("a", 1, 10).is_none());
         assert_eq!(cache.evictions(), 0);
     }
 }

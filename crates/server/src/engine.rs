@@ -355,14 +355,16 @@ impl Engine {
         // purging just frees them eagerly.
         session.resident.remove(name);
         self.cache.purge(name);
+        // The load counter tracks applied store mutations, so it moves even
+        // when journaling the mutation fails (the load is live in memory —
+        // only its durability is gone).
+        Counters::bump(&self.counters.loads);
         if let Err(error) = journaled {
-            // The load is live in memory — only its durability is gone.
             return EngineError::JournalFailed {
                 detail: one_line(error),
             }
             .into_response();
         }
-        Counters::bump(&self.counters.loads);
         Response::Loaded {
             name: name.to_string(),
             tasks: stored.tasks(),
@@ -384,13 +386,14 @@ impl Engine {
         if removed {
             session.resident.remove(name);
             self.cache.purge(name);
+            // Counted on apply, not on durability — see `load`.
+            Counters::bump(&self.counters.unloads);
             if let Err(error) = journaled {
                 return EngineError::JournalFailed {
                     detail: one_line(error),
                 }
                 .into_response();
             }
-            Counters::bump(&self.counters.unloads);
             Response::Unloaded {
                 name: name.to_string(),
             }
@@ -497,7 +500,7 @@ impl Engine {
         // A keyed-cache hit serves the identical answer (and the identical
         // pristine snapshot) without building the evaluator at all.
         let fingerprint = mapping.fingerprint();
-        let evaluation = match self.cache.lookup(stored.generation, fingerprint) {
+        let evaluation = match self.cache.lookup(name, stored.generation, fingerprint) {
             Some(hit) => hit,
             None => match self.build_evaluation(name, &stored, &mapping, fingerprint) {
                 Ok(built) => built,
@@ -627,7 +630,7 @@ impl Engine {
         // keyed-cached too: re-solving to a mapping this engine has already
         // evaluated (or an `evaluate` of a solved mapping) is a cache hit.
         let fingerprint = mapping.fingerprint();
-        let evaluation = match self.cache.lookup(stored.generation, fingerprint) {
+        let evaluation = match self.cache.lookup(name, stored.generation, fingerprint) {
             Some(hit) => hit,
             None => match self.build_evaluation(name, &stored, &mapping, fingerprint) {
                 Ok(built) => built,

@@ -38,8 +38,12 @@
 //! instances is updated first, then the record is appended and flushed.
 //! Every [`COMPACT_EVERY`] appends — and once on every boot — the file is
 //! rewritten from the shadow as one snapshot (`mark` + one `load` per live
-//! instance, name-sorted), atomically via a temp file and `rename`, so the
-//! file stays proportional to the live set instead of the full history.
+//! instance, in load order, oldest first), atomically via a temp file and
+//! `rename`, so the file stays proportional to the live set instead of the
+//! full history. Keeping load order through compaction and replay lets a
+//! restarted store approximate its pre-crash LRU recency (`get` touches are
+//! not journaled, so eviction parity under byte-cap pressure is approximate,
+//! not exact).
 //!
 //! # Crash safety
 //!
@@ -49,6 +53,20 @@
 //! died inside `write`) is discarded at the next boot: replay stops at the
 //! first undecodable record and the boot compaction rewrites the file from
 //! exactly the state that survived.
+//!
+//! A *runtime* append failure (disk full mid-`write`) can tear the tail the
+//! same way while the process lives on. The writer is then **poisoned**:
+//! nothing is ever appended after possibly-torn bytes. The journal
+//! immediately tries to heal by rewriting the file from the shadow (which
+//! already carries the record); if that also fails, every subsequent append
+//! retries the rewrite first — so acknowledged records can never end up
+//! stranded behind a tear that replay would discard.
+//!
+//! One process per data directory is enforced with an advisory `flock` on a
+//! sibling [`LOCK_FILE`]: a second `Journal::open` on a locked directory
+//! fails fast with [`JournalError::Locked`] instead of silently interleaving
+//! appends. The lock follows the file description, so it releases the
+//! moment the holder dies — `SIGKILL` included — and can never go stale.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -62,6 +80,12 @@ pub const JOURNAL_FORMAT: &str = "mf-journal v1";
 
 /// File name of the journal inside a `--data-dir` directory.
 pub const JOURNAL_FILE: &str = "journal.mfj";
+
+/// File name of the advisory lock inside a `--data-dir` directory. The lock
+/// lives on its own file (not on the journal) because compaction replaces
+/// the journal's inode on every atomic rename, which would silently drop a
+/// lock held on it.
+pub const LOCK_FILE: &str = "journal.lock";
 
 /// Appends between automatic compactions. Each compaction rewrites the file
 /// from the live shadow map, so the file length is bounded by
@@ -89,6 +113,13 @@ pub enum JournalError {
         /// The offending text.
         text: String,
     },
+    /// Another process already holds the data directory's journal lock —
+    /// two servers appending to one journal would corrupt each other's
+    /// state, so the second opener fails fast instead.
+    Locked {
+        /// The contended data directory.
+        dir: String,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -100,6 +131,12 @@ impl std::fmt::Display for JournalError {
             }
             JournalError::UnencodableText { text } => {
                 write!(f, "text cannot be journaled losslessly: {text:?}")
+            }
+            JournalError::Locked { dir } => {
+                write!(
+                    f,
+                    "data directory `{dir}` is locked by another server process"
+                )
             }
         }
     }
@@ -344,37 +381,65 @@ pub struct RecoveredInstance {
     pub payload: Vec<String>,
 }
 
+/// One live instance in the write-behind shadow.
+#[derive(Debug)]
+struct LiveEntry {
+    generation: u64,
+    payload: Vec<String>,
+    /// Load-order stamp (bumped on every load, including same-name
+    /// reloads): compaction and replay emit live instances in this order,
+    /// so a restarted store approximates its pre-crash LRU recency.
+    seq: u64,
+}
+
 #[derive(Debug)]
 struct Inner {
     path: PathBuf,
     file: BufWriter<File>,
-    /// Shadow of the live instance set: name → (generation, payload). The
-    /// single source compactions snapshot from — deliberately independent
-    /// of the engine stores, so a shared multi-worker journal needs no
-    /// cross-shard coordination to compact.
-    live: BTreeMap<String, (u64, Vec<String>)>,
+    /// Held for the journal's lifetime: the advisory `flock` on
+    /// [`LOCK_FILE`]. Releases automatically when the process dies,
+    /// `SIGKILL` included, so it can never go stale.
+    _lock: File,
+    /// Shadow of the live instance set. The single source compactions
+    /// snapshot from — deliberately independent of the engine stores, so a
+    /// shared multi-worker journal needs no cross-shard coordination to
+    /// compact.
+    live: BTreeMap<String, LiveEntry>,
+    /// The next [`LiveEntry::seq`] stamp.
+    next_seq: u64,
     /// Generation floor (see [`JournalRecord::Mark`]).
     mark: u64,
     appends_since_compact: u64,
+    /// Set when an append failed mid-write: the file tail may be torn, so
+    /// nothing may be appended until a compaction rewrites the file from
+    /// the shadow (compaction clears the flag).
+    poisoned: bool,
     entries_replayed: u64,
     bytes_replayed: u64,
     compactions: u64,
     torn_tail: bool,
+    #[cfg(test)]
+    fail_appends: u64,
+    #[cfg(test)]
+    fail_compactions: u64,
 }
 
 /// Writes a compacted snapshot of `live` to `path` (atomically, via a temp
-/// file and rename) and returns a fresh append handle on it.
+/// file and rename) and returns a fresh append handle on it. Loads are
+/// emitted oldest-first so replay reconstructs load-order recency.
 fn write_snapshot(
     path: &Path,
     mark: u64,
-    live: &BTreeMap<String, (u64, Vec<String>)>,
+    live: &BTreeMap<String, LiveEntry>,
 ) -> JournalResult<BufWriter<File>> {
     let mut records = vec![JournalRecord::Mark { generation: mark }];
-    for (name, (generation, payload)) in live {
+    let mut ordered: Vec<(&String, &LiveEntry)> = live.iter().collect();
+    ordered.sort_by_key(|(_, entry)| entry.seq);
+    for (name, entry) in ordered {
         records.push(JournalRecord::Load {
             name: name.clone(),
-            generation: *generation,
-            payload: payload.clone(),
+            generation: entry.generation,
+            payload: entry.payload.clone(),
         });
     }
     let text = records_to_text(&records)?;
@@ -384,18 +449,68 @@ fn write_snapshot(
     Ok(BufWriter::new(OpenOptions::new().append(true).open(path)?))
 }
 
+/// Takes the advisory exclusive lock, failing fast (`LOCK_NB`) when another
+/// open file description — typically another server process — holds it.
+#[cfg(unix)]
+fn try_lock_exclusive(file: &File) -> std::io::Result<()> {
+    use std::os::unix::io::AsRawFd;
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    // SAFETY: `flock` takes a valid fd (owned by `file` for the duration of
+    // the call) and an operation flag; no pointers are involved.
+    if unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) } == 0 {
+        Ok(())
+    } else {
+        Err(std::io::Error::last_os_error())
+    }
+}
+
+/// Single-process-per-data-dir is only enforced on unix; elsewhere the lock
+/// file is created but not held.
+#[cfg(not(unix))]
+fn try_lock_exclusive(_file: &File) -> std::io::Result<()> {
+    Ok(())
+}
+
 impl Inner {
     fn compact(&mut self) -> JournalResult<()> {
+        #[cfg(test)]
+        if self.fail_compactions > 0 {
+            self.fail_compactions -= 1;
+            return Err(JournalError::Io {
+                detail: "injected compaction failure".to_string(),
+            });
+        }
         self.file = write_snapshot(&self.path, self.mark, &self.live)?;
         self.appends_since_compact = 0;
+        self.poisoned = false;
         self.compactions += 1;
         Ok(())
+    }
+
+    /// Appends one encoded record to the file and flushes it to the OS.
+    fn write_record(&mut self, text: &str) -> std::io::Result<()> {
+        #[cfg(test)]
+        if self.fail_appends > 0 {
+            self.fail_appends -= 1;
+            // A crash-grade failure: half the record reaches the file,
+            // then the write errors out.
+            let _ = self.file.write_all(&text.as_bytes()[..text.len() / 2]);
+            let _ = self.file.flush();
+            return Err(std::io::Error::other("injected append failure"));
+        }
+        self.file.write_all(text.as_bytes())?;
+        self.file.flush()
     }
 }
 
 /// The write-behind journal of one data directory. Thread-safe: a router's
 /// workers append to one shared journal. One server process per data
-/// directory — the journal takes no file lock.
+/// directory, enforced by an advisory `flock` on [`LOCK_FILE`] — a second
+/// opener fails fast with [`JournalError::Locked`].
 #[derive(Debug)]
 pub struct Journal {
     inner: Mutex<Inner>,
@@ -411,8 +526,17 @@ impl Journal {
     pub fn open(data_dir: impl AsRef<Path>) -> JournalResult<Journal> {
         let dir = data_dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        let lock = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(dir.join(LOCK_FILE))?;
+        try_lock_exclusive(&lock).map_err(|_| JournalError::Locked {
+            dir: dir.display().to_string(),
+        })?;
         let path = dir.join(JOURNAL_FILE);
         let mut live = BTreeMap::new();
+        let mut next_seq = 0u64;
         let mut mark = 0u64;
         let mut entries_replayed = 0u64;
         let mut bytes_replayed = 0u64;
@@ -453,7 +577,16 @@ impl Journal {
                                         payload,
                                     } => {
                                         mark = mark.max(generation + 1);
-                                        live.insert(name, (generation, payload));
+                                        let seq = next_seq;
+                                        next_seq += 1;
+                                        live.insert(
+                                            name,
+                                            LiveEntry {
+                                                generation,
+                                                payload,
+                                                seq,
+                                            },
+                                        );
                                     }
                                     JournalRecord::Unload { name } => {
                                         live.remove(&name);
@@ -476,9 +609,12 @@ impl Journal {
             inner: Mutex::new(Inner {
                 path,
                 file,
+                _lock: lock,
                 live,
+                next_seq,
                 mark,
                 appends_since_compact: 0,
+                poisoned: false,
                 entries_replayed,
                 bytes_replayed,
                 // The boot snapshot of a pre-existing journal is a
@@ -486,6 +622,10 @@ impl Journal {
                 // not.
                 compactions: u64::from(existed),
                 torn_tail,
+                #[cfg(test)]
+                fail_appends: 0,
+                #[cfg(test)]
+                fail_compactions: 0,
             }),
         })
     }
@@ -503,21 +643,45 @@ impl Journal {
                 payload,
             } => {
                 inner.mark = inner.mark.max(generation + 1);
-                inner.live.insert(name, (generation, payload));
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                inner.live.insert(
+                    name,
+                    LiveEntry {
+                        generation,
+                        payload,
+                        seq,
+                    },
+                );
             }
             JournalRecord::Unload { name } => {
                 inner.live.remove(&name);
             }
         }
         inner.appends_since_compact += 1;
-        if inner.appends_since_compact >= COMPACT_EVERY {
-            // The snapshot carries this record (the shadow is already
-            // updated), and a failed earlier append heals here too.
-            inner.compact()
-        } else {
-            inner.file.write_all(text.as_bytes())?;
-            inner.file.flush()?;
-            Ok(())
+        if inner.poisoned || inner.appends_since_compact >= COMPACT_EVERY {
+            // A poisoned writer must never append after possibly-torn
+            // bytes; rewriting from the shadow heals the tear and carries
+            // this record (the shadow is already updated). The periodic
+            // compaction rides the same path.
+            return inner.compact();
+        }
+        match inner.write_record(&text) {
+            Ok(()) => Ok(()),
+            Err(error) => {
+                // The tail may now hold a torn record, and replay stops at
+                // the first undecodable byte — appending after it would
+                // silently discard acknowledged records on the next boot.
+                // Heal immediately by rewriting from the shadow; if that
+                // also fails, stay poisoned so the next append compacts
+                // before anything else touches the file.
+                inner.poisoned = true;
+                if inner.compact().is_ok() {
+                    Ok(())
+                } else {
+                    Err(error.into())
+                }
+            }
         }
     }
 
@@ -549,19 +713,33 @@ impl Journal {
         self.inner.lock().expect("journal lock poisoned").mark
     }
 
-    /// The recovered live instances, name-sorted — what a booting engine
-    /// (or each router shard, after hashing the names) re-inserts.
+    /// The recovered live instances in original load order (oldest load
+    /// first; a same-name reload refreshes) — what a booting engine (or
+    /// each router shard, after hashing the names) re-inserts. Adopting
+    /// them in this order stamps store recency the way the pre-crash loads
+    /// did, so byte-cap eviction after a restart approximates the
+    /// uninterrupted schedule.
     pub fn live_instances(&self) -> Vec<RecoveredInstance> {
         let inner = self.inner.lock().expect("journal lock poisoned");
-        inner
-            .live
-            .iter()
-            .map(|(name, (generation, payload))| RecoveredInstance {
+        let mut entries: Vec<(&String, &LiveEntry)> = inner.live.iter().collect();
+        entries.sort_by_key(|(_, entry)| entry.seq);
+        entries
+            .into_iter()
+            .map(|(name, entry)| RecoveredInstance {
                 name: name.clone(),
-                generation: *generation,
-                payload: payload.clone(),
+                generation: entry.generation,
+                payload: entry.payload.clone(),
             })
             .collect()
+    }
+
+    /// Test hook: makes the next `appends` record writes tear mid-write and
+    /// the next `compactions` compaction attempts fail.
+    #[cfg(test)]
+    fn inject_failures(&self, appends: u64, compactions: u64) {
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        inner.fail_appends = appends;
+        inner.fail_compactions = compactions;
     }
 
     /// Number of live instances in the shadow map.
@@ -766,6 +944,101 @@ mod tests {
         let journal = Journal::open(&dir).unwrap();
         assert!(!journal.recovered_torn_tail());
         assert_eq!(journal.live_instances().len(), 1);
+    }
+
+    /// A torn runtime append whose immediate heal succeeds: the record is
+    /// durable, nothing was appended after the torn bytes, and the next
+    /// boot replays every acknowledged record.
+    #[test]
+    fn a_failed_append_heals_by_compaction_instead_of_appending_after_the_tear() {
+        let dir = tempdir("append-fail");
+        let journal = Journal::open(&dir).unwrap();
+        journal.record_load("alpha", 0, &payload()).unwrap();
+        journal.inject_failures(1, 0);
+        journal.record_load("beta", 1, &payload()).unwrap();
+        journal.record_load("gamma", 2, &payload()).unwrap();
+        drop(journal);
+        let journal = Journal::open(&dir).unwrap();
+        assert!(
+            !journal.recovered_torn_tail(),
+            "the heal must rewrite the torn tail away"
+        );
+        let names: Vec<String> = journal
+            .live_instances()
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+    }
+
+    /// A torn append whose heal also fails poisons the writer: the failed
+    /// record is reported, and the *next* append must compact from the
+    /// shadow instead of appending after the torn bytes — so no later
+    /// acknowledged record is ever stranded behind the tear.
+    #[test]
+    fn a_poisoned_writer_compacts_on_the_next_append() {
+        let dir = tempdir("poisoned");
+        let journal = Journal::open(&dir).unwrap();
+        journal.record_load("alpha", 0, &payload()).unwrap();
+        journal.inject_failures(1, 1);
+        let err = journal.record_load("beta", 1, &payload()).unwrap_err();
+        assert!(matches!(err, JournalError::Io { .. }), "{err:?}");
+        journal.record_load("gamma", 2, &payload()).unwrap();
+        drop(journal);
+        let journal = Journal::open(&dir).unwrap();
+        assert!(!journal.recovered_torn_tail(), "the healing compaction");
+        let names: Vec<String> = journal
+            .live_instances()
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        // `beta` was answered with a journal-failed error but stayed live in
+        // memory (the shadow mirrors the store), so the healing compaction
+        // legitimately persists it alongside the acknowledged records.
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+    }
+
+    /// Compaction and replay preserve load order (oldest first, reload
+    /// refreshes), so a restarted store approximates pre-crash LRU recency
+    /// instead of resetting it to name order.
+    #[test]
+    fn replay_and_compaction_preserve_load_order_for_recency() {
+        let dir = tempdir("recency");
+        {
+            let journal = Journal::open(&dir).unwrap();
+            journal.record_load("zeta", 0, &payload()).unwrap();
+            journal.record_load("alpha", 1, &payload()).unwrap();
+            journal.record_load("mid", 2, &payload()).unwrap();
+            // Re-loading zeta makes it the most recent again.
+            journal.record_load("zeta", 3, &payload()).unwrap();
+        }
+        let order = |journal: &Journal| -> Vec<String> {
+            journal
+                .live_instances()
+                .into_iter()
+                .map(|r| r.name)
+                .collect()
+        };
+        let journal = Journal::open(&dir).unwrap();
+        assert_eq!(order(&journal), ["alpha", "mid", "zeta"]);
+        // The boot snapshot wrote the same order, so a third open agrees.
+        drop(journal);
+        let journal = Journal::open(&dir).unwrap();
+        assert_eq!(order(&journal), ["alpha", "mid", "zeta"]);
+    }
+
+    /// Two journals on one data directory would interleave appends and
+    /// corrupt each other; the second opener must be refused while the
+    /// first lives, and succeed once the lock holder is gone.
+    #[cfg(unix)]
+    #[test]
+    fn a_second_opener_of_the_same_data_dir_is_refused() {
+        let dir = tempdir("locked");
+        let first = Journal::open(&dir).unwrap();
+        let err = Journal::open(&dir).unwrap_err();
+        assert!(matches!(err, JournalError::Locked { .. }), "{err:?}");
+        drop(first);
+        Journal::open(&dir).expect("the lock must release with its holder");
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! `batch N` envelopes (many requests, one round trip, answers in request
 //! order), the `status-export` JSON report, and the keyed-cache counters in
 //! `stats`. Each engine serves repeated `evaluate`s of an unchanged
-//! instance from a keyed [`EvaluateCache`] — (store generation, mapping
-//! fingerprint) → full breakdown plus pristine evaluator snapshot — and a
+//! instance from a keyed [`EvaluateCache`] — (store name, load generation,
+//! mapping fingerprint) → full breakdown plus pristine evaluator snapshot —
+//! and a
 //! sharded [`Router`] tier (`mf serve --workers N`) hashes instance names
 //! across `N` worker engines behind the same [`Handler`] interface.
 //!
@@ -55,7 +56,7 @@ pub use engine::{Engine, Session, DEFAULT_HEURISTIC_SEED};
 pub use errors::EngineError;
 pub use journal::{
     records_from_text, records_to_text, Journal, JournalError, JournalRecord, JournalResult,
-    RecoveredInstance, COMPACT_EVERY, JOURNAL_FILE, JOURNAL_FORMAT,
+    RecoveredInstance, COMPACT_EVERY, JOURNAL_FILE, JOURNAL_FORMAT, LOCK_FILE,
 };
 pub use proto::{
     request_from_text, request_to_text, response_from_text, response_to_text, text_payload,

@@ -255,6 +255,101 @@ fn restart_resumes_generations_strictly_above_the_journal_mark() {
     );
 }
 
+/// The high-severity restart-aliasing regression: shard engines issue
+/// generations from independent counters, so a shared journal written at
+/// `--workers 2` pins both shards' first loads at generation 0. Restarting
+/// at `--workers 1` replays both into ONE engine, in front of ONE evaluate
+/// cache — and evaluating both with the same mapping bytes (same
+/// fingerprint) must answer each instance's own period, which only holds
+/// because the cache key carries the instance name.
+#[test]
+fn same_generation_instances_replayed_into_one_engine_do_not_alias_the_cache() {
+    // Two instances of identical shape (one shared mapping text is valid
+    // for both) whose processing times differ (so their periods differ).
+    let shaped_instance = |fast: u64, slow: u64| {
+        format!(
+            "tasks 2\nmachines 2\ntypes 1\ntask 0 0\ntask 1 0\n\
+             time 0 0 {fast}\ntime 0 1 {slow}\n\
+             failure 0 0 0.0\nfailure 0 1 0.0\nfailure 1 0 0.0\nfailure 1 1 0.0\n"
+        )
+    };
+    let text_a = shaped_instance(10, 20);
+    let text_b = shaped_instance(30, 40);
+    let mapping = {
+        let instance = textio::instance_from_text(&text_a).unwrap();
+        textio::mapping_to_text(&H4wFastestMachine.map(&instance).unwrap())
+    };
+    // Two names that land on different shards of a 2-worker router.
+    let probe = Router::new(2, 1);
+    let candidates: Vec<String> = (0..64).map(|k| format!("inst{k}")).collect();
+    let name_a = candidates
+        .iter()
+        .find(|name| probe.shard_of(name) == 0)
+        .expect("64 names must touch shard 0")
+        .clone();
+    let name_b = candidates
+        .iter()
+        .find(|name| probe.shard_of(name) == 1)
+        .expect("64 names must touch shard 1")
+        .clone();
+
+    let dir = TempDir::new("alias");
+    {
+        let router = Router::with_data_dir(2, 1, dir.path()).unwrap();
+        let mut session = router.begin_session();
+        for (name, text) in [(&name_a, &text_a), (&name_b, &text_b)] {
+            let response = router.dispatch(
+                &mut session,
+                Request::Load {
+                    name: name.to_string(),
+                    payload: text_payload(text),
+                },
+            );
+            assert!(matches!(response, Response::Loaded { .. }), "{response:?}");
+        }
+        // The collision ingredient: both shards issued generation 0.
+        let generation_of = |name: &str| {
+            let shard = router.shard_of(name);
+            router.engines()[shard]
+                .store()
+                .get(name)
+                .unwrap()
+                .generation
+        };
+        assert_eq!(generation_of(&name_a), 0);
+        assert_eq!(generation_of(&name_b), 0);
+    }
+
+    // Restart as a single engine: both live in one store at generation 0.
+    let engine = Engine::open(1, dir.path()).unwrap();
+    let mut session = engine.begin_session();
+    let mut evaluate = |name: &str| match engine.dispatch(
+        &mut session,
+        Request::Evaluate {
+            name: name.to_string(),
+            payload: text_payload(&mapping),
+        },
+    ) {
+        Response::Evaluated { period, .. } => period,
+        other => panic!("evaluate {name} failed: {other:?}"),
+    };
+    let expected = |text: &str| {
+        let instance = textio::instance_from_text(text).unwrap();
+        let mapping = textio::mapping_from_text(&mapping).unwrap();
+        instance.period(&mapping).unwrap().value()
+    };
+    // Warm the cache with `name_a`'s entry, then `name_b` must miss it.
+    let got_a = evaluate(&name_a);
+    let got_b = evaluate(&name_b);
+    assert_eq!(got_a.to_bits(), expected(&text_a).to_bits());
+    assert_eq!(
+        got_b.to_bits(),
+        expected(&text_b).to_bits(),
+        "`evaluate {name_b}` must not be served from `{name_a}`'s cache entry"
+    );
+    assert_ne!(got_a.to_bits(), got_b.to_bits());
+}
+
 /// The recovery counter block: after session A the journal holds the boot
 /// mark plus two loads; a reopening engine reports exactly that replay in
 /// `status_report` — and in-memory engines keep an empty block (their JSON
