@@ -6,15 +6,18 @@
 //! (H6 / steepest descent / tabu over the shared H4w seed), branch-and-bound
 //! node throughput (staged evaluator vs legacy scan), what-if cost on a
 //! tree-shaped instance (the forest variant of the dense fast path vs a
-//! full recompute), and the steepest-descent sweep with and without the
-//! dirty-candidate cache (periods identical by construction; the
-//! `evaluator_calls` column is the point) — with plain `Instant` timing and
-//! writes median nanoseconds per run to `BENCH_search.json`, so the perf
-//! trajectory accumulates commit over commit (CI uploads the file as an
-//! artifact).
+//! full recompute), the steepest-descent sweep with and without the
+//! dirty-candidate cache on both the forest and the chain shape (periods
+//! identical by construction; the `evaluator_calls` column is the point —
+//! the chain rows pin the delta-transfer rescaling win), and a portfolio
+//! run under the barrier vs the work-stealing round executor (outcomes
+//! identical by construction; the delta is wall clock) — with plain
+//! `Instant` timing and writes median nanoseconds per run to
+//! `BENCH_core.json`, so the perf trajectory accumulates commit over
+//! commit (CI uploads the file as an artifact).
 //!
 //! ```sh
-//! cargo run --release -p mf-bench --bin bench_summary -- --out BENCH_search.json
+//! cargo run --release -p mf-bench --bin bench_summary -- --out BENCH_core.json
 //! cargo run --release -p mf-bench --bin bench_summary -- --quick   # CI smoke
 //! ```
 //!
@@ -24,6 +27,8 @@
 use mf_bench::{forest_instance, standard_instance};
 use mf_core::prelude::*;
 use mf_exact::{branch_and_bound, BnbConfig};
+use mf_experiments::portfolio::{run_portfolio, run_portfolio_barrier, PortfolioConfig};
+use mf_experiments::runner::BatchRunner;
 use mf_heuristics::search::{
     polish_with, SearchEngine, SearchStrategy, SteepestDescent, TabuSearch,
 };
@@ -73,7 +78,7 @@ fn time<R>(iterations: usize, mut run: impl FnMut() -> R) -> Vec<u128> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_search.json".to_string();
+    let mut out_path = "BENCH_core.json".to_string();
     let mut iterations = 9usize;
     let mut quick = false;
     let mut args = std::env::args().skip(1);
@@ -205,17 +210,23 @@ fn main() {
         });
     }
 
-    // Steepest descent on the forest, full sweeps vs the dirty-candidate
-    // cache: identical committed steps and final period by construction
-    // (pinned by the sweep_cache differential); the delta is wall time and
-    // — budget-independent — the number of evaluator calls per run.
-    for (name, cached) in [
-        ("sd_sweep_forest/full", false),
-        ("sd_sweep_forest/dirty_cache", true),
+    // Steepest descent, full sweeps vs the dirty-candidate cache, on both
+    // the forest and the chain shape: identical committed steps and final
+    // period by construction (pinned by the sweep_cache differential); the
+    // delta is wall time and — budget-independent — the number of
+    // evaluator calls per run. The chain rows were flat before the
+    // delta-transfer rescaling (every commit's span reaches tour position
+    // 0 on a chain, so spans-only invalidation evicted everything); their
+    // evaluator-call gap is the number the CI hard floor pins.
+    for (name, shape, shape_seed, cached) in [
+        ("sd_sweep_forest/full", &forest, &forest_seed, false),
+        ("sd_sweep_forest/dirty_cache", &forest, &forest_seed, true),
+        ("sd_sweep_chain/full", &instance, &seed, false),
+        ("sd_sweep_chain/dirty_cache", &instance, &seed, true),
     ] {
         let strategy = SteepestDescent::default();
         let run = |record: bool| {
-            let mut engine = SearchEngine::new(&forest, &forest_seed, sweep_budget).unwrap();
+            let mut engine = SearchEngine::new(shape, shape_seed, sweep_budget).unwrap();
             engine.set_sweep_cache(cached);
             strategy.run(&mut engine).unwrap();
             if record {
@@ -235,6 +246,44 @@ fn main() {
                 evaluator_calls,
                 probes,
             },
+        });
+    }
+
+    // Portfolio rounds: the barrier reference vs the work-stealing round
+    // executor, same config and auto thread count. Outcomes are
+    // bit-identical by construction (pinned in batch_determinism); the
+    // delta is wall clock — the work-stealing side must never be worse.
+    {
+        let portfolio_config = PortfolioConfig {
+            annealed_streams: 1,
+            round_steps: if quick { 500 } else { 1_500 },
+            sweep_budget: if quick { 10_000 } else { 20_000 },
+            max_rounds: if quick { 3 } else { 4 },
+            ..PortfolioConfig::default()
+        };
+        let runner = BatchRunner::new(0);
+        let barrier = run_portfolio_barrier(&instance, &portfolio_config, &runner);
+        let worksteal = run_portfolio(&instance, &portfolio_config, &runner);
+        assert_eq!(
+            barrier, worksteal,
+            "the two portfolio executors must produce identical outcomes"
+        );
+        let period = barrier.best_period.expect("feasible bench instance");
+        rows.push(Measurement {
+            name: "portfolio_rounds/barrier",
+            median_ns: median_ns(time(iterations, || {
+                run_portfolio_barrier(&instance, &portfolio_config, &runner)
+            })),
+            iterations,
+            quality: Quality::PeriodMs(period),
+        });
+        rows.push(Measurement {
+            name: "portfolio_rounds/worksteal",
+            median_ns: median_ns(time(iterations, || {
+                run_portfolio(&instance, &portfolio_config, &runner)
+            })),
+            iterations,
+            quality: Quality::PeriodMs(period),
         });
     }
 

@@ -42,6 +42,23 @@ pub(super) struct MassRows {
     /// Tasks whose rows are currently valid (iteration set for
     /// invalidation sweeps; order is irrelevant).
     valid_list: Vec<u32>,
+    /// Persistent all-zero scratch of one machine-indexed adjustment row.
+    /// A what-if stages its (at most two) sparse machine adjustments here,
+    /// runs the branch-free scan `load + scale·mass + adjust`, then zeroes
+    /// the touched entries — keeping the hot loop free of per-machine
+    /// branches so the autovectorizer can chew through it.
+    adjust: Vec<f64>,
+    /// Row-major `tasks × machines` failure-factor table
+    /// `F_{i,u} = 1/(1 − f_{i,u})`, precomputed once: the factors are
+    /// instance constants, and computing one on the fly costs a float
+    /// division sitting right on the what-if critical path (the candidate
+    /// ratio, the moved mass and the scan scale all chain off it).
+    factors: Vec<f64>,
+    /// Row-major `tasks × machines` processing-time table `w_{i,u}`,
+    /// flattening the per-type indirection of [`Instance::time`] for the
+    /// same reason. Both tables hold the bit-identical values the
+    /// [`Instance`] accessors return.
+    times: Vec<f64>,
 }
 
 impl MassRows {
@@ -84,39 +101,69 @@ impl MassRows {
 
 impl<'a> IncrementalEvaluator<'a> {
     /// Ensures the mass row of task `i` is valid and returns its range
-    /// within the row storage.
+    /// within the row storage. The hot path (tables allocated, row warm) is
+    /// two predictable branches; allocation and row builds live in `#[cold]`
+    /// helpers so this inlines small into the what-if scans.
+    #[inline]
     pub(super) fn ensure_mass_row(&mut self, i: usize) -> std::ops::Range<usize> {
+        if self.mass.rows.is_empty() {
+            self.init_dense_tables();
+        }
+        let m = self.load.len();
+        if !self.mass.valid[i] {
+            self.build_mass_row(i);
+        }
+        i * m..(i + 1) * m
+    }
+
+    /// One-time allocation of the dense-path SoA tables: the mass-row
+    /// matrix, the zero adjustment scratch, and the instance-constant
+    /// factor/time tables (precomputed so the per-probe critical path pays
+    /// a table load instead of a float division and a type indirection).
+    #[cold]
+    fn init_dense_tables(&mut self) {
         let n = self.assignment.len();
         let m = self.load.len();
-        if self.mass.rows.is_empty() {
-            self.mass.rows = vec![0.0; n * m];
-            self.mass.valid = vec![false; n];
+        self.mass.rows = vec![0.0; n * m];
+        self.mass.valid = vec![false; n];
+        self.mass.adjust = vec![0.0; m];
+        let mut factors = Vec::with_capacity(n * m);
+        let mut times = Vec::with_capacity(n * m);
+        for i in 0..n {
+            for u in 0..m {
+                factors.push(self.instance.factor(TaskId(i), MachineId(u)));
+                times.push(self.instance.time(TaskId(i), MachineId(u)));
+            }
         }
-        let range = i * m..(i + 1) * m;
-        if !self.mass.valid[i] {
-            let row = &mut self.mass.rows[range.clone()];
-            row.fill(0.0);
-            match self.topology.kind() {
-                // Chain: the strict subtree of `i` is `tasks 0..i` in index
-                // order — the pre-forest prefix loop, bit for bit.
-                TopologyKind::Chain => {
-                    for (machine, c) in self.assignment[..i].iter().zip(&self.contribution[..i]) {
-                        row[machine.index()] += *c;
-                    }
-                }
-                // Forest: the strict subtree is a contiguous tour range.
-                TopologyKind::Forest => {
-                    for &t in self.topology.strict_subtree(TaskId(i)) {
-                        let t = t as usize;
-                        row[self.assignment[t].index()] += self.contribution[t];
-                    }
+        self.mass.factors = factors;
+        self.mass.times = times;
+    }
+
+    /// Rebuilds the (invalid) mass row of task `i` in place.
+    #[cold]
+    fn build_mass_row(&mut self, i: usize) {
+        let m = self.load.len();
+        let row = &mut self.mass.rows[i * m..(i + 1) * m];
+        row.fill(0.0);
+        match self.topology.kind() {
+            // Chain: the strict subtree of `i` is `tasks 0..i` in index
+            // order — the pre-forest prefix loop, bit for bit.
+            TopologyKind::Chain => {
+                for (machine, c) in self.assignment[..i].iter().zip(&self.contribution[..i]) {
+                    row[machine.index()] += *c;
                 }
             }
-            self.mass.valid[i] = true;
-            self.mass.valid_list.push(i as u32);
-            self.counters.mass_row_builds += 1;
+            // Forest: the strict subtree is a contiguous tour range.
+            TopologyKind::Forest => {
+                for &t in self.topology.strict_subtree(TaskId(i)) {
+                    let t = t as usize;
+                    row[self.assignment[t].index()] += self.contribution[t];
+                }
+            }
         }
-        range
+        self.mass.valid[i] = true;
+        self.mass.valid_list.push(i as u32);
+        self.counters.mass_row_builds += 1;
     }
 
     /// Dense what-if of a move: changing the failure factor of `task` scales
@@ -132,25 +179,22 @@ impl<'a> IncrementalEvaluator<'a> {
     /// exact walk).
     pub(super) fn dense_move_what_if(&mut self, task: TaskId, to: MachineId) -> Evaluation {
         let i = task.index();
-        let from = self.assignment[i].index();
-        let ratio = self.instance.factor(task, to) / self.factor[i];
-        let removed = self.contribution[i];
-        let added = ratio * self.demand[i] * self.instance.time(task, to);
         let row = self.ensure_mass_row(i);
+        let m = self.load.len();
+        let from = self.assignment[i].index();
+        let ratio = self.mass.factors[i * m + to.index()] / self.factor[i];
+        let removed = self.contribution[i];
+        let added = ratio * self.demand[i] * self.mass.times[i * m + to.index()];
         let scale = ratio - 1.0;
-        let mut best = (f64::NEG_INFINITY, usize::MAX);
-        for (w, (&load, &mass)) in self.load.iter().zip(&self.mass.rows[row]).enumerate() {
-            let mut value = load + scale * mass;
-            if w == from {
-                value -= removed;
-            }
-            if w == to.index() {
-                value += added;
-            }
-            if value > best.0 {
-                best = (value, w);
-            }
-        }
+        // Stage the two sparse machine adjustments (`from` loses the task's
+        // old contribution, `to` gains the rescaled one — the machines are
+        // distinct, callers reject same-machine moves), scan branch-free,
+        // then restore the all-zero scratch invariant.
+        self.mass.adjust[from] = -removed;
+        self.mass.adjust[to.index()] = added;
+        let best = scan_one_row(&self.load, &self.mass.rows[row], scale, &self.mass.adjust);
+        self.mass.adjust[from] = 0.0;
+        self.mass.adjust[to.index()] = 0.0;
         Evaluation {
             period: Period::new(best.0),
             critical_machine: MachineId(best.1),
@@ -177,11 +221,14 @@ impl<'a> IncrementalEvaluator<'a> {
     /// *it* — two mass rows, one scan. On a chain `lo` is simply the
     /// lower-indexed task and this is the pre-forest code path, bit for bit.
     fn dense_nested_swap_what_if(&mut self, lo: TaskId, hi: TaskId) -> Evaluation {
+        let row_lo = self.ensure_mass_row(lo.index());
+        let row_hi = self.ensure_mass_row(hi.index());
+        let m = self.load.len();
         let u_lo = self.assignment[lo.index()].index();
         let u_hi = self.assignment[hi.index()].index();
         // After the swap: `lo` runs on `u_hi`, `hi` runs on `u_lo`.
-        let r_lo = self.instance.factor(lo, self.assignment[hi.index()]) / self.factor[lo.index()];
-        let r_hi = self.instance.factor(hi, self.assignment[lo.index()]) / self.factor[hi.index()];
+        let r_lo = self.mass.factors[lo.index() * m + u_hi] / self.factor[lo.index()];
+        let r_hi = self.mass.factors[hi.index() * m + u_lo] / self.factor[hi.index()];
         let x_lo = r_lo * r_hi * self.demand[lo.index()];
         let x_hi = r_hi * self.demand[hi.index()];
         let scale_both = r_lo * r_hi - 1.0;
@@ -190,34 +237,25 @@ impl<'a> IncrementalEvaluator<'a> {
         // between `lo` and `hi` scale by `r_hi` and are counted through
         // `row_hi − row_lo`; that difference wrongly includes `lo` itself, so
         // `lo`'s machine compensates with `−scale_hi·c(lo)`.
-        let adj_lo = x_hi * self.instance.time(hi, self.assignment[lo.index()])
+        let adj_lo = x_hi * self.mass.times[hi.index() * m + u_lo]
             - self.contribution[lo.index()]
             - scale_hi * self.contribution[lo.index()];
-        let adj_hi = x_lo * self.instance.time(lo, self.assignment[hi.index()])
-            - self.contribution[hi.index()];
-        let row_lo = self.ensure_mass_row(lo.index());
-        let row_hi = self.ensure_mass_row(hi.index());
+        let adj_hi = x_lo * self.mass.times[lo.index() * m + u_hi] - self.contribution[hi.index()];
         // value = load + scale_both·mass(sub lo) + scale_hi·mass(lo..hi)
         //       = load + (scale_both − scale_hi)·row_lo + scale_hi·row_hi + …
         let scale_lo = scale_both - scale_hi;
-        let mut best = (f64::NEG_INFINITY, usize::MAX);
-        for (w, (&load, (&mass_lo, &mass_hi))) in self
-            .load
-            .iter()
-            .zip(self.mass.rows[row_lo].iter().zip(&self.mass.rows[row_hi]))
-            .enumerate()
-        {
-            let mut value = load + scale_lo * mass_lo + scale_hi * mass_hi;
-            if w == u_lo {
-                value += adj_lo;
-            }
-            if w == u_hi {
-                value += adj_hi;
-            }
-            if value > best.0 {
-                best = (value, w);
-            }
-        }
+        self.mass.adjust[u_lo] = adj_lo;
+        self.mass.adjust[u_hi] = adj_hi;
+        let best = scan_two_rows(
+            &self.load,
+            &self.mass.rows[row_lo],
+            scale_lo,
+            &self.mass.rows[row_hi],
+            scale_hi,
+            &self.mass.adjust,
+        );
+        self.mass.adjust[u_lo] = 0.0;
+        self.mass.adjust[u_hi] = 0.0;
         Evaluation {
             period: Period::new(best.0),
             critical_machine: MachineId(best.1),
@@ -228,46 +266,91 @@ impl<'a> IncrementalEvaluator<'a> {
     /// ratios scale disjoint subtree ranges independently and the machine
     /// adjustments exchange the two tasks' own contributions.
     fn dense_disjoint_swap_what_if(&mut self, a: TaskId, b: TaskId) -> Evaluation {
+        let row_a = self.ensure_mass_row(a.index());
+        let row_b = self.ensure_mass_row(b.index());
+        let m = self.load.len();
         let u_a = self.assignment[a.index()].index();
         let u_b = self.assignment[b.index()].index();
         // After the swap: `a` runs on `u_b`, `b` runs on `u_a`. The demand
         // of each task scales only by its *own* new factor (the other task
         // is not on its successor path).
-        let r_a = self.instance.factor(a, self.assignment[b.index()]) / self.factor[a.index()];
-        let r_b = self.instance.factor(b, self.assignment[a.index()]) / self.factor[b.index()];
+        let r_a = self.mass.factors[a.index() * m + u_b] / self.factor[a.index()];
+        let r_b = self.mass.factors[b.index() * m + u_a] / self.factor[b.index()];
         let x_a = r_a * self.demand[a.index()];
         let x_b = r_b * self.demand[b.index()];
         let scale_a = r_a - 1.0;
         let scale_b = r_b - 1.0;
         // `a` leaves `u_a` (taking its old contribution) and `b` arrives
         // with its rescaled demand on `a`'s old times — and vice versa.
-        let adj_a =
-            x_b * self.instance.time(b, self.assignment[a.index()]) - self.contribution[a.index()];
-        let adj_b =
-            x_a * self.instance.time(a, self.assignment[b.index()]) - self.contribution[b.index()];
-        let row_a = self.ensure_mass_row(a.index());
-        let row_b = self.ensure_mass_row(b.index());
-        let mut best = (f64::NEG_INFINITY, usize::MAX);
-        for (w, (&load, (&mass_a, &mass_b))) in self
-            .load
-            .iter()
-            .zip(self.mass.rows[row_a].iter().zip(&self.mass.rows[row_b]))
-            .enumerate()
-        {
-            let mut value = load + scale_a * mass_a + scale_b * mass_b;
-            if w == u_a {
-                value += adj_a;
-            }
-            if w == u_b {
-                value += adj_b;
-            }
-            if value > best.0 {
-                best = (value, w);
-            }
-        }
+        let adj_a = x_b * self.mass.times[b.index() * m + u_a] - self.contribution[a.index()];
+        let adj_b = x_a * self.mass.times[a.index() * m + u_b] - self.contribution[b.index()];
+        self.mass.adjust[u_a] = adj_a;
+        self.mass.adjust[u_b] = adj_b;
+        let best = scan_two_rows(
+            &self.load,
+            &self.mass.rows[row_a],
+            scale_a,
+            &self.mass.rows[row_b],
+            scale_b,
+            &self.mass.adjust,
+        );
+        self.mass.adjust[u_a] = 0.0;
+        self.mass.adjust[u_b] = 0.0;
         Evaluation {
             period: Period::new(best.0),
             critical_machine: MachineId(best.1),
         }
     }
+}
+
+/// Max/argmax over one mass row: the candidate value of machine `w` is
+/// `load[w] + scale·mass[w] + adjust[w]`.
+///
+/// One flat pass over three parallel slices. The value computation is
+/// branch-free — the sparse from/to machine deltas ride the `adjust` row
+/// instead of per-machine `w == from`/`w == to` compares — and the running
+/// best keeps the first machine on exact ties: the same lowest-index
+/// tie-break, and the same returned bits, as the historical tracking loop
+/// (NaN values lose every comparison, so an all-NaN row yields the
+/// `(−∞, usize::MAX)` sentinel).
+#[inline]
+fn scan_one_row(load: &[f64], mass: &[f64], scale: f64, adjust: &[f64]) -> (f64, usize) {
+    let mut best = (f64::NEG_INFINITY, usize::MAX);
+    for (w, ((&load, &mass), &adjust)) in load.iter().zip(mass).zip(adjust).enumerate() {
+        let value = load + scale * mass + adjust;
+        if value > best.0 {
+            best = (value, w);
+        }
+    }
+    best
+}
+
+/// Max/argmax over two mass rows (the swap scans):
+/// `load[w] + scale_a·mass_a[w] + scale_b·mass_b[w] + adjust[w]`.
+///
+/// One pass: value computation is branch-free (the sparse machine
+/// adjustments ride the `adjust` row instead of per-machine compares), and
+/// the running best keeps the first machine on exact ties — the same
+/// lowest-index tie-break, and the same returned bits, as the historical
+/// `if value > best.0` tracking loop (NaN values lose every comparison, so
+/// an all-NaN row yields the `(−∞, usize::MAX)` sentinel).
+#[inline]
+fn scan_two_rows(
+    load: &[f64],
+    mass_a: &[f64],
+    scale_a: f64,
+    mass_b: &[f64],
+    scale_b: f64,
+    adjust: &[f64],
+) -> (f64, usize) {
+    let mut best = (f64::NEG_INFINITY, usize::MAX);
+    for (w, (((&load, &mass_a), &mass_b), &adjust)) in
+        load.iter().zip(mass_a).zip(mass_b).zip(adjust).enumerate()
+    {
+        let value = load + scale_a * mass_a + scale_b * mass_b + adjust;
+        if value > best.0 {
+            best = (value, w);
+        }
+    }
+    best
 }

@@ -99,6 +99,17 @@ pub struct CommitFootprint {
     /// changed task; a nested swap's spans overlap, which is fine — an
     /// overlap test against both stays exact.
     pub spans: [Option<(usize, usize)>; 2],
+    /// Demand-rescale ratio of each changed task, index-aligned with
+    /// `spans`: the new over the old failure factor `F_{i,to} / F_{i,from}`.
+    /// Every task *strictly upstream* of the changed task had its demand
+    /// multiplied by exactly this ratio (in real arithmetic), which is what
+    /// lets a sweep cache rescale a cached candidate score instead of
+    /// invalidating it. Unused slots hold `1.0`.
+    pub ratios: [f64; 2],
+    /// The committed system period immediately *before* this commit — an
+    /// upper bound on every machine load at that point, needed to bound the
+    /// rescale transform when a ratio exceeds one.
+    pub prior_period: f64,
     /// The most negative per-machine committed load change (`0.0` when no
     /// load decreased) — a lower bound on how far this commit can drop any
     /// machine's load, and therefore any cached candidate score.
@@ -520,6 +531,17 @@ impl<'a> IncrementalEvaluator<'a> {
     fn operate(&mut self, changes: &[(TaskId, MachineId)], commit: bool) -> Evaluation {
         self.epoch = self.epoch.wrapping_add(1);
         self.dirty.clear();
+        // Capture the demand-rescale ratios and the pre-commit period for the
+        // footprint *before* `walk` overwrites the cached factors (and before
+        // the tournament tree absorbs the new loads).
+        let mut ratios = [1.0f64; 2];
+        let mut prior_period = 0.0f64;
+        if commit {
+            for (k, &(task, to)) in changes.iter().enumerate() {
+                ratios[k] = self.instance.factor(task, to) / self.factor[task.index()];
+            }
+            prior_period = self.tree.root().0;
+        }
         match *changes {
             [(root, _)] => self.walk(root, changes, commit),
             [(a, _), (b, _)] => {
@@ -569,6 +591,8 @@ impl<'a> IncrementalEvaluator<'a> {
             self.counters.commits += 1;
             self.last_commit = Some(CommitFootprint {
                 spans,
+                ratios,
+                prior_period,
                 min_load_delta: min_delta,
             });
             self.current()

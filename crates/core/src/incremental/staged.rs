@@ -97,6 +97,14 @@ impl PartialAssignmentEvaluator {
     /// order) and returns the number of placements staged — call
     /// [`unplace`](Self::unplace) that many times to revert.
     ///
+    /// Runs in two flat passes rather than interleaving: first the load,
+    /// total and trail updates straight over the row slice (the same `+=`s
+    /// in the same machine order as per-entry [`place`](Self::place) calls,
+    /// so the staged floats are bit-identical), then one tournament-tree
+    /// update per *touched* machine against its final load — each leaf is
+    /// distinct, so the tree ends in the same state while the hot first pass
+    /// stays free of `O(log m)` pointer-chasing per entry.
+    ///
     /// # Panics
     ///
     /// Panics if `row` is longer than the machine count.
@@ -107,14 +115,19 @@ impl PartialAssignmentEvaluator {
             row.len(),
             self.load.len()
         );
-        let mut placed = 0usize;
+        let base = self.trail.len();
         for (u, &mass) in row.iter().enumerate() {
             if mass != 0.0 {
-                self.place(MachineId(u), mass);
-                placed += 1;
+                self.load[u] += mass;
+                self.total += mass;
+                self.trail.push((u, mass));
             }
         }
-        placed
+        for k in base..self.trail.len() {
+            let u = self.trail[k].0;
+            self.tree.update(u, self.load[u]);
+        }
+        self.trail.len() - base
     }
 
     /// Reverts the most recent [`place`](Self::place) (exact float inverse of

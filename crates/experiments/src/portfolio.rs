@@ -3,21 +3,30 @@
 //! termination.
 //!
 //! A portfolio **cell** is one (seed heuristic, strategy, stream) triple.
-//! The run proceeds in synchronized *rounds*: every round, each live cell
-//! continues its own search from its current mapping (annealed cells with a
-//! fresh per-round RNG stream, sweep cells until their next convergence),
-//! all cells in parallel on the [`BatchRunner`]'s rayon pool. After the
-//! barrier the incumbent — the minimum period over all cells, lowest cell
-//! index on ties — is recomputed; the run stops when every cell has
+//! The run proceeds in *rounds*: every round, each live cell continues its
+//! own search from its current mapping (annealed cells with a fresh
+//! per-round RNG stream, sweep cells until their next convergence). After
+//! each round the incumbent — the minimum period over all cells, lowest
+//! cell index on ties — is recomputed; the run stops when every cell has
 //! converged, when the incumbent has not improved for
 //! [`PortfolioConfig::patience`] consecutive rounds, or at
 //! [`PortfolioConfig::max_rounds`].
 //!
+//! Two executors share that round semantics. [`run_portfolio_barrier`] is
+//! the reference: a full thread-pool barrier between rounds, results
+//! collected in cell order. [`run_portfolio`] is the production
+//! work-stealing executor: idle workers pull the lowest outstanding
+//! (round, cell) pair instead of waiting at the barrier, running ahead of
+//! the round-stopping decision by a bounded lookahead, so one slow cell
+//! (tabu on a hard instance, say) no longer serializes every round edge.
+//!
 //! Because each cell's work is a pure function of (instance, cell index,
-//! round, its carried state), and rounds are barriers whose results are
-//! collected in cell order, the outcome is **bit-identical for every thread
-//! count** — the same guarantee the batch grid gives, pinned in
-//! `batch_determinism.rs`.
+//! round, its carried state) — the per-round RNG stream is a *logical
+//! clock* derived from the grid coordinates, never from scheduling — and
+//! the stopping rule is replayed in strict round order from the recorded
+//! per-round states, both executors produce **bit-identical outcomes at
+//! every thread count** — the same guarantee the batch grid gives, pinned
+//! in `batch_determinism.rs`.
 
 use crate::runner::BatchRunner;
 use mf_core::prelude::*;
@@ -304,10 +313,15 @@ fn incumbent(states: &[CellState]) -> Option<(usize, f64)> {
     best
 }
 
-/// Runs a full portfolio over one instance on the given runner's pool.
+/// Runs a full portfolio over one instance with a thread-pool barrier
+/// between rounds — the reference executor.
 ///
-/// The outcome is bit-identical for every thread count of `runner`.
-pub fn run_portfolio(
+/// The outcome is bit-identical for every thread count of `runner`, and
+/// bit-identical to [`run_portfolio`] (pinned in `batch_determinism.rs`).
+/// Kept public as the A/B baseline for the `portfolio_rounds` bench rows;
+/// production callers want [`run_portfolio`], which does the same work
+/// without idling every worker at each round edge.
+pub fn run_portfolio_barrier(
     instance: &Instance,
     config: &PortfolioConfig,
     runner: &BatchRunner,
@@ -367,6 +381,253 @@ pub fn run_portfolio(
         best_period,
         winner,
         rounds,
+        cells: specs
+            .iter()
+            .zip(&states)
+            .map(|(spec, state)| PortfolioCellReport {
+                label: spec.label.clone(),
+                period: state.period,
+            })
+            .collect(),
+    }
+}
+
+/// How many rounds past the last *decided* round a worker may speculate.
+///
+/// Lookahead `0` would re-create the barrier (no cell may start round
+/// `r + 1` before round `r`'s stopping decision); a small positive value
+/// lets fast cells absorb the skew of slow ones. Speculative rounds past
+/// the final decision are discarded unread, so the value affects wasted
+/// work on stop — never the outcome.
+const ROUND_LOOKAHEAD: usize = 2;
+
+/// Shared state of the work-stealing round executor.
+///
+/// `history[cell]` records the cell's state after each computed round, so
+/// the stopping rule can be replayed in strict round order — round `r` is
+/// decided exactly when every cell either has a recorded state at `r` or
+/// converged earlier (a done cell's state is carried forward unchanged,
+/// which is also what [`advance_cell`] does with it) — making the decision
+/// sequence, and hence the outcome, independent of completion order.
+struct RoundScheduler {
+    history: Vec<Vec<CellState>>,
+    in_flight: Vec<bool>,
+    /// The next round index awaiting a stopping decision.
+    decided: usize,
+    /// The round the run stops at, once decided.
+    final_round: Option<usize>,
+    best: Option<(usize, f64)>,
+    stagnant: usize,
+    round_cap: usize,
+    patience: usize,
+}
+
+impl RoundScheduler {
+    fn new(cells: usize, config: &PortfolioConfig) -> Self {
+        RoundScheduler {
+            history: vec![Vec::new(); cells],
+            in_flight: vec![false; cells],
+            decided: 0,
+            final_round: None,
+            best: None,
+            stagnant: 0,
+            round_cap: config.max_rounds.max(1),
+            patience: config.patience.max(1),
+        }
+    }
+
+    /// The cell's state as of round `r` (its last computed state once done).
+    fn effective(&self, cell: usize, round: usize) -> &CellState {
+        let h = &self.history[cell];
+        &h[round.min(h.len() - 1)]
+    }
+
+    /// Claims the lowest outstanding (round, cell) pair, if any: the cell's
+    /// next round, within the lookahead window of the decision frontier.
+    /// Lowest-round-first means a single worker executes exactly the
+    /// barrier schedule — no speculation, identical work.
+    fn claim(&mut self) -> Option<(usize, usize, CellState)> {
+        let mut pick: Option<(usize, usize)> = None;
+        for cell in 0..self.history.len() {
+            if self.in_flight[cell] {
+                continue;
+            }
+            let round = self.history[cell].len();
+            if round >= self.round_cap || round > self.decided + ROUND_LOOKAHEAD {
+                continue;
+            }
+            if round > 0 && self.history[cell][round - 1].done {
+                continue;
+            }
+            if pick.map_or(true, |(r, _)| round < r) {
+                pick = Some((round, cell));
+            }
+        }
+        let (round, cell) = pick?;
+        self.in_flight[cell] = true;
+        let state = if round == 0 {
+            CellState {
+                mapping: None,
+                period: None,
+                done: false,
+            }
+        } else {
+            self.history[cell][round - 1].clone()
+        };
+        Some((cell, round, state))
+    }
+
+    /// Records a finished round of one cell and replays every stopping
+    /// decision that is now unblocked, in round order.
+    fn complete(&mut self, cell: usize, state: CellState) {
+        self.history[cell].push(state);
+        self.in_flight[cell] = false;
+        while self.final_round.is_none() {
+            let round = self.decided;
+            let ready = (0..self.history.len()).all(|c| {
+                let h = &self.history[c];
+                h.len() > round || h.last().is_some_and(|s| s.done)
+            });
+            if !ready {
+                return;
+            }
+            // The same incumbent/patience bookkeeping the barrier loop runs
+            // after round `round`, over the same per-cell states.
+            let mut current: Option<(usize, f64)> = None;
+            let mut all_done = true;
+            for c in 0..self.history.len() {
+                let state = self.effective(c, round);
+                all_done &= state.done;
+                if let Some(period) = state.period {
+                    if current.map_or(true, |(_, p)| period < p) {
+                        current = Some((c, period));
+                    }
+                }
+            }
+            let improved = match (self.best, current) {
+                (None, Some(_)) => true,
+                (Some((_, old)), Some((_, new))) => new < old - 1e-12,
+                _ => false,
+            };
+            if improved {
+                self.best = current;
+                self.stagnant = 0;
+            } else {
+                self.stagnant += 1;
+            }
+            if all_done || self.stagnant >= self.patience || round + 1 == self.round_cap {
+                self.final_round = Some(round);
+                return;
+            }
+            self.decided = round + 1;
+        }
+    }
+}
+
+/// One worker of the work-stealing executor: claim the lowest outstanding
+/// (round, cell), advance it outside the lock, record the result, repeat
+/// until the stopping round is decided.
+fn portfolio_worker(
+    instance: &Instance,
+    specs: &[CellSpec],
+    config: &PortfolioConfig,
+    scheduler: &std::sync::Mutex<RoundScheduler>,
+    ready: &std::sync::Condvar,
+) {
+    loop {
+        let (cell, round, state) = {
+            let mut guard = scheduler.lock().expect("portfolio scheduler poisoned");
+            loop {
+                if guard.final_round.is_some() {
+                    return;
+                }
+                if let Some(claim) = guard.claim() {
+                    break claim;
+                }
+                // Nothing claimable: every outstanding cell is in flight.
+                // Their completions (under the lock) either open new work
+                // or decide the final round, and notify us either way.
+                guard = ready.wait(guard).expect("portfolio scheduler poisoned");
+            }
+        };
+        let next = advance_cell(
+            instance,
+            &specs[cell],
+            &state,
+            config,
+            cell_seed(config, cell, round),
+            round,
+        );
+        let mut guard = scheduler.lock().expect("portfolio scheduler poisoned");
+        guard.complete(cell, next);
+        drop(guard);
+        ready.notify_all();
+    }
+}
+
+/// Runs a full portfolio over one instance with the work-stealing round
+/// executor — same rounds, incumbent rule and stopping conditions as
+/// [`run_portfolio_barrier`], without a barrier at round edges: idle
+/// workers steal the next round of fast cells (up to [`ROUND_LOOKAHEAD`]
+/// rounds past the decision frontier) while slow cells finish.
+///
+/// The outcome is bit-identical for every thread count of `runner`, and
+/// bit-identical to the barrier executor: per-cell work is pure in
+/// (instance, cell, round, carried state) with RNG streams derived from
+/// those coordinates alone, and the stopping rule is replayed in strict
+/// round order from recorded per-round states, so scheduling cannot leak
+/// into any number. `runner` only contributes its thread count — with one
+/// thread the loop runs inline on the caller and executes exactly the
+/// barrier schedule.
+pub fn run_portfolio(
+    instance: &Instance,
+    config: &PortfolioConfig,
+    runner: &BatchRunner,
+) -> PortfolioOutcome {
+    let specs = cell_specs(config);
+    let threads = runner.threads().clamp(1, specs.len());
+    let scheduler = std::sync::Mutex::new(RoundScheduler::new(specs.len(), config));
+    let ready = std::sync::Condvar::new();
+
+    if threads == 1 {
+        portfolio_worker(instance, &specs, config, &scheduler, &ready);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| portfolio_worker(instance, &specs, config, &scheduler, &ready));
+            }
+        });
+    }
+
+    let scheduler = scheduler
+        .into_inner()
+        .expect("portfolio scheduler poisoned");
+    let final_round = scheduler
+        .final_round
+        .expect("the executor always decides a final round");
+    // Harvest the effective per-cell states at the stopping round — the
+    // exact states the barrier loop holds when it breaks; speculative
+    // rounds past it are dropped unread.
+    let states: Vec<&CellState> = (0..specs.len())
+        .map(|cell| scheduler.effective(cell, final_round))
+        .collect();
+    let mut final_best: Option<(usize, f64)> = None;
+    for (index, state) in states.iter().enumerate() {
+        if let Some(period) = state.period {
+            if final_best.map_or(true, |(_, p)| period < p) {
+                final_best = Some((index, period));
+            }
+        }
+    }
+    let (winner, best_period, best_mapping) = match final_best {
+        Some((index, period)) => (Some(index), Some(period), states[index].mapping.clone()),
+        None => (None, None, None),
+    };
+    PortfolioOutcome {
+        best_mapping,
+        best_period,
+        winner,
+        rounds: final_round + 1,
         cells: specs
             .iter()
             .zip(&states)

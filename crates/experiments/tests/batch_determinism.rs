@@ -8,7 +8,7 @@
 //! any scheduling-dependent reduction order would fail them.
 
 use mf_experiments::figures::{ext_localsearch, ext_portfolio, fig5, fig7, fig9};
-use mf_experiments::portfolio::{run_portfolio, PortfolioConfig};
+use mf_experiments::portfolio::{run_portfolio, run_portfolio_barrier, PortfolioConfig};
 use mf_experiments::runner::{BatchGrid, BatchRunner, ScenarioSpec};
 use mf_experiments::ExperimentConfig;
 use mf_sim::{GeneratorConfig, InstanceGenerator};
@@ -167,6 +167,59 @@ fn portfolio_outcome_is_thread_count_invariant_and_equals_the_cell_min() {
     assert_eq!(
         reference.cells[winner].period.unwrap().to_bits(),
         best.to_bits()
+    );
+}
+
+#[test]
+fn workstealing_portfolio_matches_the_barrier_under_round_skew() {
+    // Skew stress for the work-stealing round executor: a cell mix whose
+    // members converge at very different rounds — steepest-descent cells
+    // finish (done) after a round or two, tabu cells stall and stop, the
+    // annealed cells stay live to the round cap — so workers speculate past
+    // slow cells, replay stopping decisions out of completion order, and
+    // carry done cells' states forward. The outcome must still be
+    // bit-identical to the barrier reference at every thread count; any
+    // scheduling leak (a claim order reaching an RNG stream, a decision
+    // replayed out of round order, a speculative round surviving the stop)
+    // would break `==` on the full outcome.
+    let instance = InstanceGenerator::new(GeneratorConfig::paper_standard(24, 8, 3))
+        .generate(0xBA11AD)
+        .unwrap();
+    let config = PortfolioConfig {
+        annealed_streams: 2,
+        round_steps: 400,
+        sweep_budget: 6_000,
+        max_rounds: 5,
+        patience: 3,
+        ..PortfolioConfig::default()
+    };
+    let reference = run_portfolio_barrier(&instance, &config, &BatchRunner::new(1));
+    assert!(
+        reference.rounds > 1,
+        "the skew workload must survive past round 0 to exercise round edges"
+    );
+    for threads in [1usize, 2, 8] {
+        let worksteal = run_portfolio(&instance, &config, &BatchRunner::new(threads));
+        assert_eq!(
+            worksteal, reference,
+            "work-stealing outcome diverged from the barrier at {threads} threads"
+        );
+        let barrier = run_portfolio_barrier(&instance, &config, &BatchRunner::new(threads));
+        assert_eq!(
+            barrier, reference,
+            "barrier outcome changed with {threads} threads"
+        );
+    }
+    // The mix really is skewed: some cell converged (went done) while
+    // another was still improving — otherwise this test exercises nothing.
+    let done_spread = reference
+        .cells
+        .iter()
+        .filter_map(|c| c.period)
+        .collect::<Vec<_>>();
+    assert!(
+        done_spread.len() >= 3,
+        "portfolio cells must mostly succeed"
     );
 }
 

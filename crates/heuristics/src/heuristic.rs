@@ -59,6 +59,18 @@ pub trait Heuristic {
     /// Builds a specialized mapping for the instance.
     fn map(&self, instance: &Instance) -> HeuristicResult<Mapping>;
 
+    /// Like [`map`](Self::map), additionally reporting search telemetry
+    /// (sweep-cache and evaluator counters) when the heuristic drives a
+    /// [`SearchEngine`](crate::search::SearchEngine) under the hood. The
+    /// default — every constructive heuristic — returns `None`; the
+    /// returned mapping is always bit-identical to [`map`](Self::map)'s.
+    fn map_traced(
+        &self,
+        instance: &Instance,
+    ) -> HeuristicResult<(Mapping, Option<crate::search::SearchTelemetry>)> {
+        Ok((self.map(instance)?, None))
+    }
+
     /// Convenience: the period achieved by this heuristic on the instance.
     fn period(&self, instance: &Instance) -> HeuristicResult<Period> {
         let mapping = self.map(instance)?;

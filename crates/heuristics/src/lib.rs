@@ -69,5 +69,6 @@ pub use heuristic::{
     Heuristic, HeuristicError, HeuristicResult, DEFAULT_SEARCH_BUDGET, STRATEGY_PREFIXES,
 };
 pub use search::{
-    AnnealedClimb, SearchEngine, SearchHeuristic, SearchStrategy, SteepestDescent, TabuSearch,
+    AnnealedClimb, SearchEngine, SearchHeuristic, SearchStrategy, SearchTelemetry, SteepestDescent,
+    TabuSearch,
 };

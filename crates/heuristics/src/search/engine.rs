@@ -325,7 +325,13 @@ impl<'a> SearchEngine<'a> {
             self.sweep.stats.evaluations += 1;
             return Ok(Some(self.eval.evaluate_move(task, to)?.period.value()));
         }
-        match self.sweep.probe_move(task, to, bound) {
+        // The candidate's own demand-rescale ratio, computed lazily from the
+        // immutable instance factors: valid whenever the cache can certify
+        // anything, because any commit of `task` itself classifies as
+        // Unknown (and forces an evaluation) before the machine could drift.
+        let from = self.eval.machine_of(task);
+        let ratio = self.instance.factor(task, to) / self.instance.factor(task, from);
+        match self.sweep.probe_move(task, to, ratio, bound) {
             CacheAnswer::Reuse(score) => Ok(Some(score)),
             CacheAnswer::Skip => Ok(None),
             CacheAnswer::Evaluate => {
@@ -344,7 +350,12 @@ impl<'a> SearchEngine<'a> {
             self.sweep.stats.evaluations += 1;
             return Ok(Some(self.eval.evaluate_swap(a, b)?.period.value()));
         }
-        match self.sweep.probe_swap(a, b, bound) {
+        let (ua, ub) = (self.eval.machine_of(a), self.eval.machine_of(b));
+        let ratios = (
+            self.instance.factor(a, ub) / self.instance.factor(a, ua),
+            self.instance.factor(b, ua) / self.instance.factor(b, ub),
+        );
+        match self.sweep.probe_swap(a, b, ratios, bound) {
             CacheAnswer::Reuse(score) => Ok(Some(score)),
             CacheAnswer::Skip => Ok(None),
             CacheAnswer::Evaluate => {

@@ -59,6 +59,8 @@ pub mod tabu;
 pub use annealed::{AnnealedClimb, LocalSearchConfig};
 pub use engine::{metropolis, CommitOutcome, CommitStep, SearchEngine, IMPROVEMENT_EPSILON};
 pub use steepest::{SteepestDescent, SteepestDescentConfig};
-pub use strategy::{polish_with, SearchHeuristic, SearchStrategy};
+pub use strategy::{
+    polish_with, polish_with_telemetry, SearchHeuristic, SearchStrategy, SearchTelemetry,
+};
 pub use sweep_cache::SweepCacheStats;
 pub use tabu::{TabuConfig, TabuSearch};

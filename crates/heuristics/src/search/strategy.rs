@@ -4,7 +4,22 @@
 
 use crate::heuristic::{Heuristic, HeuristicResult};
 use crate::search::engine::SearchEngine;
+use crate::search::sweep_cache::SweepCacheStats;
+use mf_core::incremental::EvalCounters;
 use mf_core::prelude::*;
+
+/// Telemetry harvested from one search-driven solve: the sweep-cache
+/// probe/skip/rescale counters and the evaluator's what-if/mass-row
+/// counters. Surfaced through [`Heuristic::map_traced`] so callers (the
+/// serving tier's `stats` keys, for one) can report evaluator-call savings
+/// without re-running the search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchTelemetry {
+    /// Sweep-cache effectiveness of the run.
+    pub sweep: SweepCacheStats,
+    /// Evaluator counters accumulated over the run.
+    pub eval: EvalCounters,
+}
 
 /// A search policy over the move/swap neighborhoods.
 ///
@@ -32,12 +47,29 @@ pub fn polish_with(
     strategy: &dyn SearchStrategy,
     budget: usize,
 ) -> HeuristicResult<Mapping> {
+    Ok(polish_with_telemetry(instance, mapping, strategy, budget)?.0)
+}
+
+/// [`polish_with`], additionally reporting the run's [`SearchTelemetry`]
+/// (`None` when the degenerate-shape short-circuit skipped the engine).
+/// The returned mapping is bit-identical to [`polish_with`]'s — the same
+/// engine drives the same strategy; only the harvest differs.
+pub fn polish_with_telemetry(
+    instance: &Instance,
+    mapping: &Mapping,
+    strategy: &dyn SearchStrategy,
+    budget: usize,
+) -> HeuristicResult<(Mapping, Option<SearchTelemetry>)> {
     if instance.task_count() == 0 || instance.machine_count() < 2 || budget == 0 {
-        return Ok(mapping.clone());
+        return Ok((mapping.clone(), None));
     }
     let mut engine = SearchEngine::new(instance, mapping, budget)?;
     strategy.run(&mut engine)?;
-    Ok(engine.into_best())
+    let telemetry = SearchTelemetry {
+        sweep: engine.sweep_stats(),
+        eval: engine.evaluator_counters(),
+    };
+    Ok((engine.into_best(), Some(telemetry)))
 }
 
 /// A constructive seed heuristic refined by a search strategy — the shape
@@ -81,5 +113,13 @@ impl Heuristic for SearchHeuristic {
     fn map(&self, instance: &Instance) -> HeuristicResult<Mapping> {
         let seeded = self.inner.map(instance)?;
         polish_with(instance, &seeded, self.strategy.as_ref(), self.budget)
+    }
+
+    fn map_traced(
+        &self,
+        instance: &Instance,
+    ) -> HeuristicResult<(Mapping, Option<SearchTelemetry>)> {
+        let seeded = self.inner.map(instance)?;
+        polish_with_telemetry(instance, &seeded, self.strategy.as_ref(), self.budget)
     }
 }

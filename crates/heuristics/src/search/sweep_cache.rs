@@ -5,31 +5,40 @@
 //! `n²/2` swap) neighborhood, then commits **one** candidate. That commit
 //! only changes the loads of the machines it touched and the demands of the
 //! committed tasks' subtrees (their tour spans, see
-//! [`Topology`](mf_core::incremental::Topology)) — the *structure* of every
-//! other candidate is untouched, and its score can only shift by the load
-//! deltas the commit applied.
+//! [`Topology`](mf_core::incremental::Topology)) — every other candidate's
+//! score moves in a way the commit's [`CommitFootprint`] describes exactly.
 //!
 //! The cache stores the last **exact** what-if score of every candidate plus
-//! the commit index it was scored at. On the next sweep a candidate is
-//! skipped — without calling the evaluator — when
+//! the commit index it was scored at. On the next sweep it walks the commits
+//! since that stamp and classifies each one against the candidate's subtree
+//! span(s):
 //!
-//! 1. it is **structure-clean**: no commit since its score was taken has a
-//!    [`CommitFootprint`] span overlapping the candidate's subtree span(s)
-//!    (overlap would change its demands, factors or mass rows), and
-//! 2. its **certified lower bound** `score + Σ min(0, min_load_delta) −
-//!    guard` is already no better than the best exact score seen earlier in
-//!    the scan: since every machine value is monotone in the machine load
-//!    and no load dropped by more than `min_load_delta` per commit, the
-//!    candidate's true current score cannot beat the incumbent, and —
-//!    because sweeps tie-break strictly by scan order — skipping it cannot
-//!    change the chosen move.
+//! * **Transfer** — the commit's spans are each either *disjoint* from the
+//!   candidate's span or *contained in its strict subtree*. The candidate's
+//!   structure is intact and every committed load delta transfers into its
+//!   score with the factor `ρ` (the product of the candidate's own rescale
+//!   ratios over the containing tasks; `ρ = 1` for the pure-disjoint case):
+//!   the score cannot have dropped below `score + ρ·min(0, min_load_delta)`.
+//! * **Rescale** — every candidate task sits *strictly inside* a uniformly
+//!   rescaled region of the commit (ratio `r`): on a chain this is every
+//!   candidate upstream of the committed task, exactly the case that used to
+//!   invalidate the whole prefix. All of the candidate's demand-dependent
+//!   terms scale by `r`, so its score `S` satisfies
+//!   `S' ≥ r·S + min(0, (1−r)·P) + min(0, min_load_delta)` where `P` is the
+//!   committed period just before the commit (an upper bound on every load).
+//! * **Unknown** — anything else (in particular a commit of one of the
+//!   candidate's own tasks): the walk aborts and the candidate is
+//!   re-evaluated.
 //!
-//! The guard term (`1e-9` relative per commit) over-covers float
-//! accumulation between the cached and the live evaluation by several
-//! orders of magnitude, so the bound stays *certified*: dirty-candidate
-//! sweeps pick the **bit-identical** move sequence of a full sweep (pinned
-//! by the `sweep_cache_differential` test), they just call the evaluator
-//! less — [`SweepCacheStats`] counts how much less.
+//! Composing the per-commit transforms (each monotone in the running bound,
+//! minus a `1e-9` relative float guard per commit) yields a **certified
+//! lower bound** on the candidate's current exact score. When that bound is
+//! already no better than the best exact score seen earlier in the scan, the
+//! candidate cannot beat the incumbent — and because sweeps tie-break
+//! strictly by scan order, skipping it cannot change the chosen move:
+//! dirty-candidate sweeps pick the **bit-identical** move sequence of a full
+//! sweep (pinned by the `sweep_cache_differential` test), they just call the
+//! evaluator less — [`SweepCacheStats`] counts how much less.
 
 use mf_core::incremental::CommitFootprint;
 use mf_core::prelude::*;
@@ -48,13 +57,53 @@ pub struct SweepCacheStats {
     /// Probes answered with a stored exact score (no commit since it was
     /// taken) without an evaluator call.
     pub reuses: u64,
+    /// Skips whose certificate went through at least one non-unit ratio
+    /// transform (chain delta-transfer or upstream rescale) — a subset of
+    /// `skips`; `0` before this optimization existed.
+    pub rescales: u64,
 }
 
-/// Per-candidate score cache with commit-footprint invalidation.
+/// One committed operation, as the probe-time transform walk sees it.
+#[derive(Debug, Clone, Copy)]
+struct CommitEntry {
+    /// Inclusive tour spans of the changed tasks' subtrees.
+    spans: [Option<(u32, u32)>; 2],
+    /// Demand-rescale ratio of each changed task, span-aligned.
+    ratios: [f64; 2],
+    /// Committed period just before this commit (`max` over loads then).
+    prior_period: f64,
+    /// `min(0, min_load_delta)` of the commit.
+    drop: f64,
+}
+
+/// How one commit relates to one cached candidate.
+enum Classification {
+    /// Structure intact; load deltas transfer with factor `ρ`.
+    Transfer(f64),
+    /// Every candidate task inside one uniformly rescaled region (`r`).
+    Rescale(f64),
+    /// No certificate — the candidate must be re-evaluated.
+    Unknown,
+}
+
+/// How one commit relates to one candidate *task* span.
+#[derive(Clone, Copy, PartialEq)]
+enum TaskClass {
+    /// Every commit span inside the task's strict subtree.
+    Contains,
+    /// Every commit span disjoint from the task's inclusive span.
+    Disjoint,
+    /// The task's inclusive span strictly inside a uniform rescale region.
+    In(f64),
+    Unknown,
+}
+
+/// Per-candidate score cache with commit-footprint transforms.
 ///
 /// `stamp` values are `commit index + 1` (`0` = never scored). The commit
-/// log keeps, per commit, the invalidated tour spans and the running sum of
-/// `min(0, min_load_delta)`; both are consulted lazily at probe time.
+/// log keeps, per commit, the changed tour spans, their demand-rescale
+/// ratios, the pre-commit period and the worst load drop; all are consulted
+/// lazily at probe time.
 #[derive(Debug)]
 pub(crate) struct SweepCache {
     tasks: usize,
@@ -73,17 +122,13 @@ pub(crate) struct SweepCache {
     swap_stamp: Vec<u32>,
     /// Inclusive tour span of every task's subtree.
     span: Vec<(u32, u32)>,
-    /// Tour spans invalidated by each commit since the last reset.
-    commit_spans: Vec<[Option<(u32, u32)>; 2]>,
-    /// `drop_prefix[k]` = Σ over the first `k` commits of
-    /// `min(0, min_load_delta)` — how far any load (and so any clean
-    /// candidate's score) can have dropped.
-    drop_prefix: Vec<f64>,
+    /// Commits since the last reset, in order.
+    log: Vec<CommitEntry>,
     pub(crate) stats: SweepCacheStats,
 }
 
 /// Commits a candidate may look back through before it counts as dirty
-/// (bounds the per-probe span scan; sweeps refresh far sooner anyway).
+/// (bounds the per-probe transform walk; sweeps refresh far sooner anyway).
 const MAX_LOOKBACK: u32 = 32;
 
 /// Commit-log length that triggers a full reset (keeps memory flat for
@@ -108,8 +153,7 @@ impl SweepCache {
             swap_score: Vec::new(),
             swap_stamp: Vec::new(),
             span,
-            commit_spans: Vec::new(),
-            drop_prefix: vec![0.0],
+            log: Vec::new(),
             stats: SweepCacheStats::default(),
         }
     }
@@ -118,60 +162,30 @@ impl SweepCache {
     pub(crate) fn reset(&mut self) {
         self.move_stamp.fill(0);
         self.swap_stamp.fill(0);
-        self.commit_spans.clear();
-        self.drop_prefix.clear();
-        self.drop_prefix.push(0.0);
+        self.log.clear();
     }
 
-    /// Records a committed operation's invalidation footprint.
+    /// Records a committed operation's footprint.
     pub(crate) fn note_commit(&mut self, footprint: &CommitFootprint) {
-        if self.commit_spans.len() >= MAX_LOG {
+        if self.log.len() >= MAX_LOG {
             self.reset();
         }
         let shrink =
             |span: Option<(usize, usize)>| span.map(|(start, end)| (start as u32, end as u32));
-        self.commit_spans
-            .push([shrink(footprint.spans[0]), shrink(footprint.spans[1])]);
-        let total =
-            self.drop_prefix.last().copied().unwrap_or(0.0) + footprint.min_load_delta.min(0.0);
-        self.drop_prefix.push(total);
+        self.log.push(CommitEntry {
+            spans: [shrink(footprint.spans[0]), shrink(footprint.spans[1])],
+            ratios: footprint.ratios,
+            prior_period: footprint.prior_period,
+            drop: footprint.min_load_delta.min(0.0),
+        });
     }
 
     /// Number of commits recorded since the last reset.
     #[inline]
     fn now(&self) -> u32 {
-        self.commit_spans.len() as u32
+        self.log.len() as u32
     }
 
-    /// `true` when none of the commits in `stamp-1..now` overlaps any of the
-    /// candidate's subtree spans (its structure is unchanged).
-    fn structure_clean(&self, stamp: u32, candidate_spans: &[(u32, u32)]) -> bool {
-        let since = stamp - 1;
-        if self.now() - since > MAX_LOOKBACK {
-            return false;
-        }
-        self.commit_spans[since as usize..].iter().all(|commit| {
-            commit.iter().flatten().all(|&(s, e)| {
-                candidate_spans
-                    .iter()
-                    .all(|&(cs, ce)| !(cs <= e && s <= ce))
-            })
-        })
-    }
-
-    /// The certified lower bound on the candidate's current exact score,
-    /// given its cached score and stamp: the cached value minus every load
-    /// drop since, minus a per-commit float guard.
-    fn lower_bound(&self, score: f64, stamp: u32) -> f64 {
-        let since = (stamp - 1) as usize;
-        let drop = self.drop_prefix[self.now() as usize] - self.drop_prefix[since];
-        let commits = (self.now() as usize - since) as f64;
-        score + drop - commits * 1e-9 * (1.0 + score.abs())
-    }
-
-    /// Consults the cache for move `(task, to)`: `Reuse(score)` when the
-    /// stored exact score is still current, `Skip` when the candidate
-    /// provably cannot beat `bound`, `Evaluate` otherwise.
     /// Allocates the move tables on first use.
     fn ensure_moves(&mut self) {
         if self.move_score.is_empty() {
@@ -188,7 +202,17 @@ impl SweepCache {
         }
     }
 
-    pub(crate) fn probe_move(&mut self, task: TaskId, to: MachineId, bound: f64) -> CacheAnswer {
+    /// Consults the cache for move `(task, to)`: `Reuse(score)` when the
+    /// stored exact score is still current, `Skip` when the candidate
+    /// provably cannot beat `bound`, `Evaluate` otherwise. `ratio` is the
+    /// candidate's own demand-rescale ratio `F(task, to) / F(task, current)`.
+    pub(crate) fn probe_move(
+        &mut self,
+        task: TaskId,
+        to: MachineId,
+        ratio: f64,
+        bound: f64,
+    ) -> CacheAnswer {
         self.stats.probes += 1;
         if self.moves_capped {
             self.stats.evaluations += 1;
@@ -199,7 +223,7 @@ impl SweepCache {
         self.answer(
             self.move_stamp[slot],
             self.move_score[slot],
-            &[self.span[task.index()]],
+            &[(self.span[task.index()], ratio)],
             bound,
         )
     }
@@ -217,7 +241,15 @@ impl SweepCache {
     }
 
     /// Consults the cache for the swap of `a` and `b` (order-insensitive).
-    pub(crate) fn probe_swap(&mut self, a: TaskId, b: TaskId, bound: f64) -> CacheAnswer {
+    /// `ratios` are the candidates' demand-rescale ratios
+    /// `(F(a, m_b) / F(a, m_a), F(b, m_a) / F(b, m_b))`.
+    pub(crate) fn probe_swap(
+        &mut self,
+        a: TaskId,
+        b: TaskId,
+        ratios: (f64, f64),
+        bound: f64,
+    ) -> CacheAnswer {
         self.stats.probes += 1;
         if self.swaps_capped {
             self.stats.evaluations += 1;
@@ -228,7 +260,10 @@ impl SweepCache {
         self.answer(
             self.swap_stamp[slot],
             self.swap_score[slot],
-            &[self.span[a.index()], self.span[b.index()]],
+            &[
+                (self.span[a.index()], ratios.0),
+                (self.span[b.index()], ratios.1),
+            ],
             bound,
         )
     }
@@ -254,7 +289,13 @@ impl SweepCache {
         lo * self.tasks + hi
     }
 
-    fn answer(&mut self, stamp: u32, score: f64, spans: &[(u32, u32)], bound: f64) -> CacheAnswer {
+    fn answer(
+        &mut self,
+        stamp: u32,
+        score: f64,
+        cand: &[((u32, u32), f64)],
+        bound: f64,
+    ) -> CacheAnswer {
         if stamp == 0 {
             self.stats.evaluations += 1;
             return CacheAnswer::Evaluate;
@@ -264,14 +305,160 @@ impl SweepCache {
             self.stats.reuses += 1;
             return CacheAnswer::Reuse(score);
         }
-        // The bound is cheap float math and usually decides; the span-overlap
-        // scan only runs when the bound could actually certify a skip.
-        if self.lower_bound(score, stamp) >= bound && self.structure_clean(stamp, spans) {
+        let since = stamp - 1;
+        if self.now() - since > MAX_LOOKBACK {
+            self.stats.evaluations += 1;
+            return CacheAnswer::Evaluate;
+        }
+        // Walk the commits since the score was taken, composing the
+        // per-commit lower-bound transforms (each monotone non-decreasing in
+        // `lb`, so the composition stays a certified bound). A NaN ratio
+        // (degenerate factors) poisons `lb` and falls through to Evaluate.
+        let mut lb = score;
+        let mut rescaled = false;
+        for k in since as usize..self.log.len() {
+            let entry = self.log[k];
+            match classify(&entry, cand) {
+                Classification::Transfer(rho) => {
+                    if rho != 1.0 {
+                        rescaled = true;
+                    }
+                    lb += rho * entry.drop;
+                }
+                Classification::Rescale(r) => {
+                    if r != 1.0 {
+                        rescaled = true;
+                    }
+                    lb = r * lb + ((1.0 - r) * entry.prior_period).min(0.0) + entry.drop;
+                }
+                Classification::Unknown => {
+                    self.stats.evaluations += 1;
+                    return CacheAnswer::Evaluate;
+                }
+            }
+            // Per-commit float guard: over-covers both cached-vs-live
+            // accumulation drift and the transform's own rounding by
+            // several orders of magnitude.
+            lb -= 1e-9 * (1.0 + lb.abs());
+        }
+        if lb >= bound {
             self.stats.skips += 1;
+            if rescaled {
+                self.stats.rescales += 1;
+            }
             return CacheAnswer::Skip;
         }
         self.stats.evaluations += 1;
         CacheAnswer::Evaluate
+    }
+}
+
+/// Classifies one commit against a whole candidate (its task spans and their
+/// own rescale ratios): the candidate is a **Transfer** when every task
+/// either contains the entire commit in its strict subtree or is disjoint
+/// from it (`ρ` = product of the containing tasks' ratios), a **Rescale**
+/// when every task sits inside a uniform rescale region with one common
+/// ratio, and **Unknown** otherwise.
+fn classify(entry: &CommitEntry, cand: &[((u32, u32), f64)]) -> Classification {
+    let mut rho = 1.0f64;
+    let mut transfer_ok = true;
+    let mut rescale_ok = true;
+    let mut region: Option<f64> = None;
+    for &(span, cand_ratio) in cand {
+        match classify_task(entry, span) {
+            TaskClass::Contains => {
+                rho *= cand_ratio;
+                rescale_ok = false;
+            }
+            TaskClass::Disjoint => {
+                rescale_ok = false;
+            }
+            TaskClass::In(r) => {
+                transfer_ok = false;
+                match region {
+                    None => region = Some(r),
+                    // Bit-equality: two regions certify jointly only when
+                    // they scale the candidate's terms identically.
+                    Some(prev) if prev == r => {}
+                    Some(_) => rescale_ok = false,
+                }
+            }
+            TaskClass::Unknown => return Classification::Unknown,
+        }
+    }
+    if transfer_ok {
+        return Classification::Transfer(rho);
+    }
+    if rescale_ok {
+        if let Some(r) = region {
+            return Classification::Rescale(r);
+        }
+    }
+    Classification::Unknown
+}
+
+/// Classifies one commit against one candidate task's inclusive span
+/// `(cs, ce)`. Spans are laminar (nested or disjoint), so the containment
+/// tests below are exhaustive; a commit of the candidate task itself shares
+/// its span end and lands on `Unknown`.
+fn classify_task(entry: &CommitEntry, span: (u32, u32)) -> TaskClass {
+    let (cs, ce) = span;
+    // Commit span inside the candidate's *strict* subtree.
+    let contains = |s: u32, e: u32| cs <= s && e < ce;
+    // Commit span disjoint from the candidate's inclusive span.
+    let disjoint = |s: u32, e: u32| e < cs || ce < s;
+    // Candidate span strictly inside the commit span (the rescaled region).
+    let inside = |s: u32, e: u32| s <= cs && ce < e;
+    match (entry.spans[0], entry.spans[1]) {
+        (Some((s, e)), None) => {
+            if contains(s, e) {
+                TaskClass::Contains
+            } else if disjoint(s, e) {
+                TaskClass::Disjoint
+            } else if inside(s, e) {
+                TaskClass::In(entry.ratios[0])
+            } else {
+                TaskClass::Unknown
+            }
+        }
+        (Some((s0, e0)), Some((s1, e1))) => {
+            if contains(s0, e0) && contains(s1, e1) {
+                return TaskClass::Contains;
+            }
+            if disjoint(s0, e0) && disjoint(s1, e1) {
+                return TaskClass::Disjoint;
+            }
+            // The uniform rescale regions of a two-task (swap) commit:
+            // inside the nested span both ratios apply; inside only the
+            // outer (or one of two disjoint) spans, that span's ratio.
+            if s1 <= s0 && e0 < e1 {
+                // Span 0 nested in span 1.
+                if inside(s0, e0) {
+                    return TaskClass::In(entry.ratios[0] * entry.ratios[1]);
+                }
+                if inside(s1, e1) && disjoint(s0, e0) {
+                    return TaskClass::In(entry.ratios[1]);
+                }
+            } else if s0 <= s1 && e1 < e0 {
+                // Span 1 nested in span 0.
+                if inside(s1, e1) {
+                    return TaskClass::In(entry.ratios[0] * entry.ratios[1]);
+                }
+                if inside(s0, e0) && disjoint(s1, e1) {
+                    return TaskClass::In(entry.ratios[0]);
+                }
+            } else {
+                // Disjoint commit spans.
+                if inside(s0, e0) && disjoint(s1, e1) {
+                    return TaskClass::In(entry.ratios[0]);
+                }
+                if inside(s1, e1) && disjoint(s0, e0) {
+                    return TaskClass::In(entry.ratios[1]);
+                }
+            }
+            TaskClass::Unknown
+        }
+        _ => TaskClass::Unknown,
     }
 }
 

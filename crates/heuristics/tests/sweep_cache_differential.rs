@@ -90,7 +90,11 @@ fn cached_sweeps_match_full_sweeps_for_every_registry_seed() {
     let mut total_full = 0u64;
     let mut total_cached = 0u64;
     let mut total_saved = 0u64;
+    let mut chain_full = 0u64;
+    let mut chain_cached = 0u64;
+    let mut chain_rescales = 0u64;
     for (label, instance) in &instances {
+        let is_chain = label.starts_with("chain");
         for seeder in all_paper_heuristics(5) {
             let Ok(seed) = seeder.map(instance) else {
                 continue; // a seed that cannot place this shape is not a pin
@@ -126,6 +130,11 @@ fn cached_sweeps_match_full_sweeps_for_every_registry_seed() {
                 total_full += full.stats.evaluations;
                 total_cached += cached.stats.evaluations;
                 total_saved += cached.stats.skips + cached.stats.reuses;
+                if is_chain {
+                    chain_full += full.stats.evaluations;
+                    chain_cached += cached.stats.evaluations;
+                    chain_rescales += cached.stats.rescales;
+                }
             }
         }
     }
@@ -134,9 +143,24 @@ fn cached_sweeps_match_full_sweeps_for_every_registry_seed() {
         "the sweep cache never skipped anything ({total_cached} vs {total_full} evaluations)"
     );
     assert!(total_saved > 0, "no probe was ever answered from the cache");
+    // The chain regression floor (blocking in CI): the delta-transfer
+    // rescaling must keep at least 15 % of chain sweep evaluator calls out
+    // of the evaluator — before it, chain savings were exactly 0 % (every
+    // commit overlaps every prefix span). Evaluator-call counts are
+    // deterministic, so this cannot flake on timing.
+    assert!(
+        (chain_cached as f64) <= 0.85 * chain_full as f64,
+        "chain sweep-cache savings regressed below the 15 % floor \
+         ({chain_cached} of {chain_full} evaluator calls)"
+    );
+    assert!(
+        chain_rescales > 0,
+        "no chain skip was certified through a ratio transform"
+    );
     println!(
         "sweep cache: {total_cached}/{total_full} evaluator calls \
-         ({total_saved} probes answered from cache)"
+         ({total_saved} probes answered from cache); \
+         chains {chain_cached}/{chain_full} ({chain_rescales} ratio-rescaled skips)"
     );
 }
 
@@ -179,5 +203,104 @@ fn warm_cache_stays_correct_across_interleaved_commits() {
     assert_eq!(
         reference.into_best().as_slice(),
         warmed.into_best().as_slice()
+    );
+}
+
+/// The delta-transfer rescaling path specifically: on a chain, every commit
+/// overlaps every candidate span, so each warm probe after a hand-commit
+/// exercises the transfer (downstream candidates) and rescale (upstream
+/// candidates) transforms rather than the old all-invalidate path. The
+/// interleaving — descend, commit, descend, probe — must stay bit-identical
+/// to the uncached engine through arbitrary staleness.
+#[test]
+fn warm_chain_cache_rescales_across_interleaved_commits() {
+    for (tasks, machines, seed) in [(16usize, 4usize, 0xC3u64), (25, 6, 0xD4)] {
+        let instance = chain_instance(tasks, machines, 3, seed);
+        let seed_map = mf_heuristics::H4wFastestMachine.map(&instance).unwrap();
+        let strategy = SteepestDescent::default();
+
+        let mut reference = SearchEngine::new(&instance, &seed_map, BUDGET).unwrap();
+        reference.set_sweep_cache(false);
+        let mut warmed = SearchEngine::new(&instance, &seed_map, BUDGET).unwrap();
+
+        for round in 0..4 {
+            strategy.run(&mut reference).unwrap();
+            strategy.run(&mut warmed).unwrap();
+            assert_eq!(
+                reference.current_period().to_bits(),
+                warmed.current_period().to_bits(),
+                "chain n={tasks}, round {round}: descents diverged"
+            );
+            // Hand-commit a (usually degrading) move in the middle of the
+            // chain: upstream candidates must be rescaled, downstream ones
+            // delta-transferred, and the next descent must not notice.
+            let task = TaskId((round * 5 + tasks / 2) % tasks);
+            let to = MachineId((round + 1) % machines);
+            if reference.allows_move(task, to) {
+                let a = reference.commit_move(task, to).unwrap();
+                let b = warmed.commit_move(task, to).unwrap();
+                assert_eq!(a.period.to_bits(), b.period.to_bits());
+            }
+        }
+        let rescales = warmed.sweep_stats().rescales;
+        assert!(
+            rescales > 0,
+            "chain n={tasks}: interleaved sweeps never certified a skip \
+             through a ratio transform"
+        );
+        assert_eq!(
+            reference.best_period().to_bits(),
+            warmed.best_period().to_bits()
+        );
+        assert_eq!(
+            reference.into_best().as_slice(),
+            warmed.into_best().as_slice()
+        );
+    }
+}
+
+/// Degenerate shapes must not trip the transform walk: a single-task chain
+/// (every commit span *is* the candidate span → Unknown → evaluate) and a
+/// single-machine platform (no admissible candidates at all).
+#[test]
+fn degenerate_shapes_stay_exact_under_the_cache() {
+    // One task, three machines: moves exist, swaps do not.
+    let app = Application::linear_chain(&[0]).unwrap();
+    let platform = Platform::from_type_times(3, vec![vec![100.0, 80.0, 120.0]]).unwrap();
+    let failures = FailureModel::uniform(1, 3, FailureRate::new(0.05).unwrap());
+    let single_task = Instance::new(app, platform, failures).unwrap();
+    let seed = Mapping::from_indices(&[0], 3).unwrap();
+    let strategy = SteepestDescent::default();
+
+    let mut reference = SearchEngine::new(&single_task, &seed, BUDGET).unwrap();
+    reference.set_sweep_cache(false);
+    let mut cached = SearchEngine::new(&single_task, &seed, BUDGET).unwrap();
+    for _ in 0..3 {
+        strategy.run(&mut reference).unwrap();
+        strategy.run(&mut cached).unwrap();
+        assert_eq!(
+            reference.current_period().to_bits(),
+            cached.current_period().to_bits(),
+            "single-task chain: descents diverged"
+        );
+    }
+    assert_eq!(
+        reference.best_period().to_bits(),
+        cached.best_period().to_bits()
+    );
+
+    // Three tasks, one machine: every move/swap is inadmissible; the engine
+    // must simply terminate without probing anything into the cache.
+    let app = Application::linear_chain(&[0, 0, 0]).unwrap();
+    let platform = Platform::from_type_times(1, vec![vec![100.0]]).unwrap();
+    let failures = FailureModel::uniform(3, 1, FailureRate::new(0.05).unwrap());
+    let single_machine = Instance::new(app, platform, failures).unwrap();
+    let seed = Mapping::from_indices(&[0, 0, 0], 1).unwrap();
+    let mut engine = SearchEngine::new(&single_machine, &seed, BUDGET).unwrap();
+    strategy.run(&mut engine).unwrap();
+    assert_eq!(
+        engine.best_period().to_bits(),
+        single_machine.period(&seed).unwrap().value().to_bits(),
+        "single-machine: the descent must return the seed period unchanged"
     );
 }

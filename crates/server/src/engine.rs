@@ -61,11 +61,50 @@ struct Counters {
     /// `IncrementalEvaluator::new` calls — what the keyed evaluate cache
     /// saves; a cache hit serves an `evaluate` without bumping this.
     builds: AtomicU64,
+    /// What-ifs answered by the evaluator's dense prefix-mass fast path —
+    /// summed over resident `whatif` probes and search-driven solves.
+    whatif_dense: AtomicU64,
+    /// What-ifs answered by the exact ancestor walk (degenerate shapes).
+    whatif_exact: AtomicU64,
+    /// Mass rows (re)built by the dense path — what the per-tour-range
+    /// invalidation and warm resident snapshots save.
+    mass_row_builds: AtomicU64,
+    /// Sweep-cache counters of search-driven solves (SD/TS/H6 registry
+    /// names): probes routed through the cache, probes that had to call
+    /// the evaluator, bound-certified skips, exact-score reuses, and skips
+    /// certified through a ratio-rescaled (delta-transfer) bound.
+    sweep_probes: AtomicU64,
+    sweep_evaluations: AtomicU64,
+    sweep_skips: AtomicU64,
+    sweep_reuses: AtomicU64,
+    sweep_rescales: AtomicU64,
 }
 
 impl Counters {
     fn bump(counter: &AtomicU64) -> u64 {
         counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn add(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds the evaluator-counter *delta* of one operation in.
+    fn add_eval_delta(&self, after: EvalCounters, before: EvalCounters) {
+        Counters::add(
+            &self.whatif_dense,
+            after.dense_what_ifs - before.dense_what_ifs,
+        );
+        Counters::add(
+            &self.whatif_exact,
+            after.exact_what_ifs - before.exact_what_ifs,
+        );
+        Counters::add(
+            &self.mass_row_builds,
+            after.mass_row_builds - before.mass_row_builds,
+        );
     }
 }
 
@@ -544,12 +583,17 @@ impl Engine {
             }
         };
         Counters::bump(&self.counters.resumes);
+        // The evaluator's counters are cumulative and ride the snapshot, so
+        // the probe's own cost is the delta across the call.
+        let counters_before = evaluator.counters();
         let evaluation = match probe {
             Probe::Move { task, machine } => {
                 evaluator.evaluate_move(TaskId(task), MachineId(machine))
             }
             Probe::Swap { a, b } => evaluator.evaluate_swap(TaskId(a), TaskId(b)),
         };
+        self.counters
+            .add_eval_delta(evaluator.counters(), counters_before);
         // What-ifs never mutate committed state, so the snapshot stays valid
         // either way — keep it resident even when the probe was out of range.
         let response = match evaluation {
@@ -594,9 +638,21 @@ impl Engine {
                     seed.unwrap_or(DEFAULT_HEURISTIC_SEED),
                 )
                 .expect("canonical names are constructible");
-                match heuristic.map(instance) {
-                    Ok(mapping) => {
+                match heuristic.map_traced(instance) {
+                    Ok((mapping, telemetry)) => {
                         Counters::bump(&self.counters.solves_heuristic);
+                        if let Some(telemetry) = telemetry {
+                            // Search-driven solve: fold its sweep-cache and
+                            // evaluator counters into the server totals.
+                            let c = &self.counters;
+                            Counters::add(&c.sweep_probes, telemetry.sweep.probes);
+                            Counters::add(&c.sweep_evaluations, telemetry.sweep.evaluations);
+                            Counters::add(&c.sweep_skips, telemetry.sweep.skips);
+                            Counters::add(&c.sweep_reuses, telemetry.sweep.reuses);
+                            Counters::add(&c.sweep_rescales, telemetry.sweep.rescales);
+                            self.counters
+                                .add_eval_delta(telemetry.eval, EvalCounters::default());
+                        }
                         (canonical, mapping)
                     }
                     Err(e) => {
@@ -649,9 +705,11 @@ impl Engine {
 
     /// The statistics counters a session of `version` sees, in fixed
     /// presentation order: the 16 v1 keys, plus — on v2 sessions — the
-    /// evaluator-build and keyed evaluate-cache counters. Every key is a
-    /// plain sum over the work done, so a router can aggregate worker lists
-    /// index-aligned and stay byte-identical to a single-process server.
+    /// evaluator-build and keyed evaluate-cache counters, followed by the
+    /// evaluator what-if/mass-row counters and the search sweep-cache
+    /// counters harvested from traced solves. Every key is a plain sum over
+    /// the work done, so a router can aggregate worker lists index-aligned
+    /// and stay byte-identical to a single-process server.
     pub fn stats_for(&self, version: ProtoVersion) -> Vec<(String, u64)> {
         let mut entries = self.stats();
         if version >= ProtoVersion::V2 {
@@ -663,6 +721,15 @@ impl Engine {
                 "evaluate-cache-evictions".to_string(),
                 self.cache.evictions(),
             ));
+            let c = &self.counters;
+            entries.push(("whatif-dense".to_string(), read(&c.whatif_dense)));
+            entries.push(("whatif-exact".to_string(), read(&c.whatif_exact)));
+            entries.push(("mass-row-builds".to_string(), read(&c.mass_row_builds)));
+            entries.push(("sweep-probes".to_string(), read(&c.sweep_probes)));
+            entries.push(("sweep-evaluations".to_string(), read(&c.sweep_evaluations)));
+            entries.push(("sweep-skips".to_string(), read(&c.sweep_skips)));
+            entries.push(("sweep-reuses".to_string(), read(&c.sweep_reuses)));
+            entries.push(("sweep-rescales".to_string(), read(&c.sweep_rescales)));
         }
         entries
     }
@@ -1314,7 +1381,15 @@ mod tests {
                 "evaluator-builds",
                 "evaluate-cache-hits",
                 "evaluate-cache-misses",
-                "evaluate-cache-evictions"
+                "evaluate-cache-evictions",
+                "whatif-dense",
+                "whatif-exact",
+                "mass-row-builds",
+                "sweep-probes",
+                "sweep-evaluations",
+                "sweep-skips",
+                "sweep-reuses",
+                "sweep-rescales"
             ]
         );
         // status-export reports the same v2 counters as the global block.
