@@ -22,7 +22,13 @@
 //! ```
 //!
 //! The JSON is hand-written (the workspace has no serde): a flat
-//! `mf-bench-summary v1` document with one entry per measurement.
+//! `mf-bench-summary v1` document with one entry per measurement — each row
+//! carries both `median_ns` (the stable headline) and `elapsed_ns` (the
+//! total timed nanoseconds across all iterations, so the artifact also
+//! answers "where did the bench wall clock go"). `--trace PATH`
+//! additionally writes the per-row elapsed times as an `mf-trace v1` span
+//! log on a synthetic back-to-back timeline, readable with
+//! `microfactory trace PATH`.
 
 use mf_bench::{forest_instance, standard_instance};
 use mf_core::prelude::*;
@@ -38,11 +44,27 @@ use std::time::Instant;
 /// One timed measurement.
 struct Measurement {
     name: &'static str,
-    median_ns: u128,
+    timing: Timing,
     iterations: usize,
     /// Achieved period (strategy rows), explored nodes (B&B rows), probe
     /// throughput (what-if rows) or sweep-cache effect (sweep rows).
     quality: Quality,
+}
+
+/// The two numbers every row reports: the median single-run cost and the
+/// total timed nanoseconds across all iterations.
+#[derive(Clone, Copy)]
+struct Timing {
+    median_ns: u128,
+    elapsed_ns: u128,
+}
+
+fn timing(samples: Vec<u128>) -> Timing {
+    let elapsed_ns = samples.iter().sum();
+    Timing {
+        median_ns: median_ns(samples),
+        elapsed_ns,
+    }
 }
 
 enum Quality {
@@ -79,12 +101,14 @@ fn time<R>(iterations: usize, mut run: impl FnMut() -> R) -> Vec<u128> {
 
 fn main() {
     let mut out_path = "BENCH_core.json".to_string();
+    let mut trace_path: Option<String> = None;
     let mut iterations = 9usize;
     let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out takes a path"),
+            "--trace" => trace_path = Some(args.next().expect("--trace takes a path")),
             "--iterations" => {
                 iterations = args
                     .next()
@@ -94,7 +118,10 @@ fn main() {
             }
             "--quick" => quick = true,
             other => {
-                eprintln!("unknown flag `{other}` (valid: --out PATH, --iterations N, --quick)");
+                eprintln!(
+                    "unknown flag `{other}` \
+                     (valid: --out PATH, --trace PATH, --iterations N, --quick)"
+                );
                 std::process::exit(2);
             }
         }
@@ -122,7 +149,7 @@ fn main() {
     let h6 = H6LocalSearch::polish(&instance, &seed, &h6_config).unwrap();
     rows.push(Measurement {
         name: "strategy_polish/h6_annealed",
-        median_ns: median_ns(time(iterations, || {
+        timing: timing(time(iterations, || {
             H6LocalSearch::polish(&instance, &seed, &h6_config).unwrap()
         })),
         iterations,
@@ -132,7 +159,7 @@ fn main() {
     let sd = polish_with(&instance, &seed, &SteepestDescent::default(), sweep_budget).unwrap();
     rows.push(Measurement {
         name: "strategy_polish/steepest_descent",
-        median_ns: median_ns(time(iterations, || {
+        timing: timing(time(iterations, || {
             polish_with(&instance, &seed, &SteepestDescent::default(), sweep_budget).unwrap()
         })),
         iterations,
@@ -142,7 +169,7 @@ fn main() {
     let ts = polish_with(&instance, &seed, &TabuSearch::default(), sweep_budget).unwrap();
     rows.push(Measurement {
         name: "strategy_polish/tabu",
-        median_ns: median_ns(time(iterations, || {
+        timing: timing(time(iterations, || {
             polish_with(&instance, &seed, &TabuSearch::default(), sweep_budget).unwrap()
         })),
         iterations,
@@ -173,7 +200,7 @@ fn main() {
             eval.is_dense_fast_path(),
             "forest shape must ride the dense path"
         );
-        let dense = median_ns(time(iterations, || {
+        let dense = timing(time(iterations, || {
             let mut acc = 0.0f64;
             for &(task, to) in &probes {
                 acc += eval.evaluate_move(task, to).unwrap().period.value();
@@ -182,14 +209,14 @@ fn main() {
         }));
         rows.push(Measurement {
             name: "whatif_forest/dense",
-            median_ns: dense,
+            timing: dense,
             iterations,
             quality: Quality::Nodes {
                 count: probe_count as u64,
-                per_second: probe_count as f64 / (dense as f64 / 1e9),
+                per_second: probe_count as f64 / (dense.median_ns as f64 / 1e9),
             },
         });
-        let full = median_ns(time(iterations, || {
+        let full = timing(time(iterations, || {
             let mut acc = 0.0f64;
             for &(task, to) in &probes {
                 let mut assignment = forest_seed.as_slice().to_vec();
@@ -201,11 +228,11 @@ fn main() {
         }));
         rows.push(Measurement {
             name: "whatif_forest/full_recompute",
-            median_ns: full,
+            timing: full,
             iterations,
             quality: Quality::Nodes {
                 count: probe_count as u64,
-                per_second: probe_count as f64 / (full as f64 / 1e9),
+                per_second: probe_count as f64 / (full.median_ns as f64 / 1e9),
             },
         });
     }
@@ -239,7 +266,7 @@ fn main() {
         let (period, evaluator_calls, probes) = run(true).unwrap();
         rows.push(Measurement {
             name,
-            median_ns: median_ns(time(iterations, || run(false))),
+            timing: timing(time(iterations, || run(false))),
             iterations,
             quality: Quality::Sweep {
                 period_ms: period,
@@ -271,7 +298,7 @@ fn main() {
         let period = barrier.best_period.expect("feasible bench instance");
         rows.push(Measurement {
             name: "portfolio_rounds/barrier",
-            median_ns: median_ns(time(iterations, || {
+            timing: timing(time(iterations, || {
                 run_portfolio_barrier(&instance, &portfolio_config, &runner)
             })),
             iterations,
@@ -279,7 +306,7 @@ fn main() {
         });
         rows.push(Measurement {
             name: "portfolio_rounds/worksteal",
-            median_ns: median_ns(time(iterations, || {
+            timing: timing(time(iterations, || {
                 run_portfolio(&instance, &portfolio_config, &runner)
             })),
             iterations,
@@ -299,16 +326,16 @@ fn main() {
             ..BnbConfig::with_node_budget(node_budget)
         };
         let outcome = branch_and_bound(&bnb_instance, config()).unwrap();
-        let median = median_ns(time(iterations, || {
+        let measured = timing(time(iterations, || {
             branch_and_bound(&bnb_instance, config()).unwrap()
         }));
         rows.push(Measurement {
             name,
-            median_ns: median,
+            timing: measured,
             iterations,
             quality: Quality::Nodes {
                 count: outcome.nodes,
-                per_second: outcome.nodes as f64 / (median as f64 / 1e9),
+                per_second: outcome.nodes as f64 / (measured.median_ns as f64 / 1e9),
             },
         });
     }
@@ -338,9 +365,11 @@ fn main() {
             ),
         };
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {}, \"iterations\": {}, {}}}{}\n",
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"elapsed_ns\": {}, \
+             \"iterations\": {}, {}}}{}\n",
             row.name,
-            row.median_ns,
+            row.timing.median_ns,
+            row.timing.elapsed_ns,
             row.iterations,
             quality,
             if index + 1 < rows.len() { "," } else { "" }
@@ -352,8 +381,37 @@ fn main() {
         eprintln!("cannot write `{out_path}`: {e}");
         std::process::exit(1);
     });
+    if let Some(trace_path) = &trace_path {
+        // One span per measurement on a synthetic back-to-back timeline:
+        // the starts are cumulative offsets (the bench interleaves rows
+        // with untimed setup, so real timestamps would mean nothing), the
+        // durations are each row's total timed nanoseconds.
+        let mut offset_ns = 0u64;
+        let events: Vec<mf_obs::TraceEvent> = rows
+            .iter()
+            .map(|row| {
+                let duration_ns = u64::try_from(row.timing.elapsed_ns).unwrap_or(u64::MAX);
+                let span = mf_obs::TraceEvent::Span {
+                    name: row.name.replace('/', "."),
+                    start_ns: offset_ns,
+                    duration_ns,
+                };
+                offset_ns = offset_ns.saturating_add(duration_ns);
+                span
+            })
+            .collect();
+        let text = mf_obs::events_to_text(&events).expect("bench row names are valid tokens");
+        std::fs::write(trace_path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write `{trace_path}`: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {trace_path}: {} span(s)", events.len());
+    }
     eprintln!("wrote {out_path}:");
     for row in &rows {
-        eprintln!("  {:<34} median {:>12} ns", row.name, row.median_ns);
+        eprintln!(
+            "  {:<34} median {:>12} ns  (total {:>13} ns)",
+            row.name, row.timing.median_ns, row.timing.elapsed_ns
+        );
     }
 }

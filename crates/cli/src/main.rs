@@ -13,11 +13,18 @@
 use mf_core::prelude::*;
 use mf_core::textio;
 use mf_exact::{branch_and_bound, BnbConfig};
-use mf_experiments::portfolio::{run_portfolio, PortfolioConfig};
+use mf_experiments::portfolio::{
+    run_portfolio, run_portfolio_traced, PortfolioConfig, TRACE_CACHE_EVENT_CAP,
+};
 use mf_experiments::runner::BatchRunner;
 use mf_heuristics::{all_paper_heuristics, Heuristic};
+use mf_obs::{
+    events_from_text, events_to_text, Clock, MonotonicClock, SamplingSink, SharedTraceWriter,
+    TraceEvent,
+};
 use mf_sim::{FactorySimulation, GeneratorConfig, InstanceGenerator, SimulationConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 mod args;
 use args::Arguments;
@@ -38,6 +45,7 @@ fn main() -> ExitCode {
         "serve" => checked(&command, &args, FLAGS_SERVE, serve),
         "client" => checked(&command, &args, FLAGS_CLIENT, client),
         "stats" => checked(&command, &args, FLAGS_STATS, stats),
+        "trace" => checked(&command, &args, FLAGS_TRACE, trace),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -59,20 +67,26 @@ microfactory — throughput optimization for micro-factories subject to failures
 USAGE:
   microfactory generate --tasks N --machines M --types P [--seed S] [--high-failure]
   microfactory solve    [--heuristic NAME | --exact | --portfolio] [--all]
-                        [--threads N] INSTANCE
+                        [--threads N] [--trace PATH] INSTANCE
   microfactory evaluate INSTANCE MAPPING
   microfactory simulate [--products N] [--seed S] INSTANCE MAPPING
   microfactory serve    [--port P] [--threads N] [--workers W] [--stdio]
-                        [--data-dir PATH]
+                        [--data-dir PATH] [--trace-dir PATH] [--slow-ms N]
   microfactory client   [--host H] --port P
   microfactory stats    [--host H] --port P [--json]
+  microfactory trace    TRACE
 
 COMMANDS:
   generate   print a random instance (paper's experimental distribution)
   solve      print a mapping computed by a heuristic (default h4w), the exact
              solver, or the parallel search portfolio (--portfolio races all
              constructive seeds x strategies x RNG streams on --threads
-             workers; deterministic for any thread count)
+             workers; deterministic for any thread count); --trace PATH
+             writes an mf-trace v1 log of the solve: every committed
+             search step (with the period it reached and whether it
+             improved the incumbent), per-round cell summaries and
+             sweep-cache outcomes — the mapping printed is bit-identical
+             with or without the flag
   evaluate   print the period, throughput and per-machine loads of a mapping
   simulate   run the discrete-event simulation of a mapping
   serve      run the long-lived mf-proto solve/evaluate server: resident
@@ -82,11 +96,18 @@ COMMANDS:
              W engines behind a router — byte-identical to --workers 1;
              --data-dir PATH journals loads/unloads to PATH/journal.mfj
              and replays them on boot, so instances — and their store
-             generations — survive a restart or crash)
+             generations — survive a restart or crash; --trace-dir PATH
+             appends every request's latency span to
+             PATH/server.mf-trace; --slow-ms N logs requests slower than
+             N ms to stderr — default 1000)
   client     connect to a server and run the script on stdin (load/evaluate
              take client-side file paths; everything else is raw protocol)
   stats      fetch a running server's counters (one `key value` per line);
              --json emits the machine-readable mf-stats v1 report instead
+             (with per-command latency histograms once the tier saw
+             traffic)
+  trace      verify an mf-trace v1 file round-trips byte-identically and
+             print a summary of its events
 
 HEURISTICS: h1, h2, h3, h4, h4w, h4f, plus the search strategies over any of
             them — h6 (annealed climb), sd (steepest descent), ts (tabu):
@@ -95,12 +116,21 @@ HEURISTICS: h1, h2, h3, h4, h4w, h4f, plus the search strategies over any of
 
 /// Valid flags per subcommand (anything else is rejected up front).
 const FLAGS_GENERATE: &[&str] = &["tasks", "machines", "types", "seed", "high-failure"];
-const FLAGS_SOLVE: &[&str] = &["heuristic", "exact", "portfolio", "all", "threads"];
+const FLAGS_SOLVE: &[&str] = &["heuristic", "exact", "portfolio", "all", "threads", "trace"];
 const FLAGS_EVALUATE: &[&str] = &[];
 const FLAGS_SIMULATE: &[&str] = &["products", "seed"];
-const FLAGS_SERVE: &[&str] = &["port", "threads", "workers", "stdio", "data-dir"];
+const FLAGS_SERVE: &[&str] = &[
+    "port",
+    "threads",
+    "workers",
+    "stdio",
+    "data-dir",
+    "trace-dir",
+    "slow-ms",
+];
 const FLAGS_CLIENT: &[&str] = &["host", "port"];
 const FLAGS_STATS: &[&str] = &["host", "port", "json"];
+const FLAGS_TRACE: &[&str] = &[];
 
 /// Runs a subcommand after rejecting unknown flags.
 fn checked(
@@ -157,6 +187,12 @@ fn heuristic_by_name(name: &str) -> std::result::Result<Box<dyn Heuristic + Send
 fn solve(args: &Arguments) -> std::result::Result<(), String> {
     let path = args.positional(0).ok_or("missing INSTANCE file")?;
     let instance = load_instance(path)?;
+    // Tracing is pure observation: the mapping printed (and every stderr
+    // diagnostic line) is bit-identical with and without `--trace`.
+    let trace_path = args.string_flag("trace");
+    let mut trace_events: Vec<TraceEvent> = Vec::new();
+    let solve_clock = MonotonicClock::new();
+    let solve_start_ns = solve_clock.now_ns();
     if args.has_flag("all") {
         eprintln!(
             "{:<6} {:>12} {:>16}",
@@ -183,7 +219,13 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
         let threads = args.usize_flag("threads").unwrap_or(0);
         let runner = BatchRunner::new(threads);
         let config = PortfolioConfig::default();
-        let outcome = run_portfolio(&instance, &config, &runner);
+        let outcome = if trace_path.is_some() {
+            let traced = run_portfolio_traced(&instance, &config, &runner, TRACE_CACHE_EVENT_CAP);
+            trace_events.extend(traced.to_trace_events());
+            traced.outcome
+        } else {
+            run_portfolio(&instance, &config, &runner)
+        };
         eprintln!(
             "{:<10} {:>12} {:>16}",
             "cell", "period(ms)", "throughput(/s)"
@@ -223,9 +265,27 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
             .string_flag("heuristic")
             .unwrap_or_else(|| "h4w".to_string());
         let heuristic = heuristic_by_name(&name)?;
-        let mapping = heuristic
-            .map(&instance)
-            .map_err(|e| format!("{} failed: {e}", heuristic.name()))?;
+        let mapping = if trace_path.is_some() {
+            // A one-shot heuristic has no portfolio grid: its search steps
+            // are traced as cell 0, round 0.
+            let mut sink = SamplingSink::new(TRACE_CACHE_EVENT_CAP);
+            let mapping = heuristic
+                .map_with_progress(&instance, &mut sink)
+                .map_err(|e| format!("{} failed: {e}", heuristic.name()))?;
+            let (events, dropped) = sink.into_parts();
+            trace_events.extend(events.into_iter().map(|event| event.into_trace(0, 0)));
+            if dropped > 0 {
+                trace_events.push(TraceEvent::Dropped {
+                    class: "cache".to_string(),
+                    count: dropped,
+                });
+            }
+            mapping
+        } else {
+            heuristic
+                .map(&instance)
+                .map_err(|e| format!("{} failed: {e}", heuristic.name()))?
+        };
         (heuristic.name().to_string(), mapping)
     };
     let period = instance.period(&mapping).map_err(|e| e.to_string())?;
@@ -234,6 +294,18 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
         period.value(),
         1000.0 / period.value()
     );
+    if let Some(trace_path) = trace_path {
+        trace_events.push(TraceEvent::Span {
+            name: "solve".to_string(),
+            start_ns: solve_start_ns,
+            duration_ns: solve_clock.now_ns().saturating_sub(solve_start_ns),
+        });
+        let text =
+            events_to_text(&trace_events).map_err(|e| format!("cannot serialize trace: {e}"))?;
+        std::fs::write(&trace_path, text)
+            .map_err(|e| format!("cannot write `{trace_path}`: {e}"))?;
+        eprintln!("trace: {} event(s) -> {trace_path}", trace_events.len());
+    }
     print!("{}", textio::mapping_to_text(&mapping));
     Ok(())
 }
@@ -272,11 +344,12 @@ fn evaluate(args: &Arguments) -> std::result::Result<(), String> {
 fn build_serve_engine(
     threads: usize,
     data_dir: Option<&str>,
+    obs: mf_server::ObsConfig,
 ) -> std::result::Result<mf_server::Engine, String> {
     match data_dir {
-        Some(dir) => mf_server::Engine::open(threads, dir)
+        Some(dir) => mf_server::Engine::open_with_observability(threads, dir, obs)
             .map_err(|e| format!("cannot open data dir `{dir}`: {e}")),
-        None => Ok(mf_server::Engine::new(threads)),
+        None => Ok(mf_server::Engine::with_observability(threads, obs)),
     }
 }
 
@@ -284,12 +357,39 @@ fn build_serve_router(
     workers: usize,
     threads: usize,
     data_dir: Option<&str>,
+    obs: mf_server::ObsConfig,
 ) -> std::result::Result<mf_server::Router, String> {
     match data_dir {
-        Some(dir) => mf_server::Router::with_data_dir(workers, threads, dir)
+        Some(dir) => mf_server::Router::with_data_dir_observability(workers, threads, dir, obs)
             .map_err(|e| format!("cannot open data dir `{dir}`: {e}")),
-        None => Ok(mf_server::Router::new(workers, threads)),
+        None => Ok(mf_server::Router::with_observability(workers, threads, obs)),
     }
+}
+
+/// The serving tier's observability wiring from `--trace-dir` / `--slow-ms`:
+/// the config every engine (or worker shard) shares, plus the trace writer
+/// to finish once the serve loop ends.
+fn serve_observability(
+    args: &Arguments,
+) -> std::result::Result<(mf_server::ObsConfig, Option<Arc<SharedTraceWriter>>), String> {
+    let mut obs = mf_server::ObsConfig::new();
+    if let Some(ms) = args.u64_flag("slow-ms") {
+        obs = obs.with_slow_threshold_ns(ms.saturating_mul(1_000_000));
+    }
+    let trace = match args.string_flag("trace-dir") {
+        Some(dir) => {
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("cannot create trace dir `{dir}`: {e}"))?;
+            let path = std::path::Path::new(&dir).join("server.mf-trace");
+            let writer = SharedTraceWriter::create(&path)
+                .map_err(|e| format!("cannot create `{}`: {e}", path.display()))?;
+            let writer = Arc::new(writer);
+            obs = obs.with_trace(Arc::clone(&writer));
+            Some(writer)
+        }
+        None => None,
+    };
+    Ok((obs, trace))
 }
 
 fn serve(args: &Arguments) -> std::result::Result<(), String> {
@@ -297,16 +397,33 @@ fn serve(args: &Arguments) -> std::result::Result<(), String> {
     let workers = args.usize_flag("workers").unwrap_or(1);
     let data_dir = args.string_flag("data-dir");
     let data_dir = data_dir.as_deref();
+    let (obs, trace) = serve_observability(args)?;
+    let result = serve_with(args, threads, workers, data_dir, obs);
+    if let Some(writer) = trace {
+        writer
+            .finish()
+            .map_err(|e| format!("cannot finish trace file: {e}"))?;
+    }
+    result
+}
+
+fn serve_with(
+    args: &Arguments,
+    threads: usize,
+    workers: usize,
+    data_dir: Option<&str>,
+    obs: mf_server::ObsConfig,
+) -> std::result::Result<(), String> {
     if args.has_flag("stdio") {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         // Router answers are pinned byte-identical to a single engine for
         // any worker count, so the fork here is invisible on the wire.
         if workers > 1 {
-            let router = build_serve_router(workers, threads, data_dir)?;
+            let router = build_serve_router(workers, threads, data_dir, obs)?;
             mf_server::serve_stdio(&router, stdin.lock(), stdout.lock())
         } else {
-            let engine = build_serve_engine(threads, data_dir)?;
+            let engine = build_serve_engine(threads, data_dir, obs)?;
             mf_server::serve_stdio(&engine, stdin.lock(), stdout.lock())
         }
         .map_err(|e| format!("stdio session failed: {e}"))
@@ -317,9 +434,8 @@ fn serve(args: &Arguments) -> std::result::Result<(), String> {
                 .map_err(|_| format!("invalid --port `{raw}` (expected 0..=65535)"))?,
             None => 0,
         };
-        use std::sync::Arc;
         if workers > 1 {
-            let router = Arc::new(build_serve_router(workers, threads, data_dir)?);
+            let router = Arc::new(build_serve_router(workers, threads, data_dir, obs)?);
             let server = mf_server::Server::with_handler(("127.0.0.1", port), router)
                 .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -329,7 +445,7 @@ fn serve(args: &Arguments) -> std::result::Result<(), String> {
             );
             server.run().map_err(|e| format!("server loop failed: {e}"))
         } else {
-            let engine = Arc::new(build_serve_engine(threads, data_dir)?);
+            let engine = Arc::new(build_serve_engine(threads, data_dir, obs)?);
             let server = mf_server::Server::with_engine(("127.0.0.1", port), engine)
                 .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -368,6 +484,71 @@ fn stats(args: &Arguments) -> std::result::Result<(), String> {
             println!("{key} {value}");
         }
     }
+    Ok(())
+}
+
+/// Verifies an `mf-trace v1` file and prints a one-screen summary.
+///
+/// "Verify" means the full canonical-form contract: the file parses, and
+/// re-serializing the parsed events reproduces the input **byte for byte**
+/// (the same write→parse→write identity the format's tests pin).
+fn trace(args: &Arguments) -> std::result::Result<(), String> {
+    let path = args.positional(0).ok_or("missing TRACE file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let events = events_from_text(&text)
+        .map_err(|e| format!("`{path}` is not a valid mf-trace v1 file: {e}"))?;
+    let round_trip =
+        events_to_text(&events).map_err(|e| format!("cannot re-serialize `{path}`: {e}"))?;
+    if round_trip != text {
+        return Err(format!(
+            "`{path}` parses but is not in canonical form (round-trip differs)"
+        ));
+    }
+    let mut spans = 0u64;
+    let mut span_ns = 0u64;
+    let mut slow = 0u64;
+    let mut commits = 0u64;
+    let mut improved_commits = 0u64;
+    let mut rounds = 0u64;
+    let mut done_rounds = 0u64;
+    let mut cache_reports = 0u64;
+    let mut cache_evaluations = 0u64;
+    let mut cache_reuses = 0u64;
+    let mut dropped = 0u64;
+    for event in &events {
+        match event {
+            TraceEvent::Span { duration_ns, .. } => {
+                spans += 1;
+                span_ns = span_ns.saturating_add(*duration_ns);
+            }
+            TraceEvent::Slow { .. } => slow += 1,
+            TraceEvent::Commit { improved, .. } => {
+                commits += 1;
+                improved_commits += u64::from(*improved);
+            }
+            TraceEvent::Round { done, .. } => {
+                rounds += 1;
+                done_rounds += u64::from(*done);
+            }
+            TraceEvent::Cache {
+                evaluations,
+                reuses,
+                ..
+            } => {
+                cache_reports += 1;
+                cache_evaluations = cache_evaluations.saturating_add(*evaluations);
+                cache_reuses = cache_reuses.saturating_add(*reuses);
+            }
+            TraceEvent::Dropped { count, .. } => dropped = dropped.saturating_add(*count),
+        }
+    }
+    println!("{path}: mf-trace v1, {} event(s), canonical", events.len());
+    println!("  spans:   {spans} ({span_ns} ns total)");
+    println!("  slow:    {slow}");
+    println!("  commits: {commits} ({improved_commits} improved the incumbent)");
+    println!("  rounds:  {rounds} ({done_rounds} finished a cell)");
+    println!("  cache:   {cache_reports} report(s), {cache_evaluations} evaluation(s), {cache_reuses} reuse(s)");
+    println!("  dropped: {dropped} event(s) past the sampling cap");
     Ok(())
 }
 

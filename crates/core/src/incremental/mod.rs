@@ -90,6 +90,26 @@ pub struct EvalCounters {
     pub mass_rows_invalidated: u64,
 }
 
+impl EvalCounters {
+    /// The per-field delta `self - earlier`, saturating at zero.
+    ///
+    /// Counters are monotone, so for two reads of the *same* evaluator the
+    /// delta is exact; saturation only matters if callers mix evaluators.
+    /// This is how observability layers turn two snapshots into "what did
+    /// this run cost" without assuming they started from zero.
+    pub fn since(&self, earlier: &EvalCounters) -> EvalCounters {
+        EvalCounters {
+            dense_what_ifs: self.dense_what_ifs.saturating_sub(earlier.dense_what_ifs),
+            exact_what_ifs: self.exact_what_ifs.saturating_sub(earlier.exact_what_ifs),
+            commits: self.commits.saturating_sub(earlier.commits),
+            mass_row_builds: self.mass_row_builds.saturating_sub(earlier.mass_row_builds),
+            mass_rows_invalidated: self
+                .mass_rows_invalidated
+                .saturating_sub(earlier.mass_rows_invalidated),
+        }
+    }
+}
+
 /// What the last committed operation touched — the invalidation footprint
 /// search sweep caches key on.
 #[derive(Debug, Clone, Copy, PartialEq)]

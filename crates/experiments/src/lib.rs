@@ -33,6 +33,8 @@ pub mod stats;
 
 pub use config::ExperimentConfig;
 pub use persist::{batch_from_text, batch_to_text, figure_from_text, figure_to_text};
-pub use portfolio::{PortfolioConfig, PortfolioOutcome};
+pub use portfolio::{
+    CellRoundRecord, CellRoundSummary, PortfolioConfig, PortfolioOutcome, TracedPortfolio,
+};
 pub use report::{FigureReport, Series};
 pub use stats::Stats;

@@ -32,9 +32,11 @@ use crate::runner::BatchRunner;
 use mf_core::prelude::*;
 use mf_core::seed::splitmix64;
 use mf_heuristics::search::{
-    polish_with, SearchEngine, SearchStrategy, SteepestDescent, TabuSearch,
+    polish_with, polish_with_progress, SearchEngine, SearchStrategy, SteepestDescent, TabuSearch,
 };
 use mf_heuristics::{paper_heuristic, H6LocalSearch, LocalSearchConfig, DEFAULT_SEARCH_BUDGET};
+use mf_obs::{ProgressEvent, SamplingSink, TraceEvent};
+use std::sync::Mutex;
 
 /// Tuning knobs of the portfolio runner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +136,132 @@ impl PortfolioOutcome {
     }
 }
 
+/// Default per-(cell, round) retention cap for cache-outcome progress
+/// events in a traced run. Commit events are never capped — a trace must
+/// reconstruct the exact committed step sequence.
+pub const TRACE_CACHE_EVENT_CAP: usize = 64;
+
+/// Progress events harvested from one (cell, round) execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRoundRecord {
+    /// Cell index (into [`PortfolioOutcome::cells`]).
+    pub cell: usize,
+    /// Round index.
+    pub round: usize,
+    /// The retained events, in emission order (commits lossless,
+    /// cache outcomes capped).
+    pub events: Vec<ProgressEvent>,
+    /// Cache-outcome events the cap discarded.
+    pub dropped: u64,
+}
+
+/// One cell's state after one round, as the stopping rule saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRoundSummary {
+    /// Cell index.
+    pub cell: usize,
+    /// Round index.
+    pub round: usize,
+    /// `f64::to_bits` of the cell's period after the round (`None` when
+    /// the cell holds no mapping).
+    pub period_bits: Option<u64>,
+    /// Whether the cell was done after this round.
+    pub done: bool,
+}
+
+/// Thread-safe collector the work-stealing workers push per-(cell, round)
+/// progress into. Collection order depends on scheduling; consumers sort.
+struct PortfolioProgress {
+    cache_event_cap: usize,
+    collected: Mutex<Vec<CellRoundRecord>>,
+}
+
+impl PortfolioProgress {
+    fn new(cache_event_cap: usize) -> Self {
+        PortfolioProgress {
+            cache_event_cap,
+            collected: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn collect(&self, cell: usize, round: usize, sink: SamplingSink) {
+        let (events, dropped) = sink.into_parts();
+        if events.is_empty() && dropped == 0 {
+            return;
+        }
+        self.collected
+            .lock()
+            .expect("portfolio progress collector poisoned")
+            .push(CellRoundRecord {
+                cell,
+                round,
+                events,
+                dropped,
+            });
+    }
+}
+
+/// A portfolio run plus everything a trace consumer needs: per-(cell,
+/// round) progress records and per-round cell summaries, both in
+/// deterministic `(round, cell)` order regardless of thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedPortfolio {
+    /// The run's outcome — bit-identical to an untraced [`run_portfolio`]
+    /// of the same configuration.
+    pub outcome: PortfolioOutcome,
+    /// Progress records of every executed (cell, round) up to the stopping
+    /// round, sorted by `(round, cell)`; cell-rounds that emitted nothing
+    /// (done cells, failed seeds) are omitted.
+    pub records: Vec<CellRoundRecord>,
+    /// Every cell's effective state after every round up to the stopping
+    /// round, sorted by `(round, cell)` — the data the stopping rule
+    /// replayed.
+    pub summaries: Vec<CellRoundSummary>,
+}
+
+impl TracedPortfolio {
+    /// Serializes the run as `mf-trace v1` events: for each round in
+    /// order, each cell's commit/cache events followed by its `round`
+    /// summary record, then one `dropped` record if any cache events were
+    /// capped. Deterministic for a given (instance, config).
+    pub fn to_trace_events(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        let mut dropped_total = 0u64;
+        let mut records = self.records.iter().peekable();
+        for summary in &self.summaries {
+            while let Some(record) = records.peek() {
+                if (record.round, record.cell) < (summary.round, summary.cell) {
+                    // Defensive: records for unknown summaries (cannot
+                    // happen — every record's round is ≤ the final round).
+                    records.next();
+                    continue;
+                }
+                if (record.round, record.cell) != (summary.round, summary.cell) {
+                    break;
+                }
+                let record = records.next().expect("peeked");
+                for event in &record.events {
+                    events.push(event.into_trace(record.cell as u64, record.round as u64));
+                }
+                dropped_total += record.dropped;
+            }
+            events.push(TraceEvent::Round {
+                cell: summary.cell as u64,
+                round: summary.round as u64,
+                period_bits: summary.period_bits,
+                done: summary.done,
+            });
+        }
+        if dropped_total > 0 {
+            events.push(TraceEvent::Dropped {
+                class: "cache".to_string(),
+                count: dropped_total,
+            });
+        }
+        events
+    }
+}
+
 /// The six constructive seeds of the portfolio, in presentation order.
 const SEED_BASES: [&str; 6] = ["H1", "H2", "H3", "H4", "H4w", "H4f"];
 
@@ -178,7 +306,8 @@ fn cell_seed(config: &PortfolioConfig, cell: usize, round: usize) -> u64 {
 }
 
 /// One cell's round: seed in round 0, then continue its strategy from the
-/// carried mapping. Pure in (instance, spec, state, seed).
+/// carried mapping. Pure in (instance, spec, state, seed); an attached
+/// progress sink is write-only and cannot change the returned state.
 fn advance_cell(
     instance: &Instance,
     spec: &CellSpec,
@@ -186,6 +315,7 @@ fn advance_cell(
     config: &PortfolioConfig,
     seed: u64,
     round: usize,
+    progress: Option<&mut SamplingSink>,
 ) -> CellState {
     if state.done {
         return state.clone();
@@ -223,21 +353,29 @@ fn advance_cell(
                 seed,
                 ..LocalSearchConfig::default()
             };
-            (H6LocalSearch::polish(instance, &mapping, &local), false)
+            let polished = match progress {
+                Some(sink) => H6LocalSearch::polish_progress(instance, &mapping, &local, sink),
+                None => H6LocalSearch::polish(instance, &mapping, &local),
+            };
+            (polished, false)
         }
-        CellStrategy::Steepest => match sweep_to_optimum(instance, &mapping, config.sweep_budget) {
-            Ok((polished, converged)) => (Ok(polished), converged),
-            Err(e) => (Err(e), false),
-        },
-        CellStrategy::Tabu => (
-            polish_with(
-                instance,
-                &mapping,
-                &TabuSearch::default(),
-                config.sweep_budget,
-            ),
-            false,
-        ),
+        CellStrategy::Steepest => {
+            match sweep_to_optimum(instance, &mapping, config.sweep_budget, progress) {
+                Ok((polished, converged)) => (Ok(polished), converged),
+                Err(e) => (Err(e), false),
+            }
+        }
+        CellStrategy::Tabu => {
+            let strategy = TabuSearch::default();
+            let polished = match progress {
+                Some(sink) => {
+                    polish_with_progress(instance, &mapping, &strategy, config.sweep_budget, sink)
+                        .map(|(mapping, _)| mapping)
+                }
+                None => polish_with(instance, &mapping, &strategy, config.sweep_budget),
+            };
+            (polished, false)
+        }
     };
     let polished = match polished {
         Ok(polished) => polished,
@@ -285,11 +423,15 @@ fn sweep_to_optimum(
     instance: &Instance,
     mapping: &Mapping,
     budget: usize,
+    progress: Option<&mut SamplingSink>,
 ) -> mf_heuristics::HeuristicResult<(Mapping, bool)> {
     if instance.task_count() == 0 || instance.machine_count() < 2 || budget == 0 {
         return Ok((mapping.clone(), true));
     }
     let mut engine = SearchEngine::new(instance, mapping, budget)?;
+    if let Some(sink) = progress {
+        engine.set_progress_sink(sink);
+    }
     SteepestDescent::default().run(&mut engine)?;
     let converged = !engine.exhausted();
     Ok((engine.into_best(), converged))
@@ -348,6 +490,7 @@ pub fn run_portfolio_barrier(
                 config,
                 cell_seed(config, cell, round),
                 round,
+                None,
             )
         });
         states = advanced;
@@ -531,8 +674,9 @@ fn portfolio_worker(
     instance: &Instance,
     specs: &[CellSpec],
     config: &PortfolioConfig,
-    scheduler: &std::sync::Mutex<RoundScheduler>,
+    scheduler: &Mutex<RoundScheduler>,
     ready: &std::sync::Condvar,
+    progress: Option<&PortfolioProgress>,
 ) {
     loop {
         let (cell, round, state) = {
@@ -550,6 +694,7 @@ fn portfolio_worker(
                 guard = ready.wait(guard).expect("portfolio scheduler poisoned");
             }
         };
+        let mut sink = progress.map(|p| SamplingSink::new(p.cache_event_cap));
         let next = advance_cell(
             instance,
             &specs[cell],
@@ -557,7 +702,11 @@ fn portfolio_worker(
             config,
             cell_seed(config, cell, round),
             round,
+            sink.as_mut(),
         );
+        if let (Some(collector), Some(sink)) = (progress, sink) {
+            collector.collect(cell, round, sink);
+        }
         let mut guard = scheduler.lock().expect("portfolio scheduler poisoned");
         guard.complete(cell, next);
         drop(guard);
@@ -584,17 +733,71 @@ pub fn run_portfolio(
     config: &PortfolioConfig,
     runner: &BatchRunner,
 ) -> PortfolioOutcome {
+    run_portfolio_inner(instance, config, runner, None).0
+}
+
+/// [`run_portfolio`], additionally harvesting solver progress: every
+/// committed step of every cell (with the incumbent-improved verdict),
+/// capped cache outcomes, and per-round cell summaries. The outcome is
+/// **bit-identical** to the untraced run — progress sinks observe, they
+/// never steer — and the harvested records are deterministic at every
+/// thread count: each (cell, round)'s events are a pure function of its
+/// grid coordinates, and the collection is sorted into `(round, cell)`
+/// order with speculative rounds past the stopping decision discarded.
+pub fn run_portfolio_traced(
+    instance: &Instance,
+    config: &PortfolioConfig,
+    runner: &BatchRunner,
+    cache_event_cap: usize,
+) -> TracedPortfolio {
+    let progress = PortfolioProgress::new(cache_event_cap);
+    let (outcome, scheduler) = run_portfolio_inner(instance, config, runner, Some(&progress));
+    let final_round = outcome.rounds - 1;
+    let mut records = progress
+        .collected
+        .into_inner()
+        .expect("portfolio progress collector poisoned");
+    records.retain(|record| record.round <= final_round);
+    records.sort_by_key(|record| (record.round, record.cell));
+    let cells = scheduler.history.len();
+    let mut summaries = Vec::with_capacity((final_round + 1) * cells);
+    for round in 0..=final_round {
+        for cell in 0..cells {
+            let state = scheduler.effective(cell, round);
+            summaries.push(CellRoundSummary {
+                cell,
+                round,
+                period_bits: state.period.map(f64::to_bits),
+                done: state.done,
+            });
+        }
+    }
+    TracedPortfolio {
+        outcome,
+        records,
+        summaries,
+    }
+}
+
+fn run_portfolio_inner(
+    instance: &Instance,
+    config: &PortfolioConfig,
+    runner: &BatchRunner,
+    progress: Option<&PortfolioProgress>,
+) -> (PortfolioOutcome, RoundScheduler) {
     let specs = cell_specs(config);
     let threads = runner.threads().clamp(1, specs.len());
-    let scheduler = std::sync::Mutex::new(RoundScheduler::new(specs.len(), config));
+    let scheduler = Mutex::new(RoundScheduler::new(specs.len(), config));
     let ready = std::sync::Condvar::new();
 
     if threads == 1 {
-        portfolio_worker(instance, &specs, config, &scheduler, &ready);
+        portfolio_worker(instance, &specs, config, &scheduler, &ready, progress);
     } else {
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| portfolio_worker(instance, &specs, config, &scheduler, &ready));
+                scope.spawn(|| {
+                    portfolio_worker(instance, &specs, config, &scheduler, &ready, progress)
+                });
             }
         });
     }
@@ -623,7 +826,7 @@ pub fn run_portfolio(
         Some((index, period)) => (Some(index), Some(period), states[index].mapping.clone()),
         None => (None, None, None),
     };
-    PortfolioOutcome {
+    let outcome = PortfolioOutcome {
         best_mapping,
         best_period,
         winner,
@@ -636,7 +839,8 @@ pub fn run_portfolio(
                 period: state.period,
             })
             .collect(),
-    }
+    };
+    (outcome, scheduler)
 }
 
 #[cfg(test)]
@@ -698,6 +902,119 @@ mod tests {
         assert!(outcome.best_mapping.is_none());
         assert!(outcome.winner.is_none());
         assert!(outcome.cells.iter().all(|c| c.period.is_none()));
+    }
+
+    #[test]
+    fn traced_outcome_is_bit_identical_and_thread_independent() {
+        let inst = instance(11);
+        let config = quick_config();
+        let untraced = run_portfolio(&inst, &config, &BatchRunner::new(2));
+        let traced_1 =
+            run_portfolio_traced(&inst, &config, &BatchRunner::new(1), TRACE_CACHE_EVENT_CAP);
+        let traced_4 =
+            run_portfolio_traced(&inst, &config, &BatchRunner::new(4), TRACE_CACHE_EVENT_CAP);
+        // Attaching progress sinks changes nothing about the result…
+        assert_eq!(traced_1.outcome, untraced);
+        // …and the harvested progress is scheduling-independent.
+        assert_eq!(traced_1, traced_4);
+        assert_eq!(
+            traced_1.summaries.len(),
+            untraced.rounds * untraced.cells.len()
+        );
+        assert!(!traced_1.records.is_empty(), "some cell must commit steps");
+        // The serialized form survives the mf-trace v1 round trip.
+        let events = traced_1.to_trace_events();
+        let text = mf_obs::events_to_text(&events).unwrap();
+        assert_eq!(mf_obs::events_from_text(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn traced_commits_reconstruct_enable_commit_trace_exactly() {
+        use mf_heuristics::search::{CommitStep, SteepestDescent};
+
+        let inst = instance(7);
+        let config = quick_config();
+        let traced =
+            run_portfolio_traced(&inst, &config, &BatchRunner::new(4), TRACE_CACHE_EVENT_CAP);
+        let cell = traced
+            .outcome
+            .cells
+            .iter()
+            .position(|c| c.label == "SD-H2")
+            .expect("the portfolio always fields an SD-H2 cell");
+
+        // Replay the cell's rounds by hand through the engine's own commit
+        // trace — the pre-existing ground truth — and demand the traced
+        // run's progress events reproduce each round's step sequence
+        // exactly (same kinds, operands and period bits).
+        let mut carried: Option<Mapping> = None;
+        let mut previous_period: Option<f64> = None;
+        let mut compared_rounds = 0usize;
+        for round in 0..traced.outcome.rounds {
+            let mapping = match &carried {
+                None => paper_heuristic("H2", cell_seed(&config, cell, round))
+                    .unwrap()
+                    .map(&inst)
+                    .unwrap(),
+                Some(mapping) => mapping.clone(),
+            };
+            let mut engine = SearchEngine::new(&inst, &mapping, config.sweep_budget).unwrap();
+            engine.enable_commit_trace();
+            SteepestDescent::default().run(&mut engine).unwrap();
+            let expected: Vec<CommitStep> = engine.commit_trace().to_vec();
+            let converged = !engine.exhausted();
+            let polished = engine.into_best();
+            let period = inst.period(&polished).unwrap().value();
+
+            let observed: Vec<CommitStep> = traced
+                .records
+                .iter()
+                .filter(|r| r.cell == cell && r.round == round)
+                .flat_map(|r| r.events.iter())
+                .filter_map(|event| match *event {
+                    ProgressEvent::Commit {
+                        swap,
+                        a,
+                        b,
+                        period_bits,
+                        ..
+                    } => Some(if swap {
+                        CommitStep::Swap {
+                            a: a as usize,
+                            b: b as usize,
+                            period: period_bits,
+                        }
+                    } else {
+                        CommitStep::Move {
+                            task: a as usize,
+                            to: b as usize,
+                            period: period_bits,
+                        }
+                    }),
+                    ProgressEvent::CacheOutcome { .. } => None,
+                })
+                .collect();
+            assert_eq!(observed, expected, "cell {cell} round {round}");
+            compared_rounds += 1;
+
+            let stalled = round > 0
+                && previous_period
+                    .map(|p| period >= p - 1e-12)
+                    .unwrap_or(false);
+            if converged || stalled {
+                break;
+            }
+            previous_period = Some(period);
+            carried = Some(polished);
+        }
+        assert!(compared_rounds > 0);
+        assert!(
+            traced
+                .records
+                .iter()
+                .any(|r| r.cell == cell && r.round == 0 && !r.events.is_empty()),
+            "round 0 of SD-H2 must commit at least one step"
+        );
     }
 
     #[test]

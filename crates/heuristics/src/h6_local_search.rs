@@ -24,8 +24,9 @@
 //! the `h6_regression` integration test).
 
 use crate::heuristic::{parse_strategy_name, strategy_inner_heuristic, Heuristic, HeuristicResult};
-use crate::search::{polish_with, AnnealedClimb};
+use crate::search::{polish_with, polish_with_progress, AnnealedClimb};
 use mf_core::prelude::*;
+use mf_obs::ProgressSink;
 
 pub use crate::search::annealed::LocalSearchConfig;
 
@@ -88,6 +89,24 @@ impl H6LocalSearch {
             config.max_steps,
         )
     }
+
+    /// [`polish`](Self::polish), streaming progress events into `sink`.
+    /// Bit-identical result — the sink observes, it never steers.
+    pub fn polish_progress(
+        instance: &Instance,
+        mapping: &Mapping,
+        config: &LocalSearchConfig,
+        sink: &mut dyn ProgressSink,
+    ) -> HeuristicResult<Mapping> {
+        Ok(polish_with_progress(
+            instance,
+            mapping,
+            &AnnealedClimb::new(*config),
+            config.max_steps,
+            sink,
+        )?
+        .0)
+    }
 }
 
 impl Heuristic for H6LocalSearch {
@@ -98,6 +117,15 @@ impl Heuristic for H6LocalSearch {
     fn map(&self, instance: &Instance) -> HeuristicResult<Mapping> {
         let seeded = self.inner.map(instance)?;
         Self::polish(instance, &seeded, &self.config)
+    }
+
+    fn map_with_progress(
+        &self,
+        instance: &Instance,
+        sink: &mut dyn ProgressSink,
+    ) -> HeuristicResult<Mapping> {
+        let seeded = self.inner.map(instance)?;
+        Self::polish_progress(instance, &seeded, &self.config, sink)
     }
 }
 

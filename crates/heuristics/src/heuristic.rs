@@ -71,6 +71,21 @@ pub trait Heuristic {
         Ok((self.map(instance)?, None))
     }
 
+    /// Like [`map`](Self::map), additionally streaming progress events
+    /// (committed steps, incumbent improvements, cache outcomes) into
+    /// `sink` when the heuristic drives a
+    /// [`SearchEngine`](crate::search::SearchEngine) under the hood. The
+    /// default — every constructive heuristic — emits nothing; the
+    /// returned mapping is always bit-identical to [`map`](Self::map)'s.
+    fn map_with_progress(
+        &self,
+        instance: &Instance,
+        sink: &mut dyn mf_obs::ProgressSink,
+    ) -> HeuristicResult<Mapping> {
+        let _ = sink;
+        self.map(instance)
+    }
+
     /// Convenience: the period achieved by this heuristic on the instance.
     fn period(&self, instance: &Instance) -> HeuristicResult<Period> {
         let mapping = self.map(instance)?;

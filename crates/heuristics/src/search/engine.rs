@@ -18,6 +18,7 @@ use crate::heuristic::HeuristicResult;
 use crate::search::sweep_cache::{CacheAnswer, SweepCache, SweepCacheStats};
 use mf_core::incremental::EvalCounters;
 use mf_core::prelude::*;
+use mf_obs::{ProgressEvent, ProgressSink};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -79,7 +80,6 @@ pub enum CommitStep {
 ///
 /// Built from a seed mapping, driven by a strategy, harvested with
 /// [`SearchEngine::into_best`].
-#[derive(Debug)]
 pub struct SearchEngine<'a> {
     instance: &'a Instance,
     eval: IncrementalEvaluator<'a>,
@@ -104,6 +104,10 @@ pub struct SearchEngine<'a> {
     commit_count: u64,
     /// Opt-in record of every committed step (for differential pinning).
     trace: Option<Vec<CommitStep>>,
+    /// Opt-in live observer of the run (see
+    /// [`set_progress_sink`](Self::set_progress_sink)). Never consulted for
+    /// decisions, so an attached sink cannot change search results.
+    progress: Option<&'a mut dyn ProgressSink>,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -148,6 +152,7 @@ impl<'a> SearchEngine<'a> {
             sweep_enabled: true,
             commit_count: 0,
             trace: None,
+            progress: None,
         })
     }
 
@@ -306,6 +311,15 @@ impl<'a> SearchEngine<'a> {
         self.trace.as_deref().unwrap_or(&[])
     }
 
+    /// Attaches a live progress observer: every real commit is reported as
+    /// a [`ProgressEvent::Commit`] (mirroring the commit trace, plus the
+    /// incumbent-improved verdict) followed by a cumulative
+    /// [`ProgressEvent::CacheOutcome`]. The sink is write-only — search
+    /// decisions, budgets and results are bit-identical with or without it.
+    pub fn set_progress_sink(&mut self, sink: &'a mut dyn ProgressSink) {
+        self.progress = Some(sink);
+    }
+
     /// Sweep-cached what-if of moving `task` to `to`: returns the exact
     /// candidate period, or `None` when the cache certifies the candidate
     /// cannot score strictly below `bound` (in which case a sweep that
@@ -367,12 +381,13 @@ impl<'a> SearchEngine<'a> {
     }
 
     /// Syncs the sweep cache (and the opt-in trace) with the evaluator after
-    /// a commit attempt; `step` builds the trace record lazily.
-    fn after_commit(&mut self, step: impl FnOnce() -> CommitStep) {
+    /// a commit attempt; `step` builds the trace record lazily. Returns
+    /// whether a real commit happened (no-op applies return `false`).
+    fn after_commit(&mut self, step: impl FnOnce() -> CommitStep) -> bool {
         let commits = self.eval.counters().commits;
         if commits == self.commit_count {
             // A no-op apply: nothing changed, nothing to invalidate.
-            return;
+            return false;
         }
         self.commit_count = commits;
         if let Some(footprint) = self.eval.last_commit().copied() {
@@ -381,6 +396,30 @@ impl<'a> SearchEngine<'a> {
         if let Some(trace) = &mut self.trace {
             trace.push(step());
         }
+        true
+    }
+
+    /// Reports a real commit (and the cumulative sweep-cache counters) to
+    /// the attached progress sink, if any.
+    fn emit_progress(&mut self, swap: bool, a: usize, b: usize, outcome: &CommitOutcome) {
+        let Some(sink) = self.progress.as_deref_mut() else {
+            return;
+        };
+        sink.emit(ProgressEvent::Commit {
+            swap,
+            a: a as u64,
+            b: b as u64,
+            period_bits: outcome.period.to_bits(),
+            improved: outcome.improved_best,
+        });
+        let stats = self.sweep.stats;
+        sink.emit(ProgressEvent::CacheOutcome {
+            probes: stats.probes,
+            evaluations: stats.evaluations,
+            skips: stats.skips,
+            reuses: stats.reuses,
+            rescales: stats.rescales,
+        });
     }
 
     /// Commits a move, updating the type bookkeeping, the current period and
@@ -391,7 +430,7 @@ impl<'a> SearchEngine<'a> {
         let from = self.eval.machine_of(task);
         let ty = self.instance.application().task_type(task);
         let committed = self.eval.apply_move(task, to)?.period.value();
-        self.after_commit(|| CommitStep::Move {
+        let real_commit = self.after_commit(|| CommitStep::Move {
             task: task.index(),
             to: to.index(),
             period: committed.to_bits(),
@@ -404,7 +443,11 @@ impl<'a> SearchEngine<'a> {
             self.tasks_on[to.index()] += 1;
             self.machine_type[to.index()] = Some(ty);
         }
-        Ok(self.record(committed))
+        let outcome = self.record(committed);
+        if real_commit {
+            self.emit_progress(false, task.index(), to.index(), &outcome);
+        }
+        Ok(outcome)
     }
 
     /// Commits a swap of the machines of `a` and `b`.
@@ -413,7 +456,7 @@ impl<'a> SearchEngine<'a> {
         let app = self.instance.application();
         let (ta, tb) = (app.task_type(a), app.task_type(b));
         let committed = self.eval.apply_swap(a, b)?.period.value();
-        self.after_commit(|| CommitStep::Swap {
+        let real_commit = self.after_commit(|| CommitStep::Swap {
             a: a.index(),
             b: b.index(),
             period: committed.to_bits(),
@@ -422,7 +465,11 @@ impl<'a> SearchEngine<'a> {
             self.machine_type[ua.index()] = Some(tb);
             self.machine_type[ub.index()] = Some(ta);
         }
-        Ok(self.record(committed))
+        let outcome = self.record(committed);
+        if real_commit {
+            self.emit_progress(true, a.index(), b.index(), &outcome);
+        }
+        Ok(outcome)
     }
 
     fn record(&mut self, committed: f64) -> CommitOutcome {
@@ -525,6 +572,56 @@ mod tests {
         let final_period = inst.period(&mapping).unwrap().value();
         assert!(final_period <= seed_period + 1e-9);
         assert!((final_period - best).abs() <= 1e-9 * best.max(1.0));
+    }
+
+    #[test]
+    fn progress_sink_mirrors_the_commit_trace_and_changes_nothing() {
+        use crate::search::SearchStrategy;
+        use crate::search::SteepestDescent;
+        use mf_obs::{ProgressEvent, SamplingSink};
+
+        let inst = instance();
+        let seed = H4wFastestMachine.map(&inst).unwrap();
+
+        let mut reference = SearchEngine::new(&inst, &seed, 10_000).unwrap();
+        reference.enable_commit_trace();
+        SteepestDescent::default().run(&mut reference).unwrap();
+        let steps: Vec<CommitStep> = reference.commit_trace().to_vec();
+        let reference_best = reference.into_best();
+
+        let mut sink = SamplingSink::new(usize::MAX);
+        let mut observed = SearchEngine::new(&inst, &seed, 10_000).unwrap();
+        observed.set_progress_sink(&mut sink);
+        SteepestDescent::default().run(&mut observed).unwrap();
+        let observed_best = observed.into_best();
+
+        // The sink is write-only: identical result with or without it.
+        assert_eq!(observed_best, reference_best);
+
+        // Every commit event mirrors the commit-trace step exactly.
+        let commits: Vec<(bool, u64, u64, u64)> = sink
+            .events()
+            .iter()
+            .filter_map(|event| match *event {
+                ProgressEvent::Commit {
+                    swap,
+                    a,
+                    b,
+                    period_bits,
+                    ..
+                } => Some((swap, a, b, period_bits)),
+                ProgressEvent::CacheOutcome { .. } => None,
+            })
+            .collect();
+        let expected: Vec<(bool, u64, u64, u64)> = steps
+            .iter()
+            .map(|step| match *step {
+                CommitStep::Move { task, to, period } => (false, task as u64, to as u64, period),
+                CommitStep::Swap { a, b, period } => (true, a as u64, b as u64, period),
+            })
+            .collect();
+        assert!(!expected.is_empty(), "the fixture must commit something");
+        assert_eq!(commits, expected);
     }
 
     #[test]

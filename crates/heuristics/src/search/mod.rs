@@ -60,7 +60,8 @@ pub use annealed::{AnnealedClimb, LocalSearchConfig};
 pub use engine::{metropolis, CommitOutcome, CommitStep, SearchEngine, IMPROVEMENT_EPSILON};
 pub use steepest::{SteepestDescent, SteepestDescentConfig};
 pub use strategy::{
-    polish_with, polish_with_telemetry, SearchHeuristic, SearchStrategy, SearchTelemetry,
+    polish_with, polish_with_progress, polish_with_telemetry, SearchHeuristic, SearchStrategy,
+    SearchTelemetry,
 };
 pub use sweep_cache::SweepCacheStats;
 pub use tabu::{TabuConfig, TabuSearch};

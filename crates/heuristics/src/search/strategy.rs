@@ -7,6 +7,7 @@ use crate::search::engine::SearchEngine;
 use crate::search::sweep_cache::SweepCacheStats;
 use mf_core::incremental::EvalCounters;
 use mf_core::prelude::*;
+use mf_obs::ProgressSink;
 
 /// Telemetry harvested from one search-driven solve: the sweep-cache
 /// probe/skip/rescale counters and the evaluator's what-if/mass-row
@@ -72,6 +73,31 @@ pub fn polish_with_telemetry(
     Ok((engine.into_best(), Some(telemetry)))
 }
 
+/// [`polish_with`], additionally streaming every committed step and the
+/// cumulative cache outcomes into `sink` (see
+/// [`SearchEngine::set_progress_sink`]). The returned mapping is
+/// bit-identical to [`polish_with`]'s — the sink is write-only, it cannot
+/// steer the search. The degenerate-shape short-circuit emits nothing.
+pub fn polish_with_progress(
+    instance: &Instance,
+    mapping: &Mapping,
+    strategy: &dyn SearchStrategy,
+    budget: usize,
+    sink: &mut dyn ProgressSink,
+) -> HeuristicResult<(Mapping, Option<SearchTelemetry>)> {
+    if instance.task_count() == 0 || instance.machine_count() < 2 || budget == 0 {
+        return Ok((mapping.clone(), None));
+    }
+    let mut engine = SearchEngine::new(instance, mapping, budget)?;
+    engine.set_progress_sink(sink);
+    strategy.run(&mut engine)?;
+    let telemetry = SearchTelemetry {
+        sweep: engine.sweep_stats(),
+        eval: engine.evaluator_counters(),
+    };
+    Ok((engine.into_best(), Some(telemetry)))
+}
+
 /// A constructive seed heuristic refined by a search strategy — the shape
 /// behind every `H6`/`SD`/`TS` registry name.
 pub struct SearchHeuristic {
@@ -121,5 +147,14 @@ impl Heuristic for SearchHeuristic {
     ) -> HeuristicResult<(Mapping, Option<SearchTelemetry>)> {
         let seeded = self.inner.map(instance)?;
         polish_with_telemetry(instance, &seeded, self.strategy.as_ref(), self.budget)
+    }
+
+    fn map_with_progress(
+        &self,
+        instance: &Instance,
+        sink: &mut dyn ProgressSink,
+    ) -> HeuristicResult<Mapping> {
+        let seeded = self.inner.map(instance)?;
+        Ok(polish_with_progress(instance, &seeded, self.strategy.as_ref(), self.budget, sink)?.0)
     }
 }

@@ -1,0 +1,118 @@
+//! The injectable [`Clock`] trait.
+//!
+//! Everything in `mf-obs` that measures time takes a `&dyn Clock` (or an
+//! `Arc<dyn Clock>`) instead of calling [`std::time::Instant::now`]
+//! directly. Production wiring injects [`MonotonicClock`]; tests and
+//! golden-transcript replays inject [`ManualClock`], whose readings are
+//! fully scripted, so any output that embeds durations is byte-identical
+//! run to run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone nanosecond clock. Readings are relative to an arbitrary
+/// per-clock origin — only differences between readings are meaningful.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's origin. Must never decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: wall-clock-independent monotonic time anchored at
+/// the moment the clock was created.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates after ~584 years of process uptime; acceptable.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A scripted clock for tests: starts at a fixed reading and advances only
+/// when told to ([`advance`](ManualClock::advance)) or by a fixed step per
+/// reading ([`ticking`](ManualClock::ticking)). Timing-bearing test output
+/// is therefore deterministic.
+#[derive(Debug)]
+pub struct ManualClock {
+    now: AtomicU64,
+    step: u64,
+}
+
+impl ManualClock {
+    /// A clock frozen at `start_ns` until advanced explicitly.
+    pub fn new(start_ns: u64) -> Self {
+        ManualClock {
+            now: AtomicU64::new(start_ns),
+            step: 0,
+        }
+    }
+
+    /// A clock that starts at 0 and advances by `step_ns` on every reading,
+    /// so consecutive readings differ by exactly `step_ns` — handy for
+    /// forcing every measured duration into a known histogram bucket.
+    pub fn ticking(step_ns: u64) -> Self {
+        ManualClock {
+            now: AtomicU64::new(0),
+            step: step_ns,
+        }
+    }
+
+    /// Moves the clock forward by `delta_ns`.
+    pub fn advance(&self, delta_ns: u64) {
+        self.now.fetch_add(delta_ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_frozen_until_advanced() {
+        let clock = ManualClock::new(7);
+        assert_eq!(clock.now_ns(), 7);
+        assert_eq!(clock.now_ns(), 7);
+        clock.advance(13);
+        assert_eq!(clock.now_ns(), 20);
+    }
+
+    #[test]
+    fn ticking_clock_steps_per_reading() {
+        let clock = ManualClock::ticking(1_000);
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(clock.now_ns(), 1_000);
+        assert_eq!(clock.now_ns(), 2_000);
+    }
+}

@@ -1,0 +1,338 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `i` (1 ≤ i ≤ 64) holds values in
+//! `[2^(i-1), 2^i - 1]` — i.e. `bucket_of(v) = 64 - v.leading_zeros()` for
+//! `v > 0`. The scheme is chosen for the serving tier's needs:
+//!
+//! * **deterministic** — a value always lands in the same bucket, no
+//!   floating-point boundaries;
+//! * **mergeable** — the router sums worker histograms bucket-wise, and the
+//!   sum is exactly the histogram of the merged stream;
+//! * **quantile-derivable** — p50/p90/p99 are reported as the upper bound
+//!   of the bucket containing that rank (clamped to the observed max), so
+//!   quantile estimates are monotone in the quantile by construction.
+//!
+//! Recording is lock-free ([`Histogram`] is a bank of relaxed atomics);
+//! reading goes through an immutable [`HistogramSnapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: one for `0` plus one per bit position of `u64`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_of(value_ns: u64) -> usize {
+    if value_ns == 0 {
+        0
+    } else {
+        (64 - value_ns.leading_zeros()) as usize
+    }
+}
+
+/// The largest value bucket `index` can hold (its inclusive upper bound).
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A lock-free log2 histogram of `u64` samples (nanoseconds, by
+/// convention). Cheap enough to sit on the server's request hot path:
+/// one relaxed `fetch_add` per counter plus a `fetch_max`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value_ns: u64) {
+        self.buckets[bucket_of(value_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value_ns, Ordering::Relaxed);
+        self.max.fetch_max(value_ns, Ordering::Relaxed);
+    }
+
+    /// An immutable copy of the current state. Concurrent recorders may
+    /// land between field reads; per-field values are each correct for
+    /// some recent instant, which is all exposition needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKET_COUNT];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// An immutable view of a [`Histogram`]: per-bucket counts plus the
+/// count/sum/max scalars. Snapshots merge bucket-wise, which is how the
+/// router aggregates worker histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (wrapping at `u64::MAX`, like the counters the
+    /// serving tier already exposes).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample observed (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds `other` into `self` bucket-wise. Merging snapshots of two
+    /// streams yields exactly the snapshot of the interleaved stream.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.wrapping_add(*theirs);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The estimated `q`-quantile (`0.0 < q <= 1.0`): the upper bound of
+    /// the bucket containing the sample of rank `ceil(q * count)`, clamped
+    /// to the observed max. Returns 0 for an empty histogram. Monotone in
+    /// `q` by construction.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(bucket);
+            if cumulative >= rank {
+                return bucket_upper_bound(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// The non-empty buckets in ascending index order, as
+    /// `(bucket index, sample count)` pairs — the deterministic sparse
+    /// exposition used by `mf-stats v1` and `mf-trace v1`.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count != 0)
+            .map(|(index, &count)| (index, count))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from its sparse exposition plus scalars, for
+    /// parsers of the serialized forms. Bucket indices must be in range;
+    /// out-of-range entries are rejected with `None`.
+    pub fn from_parts(
+        nonzero_buckets: &[(usize, u64)],
+        count: u64,
+        sum_ns: u64,
+        max_ns: u64,
+    ) -> Option<Self> {
+        let mut snapshot = HistogramSnapshot::empty();
+        for &(index, bucket_count) in nonzero_buckets {
+            if index >= BUCKET_COUNT {
+                return None;
+            }
+            snapshot.buckets[index] = bucket_count;
+        }
+        snapshot.count = count;
+        snapshot.sum = sum_ns;
+        snapshot.max = max_ns;
+        Some(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_deterministic() {
+        // Exhaustive around every power-of-two boundary: 2^i - 1 stays in
+        // bucket i, 2^i opens bucket i + 1.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        for bit in 1..64usize {
+            let boundary = 1u64 << bit;
+            assert_eq!(bucket_of(boundary - 1), bit, "below boundary 2^{bit}");
+            assert_eq!(bucket_of(boundary), bit + 1, "at boundary 2^{bit}");
+        }
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for index in 0..BUCKET_COUNT {
+            assert_eq!(
+                bucket_of(bucket_upper_bound(index)),
+                index,
+                "upper bound of bucket {index} must land in it"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_merged_stream() {
+        let left_samples = [0u64, 1, 2, 3, 500, 1_023, 1_024, u64::MAX];
+        let right_samples = [7u64, 7, 7, 99_999, 1 << 40];
+
+        let left = Histogram::new();
+        for &sample in &left_samples {
+            left.record(sample);
+        }
+        let right = Histogram::new();
+        for &sample in &right_samples {
+            right.record(sample);
+        }
+        let combined = Histogram::new();
+        for &sample in left_samples.iter().chain(right_samples.iter()) {
+            combined.record(sample);
+        }
+
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        assert_eq!(merged, combined.snapshot());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_capped_at_max() {
+        let histogram = Histogram::new();
+        for sample in [10u64, 20, 30, 1_000, 2_000, 4_000, 100_000] {
+            histogram.record(sample);
+        }
+        let snapshot = histogram.snapshot();
+        let p50 = snapshot.p50_ns();
+        let p90 = snapshot.p90_ns();
+        let p99 = snapshot.p99_ns();
+        assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        assert!(p99 <= snapshot.max_ns());
+        // A single-sample histogram reports that sample for every quantile.
+        let single = Histogram::new();
+        single.record(12_345);
+        let snapshot = single.snapshot();
+        assert_eq!(snapshot.p50_ns(), 12_345);
+        assert_eq!(snapshot.p99_ns(), 12_345);
+    }
+
+    #[test]
+    fn empty_histogram_exposition_is_stable() {
+        let snapshot = Histogram::new().snapshot();
+        assert_eq!(snapshot, HistogramSnapshot::empty());
+        assert_eq!(snapshot.count(), 0);
+        assert_eq!(snapshot.sum_ns(), 0);
+        assert_eq!(snapshot.max_ns(), 0);
+        assert_eq!(snapshot.p50_ns(), 0);
+        assert_eq!(snapshot.p99_ns(), 0);
+        assert!(snapshot.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn sparse_round_trip_rebuilds_the_snapshot() {
+        let histogram = Histogram::new();
+        for sample in [0u64, 3, 900, 900, 1 << 50] {
+            histogram.record(sample);
+        }
+        let snapshot = histogram.snapshot();
+        let rebuilt = HistogramSnapshot::from_parts(
+            &snapshot.nonzero_buckets(),
+            snapshot.count(),
+            snapshot.sum_ns(),
+            snapshot.max_ns(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, snapshot);
+        assert!(HistogramSnapshot::from_parts(&[(BUCKET_COUNT, 1)], 1, 1, 1).is_none());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let histogram = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let histogram = Arc::clone(&histogram);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        histogram.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        assert_eq!(histogram.snapshot().count(), 4_000);
+    }
+}

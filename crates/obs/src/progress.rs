@@ -1,0 +1,221 @@
+//! Solver progress events and sinks.
+//!
+//! The search engine and the portfolio report what they are doing through
+//! a [`ProgressSink`]; events are context-free (no cell/round) so the
+//! emitting layer stays ignorant of who is listening, and the collector
+//! stamps portfolio coordinates when converting to
+//! [`TraceEvent`](crate::trace::TraceEvent)s via
+//! [`ProgressEvent::into_trace`].
+//!
+//! [`SamplingSink`] is the standard collector: commit events are recorded
+//! losslessly (a traced solve must reconstruct the exact committed step
+//! sequence), while high-volume cache-outcome events are capped and the
+//! overflow counted, so tracing a long solve cannot balloon memory.
+
+use crate::trace::TraceEvent;
+
+/// One progress report from a running search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProgressEvent {
+    /// A committed move/swap, mirroring the engine's `CommitStep` plus the
+    /// incumbent-improved verdict.
+    Commit {
+        /// `true` for a swap, `false` for a move.
+        swap: bool,
+        /// Moved task (moves) or first swapped task.
+        a: u64,
+        /// Destination machine (moves) or second swapped task.
+        b: u64,
+        /// IEEE-754 bits of the committed period.
+        period_bits: u64,
+        /// Whether the commit improved the engine's best-so-far.
+        improved: bool,
+    },
+    /// Cumulative sweep-cache counters at some point in the run.
+    CacheOutcome {
+        /// Candidates considered by sweeps.
+        probes: u64,
+        /// Candidates re-evaluated.
+        evaluations: u64,
+        /// Candidates skipped via certified cached scores.
+        skips: u64,
+        /// Cached scores reused verbatim.
+        reuses: u64,
+        /// Cached deltas rescaled by the chain fast path.
+        rescales: u64,
+    },
+}
+
+impl ProgressEvent {
+    /// Stamps portfolio coordinates onto the event, yielding the
+    /// `mf-trace v1` record.
+    pub fn into_trace(self, cell: u64, round: u64) -> TraceEvent {
+        match self {
+            ProgressEvent::Commit {
+                swap,
+                a,
+                b,
+                period_bits,
+                improved,
+            } => TraceEvent::Commit {
+                cell,
+                round,
+                swap,
+                a,
+                b,
+                period_bits,
+                improved,
+            },
+            ProgressEvent::CacheOutcome {
+                probes,
+                evaluations,
+                skips,
+                reuses,
+                rescales,
+            } => TraceEvent::Cache {
+                cell,
+                round,
+                probes,
+                evaluations,
+                skips,
+                reuses,
+                rescales,
+            },
+        }
+    }
+}
+
+/// Receives progress events from a running search. Implementations must
+/// not panic on any event sequence — the solver treats the sink as
+/// fire-and-forget.
+pub trait ProgressSink {
+    /// Called once per event, in the order the search produced them.
+    fn emit(&mut self, event: ProgressEvent);
+}
+
+/// Discards everything; for call sites that need a sink value but no
+/// observation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn emit(&mut self, _event: ProgressEvent) {}
+}
+
+/// Collects commit events losslessly and cache-outcome events up to a
+/// cap, counting overflow. Order within the sink is emission order.
+#[derive(Debug)]
+pub struct SamplingSink {
+    events: Vec<ProgressEvent>,
+    cache_cap: usize,
+    cache_recorded: usize,
+    dropped: u64,
+}
+
+impl SamplingSink {
+    /// A sink retaining at most `cache_cap` cache-outcome events
+    /// (commits are never dropped).
+    pub fn new(cache_cap: usize) -> Self {
+        SamplingSink {
+            events: Vec::new(),
+            cache_cap,
+            cache_recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, in emission order.
+    pub fn events(&self) -> &[ProgressEvent] {
+        &self.events
+    }
+
+    /// How many cache-outcome events the cap discarded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the sink, returning `(retained events, dropped count)`.
+    pub fn into_parts(self) -> (Vec<ProgressEvent>, u64) {
+        (self.events, self.dropped)
+    }
+}
+
+impl ProgressSink for SamplingSink {
+    fn emit(&mut self, event: ProgressEvent) {
+        match event {
+            ProgressEvent::Commit { .. } => self.events.push(event),
+            ProgressEvent::CacheOutcome { .. } => {
+                if self.cache_recorded < self.cache_cap {
+                    self.cache_recorded += 1;
+                    self.events.push(event);
+                } else {
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit(a: u64) -> ProgressEvent {
+        ProgressEvent::Commit {
+            swap: false,
+            a,
+            b: 0,
+            period_bits: 0,
+            improved: false,
+        }
+    }
+
+    fn cache(probes: u64) -> ProgressEvent {
+        ProgressEvent::CacheOutcome {
+            probes,
+            evaluations: 0,
+            skips: 0,
+            reuses: 0,
+            rescales: 0,
+        }
+    }
+
+    #[test]
+    fn commits_are_lossless_and_cache_outcomes_are_capped() {
+        let mut sink = SamplingSink::new(2);
+        for i in 0..5 {
+            sink.emit(commit(i));
+            sink.emit(cache(i));
+        }
+        let commits = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::Commit { .. }))
+            .count();
+        let caches = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::CacheOutcome { .. }))
+            .count();
+        assert_eq!(commits, 5);
+        assert_eq!(caches, 2);
+        assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn into_trace_stamps_coordinates() {
+        let event = commit(7).into_trace(2, 3);
+        assert_eq!(
+            event,
+            crate::trace::TraceEvent::Commit {
+                cell: 2,
+                round: 3,
+                swap: false,
+                a: 7,
+                b: 0,
+                period_bits: 0,
+                improved: false,
+            }
+        );
+    }
+}

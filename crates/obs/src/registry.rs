@@ -1,0 +1,181 @@
+//! A registry of named metrics with deterministic exposition order.
+//!
+//! The registry hands out cheap `Arc`-backed handles ([`Counter`],
+//! [`Gauge`], [`std::sync::Arc<Histogram>`]) keyed by name; registering the
+//! same name twice returns the same underlying metric. Exposition
+//! ([`Registry::expose`]) walks each kind in sorted-name order, so any
+//! serialization of a registry is byte-stable across runs and hash-map
+//! reorderings.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn increment(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A collection of named counters, gauges, and histograms. Thread-safe;
+/// registration takes a short lock, recording through the returned handles
+/// is lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let value = inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter {
+            value: Arc::clone(value),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let value = inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge {
+            value: Arc::clone(value),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A point-in-time view of every metric, each kind in sorted-name
+    /// order.
+    pub fn expose(&self) -> Exposition {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        Exposition {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, value)| (name.clone(), value.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, value)| (name.clone(), value.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, histogram)| (name.clone(), histogram.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A deterministic snapshot of a [`Registry`]: each `Vec` is sorted by
+/// metric name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exposition {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_the_same_metric() {
+        let registry = Registry::new();
+        registry.counter("requests").add(3);
+        registry.counter("requests").increment();
+        assert_eq!(registry.counter("requests").get(), 4);
+
+        registry.gauge("resident").set(17);
+        assert_eq!(registry.gauge("resident").get(), 17);
+
+        registry.histogram("latency").record(100);
+        assert_eq!(registry.histogram("latency").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn exposition_order_is_sorted_regardless_of_registration_order() {
+        let registry = Registry::new();
+        registry.counter("zeta").increment();
+        registry.counter("alpha").increment();
+        registry.counter("mid").increment();
+        let exposition = registry.expose();
+        let names: Vec<&str> = exposition
+            .counters
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Scoped RAII timers.
+//!
+//! A [`ScopedSpan`] reads the clock when entered and reports
+//! `(name, start, duration)` to a [`SpanSink`] when dropped — including on
+//! early returns and `?` propagation, which is the point of the RAII
+//! shape. The [`span!`](crate::span!) macro is sugar for
+//! [`ScopedSpan::enter`]:
+//!
+//! ```
+//! use mf_obs::{span, ManualClock, SpanSink};
+//! use std::sync::Mutex;
+//!
+//! struct Log(Mutex<Vec<(String, u64, u64)>>);
+//! impl SpanSink for Log {
+//!     fn span_closed(&self, name: &str, start_ns: u64, duration_ns: u64) {
+//!         self.0.lock().unwrap().push((name.to_string(), start_ns, duration_ns));
+//!     }
+//! }
+//!
+//! let clock = ManualClock::new(0);
+//! let log = Log(Mutex::new(Vec::new()));
+//! {
+//!     let _span = span!(&clock, "evaluate", &log);
+//!     clock.advance(250);
+//! }
+//! assert_eq!(log.0.lock().unwrap().as_slice(), &[("evaluate".to_string(), 0, 250)]);
+//! ```
+
+use crate::clock::Clock;
+
+/// Receives closed spans. Implementations must be callable through a
+/// shared reference so one sink can serve many concurrent spans.
+pub trait SpanSink {
+    /// Called exactly once per span, when it closes.
+    fn span_closed(&self, name: &str, start_ns: u64, duration_ns: u64);
+}
+
+/// A bare start/elapsed stopwatch for call sites that want the measured
+/// duration as a value (to record into a histogram, say) rather than
+/// routed through a sink.
+#[derive(Clone, Copy)]
+pub struct SpanTimer<'c> {
+    clock: &'c dyn Clock,
+    start_ns: u64,
+}
+
+impl<'c> SpanTimer<'c> {
+    /// Starts timing now.
+    pub fn start(clock: &'c dyn Clock) -> Self {
+        SpanTimer {
+            start_ns: clock.now_ns(),
+            clock,
+        }
+    }
+
+    /// The clock reading when the timer started.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Nanoseconds elapsed since [`start`](SpanTimer::start).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.clock.now_ns().saturating_sub(self.start_ns)
+    }
+}
+
+/// An RAII span: reports to its sink when dropped.
+pub struct ScopedSpan<'a> {
+    clock: &'a dyn Clock,
+    sink: &'a dyn SpanSink,
+    name: &'a str,
+    start_ns: u64,
+}
+
+impl<'a> ScopedSpan<'a> {
+    /// Opens a span named `name`.
+    pub fn enter(clock: &'a dyn Clock, name: &'a str, sink: &'a dyn SpanSink) -> Self {
+        ScopedSpan {
+            start_ns: clock.now_ns(),
+            clock,
+            sink,
+            name,
+        }
+    }
+}
+
+impl Drop for ScopedSpan<'_> {
+    fn drop(&mut self) {
+        let duration = self.clock.now_ns().saturating_sub(self.start_ns);
+        self.sink.span_closed(self.name, self.start_ns, duration);
+    }
+}
+
+/// Opens a [`ScopedSpan`]: `span!(clock, "name", sink)`. Bind it to a
+/// local (`let _span = …`) so it lives to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($clock:expr, $name:expr, $sink:expr) => {
+        $crate::span::ScopedSpan::enter($clock, $name, $sink)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::Mutex;
+
+    struct Collector(Mutex<Vec<(String, u64, u64)>>);
+
+    impl SpanSink for Collector {
+        fn span_closed(&self, name: &str, start_ns: u64, duration_ns: u64) {
+            self.0
+                .lock()
+                .unwrap()
+                .push((name.to_string(), start_ns, duration_ns));
+        }
+    }
+
+    #[test]
+    fn span_reports_on_drop_even_on_early_return() {
+        let clock = ManualClock::new(100);
+        let collector = Collector(Mutex::new(Vec::new()));
+        let early = || -> Result<(), ()> {
+            let _span = span!(&clock, "inner", &collector);
+            clock.advance(40);
+            Err(())?;
+            unreachable!()
+        };
+        assert!(early().is_err());
+        assert_eq!(
+            collector.0.lock().unwrap().as_slice(),
+            &[("inner".to_string(), 100, 40)]
+        );
+    }
+
+    #[test]
+    fn nested_spans_close_inner_first() {
+        let clock = ManualClock::new(0);
+        let collector = Collector(Mutex::new(Vec::new()));
+        {
+            let _outer = span!(&clock, "outer", &collector);
+            clock.advance(10);
+            {
+                let _inner = span!(&clock, "inner", &collector);
+                clock.advance(5);
+            }
+            clock.advance(1);
+        }
+        assert_eq!(
+            collector.0.lock().unwrap().as_slice(),
+            &[("inner".to_string(), 10, 5), ("outer".to_string(), 0, 16)]
+        );
+    }
+
+    #[test]
+    fn span_timer_measures_elapsed() {
+        let clock = ManualClock::new(50);
+        let timer = SpanTimer::start(&clock);
+        clock.advance(30);
+        assert_eq!(timer.start_ns(), 50);
+        assert_eq!(timer.elapsed_ns(), 30);
+    }
+}

@@ -22,6 +22,7 @@
 use crate::cache::{CachedEvaluation, EvaluateCache};
 use crate::errors::EngineError;
 use crate::journal::{Journal, JournalResult, RecoveredInstance};
+use crate::obs::{ObsConfig, ObsState};
 use crate::proto::{InstanceInfo, Probe, ProtoVersion, Request, Response, SolveMethod};
 use crate::stats::StatsReport;
 use crate::store::{InstanceStore, StoredInstance};
@@ -180,13 +181,22 @@ pub struct Engine {
     /// replays to exactly the store's mutation order. Only taken when a
     /// journal is attached.
     durable: Mutex<()>,
+    /// Request-latency histograms, span tracing, and the slow-request log.
+    obs: ObsState,
 }
 
 impl Engine {
     /// An engine whose portfolio pool uses `threads` workers (`0` = one per
     /// CPU, capped at 16 — the workspace-wide convention).
     pub fn new(threads: usize) -> Self {
-        Engine::with_journal(threads, None)
+        Engine::with_observability(threads, ObsConfig::default())
+    }
+
+    /// [`Engine::new`] with explicit observability wiring: an injected
+    /// clock, an optional `mf-trace v1` writer, and the slow-request
+    /// threshold. Observability never changes a response byte.
+    pub fn with_observability(threads: usize, obs: ObsConfig) -> Self {
+        Engine::with_journal(threads, None, obs)
     }
 
     /// A durable engine: opens (or creates) the `mf-journal v1` under
@@ -195,8 +205,17 @@ impl Engine {
     /// so a keyed evaluate-cache entry can never alias a pre-restart
     /// instance.
     pub fn open(threads: usize, data_dir: impl AsRef<Path>) -> JournalResult<Engine> {
+        Engine::open_with_observability(threads, data_dir, ObsConfig::default())
+    }
+
+    /// [`Engine::open`] with explicit observability wiring.
+    pub fn open_with_observability(
+        threads: usize,
+        data_dir: impl AsRef<Path>,
+        obs: ObsConfig,
+    ) -> JournalResult<Engine> {
         let journal = Arc::new(Journal::open(data_dir)?);
-        let engine = Engine::with_journal(threads, Some(Arc::clone(&journal)));
+        let engine = Engine::with_journal(threads, Some(Arc::clone(&journal)), obs);
         for recovered in journal.live_instances() {
             engine.adopt(recovered)?;
         }
@@ -209,7 +228,11 @@ impl Engine {
     /// worker shards). The caller is responsible for replaying
     /// [`Journal::live_instances`] via [`Engine::adopt`] and then calling
     /// [`Engine::finish_replay`].
-    pub(crate) fn with_journal(threads: usize, journal: Option<Arc<Journal>>) -> Self {
+    pub(crate) fn with_journal(
+        threads: usize,
+        journal: Option<Arc<Journal>>,
+        obs: ObsConfig,
+    ) -> Self {
         Engine {
             store: InstanceStore::new(),
             runner: BatchRunner::new(threads),
@@ -217,6 +240,7 @@ impl Engine {
             cache: EvaluateCache::new(),
             journal,
             durable: Mutex::new(()),
+            obs: ObsState::new(obs),
         }
     }
 
@@ -296,7 +320,10 @@ impl Engine {
     /// resident state.
     pub fn dispatch(&self, session: &mut Session, request: Request) -> Response {
         Counters::bump(&self.counters.requests);
+        let keyword = request.keyword();
+        let start_ns = self.obs.now_ns();
         let response = self.handle(session, request);
+        self.obs.observe_request(keyword, start_ns);
         if matches!(response, Response::Error { .. }) {
             Counters::bump(&self.counters.errors);
         }
@@ -348,14 +375,14 @@ impl Engine {
     /// the same commands sent one per round trip.
     pub(crate) fn dispatch_batch_item(&self, session: &mut Session, item: Request) -> Response {
         Counters::bump(&self.counters.requests);
+        let keyword = item.keyword();
+        let start_ns = self.obs.now_ns();
         let response = if item.instance_name().is_none() {
-            EngineError::NotBatchable {
-                command: item.keyword(),
-            }
-            .into_response()
+            EngineError::NotBatchable { command: keyword }.into_response()
         } else {
             self.handle(session, item)
         };
+        self.obs.observe_request(keyword, start_ns);
         if matches!(response, Response::Error { .. }) {
             Counters::bump(&self.counters.errors);
         }
@@ -746,8 +773,17 @@ impl Engine {
                 .map(|journal| journal.status_counters())
                 .unwrap_or_default(),
             global: stats.clone(),
+            histograms: self.histograms(),
             workers: vec![stats],
         }
+    }
+
+    /// Snapshots the per-command request-latency histograms, in
+    /// [`TRACKED_COMMANDS`](crate::obs::TRACKED_COMMANDS) order. Every
+    /// bucket is a plain sum of the work this engine dispatched, so a
+    /// router aggregates worker snapshots bucket-wise.
+    pub fn histograms(&self) -> Vec<(String, mf_obs::HistogramSnapshot)> {
+        self.obs.histograms()
     }
 
     /// The statistics counters, in fixed presentation order. Alongside the

@@ -44,6 +44,7 @@ pub mod client;
 pub mod engine;
 pub mod errors;
 pub mod journal;
+pub mod obs;
 pub mod proto;
 pub mod router;
 pub mod server;
@@ -58,6 +59,7 @@ pub use journal::{
     records_from_text, records_to_text, Journal, JournalError, JournalRecord, JournalResult,
     RecoveredInstance, COMPACT_EVERY, JOURNAL_FILE, JOURNAL_FORMAT, LOCK_FILE,
 };
+pub use obs::{ObsConfig, DEFAULT_SLOW_THRESHOLD_NS, TRACKED_COMMANDS};
 pub use proto::{
     request_from_text, request_to_text, response_from_text, response_to_text, text_payload,
     ErrorCode, InstanceInfo, Probe, ProtoError, ProtoReader, ProtoResult, ProtoVersion, Request,

@@ -32,8 +32,10 @@
 use crate::engine::{gate_v2, hello_response, Engine, Session};
 use crate::errors::EngineError;
 use crate::journal::{Journal, JournalError};
+use crate::obs::ObsConfig;
 use crate::proto::{InstanceInfo, ProtoVersion, Request, Response};
 use crate::stats::StatsReport;
+use mf_obs::HistogramSnapshot;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,7 +70,14 @@ impl Router {
     /// [`MAX_WORKERS`]), each with a `threads`-worker solver pool (`0` = one
     /// per CPU, capped at 16).
     pub fn new(workers: usize, threads: usize) -> Self {
-        Router::build(workers, threads, None)
+        Router::build(workers, threads, None, ObsConfig::default())
+    }
+
+    /// [`Router::new`] with explicit observability wiring. All workers
+    /// share the config (one clock, one trace writer), so the tier's trace
+    /// file interleaves every shard's spans on one timeline.
+    pub fn with_observability(workers: usize, threads: usize, obs: ObsConfig) -> Self {
+        Router::build(workers, threads, None, obs)
     }
 
     /// A durable router: one shared `mf-journal v1` under `data_dir`
@@ -82,8 +91,18 @@ impl Router {
         threads: usize,
         data_dir: impl AsRef<Path>,
     ) -> Result<Router, JournalError> {
+        Router::with_data_dir_observability(workers, threads, data_dir, ObsConfig::default())
+    }
+
+    /// [`Router::with_data_dir`] with explicit observability wiring.
+    pub fn with_data_dir_observability(
+        workers: usize,
+        threads: usize,
+        data_dir: impl AsRef<Path>,
+        obs: ObsConfig,
+    ) -> Result<Router, JournalError> {
         let journal = Arc::new(Journal::open(data_dir)?);
-        let router = Router::build(workers, threads, Some(Arc::clone(&journal)));
+        let router = Router::build(workers, threads, Some(Arc::clone(&journal)), obs);
         for recovered in journal.live_instances() {
             let shard = router.shard_of(&recovered.name);
             router.workers[shard].adopt(recovered)?;
@@ -94,11 +113,16 @@ impl Router {
         Ok(router)
     }
 
-    fn build(workers: usize, threads: usize, journal: Option<Arc<Journal>>) -> Self {
+    fn build(
+        workers: usize,
+        threads: usize,
+        journal: Option<Arc<Journal>>,
+        obs: ObsConfig,
+    ) -> Self {
         let workers = workers.clamp(1, MAX_WORKERS);
         Router {
             workers: (0..workers)
-                .map(|_| Arc::new(Engine::with_journal(threads, journal.clone())))
+                .map(|_| Arc::new(Engine::with_journal(threads, journal.clone(), obs.clone())))
                 .collect(),
             journal,
             sessions: AtomicU64::new(0),
@@ -306,12 +330,29 @@ impl Router {
                 .map(|journal| journal.status_counters())
                 .unwrap_or_default(),
             global: self.stats_for(ProtoVersion::V2),
+            histograms: self.histograms(),
             workers: self
                 .workers
                 .iter()
                 .map(|worker| worker.stats_for(ProtoVersion::V2))
                 .collect(),
         }
+    }
+
+    /// The tier's per-command latency histograms: the bucket-wise sum of
+    /// every worker's snapshot (the lists are index-aligned by
+    /// construction — every engine tracks the same commands in the same
+    /// order). The router forwards without timing of its own, so this sum
+    /// **is** the tier's request-latency distribution.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let mut totals = self.workers[0].histograms();
+        for worker in &self.workers[1..] {
+            for (total, (key, snapshot)) in totals.iter_mut().zip(worker.histograms()) {
+                debug_assert_eq!(total.0, key, "worker histogram lists must align");
+                total.1.merge(&snapshot);
+            }
+        }
+        totals
     }
 }
 

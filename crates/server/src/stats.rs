@@ -11,6 +11,8 @@
 
 use std::fmt::Write as _;
 
+use mf_obs::HistogramSnapshot;
+
 /// The `format` tag every report carries, versioned independently of the
 /// wire protocol.
 pub const STATS_FORMAT: &str = "mf-stats v1";
@@ -30,6 +32,12 @@ pub struct StatsReport {
     pub recovery: Vec<(String, u64)>,
     /// The aggregated counters, in `stats` presentation order.
     pub global: Vec<(String, u64)>,
+    /// Per-command request-latency histograms, in
+    /// [`TRACKED_COMMANDS`](crate::obs::TRACKED_COMMANDS) order. On a
+    /// router this is the bucket-wise sum over its workers. Commands never
+    /// seen are skipped in the JSON; an entirely idle tier omits the block
+    /// (which keeps pre-`mf-obs` documents byte-identical).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Per-worker raw counters, indexed by shard.
     pub workers: Vec<Vec<(String, u64)>>,
 }
@@ -47,10 +55,45 @@ impl StatsReport {
             push_counters(&mut lines, "    ", &self.recovery);
             lines.push("  },".to_string());
         }
+        let histograms: Vec<&(String, HistogramSnapshot)> = self
+            .histograms
+            .iter()
+            .filter(|(_, snapshot)| snapshot.count() > 0)
+            .collect();
         lines.push("  \"global\": {".to_string());
         push_counters(&mut lines, "    ", &self.global);
-        let trailer = if self.workers.is_empty() { "" } else { "," };
+        let trailer = if histograms.is_empty() && self.workers.is_empty() {
+            ""
+        } else {
+            ","
+        };
         lines.push(format!("  }}{trailer}"));
+        if !histograms.is_empty() {
+            lines.push("  \"histograms\": {".to_string());
+            for (index, (command, snapshot)) in histograms.iter().enumerate() {
+                lines.push(format!("    {}: {{", json_string(command)));
+                lines.push(format!("      \"count\": {},", snapshot.count()));
+                lines.push(format!("      \"sum-ns\": {},", snapshot.sum_ns()));
+                lines.push(format!("      \"max-ns\": {},", snapshot.max_ns()));
+                lines.push(format!("      \"p50-ns\": {},", snapshot.p50_ns()));
+                lines.push(format!("      \"p90-ns\": {},", snapshot.p90_ns()));
+                lines.push(format!("      \"p99-ns\": {},", snapshot.p99_ns()));
+                let buckets: Vec<String> = snapshot
+                    .nonzero_buckets()
+                    .iter()
+                    .map(|(bucket, count)| format!("[{bucket}, {count}]"))
+                    .collect();
+                lines.push(format!("      \"buckets\": [{}]", buckets.join(", ")));
+                let comma = if index + 1 < histograms.len() {
+                    ","
+                } else {
+                    ""
+                };
+                lines.push(format!("    }}{comma}"));
+            }
+            let trailer = if self.workers.is_empty() { "" } else { "," };
+            lines.push(format!("  }}{trailer}"));
+        }
         if !self.workers.is_empty() {
             lines.push("  \"per-worker\": [".to_string());
             for (index, worker) in self.workers.iter().enumerate() {
@@ -122,6 +165,7 @@ mod tests {
         let report = StatsReport {
             recovery: Vec::new(),
             global: counters(&[("loads", 3), ("errors", 0)]),
+            histograms: Vec::new(),
             workers: vec![
                 counters(&[("loads", 1), ("errors", 0)]),
                 counters(&[("loads", 2), ("errors", 0)]),
@@ -156,11 +200,73 @@ mod tests {
         );
     }
 
+    /// The `histograms` block sits between `global` and `per-worker`;
+    /// commands with no samples are skipped, and an all-empty list omits
+    /// the block entirely — so the documents of a tier that predates
+    /// `mf-obs` are byte-identical to before the block existed.
+    #[test]
+    fn histogram_block_is_pinned_and_empty_commands_are_skipped() {
+        let solve = mf_obs::Histogram::new();
+        solve.record(900);
+        solve.record(1000);
+        solve.record(70_000);
+        let report = StatsReport {
+            recovery: Vec::new(),
+            global: counters(&[("loads", 1)]),
+            histograms: vec![
+                ("hello".to_string(), HistogramSnapshot::empty()),
+                ("solve".to_string(), solve.snapshot()),
+            ],
+            workers: vec![counters(&[("loads", 1)])],
+        };
+        let expected = "\
+{
+  \"format\": \"mf-stats v1\",
+  \"workers\": 1,
+  \"global\": {
+    \"loads\": 1
+  },
+  \"histograms\": {
+    \"solve\": {
+      \"count\": 3,
+      \"sum-ns\": 71900,
+      \"max-ns\": 70000,
+      \"p50-ns\": 1023,
+      \"p90-ns\": 70000,
+      \"p99-ns\": 70000,
+      \"buckets\": [[10, 2], [17, 1]]
+    }
+  },
+  \"per-worker\": [
+    {
+      \"loads\": 1
+    }
+  ]
+}
+";
+        assert_eq!(report.to_json(), expected);
+
+        // All histograms empty: the block vanishes and the document equals
+        // one built with no histogram list at all.
+        let silent = StatsReport {
+            histograms: vec![("hello".to_string(), HistogramSnapshot::empty())],
+            workers: Vec::new(),
+            ..report.clone()
+        };
+        let bare = StatsReport {
+            histograms: Vec::new(),
+            ..silent.clone()
+        };
+        assert_eq!(silent.to_json(), bare.to_json());
+        assert!(!silent.to_json().contains("histograms"));
+    }
+
     #[test]
     fn workerless_reports_omit_the_per_worker_array() {
         let report = StatsReport {
             recovery: Vec::new(),
             global: counters(&[("requests", 1)]),
+            histograms: Vec::new(),
             workers: Vec::new(),
         };
         let json = report.to_json();
@@ -178,6 +284,7 @@ mod tests {
         let report = StatsReport {
             recovery: counters(&[("journal-entries-replayed", 3), ("journal-compactions", 1)]),
             global: counters(&[("loads", 2)]),
+            histograms: Vec::new(),
             workers: vec![counters(&[("loads", 2)])],
         };
         let expected = "\

@@ -1,0 +1,226 @@
+//! Deterministic request-latency observability: with an injected
+//! [`ManualClock`] every measured duration — and therefore every histogram
+//! bucket, quantile, trace span and slow-request record — is an exact,
+//! pinnable value. The router test pins the acceptance invariant of the
+//! sharded tier: the router's exposed histograms are the **bucket-wise sum**
+//! of its workers' histograms, for any worker count.
+
+use mf_obs::{events_from_text, Histogram, ManualClock, SharedTraceWriter, TraceEvent};
+use mf_server::proto::{text_payload, Request, Response};
+use mf_server::{Engine, ObsConfig, Router, TRACKED_COMMANDS};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("mf-obs-latency-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn instance_text(seed: u64) -> String {
+    let instance = mf_sim::InstanceGenerator::new(mf_sim::GeneratorConfig::paper_standard(6, 3, 2))
+        .generate(seed)
+        .unwrap();
+    mf_core::textio::instance_to_text(&instance)
+}
+
+fn load(name: &str, seed: u64) -> Request {
+    Request::Load {
+        name: name.into(),
+        payload: text_payload(&instance_text(seed)),
+    }
+}
+
+fn get<'h>(
+    histograms: &'h [(String, mf_obs::HistogramSnapshot)],
+    command: &str,
+) -> &'h mf_obs::HistogramSnapshot {
+    &histograms
+        .iter()
+        .find(|(name, _)| name == command)
+        .unwrap_or_else(|| panic!("no {command} histogram"))
+        .1
+}
+
+fn expected(samples_ns: &[u64]) -> mf_obs::HistogramSnapshot {
+    let histogram = Histogram::new();
+    for &sample in samples_ns {
+        histogram.record(sample);
+    }
+    histogram.snapshot()
+}
+
+/// A ticking manual clock advances by its step on **every** reading, and a
+/// plain dispatch reads it exactly twice (start, end) — so every non-batch
+/// request measures exactly one step, pinning the whole histogram.
+#[test]
+fn manual_clock_pins_every_latency_bucket() {
+    let clock = Arc::new(ManualClock::ticking(1000));
+    let engine = Engine::with_observability(1, ObsConfig::new().with_clock(clock));
+    let mut session = engine.begin_session();
+    engine.dispatch(&mut session, Request::Hello { requested: 2 });
+    engine.dispatch(&mut session, load("alpha", 1));
+    engine.dispatch(&mut session, Request::List);
+    engine.dispatch(&mut session, Request::List);
+    engine.dispatch(&mut session, Request::Stats);
+
+    let histograms = engine.histograms();
+    let order: Vec<&str> = histograms.iter().map(|(name, _)| name.as_str()).collect();
+    assert_eq!(order, TRACKED_COMMANDS, "fixed exposition order");
+    assert_eq!(get(&histograms, "hello"), &expected(&[1000]));
+    assert_eq!(get(&histograms, "load"), &expected(&[1000]));
+    assert_eq!(get(&histograms, "list"), &expected(&[1000, 1000]));
+    assert_eq!(get(&histograms, "stats"), &expected(&[1000]));
+    for untouched in [
+        "batch",
+        "status-export",
+        "unload",
+        "evaluate",
+        "whatif",
+        "solve",
+        "shutdown",
+    ] {
+        assert_eq!(get(&histograms, untouched).count(), 0, "{untouched}");
+    }
+    let list = get(&histograms, "list");
+    assert_eq!(list.sum_ns(), 2000);
+    assert_eq!(list.max_ns(), 1000);
+    assert_eq!(list.p50_ns(), 1000);
+    assert_eq!(list.p99_ns(), 1000);
+}
+
+/// A `batch` envelope times each item (two clock readings apiece) plus its
+/// own start/end readings: `N` items measure `(2N + 1)` steps exactly.
+#[test]
+fn batch_envelope_latency_includes_its_items() {
+    let clock = Arc::new(ManualClock::ticking(1000));
+    let engine = Engine::with_observability(1, ObsConfig::new().with_clock(clock));
+    let mut session = engine.begin_session();
+    engine.dispatch(&mut session, Request::Hello { requested: 2 });
+    engine.dispatch(&mut session, load("alpha", 1));
+    let items = vec![
+        Request::Unload {
+            name: "alpha".into(),
+        },
+        Request::List, // not batchable: answers an error, still timed
+    ];
+    engine.dispatch(&mut session, Request::Batch(items));
+
+    let histograms = engine.histograms();
+    assert_eq!(get(&histograms, "batch"), &expected(&[5000]));
+    assert_eq!(get(&histograms, "unload"), &expected(&[1000]));
+    assert_eq!(get(&histograms, "list"), &expected(&[1000]));
+}
+
+/// The acceptance invariant of the sharded tier, pinned: the histograms a
+/// router exposes (and publishes through `status-export`) are exactly the
+/// bucket-wise sum of its workers' histograms.
+#[test]
+fn router_histograms_are_the_bucketwise_sum_of_workers() {
+    let clock = Arc::new(ManualClock::ticking(1000));
+    let router = Router::with_observability(3, 1, ObsConfig::new().with_clock(clock));
+    let mut session = router.begin_session();
+    for k in 0..8 {
+        let response = router.dispatch(&mut session, load(&format!("inst{k}"), k));
+        assert!(matches!(response, Response::Loaded { .. }));
+    }
+    let response = router.dispatch(
+        &mut session,
+        Request::Unload {
+            name: "inst3".into(),
+        },
+    );
+    assert!(matches!(response, Response::Unloaded { .. }));
+
+    // Hand-merge the worker snapshots bucket-wise...
+    let mut summed = router.engines()[0].histograms();
+    for worker in &router.engines()[1..] {
+        for (total, (key, snapshot)) in summed.iter_mut().zip(worker.histograms()) {
+            assert_eq!(total.0, key);
+            total.1.merge(&snapshot);
+        }
+    }
+    // ...and the router must expose exactly that sum, everywhere it
+    // publishes histograms.
+    assert_eq!(router.histograms(), summed);
+    assert_eq!(router.status_report().histograms, summed);
+    assert_eq!(get(&summed, "load"), &expected(&[1000; 8]));
+    assert_eq!(get(&summed, "unload"), &expected(&[1000]));
+    // The workers genuinely share the work: no single worker saw all loads.
+    assert!(router
+        .engines()
+        .iter()
+        .all(|worker| get(&worker.histograms(), "load").count() < 8));
+}
+
+/// With a trace writer attached every request appends a span, and requests
+/// past the slow threshold also append a slow record and hit the stderr
+/// log. The trace file round-trips through the `mf-trace v1` parser, and
+/// the responses are byte-identical to an untraced engine's.
+#[test]
+fn traced_requests_append_spans_and_slow_records() {
+    let dir = TempDir::new("spans");
+    let trace_path = dir.0.join("server.mf-trace");
+    let trace = Arc::new(SharedTraceWriter::create(&trace_path).unwrap());
+    let clock = Arc::new(ManualClock::ticking(1000));
+    let obs = ObsConfig::new()
+        .with_clock(clock)
+        .with_trace(Arc::clone(&trace))
+        .with_slow_threshold_ns(1000); // every 1000 ns request is "slow"
+    let engine = Engine::with_observability(1, obs);
+    let plain = Engine::new(1);
+
+    let mut session = engine.begin_session();
+    let mut plain_session = plain.begin_session();
+    for request in [
+        Request::Hello { requested: 2 },
+        load("alpha", 1),
+        Request::List,
+    ] {
+        let traced = engine.dispatch(&mut session, request.clone());
+        let untraced = plain.dispatch(&mut plain_session, request);
+        assert_eq!(traced, untraced, "tracing never changes a response");
+    }
+    trace.finish().unwrap();
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let events = events_from_text(&text).unwrap();
+    let spans: Vec<(&str, u64, u64)> = events
+        .iter()
+        .filter_map(|event| match event {
+            TraceEvent::Span {
+                name,
+                start_ns,
+                duration_ns,
+            } => Some((name.as_str(), *start_ns, *duration_ns)),
+            _ => None,
+        })
+        .collect();
+    // Start marks advance by 1000 per reading: request k starts at 2k·1000
+    // plus the slow-check readings' drift — the durations are what's pinned.
+    assert_eq!(spans.len(), 3);
+    assert_eq!(spans[0].0, "hello");
+    assert_eq!(spans[1].0, "load");
+    assert_eq!(spans[2].0, "list");
+    assert!(spans.iter().all(|&(_, _, duration)| duration == 1000));
+    let slow: Vec<&str> = events
+        .iter()
+        .filter_map(|event| match event {
+            TraceEvent::Slow { command, .. } => Some(command.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(slow, ["hello", "load", "list"], "all at the threshold");
+}

@@ -1,0 +1,74 @@
+//! Pins the README's `stats` key table to the code: the keys documented
+//! between the `stats-keys` markers must equal `Engine::stats_for(V2)` —
+//! same names, same wire order, nothing missing, nothing extra. The table
+//! replaced stale prose once; this test makes that class of drift
+//! impossible to reintroduce.
+
+use mf_server::{Engine, ProtoVersion};
+
+/// Extracts the backticked key from each table row between the
+/// `<!-- stats-keys:begin -->` / `<!-- stats-keys:end -->` markers.
+fn documented_keys(readme: &str) -> Vec<String> {
+    let begin = readme
+        .find("<!-- stats-keys:begin -->")
+        .expect("README is missing the stats-keys:begin marker");
+    let end = readme
+        .find("<!-- stats-keys:end -->")
+        .expect("README is missing the stats-keys:end marker");
+    assert!(begin < end, "stats-keys markers are out of order");
+    readme[begin..end]
+        .lines()
+        .filter_map(|line| {
+            let cell = line.strip_prefix("| `")?;
+            let (key, _) = cell.split_once('`')?;
+            Some(key.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn readme_stats_key_table_matches_the_wire_order() {
+    let readme = include_str!("../../../README.md");
+    let documented = documented_keys(readme);
+    let actual: Vec<String> = Engine::new(1)
+        .stats_for(ProtoVersion::V2)
+        .into_iter()
+        .map(|(key, _)| key)
+        .collect();
+    assert!(
+        !actual.is_empty(),
+        "stats_for returned no keys — the pin is vacuous"
+    );
+    assert_eq!(
+        documented, actual,
+        "README stats-key table drifted from Engine::stats_for(V2); \
+         update the table between the stats-keys markers"
+    );
+}
+
+#[test]
+fn readme_documents_the_v1_prefix_in_order() {
+    // The v1 list is a strict prefix of the v2 list: the `Since` column's
+    // v1 rows must be exactly `stats()` in order, so a v1-only client can
+    // read the same table.
+    let readme = include_str!("../../../README.md");
+    let begin = readme.find("<!-- stats-keys:begin -->").unwrap();
+    let end = readme.find("<!-- stats-keys:end -->").unwrap();
+    let v1_documented: Vec<String> = readme[begin..end]
+        .lines()
+        .filter_map(|line| {
+            let cell = line.strip_prefix("| `")?;
+            let (key, rest) = cell.split_once('`')?;
+            rest.starts_with(" | v1 |").then(|| key.to_string())
+        })
+        .collect();
+    let v1_actual: Vec<String> = Engine::new(1)
+        .stats_for(ProtoVersion::V1)
+        .into_iter()
+        .map(|(key, _)| key)
+        .collect();
+    assert_eq!(
+        v1_documented, v1_actual,
+        "the table's v1-tagged rows drifted from Engine::stats_for(V1)"
+    );
+}
