@@ -4,14 +4,17 @@
 //! Criterion's interactive harness is great locally but awkward to archive;
 //! this binary re-runs the same measurements — strategy polish cost
 //! (H6 / steepest descent / tabu over the shared H4w seed), branch-and-bound
-//! node throughput (staged evaluator vs legacy scan), what-if cost on a
+//! node throughput (staged evaluator vs legacy scan, plus the
+//! `bnb_prove/*` pair proving one m ≫ p fixture under the packing vs the
+//! LP-warm-started bound — the node collapse is the point), what-if cost on a
 //! tree-shaped instance (the forest variant of the dense fast path vs a
 //! full recompute), the steepest-descent sweep with and without the
 //! dirty-candidate cache on both the forest and the chain shape (periods
 //! identical by construction; the `evaluator_calls` column is the point —
-//! the chain rows pin the delta-transfer rescaling win), and a portfolio
-//! run under the barrier vs the work-stealing round executor (outcomes
-//! identical by construction; the delta is wall clock) — with plain
+//! the chain rows pin the delta-transfer rescaling win), LNS restage
+//! probes (staged subtree tear-out vs full candidate recompute), and a
+//! portfolio run under the barrier vs the work-stealing round executor
+//! (outcomes identical by construction; the delta is wall clock) — with plain
 //! `Instant` timing and writes median nanoseconds per run to
 //! `BENCH_core.json`, so the perf trajectory accumulates commit over
 //! commit (CI uploads the file as an artifact).
@@ -276,6 +279,59 @@ fn main() {
         });
     }
 
+    // LNS restage probes: the staged subtree tear-out (torn loads plus one
+    // partial-assignment evaluator) vs rebuilding the candidate mapping and
+    // recomputing the period from scratch. Same (root, target) stream on
+    // both sides; the staged path is what `SubtreeMoveLns` pays per probe.
+    {
+        let restage_count = if quick { 500usize } else { 2_000 };
+        let restages: Vec<(TaskId, MachineId)> = (0..restage_count as u64)
+            .map(|k| {
+                let r = mf_core::seed::splitmix64(0x1A45_u64.wrapping_add(k));
+                (
+                    TaskId((r % tasks as u64) as usize),
+                    MachineId(((r >> 32) % machines as u64) as usize),
+                )
+            })
+            .collect();
+        let mut engine = SearchEngine::new(&forest, &forest_seed, sweep_budget).unwrap();
+        let staged = timing(time(iterations, || {
+            let mut acc = 0.0f64;
+            for &(root, to) in &restages {
+                acc += engine.restage_move(root, to);
+            }
+            acc
+        }));
+        rows.push(Measurement {
+            name: "lns_restage/staged",
+            timing: staged,
+            iterations,
+            quality: Quality::Nodes {
+                count: restage_count as u64,
+                per_second: restage_count as f64 / (staged.median_ns as f64 / 1e9),
+            },
+        });
+        let full = timing(time(iterations, || {
+            let mut acc = 0.0f64;
+            for &(root, to) in &restages {
+                let mut assignment = forest_seed.as_slice().to_vec();
+                assignment[root.index()] = to;
+                let candidate = Mapping::new(assignment, machines).unwrap();
+                acc += forest.period(&candidate).unwrap().value();
+            }
+            acc
+        }));
+        rows.push(Measurement {
+            name: "lns_restage/full",
+            timing: full,
+            iterations,
+            quality: Quality::Nodes {
+                count: restage_count as u64,
+                per_second: restage_count as f64 / (full.median_ns as f64 / 1e9),
+            },
+        });
+    }
+
     // Portfolio rounds: the barrier reference vs the work-stealing round
     // executor, same config and auto thread count. Outcomes are
     // bit-identical by construction (pinned in batch_determinism); the
@@ -314,8 +370,9 @@ fn main() {
         });
     }
 
-    // B&B node throughput: both variants explore the bit-identical tree
-    // (pinned in mf-exact), so the delta is pure per-node scoring cost.
+    // B&B node throughput: the evaluator and legacy-scan variants explore
+    // the bit-identical tree (pinned in mf-exact), so their delta is pure
+    // per-node scoring cost.
     let bnb_instance = standard_instance(20, 24, 5, 3);
     for (name, legacy) in [
         ("bnb_nodes/evaluator", false),
@@ -333,6 +390,39 @@ fn main() {
             name,
             timing: measured,
             iterations,
+            quality: Quality::Nodes {
+                count: outcome.nodes,
+                per_second: outcome.nodes as f64 / (measured.median_ns as f64 / 1e9),
+            },
+        });
+    }
+
+    // LP-bound tree collapse: on a machine-rich shape (m ≫ p) both bound
+    // variants prove the same optimum, so the `nodes` columns compare the
+    // full proof trees — the LP row must visit ≤ 50 % of the packing row's
+    // nodes (the CI floor in mf-exact pins the same invariant). The LP
+    // relaxation costs ~ms per touched node, so this pair runs on its own
+    // small fixture with a reduced iteration count; the collapse ratio, not
+    // wall clock, is the headline here.
+    let lp_fixture = standard_instance(12, 16, 3, 7);
+    let lp_iterations = if quick { 2 } else { 3 };
+    for (name, lp) in [("bnb_prove/packing", false), ("bnb_prove/lp_bound", true)] {
+        let config = || BnbConfig {
+            lp_bounds: lp,
+            ..BnbConfig::default()
+        };
+        let outcome = branch_and_bound(&lp_fixture, config()).unwrap();
+        assert!(
+            outcome.proven_optimal,
+            "{name} must prove optimality on the m >> p fixture"
+        );
+        let measured = timing(time(lp_iterations, || {
+            branch_and_bound(&lp_fixture, config()).unwrap()
+        }));
+        rows.push(Measurement {
+            name,
+            timing: measured,
+            iterations: lp_iterations,
             quality: Quality::Nodes {
                 count: outcome.nodes,
                 per_second: outcome.nodes as f64 / (measured.median_ns as f64 / 1e9),

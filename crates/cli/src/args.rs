@@ -11,6 +11,7 @@ pub struct Arguments {
 /// Flags that never take a value (everything after them is positional).
 pub const SWITCHES: &[&str] = &[
     "all",
+    "anytime",
     "exact",
     "high-failure",
     "csv",
@@ -133,6 +134,11 @@ mod tests {
         assert_eq!(a.string_flag("all"), None);
         assert_eq!(a.positional(0), Some("instance.mf"));
         assert_eq!(a.string_flag("heuristic"), Some("h2".to_string()));
+        // `--anytime` directly before the instance file is the documented
+        // minimal invocation; the file must stay positional.
+        let a = args(&["--anytime", "instance.mf"]);
+        assert!(a.has_flag("anytime"));
+        assert_eq!(a.positional(0), Some("instance.mf"));
     }
 
     #[test]

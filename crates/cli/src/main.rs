@@ -13,6 +13,7 @@
 use mf_core::prelude::*;
 use mf_core::textio;
 use mf_exact::{branch_and_bound, BnbConfig};
+use mf_experiments::anytime::{solve_anytime_observed, AnytimeConfig};
 use mf_experiments::portfolio::{
     run_portfolio, run_portfolio_traced, PortfolioConfig, TRACE_CACHE_EVENT_CAP,
 };
@@ -66,8 +67,9 @@ microfactory — throughput optimization for micro-factories subject to failures
 
 USAGE:
   microfactory generate --tasks N --machines M --types P [--seed S] [--high-failure]
-  microfactory solve    [--heuristic NAME | --exact | --portfolio] [--all]
-                        [--threads N] [--trace PATH] INSTANCE
+  microfactory solve    [--heuristic NAME | --exact | --portfolio | --anytime]
+                        [--budget N] [--all] [--threads N] [--trace PATH]
+                        INSTANCE
   microfactory evaluate INSTANCE MAPPING
   microfactory simulate [--products N] [--seed S] INSTANCE MAPPING
   microfactory serve    [--port P] [--threads N] [--workers W] [--stdio]
@@ -86,7 +88,11 @@ COMMANDS:
              search step (with the period it reached and whether it
              improved the incumbent), per-round cell summaries and
              sweep-cache outcomes — the mapping printed is bit-identical
-             with or without the flag
+             with or without the flag; --anytime runs the incumbent/bound
+             race (H4w seed, subtree-move LNS slice, LP-warm-started
+             branch-and-bound) under a --budget of deterministic steps
+             (default 200000), printing every improvement and the live
+             optimality gap to stderr
   evaluate   print the period, throughput and per-machine loads of a mapping
   simulate   run the discrete-event simulation of a mapping
   serve      run the long-lived mf-proto solve/evaluate server: resident
@@ -110,13 +116,23 @@ COMMANDS:
              print a summary of its events
 
 HEURISTICS: h1, h2, h3, h4, h4w, h4f, plus the search strategies over any of
-            them — h6 (annealed climb), sd (steepest descent), ts (tabu):
-            bare names polish h4w, h6-h2 / sd-h1 / ts-h4f pick the seed
-            explicitly; use --all to compare";
+            them — h6 (annealed climb), sd (steepest descent), ts (tabu),
+            lns (subtree-move large neighborhood): bare names polish h4w,
+            h6-h2 / sd-h1 / lns-h4f pick the seed explicitly; use --all to
+            compare";
 
 /// Valid flags per subcommand (anything else is rejected up front).
 const FLAGS_GENERATE: &[&str] = &["tasks", "machines", "types", "seed", "high-failure"];
-const FLAGS_SOLVE: &[&str] = &["heuristic", "exact", "portfolio", "all", "threads", "trace"];
+const FLAGS_SOLVE: &[&str] = &[
+    "heuristic",
+    "exact",
+    "portfolio",
+    "anytime",
+    "budget",
+    "all",
+    "threads",
+    "trace",
+];
 const FLAGS_EVALUATE: &[&str] = &[];
 const FLAGS_SIMULATE: &[&str] = &["products", "seed"];
 const FLAGS_SERVE: &[&str] = &[
@@ -260,6 +276,53 @@ fn solve(args: &Arguments) -> std::result::Result<(), String> {
             "best found (budget hit)"
         };
         (label.to_string(), outcome.mapping)
+    } else if args.has_flag("anytime") {
+        let mut config = AnytimeConfig::default();
+        if let Some(budget) = args.u64_flag("budget") {
+            config.step_budget = budget;
+        }
+        eprintln!(
+            "{:<5} {:>10} {:>12} {:>12} {:>8}",
+            "phase", "step", "period(ms)", "bound(ms)", "gap"
+        );
+        let mut sink = SamplingSink::new(TRACE_CACHE_EVENT_CAP);
+        let outcome = solve_anytime_observed(
+            &instance,
+            &config,
+            &mut |event| {
+                eprintln!(
+                    "{:<5} {:>10} {:>12.1} {:>12.1} {:>7.2}%{}",
+                    event.phase.label(),
+                    event.steps,
+                    event.period,
+                    event.bound,
+                    100.0 * event.gap(),
+                    if event.proven { " (proven)" } else { "" }
+                );
+            },
+            &mut sink,
+        )
+        .map_err(|e| format!("anytime solve failed: {e}"))?;
+        if trace_path.is_some() {
+            let (events, dropped) = sink.into_parts();
+            trace_events.extend(events.into_iter().map(|event| event.into_trace(0, 0)));
+            if dropped > 0 {
+                trace_events.push(TraceEvent::Dropped {
+                    class: "cache".to_string(),
+                    count: dropped,
+                });
+            }
+        }
+        let label = if outcome.proven_optimal {
+            format!("anytime proven optimum in {} step(s)", outcome.steps)
+        } else {
+            format!(
+                "anytime best (gap {:.2}%) after {} step(s)",
+                100.0 * outcome.gap(),
+                outcome.steps
+            )
+        };
+        (label, outcome.mapping)
     } else {
         let name = args
             .string_flag("heuristic")

@@ -30,6 +30,8 @@
 
 use mf_core::prelude::*;
 use mf_heuristics::{H4wFastestMachine, Heuristic};
+use mf_lp::simplex::{resolve_tightened, solve as lp_solve, LpSolution};
+use mf_lp::{ConstraintSense, LpProblem, Objective, VariableId};
 
 /// Configuration of the branch-and-bound search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +46,14 @@ pub struct BnbConfig {
     /// the bit-identical tree; this hook exists so the `search_strategies`
     /// bench (and any regression hunt) can compare per-node cost.
     pub legacy_bounds: bool,
+    /// Prune with the load-splitting LP relaxation on top of the packing
+    /// bound (see [`LpBoundState`]'s module comments): each node that the
+    /// packing bound fails to prune solves an LP whose optimum certifiably
+    /// dominates it, warm-started from the parent node's optimum down the
+    /// search path. The explored tree shrinks (dramatically on `m ≫ p`
+    /// instances); the optimum found is unchanged. Off by default — on
+    /// small trees the packing bound alone is cheaper.
+    pub lp_bounds: bool,
 }
 
 impl Default for BnbConfig {
@@ -52,6 +62,7 @@ impl Default for BnbConfig {
             max_nodes: 20_000_000,
             tolerance: 1e-9,
             legacy_bounds: false,
+            lp_bounds: false,
         }
     }
 }
@@ -77,6 +88,252 @@ pub struct BnbOutcome {
     pub proven_optimal: bool,
     /// Number of nodes explored.
     pub nodes: u64,
+    /// LP relaxations solved from scratch (0 unless
+    /// [`BnbConfig::lp_bounds`]).
+    pub lp_solves: u64,
+    /// LP solves answered by reusing the parent node's still-feasible
+    /// optimum (zero simplex pivots).
+    pub lp_reuses: u64,
+}
+
+/// The filtered load-splitting LP relaxation driving
+/// [`BnbConfig::lp_bounds`].
+///
+/// Variables: `x[i][u] ≥ 0` — the fraction of task `i` carried by machine
+/// `u` — and the makespan `K`. Rows:
+///
+/// * per machine `u`: `Σ_i c[i][u]·x[i][u] − K ≤ −δ_u`, where `c[i][u]` is
+///   task `i`'s *lower-bound* contribution on `u` (its mapping-independent
+///   output-demand lower bound times the effective time) and `δ_u`
+///   accumulates, for every task already seated on `u`, the gap between its
+///   exact staged contribution and `c`;
+/// * per task `i`: `Σ_u x[i][u] = 1`.
+///
+/// Unfiltered (the root call of [`lp_root_bound`]), the minimum `K` is a
+/// certified lower bound on every mapping's period, dominating the packing
+/// bound `(total_load + Σ remaining min-contributions)/m` (sum the machine
+/// rows). Inside the search the relaxation is *filtered* in the
+/// Lenstra–Shmoys–Tardos style against the incumbent threshold `θ =
+/// incumbent·(1−tolerance)`: a placement `(i, u)` with `load_u + c[i][u] ≥
+/// θ`, or on a machine dedicated to another type, cannot appear in any
+/// specialized completion beating the incumbent, so `x[i][u]` is fixed to
+/// zero. The filtered optimum lower-bounds every completion better than the
+/// threshold it was filtered at, so `optimum ≥ θ` — or outright
+/// infeasibility — proves no such completion exists and prunes the node.
+/// This is far stronger than the unfiltered splitting bound: remaining
+/// tasks can no longer escape fractionally onto machines they could never
+/// integrally use.
+///
+/// The problem is built **once**; walking down the search path only
+/// tightens it — seating fixes an `x` row to an integral point
+/// (`set_bounds`) and lowers one machine row's right-hand side
+/// (`set_constraint_rhs`); filtering adds zero-fixings (loads only grow and
+/// the threshold only drops, so ancestors' filters stay valid). Pure
+/// feasible-region shrinkage means the nearest ancestor's optimum is a
+/// sound warm start ([`resolve_tightened`]): when still feasible it is
+/// provably still optimal and costs zero pivots — which happens exactly
+/// when the branched placement was already integral in the parent optimum,
+/// the common case deep in a well-filtered tree.
+struct LpBoundState {
+    problem: LpProblem,
+    /// `x` variable ids, row-major `task · m + machine`.
+    x: Vec<VariableId>,
+    /// Whether an `x` variable is currently fixed (by a seat or a filter).
+    fixed: Vec<bool>,
+    /// Constraint indices of the machine rows (one per machine).
+    machine_rows: Vec<usize>,
+    /// Current correction `δ_u` per machine.
+    corrections: Vec<f64>,
+    /// Lower-bound contribution `c[i][u]`, row-major.
+    costs: Vec<f64>,
+    machines: usize,
+    solves: u64,
+    reuses: u64,
+}
+
+/// Undo record of one [`LpBoundState::seat`]: the seated task's previous
+/// per-machine bounds and fixed flags (a filter may already have zeroed some
+/// of them at a shallower node).
+struct LpSeat {
+    task: usize,
+    machine: usize,
+    correction: f64,
+    prior: Vec<(f64, Option<f64>, bool)>,
+}
+
+/// Verdict of one [`LpBoundState::bound`] call.
+enum LpVerdict {
+    /// The relaxation solved; the optimum lower-bounds every completion
+    /// beating the threshold the filters were applied at.
+    Bound(LpSolution),
+    /// The filtered relaxation is infeasible: no completion can beat the
+    /// incumbent threshold. Prune.
+    Infeasible,
+    /// The simplex failed (iteration cap); fall back to the cheap bounds.
+    Unavailable,
+}
+
+impl LpBoundState {
+    fn new(instance: &Instance) -> Result<Self> {
+        let n = instance.task_count();
+        let m = instance.machine_count();
+        let lower_demand = instance.demand_lower_bounds()?;
+        let app = instance.application();
+        let mut costs = vec![0.0; n * m];
+        for i in 0..n {
+            let task = TaskId(i);
+            let d = match app.successor(task) {
+                None => 1.0,
+                Some(succ) => lower_demand[succ.index()],
+            };
+            for u in 0..m {
+                costs[i * m + u] = d * instance.effective_time(task, MachineId(u));
+            }
+        }
+
+        let mut problem = LpProblem::new(Objective::Minimize);
+        let x: Vec<VariableId> = (0..n * m)
+            .map(|j| problem.add_variable(format!("x{}_{}", j / m, j % m)))
+            .collect();
+        let k = problem.add_variable("K");
+        problem.set_objective_coefficient(k, 1.0);
+        let machine_rows: Vec<usize> = (0..m)
+            .map(|u| {
+                let mut terms: Vec<(VariableId, f64)> =
+                    (0..n).map(|i| (x[i * m + u], costs[i * m + u])).collect();
+                terms.push((k, -1.0));
+                problem.add_constraint(terms, ConstraintSense::LessEqual, 0.0)
+            })
+            .collect();
+        for i in 0..n {
+            let terms: Vec<(VariableId, f64)> = (0..m).map(|u| (x[i * m + u], 1.0)).collect();
+            problem.add_constraint(terms, ConstraintSense::Equal, 1.0);
+        }
+
+        Ok(LpBoundState {
+            problem,
+            x,
+            fixed: vec![false; n * m],
+            machine_rows,
+            corrections: vec![0.0; m],
+            costs,
+            machines: m,
+            solves: 0,
+            reuses: 0,
+        })
+    }
+
+    /// Tightens the LP for seating `task` on `machine` with the exact staged
+    /// contribution `increment`. Returns the undo record.
+    fn seat(&mut self, task: TaskId, machine: MachineId, increment: f64) -> LpSeat {
+        let (i, w) = (task.index(), machine.index());
+        let mut prior = Vec::with_capacity(self.machines);
+        for u in 0..self.machines {
+            let j = i * self.machines + u;
+            let var = &self.problem.variables()[self.x[j].index()];
+            prior.push((var.lower, var.upper, self.fixed[j]));
+            let (lo, hi) = if u == w { (1.0, 1.0) } else { (0.0, 0.0) };
+            self.problem.set_bounds(self.x[j], lo, Some(hi));
+            self.fixed[j] = true;
+        }
+        // The exact contribution is at least the lower-bound cost; clamp the
+        // correction at zero so float noise can never *loosen* a row.
+        let correction = (increment - self.costs[i * self.machines + w]).max(0.0);
+        self.corrections[w] += correction;
+        self.problem
+            .set_constraint_rhs(self.machine_rows[w], -self.corrections[w]);
+        LpSeat {
+            task: i,
+            machine: w,
+            correction,
+            prior,
+        }
+    }
+
+    /// Reverts one [`seat`](Self::seat).
+    fn unseat(&mut self, undo: LpSeat) {
+        for (u, &(lower, upper, was_fixed)) in undo.prior.iter().enumerate() {
+            let j = undo.task * self.machines + u;
+            self.problem.set_bounds(self.x[j], lower, upper);
+            self.fixed[j] = was_fixed;
+        }
+        self.corrections[undo.machine] -= undo.correction;
+        self.problem.set_constraint_rhs(
+            self.machine_rows[undo.machine],
+            -self.corrections[undo.machine],
+        );
+    }
+
+    /// Applies the incumbent filters at a node: every still-free placement
+    /// `(i, u)` that no specialized completion beating `threshold` can use —
+    /// its machine is dedicated to another type, or its exact load floor
+    /// `load_u + c[i][u]` already reaches the threshold — is fixed to zero.
+    /// Returns the variables newly fixed, for [`undo_filters`]
+    /// (ancestor filters stay valid deeper: loads only grow and the
+    /// threshold only drops, so they are left in place for the subtree).
+    ///
+    /// [`undo_filters`]: Self::undo_filters
+    fn apply_filters(
+        &mut self,
+        instance: &Instance,
+        state: &PartialState,
+        threshold: f64,
+    ) -> Vec<usize> {
+        let app = instance.application();
+        let mut filtered = Vec::new();
+        for i in 0..instance.task_count() {
+            if state.assignment[i].is_some() {
+                continue;
+            }
+            let ty = app.task_type(TaskId(i));
+            for u in 0..self.machines {
+                let j = i * self.machines + u;
+                if self.fixed[j] {
+                    continue;
+                }
+                let dedicated_elsewhere =
+                    matches!(state.machine_type[u], Some(existing) if existing != ty);
+                let cannot_fit = state.loads.load_of(MachineId(u)) + self.costs[j] >= threshold;
+                if dedicated_elsewhere || cannot_fit {
+                    self.problem.set_bounds(self.x[j], 0.0, Some(0.0));
+                    self.fixed[j] = true;
+                    filtered.push(j);
+                }
+            }
+        }
+        filtered
+    }
+
+    /// Reverts one [`apply_filters`](Self::apply_filters).
+    fn undo_filters(&mut self, filtered: Vec<usize>) {
+        for j in filtered {
+            self.problem.set_bounds(self.x[j], 0.0, None);
+            self.fixed[j] = false;
+        }
+    }
+
+    /// Solves the current (filtered, tightened) relaxation, warm-started
+    /// from the nearest ancestor optimum when available.
+    fn bound(&mut self, hint: Option<&LpSolution>) -> LpVerdict {
+        let outcome = match hint {
+            Some(previous) => resolve_tightened(&self.problem, previous).map(|warm| {
+                if warm.reused {
+                    self.reuses += 1;
+                } else {
+                    self.solves += 1;
+                }
+                warm.solution
+            }),
+            None => lp_solve(&self.problem).inspect(|_| {
+                self.solves += 1;
+            }),
+        };
+        match outcome {
+            Ok(solution) => LpVerdict::Bound(solution),
+            Err(mf_lp::LpError::Infeasible) => LpVerdict::Infeasible,
+            Err(_) => LpVerdict::Unavailable,
+        }
+    }
 }
 
 struct SearchContext<'a> {
@@ -94,6 +351,9 @@ struct SearchContext<'a> {
     best_mapping: Option<Vec<MachineId>>,
     nodes: u64,
     aborted: bool,
+    /// The incrementally tightened LP relaxation (when
+    /// [`BnbConfig::lp_bounds`] is on).
+    lp: Option<LpBoundState>,
 }
 
 struct PartialState {
@@ -178,7 +438,14 @@ impl PartialState {
 }
 
 impl<'a> SearchContext<'a> {
-    fn search(&mut self, depth: usize, state: &mut PartialState, remaining_min: f64) {
+    fn search(
+        &mut self,
+        depth: usize,
+        state: &mut PartialState,
+        remaining_min: f64,
+        lp_inherited: f64,
+        lp_hint: Option<&LpSolution>,
+    ) {
         if self.aborted {
             return;
         }
@@ -204,12 +471,44 @@ impl<'a> SearchContext<'a> {
             return;
         }
 
-        // Bounds.
+        // Cheap bounds first: max load, packing, and the LP value inherited
+        // from an ancestor. The ancestor's filtered optimum lower-bounds
+        // every completion beating the threshold it was filtered at (≥ the
+        // current one), so comparing it against the current threshold is a
+        // sound prune.
         let m = self.instance.machine_count() as f64;
         let packing_bound = (state.loads.total_load() + remaining_min) / m;
-        let bound = state.max_load(legacy).max(packing_bound);
+        let bound = state.max_load(legacy).max(packing_bound).max(lp_inherited);
         if bound >= self.best_period * (1.0 - self.config.tolerance) {
             return;
+        }
+
+        // LP tier, only consulted when the cheap bounds failed to prune:
+        // filter the relaxation against the incumbent, then re-solve it
+        // warm-started from the nearest ancestor optimum. The filters stay
+        // applied for the whole subtree (they only get more valid deeper)
+        // and are undone on backtrack. A simplex failure falls back to the
+        // cheap bounds — pruning less is always sound.
+        let mut node_solution: Option<LpSolution> = None;
+        let mut lp_bound = lp_inherited;
+        let mut node_filters: Option<Vec<usize>> = None;
+        if let Some(lp) = self.lp.as_mut() {
+            let threshold = self.best_period * (1.0 - self.config.tolerance);
+            let filters = lp.apply_filters(self.instance, state, threshold);
+            let pruned = match lp.bound(lp_hint) {
+                LpVerdict::Bound(solution) => {
+                    lp_bound = lp_bound.max(solution.objective);
+                    node_solution = Some(solution);
+                    lp_bound >= threshold
+                }
+                LpVerdict::Infeasible => true,
+                LpVerdict::Unavailable => false,
+            };
+            if pruned {
+                lp.undo_filters(filters);
+                return;
+            }
+            node_filters = Some(filters);
         }
 
         let task = self.order[depth];
@@ -245,10 +544,23 @@ impl<'a> SearchContext<'a> {
             state.demand[task.index()] = x;
             state.loads.place(machine, increment);
             state.assignment[task.index()] = Some(machine);
+            let lp_undo = self.lp.as_mut().map(|lp| lp.seat(task, machine, increment));
 
-            self.search(depth + 1, state, next_remaining_min);
+            self.search(
+                depth + 1,
+                state,
+                next_remaining_min,
+                lp_bound,
+                node_solution.as_ref().or(lp_hint),
+            );
 
             // Undo.
+            if let Some(undo) = lp_undo {
+                self.lp
+                    .as_mut()
+                    .expect("lp state outlives the recursion")
+                    .unseat(undo);
+            }
             state.assignment[task.index()] = None;
             state.loads.unplace();
             state.demand[task.index()] = 0.0;
@@ -261,6 +573,12 @@ impl<'a> SearchContext<'a> {
             if self.aborted {
                 break;
             }
+        }
+        if let Some(filters) = node_filters {
+            self.lp
+                .as_mut()
+                .expect("lp state outlives the recursion")
+                .undo_filters(filters);
         }
         self.candidate_scratch[depth] = candidates;
     }
@@ -279,7 +597,24 @@ pub fn branch_and_bound(instance: &Instance, config: BnbConfig) -> Result<BnbOut
             machines: instance.machine_count(),
             required: instance.type_count(),
         })?;
-    let seed_period = instance.period(&seed)?.value();
+    branch_and_bound_seeded(instance, config, &seed)
+}
+
+/// [`branch_and_bound`] with a caller-supplied incumbent instead of the H4w
+/// seed. The anytime solver uses this to hand the exact phase whatever its
+/// heuristic phase found: a tighter incumbent prunes more of the tree, and
+/// the search can only return a mapping at least as good as `seed`.
+///
+/// `seed` must be a **specialized** mapping of `instance` (one type per
+/// machine) — branch-and-bound enumerates specialized mappings only, so a
+/// general seed could undercut every specialized completion and make the
+/// search return the seed itself as a false "proven optimum".
+pub fn branch_and_bound_seeded(
+    instance: &Instance,
+    config: BnbConfig,
+    seed: &Mapping,
+) -> Result<BnbOutcome> {
+    let seed_period = instance.period(seed)?.value();
 
     // Smallest possible contribution of every task, paired with the placement
     // order. Demand lower bounds are mapping-independent.
@@ -313,21 +648,48 @@ pub fn branch_and_bound(instance: &Instance, config: BnbConfig) -> Result<BnbOut
         best_mapping: Some(seed.as_slice().to_vec()),
         nodes: 0,
         aborted: false,
+        lp: if config.lp_bounds {
+            Some(LpBoundState::new(instance)?)
+        } else {
+            None
+        },
     };
     let mut state = PartialState::new(instance);
-    context.search(0, &mut state, total_min);
+    context.search(0, &mut state, total_min, 0.0, None);
 
     let assignment = context
         .best_mapping
         .expect("seeded with a feasible mapping");
     let mapping = Mapping::new(assignment, instance.machine_count())?;
     let period = instance.period(&mapping)?;
+    let (lp_solves, lp_reuses) = context
+        .lp
+        .as_ref()
+        .map_or((0, 0), |lp| (lp.solves, lp.reuses));
     Ok(BnbOutcome {
         mapping,
         period,
         proven_optimal: !context.aborted,
         nodes: context.nodes,
+        lp_solves,
+        lp_reuses,
     })
+}
+
+/// The root load-splitting LP relaxation's optimum: a certified lower bound
+/// on the period of **every** mapping of the instance (the relaxation does
+/// not encode the specialized rule, so the bound holds for general mappings
+/// too). `None` when the simplex fails or the instance has no demand lower
+/// bounds; callers fall back to the packing bound.
+///
+/// This is the bound the anytime solver streams before branch-and-bound
+/// tightens it, and the one [`BnbConfig::lp_bounds`] applies at every node.
+pub fn lp_root_bound(instance: &Instance) -> Option<f64> {
+    let mut lp = LpBoundState::new(instance).ok()?;
+    match lp.bound(None) {
+        LpVerdict::Bound(solution) => Some(solution.objective),
+        LpVerdict::Infeasible | LpVerdict::Unavailable => None,
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +783,107 @@ mod tests {
         // The incumbent is still a valid specialized mapping.
         assert!(inst.is_specialized(&outcome.mapping));
         assert!(outcome.nodes <= 51);
+    }
+
+    #[test]
+    fn lp_bounds_find_the_same_optimum() {
+        for seed in 0..6 {
+            let inst = random_instance(8, 4, 2, 400 + seed);
+            let packing = branch_and_bound(&inst, BnbConfig::default()).unwrap();
+            let lp = branch_and_bound(
+                &inst,
+                BnbConfig {
+                    lp_bounds: true,
+                    ..BnbConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(lp.proven_optimal && packing.proven_optimal);
+            assert!(
+                (lp.period.value() - packing.period.value()).abs() <= 1e-9,
+                "seed {seed}: LP optimum {} != packing optimum {}",
+                lp.period.value(),
+                packing.period.value()
+            );
+            assert!(
+                lp.nodes <= packing.nodes,
+                "seed {seed}: the LP bound dominates the packing bound, so \
+                 its tree cannot be larger ({} vs {})",
+                lp.nodes,
+                packing.nodes
+            );
+            assert!(lp.lp_solves > 0, "seed {seed}: the LP never ran");
+            assert_eq!(packing.lp_solves, 0);
+            assert_eq!(packing.lp_reuses, 0);
+        }
+    }
+
+    /// The blocking CI floor of the LP bound: on an `m ≫ p` instance —
+    /// where the packing bound is weakest, because dividing by the many
+    /// machines washes out the load concentration — the LP tree must be at
+    /// most half the packing tree, at the same proven optimum.
+    #[test]
+    fn lp_bounds_halve_the_tree_on_many_machine_instances() {
+        let inst = random_instance(12, 10, 3, 7);
+        let packing = branch_and_bound(&inst, BnbConfig::default()).unwrap();
+        let lp = branch_and_bound(
+            &inst,
+            BnbConfig {
+                lp_bounds: true,
+                ..BnbConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(packing.proven_optimal && lp.proven_optimal);
+        assert!((lp.period.value() - packing.period.value()).abs() <= 1e-9);
+        assert!(
+            lp.nodes * 2 <= packing.nodes,
+            "LP bound visited {} nodes, packing bound {} — the ≤ 50% floor \
+             regressed",
+            lp.nodes,
+            packing.nodes
+        );
+        assert!(
+            lp.lp_reuses > 0,
+            "warm starts never fired on a 12-task search path"
+        );
+    }
+
+    #[test]
+    fn root_lp_bound_is_a_valid_lower_bound_dominating_packing() {
+        for seed in 0..6 {
+            let inst = random_instance(8, 5, 2, 700 + seed);
+            let bound = lp_root_bound(&inst).expect("feasible relaxation");
+            let exact = brute_force_specialized(&inst).unwrap();
+            assert!(
+                bound <= exact.period.value() + 1e-6,
+                "seed {seed}: root LP bound {bound} exceeds the optimum {}",
+                exact.period.value()
+            );
+            // Dominates the root packing bound: Σ min-contributions / m.
+            let lower_demand = inst.demand_lower_bounds().unwrap();
+            let packing: f64 = inst
+                .application()
+                .tasks()
+                .map(|task| {
+                    let d = match inst.application().successor(task.id) {
+                        None => 1.0,
+                        Some(succ) => lower_demand[succ.index()],
+                    };
+                    let best = inst
+                        .platform()
+                        .machines()
+                        .map(|u| inst.effective_time(task.id, u))
+                        .fold(f64::INFINITY, f64::min);
+                    d * best
+                })
+                .sum::<f64>()
+                / inst.machine_count() as f64;
+            assert!(
+                bound >= packing - 1e-6,
+                "seed {seed}: root LP bound {bound} below the packing bound {packing}"
+            );
+        }
     }
 
     #[test]

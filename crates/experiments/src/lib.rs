@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod anytime;
 pub mod config;
 pub mod figures;
 pub mod persist;
@@ -31,6 +32,10 @@ pub mod report;
 pub mod runner;
 pub mod stats;
 
+pub use anytime::{
+    solve_anytime, solve_anytime_observed, AnytimeConfig, AnytimeEvent, AnytimeOutcome,
+    AnytimePhase,
+};
 pub use config::ExperimentConfig;
 pub use persist::{batch_from_text, batch_to_text, figure_from_text, figure_to_text};
 pub use portfolio::{

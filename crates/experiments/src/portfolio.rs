@@ -991,7 +991,7 @@ mod tests {
                             period: period_bits,
                         }
                     }),
-                    ProgressEvent::CacheOutcome { .. } => None,
+                    _ => None,
                 })
                 .collect();
             assert_eq!(observed, expected, "cell {cell} round {round}");

@@ -120,8 +120,10 @@ const BASE_TABLE: &[(&str, Constructor)] = &[
 /// * `"H6"` — annealed hill climb ([`crate::search::AnnealedClimb`]);
 /// * `"SD"` — steepest-descent full-neighborhood sweep
 ///   ([`crate::search::SteepestDescent`]);
-/// * `"TS"` — tabu search ([`crate::search::TabuSearch`]).
-pub const STRATEGY_PREFIXES: &[&str] = &["H6", "SD", "TS"];
+/// * `"TS"` — tabu search ([`crate::search::TabuSearch`]);
+/// * `"LNS"` — subtree-move large-neighborhood search
+///   ([`crate::search::SubtreeMoveLns`]).
+pub const STRATEGY_PREFIXES: &[&str] = &["H6", "SD", "TS", "LNS"];
 
 /// The seed heuristic behind a bare strategy name (`"H6"`, `"SD"`, `"TS"`):
 /// H4w, the paper's best constructive heuristic.
@@ -135,6 +137,10 @@ pub const DEFAULT_SEARCH_BUDGET: usize = 200_000;
 /// Salt decorrelating a seed heuristic's RNG stream from the search
 /// strategy's own neighborhood stream.
 const INNER_SEED_SALT: u64 = 0x5EED_1AAE_0F1A_A3E5;
+
+/// Salt decorrelating the LNS root-selection stream from both the inner
+/// seed heuristic's stream and the caller's raw seed.
+const LNS_SEED_SALT: u64 = 0x7EA2_0C7B_5A15_9E11;
 
 /// The six heuristics evaluated in the paper, in presentation order
 /// (H1, H2, H3, H4, H4w, H4f), with the given seed for the random heuristic.
@@ -215,6 +221,19 @@ pub fn paper_heuristic(name: &str, seed: u64) -> Option<BoxedHeuristic> {
                 name,
             )))
         }
+        "LNS" => {
+            let inner = strategy_inner_heuristic(base, seed)?;
+            let config = crate::search::LnsConfig {
+                seed: splitmix64(seed ^ LNS_SEED_SALT),
+                ..crate::search::LnsConfig::default()
+            };
+            Some(Box::new(crate::search::SearchHeuristic::new(
+                inner,
+                Box::new(crate::search::SubtreeMoveLns::new(config)),
+                DEFAULT_SEARCH_BUDGET,
+                name,
+            )))
+        }
         _ => unreachable!("every prefix in STRATEGY_PREFIXES is matched"),
     }
 }
@@ -273,13 +292,17 @@ mod tests {
                 .unwrap_or_else(|| panic!("`{name}` must be constructible by name"));
             assert_eq!(built.name(), name);
         }
-        for expected in ["H6", "H6-H4f", "SD", "SD-H1", "TS", "TS-H4w"] {
+        for expected in [
+            "H6", "H6-H4f", "SD", "SD-H1", "TS", "TS-H4w", "LNS", "LNS-H2",
+        ] {
             assert!(
                 registry_names().contains(&expected.to_string()),
                 "`{expected}` missing from the registry"
             );
         }
-        for rejected in ["H6-H6", "H6-", "SD-SD", "SD-H6", "TS-", "TS-TS", "XX-H2"] {
+        for rejected in [
+            "H6-H6", "H6-", "SD-SD", "SD-H6", "TS-", "TS-TS", "LNS-", "LNS-LNS", "LNS-SD", "XX-H2",
+        ] {
             assert!(
                 paper_heuristic(rejected, 1).is_none(),
                 "`{rejected}` must not resolve"
@@ -302,6 +325,8 @@ mod tests {
         assert_eq!(parse_strategy_name("H6"), Some(("H6", "H4w")));
         assert_eq!(parse_strategy_name("SD-H2"), Some(("SD", "H2")));
         assert_eq!(parse_strategy_name("TS-H4f"), Some(("TS", "H4f")));
+        assert_eq!(parse_strategy_name("LNS"), Some(("LNS", "H4w")));
+        assert_eq!(parse_strategy_name("LNS-H1"), Some(("LNS", "H1")));
         assert_eq!(parse_strategy_name("H4w"), None);
         assert_eq!(parse_strategy_name("SD-"), None);
         assert_eq!(parse_strategy_name("SDX"), None);

@@ -26,6 +26,16 @@ use rand::Rng;
 /// (guards against accumulating no-op "improvements" from float noise).
 pub const IMPROVEMENT_EPSILON: f64 = 1e-12;
 
+/// Machine count from which the dirty-candidate sweep cache defaults **on**
+/// for dense-fast-path evaluators. Below this, a dense what-if (an `O(m)`
+/// load scan) is cheaper than the cache's probe bookkeeping, so caching
+/// costs wall-clock even while it saves evaluator calls; above it, the scan
+/// dominates and the saved calls win. Evaluators off the dense fast path
+/// (exact ancestor walks) always default on. Calibrated on the
+/// `bench_summary` steepest-descent rows; [`SearchEngine::set_sweep_cache`]
+/// overrides the default either way.
+pub const SWEEP_CACHE_MIN_MACHINES: usize = 48;
+
 /// Metropolis acceptance: always take improvements, take uphill steps with
 /// probability `exp(−Δ/T)` while the temperature is positive.
 ///
@@ -40,6 +50,19 @@ pub fn metropolis(delta: f64, temperature: f64, rng: &mut StdRng) -> bool {
         return false;
     }
     rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0))
+}
+
+/// Outcome of a large-neighborhood restage probe
+/// ([`SearchEngine::restage_greedy`]): the staged period of the candidate
+/// and the number of staged placements tried — the budget units the probe
+/// consumed, in the same "candidate evaluations" currency every strategy
+/// charges in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestageProbe {
+    /// Staged period of the restaged mapping.
+    pub period: f64,
+    /// Staged placements tried while building it.
+    pub trials: usize,
 }
 
 /// The outcome of committing a move or swap.
@@ -137,6 +160,15 @@ impl<'a> SearchEngine<'a> {
             })
             .collect();
         let sweep = SweepCache::new(instance.task_count(), m, spans);
+        // The cache only pays when an evaluator call costs more than a probe's
+        // bookkeeping (slot read + transform walk). On the dense fast path a
+        // what-if is an O(m) scan, so for small machine counts the probe
+        // overhead exceeds the calls it saves — default the cache off there
+        // and on everywhere the evaluator is genuinely expensive (the exact
+        // ancestor walk, or wide instances). `set_sweep_cache` still
+        // overrides either way, and chosen steps are bit-identical
+        // regardless (the cache never changes which move a sweep picks).
+        let sweep_enabled = !eval.is_dense_fast_path() || m >= SWEEP_CACHE_MIN_MACHINES;
         Ok(SearchEngine {
             instance,
             eval,
@@ -149,7 +181,7 @@ impl<'a> SearchEngine<'a> {
             steps: 0,
             max_steps,
             sweep,
-            sweep_enabled: true,
+            sweep_enabled,
             commit_count: 0,
             trace: None,
             progress: None,
@@ -267,10 +299,14 @@ impl<'a> SearchEngine<'a> {
         Ok(self.eval.evaluate_swap(a, b)?.period.value())
     }
 
-    /// Turns the dirty-candidate sweep cache on or off (on by default).
-    /// Turning it off makes [`probe_move`](Self::probe_move)/
-    /// [`probe_swap`](Self::probe_swap) evaluate every candidate — the
-    /// pre-cache full-sweep behavior the differential tests compare against.
+    /// Turns the dirty-candidate sweep cache on or off, overriding the
+    /// construction-time default (on exactly when an evaluator call costs
+    /// more than a probe: off the dense fast path, or at
+    /// [`SWEEP_CACHE_MIN_MACHINES`]+ machines). Turning it off makes
+    /// [`probe_move`](Self::probe_move)/[`probe_swap`](Self::probe_swap)
+    /// evaluate every candidate — the pre-cache full-sweep behavior the
+    /// differential tests compare against. Either setting picks the
+    /// bit-identical step sequence; only evaluator-call counts differ.
     pub fn set_sweep_cache(&mut self, enabled: bool) {
         if enabled != self.sweep_enabled {
             self.sweep.reset();
@@ -380,6 +416,151 @@ impl<'a> SearchEngine<'a> {
         }
     }
 
+    /// Number of tasks strictly upstream of `task` — the size of the subtree
+    /// a restage probe tears out (0 for sources, where a restage degenerates
+    /// to a plain move).
+    #[inline]
+    pub fn subtree_size(&self, task: TaskId) -> usize {
+        let (start, end) = self.eval.topology().subtree_span(task);
+        end - start
+    }
+
+    /// Tears `task`'s strict subtree (its Euler-tour mass row) plus the
+    /// task's own contribution out of the committed loads, then restages the
+    /// whole span on the same machines with `task` itself on `to`: every
+    /// upstream demand rescales by the one factor ratio the move induces, so
+    /// the restage is one ratio-scaled [`place_row`] over the torn loads —
+    /// `O(m log m)` instead of a full re-evaluate. Returns the staged period
+    /// (within 1e-9 of a full recompute; the LNS differential test pins
+    /// this). `to == machine_of(task)` restages in place and returns the
+    /// current period up to staging noise.
+    ///
+    /// [`place_row`]: mf_core::incremental::PartialAssignmentEvaluator::place_row
+    pub fn restage_move(&mut self, task: TaskId, to: MachineId) -> f64 {
+        let inst = self.instance;
+        let from = self.eval.machine_of(task);
+        let ratio = inst.factor(task, to) / inst.factor(task, from);
+        let row = self.eval.subtree_mass_row(task).to_vec();
+        let mut torn = self.eval.loads().to_vec();
+        for (u, &mass) in row.iter().enumerate() {
+            torn[u] -= mass;
+        }
+        let own_old = self.eval.demand_of(task) * inst.time(task, from);
+        torn[from.index()] -= own_old;
+        let mut staged = PartialAssignmentEvaluator::from_loads(&torn);
+        let scaled: Vec<f64> = row.iter().map(|&mass| mass * ratio).collect();
+        staged.place_row(&scaled);
+        staged.place(to, self.eval.demand_of(task) * ratio * inst.time(task, to));
+        staged.period().value()
+    }
+
+    /// The full large-neighborhood probe: tears `root`'s strict subtree out
+    /// of the committed loads, lands `root` on `to`, then re-places every
+    /// subtree member greedily (consumers before producers, so each member's
+    /// rechained demand is exact) on the machine minimising the staged
+    /// period among its admissible targets. `plan` receives the `(task,
+    /// machine)` moves that differ from the committed mapping, in a commit
+    /// order that keeps demands consistent; the probe itself never mutates
+    /// engine state.
+    ///
+    /// Specialized seeds stay specialized: members only land on machines
+    /// already dedicated to their type (including ones the plan itself
+    /// dedicates) or on idle machines, the same rule
+    /// [`allows_move`](Self::allows_move) enforces at commit time.
+    pub fn restage_greedy(
+        &mut self,
+        root: TaskId,
+        to: MachineId,
+        plan: &mut Vec<(TaskId, MachineId)>,
+    ) -> RestageProbe {
+        plan.clear();
+        let inst = self.instance;
+        let app = inst.application();
+        let m = inst.machine_count();
+        let from = self.eval.machine_of(root);
+        let row = self.eval.subtree_mass_row(root).to_vec();
+        let mut torn = self.eval.loads().to_vec();
+        for (u, &mass) in row.iter().enumerate() {
+            torn[u] -= mass;
+        }
+        let own_old = self.eval.demand_of(root) * inst.time(root, from);
+        torn[from.index()] -= own_old;
+        let mut staged = PartialAssignmentEvaluator::from_loads(&torn);
+        let mut trials = 0usize;
+
+        // The root lands on `to`; its demand rescales by the factor ratio.
+        let out_demand_root = self.eval.demand_of(root) / inst.factor(root, from);
+        staged.place(to, out_demand_root * inst.effective_time(root, to));
+        trials += 1;
+        if to != from {
+            plan.push((root, to));
+        }
+
+        // Members in consumer-first order (reversed tour slice: every task's
+        // successor has a later tour position, so it is processed first and
+        // its rechained demand is available).
+        let members: Vec<TaskId> = self
+            .eval
+            .topology()
+            .strict_subtree(root)
+            .iter()
+            .rev()
+            .map(|&t| TaskId(t as usize))
+            .collect();
+        // Rechained demand of the already-placed tasks (root + members).
+        let mut demand_new = vec![0.0f64; inst.task_count()];
+        demand_new[root.index()] = out_demand_root * inst.factor(root, to);
+        // Type claims the plan has made so far, seeded from the committed
+        // dedication map — the conservative specialized filter.
+        let mut claimed = self.machine_type.clone();
+        if self.specialized {
+            claimed[to.index()] = Some(app.task_type(root));
+        }
+        for &s in &members {
+            let ty = app.task_type(s);
+            let succ = app
+                .successor(s)
+                .expect("strict-subtree members have a successor");
+            let out_demand = demand_new[succ.index()];
+            let here = self.eval.machine_of(s);
+            let mut best: Option<(f64, MachineId, f64)> = None;
+            for (u, claim) in claimed.iter().enumerate().take(m) {
+                let v = MachineId(u);
+                if self.specialized && claim.is_some() && *claim != Some(ty) {
+                    continue;
+                }
+                let contribution = out_demand * inst.effective_time(s, v);
+                staged.place(v, contribution);
+                let period = staged.period().value();
+                staged.unplace();
+                trials += 1;
+                let better = match best {
+                    None => true,
+                    Some((incumbent, _, _)) => period < incumbent - IMPROVEMENT_EPSILON,
+                };
+                if better {
+                    best = Some((period, v, contribution));
+                }
+            }
+            // An admissible machine always exists: the member's own machine
+            // is dedicated to its type.
+            let (_, v, contribution) =
+                best.expect("the member's current machine is always admissible");
+            staged.place(v, contribution);
+            demand_new[s.index()] = out_demand * inst.factor(s, v);
+            if self.specialized {
+                claimed[v.index()] = Some(ty);
+            }
+            if v != here {
+                plan.push((s, v));
+            }
+        }
+        RestageProbe {
+            period: staged.period().value(),
+            trials,
+        }
+    }
+
     /// Syncs the sweep cache (and the opt-in trace) with the evaluator after
     /// a commit attempt; `step` builds the trace record lazily. Returns
     /// whether a real commit happened (no-op applies return `false`).
@@ -483,6 +664,30 @@ impl<'a> SearchEngine<'a> {
             period: committed,
             improved_best,
         }
+    }
+
+    /// Rewinds the current mapping to the best-so-far snapshot — the restart
+    /// primitive behind [`AnnealedClimb`](crate::search::AnnealedClimb)'s
+    /// restart waves. Rebuilds the evaluator and the type bookkeeping from
+    /// the best mapping and resets the sweep cache (its certificates
+    /// describe the abandoned trajectory). The budget, the best period and
+    /// the best mapping are untouched, so the never-worse-than-seed
+    /// guarantee survives any number of rewinds.
+    pub fn rewind_to_best(&mut self) -> HeuristicResult<()> {
+        let mapping = self.best_mapping.clone();
+        self.eval = IncrementalEvaluator::new(self.instance, &mapping)?;
+        let app = self.instance.application();
+        self.machine_type.iter_mut().for_each(|ty| *ty = None);
+        self.tasks_on.iter_mut().for_each(|count| *count = 0);
+        for task in app.tasks() {
+            let u = mapping.machine_of(task.id).index();
+            self.tasks_on[u] += 1;
+            self.machine_type[u] = Some(task.ty);
+        }
+        self.current = self.eval.period().value();
+        self.sweep.reset();
+        self.commit_count = self.eval.counters().commits;
+        Ok(())
     }
 
     /// Materialises the current (last committed) assignment — which may be
@@ -610,7 +815,7 @@ mod tests {
                     period_bits,
                     ..
                 } => Some((swap, a, b, period_bits)),
-                ProgressEvent::CacheOutcome { .. } => None,
+                _ => None,
             })
             .collect();
         let expected: Vec<(bool, u64, u64, u64)> = steps

@@ -51,13 +51,18 @@
 pub mod annealed;
 pub(crate) mod candidate;
 pub mod engine;
+pub mod lns;
 pub mod steepest;
 pub mod strategy;
 mod sweep_cache;
 pub mod tabu;
 
 pub use annealed::{AnnealedClimb, LocalSearchConfig};
-pub use engine::{metropolis, CommitOutcome, CommitStep, SearchEngine, IMPROVEMENT_EPSILON};
+pub use engine::{
+    metropolis, CommitOutcome, CommitStep, RestageProbe, SearchEngine, IMPROVEMENT_EPSILON,
+    SWEEP_CACHE_MIN_MACHINES,
+};
+pub use lns::{LnsConfig, SubtreeMoveLns};
 pub use steepest::{SteepestDescent, SteepestDescentConfig};
 pub use strategy::{
     polish_with, polish_with_progress, polish_with_telemetry, SearchHeuristic, SearchStrategy,

@@ -98,6 +98,23 @@ enum TaskClass {
     Unknown,
 }
 
+/// One candidate's cached state: its last exact score and the commit stamp
+/// it was taken at, interleaved so a probe touches **one** cache line
+/// instead of two parallel arrays (the stamp check and the score read are
+/// always paired on the probe hot path).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    score: f64,
+    stamp: u32,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        score: 0.0,
+        stamp: 0,
+    };
+}
+
 /// Per-candidate score cache with commit-footprint transforms.
 ///
 /// `stamp` values are `commit index + 1` (`0` = never scored). The commit
@@ -114,12 +131,10 @@ pub(crate) struct SweepCache {
     swaps_capped: bool,
     /// Move candidates, `task · m + machine` — allocated on first probe, so
     /// strategies that never sweep (the annealed climb) pay nothing.
-    move_score: Vec<f64>,
-    move_stamp: Vec<u32>,
+    move_slots: Vec<Slot>,
     /// Swap candidates, `min · n + max` (only `min < max` slots are used);
     /// allocated on first swap probe.
-    swap_score: Vec<f64>,
-    swap_stamp: Vec<u32>,
+    swap_slots: Vec<Slot>,
     /// Inclusive tour span of every task's subtree.
     span: Vec<(u32, u32)>,
     /// Commits since the last reset, in order.
@@ -148,10 +163,8 @@ impl SweepCache {
             machines,
             moves_capped: tasks.saturating_mul(machines) > MAX_ENTRIES,
             swaps_capped: tasks.saturating_mul(tasks) > MAX_ENTRIES,
-            move_score: Vec::new(),
-            move_stamp: Vec::new(),
-            swap_score: Vec::new(),
-            swap_stamp: Vec::new(),
+            move_slots: Vec::new(),
+            swap_slots: Vec::new(),
             span,
             log: Vec::new(),
             stats: SweepCacheStats::default(),
@@ -160,8 +173,8 @@ impl SweepCache {
 
     /// Forgets every cached score (keeps the allocations).
     pub(crate) fn reset(&mut self) {
-        self.move_stamp.fill(0);
-        self.swap_stamp.fill(0);
+        self.move_slots.fill(Slot::EMPTY);
+        self.swap_slots.fill(Slot::EMPTY);
         self.log.clear();
     }
 
@@ -186,19 +199,17 @@ impl SweepCache {
         self.log.len() as u32
     }
 
-    /// Allocates the move tables on first use.
+    /// Allocates the move table on first use.
     fn ensure_moves(&mut self) {
-        if self.move_score.is_empty() {
-            self.move_score = vec![0.0; self.tasks * self.machines];
-            self.move_stamp = vec![0; self.tasks * self.machines];
+        if self.move_slots.is_empty() {
+            self.move_slots = vec![Slot::EMPTY; self.tasks * self.machines];
         }
     }
 
-    /// Allocates the swap tables on first use.
+    /// Allocates the swap table on first use.
     fn ensure_swaps(&mut self) {
-        if self.swap_score.is_empty() {
-            self.swap_score = vec![0.0; self.tasks * self.tasks];
-            self.swap_stamp = vec![0; self.tasks * self.tasks];
+        if self.swap_slots.is_empty() {
+            self.swap_slots = vec![Slot::EMPTY; self.tasks * self.tasks];
         }
     }
 
@@ -219,10 +230,10 @@ impl SweepCache {
             return CacheAnswer::Evaluate;
         }
         self.ensure_moves();
-        let slot = task.index() * self.machines + to.index();
+        let slot = self.move_slots[task.index() * self.machines + to.index()];
         self.answer(
-            self.move_stamp[slot],
-            self.move_score[slot],
+            slot.stamp,
+            slot.score,
             &[(self.span[task.index()], ratio)],
             bound,
         )
@@ -235,9 +246,8 @@ impl SweepCache {
             return;
         }
         self.ensure_moves();
-        let slot = task.index() * self.machines + to.index();
-        self.move_score[slot] = score;
-        self.move_stamp[slot] = self.now() + 1;
+        let stamp = self.now() + 1;
+        self.move_slots[task.index() * self.machines + to.index()] = Slot { score, stamp };
     }
 
     /// Consults the cache for the swap of `a` and `b` (order-insensitive).
@@ -256,10 +266,10 @@ impl SweepCache {
             return CacheAnswer::Evaluate;
         }
         self.ensure_swaps();
-        let slot = self.swap_slot(a, b);
+        let slot = self.swap_slots[self.swap_slot(a, b)];
         self.answer(
-            self.swap_stamp[slot],
-            self.swap_score[slot],
+            slot.stamp,
+            slot.score,
             &[
                 (self.span[a.index()], ratios.0),
                 (self.span[b.index()], ratios.1),
@@ -274,9 +284,9 @@ impl SweepCache {
             return;
         }
         self.ensure_swaps();
+        let stamp = self.now() + 1;
         let slot = self.swap_slot(a, b);
-        self.swap_score[slot] = score;
-        self.swap_stamp[slot] = self.now() + 1;
+        self.swap_slots[slot] = Slot { score, stamp };
     }
 
     #[inline]

@@ -1,0 +1,158 @@
+//! Differential pin of the subtree-move LNS restage arithmetic.
+//!
+//! The LNS probes score candidates on a staged evaluator seeded with torn
+//! loads (`from_loads` + `place_row`) instead of re-evaluating the mapping
+//! from scratch. This harness pins that shortcut: for every registry seed
+//! heuristic, on chains and on general in-forests, the restaged score of
+//! every (root, machine) candidate must match a full recompute of the moved
+//! mapping within 1e-9 relative, and the greedy restage plan must realise
+//! exactly the staged period it promised. The LNS registry heuristics are
+//! additionally pinned deterministic and never worse than their seeds.
+
+use mf_core::prelude::*;
+use mf_heuristics::search::SearchEngine;
+use mf_heuristics::{all_paper_heuristics, paper_heuristic};
+use mf_sim::{GeneratorConfig, InstanceGenerator};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn chain_instance(tasks: usize, machines: usize, types: usize, seed: u64) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::paper_standard(tasks, machines, types))
+        .generate(seed)
+        .expect("the standard generator produces valid instances")
+}
+
+fn forest_instance(tasks: usize, machines: usize, types: usize, rng: &mut StdRng) -> Instance {
+    InstanceGenerator::new(GeneratorConfig::standard_in_forest(tasks, machines, types))
+        .generate(rng.next_u64())
+        .expect("the forest generator produces valid instances")
+}
+
+fn fixtures() -> Vec<(String, Instance)> {
+    let mut rng = StdRng::seed_from_u64(0x1A5D_1FFE);
+    vec![
+        ("chain n=16 m=5".into(), chain_instance(16, 5, 3, 0xC3)),
+        (
+            "forest n=20 m=6".into(),
+            forest_instance(20, 6, 3, &mut rng),
+        ),
+        (
+            "forest n=28 m=8".into(),
+            forest_instance(28, 8, 4, &mut rng),
+        ),
+    ]
+}
+
+/// `restage_move` (tear + one ratio-scaled `place_row`) must equal the full
+/// recompute of the moved mapping within 1e-9 relative, for every (root,
+/// machine) pair reachable from every registry seed.
+#[test]
+fn restaged_subtree_scores_match_full_recompute() {
+    for (label, instance) in fixtures() {
+        for heuristic in all_paper_heuristics(7) {
+            let Ok(seed) = heuristic.map(&instance) else {
+                continue;
+            };
+            let mut engine = SearchEngine::new(&instance, &seed, usize::MAX).unwrap();
+            for t in 0..instance.task_count() {
+                let root = TaskId(t);
+                for u in 0..instance.machine_count() {
+                    let to = MachineId(u);
+                    if to != engine.machine_of(root) && !engine.allows_move(root, to) {
+                        continue;
+                    }
+                    let staged = engine.restage_move(root, to);
+                    let mut moved: Vec<usize> =
+                        seed.as_slice().iter().map(|mm| mm.index()).collect();
+                    moved[t] = u;
+                    let full = instance
+                        .period(&Mapping::from_indices(&moved, instance.machine_count()).unwrap())
+                        .unwrap()
+                        .value();
+                    assert!(
+                        (staged - full).abs() <= 1e-9 * full.max(1.0),
+                        "{label} {}: restage T{t}->M{u} staged {staged} vs full {full}",
+                        heuristic.name(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The greedy restage's staged period must be realised exactly (≤ 1e-9
+/// relative) when its plan is applied to the committed mapping, and the
+/// plan must preserve the specialized rule.
+#[test]
+fn greedy_restage_plans_realise_their_staged_period() {
+    let mut rng = StdRng::seed_from_u64(0x9E3D_77A0);
+    for (label, instance) in fixtures() {
+        for heuristic in all_paper_heuristics(11) {
+            let Ok(seed) = heuristic.map(&instance) else {
+                continue;
+            };
+            let specialized = instance.is_specialized(&seed);
+            let mut engine = SearchEngine::new(&instance, &seed, usize::MAX).unwrap();
+            let mut plan = Vec::new();
+            for _ in 0..12 {
+                let root = TaskId((rng.next_u64() % instance.task_count() as u64) as usize);
+                let to = MachineId((rng.next_u64() % instance.machine_count() as u64) as usize);
+                if to != engine.machine_of(root) && !engine.allows_move(root, to) {
+                    continue;
+                }
+                let probe = engine.restage_greedy(root, to, &mut plan);
+                let mut moved: Vec<usize> = seed.as_slice().iter().map(|mm| mm.index()).collect();
+                for &(task, machine) in &plan {
+                    moved[task.index()] = machine.index();
+                }
+                let mapping = Mapping::from_indices(&moved, instance.machine_count()).unwrap();
+                let full = instance.period(&mapping).unwrap().value();
+                assert!(
+                    (probe.period - full).abs() <= 1e-9 * full.max(1.0),
+                    "{label} {}: greedy restage of T{} -> M{} promised {} but realises {full}",
+                    heuristic.name(),
+                    root.index(),
+                    to.index(),
+                    probe.period,
+                );
+                if specialized {
+                    assert!(
+                        instance.is_specialized(&mapping),
+                        "{label} {}: greedy plan broke the specialized rule",
+                        heuristic.name(),
+                    );
+                }
+                assert!(probe.trials > 0);
+            }
+        }
+    }
+}
+
+/// The LNS registry heuristics are deterministic per seed and never worse
+/// than their constructive seeds.
+#[test]
+fn lns_registry_heuristics_are_deterministic_and_never_worse() {
+    for (label, instance) in fixtures() {
+        for name in ["LNS", "LNS-H2", "LNS-H4f"] {
+            let lns = paper_heuristic(name, 3).unwrap();
+            let Ok(first) = lns.map(&instance) else {
+                continue;
+            };
+            let second = lns.map(&instance).unwrap();
+            assert_eq!(first, second, "{label} {name}: non-deterministic");
+            let base = name.strip_prefix("LNS-").unwrap_or("H4w");
+            // The inner seed heuristic draws from a decorrelated stream; the
+            // never-worse bound is against the engine's actual seed, which
+            // `paper_heuristic(base, …)` cannot reproduce for H1. Compare
+            // against deterministic bases only.
+            if base != "H1" {
+                let seeded = paper_heuristic(base, 3).unwrap().period(&instance).unwrap();
+                let polished = instance.period(&first).unwrap();
+                assert!(
+                    polished.value() <= seeded.value() + 1e-9,
+                    "{label} {name}: LNS worse than its seed"
+                );
+            }
+        }
+    }
+}

@@ -176,6 +176,9 @@ fn warm_cache_stays_correct_across_interleaved_commits() {
     let mut reference = SearchEngine::new(&instance, &seed, BUDGET).unwrap();
     reference.set_sweep_cache(false);
     let mut warmed = SearchEngine::new(&instance, &seed, BUDGET).unwrap();
+    // Small dense instances default the cache off; this pin is *about* the
+    // cache path, so force it on.
+    warmed.set_sweep_cache(true);
 
     // Interleave: run one descent, then hand-commit a few degrading moves
     // (staling parts of the cache), then descend again. Both engines see
@@ -222,6 +225,7 @@ fn warm_chain_cache_rescales_across_interleaved_commits() {
         let mut reference = SearchEngine::new(&instance, &seed_map, BUDGET).unwrap();
         reference.set_sweep_cache(false);
         let mut warmed = SearchEngine::new(&instance, &seed_map, BUDGET).unwrap();
+        warmed.set_sweep_cache(true);
 
         for round in 0..4 {
             strategy.run(&mut reference).unwrap();
@@ -275,6 +279,7 @@ fn degenerate_shapes_stay_exact_under_the_cache() {
     let mut reference = SearchEngine::new(&single_task, &seed, BUDGET).unwrap();
     reference.set_sweep_cache(false);
     let mut cached = SearchEngine::new(&single_task, &seed, BUDGET).unwrap();
+    cached.set_sweep_cache(true);
     for _ in 0..3 {
         strategy.run(&mut reference).unwrap();
         strategy.run(&mut cached).unwrap();

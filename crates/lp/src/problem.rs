@@ -129,14 +129,28 @@ impl LpProblem {
         self.variables[variable.index()].upper = upper;
     }
 
-    /// Adds a constraint. Duplicate variables in `terms` are summed.
+    /// Adds a constraint. Duplicate variables in `terms` are summed. Returns
+    /// the constraint's index (usable with
+    /// [`set_constraint_rhs`](Self::set_constraint_rhs)).
     pub fn add_constraint(
         &mut self,
         terms: Vec<(VariableId, f64)>,
         sense: ConstraintSense,
         rhs: f64,
-    ) {
+    ) -> usize {
         self.constraints.push(Constraint { terms, sense, rhs });
+        self.constraints.len() - 1
+    }
+
+    /// Replaces the right-hand side of an existing constraint — the cheap
+    /// re-tightening primitive incremental users (the branch-and-bound LP
+    /// bound) rely on: the constraint matrix is untouched, only `b` moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn set_constraint_rhs(&mut self, index: usize, rhs: f64) {
+        self.constraints[index].rhs = rhs;
     }
 
     /// Number of decision variables.

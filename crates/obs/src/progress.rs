@@ -31,6 +31,18 @@ pub enum ProgressEvent {
         /// Whether the commit improved the engine's best-so-far.
         improved: bool,
     },
+    /// An anytime-solve incumbent/bound improvement. Mapped onto the
+    /// `Round` trace record (the anytime driver's "rounds" are its stream
+    /// messages), with `done` carrying the optimality-proven flag.
+    Incumbent {
+        /// IEEE-754 bits of the incumbent period.
+        period_bits: u64,
+        /// Steps consumed when the incumbent was found (stamped into the
+        /// trace record's `round` coordinate by the collector).
+        steps: u64,
+        /// Whether the incumbent is proven optimal (gap closed).
+        proven: bool,
+    },
     /// Cumulative sweep-cache counters at some point in the run.
     CacheOutcome {
         /// Candidates considered by sweeps.
@@ -65,6 +77,16 @@ impl ProgressEvent {
                 b,
                 period_bits,
                 improved,
+            },
+            ProgressEvent::Incumbent {
+                period_bits,
+                steps,
+                proven,
+            } => TraceEvent::Round {
+                cell,
+                round: steps,
+                period_bits: Some(period_bits),
+                done: proven,
             },
             ProgressEvent::CacheOutcome {
                 probes,
@@ -143,7 +165,9 @@ impl SamplingSink {
 impl ProgressSink for SamplingSink {
     fn emit(&mut self, event: ProgressEvent) {
         match event {
-            ProgressEvent::Commit { .. } => self.events.push(event),
+            ProgressEvent::Commit { .. } | ProgressEvent::Incumbent { .. } => {
+                self.events.push(event)
+            }
             ProgressEvent::CacheOutcome { .. } => {
                 if self.cache_recorded < self.cache_cap {
                     self.cache_recorded += 1;
@@ -200,6 +224,28 @@ mod tests {
         assert_eq!(commits, 5);
         assert_eq!(caches, 2);
         assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn incumbents_are_lossless_and_map_to_round_records() {
+        let mut sink = SamplingSink::new(0);
+        let event = ProgressEvent::Incumbent {
+            period_bits: 40.25_f64.to_bits(),
+            steps: 1234,
+            proven: true,
+        };
+        sink.emit(event);
+        assert_eq!(sink.events(), &[event]);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(
+            event.into_trace(5, 0),
+            crate::trace::TraceEvent::Round {
+                cell: 5,
+                round: 1234,
+                period_bits: Some(40.25_f64.to_bits()),
+                done: true,
+            }
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! [`Client::send_line`] ships one hand-written protocol line verbatim.
 
 use crate::proto::{
-    request_to_text, ErrorCode, InstanceInfo, Probe, ProtoError, ProtoReader, ProtoVersion,
-    Request, Response, SolveMethod, GREETING,
+    request_to_text, ErrorCode, GapReport, InstanceInfo, Probe, ProtoError, ProtoReader,
+    ProtoVersion, Request, Response, SolveMethod, GREETING,
 };
 use mf_core::textio;
 use mf_core::Mapping;
@@ -101,6 +101,18 @@ pub struct Solution {
     /// Achieved system period (ms).
     pub period: f64,
     /// The computed mapping.
+    pub mapping: Mapping,
+}
+
+/// A finished `solve … anytime` answer: the streamed incumbent/bound
+/// reports (monotone, first one feasible) plus the final mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeSolution {
+    /// Every `gap` line the server streamed, in emission order.
+    pub reports: Vec<GapReport>,
+    /// Final period (ms) of the returned mapping.
+    pub period: f64,
+    /// The best mapping found within the budget.
     pub mapping: Mapping,
 }
 
@@ -281,6 +293,41 @@ impl Client {
         }
     }
 
+    /// Runs the anytime incumbent/bound race on a resident instance (v3
+    /// sessions only): the answer carries every streamed `gap` report plus
+    /// the final mapping. `None` budget/seed use the server defaults.
+    pub fn solve_anytime(
+        &mut self,
+        name: &str,
+        budget: Option<u64>,
+        seed: Option<u64>,
+    ) -> Result<AnytimeSolution, ClientError> {
+        match self.expect(&Request::Solve {
+            name: name.to_string(),
+            method: SolveMethod::Anytime { budget },
+            seed,
+        })? {
+            Response::SolvedAnytime {
+                reports,
+                period,
+                machines,
+                assignment,
+            } => {
+                let mapping = Mapping::from_indices(&assignment, machines).map_err(|e| {
+                    ClientError::Proto(ProtoError::Malformed {
+                        detail: format!("solve-anytime answer is not a mapping: {e}"),
+                    })
+                })?;
+                Ok(AnytimeSolution {
+                    reports,
+                    period,
+                    mapping,
+                })
+            }
+            other => Err(unexpected("solve-anytime", other)),
+        }
+    }
+
     /// The statistics counters, in the server's fixed presentation order
     /// (16 keys on v1 sessions, plus the cache counters after a v2
     /// `hello`).
@@ -400,6 +447,19 @@ mod tests {
         // The raw escape hatch speaks the same session.
         let response = client.send_line("list").unwrap();
         assert!(matches!(response, Response::List(_)), "{response:?}");
+
+        // A v3 upgrade unlocks the anytime race; the streamed reports are
+        // monotone and the final mapping re-evaluates to the answer period.
+        assert_eq!(client.hello(3).unwrap(), ProtoVersion::V3);
+        let anytime = client.solve_anytime("a", Some(50_000), None).unwrap();
+        assert!(!anytime.reports.is_empty());
+        assert_eq!(anytime.reports[0].phase, "seed");
+        for pair in anytime.reports.windows(2) {
+            assert!(pair[1].period <= pair[0].period);
+            assert!(pair[1].bound >= pair[0].bound);
+        }
+        let evaluation = client.evaluate("a", &anytime.mapping).unwrap();
+        assert_eq!(evaluation.period.to_bits(), anytime.period.to_bits());
 
         let stats = client.stats().unwrap();
         assert!(

@@ -23,11 +23,12 @@ use crate::cache::{CachedEvaluation, EvaluateCache};
 use crate::errors::EngineError;
 use crate::journal::{Journal, JournalResult, RecoveredInstance};
 use crate::obs::{ObsConfig, ObsState};
-use crate::proto::{InstanceInfo, Probe, ProtoVersion, Request, Response, SolveMethod};
+use crate::proto::{GapReport, InstanceInfo, Probe, ProtoVersion, Request, Response, SolveMethod};
 use crate::stats::StatsReport;
 use crate::store::{InstanceStore, StoredInstance};
 use mf_core::prelude::*;
 use mf_core::textio;
+use mf_experiments::anytime::{solve_anytime_observed, AnytimeConfig};
 use mf_experiments::portfolio::{run_portfolio, PortfolioConfig};
 use mf_experiments::runner::BatchRunner;
 use std::collections::HashMap;
@@ -56,6 +57,16 @@ struct Counters {
     snapshot_evictions: AtomicU64,
     solves_heuristic: AtomicU64,
     solves_portfolio: AtomicU64,
+    solves_anytime: AtomicU64,
+    /// `gap` lines streamed by anytime solves (incumbent/bound reports).
+    anytime_reports: AtomicU64,
+    /// Anytime solves that closed the gap (proven optimal within budget).
+    anytime_proven: AtomicU64,
+    /// Branch-and-bound nodes explored by anytime solves.
+    bnb_nodes: AtomicU64,
+    /// LP relaxations solved from scratch / warm-reused by anytime solves.
+    lp_solves: AtomicU64,
+    lp_reuses: AtomicU64,
     sessions: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -135,6 +146,13 @@ impl Session {
     pub fn version(&self) -> ProtoVersion {
         self.version
     }
+
+    /// Overwrites the version slot. The router negotiates `hello` itself
+    /// and copies the result onto its worker sessions, so engine-level
+    /// version gates see what the client negotiated.
+    pub(crate) fn sync_version(&mut self, version: ProtoVersion) {
+        self.version = version;
+    }
 }
 
 /// Negotiates a `hello` against a session's version slot — the one
@@ -162,6 +180,23 @@ pub(crate) fn gate_v2(
         Err(EngineError::VersionRequired {
             command,
             needs: ProtoVersion::V2,
+        }
+        .into_response())
+    }
+}
+
+/// Rejects a v3-only command on an older session with the stable
+/// version-required error (shared by the engine and the router).
+pub(crate) fn gate_v3(
+    version: ProtoVersion,
+    command: &'static str,
+) -> std::result::Result<(), Response> {
+    if version >= ProtoVersion::V3 {
+        Ok(())
+    } else {
+        Err(EngineError::VersionRequired {
+            command,
+            needs: ProtoVersion::V3,
         }
         .into_response())
     }
@@ -651,6 +686,9 @@ impl Engine {
             Ok(stored) => stored,
             Err(response) => return response,
         };
+        if let SolveMethod::Anytime { budget } = method {
+            return self.solve_anytime(session, name, &stored, *budget, seed);
+        }
         let instance = &stored.instance;
         let (label, mapping) = match method {
             SolveMethod::Heuristic(requested) => {
@@ -705,6 +743,7 @@ impl Engine {
                 Counters::bump(&self.counters.solves_portfolio);
                 (winner.to_string(), mapping)
             }
+            SolveMethod::Anytime { .. } => unreachable!("handled above"),
         };
         // One evaluator build serves both the response period (its initial
         // state is bit-identical to the full `machine_periods` walk the CLI
@@ -730,13 +769,90 @@ impl Engine {
         }
     }
 
+    /// `solve … anytime` (v3): the deterministic incumbent/bound race of
+    /// [`mf_experiments::anytime::solve_anytime`] under a step budget, its
+    /// events answered as the `gap` lines of a streaming
+    /// [`Response::SolvedAnytime`] block and mirrored into the trace file
+    /// as `round` records. The solved mapping becomes this session's
+    /// resident evaluator state, exactly like the other solve methods.
+    fn solve_anytime(
+        &self,
+        session: &mut Session,
+        name: &str,
+        stored: &StoredInstance,
+        budget: Option<u64>,
+        seed: Option<u64>,
+    ) -> Response {
+        if let Err(response) = gate_v3(session.version, "solve") {
+            return response;
+        }
+        let mut config = AnytimeConfig::default();
+        if let Some(budget) = budget {
+            config.step_budget = budget;
+        }
+        if let Some(seed) = seed {
+            config.seed = seed;
+        }
+        let mut sink = TraceIncumbentSink { obs: &self.obs };
+        let outcome =
+            match solve_anytime_observed(&stored.instance, &config, &mut |_| {}, &mut sink) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    return EngineError::SolverFailed {
+                        label: "anytime".to_string(),
+                        detail: one_line(e),
+                    }
+                    .into_response()
+                }
+            };
+        let c = &self.counters;
+        Counters::bump(&c.solves_anytime);
+        Counters::add(&c.anytime_reports, outcome.events.len() as u64);
+        if outcome.proven_optimal {
+            Counters::bump(&c.anytime_proven);
+        }
+        Counters::add(&c.bnb_nodes, outcome.nodes);
+        Counters::add(&c.lp_solves, outcome.lp_solves);
+        Counters::add(&c.lp_reuses, outcome.lp_reuses);
+        let reports = outcome
+            .events
+            .iter()
+            .map(|event| GapReport {
+                phase: event.phase.label().to_string(),
+                steps: event.steps,
+                period: event.period,
+                bound: event.bound,
+                proven: event.proven,
+            })
+            .collect();
+        let mapping = outcome.mapping;
+        let fingerprint = mapping.fingerprint();
+        let evaluation = match self.cache.lookup(name, stored.generation, fingerprint) {
+            Some(hit) => hit,
+            None => match self.build_evaluation(name, stored, &mapping, fingerprint) {
+                Ok(built) => built,
+                Err(detail) => return EngineError::Infeasible { detail }.into_response(),
+            },
+        };
+        let period = evaluation.period;
+        self.remember(session, name, stored.generation, evaluation.snapshot);
+        Response::SolvedAnytime {
+            reports,
+            period,
+            machines: mapping.machine_count(),
+            assignment: mapping.as_slice().iter().map(|u| u.index()).collect(),
+        }
+    }
+
     /// The statistics counters a session of `version` sees, in fixed
     /// presentation order: the 16 v1 keys, plus — on v2 sessions — the
     /// evaluator-build and keyed evaluate-cache counters, followed by the
     /// evaluator what-if/mass-row counters and the search sweep-cache
-    /// counters harvested from traced solves. Every key is a plain sum over
-    /// the work done, so a router can aggregate worker lists index-aligned
-    /// and stay byte-identical to a single-process server.
+    /// counters harvested from traced solves, plus — on v3 sessions — the
+    /// anytime-solve counters (solves, streamed reports, proven runs, and
+    /// the exact phase's node/LP work). Every key is a plain sum over the
+    /// work done, so a router can aggregate worker lists index-aligned and
+    /// stay byte-identical to a single-process server.
     pub fn stats_for(&self, version: ProtoVersion) -> Vec<(String, u64)> {
         let mut entries = self.stats();
         if version >= ProtoVersion::V2 {
@@ -758,14 +874,25 @@ impl Engine {
             entries.push(("sweep-reuses".to_string(), read(&c.sweep_reuses)));
             entries.push(("sweep-rescales".to_string(), read(&c.sweep_rescales)));
         }
+        if version >= ProtoVersion::V3 {
+            let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+            let c = &self.counters;
+            entries.push(("solves-anytime".to_string(), read(&c.solves_anytime)));
+            entries.push(("anytime-reports".to_string(), read(&c.anytime_reports)));
+            entries.push(("anytime-proven".to_string(), read(&c.anytime_proven)));
+            entries.push(("bnb-nodes".to_string(), read(&c.bnb_nodes)));
+            entries.push(("lp-solves".to_string(), read(&c.lp_solves)));
+            entries.push(("lp-reuses".to_string(), read(&c.lp_reuses)));
+        }
         entries
     }
 
-    /// The full machine-readable report: the v2 counters as both the global
-    /// and the single worker's list (a one-engine server **is** its only
-    /// worker), plus — on durable engines — the journal's recovery counters.
+    /// The full machine-readable report: the complete (v3) counter list as
+    /// both the global and the single worker's list (a one-engine server
+    /// **is** its only worker), plus — on durable engines — the journal's
+    /// recovery counters.
     pub fn status_report(&self) -> StatsReport {
-        let stats = self.stats_for(ProtoVersion::V2);
+        let stats = self.stats_for(ProtoVersion::V3);
         StatsReport {
             recovery: self
                 .journal
@@ -821,6 +948,19 @@ impl Engine {
 /// Flattens an error's display onto one protocol line.
 fn one_line(e: impl std::fmt::Display) -> String {
     e.to_string().replace(['\n', '\r'], " ")
+}
+
+/// Mirrors anytime incumbent/bound improvements into the engine's trace
+/// file as `round` records. Tracing off makes this a no-op, and the trace
+/// never changes a response byte.
+struct TraceIncumbentSink<'a> {
+    obs: &'a ObsState,
+}
+
+impl mf_obs::ProgressSink for TraceIncumbentSink<'_> {
+    fn emit(&mut self, event: mf_obs::ProgressEvent) {
+        self.obs.trace_event(&event.into_trace(0, 0));
+    }
 }
 
 #[cfg(test)]
@@ -971,6 +1111,102 @@ mod tests {
         assert_eq!(get("instance-hits"), 3);
         assert_eq!(get("instance-evictions"), 0);
         assert!(get("instance-bytes") > 0);
+    }
+
+    #[test]
+    fn anytime_solves_need_a_v3_hello_and_stream_monotone_reports() {
+        let engine = Engine::new(1);
+        let mut session = engine.begin_session();
+        let text = instance_text(10, 5, 2, 7);
+        load(&engine, &mut session, "a", &text);
+        let anytime = |budget| Request::Solve {
+            name: "a".into(),
+            method: SolveMethod::Anytime { budget },
+            seed: None,
+        };
+
+        // v1 and v2 sessions are refused with the stable gating error.
+        for requested in [1, 2] {
+            if requested > 1 {
+                assert!(matches!(
+                    engine.dispatch(&mut session, Request::Hello { requested }),
+                    Response::Hello { .. }
+                ));
+            }
+            let Response::Error { code, detail } = engine.dispatch(&mut session, anytime(None))
+            else {
+                panic!("anytime must be gated below v3");
+            };
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(detail.contains("requires mf-proto v3"), "{detail}");
+        }
+
+        assert!(matches!(
+            engine.dispatch(&mut session, Request::Hello { requested: 3 }),
+            Response::Hello {
+                version: ProtoVersion::V3
+            }
+        ));
+        let Response::SolvedAnytime {
+            reports,
+            period,
+            machines,
+            assignment,
+        } = engine.dispatch(&mut session, anytime(None))
+        else {
+            panic!("anytime solve failed");
+        };
+        assert!(!reports.is_empty());
+        assert_eq!(reports[0].phase, "seed");
+        assert_eq!(reports[0].steps, 0, "first report is the free seed");
+        for pair in reports.windows(2) {
+            assert!(pair[1].period <= pair[0].period);
+            assert!(pair[1].bound >= pair[0].bound);
+            assert!(pair[1].steps >= pair[0].steps);
+            assert!(!pair[0].proven, "a proven report must be the last");
+        }
+        let last = reports.last().unwrap();
+        assert_eq!(last.period.to_bits(), period.to_bits());
+
+        // The answer is the anytime library outcome, bit for bit.
+        let instance = textio::instance_from_text(&text).unwrap();
+        let direct =
+            mf_experiments::anytime::solve_anytime(&instance, &AnytimeConfig::default()).unwrap();
+        assert_eq!(machines, 5);
+        assert_eq!(
+            assignment,
+            direct
+                .mapping
+                .as_slice()
+                .iter()
+                .map(|u| u.index())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(period.to_bits(), direct.period.value().to_bits());
+
+        // The solved mapping is resident: whatif probes work immediately.
+        assert!(matches!(
+            engine.dispatch(
+                &mut session,
+                Request::WhatIf {
+                    name: "a".into(),
+                    probe: Probe::Swap { a: 0, b: 1 },
+                },
+            ),
+            Response::WhatIf { .. }
+        ));
+
+        // The v3 counters saw the run.
+        let stats = v2_stats(&engine, &mut session);
+        assert_eq!(stat_of(&stats, "solves-anytime"), 1);
+        assert_eq!(stat_of(&stats, "anytime-reports"), reports.len() as u64);
+        assert_eq!(
+            stat_of(&stats, "anytime-proven"),
+            u64::from(direct.proven_optimal)
+        );
+        assert_eq!(stat_of(&stats, "bnb-nodes"), direct.nodes);
+        assert_eq!(stat_of(&stats, "lp-solves"), direct.lp_solves);
+        assert_eq!(stat_of(&stats, "lp-reuses"), direct.lp_reuses);
     }
 
     #[test]
@@ -1344,7 +1580,7 @@ mod tests {
         // After a v2 hello, a mixed batch answers in order, with errors and
         // non-batchable commands answered in place.
         assert!(matches!(
-            engine.dispatch(&mut session, Request::Hello { requested: 7 }),
+            engine.dispatch(&mut session, Request::Hello { requested: 2 }),
             Response::Hello {
                 version: ProtoVersion::V2
             }
@@ -1408,6 +1644,7 @@ mod tests {
         let engine = Engine::new(1);
         let v1 = engine.stats_for(ProtoVersion::V1);
         let v2 = engine.stats_for(ProtoVersion::V2);
+        let v3 = engine.stats_for(ProtoVersion::V3);
         assert_eq!(v1, engine.stats(), "v1 view is the legacy stats list");
         assert_eq!(&v2[..v1.len()], &v1[..], "v2 must extend, not reorder");
         let appended: Vec<&str> = v2[v1.len()..].iter().map(|(k, _)| k.as_str()).collect();
@@ -1428,9 +1665,23 @@ mod tests {
                 "sweep-rescales"
             ]
         );
-        // status-export reports the same v2 counters as the global block.
+        assert_eq!(&v3[..v2.len()], &v2[..], "v3 must extend, not reorder");
+        let appended: Vec<&str> = v3[v2.len()..].iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            appended,
+            [
+                "solves-anytime",
+                "anytime-reports",
+                "anytime-proven",
+                "bnb-nodes",
+                "lp-solves",
+                "lp-reuses"
+            ]
+        );
+        // status-export reports the complete (v3) counter list as the
+        // global block.
         let report = engine.status_report();
-        assert_eq!(report.global, v2);
-        assert_eq!(report.workers, vec![v2]);
+        assert_eq!(report.global, v3);
+        assert_eq!(report.workers, vec![v3]);
     }
 }

@@ -52,7 +52,7 @@ pub mod stats;
 pub mod store;
 
 pub use cache::{CachedEvaluation, EvaluateCache, EVALUATE_CACHE_CAP};
-pub use client::{Client, ClientError, Evaluation, Solution};
+pub use client::{AnytimeSolution, Client, ClientError, Evaluation, Solution};
 pub use engine::{Engine, Session, DEFAULT_HEURISTIC_SEED};
 pub use errors::EngineError;
 pub use journal::{
@@ -62,8 +62,8 @@ pub use journal::{
 pub use obs::{ObsConfig, DEFAULT_SLOW_THRESHOLD_NS, TRACKED_COMMANDS};
 pub use proto::{
     request_from_text, request_to_text, response_from_text, response_to_text, text_payload,
-    ErrorCode, InstanceInfo, Probe, ProtoError, ProtoReader, ProtoResult, ProtoVersion, Request,
-    Response, SolveMethod, CURRENT_VERSION, GREETING, PROTO_NAME,
+    ErrorCode, GapReport, InstanceInfo, Probe, ProtoError, ProtoReader, ProtoResult, ProtoVersion,
+    Request, Response, SolveMethod, CURRENT_VERSION, GREETING, PROTO_NAME,
 };
 pub use router::{Router, RouterSession};
 pub use server::{run_session, serve_stdio, Handler, Server, MAX_ACCEPT_FAILURES};

@@ -134,6 +134,15 @@ impl ObsState {
         }
     }
 
+    /// Appends one record to the trace file, if tracing is on. Anytime
+    /// solves route their incumbent/bound improvements here as `round`
+    /// records.
+    pub(crate) fn trace_event(&self, event: &TraceEvent) {
+        if let Some(trace) = &self.config.trace {
+            trace.append(event);
+        }
+    }
+
     /// Snapshots every per-command histogram, in [`TRACKED_COMMANDS`]
     /// order.
     pub(crate) fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {

@@ -1,5 +1,5 @@
 //! `mf-proto` — the line-delimited text protocol of the serve loop
-//! (versions 1 and 2).
+//! (versions 1, 2 and 3).
 //!
 //! The protocol is styled after `mf-report v1` (`mf_experiments::persist`):
 //! plain text, one record per line, multi-line payloads carried by an
@@ -11,15 +11,32 @@
 //!
 //! # Version negotiation
 //!
-//! `mf-proto v2` is negotiated with a `hello` handshake: the client sends
-//! `hello mf-proto v2` (any requested version ≥ 2 is negotiated down to 2)
-//! and the server answers `ok hello mf-proto v2`. A client that never says
+//! Upgrades are negotiated with a `hello` handshake: the client sends
+//! `hello mf-proto vN` (any requested version above the highest supported
+//! is negotiated down to it) and the server answers `ok hello mf-proto vM`
+//! with the version the session now speaks. A client that never says
 //! `hello` stays on v1 and sees byte-identical v1 behavior. v2 adds:
 //!
 //! * `batch N` — a request envelope carrying `N` instance commands that are
 //!   answered in one round trip with an `ok batch N … end` block;
 //! * `status-export` — the full statistics report as one JSON document;
 //! * extra `stats` counters (evaluator builds and the keyed evaluate cache).
+//!
+//! v3 adds the **anytime solve**: `solve <name> anytime [budget B] [seed S]`
+//! is answered by a streaming multi-part block whose `gap` lines report the
+//! monotone incumbent/bound race (first line already feasible, last line
+//! `proven 1` when the gap closed):
+//!
+//! ```text
+//! C: solve line6 anytime budget 50000
+//! S: ok solve-anytime 3 437.51948051948053 3 6
+//! S: gap seed 0 445.2 381.26618826373489 0
+//! S: gap lns 12500 440.1 381.26618826373489 0
+//! S: gap bnb 14061 437.51948051948053 437.51948051948053 1
+//! S: assign 0 1
+//! S: …
+//! S: end
+//! ```
 //!
 //! ```text
 //! C: load line6 18
@@ -53,7 +70,7 @@ pub const GREETING: &str = "mf-proto v1";
 pub const PROTO_NAME: &str = "mf-proto";
 
 /// The highest protocol version this implementation speaks.
-pub const CURRENT_VERSION: u32 = 2;
+pub const CURRENT_VERSION: u32 = 3;
 
 /// A negotiated protocol version of one session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -65,14 +82,19 @@ pub enum ProtoVersion {
     /// `mf-proto v2` — adds the `batch` envelope, `status-export` and the
     /// evaluate-cache `stats` counters.
     V2,
+    /// `mf-proto v3` — adds the anytime solve (`solve <name> anytime …`)
+    /// answered by a streaming `ok solve-anytime` block of monotone
+    /// incumbent/bound `gap` lines.
+    V3,
 }
 
 impl ProtoVersion {
-    /// The version number on the wire (`1` or `2`).
+    /// The version number on the wire (`1`, `2` or `3`).
     pub fn number(self) -> u32 {
         match self {
             ProtoVersion::V1 => 1,
             ProtoVersion::V2 => 2,
+            ProtoVersion::V3 => 3,
         }
     }
 
@@ -83,7 +105,8 @@ impl ProtoVersion {
         match requested {
             0 => None,
             1 => Some(ProtoVersion::V1),
-            _ => Some(ProtoVersion::V2),
+            2 => Some(ProtoVersion::V2),
+            _ => Some(ProtoVersion::V3),
         }
     }
 
@@ -91,6 +114,7 @@ impl ProtoVersion {
         match number {
             1 => Some(ProtoVersion::V1),
             2 => Some(ProtoVersion::V2),
+            3 => Some(ProtoVersion::V3),
             _ => None,
         }
     }
@@ -195,6 +219,14 @@ pub enum SolveMethod {
     Heuristic(String),
     /// The parallel search portfolio on the server's shared pool.
     Portfolio,
+    /// The anytime incumbent/bound race (v3): seed heuristic, LNS slice and
+    /// LP-warm-started branch-and-bound under one step budget, answered by
+    /// a streaming `ok solve-anytime` block.
+    Anytime {
+        /// Step budget (heuristic evaluations + branch-and-bound nodes);
+        /// `None` uses the server's default budget.
+        budget: Option<u64>,
+    },
 }
 
 /// A what-if probe against the session's resident evaluator state.
@@ -318,6 +350,23 @@ impl Request {
     }
 }
 
+/// One incumbent/bound report in a `solve-anytime` response block. Within
+/// a block, `steps` never decreases, `period` never increases, `bound`
+/// never decreases, and only the last report may be `proven`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapReport {
+    /// Single-token phase label (`seed`, `lns`, `bnb`).
+    pub phase: String,
+    /// Cumulative steps consumed when the report fired.
+    pub steps: u64,
+    /// Incumbent period (ms, lossless).
+    pub period: f64,
+    /// Certified lower bound (ms, lossless).
+    pub bound: f64,
+    /// Whether the incumbent is proven optimal (gap zero).
+    pub proven: bool,
+}
+
 /// One named instance in a `list` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstanceInfo {
@@ -434,6 +483,19 @@ pub enum Response {
         /// Machine index per task, in task order.
         assignment: Vec<usize>,
     },
+    /// Anytime mapping computed (v3): the streamed incumbent/bound reports
+    /// followed by the final assignment. The first report already carries a
+    /// feasible incumbent; the reports are monotone (see [`GapReport`]).
+    SolvedAnytime {
+        /// Every incumbent/bound report, in emission order.
+        reports: Vec<GapReport>,
+        /// Achieved system period (ms) — the last report's incumbent.
+        period: f64,
+        /// Machine count of the mapping.
+        machines: usize,
+        /// Machine index per task, in task order.
+        assignment: Vec<usize>,
+    },
     /// Statistics counters, in the server's fixed presentation order.
     Stats(Vec<(String, u64)>),
     /// Session closed by request.
@@ -516,6 +578,12 @@ pub fn request_to_text(request: &Request) -> ProtoResult<String> {
                 }
                 SolveMethod::Portfolio => {
                     let _ = write!(out, " portfolio");
+                }
+                SolveMethod::Anytime { budget } => {
+                    let _ = write!(out, " anytime");
+                    if let Some(budget) = budget {
+                        let _ = write!(out, " budget {budget}");
+                    }
                 }
             }
             if let Some(seed) = seed {
@@ -614,6 +682,34 @@ pub fn response_to_text(response: &Response) -> ProtoResult<String> {
                 check_name(label)?,
                 assignment.len()
             );
+            for (task, machine) in assignment.iter().enumerate() {
+                let _ = writeln!(out, "assign {task} {machine}");
+            }
+            let _ = writeln!(out, "end");
+        }
+        Response::SolvedAnytime {
+            reports,
+            period,
+            machines,
+            assignment,
+        } => {
+            let _ = writeln!(
+                out,
+                "ok solve-anytime {} {period} {machines} {}",
+                reports.len(),
+                assignment.len()
+            );
+            for report in reports {
+                let _ = writeln!(
+                    out,
+                    "gap {} {} {} {} {}",
+                    check_name(&report.phase)?,
+                    report.steps,
+                    report.period,
+                    report.bound,
+                    u8::from(report.proven)
+                );
+            }
             for (task, machine) in assignment.iter().enumerate() {
                 let _ = writeln!(out, "assign {task} {machine}");
             }
@@ -839,14 +935,26 @@ impl<R: BufRead> ProtoReader<R> {
                         SolveMethod::Heuristic(parse_name(tokens.next(), "heuristic")?)
                     }
                     Some("portfolio") => SolveMethod::Portfolio,
+                    Some("anytime") => SolveMethod::Anytime { budget: None },
                     other => {
                         return Err(malformed(format!(
-                            "expected `heuristic <name>` or `portfolio`, found `{}`",
+                            "expected `heuristic <name>`, `portfolio` or `anytime`, found `{}`",
                             other.unwrap_or("")
                         )))
                     }
                 };
-                let seed = match tokens.next() {
+                let mut next = tokens.next();
+                let method = match (method, next) {
+                    (SolveMethod::Anytime { .. }, Some("budget")) => {
+                        let budget = parse_u64(tokens.next(), "budget")?;
+                        next = tokens.next();
+                        SolveMethod::Anytime {
+                            budget: Some(budget),
+                        }
+                    }
+                    (method, _) => method,
+                };
+                let seed = match next {
                     None => None,
                     Some("seed") => Some(parse_u64(tokens.next(), "seed")?),
                     Some(other) => {
@@ -1051,6 +1159,73 @@ impl<R: BufRead> ProtoReader<R> {
                 self.expect_end("solve")?;
                 return Ok(Response::Solved {
                     label,
+                    period,
+                    machines,
+                    assignment,
+                });
+            }
+            "solve-anytime" => {
+                let report_count = parse_count(tokens.next(), "report count")?;
+                let period = parse_f64(tokens.next(), "period")?;
+                let machines = parse_count(tokens.next(), "machine count")?;
+                let tasks = parse_count(tokens.next(), "task count")?;
+                reject_extra(tokens.next(), line)?;
+                let mut reports = Vec::with_capacity(report_count.min(WIRE_CAPACITY_CAP));
+                for _ in 0..report_count {
+                    let entry = self.next_content_line()?.ok_or(ProtoError::UnexpectedEof {
+                        context: "solve-anytime gap reports",
+                    })?;
+                    let mut t = entry.split_whitespace();
+                    match t.next() {
+                        Some("gap") => {}
+                        _ => return Err(malformed(format!("expected `gap …`: `{entry}`"))),
+                    }
+                    let phase = parse_name(t.next(), "gap phase")?;
+                    let steps = parse_u64(t.next(), "gap steps")?;
+                    let period = parse_f64(t.next(), "gap period")?;
+                    let bound = parse_f64(t.next(), "gap bound")?;
+                    let proven = match t.next() {
+                        Some("0") => false,
+                        Some("1") => true,
+                        other => {
+                            return Err(malformed(format!(
+                                "expected proven flag 0 or 1, found `{}`",
+                                other.unwrap_or("")
+                            )))
+                        }
+                    };
+                    reject_extra(t.next(), &entry)?;
+                    reports.push(GapReport {
+                        phase,
+                        steps,
+                        period,
+                        bound,
+                        proven,
+                    });
+                }
+                let mut assignment = Vec::with_capacity(tasks.min(WIRE_CAPACITY_CAP));
+                for _ in 0..tasks {
+                    let entry = self.next_content_line()?.ok_or(ProtoError::UnexpectedEof {
+                        context: "solve-anytime assignment",
+                    })?;
+                    let mut t = entry.split_whitespace();
+                    match t.next() {
+                        Some("assign") => {}
+                        _ => return Err(malformed(format!("expected `assign …`: `{entry}`"))),
+                    }
+                    let task = parse_index(t.next(), "task index")?;
+                    if task != assignment.len() {
+                        return Err(malformed(format!(
+                            "assign lines out of order: expected task {}, found {task}",
+                            assignment.len()
+                        )));
+                    }
+                    assignment.push(parse_index(t.next(), "machine index")?);
+                    reject_extra(t.next(), &entry)?;
+                }
+                self.expect_end("solve-anytime")?;
+                return Ok(Response::SolvedAnytime {
+                    reports,
                     period,
                     machines,
                     assignment,
@@ -1500,9 +1675,126 @@ mod tests {
         assert_eq!(ProtoVersion::negotiate(0), None);
         assert_eq!(ProtoVersion::negotiate(1), Some(ProtoVersion::V1));
         assert_eq!(ProtoVersion::negotiate(2), Some(ProtoVersion::V2));
-        assert_eq!(ProtoVersion::negotiate(9), Some(ProtoVersion::V2));
+        assert_eq!(ProtoVersion::negotiate(3), Some(ProtoVersion::V3));
+        assert_eq!(ProtoVersion::negotiate(9), Some(ProtoVersion::V3));
         assert_eq!(ProtoVersion::V2.to_string(), "mf-proto v2");
+        assert_eq!(ProtoVersion::V3.to_string(), "mf-proto v3");
         assert_eq!(ProtoVersion::default(), ProtoVersion::V1);
+    }
+
+    #[test]
+    fn v3_anytime_requests_round_trip() {
+        for request in [
+            Request::Solve {
+                name: "inst".into(),
+                method: SolveMethod::Anytime { budget: None },
+                seed: None,
+            },
+            Request::Solve {
+                name: "inst".into(),
+                method: SolveMethod::Anytime {
+                    budget: Some(50_000),
+                },
+                seed: Some(7),
+            },
+            Request::Solve {
+                name: "inst".into(),
+                method: SolveMethod::Anytime { budget: None },
+                seed: Some(u64::MAX),
+            },
+        ] {
+            let text = request_to_text(&request).unwrap();
+            let parsed = request_from_text(&text).unwrap();
+            assert_eq!(parsed, request);
+            assert_eq!(request_to_text(&parsed).unwrap(), text);
+        }
+        for bad in [
+            "solve a anytime budget",
+            "solve a anytime budget x",
+            "solve a anytime budget 1 extra",
+            "solve a anytime seed",
+            "solve a anytime 5",
+        ] {
+            let err = request_from_text(&format!("{bad}\n")).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Malformed { .. }),
+                "`{bad}` must be Malformed, was {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_anytime_responses_round_trip_with_lossless_floats() {
+        let response = Response::SolvedAnytime {
+            reports: vec![
+                GapReport {
+                    phase: "seed".into(),
+                    steps: 0,
+                    period: 445.2,
+                    bound: 381.266_188_263_734_9,
+                    proven: false,
+                },
+                GapReport {
+                    phase: "lns".into(),
+                    steps: 12_500,
+                    period: 440.1,
+                    bound: 381.266_188_263_734_9,
+                    proven: false,
+                },
+                GapReport {
+                    phase: "bnb".into(),
+                    steps: 14_061,
+                    period: 437.519_480_519_480_5,
+                    bound: 437.519_480_519_480_5,
+                    proven: true,
+                },
+            ],
+            period: 437.519_480_519_480_5,
+            machines: 3,
+            assignment: vec![0, 1, 2, 0, 1, 2],
+        };
+        let text = response_to_text(&response).unwrap();
+        let parsed = response_from_text(&text).unwrap();
+        if let (
+            Response::SolvedAnytime { reports: a, .. },
+            Response::SolvedAnytime { reports: b, .. },
+        ) = (&parsed, &response)
+        {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.period.to_bits(), y.period.to_bits());
+                assert_eq!(x.bound.to_bits(), y.bound.to_bits());
+            }
+        }
+        assert_eq!(parsed, response);
+        assert_eq!(response_to_text(&parsed).unwrap(), text);
+
+        // The empty-report and empty-assignment corners round-trip too.
+        let empty = Response::SolvedAnytime {
+            reports: Vec::new(),
+            period: 1.5,
+            machines: 1,
+            assignment: Vec::new(),
+        };
+        let text = response_to_text(&empty).unwrap();
+        assert_eq!(response_from_text(&text).unwrap(), empty);
+
+        for bad in [
+            "ok solve-anytime 1 1.5 3 0\ngap seed 0 1.5 1.0 2\nend",
+            "ok solve-anytime 1 1.5 3 0\nnot a gap line\nend",
+            "ok solve-anytime 0 1.5 3 1\nassign 1 0\nend",
+            "ok solve-anytime 0 1.5 3 0\nmore\nend",
+        ] {
+            let err = response_from_text(&format!("{bad}\n")).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ProtoError::Malformed { .. } | ProtoError::UnexpectedEof { .. }
+                ),
+                "`{bad}` must fail typed, was {err:?}"
+            );
+        }
+        let err = response_from_text("ok solve-anytime 1 1.5 3 0\n").unwrap_err();
+        assert!(matches!(err, ProtoError::UnexpectedEof { .. }), "{err}");
     }
 
     #[test]

@@ -329,12 +329,12 @@ impl Router {
                 .as_ref()
                 .map(|journal| journal.status_counters())
                 .unwrap_or_default(),
-            global: self.stats_for(ProtoVersion::V2),
+            global: self.stats_for(ProtoVersion::V3),
             histograms: self.histograms(),
             workers: self
                 .workers
                 .iter()
-                .map(|worker| worker.stats_for(ProtoVersion::V2))
+                .map(|worker| worker.stats_for(ProtoVersion::V3))
                 .collect(),
         }
     }
@@ -357,9 +357,15 @@ impl Router {
 }
 
 impl RouterSession {
-    /// The worker session of one shard, created on first touch.
+    /// The worker session of one shard, created on first touch. The
+    /// router's negotiated version is copied down on every touch: the
+    /// client's `hello` only ever reaches the router, yet version-gated
+    /// commands (`solve … anytime`) are gated again by the worker engine.
     fn worker(&mut self, shard: usize, engine: &Engine) -> &mut Session {
-        self.workers[shard].get_or_insert_with(|| engine.begin_session())
+        let version = self.version;
+        let session = self.workers[shard].get_or_insert_with(|| engine.begin_session());
+        session.sync_version(version);
+        session
     }
 }
 

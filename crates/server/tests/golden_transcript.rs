@@ -94,14 +94,52 @@ fn batched_v2_session_matches_the_golden_transcript() {
     assert!(actual.contains("stat evaluator-builds 2"), "{actual}");
 }
 
-/// Both golden scripts produce the same bytes from a plain engine and from
-/// routers of 1, 2 and 4 workers — the sharded tier is a pure deployment
-/// choice, never a protocol fork.
+/// The `mf-proto v3` anytime golden transcript: hello negotiation, one
+/// budgeted + seeded anytime solve and one default-config anytime solve of
+/// the same instance, each answered by a streaming `ok solve-anytime` block
+/// (monotone gap reports: seed heuristic → LNS slice → branch-and-bound),
+/// and the v3 stats block with the anytime/B&B/LP counters. Steps are
+/// evaluator calls and B&B nodes — never wall clock — so every byte is
+/// deterministic; the CI smoke step pipes the same file through the real
+/// `microfactory serve --stdio` binary.
+#[test]
+fn anytime_v3_session_matches_the_golden_transcript() {
+    let input = include_str!("golden/anytime_session.in");
+    let expected_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/anytime_session.out"
+    );
+    let engine = Engine::new(1);
+    let mut output = Vec::new();
+    serve_stdio(&engine, input.as_bytes(), &mut output).unwrap();
+    let actual = String::from_utf8(output).expect("protocol output is UTF-8");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(expected_path, &actual).expect("write golden transcript");
+        return;
+    }
+    let expected = std::fs::read_to_string(expected_path).expect("golden transcript exists");
+    assert_eq!(
+        actual, expected,
+        "v3 anytime transcript drifted from tests/golden/anytime_session.out; \
+         re-run with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+    // The stream must open with the seed incumbent at step 0 and close each
+    // solve with a proven report (gap 0 within the default step budget on
+    // this shape), and the v3 counters must record both solves.
+    assert!(actual.contains("gap seed 0 "), "{actual}");
+    assert!(actual.contains("stat solves-anytime 2"), "{actual}");
+    assert!(actual.contains("stat anytime-proven 2"), "{actual}");
+}
+
+/// All three golden scripts produce the same bytes from a plain engine and
+/// from routers of 1, 2 and 4 workers — the sharded tier is a pure
+/// deployment choice, never a protocol fork.
 #[test]
 fn transcripts_are_worker_count_independent() {
     for input in [
         include_str!("golden/smoke_session.in"),
         include_str!("golden/batched_session.in"),
+        include_str!("golden/anytime_session.in"),
     ] {
         let mut reference = Vec::new();
         serve_stdio(&Engine::new(1), input.as_bytes(), &mut reference).unwrap();

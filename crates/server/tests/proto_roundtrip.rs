@@ -5,7 +5,7 @@
 
 use mf_core::splitmix64;
 use mf_server::{
-    request_from_text, request_to_text, response_from_text, response_to_text, ErrorCode,
+    request_from_text, request_to_text, response_from_text, response_to_text, ErrorCode, GapReport,
     InstanceInfo, Probe, ProtoError, ProtoVersion, Request, Response, SolveMethod,
 };
 
@@ -88,10 +88,16 @@ impl Gen {
             },
             5 => Request::Solve {
                 name: self.name(),
-                method: if self.index(2) == 0 {
-                    SolveMethod::Heuristic(self.name())
-                } else {
-                    SolveMethod::Portfolio
+                method: match self.index(3) {
+                    0 => SolveMethod::Heuristic(self.name()),
+                    1 => SolveMethod::Portfolio,
+                    _ => SolveMethod::Anytime {
+                        budget: if self.index(2) == 0 {
+                            None
+                        } else {
+                            Some(self.next())
+                        },
+                    },
                 },
                 seed: if self.index(2) == 0 {
                     None
@@ -127,9 +133,19 @@ impl Gen {
         }
     }
 
+    fn gap_report(&mut self) -> GapReport {
+        GapReport {
+            phase: ["seed", "lns", "bnb"][self.index(3)].to_string(),
+            steps: self.next(),
+            period: self.float(),
+            bound: self.float(),
+            proven: self.index(2) == 0,
+        }
+    }
+
     /// A response that is valid as a batch item (no envelopes).
     fn flat_response(&mut self) -> Response {
-        match self.index(9) {
+        match self.index(10) {
             0 => Response::Loaded {
                 name: self.name(),
                 tasks: self.index(1000),
@@ -162,12 +178,18 @@ impl Gen {
                 machines: self.index(64),
                 assignment: (0..self.index(12)).map(|_| self.index(64)).collect(),
             },
-            6 => Response::Stats(
+            6 => Response::SolvedAnytime {
+                reports: (0..self.index(5)).map(|_| self.gap_report()).collect(),
+                period: self.float(),
+                machines: self.index(64),
+                assignment: (0..self.index(12)).map(|_| self.index(64)).collect(),
+            },
+            7 => Response::Stats(
                 (0..self.index(6))
                     .map(|_| (self.name(), self.next()))
                     .collect(),
             ),
-            7 => Response::Shutdown,
+            8 => Response::Shutdown,
             _ => Response::Error {
                 code: [
                     ErrorCode::BadRequest,
@@ -185,7 +207,7 @@ impl Gen {
     fn response(&mut self) -> Response {
         match self.index(12) {
             9 => Response::Hello {
-                version: [ProtoVersion::V1, ProtoVersion::V2][self.index(2)],
+                version: [ProtoVersion::V1, ProtoVersion::V2, ProtoVersion::V3][self.index(3)],
             },
             10 => Response::StatusExport(self.payload()),
             11 => Response::Batch((0..self.index(5)).map(|_| self.flat_response()).collect()),

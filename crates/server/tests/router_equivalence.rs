@@ -22,7 +22,7 @@ fn instance_text(seed: u64) -> String {
 /// error, unloads, and the closing stats block.
 fn script() -> String {
     let names = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"];
-    let mut requests = vec![Request::Hello { requested: 2 }];
+    let mut requests = vec![Request::Hello { requested: 3 }];
     for (index, name) in names.iter().enumerate() {
         requests.push(Request::Load {
             name: name.to_string(),
@@ -58,6 +58,17 @@ fn script() -> String {
             probe: mf_server::Probe::Swap { a: 0, b: 1 },
         });
     }
+    // Anytime solves are v3-gated: the router must hand its negotiated
+    // version down to the worker engines, or these would answer `err`.
+    for name in &names[..2] {
+        requests.push(Request::Solve {
+            name: name.to_string(),
+            method: SolveMethod::Anytime {
+                budget: Some(20_000),
+            },
+            seed: None,
+        });
+    }
     requests.push(Request::Unload {
         name: "alpha".into(),
     });
@@ -83,6 +94,9 @@ fn routed_sessions_are_byte_identical_to_a_single_engine() {
         "{reference}"
     );
     assert!(reference.contains("stat evaluate-cache-"), "{reference}");
+    assert!(reference.contains("ok solve-anytime"), "{reference}");
+    assert!(reference.contains("gap seed 0 "), "{reference}");
+    assert!(reference.contains("stat solves-anytime 2"), "{reference}");
     for (workers, threads) in [(1usize, 1usize), (2, 2), (4, 1), (16, 1)] {
         let router = Router::new(workers, threads);
         let mut output = Vec::new();

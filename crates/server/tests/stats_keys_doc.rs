@@ -1,8 +1,9 @@
 //! Pins the README's `stats` key table to the code: the keys documented
-//! between the `stats-keys` markers must equal `Engine::stats_for(V2)` —
-//! same names, same wire order, nothing missing, nothing extra. The table
-//! replaced stale prose once; this test makes that class of drift
-//! impossible to reintroduce.
+//! between the `stats-keys` markers must equal `Engine::stats_for(V3)` —
+//! same names, same wire order, nothing missing, nothing extra — and the
+//! `Since` column's v1/v2 rows must be exactly the v1/v2 wire prefixes.
+//! The table replaced stale prose once; this test makes that class of
+//! drift impossible to reintroduce.
 
 use mf_server::{Engine, ProtoVersion};
 
@@ -31,7 +32,7 @@ fn readme_stats_key_table_matches_the_wire_order() {
     let readme = include_str!("../../../README.md");
     let documented = documented_keys(readme);
     let actual: Vec<String> = Engine::new(1)
-        .stats_for(ProtoVersion::V2)
+        .stats_for(ProtoVersion::V3)
         .into_iter()
         .map(|(key, _)| key)
         .collect();
@@ -41,9 +42,39 @@ fn readme_stats_key_table_matches_the_wire_order() {
     );
     assert_eq!(
         documented, actual,
-        "README stats-key table drifted from Engine::stats_for(V2); \
+        "README stats-key table drifted from Engine::stats_for(V3); \
          update the table between the stats-keys markers"
     );
+}
+
+/// Each older version's rows are a strict prefix of the next: the table's
+/// vN-tagged rows, in order, must be exactly `stats_for(vN)` — so a client
+/// on any negotiated version can read the same table.
+#[test]
+fn readme_documents_each_version_prefix_in_order() {
+    let readme = include_str!("../../../README.md");
+    let begin = readme.find("<!-- stats-keys:begin -->").unwrap();
+    let end = readme.find("<!-- stats-keys:end -->").unwrap();
+    for (tag_limit, version) in [("v1", ProtoVersion::V1), ("v2", ProtoVersion::V2)] {
+        let documented: Vec<String> = readme[begin..end]
+            .lines()
+            .filter_map(|line| {
+                let cell = line.strip_prefix("| `")?;
+                let (key, rest) = cell.split_once('`')?;
+                let tag = rest.strip_prefix(" | ")?.split(' ').next()?;
+                (tag <= tag_limit).then(|| key.to_string())
+            })
+            .collect();
+        let actual: Vec<String> = Engine::new(1)
+            .stats_for(version)
+            .into_iter()
+            .map(|(key, _)| key)
+            .collect();
+        assert_eq!(
+            documented, actual,
+            "the table's ≤{tag_limit} rows drifted from Engine::stats_for({tag_limit})"
+        );
+    }
 }
 
 #[test]
